@@ -1,0 +1,195 @@
+//! The Blink-like baseline (paper Sec. VI-B, baseline (3)).
+//!
+//! Blink builds optimal *intra-server* spanning trees over the
+//! detected NVLink topology but delegates *inter-server* communication
+//! to plain NCCL operations, with an empirically fixed 8 MB chunk.
+//! The paper's key observation is that the two stages are **not
+//! pipelined**: the intra-server reduction completes before the
+//! inter-server stage starts, and the broadcast back is staged the
+//! same way. We reproduce that by modelling the collective as three
+//! sequential stages (local reduce trees → inter-server NCCL allreduce
+//! among leaders → local broadcast trees); the runner in
+//! [`crate::runner`] executes them back to back.
+
+use std::collections::BTreeMap;
+
+use adapcc_simnet::cluster::{InstanceId, Rank};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::primitive::Primitive;
+use adapcc_synth::solver::group_by_instance;
+use adapcc_synth::strategy::{Flow, Strategy, SubCollective};
+use adapcc_topo::logical::{LogicalNode, LogicalTopology};
+
+use crate::nccl::nccl_strategy;
+
+/// Blink's empirically fixed chunk (paper: 8 MB).
+pub fn blink_chunk() -> ByteSize {
+    ByteSize::from_mib(8)
+}
+
+/// The staged Blink plan for one collective.
+#[derive(Debug, Clone)]
+pub struct BlinkPlan {
+    /// Stage 1: per-instance spanning-tree reduces onto local leaders
+    /// (executed concurrently, then barrier).
+    pub intra_reduce: Vec<Strategy>,
+    /// Stage 2: NCCL collective among the leaders (one strategy).
+    pub inter: Option<Strategy>,
+    /// Stage 3: per-instance broadcast trees back from the leaders.
+    pub intra_broadcast: Vec<Strategy>,
+    /// The per-instance leaders, in instance order.
+    pub leaders: Vec<Rank>,
+}
+
+/// Builds the staged Blink plan.
+///
+/// # Panics
+///
+/// Panics if `participants` is empty or the primitive is one Blink
+/// does not support in the multi-server case (the paper excludes
+/// AlltoAll for exactly that reason).
+pub fn blink_plan(
+    topo: &LogicalTopology,
+    primitive: Primitive,
+    participants: &[Rank],
+) -> BlinkPlan {
+    assert!(!participants.is_empty(), "no participants");
+    assert!(
+        !matches!(primitive, Primitive::AllToAll),
+        "blink does not support multi-server alltoall (paper Sec. VI-C)"
+    );
+    let by_inst = group_by_instance(topo, participants);
+    let leaders: Vec<Rank> = by_inst.values().map(|m| m[0]).collect();
+    let g = LogicalNode::Gpu;
+    let e = |a, b| topo.edge_between(a, b).expect("logical edge");
+
+    // Stage 1: per-instance spanning trees (with full-mesh NVLink the
+    // optimal spanning tree is the star; with fragmented wiring the
+    // star rides PCIe peer links, just like Blink's packing would).
+    let mut intra_reduce = Vec::new();
+    for (inst, members) in &by_inst {
+        let leader = by_inst[inst][0];
+        if members.len() < 2 {
+            continue;
+        }
+        let flows: Vec<Flow> = members
+            .iter()
+            .filter(|r| **r != leader)
+            .map(|r| Flow { src: g(*r), dst: g(leader), route: vec![e(g(*r), g(leader))] })
+            .collect();
+        let mut aggregate = BTreeMap::new();
+        aggregate.insert(g(leader), true);
+        intra_reduce.push(Strategy {
+            primitive: Primitive::Reduce,
+            subs: vec![SubCollective {
+                fraction: 1.0,
+                chunk: blink_chunk(),
+                root: Some(leader),
+                flows,
+                aggregate,
+            }],
+        });
+        let _ = InstanceId(0);
+    }
+
+    // Stage 2: NCCL among the leaders (its own single-channel tree),
+    // with Blink's chunking.
+    let inter = if leaders.len() > 1 {
+        let mut s = nccl_strategy(topo, primitive, &leaders);
+        for sub in &mut s.subs {
+            sub.chunk = blink_chunk();
+        }
+        Some(s)
+    } else {
+        None
+    };
+
+    // Stage 3: broadcast trees back (only for allreduce/broadcast).
+    let mut intra_broadcast = Vec::new();
+    if matches!(primitive, Primitive::AllReduce | Primitive::Broadcast) {
+        for strategy in &intra_reduce {
+            intra_broadcast.push(strategy.reversed(topo, Primitive::Broadcast));
+        }
+    }
+
+    BlinkPlan {
+        intra_reduce,
+        inter,
+        intra_broadcast,
+        leaders,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapcc_simnet::cluster::Cluster;
+    use adapcc_topo::detect::Detector;
+
+    fn topo_for(c: &Cluster) -> LogicalTopology {
+        Detector::new(c, 1).run().logical_topology(c)
+    }
+
+    fn all(c: &Cluster) -> Vec<Rank> {
+        (0..c.gpu_count()).map(Rank).collect()
+    }
+
+    #[test]
+    fn plan_has_three_stages() {
+        let c = Cluster::paper_testbed();
+        let topo = topo_for(&c);
+        let plan = blink_plan(&topo, Primitive::AllReduce, &all(&c));
+        assert_eq!(plan.intra_reduce.len(), 6);
+        assert!(plan.inter.is_some());
+        assert_eq!(plan.intra_broadcast.len(), 6);
+        assert_eq!(plan.leaders.len(), 6);
+        for s in plan.intra_reduce.iter().chain(&plan.intra_broadcast) {
+            assert_eq!(s.validate(&topo), Ok(()));
+        }
+        assert_eq!(plan.inter.as_ref().unwrap().validate(&topo), Ok(()));
+    }
+
+    #[test]
+    fn spanning_trees_are_single_hop_stars() {
+        let c = Cluster::homogeneous_a100(2);
+        let topo = topo_for(&c);
+        let plan = blink_plan(&topo, Primitive::AllReduce, &all(&c));
+        for s in &plan.intra_reduce {
+            for f in &s.subs[0].flows {
+                assert_eq!(f.route.len(), 1, "star over NVLink");
+            }
+        }
+    }
+
+    #[test]
+    fn single_instance_skips_inter_stage() {
+        let c = Cluster::homogeneous_a100(1);
+        let topo = topo_for(&c);
+        let plan = blink_plan(&topo, Primitive::AllReduce, &all(&c));
+        assert!(plan.inter.is_none());
+        assert_eq!(plan.intra_reduce.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alltoall")]
+    fn alltoall_unsupported() {
+        let c = Cluster::homogeneous_a100(2);
+        let topo = topo_for(&c);
+        let _ = blink_plan(&topo, Primitive::AllToAll, &all(&c));
+    }
+
+    #[test]
+    fn fixed_chunk_everywhere() {
+        let c = Cluster::paper_testbed();
+        let topo = topo_for(&c);
+        let plan = blink_plan(&topo, Primitive::AllReduce, &all(&c));
+        for s in plan
+            .intra_reduce
+            .iter()
+            .chain(plan.inter.as_ref())
+            .chain(&plan.intra_broadcast)
+        {
+            assert!(s.subs.iter().all(|x| x.chunk == blink_chunk()));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # adapcc-baselines
+//!
+//! Faithful reimplementations of the *strategy generators* of the
+//! three systems the AdapCC paper benchmarks against (Sec. VI-B):
+//! [`nccl`] (ring/tree graphs, empirical bandwidth labels, one
+//! channel), [`msccl`] (DGX-tuned pareto-optimal sketches with fixed
+//! chunks), and [`blink`] (intra-server spanning trees, staged
+//! NCCL inter-server, fixed 8 MB chunks). All run on the same
+//! executor and simulated fabric as AdapCC via [`runner::Runner`], so
+//! every comparison isolates the *strategy*, exactly as the paper's
+//! evaluation intends.
+//!
+//! # Example
+//!
+//! ```
+//! use adapcc_baselines::runner::{Runner, System};
+//! use adapcc_profile::profiler::Profiler;
+//! use adapcc_simnet::cluster::{Cluster, Rank};
+//! use adapcc_simnet::units::ByteSize;
+//! use adapcc_synth::Primitive;
+//! use adapcc_topo::detect::Detector;
+//!
+//! let cluster = Cluster::homogeneous_a100(2);
+//! let topo = Detector::new(&cluster, 1).run().logical_topology(&cluster);
+//! let profile = Profiler::new(&cluster, &topo, 1).run().links;
+//! let runner = Runner::new(&cluster, &topo, &profile);
+//! let ranks: Vec<Rank> = (0..8).map(Rank).collect();
+//! let r = runner.run(System::Nccl, Primitive::AllReduce,
+//!                    ByteSize::from_mib(32), &ranks, &Default::default());
+//! assert!(r.algo_bw_gbytes > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod blink;
+pub mod msccl;
+pub mod nccl;
+pub mod runner;
+
+pub use blink::{blink_plan, BlinkPlan};
+pub use msccl::msccl_strategy;
+pub use nccl::nccl_strategy;
+pub use runner::{RunReport, Runner, System};

@@ -1,0 +1,185 @@
+//! The MSCCL-like baseline (paper Sec. VI-B, baseline (2)).
+//!
+//! MSCCL executes hand- or solver-written algorithms ("sketches") on
+//! top of NCCL's runtime. The paper runs the pareto-optimal
+//! latency/bandwidth algorithms recommended for DGX-class machines and
+//! observes two structural limits:
+//!
+//! * the sketches are authored for DGX-like *homogeneous* topologies —
+//!   actual link properties are never consulted, so heterogeneous NICs
+//!   silently throttle the schedule;
+//! * the sketch fixes the chunk size, so the latency/pipelining
+//!   trade-off is never re-optimized for the tensor at hand.
+//!
+//! Structurally the DGX-tuned reduce is good intra-server (a NVLink
+//! star onto a leader) and bandwidth-oriented inter-server (a chain —
+//! ring-style — over the servers in rank order, aggregating at every
+//! hop), with two channels.
+
+use std::collections::BTreeMap;
+
+use adapcc_simnet::cluster::{InstanceId, Rank};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::primitive::Primitive;
+use adapcc_synth::solver::group_by_instance;
+use adapcc_synth::strategy::{Flow, Strategy, SubCollective};
+use adapcc_topo::logical::{LogicalNode, LogicalTopology};
+
+use crate::nccl::p2p_strategy;
+
+/// MSCCL sketch-fixed chunk size.
+pub fn msccl_chunk() -> ByteSize {
+    ByteSize::from_mib(1)
+}
+
+/// Channels in the recommended pareto-optimal schedules.
+pub fn msccl_channels() -> usize {
+    2
+}
+
+/// Builds the MSCCL-like strategy for a primitive over all
+/// participants.
+///
+/// # Panics
+///
+/// Panics if `participants` is empty or the primitive is not one the
+/// paper evaluates MSCCL on.
+pub fn msccl_strategy(
+    topo: &LogicalTopology,
+    primitive: Primitive,
+    participants: &[Rank],
+) -> Strategy {
+    assert!(!participants.is_empty(), "no participants");
+    match primitive {
+        Primitive::AllToAll => {
+            p2p_strategy(topo, participants, msccl_channels(), msccl_chunk())
+        }
+        Primitive::Broadcast => {
+            reduce_chain(topo, participants).reversed(topo, Primitive::Broadcast)
+        }
+        Primitive::Reduce | Primitive::AllReduce => {
+            let mut s = reduce_chain(topo, participants);
+            s.primitive = primitive;
+            s
+        }
+        other => panic!("msccl baseline does not model {other}"),
+    }
+}
+
+/// Intra-server NVLink star onto a per-channel leader; inter-server
+/// chain in rank order aggregating at every hop.
+fn reduce_chain(topo: &LogicalTopology, participants: &[Rank]) -> Strategy {
+    let g = LogicalNode::Gpu;
+    let nic = LogicalNode::Nic;
+    let by_inst = group_by_instance(topo, participants);
+    let insts: Vec<InstanceId> = by_inst.keys().copied().collect();
+    let e = |a, b| topo.edge_between(a, b).expect("logical edge");
+
+    let channels = msccl_channels();
+    let mut subs = Vec::with_capacity(channels);
+    for ch in 0..channels {
+        // Channel-rotated leaders (DGX sketches stripe channels over
+        // GPUs); the chain root is the last instance's leader.
+        let leader = |inst: InstanceId| {
+            let members = &by_inst[&inst];
+            members[ch % members.len()]
+        };
+        let root_inst = *insts.last().expect("non-empty");
+        let root = leader(root_inst);
+        let hop_of = |inst: InstanceId| insts.iter().position(|i| *i == inst).expect("member");
+
+        let mut flows = Vec::new();
+        let mut aggregate = BTreeMap::new();
+        for (inst, members) in &by_inst {
+            let l = leader(*inst);
+            aggregate.insert(g(l), true);
+            for r in members {
+                if *r == root {
+                    continue;
+                }
+                let mut route = Vec::new();
+                let mut cursor = *r;
+                if *r != l {
+                    route.push(e(g(*r), g(l)));
+                    cursor = l;
+                }
+                // Chain onward: inst -> inst+1 -> ... -> last.
+                let mut here = *inst;
+                while here != root_inst {
+                    let up = insts[hop_of(here) + 1];
+                    let up_leader = leader(up);
+                    route.push(e(g(cursor), nic(here)));
+                    route.push(e(nic(here), nic(up)));
+                    route.push(e(nic(up), g(up_leader)));
+                    cursor = up_leader;
+                    here = up;
+                }
+                flows.push(Flow { src: g(*r), dst: g(root), route });
+            }
+        }
+        subs.push(SubCollective {
+            fraction: 1.0 / channels as f64,
+            chunk: msccl_chunk(),
+            root: Some(root),
+            flows,
+            aggregate,
+        });
+    }
+    Strategy {
+        primitive: Primitive::Reduce,
+        subs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapcc_simnet::cluster::Cluster;
+    use adapcc_topo::detect::Detector;
+
+    fn topo_for(c: &Cluster) -> LogicalTopology {
+        Detector::new(c, 1).run().logical_topology(c)
+    }
+
+    fn all(c: &Cluster) -> Vec<Rank> {
+        (0..c.gpu_count()).map(Rank).collect()
+    }
+
+    #[test]
+    fn two_channels_fixed_chunk() {
+        let c = Cluster::paper_testbed();
+        let topo = topo_for(&c);
+        let s = msccl_strategy(&topo, Primitive::AllReduce, &all(&c));
+        assert_eq!(s.parallelism(), 2);
+        assert!(s.subs.iter().all(|x| x.chunk == msccl_chunk()));
+        assert_eq!(s.validate(&topo), Ok(()));
+    }
+
+    #[test]
+    fn chain_visits_every_instance() {
+        let c = Cluster::paper_testbed();
+        let topo = topo_for(&c);
+        let s = msccl_strategy(&topo, Primitive::Reduce, &all(&c));
+        // A flow from instance 0 crosses 5 network hops to reach the
+        // chain end at instance 5.
+        let longest = s.subs[0].flows.iter().map(|f| f.route.len()).max().unwrap();
+        assert!(longest >= 5 * 3, "chain flows climb every hop: {longest}");
+    }
+
+    #[test]
+    fn channels_use_distinct_leaders() {
+        let c = Cluster::homogeneous_a100(2);
+        let topo = topo_for(&c);
+        let s = msccl_strategy(&topo, Primitive::Reduce, &all(&c));
+        assert_ne!(s.subs[0].root, s.subs[1].root);
+    }
+
+    #[test]
+    fn alltoall_two_channels() {
+        let c = Cluster::homogeneous_a100(2);
+        let topo = topo_for(&c);
+        let s = msccl_strategy(&topo, Primitive::AllToAll, &all(&c));
+        assert_eq!(s.parallelism(), 2);
+        assert_eq!(s.validate(&topo), Ok(()));
+    }
+}

@@ -1,0 +1,395 @@
+//! The NCCL-like baseline (paper Sec. VI-B, baseline (1)).
+//!
+//! Reproduces the structural choices the paper observes in NCCL v2.14:
+//!
+//! * **Empirically labelled throughput** — graphs are built from link
+//!   *types*, never from measured bandwidth, so a slow NIC or a
+//!   degraded link is invisible.
+//! * **Single intra-server channel** — data is reduced along one chain
+//!   onto the GPU closest to the NIC, leaving most NVLinks idle.
+//! * **Binary tree across servers in rank order** — each node assumed
+//!   homogeneous; the thinnest NIC becomes the bottleneck.
+//! * **One network channel** — a single stream per connection, which
+//!   on kernel TCP caps at ~20 Gbps regardless of line rate.
+//! * **NVLink ring or bust** — when the allocation has no full NVLink
+//!   ring (fragmented `Pairs` wiring), intra-server hops silently fall
+//!   back to PCIe (the logical `PciePeer` edges).
+//!
+//! AlltoAll is not a native NCCL primitive; as in the paper's
+//! evaluation it is assembled from `ncclSend`/`ncclRecv` pairs.
+
+use std::collections::BTreeMap;
+
+use adapcc_simnet::cluster::{InstanceId, Rank};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::primitive::Primitive;
+use adapcc_synth::solver::group_by_instance;
+use adapcc_synth::strategy::{Flow, Strategy, SubCollective};
+use adapcc_topo::logical::{EdgeId, LogicalNode, LogicalTopology};
+
+/// NCCL's pipelining slice (fixed, size-independent).
+pub fn nccl_chunk() -> ByteSize {
+    ByteSize::from_kib(512)
+}
+
+/// NCCL's ring channels for large buffers: the paper observes that
+/// NCCL "only launches one channel for inter-server transmission,
+/// which fails to saturate the available bandwidth" (Sec. VI-D), so
+/// the ring is a single chain.
+pub fn nccl_ring_channels() -> usize {
+    1
+}
+
+/// NCCL's internal algorithm choice, reproduced at the fidelity the
+/// paper describes: rings are bandwidth-optimal and picked for large
+/// buffers, but only when the cluster *looks* homogeneous to NCCL's
+/// type-level view (same GPU generation everywhere); everything else
+/// falls back to the tree. The choice never consults measured
+/// bandwidth — that blindness is the point of the comparison.
+pub fn nccl_picks_ring(topo: &LogicalTopology, participants: &[Rank], tensor: ByteSize) -> bool {
+    if tensor < ByteSize::from_mib(16) {
+        return false;
+    }
+    // Homogeneity proxy visible to a type-level inspection: every
+    // instance hosts the same number of participating GPUs and the
+    // NVLink degree matches. (Our logical topology does not expose GPU
+    // models; equal shape is what NCCL's search effectively keys on.)
+    let by_inst = group_by_instance(topo, participants);
+    let mut sizes: Vec<usize> = by_inst.values().map(Vec::len).collect();
+    sizes.dedup();
+    if sizes.len() != 1 {
+        return false;
+    }
+    // NVLink degree of the first GPU per instance must match.
+    let degree = |r: Rank| {
+        topo.edges_from(LogicalNode::Gpu(r))
+            .iter()
+            .filter(|e| topo.edge(**e).kind == adapcc_topo::logical::EdgeKind::NvLink)
+            .count()
+    };
+    let mut degrees: Vec<usize> = by_inst.values().map(|m| degree(m[0])).collect();
+    degrees.dedup();
+    degrees.len() == 1
+}
+
+/// The rank-ordered multi-channel ring: channel `c` reduces along the
+/// ring starting at a rotated offset and broadcasts back, aggregating
+/// at every hop — NCCL's bandwidth-optimal algorithm for large
+/// homogeneous AllReduce.
+pub fn nccl_ring_strategy(
+    topo: &LogicalTopology,
+    primitive: Primitive,
+    participants: &[Rank],
+) -> Strategy {
+    let g = LogicalNode::Gpu;
+    let nic = LogicalNode::Nic;
+    let e = |a, b| topo.edge_between(a, b).expect("logical edge");
+    let inst = |r: Rank| adapcc_synth::solver::instance_of(topo, r);
+    let n = participants.len();
+    let channels = nccl_ring_channels().min(n.max(1));
+    let mut subs = Vec::with_capacity(channels);
+    for c in 0..channels {
+        // Rotated ring order; the chain root is the last element.
+        let order: Vec<Rank> = (0..n)
+            .map(|i| participants[(i + c * n / channels) % n])
+            .collect();
+        let root = *order.last().expect("non-empty ring");
+        // Edge chain between consecutive ring positions.
+        let hop = |a: Rank, b: Rank| -> Vec<adapcc_topo::logical::EdgeId> {
+            if inst(a) == inst(b) {
+                vec![e(g(a), g(b))]
+            } else {
+                vec![
+                    e(g(a), nic(inst(a))),
+                    e(nic(inst(a)), nic(inst(b))),
+                    e(nic(inst(b)), g(b)),
+                ]
+            }
+        };
+        let mut aggregate = BTreeMap::new();
+        for r in &order {
+            aggregate.insert(g(*r), true);
+        }
+        let mut flows = Vec::new();
+        for (p, r) in order.iter().enumerate() {
+            if *r == root {
+                continue;
+            }
+            let mut route = Vec::new();
+            for w in order[p..].windows(2) {
+                route.extend(hop(w[0], w[1]));
+            }
+            flows.push(Flow { src: g(*r), dst: g(root), route });
+        }
+        subs.push(SubCollective {
+            fraction: 1.0 / channels as f64,
+            chunk: nccl_chunk(),
+            root: Some(root),
+            flows,
+            aggregate,
+        });
+    }
+    let mut s = Strategy { primitive: Primitive::Reduce, subs };
+    match primitive {
+        Primitive::Broadcast => s.reversed(topo, Primitive::Broadcast),
+        other => {
+            s.primitive = other;
+            s
+        }
+    }
+}
+
+/// Builds the NCCL-like strategy for a primitive over all
+/// participants.
+///
+/// # Panics
+///
+/// Panics if `participants` is empty or a required logical edge is
+/// missing (cannot happen for detector-built topologies).
+pub fn nccl_strategy(
+    topo: &LogicalTopology,
+    primitive: Primitive,
+    participants: &[Rank],
+) -> Strategy {
+    assert!(!participants.is_empty(), "no participants");
+    match primitive {
+        Primitive::AllToAll => p2p_strategy(topo, participants, 1, nccl_chunk()),
+        Primitive::Broadcast => {
+            reduce_tree(topo, participants).reversed(topo, Primitive::Broadcast)
+        }
+        Primitive::Reduce | Primitive::AllReduce => {
+            let mut s = reduce_tree(topo, participants);
+            s.primitive = primitive;
+            s
+        }
+        other => panic!("nccl baseline does not model {other}"),
+    }
+}
+
+/// NCCL's full dispatch: ring for large homogeneous AllReduce, tree
+/// otherwise (the entry point the runner uses).
+pub fn nccl_strategy_sized(
+    topo: &LogicalTopology,
+    primitive: Primitive,
+    participants: &[Rank],
+    tensor: ByteSize,
+) -> Strategy {
+    if primitive == Primitive::AllReduce && nccl_picks_ring(topo, participants, tensor) {
+        nccl_ring_strategy(topo, primitive, participants)
+    } else {
+        nccl_strategy(topo, primitive, participants)
+    }
+}
+
+/// The rank-ordered single-channel reduce tree described above.
+fn reduce_tree(topo: &LogicalTopology, participants: &[Rank]) -> Strategy {
+    let g = LogicalNode::Gpu;
+    let nic = LogicalNode::Nic;
+    let by_inst = group_by_instance(topo, participants);
+    let insts: Vec<InstanceId> = by_inst.keys().copied().collect();
+    // Binary tree over instances in *rank order* (id order): parent of
+    // instance at position p is position (p-1)/2; root is position 0.
+    let pos_of = |inst: InstanceId| insts.iter().position(|i| *i == inst).expect("member");
+    // Local leader: the first local rank (the GPU nearest the NIC on
+    // our servers).
+    let leader = |inst: InstanceId| by_inst[&inst][0];
+    let root_inst = insts[0];
+    let root = leader(root_inst);
+    let e = |a, b| topo.edge_between(a, b).expect("logical edge");
+
+    let mut flows = Vec::new();
+    let mut aggregate = BTreeMap::new();
+    for (inst, members) in &by_inst {
+        // Single intra channel: chain members[n-1] -> ... -> members[0].
+        let chain = members.clone();
+        for (i, r) in chain.iter().enumerate() {
+            if *r == root {
+                continue;
+            }
+            let mut route = Vec::new();
+            let mut cursor = *r;
+            // Walk down the chain to the leader.
+            for next in chain[..i].iter().rev() {
+                route.push(e(g(cursor), g(*next)));
+                cursor = *next;
+            }
+            // Climb the instance tree to the root.
+            let mut here = *inst;
+            while here != root_inst {
+                let up = insts[(pos_of(here) - 1) / 2];
+                let up_leader = leader(up);
+                route.push(e(g(cursor), nic(here)));
+                route.push(e(nic(here), nic(up)));
+                route.push(e(nic(up), g(up_leader)));
+                cursor = up_leader;
+                here = up;
+            }
+            flows.push(Flow { src: g(*r), dst: g(root), route });
+        }
+        for r in members {
+            aggregate.insert(g(*r), true);
+        }
+    }
+    Strategy {
+        primitive: Primitive::Reduce,
+        subs: vec![SubCollective {
+            fraction: 1.0,
+            chunk: nccl_chunk(),
+            root: Some(root),
+            flows,
+            aggregate,
+        }],
+    }
+}
+
+/// Direct point-to-point flows (ncclSend/ncclRecv composition, also
+/// used by the MSCCL baseline with different parameters).
+pub fn p2p_strategy(
+    topo: &LogicalTopology,
+    participants: &[Rank],
+    channels: usize,
+    chunk: ByteSize,
+) -> Strategy {
+    let g = LogicalNode::Gpu;
+    let nic = LogicalNode::Nic;
+    let e = |a, b| topo.edge_between(a, b).expect("logical edge");
+    let inst = |r: Rank| adapcc_synth::solver::instance_of(topo, r);
+    let mut flows = Vec::new();
+    for &a in participants {
+        for &b in participants {
+            if a == b {
+                continue;
+            }
+            let (ia, ib) = (inst(a), inst(b));
+            let route: Vec<EdgeId> = if ia == ib {
+                vec![e(g(a), g(b))]
+            } else {
+                vec![e(g(a), nic(ia)), e(nic(ia), nic(ib)), e(nic(ib), g(b))]
+            };
+            flows.push(Flow { src: g(a), dst: g(b), route });
+        }
+    }
+    Strategy {
+        primitive: Primitive::AllToAll,
+        subs: (0..channels.max(1))
+            .map(|_| SubCollective {
+                fraction: 1.0 / channels.max(1) as f64,
+                chunk,
+                root: None,
+                flows: flows.clone(),
+                aggregate: BTreeMap::new(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapcc_simnet::cluster::Cluster;
+    use adapcc_topo::detect::Detector;
+
+    fn topo_for(c: &Cluster) -> LogicalTopology {
+        Detector::new(c, 1).run().logical_topology(c)
+    }
+
+    fn all(c: &Cluster) -> Vec<Rank> {
+        (0..c.gpu_count()).map(Rank).collect()
+    }
+
+    #[test]
+    fn single_channel_single_sub() {
+        let c = Cluster::paper_testbed();
+        let topo = topo_for(&c);
+        let s = nccl_strategy(&topo, Primitive::AllReduce, &all(&c));
+        assert_eq!(s.parallelism(), 1, "nccl uses one channel");
+        assert_eq!(s.validate(&topo), Ok(()));
+        assert_eq!(s.subs[0].flows.len(), 23);
+    }
+
+    #[test]
+    fn root_is_rank_zero_regardless_of_nic_speed() {
+        // Build a cluster whose *first* server is the slow one: NCCL
+        // still roots there (rank-order, bandwidth-blind).
+        let mut b = adapcc_simnet::cluster::ClusterBuilder::new();
+        b.add_instance(adapcc_simnet::hardware::InstanceSpec::v100_server());
+        b.add_instances(adapcc_simnet::hardware::InstanceSpec::a100_server(), 2);
+        let c = b.build();
+        let topo = topo_for(&c);
+        let s = nccl_strategy(&topo, Primitive::Reduce, &all(&c));
+        assert_eq!(s.subs[0].root, Some(Rank(0)));
+    }
+
+    #[test]
+    fn intra_chain_uses_single_channel() {
+        let c = Cluster::homogeneous_a100(1);
+        let topo = topo_for(&c);
+        let s = nccl_strategy(&topo, Primitive::Reduce, &all(&c));
+        // Chain 3->2->1->0: the deepest flow traverses three hops.
+        let longest = s.subs[0]
+            .flows
+            .iter()
+            .map(|f| f.route.len())
+            .max()
+            .unwrap();
+        assert_eq!(longest, 3);
+    }
+
+    #[test]
+    fn broadcast_reverses_cleanly() {
+        let c = Cluster::paper_testbed();
+        let topo = topo_for(&c);
+        let s = nccl_strategy(&topo, Primitive::Broadcast, &all(&c));
+        assert_eq!(s.validate(&topo), Ok(()));
+        assert!(s.subs[0].aggregate.is_empty());
+    }
+
+    #[test]
+    fn ring_is_picked_for_large_homogeneous_allreduce() {
+        let c = Cluster::homogeneous_a100(4);
+        let topo = topo_for(&c);
+        let ranks = all(&c);
+        assert!(nccl_picks_ring(&topo, &ranks, ByteSize::from_mib(256)));
+        assert!(!nccl_picks_ring(&topo, &ranks, ByteSize::from_mib(4)), "latency regime uses trees");
+        let hetero = Cluster::heterogeneous_2a100_2v100();
+        let th = topo_for(&hetero);
+        // Shape-wise identical hetero servers still pass NCCL's blind
+        // check — exactly the paper's criticism — but fragmented
+        // allocations do not.
+        let frag: Vec<Rank> = vec![Rank(0), Rank(1), Rank(4), Rank(5), Rank(8)];
+        assert!(!nccl_picks_ring(&th, &frag, ByteSize::from_mib(256)));
+    }
+
+    #[test]
+    fn ring_strategy_validates_and_chains_every_rank() {
+        let c = Cluster::homogeneous_a100(4);
+        let topo = topo_for(&c);
+        let s = nccl_ring_strategy(&topo, Primitive::AllReduce, &all(&c));
+        assert_eq!(s.parallelism(), nccl_ring_channels());
+        assert_eq!(s.validate(&topo), Ok(()));
+        // The deepest flow walks the whole ring.
+        let longest = s.subs[0].flows.iter().map(|f| f.route.len()).max().unwrap();
+        assert!(longest >= 15, "{longest}");
+    }
+
+    #[test]
+    fn sized_dispatch_switches_algorithms() {
+        let c = Cluster::homogeneous_a100(4);
+        let topo = topo_for(&c);
+        let ranks = all(&c);
+        let big = nccl_strategy_sized(&topo, Primitive::AllReduce, &ranks, ByteSize::from_mib(256));
+        let small = nccl_strategy_sized(&topo, Primitive::AllReduce, &ranks, ByteSize::from_mib(2));
+        assert_eq!(big.parallelism(), nccl_ring_channels());
+        assert_eq!(small.parallelism(), 1);
+    }
+
+    #[test]
+    fn alltoall_has_all_pairs_single_channel() {
+        let c = Cluster::homogeneous_a100(2);
+        let topo = topo_for(&c);
+        let s = nccl_strategy(&topo, Primitive::AllToAll, &all(&c));
+        assert_eq!(s.parallelism(), 1);
+        assert_eq!(s.subs[0].flows.len(), 8 * 7);
+        assert_eq!(s.validate(&topo), Ok(()));
+    }
+}

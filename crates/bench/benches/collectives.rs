@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks: one AllReduce per system on the same
+//! simulated fabric (wall-clock cost of the *simulation*, useful for
+//! tracking executor performance regressions).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use adapcc_baselines::runner::{Runner, System};
+use adapcc_bench::harness::profiled;
+use adapcc_simnet::cluster::{Cluster, Rank};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::Primitive;
+
+fn bench_collectives(c: &mut Criterion) {
+    let cluster = Cluster::homogeneous_a100(2);
+    let (topo, profile) = profiled(&cluster, 1);
+    let runner = Runner::new(&cluster, &topo, &profile);
+    let ranks: Vec<Rank> = (0..cluster.gpu_count()).map(Rank).collect();
+    let tensor = ByteSize::from_mib(32);
+    let mut group = c.benchmark_group("allreduce_32mib");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(12));
+    group.warm_up_time(Duration::from_secs(2));
+    for sys in System::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(sys.name()), &sys, |b, &sys| {
+            b.iter(|| {
+                runner.run(sys, Primitive::AllReduce, tensor, &ranks, &Default::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

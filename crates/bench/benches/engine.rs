@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks for the fluid transport engine: many
+//! contending flows with frequent rate recomputation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use adapcc_simnet::cluster::{Cluster, InstanceId};
+use adapcc_simnet::engine::NetSim;
+use adapcc_simnet::units::ByteSize;
+
+fn bench_engine(c: &mut Criterion) {
+    let cluster = Cluster::homogeneous_a100(4);
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(20);
+    group.bench_function("500_contending_transfers", |b| {
+        b.iter(|| {
+            let mut sim = NetSim::new(&cluster);
+            for i in 0..500u64 {
+                let from = InstanceId((i % 4) as usize);
+                let to = InstanceId(((i + 1 + i / 4) % 4) as usize);
+                if from != to {
+                    let path = cluster.net_path(from, to);
+                    sim.submit_transfer(&path, ByteSize::from_kib(256), i);
+                }
+            }
+            sim.drain().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks for the synthesizer: candidate
+//! generation + annealing, and a single cost-model evaluation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use adapcc_bench::harness::profiled;
+use adapcc_simnet::cluster::{Cluster, Rank};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::cost::CostModel;
+use adapcc_synth::solver::{SynthConfig, SynthRequest, Synthesizer};
+use adapcc_synth::Primitive;
+
+fn bench_solver(c: &mut Criterion) {
+    let cluster = Cluster::paper_testbed();
+    let (topo, profile) = profiled(&cluster, 1);
+    let ranks: Vec<Rank> = (0..cluster.gpu_count()).map(Rank).collect();
+    let tensor = ByteSize::from_mib(256);
+    let req = SynthRequest::new(Primitive::AllReduce, tensor, 4, ranks);
+
+    let mut group = c.benchmark_group("synthesizer");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(12));
+    group.warm_up_time(Duration::from_secs(2));
+    group.bench_function("generators_only", |b| {
+        b.iter(|| {
+            Synthesizer::new(&topo, &profile)
+                .with_config(SynthConfig { anneal_iters: 0, ..Default::default() })
+                .synthesize(&req)
+        })
+    });
+    group.bench_function("annealed_240", |b| {
+        b.iter(|| Synthesizer::new(&topo, &profile).synthesize(&req))
+    });
+    let strategy = Synthesizer::new(&topo, &profile).synthesize(&req);
+    let model = CostModel::new(&topo, &profile);
+    group.bench_function("cost_model_evaluate", |b| {
+        b.iter(|| model.evaluate(&strategy, tensor))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! `adapcc-sim`: run one collective on a simulated cluster from the
+//! command line.
+//!
+//! ```text
+//! cargo run --release -p adapcc-bench --bin adapcc_sim -- \
+//!     --servers a100:4,v100:2 --primitive allreduce --size-mib 256 --describe
+//! ```
+
+use adapcc_baselines::runner::{Runner, System};
+use adapcc_bench::cli::{build_cluster, parse_args};
+use adapcc_bench::harness::profiled;
+use adapcc_simnet::cluster::Rank;
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.starts_with("adapcc-sim") { 0 } else { 2 });
+        }
+    };
+    let cluster = build_cluster(&args);
+    println!(
+        "cluster: {} servers / {} GPUs ({})",
+        cluster.instance_count(),
+        cluster.gpu_count(),
+        if args.tcp { "TCP" } else { "RDMA" }
+    );
+    let (topo, profile) = profiled(&cluster, 1);
+    let runner = Runner::new(&cluster, &topo, &profile).with_parallelism(args.parallelism);
+    let ranks: Vec<Rank> = (0..cluster.gpu_count()).map(Rank).collect();
+    if args.describe && args.system != System::Blink {
+        let strategy = runner.strategy(args.system, args.primitive, args.tensor, &ranks);
+        print!("{}", adapcc_synth::describe(&topo, &strategy));
+    }
+    let report = runner.run(args.system, args.primitive, args.tensor, &ranks, &Default::default());
+    println!(
+        "{} {} of {}: {} ({:.2} GB/s algorithm bandwidth)",
+        args.system.name(),
+        args.primitive,
+        args.tensor,
+        report.comm_time,
+        report.algo_bw_gbytes
+    );
+}

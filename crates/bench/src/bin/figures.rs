@@ -1,0 +1,56 @@
+//! Regenerates the paper's tables and figures on the simulated
+//! testbed. Run everything or name specific figures:
+//!
+//! ```text
+//! cargo run --release -p adapcc-bench --bin figures
+//! cargo run --release -p adapcc-bench --bin figures -- fig11 fig12
+//! cargo run --release -p adapcc-bench --bin figures -- --write-md
+//! ```
+//!
+//! `--write-md` additionally rewrites EXPERIMENTS.md in the repository
+//! root with the freshly measured results.
+
+use std::fmt::Write as _;
+
+use adapcc_bench::{figure_names, run_figure};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let write_md = args.iter().any(|a| a == "--write-md");
+    args.retain(|a| a != "--write-md");
+    let targets: Vec<&str> = if args.is_empty() {
+        figure_names()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut md = String::new();
+    for (i, name) in targets.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        println!("================================================================");
+        let start = std::time::Instant::now();
+        let lines = run_figure(name);
+        for line in &lines {
+            println!("{line}");
+        }
+        eprintln!("[{name} took {:.1}s]", start.elapsed().as_secs_f64());
+        let _ = writeln!(md, "\n## {name}\n\n```text");
+        for line in &lines {
+            let _ = writeln!(md, "{line}");
+        }
+        let _ = writeln!(md, "```");
+    }
+    if write_md {
+        let header = include_str!("../experiments_header.md");
+        let body = format!("{header}{md}");
+        std::fs::write(md_path(), body).expect("write EXPERIMENTS.md");
+        eprintln!("wrote {}", md_path());
+    }
+}
+
+/// EXPERIMENTS.md lives at the workspace root, two levels above this
+/// crate.
+fn md_path() -> &'static str {
+    "EXPERIMENTS.md"
+}

@@ -1,0 +1,215 @@
+//! Argument parsing for the `adapcc-sim` command-line tool (no
+//! external CLI dependency).
+
+use adapcc_baselines::runner::System;
+use adapcc_simnet::cluster::{Cluster, ClusterBuilder};
+use adapcc_simnet::hardware::InstanceSpec;
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::Primitive;
+
+/// A parsed `adapcc-sim` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimArgs {
+    /// Server fleet, e.g. `a100:4,v100:2`.
+    pub servers: Vec<(ServerKind, usize)>,
+    /// Use TCP instead of RDMA.
+    pub tcp: bool,
+    /// The collective to run.
+    pub primitive: Primitive,
+    /// Per-rank tensor size.
+    pub tensor: ByteSize,
+    /// The system under test.
+    pub system: System,
+    /// AdapCC parallelism (`M`).
+    pub parallelism: usize,
+    /// Print the synthesized strategy.
+    pub describe: bool,
+}
+
+/// Server model selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerKind {
+    /// 4x A100, PCIe 4.0, 100 Gbps NIC.
+    A100,
+    /// 4x V100, PCIe 3.0, 50 Gbps NIC.
+    V100,
+}
+
+impl Default for SimArgs {
+    fn default() -> Self {
+        SimArgs {
+            servers: vec![(ServerKind::A100, 2)],
+            tcp: false,
+            primitive: Primitive::AllReduce,
+            tensor: ByteSize::from_mib(256),
+            system: System::AdapCc,
+            parallelism: 4,
+            describe: false,
+        }
+    }
+}
+
+/// The usage string printed on `--help` or a parse error.
+pub fn usage() -> &'static str {
+    "adapcc-sim: run one collective on a simulated cluster\n\
+     \n\
+     options:\n\
+       --servers a100:4,v100:2   server fleet (default a100:2)\n\
+       --tcp                     kernel TCP instead of RDMA\n\
+       --primitive P             reduce|broadcast|allreduce|alltoall (default allreduce)\n\
+       --size-mib N              per-rank tensor MiB (default 256)\n\
+       --system S                adapcc|nccl|msccl|blink (default adapcc)\n\
+       --parallelism M           AdapCC sub-collectives (default 4)\n\
+       --describe                print the synthesized strategy\n\
+       --help                    this message"
+}
+
+/// Parses command-line style arguments.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags or malformed
+/// values (`--help` also arrives as an `Err` carrying the usage text).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<SimArgs, String> {
+    let mut out = SimArgs::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} expects a value\n\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(usage().to_string()),
+            "--tcp" => out.tcp = true,
+            "--describe" => out.describe = true,
+            "--servers" => out.servers = parse_servers(&value("--servers")?)?,
+            "--primitive" => {
+                out.primitive = match value("--primitive")?.as_str() {
+                    "reduce" => Primitive::Reduce,
+                    "broadcast" => Primitive::Broadcast,
+                    "allreduce" => Primitive::AllReduce,
+                    "alltoall" => Primitive::AllToAll,
+                    other => return Err(format!("unknown primitive {other}\n\n{}", usage())),
+                }
+            }
+            "--size-mib" => {
+                let n: u64 = value("--size-mib")?
+                    .parse()
+                    .map_err(|_| "size-mib expects an integer".to_string())?;
+                if n == 0 {
+                    return Err("size-mib must be positive".into());
+                }
+                out.tensor = ByteSize::from_mib(n);
+            }
+            "--system" => {
+                out.system = match value("--system")?.as_str() {
+                    "adapcc" => System::AdapCc,
+                    "nccl" => System::Nccl,
+                    "msccl" => System::Msccl,
+                    "blink" => System::Blink,
+                    other => return Err(format!("unknown system {other}\n\n{}", usage())),
+                }
+            }
+            "--parallelism" => {
+                let m: usize = value("--parallelism")?
+                    .parse()
+                    .map_err(|_| "parallelism expects an integer".to_string())?;
+                if m == 0 {
+                    return Err("parallelism must be positive".into());
+                }
+                out.parallelism = m;
+            }
+            other => return Err(format!("unknown flag {other}\n\n{}", usage())),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_servers(spec: &str) -> Result<Vec<(ServerKind, usize)>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let (kind, count) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad server spec `{part}` (want kind:count)"))?;
+        let kind = match kind {
+            "a100" => ServerKind::A100,
+            "v100" => ServerKind::V100,
+            other => return Err(format!("unknown server kind {other}")),
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("bad server count in `{part}`"))?;
+        if count == 0 {
+            return Err(format!("zero servers in `{part}`"));
+        }
+        out.push((kind, count));
+    }
+    if out.is_empty() {
+        return Err("empty server spec".into());
+    }
+    Ok(out)
+}
+
+/// Materializes the cluster described by the arguments.
+pub fn build_cluster(args: &SimArgs) -> Cluster {
+    let mut b = ClusterBuilder::new();
+    for (kind, count) in &args.servers {
+        let spec = match kind {
+            ServerKind::A100 => InstanceSpec::a100_server(),
+            ServerKind::V100 => InstanceSpec::v100_server(),
+        };
+        let spec = if args.tcp { spec.with_tcp() } else { spec };
+        b.add_instances(spec, *count);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<SimArgs, String> {
+        parse_args(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, SimArgs::default());
+    }
+
+    #[test]
+    fn full_invocation() {
+        let a = parse(&[
+            "--servers", "a100:4,v100:2", "--tcp", "--primitive", "alltoall",
+            "--size-mib", "64", "--system", "msccl", "--parallelism", "2", "--describe",
+        ])
+        .unwrap();
+        assert_eq!(a.servers, vec![(ServerKind::A100, 4), (ServerKind::V100, 2)]);
+        assert!(a.tcp);
+        assert_eq!(a.primitive, Primitive::AllToAll);
+        assert_eq!(a.tensor, ByteSize::from_mib(64));
+        assert_eq!(a.system, System::Msccl);
+        assert_eq!(a.parallelism, 2);
+        assert!(a.describe);
+        let cluster = build_cluster(&a);
+        assert_eq!(cluster.gpu_count(), 24);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&["--servers", "h200:1"]).is_err());
+        assert!(parse(&["--servers", "a100"]).is_err());
+        assert!(parse(&["--size-mib", "zero"]).is_err());
+        assert!(parse(&["--size-mib", "0"]).is_err());
+        assert!(parse(&["--primitive", "gather"]).is_err());
+        assert!(parse(&["--banana"]).is_err());
+        assert!(parse(&["--system"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn help_carries_usage() {
+        let err = parse(&["--help"]).unwrap_err();
+        assert!(err.contains("--servers"));
+    }
+}

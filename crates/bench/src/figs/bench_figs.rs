@@ -1,0 +1,121 @@
+//! Figures 11-13: algorithm bandwidth of Reduce, AllReduce and
+//! AlltoAll across GPU configurations and systems, and Fig. 19(a):
+//! the parallelization-degree sweep.
+
+use std::collections::BTreeMap;
+
+use adapcc_baselines::runner::{Runner, System};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::primitive::Primitive;
+
+use crate::harness::{benchmark_cases, geomean, header, profiled, row};
+
+/// Tensor size of the paper's benchmarks (256 MB float).
+fn bench_tensor() -> ByteSize {
+    ByteSize::from_mib(256)
+}
+
+/// One collective-bandwidth figure: per case, Algo.bw for each system.
+pub fn algo_bandwidth_figure(primitive: Primitive, include_blink: bool) -> Vec<String> {
+    let mut out = Vec::new();
+    let systems: Vec<System> = System::all()
+        .into_iter()
+        .filter(|s| include_blink || *s != System::Blink)
+        .collect();
+    let names: Vec<&str> = systems.iter().map(|s| s.name()).collect();
+    out.push(header("GPUs in the collective", &names));
+    let mut ratios: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for case in benchmark_cases() {
+        let (topo, profile) = profiled(&case.cluster, 1);
+        let runner = Runner::new(&case.cluster, &topo, &profile);
+        let mut values = Vec::new();
+        let mut by_system = BTreeMap::new();
+        for sys in &systems {
+            let r = runner.run(*sys, primitive, bench_tensor(), &case.participants, &Default::default());
+            values.push(r.algo_bw_gbytes);
+            by_system.insert(sys.name(), r.algo_bw_gbytes);
+        }
+        for sys in &systems {
+            if *sys != System::AdapCc {
+                ratios
+                    .entry(sys.name())
+                    .or_default()
+                    .push(by_system["AdapCC"] / by_system[sys.name()]);
+            }
+        }
+        out.push(row(&case.label, &values));
+    }
+    out.push(String::new());
+    for (name, r) in &ratios {
+        out.push(format!(
+            "AdapCC speed-up over {name}: {:.2}x-{:.2}x ({:.2}x geo-mean)",
+            r.iter().copied().fold(f64::INFINITY, f64::min),
+            r.iter().copied().fold(0.0, f64::max),
+            geomean(r)
+        ));
+    }
+    out
+}
+
+/// Fig. 11: Reduce algorithm bandwidth (GB/s).
+pub fn fig11() -> Vec<String> {
+    let mut out = vec!["Fig. 11 — Reduce Algo.bw (GB/s), 256 MB float".into()];
+    out.extend(algo_bandwidth_figure(Primitive::Reduce, true));
+    out
+}
+
+/// Fig. 12: AllReduce algorithm bandwidth (GB/s).
+pub fn fig12() -> Vec<String> {
+    let mut out = vec!["Fig. 12 — AllReduce Algo.bw (GB/s), 256 MB float".into()];
+    out.extend(algo_bandwidth_figure(Primitive::AllReduce, true));
+    out
+}
+
+/// Fig. 13: AlltoAll algorithm bandwidth (no Blink: it does not
+/// support multi-server AlltoAll).
+pub fn fig13() -> Vec<String> {
+    let mut out = vec!["Fig. 13 — AlltoAll Algo.bw (GB/s), 256 MB float".into()];
+    out.extend(algo_bandwidth_figure(Primitive::AllToAll, false));
+    out
+}
+
+/// Fig. 19(a): AdapCC speed-up over NCCL versus the number of parallel
+/// sub-collectives `M` (VGG16-sized AllReduce). Run on the TCP
+/// testbed: parallel sub-collectives pay off where per-stream limits
+/// bind, which on RDMA they do not (a single queue pair saturates the
+/// NIC — the RDMA sweep is flat in this model).
+pub fn fig19a() -> Vec<String> {
+    let mut out =
+        vec!["Fig. 19(a) — communication speed-up over NCCL vs parallelization degree M (TCP testbed)".into()];
+    let case = {
+        use adapcc_simnet::cluster::ClusterBuilder;
+        use adapcc_simnet::hardware::InstanceSpec;
+        let mut b = ClusterBuilder::new();
+        b.add_instances(InstanceSpec::a100_server().with_tcp(), 4);
+        b.add_instances(InstanceSpec::v100_server().with_tcp(), 2);
+        let cluster = b.build();
+        let participants = (0..cluster.gpu_count()).map(adapcc_simnet::cluster::Rank).collect();
+        crate::harness::GpuCase {
+            label: "A100:(4,4,4,4) V100:(4,4) TCP".into(),
+            cluster,
+            participants,
+        }
+    };
+    let (topo, profile) = profiled(&case.cluster, 1);
+    let tensor = ByteSize::from_mib(528); // VGG16 gradients
+    let base = Runner::new(&case.cluster, &topo, &profile);
+    let nccl = base
+        .run(System::Nccl, Primitive::AllReduce, tensor, &case.participants, &Default::default())
+        .comm_time
+        .as_secs();
+    out.push(header("M", &["speed-up"]));
+    for m in [1usize, 2, 4, 8] {
+        let runner = base.clone().with_parallelism(m);
+        let ours = runner
+            .run(System::AdapCc, Primitive::AllReduce, tensor, &case.participants, &Default::default())
+            .comm_time
+            .as_secs();
+        out.push(row(&format!("M = {m}"), &[nccl / ours]));
+    }
+    out
+}

@@ -1,0 +1,63 @@
+//! Fig. 1 (cloud network variability) and Fig. 3(b) (wait-time ratio
+//! CDF).
+
+use adapcc_simnet::cluster::Cluster;
+use adapcc_simnet::time::SimTime;
+use adapcc_simnet::trace::CloudTrace;
+use adapcc_train::trainer::{train, Backend, TrainConfig};
+use adapcc_train::workload::DnnModel;
+
+use crate::harness::{header, percentile, row};
+
+/// Fig. 1: bandwidth/latency of a cloud instance pair over six hours.
+pub fn fig1() -> Vec<String> {
+    let mut out = vec![
+        "Fig. 1 — measured network performance between two cloud instances (6 h)".into(),
+    ];
+    let trace = CloudTrace::synthesize(42, 6.0 * 3600.0, 60.0);
+    out.push(header("time", &["bw factor", "lat factor"]));
+    for minutes in (0..=360).step_by(45) {
+        let p = trace.sample(SimTime::from_secs(minutes as f64 * 60.0));
+        out.push(row(
+            &format!("t = {minutes:>3} min"),
+            &[p.bandwidth_factor, p.latency_factor],
+        ));
+    }
+    let stats = trace.stats();
+    out.push(String::new());
+    out.push(format!(
+        "worst bandwidth degradation: {:.0}% (paper: 34%); worst latency degradation: {:.0}% (paper: 17%)",
+        stats.worst_bandwidth_degradation * 100.0,
+        stats.worst_latency_degradation * 100.0
+    ));
+    out
+}
+
+/// Fig. 3(b): CDF of the wait-time ratio in GPT-2 training,
+/// heterogeneous versus homogeneous clusters.
+pub fn fig3b() -> Vec<String> {
+    let mut out = vec![
+        "Fig. 3(b) — CDF of wait-time ratio, GPT-2 (batch 16), AllReduce per iteration".into(),
+    ];
+    let iters = 40;
+    let settings = [
+        ("heterogeneous (2xA100 + 2xV100)", Cluster::heterogeneous_2a100_2v100()),
+        ("homogeneous (4xA100)", Cluster::homogeneous_a100(4)),
+    ];
+    let percentiles = [10.0, 25.0, 50.0, 75.0, 90.0];
+    let labels: Vec<String> = percentiles.iter().map(|p| format!("p{p:.0}")).collect();
+    let cols: Vec<&str> = labels.iter().map(String::as_str).collect();
+    out.push(header("setting", &cols));
+    for (label, cluster) in settings {
+        let report = train(
+            &cluster,
+            &TrainConfig::new(DnnModel::Gpt2, Backend::AdapCcWaitAll, iters),
+        );
+        let ratios: Vec<f64> = report.iterations.iter().map(|i| i.wait_ratio).collect();
+        let values: Vec<f64> = percentiles.iter().map(|p| percentile(&ratios, *p)).collect();
+        out.push(row(label, &values));
+    }
+    out.push(String::new());
+    out.push("paper: hetero median > 0.23, homo median > 0.10".into());
+    out
+}

@@ -1,0 +1,6 @@
+//! One module per group of reproduced figures.
+
+pub mod bench_figs;
+pub mod env_figs;
+pub mod micro_figs;
+pub mod train_figs;

@@ -1,0 +1,161 @@
+//! Shared infrastructure for the figure harnesses: the paper's GPU
+//! configuration cases, profiled-environment setup, and table
+//! formatting.
+
+use adapcc_profile::profiler::{LinkProfile, Profiler};
+use adapcc_simnet::cluster::{Cluster, ClusterBuilder, InstanceId, Rank};
+use adapcc_simnet::hardware::InstanceSpec;
+use adapcc_topo::detect::Detector;
+use adapcc_topo::logical::LogicalTopology;
+
+/// One x-axis case of Figs. 11-13: which GPUs participate.
+#[derive(Debug, Clone)]
+pub struct GpuCase {
+    /// Paper-style label, e.g. `A100:(4,4,4,4) V100:(4,4)`.
+    pub label: String,
+    /// The backing cluster.
+    pub cluster: Cluster,
+    /// Participating ranks (may be a subset of the installed GPUs —
+    /// the resource-fragmentation cases).
+    pub participants: Vec<Rank>,
+}
+
+/// Builds a case from per-server participating-GPU counts.
+///
+/// # Panics
+///
+/// Panics if any count exceeds the GPUs installed on its server.
+pub fn case(a100_counts: &[usize], v100_counts: &[usize]) -> GpuCase {
+    let mut b = ClusterBuilder::new();
+    b.add_instances(InstanceSpec::a100_server(), a100_counts.len());
+    b.add_instances(InstanceSpec::v100_server(), v100_counts.len());
+    let cluster = b.build();
+    let mut participants = Vec::new();
+    for (i, &k) in a100_counts.iter().chain(v100_counts).enumerate() {
+        let inst = InstanceId(i);
+        assert!(k <= cluster.gpus_on(inst), "case uses more GPUs than installed");
+        for l in 0..k {
+            participants.push(cluster.rank_of(inst, l));
+        }
+    }
+    let fmt = |counts: &[usize]| {
+        counts
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let mut label = String::new();
+    if !a100_counts.is_empty() {
+        label.push_str(&format!("A100:({})", fmt(a100_counts)));
+    }
+    if !v100_counts.is_empty() {
+        if !label.is_empty() {
+            label.push(' ');
+        }
+        label.push_str(&format!("V100:({})", fmt(v100_counts)));
+    }
+    GpuCase {
+        label,
+        cluster,
+        participants,
+    }
+}
+
+/// The six GPU cases the benchmark figures sweep (mirroring the
+/// paper's x axes: homogeneous, fully heterogeneous, fragmented).
+pub fn benchmark_cases() -> Vec<GpuCase> {
+    vec![
+        case(&[4, 4], &[]),
+        case(&[4, 4, 4, 4], &[]),
+        case(&[4, 4], &[4, 4]),
+        case(&[4, 4, 4, 4], &[4, 4]),
+        case(&[2, 2, 2, 2], &[2, 2]),
+        case(&[3, 3, 3, 3], &[3, 3]),
+    ]
+}
+
+/// Detects and profiles a cluster (the control-path preamble every
+/// experiment shares).
+pub fn profiled(cluster: &Cluster, seed: u64) -> (LogicalTopology, LinkProfile) {
+    let topo = Detector::new(cluster, seed).run().logical_topology(cluster);
+    let profile = Profiler::new(cluster, &topo, seed).run().links;
+    (topo, profile)
+}
+
+/// Renders one table row with fixed-width numeric columns.
+pub fn row(label: &str, values: &[f64]) -> String {
+    let mut s = format!("{label:<28}");
+    for v in values {
+        s.push_str(&format!(" {v:>10.2}"));
+    }
+    s
+}
+
+/// Renders a table header.
+pub fn header(label: &str, columns: &[&str]) -> String {
+    let mut s = format!("{label:<28}");
+    for c in columns {
+        s.push_str(&format!(" {c:>10}"));
+    }
+    s
+}
+
+/// Geometric mean of ratios.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Percentile of a sample (nearest-rank).
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "empty sample");
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+    v[idx.min(v.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_builder_counts_participants() {
+        let c = case(&[4, 4], &[2, 2]);
+        assert_eq!(c.participants.len(), 12);
+        assert_eq!(c.label, "A100:(4,4) V100:(2,2)");
+        assert_eq!(c.cluster.instance_count(), 4);
+    }
+
+    #[test]
+    fn fragmented_case_uses_low_locals() {
+        let c = case(&[2], &[]);
+        assert_eq!(c.participants, vec![Rank(0), Rank(1)]);
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+    }
+
+    #[test]
+    fn all_benchmark_cases_valid() {
+        for c in benchmark_cases() {
+            assert!(!c.participants.is_empty());
+            assert!(c.participants.len() <= c.cluster.gpu_count());
+        }
+    }
+}

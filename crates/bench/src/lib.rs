@@ -1,0 +1,57 @@
+//! # adapcc-bench
+//!
+//! The figure-reproduction harness: one routine per table/figure of
+//! the AdapCC paper's evaluation (Sec. VI), all runnable through the
+//! `figures` binary:
+//!
+//! ```text
+//! cargo run --release -p adapcc-bench --bin figures            # everything
+//! cargo run --release -p adapcc-bench --bin figures -- fig12   # one figure
+//! ```
+//!
+//! See DESIGN.md for the experiment index and EXPERIMENTS.md for
+//! paper-versus-measured results.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cli;
+pub mod figs;
+pub mod harness;
+
+use adapcc_train::workload::DnnModel;
+
+/// All figure names, in paper order.
+pub fn figure_names() -> Vec<&'static str> {
+    vec![
+        "fig1", "fig3b", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+        "fig18a", "fig18b", "fig19a", "fig19b", "fig19c", "fig19d", "ablation",
+    ]
+}
+
+/// Runs one figure harness by name and returns its printed lines.
+///
+/// # Panics
+///
+/// Panics on an unknown figure name (see [`figure_names`]).
+pub fn run_figure(name: &str) -> Vec<String> {
+    match name {
+        "fig1" => figs::env_figs::fig1(),
+        "fig3b" => figs::env_figs::fig3b(),
+        "fig11" => figs::bench_figs::fig11(),
+        "fig12" => figs::bench_figs::fig12(),
+        "fig13" => figs::bench_figs::fig13(),
+        "fig14" => figs::train_figs::fig14(),
+        "fig15" => figs::train_figs::fig15(),
+        "fig16" => figs::train_figs::fig16_17(DnnModel::Gpt2, &[8, 16, 24, 32]),
+        "fig17" => figs::train_figs::fig16_17(DnnModel::Vit, &[64, 128, 192, 256]),
+        "fig18a" => figs::train_figs::fig18a(),
+        "fig18b" => figs::train_figs::fig18b(),
+        "fig19a" => figs::bench_figs::fig19a(),
+        "fig19b" => figs::micro_figs::fig19b(),
+        "fig19c" => figs::micro_figs::fig19c(),
+        "fig19d" => figs::micro_figs::fig19d(),
+        "ablation" => figs::micro_figs::ablation(),
+        other => panic!("unknown figure {other}; known: {:?}", figure_names()),
+    }
+}

@@ -1,0 +1,43 @@
+//! Smoke tests: every quick figure harness runs and emits sane rows.
+//! The long harnesses (fig11-18) are exercised by the figures binary;
+//! here we cover the cheap ones plus the shared plumbing.
+
+use adapcc_bench::{figure_names, run_figure};
+
+#[test]
+fn figure_registry_is_complete() {
+    let names = figure_names();
+    assert_eq!(names.len(), 16);
+    assert!(names.contains(&"fig19b"));
+    assert!(names.contains(&"ablation"));
+}
+
+#[test]
+fn fig1_reports_paper_degradations() {
+    let lines = run_figure("fig1");
+    let tail = lines.last().unwrap();
+    assert!(tail.contains("34%"), "{tail}");
+    assert!(tail.contains("17%"), "{tail}");
+}
+
+#[test]
+fn fig19d_p90_is_under_paper_bound() {
+    let lines = run_figure("fig19d");
+    let p90_line = lines.iter().find(|l| l.contains("p90 =")).unwrap();
+    let value: f64 = p90_line
+        .split("p90 = ")
+        .nth(1)
+        .unwrap()
+        .split(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(value < 1.5, "p90 {value} ms");
+}
+
+#[test]
+#[should_panic(expected = "unknown figure")]
+fn unknown_figure_panics() {
+    let _ = run_figure("fig99");
+}

@@ -1,0 +1,263 @@
+//! GPU behaviour abstraction (paper Sec. IV-C, "3-GPU Behavior
+//! Abstraction").
+//!
+//! On a fixed communication graph with an arbitrary set of ready
+//! workers, each GPU's role is fully described by the four-tuple
+//! `<isActive, hasRecv, hasKernel, hasSend>`. The communicator derives
+//! the tuple from the shared graph and the coordinator's active list —
+//! no graph reconstruction is needed to change who relays and who
+//! aggregates.
+
+use std::collections::{BTreeMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use adapcc_simnet::cluster::Rank;
+use adapcc_synth::strategy::SubCollective;
+use adapcc_topo::logical::{LogicalNode, LogicalTopology};
+
+/// The paper's four-tuple describing a GPU's role on a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BehaviorTuple {
+    /// The worker is ready and contributes its own tensor (not a relay).
+    pub is_active: bool,
+    /// The GPU must wait to receive data from at least one predecessor
+    /// (set when any upstream node, recursively, has data to send).
+    pub has_recv: bool,
+    /// An aggregation kernel is launched to combine received and local
+    /// chunks.
+    pub has_kernel: bool,
+    /// The GPU launches send events to its successor.
+    pub has_send: bool,
+}
+
+impl BehaviorTuple {
+    /// A completely idle role (not participating at all).
+    pub const IDLE: BehaviorTuple = BehaviorTuple {
+        is_active: false,
+        has_recv: false,
+        has_kernel: false,
+        has_send: false,
+    };
+}
+
+impl std::fmt::Display for BehaviorTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "<{}, {}, {}, {}>",
+            u8::from(self.is_active),
+            u8::from(self.has_recv),
+            u8::from(self.has_kernel),
+            u8::from(self.has_send)
+        )
+    }
+}
+
+/// Derives the behaviour tuple of every GPU on one sub-collective
+/// graph, given the set of active (ready, data-contributing) ranks.
+///
+/// Rules (paper Sec. IV-C):
+/// * `isActive` — the rank is in the active set.
+/// * `hasRecv` — recursively, some predecessor on the graph is active
+///   (has data to send toward this node).
+/// * `hasKernel` — the sub-collective aggregates at this node, unless
+///   (1) `hasRecv` is unset, (2) the node is an inactive relay with
+///   only one active upstream branch (pure forwarding), or (3) the
+///   synthesizer cleared the node's aggregation flag.
+/// * `hasSend` — the node has a successor on some flow and either is
+///   active or receives data to forward.
+///
+/// Nodes that are not GPUs (NICs) are skipped — their forwarding has no
+/// software role to configure.
+pub fn derive_behaviors(
+    topo: &LogicalTopology,
+    sub: &SubCollective,
+    active: &[Rank],
+) -> BTreeMap<Rank, BehaviorTuple> {
+    let active_set: HashSet<Rank> = active.iter().copied().collect();
+    // Build node-level adjacency from the flows.
+    let mut preds: BTreeMap<LogicalNode, HashSet<LogicalNode>> = BTreeMap::new();
+    let mut succs: BTreeMap<LogicalNode, HashSet<LogicalNode>> = BTreeMap::new();
+    let mut nodes: Vec<LogicalNode> = Vec::new();
+    let mut seen = HashSet::new();
+    for f in &sub.flows {
+        let path = f.nodes(topo);
+        for n in &path {
+            if seen.insert(*n) {
+                nodes.push(*n);
+            }
+        }
+        for w in path.windows(2) {
+            preds.entry(w[1]).or_default().insert(w[0]);
+            succs.entry(w[0]).or_default().insert(w[1]);
+        }
+    }
+    // "Upstream has data": fixpoint — a node feeds data if it is an
+    // active GPU or any predecessor feeds data.
+    let mut feeds: BTreeMap<LogicalNode, bool> = nodes
+        .iter()
+        .map(|n| {
+            let is_active_gpu = matches!(n, LogicalNode::Gpu(r) if active_set.contains(r));
+            (*n, is_active_gpu)
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for n in &nodes {
+            if feeds[n] {
+                continue;
+            }
+            let any = preds
+                .get(n)
+                .is_some_and(|ps| ps.iter().any(|p| feeds.get(p).copied().unwrap_or(false)));
+            if any {
+                feeds.insert(*n, true);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = BTreeMap::new();
+    for n in &nodes {
+        let LogicalNode::Gpu(rank) = n else { continue };
+        let is_active = active_set.contains(rank);
+        let active_preds = preds
+            .get(n)
+            .map(|ps| {
+                ps.iter()
+                    .filter(|p| feeds.get(*p).copied().unwrap_or(false))
+                    .count()
+            })
+            .unwrap_or(0);
+        let has_recv = active_preds > 0;
+        let has_succ = succs.get(n).is_some_and(|s| !s.is_empty());
+        let has_send = has_succ && (is_active || has_recv);
+        let aggregation_requested = sub.aggregates_at(*n);
+        // Written to mirror the paper's three exception clauses for
+        // hasKernel verbatim, not minimized boolean algebra.
+        #[allow(clippy::nonminimal_bool)]
+        let has_kernel = aggregation_requested
+            && has_recv
+            && !(!is_active && active_preds == 1);
+        out.insert(
+            *rank,
+            BehaviorTuple {
+                is_active,
+                has_recv,
+                has_kernel,
+                has_send,
+            },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapcc_simnet::cluster::Cluster;
+    use adapcc_simnet::units::ByteSize;
+    use adapcc_synth::strategy::Flow;
+    use adapcc_topo::detect::Detector;
+
+    /// Rebuild the paper's Fig. 7 example: a 4-GPU reduce chain
+    /// 3 -> 1 -> 0 and 2 -> 1 -> 0, with GPU1 acting as a relay.
+    fn fig7(topo: &LogicalTopology) -> SubCollective {
+        let g = |r: usize| LogicalNode::Gpu(Rank(r));
+        let e = |a, b| topo.edge_between(a, b).expect("edge");
+        let flows = vec![
+            Flow { src: g(2), dst: g(0), route: vec![e(g(2), g(1)), e(g(1), g(0))] },
+            Flow { src: g(3), dst: g(0), route: vec![e(g(3), g(1)), e(g(1), g(0))] },
+        ];
+        let mut aggregate = BTreeMap::new();
+        aggregate.insert(g(1), true);
+        aggregate.insert(g(0), true);
+        SubCollective {
+            fraction: 1.0,
+            chunk: ByteSize::from_mib(1),
+            root: Some(Rank(0)),
+            flows,
+            aggregate,
+        }
+    }
+
+    fn setup() -> (Cluster, LogicalTopology) {
+        let c = Cluster::homogeneous_a100(1);
+        let t = Detector::new(&c, 1).run().logical_topology(&c);
+        (c, t)
+    }
+
+    #[test]
+    fn fig7_all_active() {
+        let (_c, topo) = setup();
+        let sub = fig7(&topo);
+        let b = derive_behaviors(&topo, &sub, &[Rank(0), Rank(1), Rank(2), Rank(3)]);
+        // GPU1 is active and aggregates two inflows.
+        assert_eq!(
+            b[&Rank(1)],
+            BehaviorTuple { is_active: true, has_recv: true, has_kernel: true, has_send: true }
+        );
+        // Root receives, aggregates, does not send.
+        assert_eq!(
+            b[&Rank(0)],
+            BehaviorTuple { is_active: true, has_recv: true, has_kernel: true, has_send: false }
+        );
+        // Leaves only send.
+        assert_eq!(
+            b[&Rank(3)],
+            BehaviorTuple { is_active: true, has_recv: false, has_kernel: false, has_send: true }
+        );
+    }
+
+    #[test]
+    fn fig7_gpu1_as_relay() {
+        let (_c, topo) = setup();
+        let sub = fig7(&topo);
+        // GPU1 not ready: it relays 2 and 3 but contributes nothing.
+        let b = derive_behaviors(&topo, &sub, &[Rank(0), Rank(2), Rank(3)]);
+        assert_eq!(
+            b[&Rank(1)],
+            BehaviorTuple { is_active: false, has_recv: true, has_kernel: true, has_send: true },
+            "a relay with two active inflows still aggregates them"
+        );
+    }
+
+    #[test]
+    fn relay_with_single_active_inflow_forwards_without_kernel() {
+        let (_c, topo) = setup();
+        let sub = fig7(&topo);
+        // Only GPU3 is ready upstream of the relay: pure forwarding
+        // (paper: "GPU1 does not need to launch the aggregation kernel
+        // but can directly relay traffic from GPU3 to GPU0").
+        let b = derive_behaviors(&topo, &sub, &[Rank(0), Rank(3)]);
+        assert_eq!(
+            b[&Rank(1)],
+            BehaviorTuple { is_active: false, has_recv: true, has_kernel: false, has_send: true }
+        );
+        // GPU2 is a silent leaf: nothing to send.
+        assert_eq!(b[&Rank(2)], BehaviorTuple::IDLE);
+    }
+
+    #[test]
+    fn no_active_upstream_means_no_send() {
+        let (_c, topo) = setup();
+        let sub = fig7(&topo);
+        // Nothing upstream ready: the relay is fully idle.
+        let b = derive_behaviors(&topo, &sub, &[Rank(0)]);
+        assert_eq!(b[&Rank(1)], BehaviorTuple::IDLE);
+        assert_eq!(
+            b[&Rank(0)],
+            BehaviorTuple { is_active: true, has_recv: false, has_kernel: false, has_send: false }
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let t = BehaviorTuple { is_active: true, has_recv: false, has_kernel: false, has_send: true };
+        assert_eq!(t.to_string(), "<1, 0, 0, 1>");
+    }
+}

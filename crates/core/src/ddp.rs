@@ -1,0 +1,265 @@
+//! The DDP communication hook (paper Sec. VI-A: "we also provide a
+//! communication hook for PyTorch DDP").
+//!
+//! PyTorch's DistributedDataParallel does not AllReduce one giant
+//! gradient tensor: it packs parameters into fixed-size *buckets* and
+//! launches one collective per bucket as soon as the backward pass has
+//! produced that bucket's gradients, overlapping communication with
+//! the remaining backward computation. This module reproduces that
+//! contract on top of [`AdapCC`]: callers describe the bucket layout
+//! and per-bucket gradient-ready times (earlier layers' gradients are
+//! ready later — backward runs output-to-input), and the hook issues
+//! one AllReduce per bucket on the shared fabric, returning the
+//! per-bucket and overall completion times.
+
+use std::collections::BTreeMap;
+
+use adapcc_simnet::cluster::Rank;
+use adapcc_simnet::time::{SimDuration, SimTime};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::primitive::Primitive;
+use adapcc_synth::strategy::Strategy;
+
+use crate::executor::{ExecutionRequest, Executor};
+use crate::session::AdapCC;
+
+/// The default DDP bucket cap (PyTorch's `bucket_cap_mb` is 25 MB).
+pub fn default_bucket_cap() -> ByteSize {
+    ByteSize::from_mib(25)
+}
+
+/// The bucket layout of one model's gradients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketLayout {
+    sizes: Vec<ByteSize>,
+}
+
+impl BucketLayout {
+    /// Splits a model of `model_size` bytes into buckets of at most
+    /// `cap` (the last bucket holds the remainder), in backward order:
+    /// bucket 0 is the *last* layer's gradients, ready first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero or not f32-aligned.
+    pub fn from_model(model_size: ByteSize, cap: ByteSize) -> Self {
+        assert!(!model_size.is_zero() && !cap.is_zero(), "empty layout");
+        assert_eq!(model_size.as_u64() % 4, 0, "model must be f32-aligned");
+        assert_eq!(cap.as_u64() % 4, 0, "cap must be f32-aligned");
+        let mut sizes = Vec::new();
+        let mut left = model_size.as_u64();
+        while left > 0 {
+            let take = left.min(cap.as_u64());
+            sizes.push(ByteSize::from_bytes(take));
+            left -= take;
+        }
+        BucketLayout { sizes }
+    }
+
+    /// Explicit per-bucket sizes (backward order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bucket is zero-sized or unaligned.
+    pub fn from_sizes(sizes: Vec<ByteSize>) -> Self {
+        assert!(!sizes.is_empty(), "empty layout");
+        for s in &sizes {
+            assert!(!s.is_zero() && s.as_u64() % 4 == 0, "bad bucket size {s}");
+        }
+        BucketLayout { sizes }
+    }
+
+    /// Bucket sizes in backward (ready) order.
+    pub fn sizes(&self) -> &[ByteSize] {
+        &self.sizes
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the layout is empty (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Total gradient bytes.
+    pub fn total(&self) -> ByteSize {
+        self.sizes
+            .iter()
+            .fold(ByteSize::ZERO, |acc, s| acc + *s)
+    }
+
+    /// Evenly spreads each worker's backward pass over its buckets:
+    /// bucket `i` of worker `w` becomes ready at
+    /// `backward_end[w] * (i + 1) / n`, modelling gradients streaming
+    /// out as backward progresses.
+    pub fn ready_schedule(
+        &self,
+        backward_end: &BTreeMap<Rank, SimTime>,
+    ) -> Vec<BTreeMap<Rank, SimTime>> {
+        let n = self.sizes.len() as f64;
+        (0..self.sizes.len())
+            .map(|i| {
+                backward_end
+                    .iter()
+                    .map(|(r, t)| {
+                        let frac = (i as f64 + 1.0) / n;
+                        (*r, SimTime::from_secs(t.as_secs() * frac))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Result of one bucketed (DDP-hook) AllReduce round.
+#[derive(Debug, Clone)]
+pub struct DdpRoundReport {
+    /// Completion instant of each bucket's AllReduce, bucket order.
+    pub bucket_finish: Vec<SimTime>,
+    /// When the whole gradient set was synchronized.
+    pub finish: SimTime,
+    /// Communication not hidden behind backward: `finish` minus the
+    /// slowest worker's backward end.
+    pub exposed_comm: SimDuration,
+}
+
+/// The DDP communication hook: per-bucket AllReduce over the session's
+/// synthesized strategies, all buckets contending on one fabric like
+/// the real hook's in-flight collectives do.
+#[derive(Debug)]
+pub struct DdpHook {
+    layout: BucketLayout,
+}
+
+impl DdpHook {
+    /// A hook over a bucket layout.
+    pub fn new(layout: BucketLayout) -> Self {
+        DdpHook { layout }
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> &BucketLayout {
+        &self.layout
+    }
+
+    /// Runs one backward-overlapped gradient synchronization round:
+    /// bucket `i` starts when each worker's backward has produced it
+    /// (see [`BucketLayout::ready_schedule`]).
+    pub fn round(
+        &self,
+        session: &mut AdapCC<'_>,
+        backward_end: &BTreeMap<Rank, SimTime>,
+    ) -> DdpRoundReport {
+        let schedules = self.layout.ready_schedule(backward_end);
+        // One strategy per distinct bucket size (cached in the session).
+        let strategies: Vec<Strategy> = self
+            .layout
+            .sizes
+            .iter()
+            .map(|s| session.strategy_for(Primitive::AllReduce, *s).clone())
+            .collect();
+        let requests: Vec<ExecutionRequest<'_>> = strategies
+            .iter()
+            .zip(self.layout.sizes.iter())
+            .zip(&schedules)
+            .map(|((strategy, size), ready)| {
+                ExecutionRequest::timing(strategy, *size).with_ready(ready.clone())
+            })
+            .collect();
+        let exec = Executor::new(session.cluster(), session.topology())
+            .with_capacity_factors(session.fabric_factors());
+        let batch = exec.execute(&requests);
+        let bucket_finish: Vec<SimTime> = batch.requests.iter().map(|r| r.finish).collect();
+        let backward_last = backward_end
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        DdpRoundReport {
+            finish: batch.finish,
+            exposed_comm: batch.finish.duration_since(backward_last.min(batch.finish)),
+            bucket_finish,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::InitOptions;
+    use adapcc_simnet::cluster::Cluster;
+    use adapcc_synth::solver::SynthConfig;
+
+    fn quick_session(cluster: &Cluster) -> AdapCC<'_> {
+        let mut cc = AdapCC::init(
+            cluster,
+            InitOptions {
+                synth: SynthConfig { anneal_iters: 16, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        cc.setup();
+        cc
+    }
+
+    #[test]
+    fn layout_covers_the_model() {
+        let layout = BucketLayout::from_model(ByteSize::from_mib(208), default_bucket_cap());
+        assert_eq!(layout.len(), 9, "208 MiB / 25 MiB cap");
+        assert_eq!(layout.total(), ByteSize::from_mib(208));
+        // Last bucket is the remainder.
+        assert_eq!(*layout.sizes().last().unwrap(), ByteSize::from_mib(8));
+    }
+
+    #[test]
+    fn ready_schedule_is_monotone_per_worker() {
+        let layout = BucketLayout::from_model(ByteSize::from_mib(100), default_bucket_cap());
+        let mut backward = BTreeMap::new();
+        backward.insert(Rank(0), SimTime::from_secs(0.2));
+        backward.insert(Rank(1), SimTime::from_secs(0.3));
+        let sched = layout.ready_schedule(&backward);
+        assert_eq!(sched.len(), layout.len());
+        for w in [Rank(0), Rank(1)] {
+            for pair in sched.windows(2) {
+                assert!(pair[0][&w] <= pair[1][&w]);
+            }
+        }
+        // The final bucket lands exactly at backward end.
+        assert_eq!(sched.last().unwrap()[&Rank(1)], SimTime::from_secs(0.3));
+    }
+
+    #[test]
+    fn bucketed_round_overlaps_with_backward() {
+        let cluster = Cluster::homogeneous_a100(2);
+        let mut cc = quick_session(&cluster);
+        let layout = BucketLayout::from_model(ByteSize::from_mib(200), default_bucket_cap());
+        let hook = DdpHook::new(layout);
+        let backward: BTreeMap<Rank, SimTime> = cc
+            .workers()
+            .iter()
+            .map(|r| (*r, SimTime::from_secs(0.25)))
+            .collect();
+        let round = hook.round(&mut cc, &backward);
+        // Monolithic synchronization of the same model, started only
+        // when backward finished.
+        let mono = cc.allreduce(ByteSize::from_mib(200), &backward, None);
+        assert!(
+            round.finish < mono.finish,
+            "bucketed {} vs monolithic {}",
+            round.finish,
+            mono.finish
+        );
+        // Early buckets completed before backward even ended.
+        assert!(round.bucket_finish[0].as_secs() < 0.25);
+        assert!(round.exposed_comm.as_secs() < mono.comm_time.as_secs());
+    }
+
+    #[test]
+    #[should_panic(expected = "f32-aligned")]
+    fn unaligned_model_rejected() {
+        let _ = BucketLayout::from_model(ByteSize::from_bytes(1001), default_bucket_cap());
+    }
+}

@@ -1,0 +1,636 @@
+//! Adaptive relay control (paper Sec. IV-C).
+//!
+//! A coordinator on rank 0 collects tensor-ready times from every
+//! worker (a small RPC each iteration) and, every 5 ms cycle, chooses
+//! between:
+//!
+//! 1. **waiting** for all workers to become ready and running the full
+//!    collective, or
+//! 2. **proceeding**: a *phase-1* partial collective among the ready
+//!    workers — with non-ready workers' GPUs used as forwarding /
+//!    aggregating **relays** on the very same graph (behaviour tuples,
+//!    no reconstruction) — followed by a *phase-2* broadcast of the
+//!    late workers' tensors and a local combine, so the final result is
+//!    numerically the same tensor a full collective would produce.
+//!
+//! The choice is the break-even rule of the ski-rental problem
+//! (2-competitive): wait until the accumulated waiting time exceeds the
+//! estimated cost of buying (phase 1 + phase 2), estimated as data
+//! volume over accumulated graph bandwidth, exactly as the paper
+//! prescribes. Workers still missing `T_fault` = 5x the fastest
+//! worker's lead after phase 1 are declared faulty and excluded, and
+//! the data loader is told to re-shard (fault tolerance without
+//! restarting the job).
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use adapcc_profile::profiler::LinkProfile;
+use adapcc_simnet::cluster::Rank;
+use adapcc_simnet::rng::seeded_rng;
+use adapcc_simnet::time::{SimDuration, SimTime};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::primitive::Primitive;
+use adapcc_synth::strategy::Strategy;
+use adapcc_topo::logical::LogicalTopology;
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RelayConfig {
+    /// Decision cycle (paper: 5 ms).
+    pub cycle: SimDuration,
+    /// `T_fault` as a multiple of the fastest worker's lead (paper: 5).
+    pub fault_multiplier: f64,
+    /// Floor for the fault timeout, so near-simultaneous arrivals do
+    /// not trip it.
+    pub fault_floor: SimDuration,
+    /// Relay control can be disabled to emulate always-wait libraries.
+    pub enabled: bool,
+}
+
+impl Default for RelayConfig {
+    fn default() -> Self {
+        RelayConfig {
+            cycle: SimDuration::from_millis(5.0),
+            fault_multiplier: 5.0,
+            fault_floor: SimDuration::from_millis(50.0),
+            enabled: true,
+        }
+    }
+}
+
+/// Latency model of the worker-coordinator relay negotiation RPC
+/// (paper Fig. 19(d): p90 below 1.5 ms).
+#[derive(Debug, Clone)]
+pub struct RpcModel {
+    base: SimDuration,
+    jitter: SimDuration,
+}
+
+impl Default for RpcModel {
+    fn default() -> Self {
+        RpcModel {
+            base: SimDuration::from_micros(350.0),
+            jitter: SimDuration::from_micros(450.0),
+        }
+    }
+}
+
+impl RpcModel {
+    /// One sampled round-trip: base network latency plus heavy-ish
+    /// jitter from host scheduling.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> SimDuration {
+        let u: f64 = rng.gen::<f64>();
+        // Squash toward small values with an occasional long tail.
+        let factor = if u > 0.97 { 1.0 + (u - 0.97) * 60.0 } else { u };
+        self.base + self.jitter.scale(factor)
+    }
+}
+
+/// What the coordinator decided for one iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Wait for everyone; the collective starts when the slowest
+    /// worker is ready.
+    WaitAll {
+        /// When the last worker became ready.
+        start: SimTime,
+    },
+    /// Proceed with a partial collective.
+    Partial {
+        /// Phase-1 trigger instant.
+        start: SimTime,
+        /// Ready workers participating in phase 1.
+        ready: Vec<Rank>,
+        /// Non-ready workers assigned as relays.
+        relays: Vec<Rank>,
+    },
+}
+
+/// Per-iteration relay statistics, aggregated across training for
+/// Fig. 15.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RelayStats {
+    /// Iterations observed.
+    pub iterations: u64,
+    /// Times each rank served as a relay.
+    pub relay_counts: BTreeMap<usize, u64>,
+    /// Sampled coordinator RPC delays (Fig. 19(d)).
+    pub rpc_delays_ms: Vec<f64>,
+}
+
+impl RelayStats {
+    /// Probability of each rank being chosen as a relay.
+    pub fn relay_probability(&self, rank: Rank) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
+        *self.relay_counts.get(&rank.0).unwrap_or(&0) as f64 / self.iterations as f64
+    }
+}
+
+/// The rank-0 coordinator.
+#[derive(Debug)]
+pub struct Coordinator {
+    config: RelayConfig,
+    rpc: RpcModel,
+    rng: ChaCha8Rng,
+    stats: RelayStats,
+}
+
+impl Coordinator {
+    /// A coordinator with the paper's defaults.
+    pub fn new(seed: u64) -> Self {
+        Coordinator {
+            config: RelayConfig::default(),
+            rpc: RpcModel::default(),
+            rng: seeded_rng(seed ^ 0xC00D),
+            stats: RelayStats::default(),
+        }
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: RelayConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &RelayStats {
+        &self.stats
+    }
+
+    /// The ski-rental decision for one iteration.
+    ///
+    /// `ready` maps every (live) worker to the instant its tensor is
+    /// ready; workers missing from the map are treated as indefinitely
+    /// delayed (fault candidates). `estimate` prices the buy option.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ready` is empty or the root is not among the workers.
+    pub fn decide(
+        &mut self,
+        all_workers: &[Rank],
+        root: Rank,
+        ready: &BTreeMap<Rank, SimTime>,
+        estimate: &BuyEstimate,
+    ) -> Decision {
+        assert!(!ready.is_empty(), "no worker ever becomes ready");
+        assert!(all_workers.contains(&root), "root must be a worker");
+        self.stats.iterations += 1;
+        let rpc = self.rpc.sample(&mut self.rng);
+        self.stats.rpc_delays_ms.push(rpc.as_millis());
+
+        let first = ready.values().copied().min().expect("non-empty");
+        let last_known = ready.values().copied().max().expect("non-empty");
+        let all_ready_known = ready.len() == all_workers.len();
+        if !self.config.enabled {
+            // Always-wait baseline policy. Workers that never report
+            // would hang a real library; the caller models that case.
+            return Decision::WaitAll { start: last_known + rpc };
+        }
+
+        // Walk decision cycles from the first arrival.
+        let mut k = 0u64;
+        loop {
+            let now = first + self.config.cycle.scale(k as f64);
+            let ready_now: Vec<Rank> = all_workers
+                .iter()
+                .copied()
+                .filter(|r| ready.get(r).is_some_and(|t| *t <= now))
+                .collect();
+            if all_ready_known && ready_now.len() == all_workers.len() {
+                return Decision::WaitAll { start: last_known + rpc };
+            }
+            let waiting = now.duration_since(first);
+            // Buying requires the root to be ready (the partial result
+            // must land somewhere) and at least two participants.
+            if ready_now.len() >= 2 && ready_now.contains(&root) {
+                let late_now: Vec<Rank> = all_workers
+                    .iter()
+                    .copied()
+                    .filter(|r| !ready_now.contains(r))
+                    .collect();
+                let buy = estimate.cost_for(&ready_now, &late_now);
+                if waiting >= buy {
+                    let relays: Vec<Rank> = all_workers
+                        .iter()
+                        .copied()
+                        .filter(|r| !ready_now.contains(r))
+                        .collect();
+                    for r in &relays {
+                        *self.stats.relay_counts.entry(r.0).or_insert(0) += 1;
+                    }
+                    return Decision::Partial { start: now + rpc, ready: ready_now, relays };
+                }
+            }
+            k += 1;
+            // Safety valve: a worker that never reports cannot hold the
+            // loop forever; after the fault horizon, proceed partially
+            // or (if impossible) with whoever is known.
+            if k > 100_000 {
+                let relays: Vec<Rank> = all_workers
+                    .iter()
+                    .copied()
+                    .filter(|r| !ready_now.contains(r))
+                    .collect();
+                return Decision::Partial { start: now + rpc, ready: ready_now, relays };
+            }
+        }
+    }
+
+    /// Fault detection after phase 1 (paper: `T_fault` = 5x the
+    /// duration since the fastest worker became ready). Returns the
+    /// workers to exclude.
+    pub fn detect_faults(
+        &self,
+        all_workers: &[Rank],
+        ready: &BTreeMap<Rank, SimTime>,
+        phase1_end: SimTime,
+    ) -> Vec<Rank> {
+        let Some(first) = ready.values().copied().min() else {
+            return all_workers.to_vec();
+        };
+        let lead = phase1_end.duration_since(first);
+        let horizon =
+            phase1_end + lead.scale(self.config.fault_multiplier).max(self.config.fault_floor);
+        all_workers
+            .iter()
+            .copied()
+            .filter(|r| match ready.get(r) {
+                Some(t) => *t > horizon,
+                None => true,
+            })
+            .collect()
+    }
+}
+
+/// Prices the "buy" option of the ski-rental rule: phase-1 volume
+/// (partial collective among the ready workers) over the accumulated
+/// graph bandwidth (the paper's `S / B`), plus phase-2 volume (late
+/// tensors broadcast) over the *late workers'* profiled NIC capacity —
+/// phase-2 traffic originates at the stragglers, so their egress
+/// ports, not the whole graph, bound it.
+#[derive(Debug, Clone)]
+pub struct BuyEstimate {
+    tensor: ByteSize,
+    primitive: Primitive,
+    graph_bandwidth: f64,
+    /// Profiled egress bandwidth per instance (bytes/sec).
+    instance_egress: BTreeMap<usize, f64>,
+    /// Rank -> instance index.
+    rank_instance: BTreeMap<usize, usize>,
+    /// Measured wall time of one full-tensor phase-2 broadcast on this
+    /// graph, when the caller has profiled it (the session measures it
+    /// once per strategy — estimation by measurement, in AdapCC's own
+    /// spirit).
+    phase2_unit_secs: Option<f64>,
+}
+
+impl BuyEstimate {
+    /// An estimate for one collective on one strategy graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy uses an unprofiled edge.
+    pub fn new(
+        topo: &LogicalTopology,
+        profile: &LinkProfile,
+        strategy: &Strategy,
+        tensor: ByteSize,
+    ) -> Self {
+        use adapcc_topo::logical::{EdgeKind, LogicalNode};
+        // Accumulate profiled bandwidth over the distinct *network*
+        // edges of the strategy graph; intra-only graphs fall back to
+        // the full edge set.
+        let mut b_net = 0.0;
+        let mut b_all = 0.0;
+        for sub in &strategy.subs {
+            for e in sub.edges() {
+                let ab = profile.get(e).expect("profiled edge");
+                let bw = ab.port_bandwidth().as_bytes_per_sec();
+                b_all += bw;
+                if topo.edge(e).kind == EdgeKind::Network {
+                    b_net += bw;
+                }
+            }
+        }
+        let graph_bandwidth = if b_net > 0.0 { b_net } else { b_all };
+        // Per-instance egress: the best profiled outgoing network edge.
+        let mut instance_egress = BTreeMap::new();
+        let mut rank_instance = BTreeMap::new();
+        for r in topo.gpu_nodes() {
+            let inst = adapcc_synth::solver::instance_of(topo, r).0;
+            rank_instance.insert(r.0, inst);
+            instance_egress.entry(inst).or_insert_with(|| {
+                let nic = LogicalNode::Nic(adapcc_simnet::cluster::InstanceId(inst));
+                let mut best = graph_bandwidth.max(1.0);
+                for e in topo.edges_from(nic) {
+                    if topo.edge(*e).kind == EdgeKind::Network {
+                        if let Some(ab) = profile.get(*e) {
+                            best = ab.port_bandwidth().as_bytes_per_sec();
+                            break;
+                        }
+                    }
+                }
+                best
+            });
+        }
+        BuyEstimate {
+            tensor,
+            primitive: strategy.primitive,
+            graph_bandwidth: graph_bandwidth.max(1.0),
+            instance_egress,
+            rank_instance,
+            phase2_unit_secs: None,
+        }
+    }
+
+    /// Records a measured single-late-tensor phase-2 cost; `cost_for`
+    /// then prices phase 2 as `unit x n_late` (conservative: concurrent
+    /// late broadcasts contend on every receiver's ingress).
+    pub fn with_phase2_unit(mut self, secs: f64) -> Self {
+        self.phase2_unit_secs = Some(secs.max(0.0));
+        self
+    }
+
+    /// Builds an estimate from explicit parameters (tests, ablations):
+    /// one bandwidth bounds both phases.
+    pub fn from_parts(tensor: ByteSize, primitive: Primitive, aggregate_bandwidth: f64) -> Self {
+        BuyEstimate {
+            tensor,
+            primitive,
+            graph_bandwidth: aggregate_bandwidth.max(1.0),
+            instance_egress: BTreeMap::new(),
+            rank_instance: BTreeMap::new(),
+            phase2_unit_secs: None,
+        }
+    }
+
+    /// Estimated time of phase 1 among `n_ready` workers plus phase 2
+    /// for `n_late` late tensors, with phase 2 priced against one
+    /// aggregate bandwidth (used when the late set is unknown).
+    pub fn cost(&self, n_ready: usize, n_late: usize) -> SimDuration {
+        let t = self.tensor.as_f64();
+        let phase1 = self.phase1_volume(n_ready) / self.graph_bandwidth;
+        let phase2 = n_late as f64 * t / self.graph_bandwidth;
+        SimDuration::from_secs(phase1 + phase2)
+    }
+
+    /// Estimated buy cost for explicit ready/late sets: phase-1 network
+    /// volume is counted over the *instances* actually exchanging data
+    /// (intra-server traffic rides NVLink and is not the bottleneck),
+    /// and phase-2 egress is bounded by the late workers' NICs, with a
+    /// 0.5 discount reflecting that late tensors arriving before the
+    /// collective drains join the ongoing aggregation (Sec. IV-C).
+    pub fn cost_for(&self, ready: &[Rank], late: &[Rank]) -> SimDuration {
+        let t = self.tensor.as_f64();
+        // Count ready instances when placement is known.
+        let n_units = if self.rank_instance.is_empty() {
+            ready.len()
+        } else {
+            let mut insts: Vec<usize> = ready
+                .iter()
+                .filter_map(|r| self.rank_instance.get(&r.0).copied())
+                .collect();
+            insts.sort_unstable();
+            insts.dedup();
+            insts.len()
+        };
+        let phase1 = self.phase1_volume(n_units) / self.graph_bandwidth;
+        if late.is_empty() {
+            return SimDuration::from_secs(phase1);
+        }
+        if let Some(unit) = self.phase2_unit_secs {
+            // Late tensors broadcast from *distinct instances* leave
+            // through different NIC egress ports and run concurrently;
+            // same-instance stragglers serialize on their shared NIC.
+            let distinct = if self.rank_instance.is_empty() {
+                1
+            } else {
+                let mut insts: Vec<usize> = late
+                    .iter()
+                    .filter_map(|r| self.rank_instance.get(&r.0).copied())
+                    .collect();
+                insts.sort_unstable();
+                insts.dedup();
+                insts.len().max(1)
+            };
+            let serial_rounds = late.len().div_ceil(distinct) as f64;
+            return SimDuration::from_secs(phase1 + unit * serial_rounds);
+        }
+        let mut late_insts: Vec<usize> = late
+            .iter()
+            .filter_map(|r| self.rank_instance.get(&r.0).copied())
+            .collect();
+        late_insts.sort_unstable();
+        late_insts.dedup();
+        // Unknown placement (from_parts): fall back to the graph-wide
+        // bandwidth, the paper's original estimate.
+        let egress: f64 = if late_insts.is_empty() {
+            self.graph_bandwidth
+        } else {
+            late_insts
+                .iter()
+                .map(|i| self.instance_egress.get(i).copied().unwrap_or(self.graph_bandwidth))
+                .sum()
+        };
+        let bw = egress.min(self.graph_bandwidth).max(1.0);
+        let phase2 = 0.5 * late.len() as f64 * t / bw;
+        SimDuration::from_secs(phase1 + phase2)
+    }
+
+    fn phase1_volume(&self, n_ready: usize) -> f64 {
+        let t = self.tensor.as_f64();
+        match self.primitive {
+            Primitive::AllReduce => 2.0 * (n_ready.saturating_sub(1)) as f64 * t,
+            Primitive::AllToAll => n_ready as f64 * t,
+            Primitive::Broadcast => t,
+            Primitive::Reduce | Primitive::ReduceScatter | Primitive::AllGather => {
+                (n_ready.saturating_sub(1)) as f64 * t
+            }
+        }
+    }
+}
+
+/// Restricts a strategy to the active workers: flows sourced at
+/// relays are dropped (they contribute no data) while relay GPUs keep
+/// forwarding/aggregating on the routes of others — the graph itself
+/// is untouched, mirroring the behaviour-tuple mechanism.
+///
+/// Flows *terminating* at a relay stay: for rooted primitives the root
+/// is always active (enforced by the coordinator), and for broadcasts
+/// phase-2 semantics keep relay sinks harmless.
+pub fn restrict_to_active(strategy: &Strategy, active: &[Rank]) -> Strategy {
+    use adapcc_topo::logical::LogicalNode;
+    let mut out = strategy.clone();
+    for sub in &mut out.subs {
+        sub.flows.retain(|f| match f.src {
+            LogicalNode::Gpu(r) => active.contains(&r),
+            LogicalNode::Nic(_) => true,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workers(n: usize) -> Vec<Rank> {
+        (0..n).map(Rank).collect()
+    }
+
+    fn ready_at(times_ms: &[(usize, f64)]) -> BTreeMap<Rank, SimTime> {
+        times_ms
+            .iter()
+            .map(|(r, ms)| (Rank(*r), SimTime::from_secs(ms * 1e-3)))
+            .collect()
+    }
+
+    fn est(buy_ms: f64) -> BuyEstimate {
+        // 1 MiB tensor, bandwidth tuned so cost(n, 1) == buy_ms for a
+        // broadcast-ish profile. Use explicit parts for precision.
+        let t = ByteSize::from_mib(1);
+        // allreduce, 4 ready, 1 late: volume = (2*3 + 1) MiB.
+        let vol = 7.0 * t.as_f64();
+        BuyEstimate::from_parts(t, Primitive::AllReduce, vol / (buy_ms * 1e-3))
+    }
+
+    #[test]
+    fn waits_when_stragglers_are_cheap() {
+        let mut c = Coordinator::new(1);
+        // Everyone within 2 ms; buy costs 50 ms.
+        let ready = ready_at(&[(0, 0.0), (1, 1.0), (2, 1.5), (3, 2.0), (4, 2.0)]);
+        let d = c.decide(&workers(5), Rank(0), &ready, &est(50.0));
+        assert!(matches!(d, Decision::WaitAll { .. }));
+    }
+
+    #[test]
+    fn proceeds_when_straggler_exceeds_buy_cost() {
+        let mut c = Coordinator::new(1);
+        // Rank 4 is 200 ms late; buy costs ~20 ms.
+        let ready = ready_at(&[(0, 0.0), (1, 1.0), (2, 1.0), (3, 2.0), (4, 200.0)]);
+        let d = c.decide(&workers(5), Rank(0), &ready, &est(20.0));
+        match d {
+            Decision::Partial { ready, relays, start } => {
+                assert_eq!(relays, vec![Rank(4)]);
+                assert_eq!(ready.len(), 4);
+                // Break-even: trigger no earlier than the buy cost and
+                // well before the straggler.
+                assert!(start.as_secs() >= 0.020 && start.as_secs() < 0.2, "{start}");
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn break_even_is_two_competitive() {
+        // Adversarial straggler arriving just after the trigger: total
+        // cost (wait + buy) is at most ~2x the offline optimum.
+        let mut c = Coordinator::new(1);
+        let buy = est(20.0);
+        let ready = ready_at(&[(0, 0.0), (1, 0.0), (2, 0.0), (3, 0.0), (4, 26.0)]);
+        match c.decide(&workers(5), Rank(0), &ready, &buy) {
+            Decision::Partial { start, .. } => {
+                let waited = start.as_secs();
+                let buy_cost = buy.cost(4, 1).as_secs();
+                // Offline optimum here: wait for the straggler (26 ms)
+                // or buy at t=0 (20 ms) -> 20 ms.
+                let online_total = waited + buy_cost;
+                assert!(online_total <= 2.0 * buy_cost + 0.006, "total {online_total}");
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn never_buys_without_the_root() {
+        let mut c = Coordinator::new(1);
+        // Root (rank 0) is the straggler: must wait for it.
+        let ready = ready_at(&[(0, 300.0), (1, 0.0), (2, 0.0), (3, 1.0)]);
+        let d = c.decide(&workers(4), Rank(0), &ready, &est(5.0));
+        match d {
+            Decision::Partial { ready, .. } => assert!(ready.contains(&Rank(0))),
+            Decision::WaitAll { .. } => {}
+        }
+    }
+
+    #[test]
+    fn disabled_relay_always_waits() {
+        let mut c = Coordinator::new(1).with_config(RelayConfig {
+            enabled: false,
+            ..Default::default()
+        });
+        let ready = ready_at(&[(0, 0.0), (1, 500.0)]);
+        let d = c.decide(&workers(2), Rank(0), &ready, &est(1.0));
+        assert!(matches!(d, Decision::WaitAll { .. }));
+    }
+
+    #[test]
+    fn fault_detection_flags_missing_and_very_late() {
+        let c = Coordinator::new(1);
+        let mut ready = ready_at(&[(0, 0.0), (1, 5.0), (2, 8.0)]);
+        // Rank 3 reports absurdly late; rank 4 never reports.
+        ready.insert(Rank(3), SimTime::from_secs(100.0));
+        let phase1_end = SimTime::from_secs(0.050);
+        let faults = c.detect_faults(&workers(5), &ready, phase1_end);
+        assert_eq!(faults, vec![Rank(3), Rank(4)]);
+    }
+
+    #[test]
+    fn fault_detection_spares_moderately_late() {
+        let c = Coordinator::new(1);
+        // Phase 1 ended 50 ms after the first arrival; horizon is
+        // 50 + 5*50 = 300 ms. A worker at 200 ms survives.
+        let mut ready = ready_at(&[(0, 0.0), (1, 5.0)]);
+        ready.insert(Rank(2), SimTime::from_secs(0.200));
+        let faults = c.detect_faults(&workers(3), &ready, SimTime::from_secs(0.050));
+        assert!(faults.is_empty(), "{faults:?}");
+    }
+
+    #[test]
+    fn stats_accumulate_relay_counts() {
+        let mut c = Coordinator::new(1);
+        let ready = ready_at(&[(0, 0.0), (1, 0.0), (2, 0.0), (3, 500.0)]);
+        for _ in 0..10 {
+            let _ = c.decide(&workers(4), Rank(0), &ready, &est(5.0));
+        }
+        assert_eq!(c.stats().iterations, 10);
+        assert!((c.stats().relay_probability(Rank(3)) - 1.0).abs() < 1e-9);
+        assert_eq!(c.stats().relay_probability(Rank(1)), 0.0);
+        assert_eq!(c.stats().rpc_delays_ms.len(), 10);
+    }
+
+    #[test]
+    fn rpc_latency_distribution_matches_paper() {
+        let mut c = Coordinator::new(42);
+        let ready = ready_at(&[(0, 0.0), (1, 1.0)]);
+        for _ in 0..1000 {
+            let _ = c.decide(&workers(2), Rank(0), &ready, &est(50.0));
+        }
+        let mut d = c.stats().rpc_delays_ms.clone();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p90 = d[(d.len() as f64 * 0.9) as usize];
+        assert!(p90 < 1.5, "p90 {p90} ms");
+        assert!(d[0] > 0.0);
+    }
+
+    #[test]
+    fn buy_cost_formulas_match_paper() {
+        let t = ByteSize::from_mib(1);
+        let b = 10e9;
+        let ar = BuyEstimate::from_parts(t, Primitive::AllReduce, b);
+        // 2(N-1) x tensor + late.
+        let expect = (2.0 * 3.0 * t.as_f64() + t.as_f64()) / b;
+        assert!((ar.cost(4, 1).as_secs() - expect).abs() < 1e-12);
+        let a2a = BuyEstimate::from_parts(t, Primitive::AllToAll, b);
+        assert!((a2a.cost(4, 0).as_secs() - 4.0 * t.as_f64() / b).abs() < 1e-12);
+        let bc = BuyEstimate::from_parts(t, Primitive::Broadcast, b);
+        assert!((bc.cost(4, 0).as_secs() - t.as_f64() / b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,1175 @@
+//! The top-level AdapCC session — the public API a training script
+//! uses (paper Sec. VI-A mirrors it as `adapcc.init()` /
+//! `adapcc.setup()` / `adapcc.allreduce()` / `adapcc.profile()`).
+//!
+//! [`AdapCC::init`] runs the detector and the profiler and caches
+//! nothing else; strategies are synthesized lazily per (primitive,
+//! tensor, root) and reused. [`AdapCC::setup`] builds the transmission
+//! contexts. Collectives execute through the chunk-pipelined
+//! [`Executor`]; the adaptive entry point
+//! [`AdapCC::allreduce_adaptive`] consults the relay [`Coordinator`]
+//! each iteration and runs the phase-1 / phase-2 protocol when the
+//! ski-rental rule says to proceed without stragglers.
+//! [`AdapCC::reprofile`] is the in-place graph reconstruction: profile
+//! → re-solve → re-set-up, never restarting the job.
+
+use std::collections::{BTreeMap, HashMap};
+
+use adapcc_profile::profiler::{LinkProfile, Profiler};
+use adapcc_simnet::cluster::{Cluster, LinkId, Rank};
+use adapcc_simnet::hardware::kernel_launch_overhead;
+use adapcc_simnet::time::{SimDuration, SimTime};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::primitive::Primitive;
+use adapcc_synth::solver::{SynthConfig, SynthRequest, Synthesizer};
+use adapcc_synth::strategy::Strategy;
+use adapcc_topo::detect::{DetectionReport, Detector};
+use adapcc_topo::logical::LogicalTopology;
+
+use crate::communicator::{Communicator, SetupReport};
+use crate::executor::{ExecutionRequest, Executor};
+use crate::reconstruct::ReconstructReport;
+use crate::relay::{restrict_to_active, BuyEstimate, Coordinator, Decision, RelayConfig, RelayStats};
+
+/// Initialization options.
+#[derive(Debug, Clone)]
+pub struct InitOptions {
+    /// Parallel sub-collectives per strategy (`M`, paper default 4).
+    pub parallelism: usize,
+    /// Seed for every stochastic component (probing noise, annealer,
+    /// RPC jitter).
+    pub seed: u64,
+    /// Relay-control configuration.
+    pub relay: RelayConfig,
+    /// Relative bandwidth change that triggers re-synthesis on
+    /// re-profiling.
+    pub resynth_threshold: f64,
+    /// Synthesizer effort.
+    pub synth: SynthConfig,
+}
+
+impl Default for InitOptions {
+    fn default() -> Self {
+        InitOptions {
+            parallelism: 4,
+            seed: 0,
+            relay: RelayConfig::default(),
+            resynth_threshold: 0.15,
+            synth: SynthConfig::default(),
+        }
+    }
+}
+
+/// What initialization cost (detection + profiling, charged before
+/// training starts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InitReport {
+    /// Topology detection time (constant in job scale).
+    pub detection: SimDuration,
+    /// First profiling pass.
+    pub profiling: SimDuration,
+}
+
+impl InitReport {
+    /// Total initialization time.
+    pub fn total(&self) -> SimDuration {
+        self.detection + self.profiling
+    }
+}
+
+/// Result of one collective iteration.
+#[derive(Debug, Clone)]
+pub struct IterationReport {
+    /// What the coordinator decided (always `WaitAll` for the
+    /// non-adaptive entry points).
+    pub decision: Decision,
+    /// Completion instant on the iteration clock (time 0 = iteration
+    /// start; worker ready times are offsets on that clock).
+    pub finish: SimTime,
+    /// `finish` minus the first worker's ready time: the paper's
+    /// "communication time" including waiting.
+    pub comm_time: SimDuration,
+    /// How long the fastest worker waited before communication began.
+    pub wait_time: SimDuration,
+    /// Workers declared faulty this iteration (excluded from training;
+    /// the caller re-shards its data loader).
+    pub faults: Vec<Rank>,
+    /// Output tensors (present when inputs were given).
+    pub outputs: BTreeMap<Rank, Vec<f32>>,
+}
+
+/// The AdapCC session over one cluster.
+///
+/// # Examples
+///
+/// ```
+/// use adapcc::AdapCC;
+/// use adapcc::session::InitOptions;
+/// use adapcc_simnet::cluster::Cluster;
+/// use adapcc_simnet::units::ByteSize;
+///
+/// let cluster = Cluster::homogeneous_a100(2);
+/// let mut cc = AdapCC::init(&cluster, InitOptions::default());
+/// cc.setup();
+/// let report = cc.allreduce(ByteSize::from_mib(16), &Default::default(), None);
+/// assert!(report.finish.as_secs() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct AdapCC<'c> {
+    cluster: &'c Cluster,
+    options: InitOptions,
+    detection: DetectionReport,
+    topo: LogicalTopology,
+    profile: LinkProfile,
+    init_report: InitReport,
+    communicator: Communicator,
+    coordinator: Coordinator,
+    strategies: HashMap<(Primitive, u64, Option<Rank>), Strategy>,
+    estimates: HashMap<(Primitive, u64), BuyEstimate>,
+    /// Zero-skew execution time per cached strategy: timing-only
+    /// wait-all collectives reuse it instead of re-simulating (the
+    /// collective itself is deterministic; only readiness varies).
+    exec_cache: HashMap<(Primitive, u64, Option<Rank>), f64>,
+    workers: Vec<Rank>,
+    iteration: u64,
+    fabric_factors: Vec<(LinkId, f64)>,
+    profile_period: Option<u64>,
+    last_reconstruct: Option<ReconstructReport>,
+}
+
+impl<'c> AdapCC<'c> {
+    /// Detects the topology, profiles the links, and returns a ready
+    /// session (the paper's `adapcc.init()`).
+    pub fn init(cluster: &'c Cluster, options: InitOptions) -> Self {
+        let mut detector = Detector::new(cluster, options.seed);
+        let detection = detector.run();
+        let topo = detection.logical_topology(cluster);
+        let prof = Profiler::new(cluster, &topo, options.seed).run();
+        let init_report = InitReport {
+            detection: detection.elapsed,
+            profiling: prof.elapsed,
+        };
+        let workers = (0..cluster.gpu_count()).map(Rank).collect();
+        AdapCC {
+            cluster,
+            coordinator: Coordinator::new(options.seed).with_config(options.relay.clone()),
+            options,
+            detection,
+            topo,
+            profile: prof.links,
+            init_report,
+            communicator: Communicator::new(),
+            strategies: HashMap::new(),
+            estimates: HashMap::new(),
+            exec_cache: HashMap::new(),
+            workers,
+            iteration: 0,
+            fabric_factors: Vec::new(),
+            profile_period: None,
+            last_reconstruct: None,
+        }
+    }
+
+    /// Enables periodic on-the-fly re-profiling every `iterations`
+    /// collective calls (the paper's `adapcc.profile()` API; Sec. VI-D
+    /// uses 500). The pass runs transparently at the start of the
+    /// triggering iteration; its cost is visible through
+    /// [`AdapCC::last_reconstruct`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    pub fn set_profile_period(&mut self, iterations: u64) {
+        assert!(iterations > 0, "profiling period must be positive");
+        self.profile_period = Some(iterations);
+    }
+
+    /// Disables periodic re-profiling.
+    pub fn clear_profile_period(&mut self) {
+        self.profile_period = None;
+    }
+
+    /// The most recent automatic (or manual) reconstruction report.
+    pub fn last_reconstruct(&self) -> Option<ReconstructReport> {
+        self.last_reconstruct
+    }
+
+    /// Runs the periodic profiling pass if this iteration is due.
+    fn maybe_reprofile(&mut self) {
+        if let Some(period) = self.profile_period {
+            if self.iteration > 0 && self.iteration.is_multiple_of(period) {
+                let report = self.reprofile();
+                self.last_reconstruct = Some(report);
+            }
+        }
+    }
+
+    /// Applies live capacity factors (the `tc`-shaped / trace-driven
+    /// bandwidth of Sec. VI-D) to every subsequent collective and to
+    /// re-profiling passes.
+    pub fn set_fabric_factors(&mut self, factors: Vec<(LinkId, f64)>) {
+        self.fabric_factors = factors;
+        self.exec_cache.clear();
+        self.estimates.clear();
+    }
+
+    /// Builds the transmission contexts (the paper's `adapcc.setup()`).
+    pub fn setup(&mut self) -> SetupReport {
+        self.communicator.setup(self.cluster, self.options.parallelism)
+    }
+
+    /// The initialization cost breakdown.
+    pub fn init_report(&self) -> InitReport {
+        self.init_report
+    }
+
+    /// The cluster the session runs over.
+    pub fn cluster(&self) -> &'c Cluster {
+        self.cluster
+    }
+
+    /// The live capacity factors applied to the fabric.
+    pub fn fabric_factors(&self) -> &[(LinkId, f64)] {
+        &self.fabric_factors
+    }
+
+    /// The detected topology report.
+    pub fn detection(&self) -> &DetectionReport {
+        &self.detection
+    }
+
+    /// The logical topology.
+    pub fn topology(&self) -> &LogicalTopology {
+        &self.topo
+    }
+
+    /// The current link profile.
+    pub fn link_profile(&self) -> &LinkProfile {
+        &self.profile
+    }
+
+    /// Relay statistics accumulated so far (Fig. 15 / Fig. 19(d)).
+    pub fn relay_stats(&self) -> &RelayStats {
+        self.coordinator.stats()
+    }
+
+    /// All worker ranks of the job.
+    pub fn workers(&self) -> &[Rank] {
+        &self.workers
+    }
+
+    /// Restricts the job to a subset of workers (after faults, or for
+    /// partial-job collectives). Cached strategies are dropped.
+    pub fn set_workers(&mut self, workers: Vec<Rank>) {
+        assert!(!workers.is_empty(), "job needs at least one worker");
+        self.workers = workers;
+        self.strategies.clear();
+        self.estimates.clear();
+        self.exec_cache.clear();
+    }
+
+    /// The synthesized strategy for a primitive/tensor pair (cached).
+    pub fn strategy_for(&mut self, primitive: Primitive, tensor: ByteSize) -> &Strategy {
+        self.strategy_for_root(primitive, tensor, None)
+    }
+
+    fn strategy_for_root(
+        &mut self,
+        primitive: Primitive,
+        tensor: ByteSize,
+        root: Option<Rank>,
+    ) -> &Strategy {
+        let key = (primitive, tensor.as_u64(), root);
+        if !self.strategies.contains_key(&key) {
+            let mut req =
+                SynthRequest::new(primitive, tensor, self.options.parallelism, self.workers.clone());
+            req.root = root;
+            req.seed = self.options.seed;
+            let strategy = Synthesizer::new(&self.topo, &self.profile)
+                .with_config(self.options.synth.clone())
+                .synthesize(&req);
+            self.strategies.insert(key, strategy);
+        }
+        &self.strategies[&key]
+    }
+
+    // ---- plain (wait-all) primitives ----
+
+    /// AllReduce without relay control: waits for every worker.
+    pub fn allreduce(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> IterationReport {
+        self.run_plain(Primitive::AllReduce, tensor, ready, inputs)
+    }
+
+    /// Reduce onto an automatically chosen root.
+    pub fn reduce(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> IterationReport {
+        self.run_plain(Primitive::Reduce, tensor, ready, inputs)
+    }
+
+    /// Broadcast from `root`.
+    pub fn broadcast(
+        &mut self,
+        root: Rank,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> IterationReport {
+        self.run_rooted(Primitive::Broadcast, tensor, Some(root), ready, inputs)
+    }
+
+    /// AlltoAll personalized exchange.
+    pub fn alltoall(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> IterationReport {
+        self.run_plain(Primitive::AllToAll, tensor, ready, inputs)
+    }
+
+    /// AllGather, composed of one Broadcast per worker (paper
+    /// Sec. IV-D). Each worker contributes `tensor` bytes; outputs are
+    /// the rank-ordered concatenation (`N x tensor` per worker).
+    pub fn allgather(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> IterationReport {
+        self.iteration += 1;
+        let workers = self.workers.clone();
+        let strategies: Vec<Strategy> = workers
+            .iter()
+            .map(|r| {
+                self.strategy_for_root(Primitive::Broadcast, tensor, Some(*r))
+                    .clone()
+            })
+            .collect();
+        let requests: Vec<ExecutionRequest<'_>> = strategies
+            .iter()
+            .map(|s| {
+                let mut req = ExecutionRequest::timing(s, tensor).with_ready(ready.clone());
+                if let Some(inp) = &inputs {
+                    req = req.with_inputs(inp.clone());
+                }
+                req
+            })
+            .collect();
+        let exec = Executor::new(self.cluster, &self.topo).with_capacity_factors(&self.fabric_factors);
+        let batch = exec.execute(&requests);
+        // Concatenate: slot j of every worker's output is root j's tensor.
+        let elems = (tensor.as_u64() / 4) as usize;
+        let mut outputs: BTreeMap<Rank, Vec<f32>> = BTreeMap::new();
+        if let Some(inp) = &inputs {
+            for w in &workers {
+                let mut buf = vec![0.0f32; elems * workers.len()];
+                for (j, root) in workers.iter().enumerate() {
+                    let src = if w == root {
+                        &inp[root]
+                    } else {
+                        &batch.requests[j].outputs[w]
+                    };
+                    buf[j * elems..(j + 1) * elems].copy_from_slice(src);
+                }
+                outputs.insert(*w, buf);
+            }
+        }
+        let (first, last) = ready_span(ready, &workers);
+        IterationReport {
+            decision: Decision::WaitAll { start: last },
+            finish: batch.finish,
+            comm_time: batch.finish.duration_since(first),
+            wait_time: last.duration_since(first),
+            faults: Vec::new(),
+            outputs,
+        }
+    }
+
+    /// ReduceScatter, composed of one Reduce per worker over its shard
+    /// (paper Sec. IV-D). `tensor` is the full per-worker tensor; each
+    /// worker ends with its aggregated `tensor / N` shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor does not split evenly into f32 shards.
+    pub fn reduce_scatter(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> IterationReport {
+        self.iteration += 1;
+        let workers = self.workers.clone();
+        let n = workers.len();
+        assert_eq!(
+            tensor.as_u64() % (4 * n as u64),
+            0,
+            "tensor must split into f32 shards"
+        );
+        let shard = ByteSize::from_bytes(tensor.as_u64() / n as u64);
+        let shard_elems = (shard.as_u64() / 4) as usize;
+        let strategies: Vec<Strategy> = workers
+            .iter()
+            .map(|r| {
+                self.strategy_for_root(Primitive::Reduce, shard, Some(*r))
+                    .clone()
+            })
+            .collect();
+        // Shard j of every input feeds the reduce rooted at worker j.
+        let shard_inputs: Vec<Option<BTreeMap<Rank, Vec<f32>>>> = (0..n)
+            .map(|j| {
+                inputs.as_ref().map(|inp| {
+                    inp.iter()
+                        .map(|(r, buf)| {
+                            (*r, buf[j * shard_elems..(j + 1) * shard_elems].to_vec())
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        let requests: Vec<ExecutionRequest<'_>> = strategies
+            .iter()
+            .zip(&shard_inputs)
+            .map(|(s, inp)| {
+                let mut req = ExecutionRequest::timing(s, shard).with_ready(ready.clone());
+                if let Some(inp) = inp {
+                    req = req.with_inputs(inp.clone());
+                }
+                req
+            })
+            .collect();
+        let exec = Executor::new(self.cluster, &self.topo).with_capacity_factors(&self.fabric_factors);
+        let batch = exec.execute(&requests);
+        let mut outputs = BTreeMap::new();
+        if inputs.is_some() {
+            for (j, root) in workers.iter().enumerate() {
+                if let Some(buf) = batch.requests[j].outputs.get(root) {
+                    outputs.insert(*root, buf.clone());
+                }
+            }
+        }
+        let (first, last) = ready_span(ready, &workers);
+        IterationReport {
+            decision: Decision::WaitAll { start: last },
+            finish: batch.finish,
+            comm_time: batch.finish.duration_since(first),
+            wait_time: last.duration_since(first),
+            faults: Vec::new(),
+            outputs,
+        }
+    }
+
+    fn run_plain(
+        &mut self,
+        primitive: Primitive,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> IterationReport {
+        self.run_rooted(primitive, tensor, None, ready, inputs)
+    }
+
+    fn run_rooted(
+        &mut self,
+        primitive: Primitive,
+        tensor: ByteSize,
+        root: Option<Rank>,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> IterationReport {
+        self.iteration += 1;
+        self.maybe_reprofile();
+        // The request rides the communicator's work queue exactly as
+        // the ML framework would push it (paper Fig. 4); the result is
+        // fetched from the result queue below.
+        let work_id = self.communicator.submit(crate::communicator::WorkItem {
+            id: 0,
+            primitive,
+            tensor,
+            ready: ready.clone(),
+            inputs: inputs.clone(),
+        });
+        let item = self
+            .communicator
+            .take_work()
+            .expect("the request just submitted");
+        debug_assert_eq!(item.id, work_id);
+        let workers = self.workers.clone();
+        let strategy = self.strategy_for_root(primitive, tensor, root).clone();
+        let (first, last) = ready_span(ready, &workers);
+        // Timing-only wait-all runs reuse the cached zero-skew
+        // execution time: the collective itself is deterministic, the
+        // slowest worker gates its start.
+        let (finish, outputs) = if item.inputs.is_none() {
+            let t_exec = self.cached_exec_secs(primitive, tensor, root, &strategy);
+            (last + SimDuration::from_secs(t_exec), BTreeMap::new())
+        } else {
+            let mut req = ExecutionRequest::timing(&strategy, tensor).with_ready(item.ready);
+            if let Some(inp) = item.inputs {
+                req = req.with_inputs(inp);
+            }
+            let exec =
+                Executor::new(self.cluster, &self.topo).with_capacity_factors(&self.fabric_factors);
+            let batch = exec.execute(&[req]);
+            (
+                batch.finish,
+                batch.requests.into_iter().next().expect("one request").outputs,
+            )
+        };
+        self.communicator.complete(crate::communicator::WorkResult {
+            id: work_id,
+            finish,
+            outputs,
+        });
+        let result = self.communicator.fetch().expect("the result just completed");
+        debug_assert_eq!(result.id, work_id);
+        IterationReport {
+            decision: Decision::WaitAll { start: last },
+            finish: result.finish,
+            comm_time: result.finish.duration_since(first),
+            wait_time: last.duration_since(first),
+            faults: Vec::new(),
+            outputs: result.outputs,
+        }
+    }
+
+    /// Zero-skew execution time of a cached strategy (measured once).
+    fn cached_exec_secs(
+        &mut self,
+        primitive: Primitive,
+        tensor: ByteSize,
+        root: Option<Rank>,
+        strategy: &Strategy,
+    ) -> f64 {
+        let key = (primitive, tensor.as_u64(), root);
+        if let Some(t) = self.exec_cache.get(&key) {
+            return *t;
+        }
+        let t = Executor::new(self.cluster, &self.topo)
+            .with_capacity_factors(&self.fabric_factors)
+            .execute(&[ExecutionRequest::timing(strategy, tensor)])
+            .finish
+            .as_secs();
+        self.exec_cache.insert(key, t);
+        t
+    }
+
+    // ---- adaptive AllReduce (relay control) ----
+
+    /// The ski-rental buy estimate for one strategy, with a *measured*
+    /// phase-2 unit: one full-tensor broadcast is executed once on the
+    /// current fabric and its wall time cached (estimation by
+    /// measurement, like everything else in AdapCC).
+    fn buy_estimate(&mut self, strategy: &Strategy, tensor: ByteSize) -> BuyEstimate {
+        let key = (strategy.primitive, tensor.as_u64());
+        if let Some(est) = self.estimates.get(&key) {
+            return est.clone();
+        }
+        let probe_root = self.workers[self.workers.len() / 2];
+        let bstrat = self
+            .strategy_for_root(Primitive::Broadcast, tensor, Some(probe_root))
+            .clone();
+        let unit = Executor::new(self.cluster, &self.topo)
+            .with_capacity_factors(&self.fabric_factors)
+            .execute(&[ExecutionRequest::timing(&bstrat, tensor)])
+            .finish
+            .as_secs();
+        let est = BuyEstimate::new(&self.topo, &self.profile, strategy, tensor)
+            .with_phase2_unit(unit);
+        self.estimates.insert(key, est.clone());
+        est
+    }
+
+    /// AllReduce with adaptive relay control: the coordinator decides
+    /// (ski-rental) whether to wait for stragglers or run a phase-1
+    /// partial collective with relays followed by a phase-2 completion
+    /// broadcast. Workers missing from `ready` are fault candidates.
+    pub fn allreduce_adaptive(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> IterationReport {
+        self.iteration += 1;
+        self.maybe_reprofile();
+        let workers = self.workers.clone();
+        let strategy = self.strategy_for(Primitive::AllReduce, tensor).clone();
+        let root = strategy.subs[0].root.expect("allreduce strategies are rooted");
+        let est = self.buy_estimate(&strategy, tensor);
+        let decision = self.coordinator.decide(&workers, root, ready, &est);
+        let first = ready
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(SimTime::ZERO);
+
+        match decision.clone() {
+            Decision::WaitAll { start } => {
+                if inputs.is_none() {
+                    let t_exec =
+                        self.cached_exec_secs(Primitive::AllReduce, tensor, None, &strategy);
+                    let (_, last) = ready_span(ready, &workers);
+                    let finish = last.max(start) + SimDuration::from_secs(t_exec);
+                    return IterationReport {
+                        decision,
+                        finish,
+                        comm_time: finish.duration_since(first),
+                        wait_time: start.duration_since(first.min(start)),
+                        faults: Vec::new(),
+                        outputs: BTreeMap::new(),
+                    };
+                }
+                let mut req = ExecutionRequest::timing(&strategy, tensor).with_ready(ready.clone());
+                if let Some(inp) = inputs {
+                    req = req.with_inputs(inp);
+                }
+                let exec = Executor::new(self.cluster, &self.topo).with_capacity_factors(&self.fabric_factors);
+                let batch = exec.execute(&[req]);
+                IterationReport {
+                    decision,
+                    finish: batch.finish,
+                    comm_time: batch.finish.duration_since(first),
+                    wait_time: start.duration_since(first.min(start)),
+                    faults: Vec::new(),
+                    outputs: batch.requests.into_iter().next().expect("one").outputs,
+                }
+            }
+            Decision::Partial { start, ready: active, relays } => {
+                // Phase 1: same graph, relay sources muted; sends begin
+                // at the trigger instant.
+                let phase1_strategy = restrict_to_active(&strategy, &active);
+                let mut phase1_ready: BTreeMap<Rank, SimTime> = BTreeMap::new();
+                for r in &active {
+                    let t = ready.get(r).copied().unwrap_or(SimTime::ZERO);
+                    phase1_ready.insert(*r, t.max(start));
+                }
+                let mut req = ExecutionRequest::timing(&phase1_strategy, tensor)
+                    .with_ready(phase1_ready);
+                if let Some(inp) = &inputs {
+                    let active_inputs: BTreeMap<Rank, Vec<f32>> = inp
+                        .iter()
+                        .filter(|(r, _)| active.contains(r))
+                        .map(|(r, b)| (*r, b.clone()))
+                        .collect();
+                    req = req.with_inputs(active_inputs);
+                }
+                let phase1 = Executor::new(self.cluster, &self.topo)
+                    .with_capacity_factors(&self.fabric_factors)
+                    .execute(&[req]);
+                let phase1_end = phase1.finish;
+
+                // Fault detection: relays still unready T_fault after
+                // phase 1 are excluded.
+                let faults = self.coordinator.detect_faults(&workers, ready, phase1_end);
+                let late: Vec<Rank> = relays
+                    .iter()
+                    .copied()
+                    .filter(|r| !faults.contains(r))
+                    .collect();
+
+                // Phase 2: late tensors are broadcast and locally
+                // combined with the phase-1 result. A late worker whose
+                // tensor became ready *during* phase 1 joined the
+                // ongoing aggregation for the chunks still in flight
+                // (paper Sec. IV-C), so only its missed fraction rides
+                // the phase-2 broadcast.
+                let mut finish = phase1_end;
+                if !late.is_empty() {
+                    let phase1_span = phase1_end.duration_since(start).as_secs().max(1e-9);
+                    let bstrats: Vec<(Strategy, Rank, ByteSize)> = late
+                        .iter()
+                        .map(|r| {
+                            let t = ready.get(r).copied().unwrap_or(phase1_end);
+                            let missed = if t >= phase1_end {
+                                1.0
+                            } else {
+                                // Fraction of chunks already aggregated
+                                // when this worker's buffer filled.
+                                (t.duration_since(start.min(t)).as_secs() / phase1_span)
+                                    .clamp(0.0, 1.0)
+                            };
+                            let bytes = ((tensor.as_f64() * missed) as u64 / 4).max(1) * 4;
+                            (
+                                self.strategy_for_root(Primitive::Broadcast, tensor, Some(*r))
+                                    .clone(),
+                                *r,
+                                ByteSize::from_bytes(bytes),
+                            )
+                        })
+                        .collect();
+                    let requests: Vec<ExecutionRequest<'_>> = bstrats
+                        .iter()
+                        .map(|(s, r, bytes)| {
+                            let mut m = BTreeMap::new();
+                            let t = ready.get(r).copied().unwrap_or(phase1_end);
+                            m.insert(*r, t.max(phase1_end));
+                            ExecutionRequest::timing(s, *bytes).with_ready(m)
+                        })
+                        .collect();
+                    let phase2 = Executor::new(self.cluster, &self.topo)
+                        .with_capacity_factors(&self.fabric_factors)
+                        .execute(&requests);
+                    // Local combine kernels, one per late tensor.
+                    let (inst, _) = self.cluster.locate(root);
+                    let combine = kernel_launch_overhead()
+                        + self.cluster.spec(inst).gpu.reduce_bandwidth().time_for(tensor);
+                    finish = phase2.finish + combine.scale(late.len() as f64);
+                }
+
+                // Final values: phase-1 partial sum + late tensors.
+                let mut outputs = BTreeMap::new();
+                if let Some(inp) = &inputs {
+                    let elems = (tensor.as_u64() / 4) as usize;
+                    let base = phase1
+                        .requests
+                        .first()
+                        .and_then(|r| r.outputs.values().next().cloned())
+                        .unwrap_or_else(|| vec![0.0; elems]);
+                    let mut total = base;
+                    for r in &late {
+                        for (d, v) in total.iter_mut().zip(&inp[r]) {
+                            *d += v;
+                        }
+                    }
+                    for w in workers.iter().filter(|w| !faults.contains(w)) {
+                        outputs.insert(*w, total.clone());
+                    }
+                }
+
+                IterationReport {
+                    decision,
+                    finish,
+                    comm_time: finish.duration_since(first),
+                    wait_time: start.duration_since(first.min(start)),
+                    faults,
+                    outputs,
+                }
+            }
+        }
+    }
+
+    // ---- graph reconstruction ----
+
+    /// Re-profiles the links under the given live capacity factors and,
+    /// if the picture changed beyond the threshold, re-synthesizes all
+    /// cached strategies and re-runs the context set-up — all without
+    /// stopping the job (paper Sec. IV-B / Fig. 19(c)).
+    pub fn reprofile(&mut self) -> ReconstructReport {
+        let mut profiler =
+            Profiler::new(self.cluster, &self.topo, self.options.seed ^ self.iteration);
+        for (l, f) in &self.fabric_factors {
+            profiler.set_capacity_factor(*l, *f);
+        }
+        let report = profiler.run();
+        let delta = report.links.max_bandwidth_delta(&self.profile);
+        let changed = delta > self.options.resynth_threshold;
+        self.profile = report.links;
+        let mut solving = SimDuration::ZERO;
+        let mut setup = SimDuration::ZERO;
+        if changed {
+            let keys: Vec<(Primitive, u64, Option<Rank>)> =
+                self.strategies.keys().copied().collect();
+            self.strategies.clear();
+            self.estimates.clear();
+            self.exec_cache.clear();
+            let wall = std::time::Instant::now();
+            for (p, bytes, root) in keys {
+                let _ = self.strategy_for_root(p, ByteSize::from_bytes(bytes), root);
+            }
+            solving = SimDuration::from_secs(wall.elapsed().as_secs_f64());
+            setup = self
+                .communicator
+                .setup(self.cluster, self.options.parallelism)
+                .elapsed;
+        }
+        let out = ReconstructReport {
+            profiling: report.elapsed,
+            solving,
+            setup,
+            changed,
+        };
+        self.last_reconstruct = Some(out);
+        out
+    }
+
+    /// Elastic scale-out (paper Sec. IV-A: detectors re-trigger "when
+    /// a new worker joins the job"): admits new ranks into the job,
+    /// re-runs detection for instances that were not previously part
+    /// of it, re-profiles, and re-synthesizes — all without stopping
+    /// training. Returns the cost breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rank is already in the job or outside the cluster.
+    pub fn add_workers(&mut self, new: &[Rank]) -> ScaleReport {
+        use std::collections::BTreeSet;
+        let existing_instances: BTreeSet<usize> = self
+            .workers
+            .iter()
+            .map(|r| self.cluster.locate(*r).0 .0)
+            .collect();
+        for r in new {
+            assert!(
+                !self.workers.contains(r),
+                "{r} is already part of the job"
+            );
+            assert!(r.0 < self.cluster.gpu_count(), "{r} outside the cluster");
+        }
+        // Detection re-runs only for instances joining the job; it is
+        // concurrent per instance, so the cost is one instance's probe
+        // schedule (or zero when only known instances grew).
+        let joins_new_instance = new
+            .iter()
+            .any(|r| !existing_instances.contains(&self.cluster.locate(*r).0 .0));
+        let detection = if joins_new_instance {
+            let mut detector = Detector::new(self.cluster, self.options.seed ^ 0xE1A5);
+            let report = detector.run();
+            self.detection = report.clone();
+            self.topo = report.logical_topology(self.cluster);
+            report.elapsed
+        } else {
+            SimDuration::ZERO
+        };
+        let mut workers = self.workers.clone();
+        workers.extend(new.iter().copied());
+        workers.sort();
+        self.set_workers(workers);
+        let reconstruction = self.reprofile();
+        ScaleReport {
+            detection,
+            reconstruction,
+        }
+    }
+
+    /// Removes faulty workers from the job and re-synthesizes over the
+    /// survivors (the fault-recovery path; the data loader re-shards
+    /// on the training side).
+    pub fn exclude_workers(&mut self, faulty: &[Rank]) {
+        let remaining: Vec<Rank> = self
+            .workers
+            .iter()
+            .copied()
+            .filter(|r| !faulty.contains(r))
+            .collect();
+        self.set_workers(remaining);
+    }
+}
+
+/// Cost breakdown of one elastic scale-out event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleReport {
+    /// Topology re-detection for newly joined instances (zero when only
+    /// already-known instances grew).
+    pub detection: SimDuration,
+    /// The in-place profiling/re-synthesis that follows.
+    pub reconstruction: ReconstructReport,
+}
+
+impl ScaleReport {
+    /// Total time the job was blocked by the scale event.
+    pub fn total(&self) -> SimDuration {
+        self.detection + self.reconstruction.total()
+    }
+}
+
+fn ready_span(ready: &BTreeMap<Rank, SimTime>, workers: &[Rank]) -> (SimTime, SimTime) {
+    let mut first = SimTime::ZERO;
+    let mut last = SimTime::ZERO;
+    let mut any = false;
+    for w in workers {
+        let t = ready.get(w).copied().unwrap_or(SimTime::ZERO);
+        if !any {
+            first = t;
+            last = t;
+            any = true;
+        } else {
+            if t < first {
+                first = t;
+            }
+            last = last.max(t);
+        }
+    }
+    (first, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs_for(workers: &[Rank], elems: usize) -> BTreeMap<Rank, Vec<f32>> {
+        workers
+            .iter()
+            .map(|r| {
+                (*r, (0..elems).map(|i| ((r.0 * 13 + i) % 11) as f32).collect())
+            })
+            .collect()
+    }
+
+    fn quick_options() -> InitOptions {
+        InitOptions {
+            synth: SynthConfig { anneal_iters: 24, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    /// Options with a generous fault horizon, so deliberately late
+    /// test workers are relayed rather than declared dead.
+    fn patient_options() -> InitOptions {
+        InitOptions {
+            relay: RelayConfig { fault_floor: SimDuration::from_millis(500.0), ..Default::default() },
+            ..quick_options()
+        }
+    }
+
+    #[test]
+    fn end_to_end_allreduce_matches_sum() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let tensor = ByteSize::from_kib(64);
+        let elems = 64 * 1024 / 4;
+        let workers = cc.workers().to_vec();
+        let inputs = inputs_for(&workers, elems);
+        let report = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs.clone()));
+        for w in &workers {
+            let out = &report.outputs[w];
+            for i in [0usize, 17, elems - 1] {
+                let expect: f32 = workers.iter().map(|r| inputs[r][i]).sum();
+                assert!((out[i] - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_allreduce_waits_for_small_skew() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let tensor = ByteSize::from_mib(16);
+        let mut ready = BTreeMap::new();
+        for r in cc.workers().to_vec() {
+            ready.insert(r, SimTime::from_secs(r.0 as f64 * 1e-5));
+        }
+        let report = cc.allreduce_adaptive(tensor, &ready, None);
+        assert!(matches!(report.decision, Decision::WaitAll { .. }));
+        assert!(report.faults.is_empty());
+    }
+
+    #[test]
+    fn adaptive_allreduce_proceeds_past_heavy_straggler() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(&c, patient_options());
+        cc.setup();
+        let tensor = ByteSize::from_mib(16);
+        let workers = cc.workers().to_vec();
+        let mut ready = BTreeMap::new();
+        for r in &workers {
+            ready.insert(*r, SimTime::ZERO);
+        }
+        // One worker 60 ms late (not the root): far beyond the
+        // break-even point but inside the fault horizon.
+        let strategy_root = {
+            let s = cc.strategy_for(Primitive::AllReduce, tensor);
+            s.subs[0].root.unwrap()
+        };
+        let straggler = workers.iter().copied().find(|r| *r != strategy_root).unwrap();
+        ready.insert(straggler, SimTime::from_secs(0.06));
+        let report = cc.allreduce_adaptive(tensor, &ready, None);
+        match &report.decision {
+            Decision::Partial { relays, start, .. } => {
+                assert_eq!(relays, &vec![straggler]);
+                // Phase 1 starts well before the straggler is ready.
+                assert!(start.as_secs() < 0.06, "start {start}");
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+        // Phase 2 needs the late tensor, so completion follows it.
+        assert!(report.finish.as_secs() > 0.06, "phase2 needs the late tensor");
+        assert!(report.faults.is_empty(), "{:?}", report.faults);
+    }
+
+    #[test]
+    fn adaptive_partial_preserves_the_sum() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(&c, patient_options());
+        cc.setup();
+        let tensor = ByteSize::from_kib(64);
+        let elems = 64 * 1024 / 4;
+        let workers = cc.workers().to_vec();
+        let inputs = inputs_for(&workers, elems);
+        let mut ready = BTreeMap::new();
+        for r in &workers {
+            ready.insert(*r, SimTime::ZERO);
+        }
+        let strategy_root = {
+            let s = cc.strategy_for(Primitive::AllReduce, tensor);
+            s.subs[0].root.unwrap()
+        };
+        let straggler = workers.iter().copied().find(|r| *r != strategy_root).unwrap();
+        ready.insert(straggler, SimTime::from_secs(0.04));
+        let report = cc.allreduce_adaptive(tensor, &ready, Some(inputs.clone()));
+        assert!(matches!(report.decision, Decision::Partial { .. }));
+        // Two-phase aggregation is numerically a full allreduce.
+        for w in &workers {
+            let out = &report.outputs[w];
+            for i in [0usize, 101, elems - 1] {
+                let expect: f32 = workers.iter().map(|r| inputs[r][i]).sum();
+                assert!((out[i] - expect).abs() < 1e-3, "elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_worker_is_declared_faulty_and_excludable() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let tensor = ByteSize::from_mib(4);
+        let workers = cc.workers().to_vec();
+        let mut ready = BTreeMap::new();
+        for r in &workers {
+            ready.insert(*r, SimTime::ZERO);
+        }
+        // Rank 7 never reports.
+        ready.remove(&Rank(7));
+        let report = cc.allreduce_adaptive(tensor, &ready, None);
+        assert_eq!(report.faults, vec![Rank(7)]);
+        cc.exclude_workers(&report.faults);
+        assert_eq!(cc.workers().len(), 7);
+        // Training continues among survivors.
+        let again = cc.allreduce(tensor, &BTreeMap::new(), None);
+        assert!(again.finish.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn allgather_concatenates_rank_order() {
+        let c = Cluster::homogeneous_a100(1);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let tensor = ByteSize::from_kib(16);
+        let elems = 16 * 1024 / 4;
+        let workers = cc.workers().to_vec();
+        let inputs = inputs_for(&workers, elems);
+        let report = cc.allgather(tensor, &BTreeMap::new(), Some(inputs.clone()));
+        for w in &workers {
+            let out = &report.outputs[w];
+            assert_eq!(out.len(), elems * workers.len());
+            for (j, root) in workers.iter().enumerate() {
+                assert_eq!(&out[j * elems..(j + 1) * elems], &inputs[root][..], "slot {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_shards_the_aggregate() {
+        let c = Cluster::homogeneous_a100(1);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let workers = cc.workers().to_vec();
+        let n = workers.len();
+        let shard_elems = 1024usize;
+        let tensor = ByteSize::from_bytes((n * shard_elems * 4) as u64);
+        let inputs = inputs_for(&workers, n * shard_elems);
+        let report = cc.reduce_scatter(tensor, &BTreeMap::new(), Some(inputs.clone()));
+        for (j, w) in workers.iter().enumerate() {
+            let out = &report.outputs[w];
+            assert_eq!(out.len(), shard_elems);
+            for i in [0usize, shard_elems - 1] {
+                let expect: f32 = workers
+                    .iter()
+                    .map(|r| inputs[r][j * shard_elems + i])
+                    .sum();
+                assert!((out[i] - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn reprofile_keeps_graph_when_stable_and_rebuilds_on_change() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let tensor = ByteSize::from_mib(8);
+        let _ = cc.strategy_for(Primitive::AllReduce, tensor);
+        let stable = cc.reprofile();
+        assert!(!stable.changed, "no change expected on a quiet fabric");
+        assert_eq!(stable.solving, SimDuration::ZERO);
+        // Halve one NIC: re-synthesis must trigger.
+        let eg = c.nic_egress_link(adapcc_simnet::cluster::InstanceId(0));
+        cc.set_fabric_factors(vec![(eg, 0.5)]);
+        let shifted = cc.reprofile();
+        assert!(shifted.changed);
+        assert!(shifted.total() > stable.total());
+    }
+
+    #[test]
+    fn periodic_profiling_fires_on_schedule() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        cc.set_profile_period(3);
+        let tensor = ByteSize::from_mib(4);
+        for _ in 0..2 {
+            let _ = cc.allreduce(tensor, &BTreeMap::new(), None);
+        }
+        assert!(cc.last_reconstruct().is_none(), "not due yet");
+        let _ = cc.allreduce(tensor, &BTreeMap::new(), None);
+        let r = cc.last_reconstruct().expect("third iteration triggers");
+        assert!(r.profiling.as_secs() > 0.0);
+        assert!(!r.changed, "quiet fabric: no re-synthesis");
+    }
+
+    #[test]
+    fn elastic_scale_out_admits_new_instance() {
+        let c = Cluster::homogeneous_a100(3);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        // Start with the first two instances only.
+        cc.set_workers((0..8).map(Rank).collect());
+        let tensor = ByteSize::from_kib(64);
+        let elems = 16 * 1024;
+        let inputs8 = inputs_for(&cc.workers().to_vec(), elems);
+        let before = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs8));
+        assert_eq!(before.outputs.len(), 8);
+        // Instance 2 joins.
+        let scale = cc.add_workers(&(8..12).map(Rank).collect::<Vec<_>>());
+        assert!(scale.detection > SimDuration::ZERO, "new instance must be detected");
+        assert_eq!(cc.workers().len(), 12);
+        let inputs12 = inputs_for(&cc.workers().to_vec(), elems);
+        let after = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs12.clone()));
+        assert_eq!(after.outputs.len(), 12);
+        let expect: f32 = cc.workers().iter().map(|r| inputs12[r][3]).sum();
+        assert!((after.outputs[&Rank(9)][3] - expect).abs() < 1e-2);
+    }
+
+    #[test]
+    fn scale_out_within_known_instances_skips_detection() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        cc.set_workers(vec![Rank(0), Rank(1), Rank(4), Rank(5)]);
+        let scale = cc.add_workers(&[Rank(2), Rank(6)]);
+        assert_eq!(scale.detection, SimDuration::ZERO);
+        assert_eq!(cc.workers().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "already part of the job")]
+    fn double_admission_rejected() {
+        let c = Cluster::homogeneous_a100(1);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let _ = cc.add_workers(&[Rank(0)]);
+    }
+
+    use adapcc_simnet::cluster::Cluster;
+}

@@ -1,0 +1,201 @@
+//! The α–β link cost model (paper Sec. IV-B, borrowed from TACCL).
+//!
+//! A transfer of `s` bytes over a link costs `α + β·s`: `α` is the
+//! latency (seconds) and `β` the inverse bandwidth (seconds per byte).
+//! [`AlphaBeta::fit`] recovers both from timed measurements by ordinary
+//! least squares, which is exactly what the paper's profiler does with
+//! its repeated-send / grouped-send scheme.
+
+use serde::{Deserialize, Serialize};
+
+use adapcc_simnet::time::SimDuration;
+use adapcc_simnet::units::{Bandwidth, ByteSize};
+
+/// An α–β cost for one link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlphaBeta {
+    /// Link latency in seconds.
+    pub alpha_secs: f64,
+    /// Inverse *single-stream* bandwidth in seconds per byte.
+    pub beta_secs_per_byte: f64,
+    /// Inverse *port* (multi-stream aggregate) bandwidth in seconds per
+    /// byte; equals `beta_secs_per_byte` on media where one stream
+    /// saturates the link (NVLink, RDMA) and is smaller on media with a
+    /// per-stream ceiling (kernel TCP) — the property AdapCC's parallel
+    /// sub-collectives exploit (paper Sec. VI-D).
+    pub port_beta_secs_per_byte: f64,
+}
+
+impl AlphaBeta {
+    /// A cost from explicit latency and bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is zero.
+    pub fn new(alpha: SimDuration, bandwidth: Bandwidth) -> Self {
+        let beta = bandwidth.inverse();
+        AlphaBeta {
+            alpha_secs: alpha.as_secs(),
+            beta_secs_per_byte: beta,
+            port_beta_secs_per_byte: beta,
+        }
+    }
+
+    /// Records a measured multi-stream (port) bandwidth, clamped so the
+    /// port is never slower than a single stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is zero.
+    pub fn with_port_bandwidth(mut self, port: Bandwidth) -> Self {
+        self.port_beta_secs_per_byte = port.inverse().min(self.beta_secs_per_byte);
+        self
+    }
+
+    /// The aggregate (multi-stream) port bandwidth.
+    pub fn port_bandwidth(&self) -> Bandwidth {
+        assert!(self.port_beta_secs_per_byte > 0.0, "degenerate port beta");
+        Bandwidth::from_bytes_per_sec(1.0 / self.port_beta_secs_per_byte)
+    }
+
+    /// Empirical PCIe host-link cost, used for the GPU↔NIC staging
+    /// links the paper deliberately does not profile (their movement
+    /// overlaps with network transfers).
+    pub fn empirical_pcie() -> Self {
+        AlphaBeta {
+            alpha_secs: 2e-6,
+            beta_secs_per_byte: 1.0 / 16e9,
+            port_beta_secs_per_byte: 1.0 / 16e9,
+        }
+    }
+
+    /// Least-squares fit of `t = α + β·s` over `(payload, duration)`
+    /// measurements.
+    ///
+    /// Returns `None` when the system is degenerate (fewer than two
+    /// distinct payload sizes) or produces a non-physical fit (negative
+    /// β). A slightly negative fitted α (measurement noise around a
+    /// near-zero latency) is clamped to zero.
+    pub fn fit(measurements: &[(ByteSize, SimDuration)]) -> Option<AlphaBeta> {
+        if measurements.len() < 2 {
+            return None;
+        }
+        let n = measurements.len() as f64;
+        let sx: f64 = measurements.iter().map(|(s, _)| s.as_f64()).sum();
+        let sy: f64 = measurements.iter().map(|(_, t)| t.as_secs()).sum();
+        let sxx: f64 = measurements.iter().map(|(s, _)| s.as_f64().powi(2)).sum();
+        let sxy: f64 = measurements
+            .iter()
+            .map(|(s, t)| s.as_f64() * t.as_secs())
+            .sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-18 {
+            return None;
+        }
+        let beta = (n * sxy - sx * sy) / denom;
+        let alpha = (sy - beta * sx) / n;
+        if beta <= 0.0 || !beta.is_finite() || !alpha.is_finite() {
+            return None;
+        }
+        Some(AlphaBeta {
+            alpha_secs: alpha.max(0.0),
+            beta_secs_per_byte: beta,
+            port_beta_secs_per_byte: beta,
+        })
+    }
+
+    /// Predicted transfer time of `size` bytes.
+    pub fn transfer_time(&self, size: ByteSize) -> SimDuration {
+        SimDuration::from_secs(self.alpha_secs + self.beta_secs_per_byte * size.as_f64())
+    }
+
+    /// The link latency.
+    pub fn alpha(&self) -> SimDuration {
+        SimDuration::from_secs(self.alpha_secs)
+    }
+
+    /// The link bandwidth (1/β).
+    ///
+    /// # Panics
+    ///
+    /// Panics if β is zero (cannot happen for fitted or constructed
+    /// values).
+    pub fn bandwidth(&self) -> Bandwidth {
+        assert!(self.beta_secs_per_byte > 0.0, "degenerate beta");
+        Bandwidth::from_bytes_per_sec(1.0 / self.beta_secs_per_byte)
+    }
+
+    /// Relative difference in bandwidth against another cost, as a
+    /// fraction of the other's bandwidth (used to decide whether a
+    /// re-profile changed the picture enough to re-synthesize).
+    pub fn bandwidth_delta(&self, other: &AlphaBeta) -> f64 {
+        let a = self.bandwidth().as_bytes_per_sec();
+        let b = other.bandwidth().as_bytes_per_sec();
+        (a - b).abs() / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let truth = AlphaBeta { alpha_secs: 5e-6, beta_secs_per_byte: 1.0 / 12.5e9, port_beta_secs_per_byte: 1.0 / 12.5e9 };
+        let meas: Vec<_> = [64 * 1024, 1024 * 1024, 8 * 1024 * 1024]
+            .iter()
+            .map(|&b| {
+                let s = ByteSize::from_bytes(b);
+                (s, truth.transfer_time(s))
+            })
+            .collect();
+        let fit = AlphaBeta::fit(&meas).expect("fits");
+        assert!((fit.alpha_secs - truth.alpha_secs).abs() < 1e-9);
+        assert!((fit.beta_secs_per_byte / truth.beta_secs_per_byte - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let truth = AlphaBeta { alpha_secs: 4e-6, beta_secs_per_byte: 1.0 / 50e9, port_beta_secs_per_byte: 1.0 / 50e9 };
+        let noise = [1.01, 0.99, 1.004, 0.996];
+        let meas: Vec<_> = [256 * 1024u64, 1024 * 1024, 4 * 1024 * 1024, 16 * 1024 * 1024]
+            .iter()
+            .zip(noise.iter())
+            .map(|(&b, &k)| {
+                let s = ByteSize::from_bytes(b);
+                (s, truth.transfer_time(s).scale(k))
+            })
+            .collect();
+        let fit = AlphaBeta::fit(&meas).expect("fits");
+        assert!((fit.bandwidth().as_gbytes_per_sec() - 50.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        assert!(AlphaBeta::fit(&[]).is_none());
+        let s = ByteSize::from_mib(1);
+        let t = SimDuration::from_micros(100.0);
+        assert!(AlphaBeta::fit(&[(s, t)]).is_none());
+        // Same payload twice: no slope information.
+        assert!(AlphaBeta::fit(&[(s, t), (s, t)]).is_none());
+    }
+
+    #[test]
+    fn fit_clamps_small_negative_alpha() {
+        // Noisy measurements that regress to a slightly negative alpha.
+        let meas = [
+            (ByteSize::from_mib(1), SimDuration::from_micros(80.0)),
+            (ByteSize::from_mib(2), SimDuration::from_micros(165.0)),
+            (ByteSize::from_mib(4), SimDuration::from_micros(330.0)),
+        ];
+        let fit = AlphaBeta::fit(&meas).expect("fits");
+        assert!(fit.alpha_secs >= 0.0);
+    }
+
+    #[test]
+    fn bandwidth_delta_symmetry_in_sign() {
+        let a = AlphaBeta { alpha_secs: 0.0, beta_secs_per_byte: 1.0 / 10e9, port_beta_secs_per_byte: 1.0 / 10e9 };
+        let b = AlphaBeta { alpha_secs: 0.0, beta_secs_per_byte: 1.0 / 8e9, port_beta_secs_per_byte: 1.0 / 8e9 };
+        assert!((a.bandwidth_delta(&b) - 0.25).abs() < 1e-12);
+    }
+}

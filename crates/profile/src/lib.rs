@@ -1,0 +1,29 @@
+//! # adapcc-profile
+//!
+//! The AdapCC link profiler (paper Sec. IV-B): measures α–β costs for
+//! every NVLink and NIC-to-NIC connection of the detected logical
+//! topology, on the fly, using the paper's interference-free
+//! multi-round schedule. Results feed the strategy synthesizer and the
+//! re-synthesis trigger.
+//!
+//! # Example
+//!
+//! ```
+//! use adapcc_simnet::cluster::Cluster;
+//! use adapcc_topo::detect::Detector;
+//! use adapcc_profile::profiler::Profiler;
+//!
+//! let cluster = Cluster::paper_testbed();
+//! let topo = Detector::new(&cluster, 1).run().logical_topology(&cluster);
+//! let report = Profiler::new(&cluster, &topo, 1).run();
+//! assert_eq!(report.rounds, cluster.instance_count() - 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alphabeta;
+pub mod profiler;
+
+pub use alphabeta::AlphaBeta;
+pub use profiler::{LinkProfile, ProfileConfig, ProfileReport, Profiler};

@@ -1,0 +1,422 @@
+//! The on-the-fly link profiler (paper Sec. IV-B).
+//!
+//! Given the detected [`LogicalTopology`], the profiler measures an
+//! [`AlphaBeta`] cost for every NVLink / PCIe-peer edge and every
+//! NIC-to-NIC network connection:
+//!
+//! * **Intra-instance**: between each GPU pair, a payload `s` is sent
+//!   `n` times back-to-back (cost `n(α + βs)`), then once as a grouped
+//!   `n·s` payload (cost `α + βns`); repeating for several `(n, s)`
+//!   points and least-squares fitting recovers `α` and `β`.
+//! * **Inter-instance**: with `N` instances, `N−1` rounds run, each
+//!   ending with a barrier; in round `i`, instance `n` probes instance
+//!   `(n+i) mod N`. The round structure guarantees at most one probe
+//!   flow in any ingress or egress port at a time, so measurements are
+//!   interference-free and maximally parallel.
+//!
+//! Host links (GPU↔NIC) are deliberately *not* profiled — their data
+//! movement overlaps with network transfers — and carry an empirical
+//! PCIe cost instead, exactly as the paper does.
+//!
+//! Training is blocked while profiling runs; [`ProfileReport::elapsed`]
+//! is the cost charged to the training timeline.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use adapcc_simnet::cluster::{Cluster, InstanceId, LinkId};
+use adapcc_simnet::probe::{ProbeRunner, ProbeSpec};
+use adapcc_simnet::time::SimDuration;
+use adapcc_simnet::units::ByteSize;
+use adapcc_topo::logical::{EdgeId, EdgeKind, LogicalNode, LogicalTopology};
+
+use crate::alphabeta::AlphaBeta;
+
+/// Measured α–β costs for the logical edges.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinkProfile {
+    costs: HashMap<usize, AlphaBeta>,
+}
+
+impl LinkProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        LinkProfile::default()
+    }
+
+    /// Records the cost of an edge.
+    pub fn insert(&mut self, edge: EdgeId, cost: AlphaBeta) {
+        self.costs.insert(edge.0, cost);
+    }
+
+    /// The cost of an edge, if profiled.
+    pub fn get(&self, edge: EdgeId) -> Option<AlphaBeta> {
+        self.costs.get(&edge.0).copied()
+    }
+
+    /// Number of profiled edges.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// True if nothing has been profiled.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Largest relative bandwidth change versus an older profile, over
+    /// edges present in both (the synthesizer re-runs only when this
+    /// exceeds its threshold).
+    pub fn max_bandwidth_delta(&self, older: &LinkProfile) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (edge, cost) in &self.costs {
+            if let Some(old) = older.costs.get(edge) {
+                worst = worst.max(cost.bandwidth_delta(old));
+            }
+        }
+        worst
+    }
+}
+
+/// Profiling payload schedule: the `(repetitions, payload)` points
+/// measured per edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileConfig {
+    /// `(n, s)` points for the repeated-send measurements.
+    pub points: Vec<(usize, ByteSize)>,
+    /// Per-round barrier/synchronization overhead.
+    pub barrier_overhead: SimDuration,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            points: vec![
+                (4, ByteSize::from_kib(512)),
+                (4, ByteSize::from_mib(4)),
+                (2, ByteSize::from_mib(16)),
+            ],
+            barrier_overhead: SimDuration::from_millis(2.0),
+        }
+    }
+}
+
+/// Result of one profiling pass.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Fitted costs per logical edge.
+    pub links: LinkProfile,
+    /// Wall-clock cost of the pass (training is blocked this long).
+    pub elapsed: SimDuration,
+    /// Number of inter-instance rounds executed (`N − 1`).
+    pub rounds: usize,
+}
+
+/// The profiler.
+///
+/// # Examples
+///
+/// ```
+/// use adapcc_simnet::cluster::Cluster;
+/// use adapcc_topo::detect::Detector;
+/// use adapcc_profile::profiler::Profiler;
+///
+/// let cluster = Cluster::homogeneous_a100(2);
+/// let topo = Detector::new(&cluster, 1).run().logical_topology(&cluster);
+/// let report = Profiler::new(&cluster, &topo, 1).run();
+/// assert_eq!(report.rounds, 1);
+/// assert!(!report.links.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Profiler<'c, 't> {
+    cluster: &'c Cluster,
+    topo: &'t LogicalTopology,
+    runner: ProbeRunner<'c>,
+    config: ProfileConfig,
+}
+
+impl<'c, 't> Profiler<'c, 't> {
+    /// A profiler with the default measurement schedule.
+    pub fn new(cluster: &'c Cluster, topo: &'t LogicalTopology, seed: u64) -> Self {
+        Profiler {
+            cluster,
+            topo,
+            runner: ProbeRunner::new(cluster, seed),
+            config: ProfileConfig::default(),
+        }
+    }
+
+    /// Overrides the measurement schedule.
+    pub fn with_config(mut self, config: ProfileConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Disables measurement noise (tests).
+    pub fn without_noise(mut self) -> Self {
+        self.runner = ProbeRunner::new(self.cluster, 0).with_noise(0.0);
+        self
+    }
+
+    /// Mirrors a live capacity factor (trace modulation) into the
+    /// measurements, so re-profiling observes current conditions.
+    pub fn set_capacity_factor(&mut self, link: LinkId, factor: f64) {
+        self.runner.set_capacity_factor(link, factor);
+    }
+
+    /// Runs the full pass: concurrent per-instance intra profiling,
+    /// then `N − 1` interference-free inter-instance rounds.
+    pub fn run(&mut self) -> ProfileReport {
+        let mut links = LinkProfile::new();
+        // Intra phase: instances profile concurrently; the phase costs
+        // as much as the slowest instance.
+        let mut intra_slowest = SimDuration::ZERO;
+        for i in 0..self.cluster.instance_count() {
+            let took = self.profile_instance(InstanceId(i), &mut links);
+            intra_slowest = intra_slowest.max(took);
+        }
+        // Host links carry the empirical PCIe cost.
+        for e in self.topo.edges_of_kind(EdgeKind::HostLink) {
+            links.insert(e, AlphaBeta::empirical_pcie());
+        }
+        // Inter phase.
+        let n = self.cluster.instance_count();
+        let mut inter_elapsed = SimDuration::ZERO;
+        let rounds = n.saturating_sub(1);
+        for round in 1..=rounds {
+            inter_elapsed += self.profile_round(round, &mut links);
+            inter_elapsed += self.config.barrier_overhead;
+        }
+        ProfileReport {
+            links,
+            elapsed: intra_slowest + inter_elapsed,
+            rounds,
+        }
+    }
+
+    /// Profiles every NVLink / PCIe-peer edge of one instance; returns
+    /// the instance's sequential probe time.
+    fn profile_instance(&mut self, inst: InstanceId, links: &mut LinkProfile) -> SimDuration {
+        let mut elapsed = SimDuration::ZERO;
+        for kind in [EdgeKind::NvLink, EdgeKind::PciePeer] {
+            for eid in self.topo.edges_of_kind(kind) {
+                let edge = self.topo.edge(eid);
+                let (from_inst, _) = match edge.from {
+                    LogicalNode::Gpu(r) => self.cluster.locate(r),
+                    LogicalNode::Nic(_) => continue,
+                };
+                if from_inst != inst {
+                    continue;
+                }
+                let path = self.topo.edge_path(self.cluster, eid);
+                let mut meas = Vec::new();
+                for &(n, s) in &self.config.points {
+                    // n sends of s: total = n(α + βs)  →  per-send point (s, t/n).
+                    let t = self.runner.run_repeated(&path, s, n);
+                    elapsed += t;
+                    meas.push((s, t.scale(1.0 / n as f64)));
+                    // One grouped send of n·s: t = α + β·ns.
+                    let grouped = ByteSize::from_bytes(s.as_u64() * n as u64);
+                    let tg = self.runner.run_repeated(&path, grouped, 1);
+                    elapsed += tg;
+                    meas.push((grouped, tg));
+                }
+                if let Some(fit) = AlphaBeta::fit(&meas) {
+                    links.insert(eid, fit);
+                }
+            }
+        }
+        elapsed
+    }
+
+    /// One inter-instance round: instance `k` probes `(k + round) % N`,
+    /// all pairs concurrently; by construction each egress and ingress
+    /// port carries exactly one probe flow.
+    fn profile_round(&mut self, round: usize, links: &mut LinkProfile) -> SimDuration {
+        let n = self.cluster.instance_count();
+        let pairs: Vec<(InstanceId, InstanceId)> = (0..n)
+            .map(|k| (InstanceId(k), InstanceId((k + round) % n)))
+            .collect();
+        // Two concurrent batches at different payloads give each pair a
+        // two-point fit; two extra points improve conditioning.
+        let sizes = [
+            ByteSize::from_kib(256),
+            ByteSize::from_mib(4),
+            ByteSize::from_mib(16),
+        ];
+        let mut per_pair: Vec<Vec<(ByteSize, SimDuration)>> = vec![Vec::new(); pairs.len()];
+        let mut elapsed = SimDuration::ZERO;
+        for s in sizes {
+            let specs: Vec<ProbeSpec> = pairs
+                .iter()
+                .map(|(a, b)| ProbeSpec::new(self.cluster.net_path(*a, *b), s))
+                .collect();
+            let durs = self.runner.run_concurrent(&specs);
+            let batch_max = durs.iter().copied().fold(SimDuration::ZERO, SimDuration::max);
+            elapsed += batch_max;
+            for (i, d) in durs.into_iter().enumerate() {
+                per_pair[i].push((s, d));
+            }
+        }
+        // Multi-stream probe: 4 concurrent streams per pair expose the
+        // port's aggregate capacity, which exceeds a single stream on
+        // kernel-TCP links (paper Sec. VI-D observes ~20 Gbps/stream on
+        // a 100 Gbps NIC). Still interference-free: each port carries
+        // only its own pair's streams.
+        const STREAMS: usize = 4;
+        let probe = ByteSize::from_mib(8);
+        let specs: Vec<ProbeSpec> = pairs
+            .iter()
+            .flat_map(|(a, b)| {
+                (0..STREAMS).map(|_| ProbeSpec::new(self.cluster.net_path(*a, *b), probe))
+            })
+            .collect();
+        let durs = self.runner.run_concurrent(&specs);
+        elapsed += durs.iter().copied().fold(SimDuration::ZERO, SimDuration::max);
+        let mut port_bw = Vec::with_capacity(pairs.len());
+        for (i, _) in pairs.iter().enumerate() {
+            let batch = &durs[i * STREAMS..(i + 1) * STREAMS];
+            let slowest = batch.iter().copied().fold(SimDuration::ZERO, SimDuration::max);
+            let aggregate = probe.as_f64() * STREAMS as f64 / slowest.as_secs();
+            port_bw.push(adapcc_simnet::units::Bandwidth::from_bytes_per_sec(aggregate));
+        }
+        for (i, meas) in per_pair.iter().enumerate() {
+            let (a, b) = pairs[i];
+            if let Some(eid) = self
+                .topo
+                .edge_between(LogicalNode::Nic(a), LogicalNode::Nic(b))
+            {
+                if let Some(fit) = AlphaBeta::fit(meas) {
+                    links.insert(eid, fit.with_port_bandwidth(port_bw[i]));
+                }
+            }
+        }
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapcc_simnet::cluster::Cluster;
+    use adapcc_simnet::units::Bandwidth;
+    use adapcc_topo::detect::Detector;
+
+    fn profiled(cluster: &Cluster) -> (LogicalTopology, ProfileReport) {
+        let topo = Detector::new(cluster, 1).run().logical_topology(cluster);
+        let report = Profiler::new(cluster, &topo, 1).without_noise().run();
+        (topo, report)
+    }
+
+    #[test]
+    fn recovers_nvlink_bandwidth() {
+        let c = Cluster::homogeneous_a100(1);
+        let (topo, report) = profiled(&c);
+        for e in topo.edges_of_kind(EdgeKind::NvLink) {
+            let fit = report.links.get(e).expect("profiled");
+            let gbs = fit.bandwidth().as_gbytes_per_sec();
+            assert!((gbs - 100.0).abs() < 3.0, "nvlink fit {gbs}");
+        }
+    }
+
+    #[test]
+    fn recovers_heterogeneous_nic_bandwidths() {
+        let c = Cluster::paper_testbed();
+        let (topo, report) = profiled(&c);
+        // A100 (0..4) pairs see 12.5 GB/s; any edge touching a V100
+        // instance (4, 5) is limited by the 50 Gbps NIC (6.25 GB/s).
+        let a_edge = topo
+            .edge_between(
+                LogicalNode::Nic(InstanceId(0)),
+                LogicalNode::Nic(InstanceId(1)),
+            )
+            .unwrap();
+        let v_edge = topo
+            .edge_between(
+                LogicalNode::Nic(InstanceId(0)),
+                LogicalNode::Nic(InstanceId(5)),
+            )
+            .unwrap();
+        let a = report.links.get(a_edge).unwrap().bandwidth().as_gbytes_per_sec();
+        let v = report.links.get(v_edge).unwrap().bandwidth().as_gbytes_per_sec();
+        assert!((a - 12.5).abs() < 0.5, "a100-a100 {a}");
+        assert!((v - 6.25).abs() < 0.3, "a100-v100 {v}");
+    }
+
+    #[test]
+    fn round_count_is_n_minus_one() {
+        let c = Cluster::paper_testbed();
+        let (_, report) = profiled(&c);
+        assert_eq!(report.rounds, 5);
+    }
+
+    #[test]
+    fn all_network_edges_profiled() {
+        let c = Cluster::paper_testbed();
+        let (topo, report) = profiled(&c);
+        for e in topo.edges_of_kind(EdgeKind::Network) {
+            assert!(report.links.get(e).is_some(), "edge {e:?} missing");
+        }
+    }
+
+    #[test]
+    fn profiling_observes_trace_modulation() {
+        let c = Cluster::homogeneous_a100(2);
+        let topo = Detector::new(&c, 1).run().logical_topology(&c);
+        let mut p = Profiler::new(&c, &topo, 1).without_noise();
+        p.set_capacity_factor(c.nic_egress_link(InstanceId(0)), 0.5);
+        let report = p.run();
+        let eid = topo
+            .edge_between(
+                LogicalNode::Nic(InstanceId(0)),
+                LogicalNode::Nic(InstanceId(1)),
+            )
+            .unwrap();
+        let bw = report.links.get(eid).unwrap().bandwidth().as_gbytes_per_sec();
+        assert!((bw - 6.25).abs() < 0.3, "modulated fit {bw}");
+        // Reverse direction unaffected.
+        let rev = topo
+            .edge_between(
+                LogicalNode::Nic(InstanceId(1)),
+                LogicalNode::Nic(InstanceId(0)),
+            )
+            .unwrap();
+        let bw_rev = report.links.get(rev).unwrap().bandwidth().as_gbytes_per_sec();
+        assert!((bw_rev - 12.5).abs() < 0.5, "reverse fit {bw_rev}");
+    }
+
+    #[test]
+    fn elapsed_blocks_training_briefly() {
+        let c = Cluster::paper_testbed();
+        let (_, report) = profiled(&c);
+        // The pass should cost well under a second of training time.
+        assert!(report.elapsed.as_secs() < 1.0, "elapsed {}", report.elapsed);
+        assert!(report.elapsed.as_secs() > 0.001);
+    }
+
+    #[test]
+    fn delta_detection_between_profiles() {
+        let c = Cluster::homogeneous_a100(2);
+        let topo = Detector::new(&c, 1).run().logical_topology(&c);
+        let base = Profiler::new(&c, &topo, 1).without_noise().run();
+        let mut slow = Profiler::new(&c, &topo, 1).without_noise();
+        slow.set_capacity_factor(c.nic_egress_link(InstanceId(0)), 0.6);
+        let after = slow.run();
+        let delta = after.links.max_bandwidth_delta(&base.links);
+        assert!(delta > 0.3, "delta {delta}");
+        let none = base.links.max_bandwidth_delta(&base.links);
+        assert!(none < 1e-9);
+    }
+
+    #[test]
+    fn host_links_carry_empirical_cost() {
+        let c = Cluster::homogeneous_a100(1);
+        let (topo, report) = profiled(&c);
+        for e in topo.edges_of_kind(EdgeKind::HostLink) {
+            let fit = report.links.get(e).expect("empirical");
+            assert_eq!(fit, AlphaBeta::empirical_pcie());
+        }
+        let _ = Bandwidth::from_gbps(1.0);
+    }
+}

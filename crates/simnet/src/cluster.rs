@@ -1,0 +1,799 @@
+//! The simulated cluster: servers, GPUs, NUMA nodes, PCIe switches,
+//! NICs, and the directed capacity resources (links) connecting them.
+//!
+//! The cluster is a *physical* model — it knows where every PCIe switch
+//! sits. The AdapCC detector (crate `adapcc-topo`) must *re-discover*
+//! this structure through timing probes, exactly as the real system does
+//! on real hardware; nothing in the control path reads the ground truth
+//! directly (tests do, to validate the inference).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hardware::{InstanceSpec, NvlinkTopology};
+use crate::time::SimDuration;
+use crate::units::Bandwidth;
+
+/// Index of a server within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceId(pub usize);
+
+/// Global worker rank: GPUs are ranked instance-major, local-rank-minor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rank(pub usize);
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+/// A node in the physical graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// A directed capacity resource in the physical graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub usize);
+
+/// What a physical node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A GPU: `(instance, local index)`.
+    Gpu(InstanceId, usize),
+    /// A NUMA node (CPU socket): `(instance, socket index)`.
+    Numa(InstanceId, usize),
+    /// A PCIe switch: `(instance, switch index)`.
+    PcieSwitch(InstanceId, usize),
+    /// The instance's NIC.
+    Nic(InstanceId),
+}
+
+/// The physical medium a link models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Direct GPU-to-GPU NVLink.
+    NvLink,
+    /// A PCIe hop (GPU<->switch, switch<->root complex, NIC<->switch).
+    Pcie,
+    /// The inter-socket interconnect (UPI / Infinity Fabric).
+    InterSocket,
+    /// The NIC's egress port onto the datacenter fabric.
+    NicEgress,
+    /// The NIC's ingress port from the datacenter fabric.
+    NicIngress,
+}
+
+/// A directed link with an α–β cost: `alpha` latency plus
+/// `capacity`-limited fluid throughput shared among traversing flows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkDef {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Medium.
+    pub kind: LinkKind,
+    /// Propagation/setup latency of one traversal.
+    pub alpha: SimDuration,
+    /// Nominal capacity (before any trace modulation).
+    pub capacity: Bandwidth,
+    /// Per-flow rate ceiling, if the medium imposes one (TCP streams).
+    pub per_flow_cap: Option<Bandwidth>,
+}
+
+/// A multi-hop route through the physical graph: the ordered links a
+/// transfer occupies simultaneously (fluid model), plus any extra fixed
+/// latency not attributable to a single link (e.g. wire latency).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Path {
+    /// Links occupied by the flow, in traversal order.
+    pub links: Vec<LinkId>,
+    /// Additional fixed latency beyond the links' own alphas.
+    pub extra_alpha: SimDuration,
+}
+
+impl Path {
+    /// A path over the given links with no extra latency.
+    pub fn new(links: Vec<LinkId>) -> Self {
+        Path {
+            links,
+            extra_alpha: SimDuration::ZERO,
+        }
+    }
+
+    /// Adds fixed latency to the path.
+    pub fn with_extra_alpha(mut self, alpha: SimDuration) -> Self {
+        self.extra_alpha = alpha;
+        self
+    }
+}
+
+/// The simulated cluster.
+///
+/// Build one with [`ClusterBuilder`] or a preset such as
+/// [`Cluster::paper_testbed`].
+///
+/// # Examples
+///
+/// ```
+/// use adapcc_simnet::cluster::Cluster;
+///
+/// let cluster = Cluster::paper_testbed();
+/// assert_eq!(cluster.instance_count(), 6);
+/// assert_eq!(cluster.gpu_count(), 24);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    specs: Vec<InstanceSpec>,
+    nodes: Vec<NodeKind>,
+    links: Vec<LinkDef>,
+    gpu_nodes: Vec<Vec<NodeId>>,
+    numa_nodes: Vec<Vec<NodeId>>,
+    switch_nodes: Vec<Vec<NodeId>>,
+    nic_nodes: Vec<NodeId>,
+    nic_egress: Vec<LinkId>,
+    nic_ingress: Vec<LinkId>,
+    /// Directed link lookup: (src, dst) -> link.
+    link_by_ends: HashMap<(NodeId, NodeId), LinkId>,
+    /// Which PCIe switch each GPU hangs off: per instance, per local gpu.
+    gpu_switch: Vec<Vec<usize>>,
+    /// Which NUMA node each switch hangs off.
+    switch_numa: Vec<Vec<usize>>,
+}
+
+impl Cluster {
+    /// The paper's six-server testbed: four A100 servers and two V100
+    /// servers, all RDMA.
+    pub fn paper_testbed() -> Self {
+        let mut b = ClusterBuilder::new();
+        for _ in 0..4 {
+            b.add_instance(InstanceSpec::a100_server());
+        }
+        for _ in 0..2 {
+            b.add_instance(InstanceSpec::v100_server());
+        }
+        b.build()
+    }
+
+    /// The paper's homogeneous setting: `n` A100 servers, RDMA.
+    pub fn homogeneous_a100(n: usize) -> Self {
+        let mut b = ClusterBuilder::new();
+        for _ in 0..n {
+            b.add_instance(InstanceSpec::a100_server());
+        }
+        b.build()
+    }
+
+    /// The paper's heterogeneous training setting: two A100 + two V100
+    /// servers.
+    pub fn heterogeneous_2a100_2v100() -> Self {
+        let mut b = ClusterBuilder::new();
+        for _ in 0..2 {
+            b.add_instance(InstanceSpec::a100_server());
+        }
+        for _ in 0..2 {
+            b.add_instance(InstanceSpec::v100_server());
+        }
+        b.build()
+    }
+
+    /// Number of servers.
+    pub fn instance_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Specification of one server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn spec(&self, id: InstanceId) -> &InstanceSpec {
+        &self.specs[id.0]
+    }
+
+    /// All server specifications, in instance order.
+    pub fn specs(&self) -> &[InstanceSpec] {
+        &self.specs
+    }
+
+    /// Total number of GPUs (= worker ranks).
+    pub fn gpu_count(&self) -> usize {
+        self.gpu_nodes.iter().map(Vec::len).sum()
+    }
+
+    /// Number of GPUs on one server.
+    pub fn gpus_on(&self, id: InstanceId) -> usize {
+        self.gpu_nodes[id.0].len()
+    }
+
+    /// Maps a global rank to `(instance, local gpu index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is out of range.
+    pub fn locate(&self, rank: Rank) -> (InstanceId, usize) {
+        let mut r = rank.0;
+        for (i, gpus) in self.gpu_nodes.iter().enumerate() {
+            if r < gpus.len() {
+                return (InstanceId(i), r);
+            }
+            r -= gpus.len();
+        }
+        panic!("rank {} out of range (cluster has {} GPUs)", rank.0, self.gpu_count());
+    }
+
+    /// Maps `(instance, local gpu index)` to the global rank.
+    pub fn rank_of(&self, instance: InstanceId, local: usize) -> Rank {
+        let before: usize = self.gpu_nodes[..instance.0].iter().map(Vec::len).sum();
+        Rank(before + local)
+    }
+
+    /// The physical node of a rank's GPU.
+    pub fn gpu_node(&self, rank: Rank) -> NodeId {
+        let (inst, local) = self.locate(rank);
+        self.gpu_nodes[inst.0][local]
+    }
+
+    /// The physical node of an instance's NIC.
+    pub fn nic_node(&self, id: InstanceId) -> NodeId {
+        self.nic_nodes[id.0]
+    }
+
+    /// The physical node of a NUMA socket.
+    pub fn numa_node(&self, id: InstanceId, socket: usize) -> NodeId {
+        self.numa_nodes[id.0][socket]
+    }
+
+    /// All link definitions.
+    pub fn links(&self) -> &[LinkDef] {
+        &self.links
+    }
+
+    /// One link definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn link(&self, id: LinkId) -> &LinkDef {
+        &self.links[id.0]
+    }
+
+    /// The directed link between two adjacent nodes, if one exists.
+    pub fn link_between(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.link_by_ends.get(&(src, dst)).copied()
+    }
+
+    /// The NVLink between two local GPUs of the same instance, if wired.
+    pub fn nvlink_between(&self, a: Rank, b: Rank) -> Option<LinkId> {
+        let na = self.gpu_node(a);
+        let nb = self.gpu_node(b);
+        self.link_between(na, nb)
+            .filter(|l| self.links[l.0].kind == LinkKind::NvLink)
+    }
+
+    /// Ground-truth: the PCIe switch index a GPU hangs off (tests and
+    /// detection validation only — the control path must infer this).
+    pub fn gpu_switch_index(&self, rank: Rank) -> usize {
+        let (inst, local) = self.locate(rank);
+        self.gpu_switch[inst.0][local]
+    }
+
+    /// Ground-truth NUMA socket nearest to the instance NIC (the NIC is
+    /// attached under switch 0, which hangs off socket 0).
+    pub fn nic_numa_index(&self, _id: InstanceId) -> usize {
+        0
+    }
+
+    /// The route a GPU-to-GPU transfer takes *within* one instance:
+    /// the NVLink if wired, otherwise the PCIe path through switches and
+    /// sockets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranks live on different instances or are equal.
+    pub fn intra_path(&self, a: Rank, b: Rank) -> Path {
+        let (ia, la) = self.locate(a);
+        let (ib, lb) = self.locate(b);
+        assert_eq!(ia, ib, "intra_path requires ranks on one instance");
+        assert_ne!(a, b, "intra_path requires distinct ranks");
+        if let Some(l) = self.nvlink_between(a, b) {
+            return Path::new(vec![l]);
+        }
+        // PCIe route: gpu -> switch [-> numa -> numa] -> switch -> gpu.
+        let sa = self.gpu_switch[ia.0][la];
+        let sb = self.gpu_switch[ib.0][lb];
+        let gpu_a = self.gpu_nodes[ia.0][la];
+        let gpu_b = self.gpu_nodes[ib.0][lb];
+        let sw_a = self.switch_nodes[ia.0][sa];
+        let sw_b = self.switch_nodes[ib.0][sb];
+        let mut links = vec![self.expect_link(gpu_a, sw_a)];
+        if sa != sb {
+            let na = self.switch_numa[ia.0][sa];
+            let nb = self.switch_numa[ib.0][sb];
+            let numa_a = self.numa_nodes[ia.0][na];
+            let numa_b = self.numa_nodes[ib.0][nb];
+            links.push(self.expect_link(sw_a, numa_a));
+            if na != nb {
+                links.push(self.expect_link(numa_a, numa_b));
+            }
+            links.push(self.expect_link(numa_b, sw_b));
+        }
+        links.push(self.expect_link(sw_b, gpu_b));
+        Path::new(links)
+    }
+
+    /// The route of a GPU's copy to host memory on a given socket
+    /// (used by detection probes).
+    pub fn gpu_to_host_path(&self, rank: Rank, socket: usize) -> Path {
+        let (inst, local) = self.locate(rank);
+        let s = self.gpu_switch[inst.0][local];
+        let gpu = self.gpu_nodes[inst.0][local];
+        let sw = self.switch_nodes[inst.0][s];
+        let home = self.switch_numa[inst.0][s];
+        let mut links = vec![
+            self.expect_link(gpu, sw),
+            self.expect_link(sw, self.numa_nodes[inst.0][home]),
+        ];
+        if home != socket {
+            links.push(self.expect_link(
+                self.numa_nodes[inst.0][home],
+                self.numa_nodes[inst.0][socket],
+            ));
+        }
+        Path::new(links)
+    }
+
+    /// The route of a host (socket) loopback to the instance NIC
+    /// (used by NUMA-affinity detection).
+    pub fn host_to_nic_path(&self, id: InstanceId, socket: usize) -> Path {
+        // The NIC is attached under switch 0, whose home socket is 0.
+        let mut links = Vec::new();
+        let numa = self.numa_nodes[id.0][socket];
+        let numa0 = self.numa_nodes[id.0][0];
+        if socket != 0 {
+            links.push(self.expect_link(numa, numa0));
+        }
+        let sw0 = self.switch_nodes[id.0][0];
+        links.push(self.expect_link(numa0, sw0));
+        links.push(self.expect_link(sw0, self.nic_nodes[id.0]));
+        Path::new(links)
+    }
+
+    /// The reverse of [`Cluster::host_to_nic_path`]: data flowing from
+    /// the NIC back into a socket's memory (the receive half of a
+    /// loopback, which contends with GPU-to-host copies on the switch
+    /// downlink).
+    pub fn nic_to_host_path(&self, id: InstanceId, socket: usize) -> Path {
+        let mut links = Vec::new();
+        let sw0 = self.switch_nodes[id.0][0];
+        links.push(self.expect_link(self.nic_nodes[id.0], sw0));
+        let numa0 = self.numa_nodes[id.0][0];
+        links.push(self.expect_link(sw0, numa0));
+        if socket != 0 {
+            links.push(self.expect_link(numa0, self.numa_nodes[id.0][socket]));
+        }
+        Path::new(links)
+    }
+
+    /// The route of an inter-instance transfer between two NICs: the
+    /// source egress port and destination ingress port, with the wire
+    /// latency of the slower transport as extra alpha.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both NICs belong to the same instance.
+    pub fn net_path(&self, from: InstanceId, to: InstanceId) -> Path {
+        assert_ne!(from, to, "net_path requires distinct instances");
+        let wire = self.specs[from.0]
+            .nic
+            .wire_latency()
+            .max(self.specs[to.0].nic.wire_latency());
+        Path::new(vec![self.nic_egress[from.0], self.nic_ingress[to.0]]).with_extra_alpha(wire)
+    }
+
+    /// The NIC egress port resource of an instance.
+    pub fn nic_egress_link(&self, id: InstanceId) -> LinkId {
+        self.nic_egress[id.0]
+    }
+
+    /// The NIC ingress port resource of an instance.
+    pub fn nic_ingress_link(&self, id: InstanceId) -> LinkId {
+        self.nic_ingress[id.0]
+    }
+
+    /// Sum of link alphas plus the path's extra alpha.
+    pub fn path_alpha(&self, path: &Path) -> SimDuration {
+        let mut a = path.extra_alpha;
+        for l in &path.links {
+            a += self.links[l.0].alpha;
+        }
+        a
+    }
+
+    fn expect_link(&self, src: NodeId, dst: NodeId) -> LinkId {
+        self.link_between(src, dst)
+            .unwrap_or_else(|| panic!("no link {src:?} -> {dst:?}"))
+    }
+}
+
+/// Incremental construction of a [`Cluster`].
+///
+/// # Examples
+///
+/// ```
+/// use adapcc_simnet::cluster::ClusterBuilder;
+/// use adapcc_simnet::hardware::InstanceSpec;
+///
+/// let mut b = ClusterBuilder::new();
+/// b.add_instance(InstanceSpec::a100_server());
+/// b.add_instance(InstanceSpec::v100_server());
+/// let cluster = b.build();
+/// assert_eq!(cluster.gpu_count(), 8);
+/// ```
+#[derive(Debug, Default)]
+pub struct ClusterBuilder {
+    specs: Vec<InstanceSpec>,
+}
+
+impl ClusterBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ClusterBuilder::default()
+    }
+
+    /// Appends one server.
+    pub fn add_instance(&mut self, spec: InstanceSpec) -> &mut Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Appends `n` identical servers.
+    pub fn add_instances(&mut self, spec: InstanceSpec, n: usize) -> &mut Self {
+        for _ in 0..n {
+            self.specs.push(spec);
+        }
+        self
+    }
+
+    /// Materializes the cluster graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no instances were added.
+    pub fn build(&self) -> Cluster {
+        assert!(!self.specs.is_empty(), "cluster needs at least one instance");
+        let inter_socket_bw = Bandwidth::from_gbytes_per_sec(35.0);
+        let inter_socket_alpha = SimDuration::from_nanos(300.0);
+        let nvlink_alpha = SimDuration::from_nanos(700.0);
+
+        let mut nodes = Vec::new();
+        let mut links: Vec<LinkDef> = Vec::new();
+        let mut link_by_ends = HashMap::new();
+        let mut gpu_nodes = Vec::new();
+        let mut numa_nodes = Vec::new();
+        let mut switch_nodes = Vec::new();
+        let mut nic_nodes = Vec::new();
+        let mut nic_egress = Vec::new();
+        let mut nic_ingress = Vec::new();
+        let mut gpu_switch = Vec::new();
+        let mut switch_numa = Vec::new();
+
+        let push_node = |nodes: &mut Vec<NodeKind>, kind: NodeKind| -> NodeId {
+            nodes.push(kind);
+            NodeId(nodes.len() - 1)
+        };
+        let push_link = |links: &mut Vec<LinkDef>,
+                             map: &mut HashMap<(NodeId, NodeId), LinkId>,
+                             def: LinkDef|
+         -> LinkId {
+            links.push(def);
+            let id = LinkId(links.len() - 1);
+            map.insert((def.src, def.dst), id);
+            id
+        };
+        // Duplex helper: adds both directions with identical parameters.
+        let push_duplex = |links: &mut Vec<LinkDef>,
+                               map: &mut HashMap<(NodeId, NodeId), LinkId>,
+                               a: NodeId,
+                               b: NodeId,
+                               kind: LinkKind,
+                               alpha: SimDuration,
+                               cap: Bandwidth| {
+            for (s, d) in [(a, b), (b, a)] {
+                links.push(LinkDef {
+                    src: s,
+                    dst: d,
+                    kind,
+                    alpha,
+                    capacity: cap,
+                    per_flow_cap: None,
+                });
+                map.insert((s, d), LinkId(links.len() - 1));
+            }
+        };
+
+        for (idx, spec) in self.specs.iter().enumerate() {
+            let inst = InstanceId(idx);
+            let sockets = spec.numa_nodes.max(1);
+            let switches = sockets;
+            let numa: Vec<NodeId> = (0..sockets)
+                .map(|s| push_node(&mut nodes, NodeKind::Numa(inst, s)))
+                .collect();
+            let sw: Vec<NodeId> = (0..switches)
+                .map(|s| push_node(&mut nodes, NodeKind::PcieSwitch(inst, s)))
+                .collect();
+            let gpus: Vec<NodeId> = (0..spec.gpu_count)
+                .map(|g| push_node(&mut nodes, NodeKind::Gpu(inst, g)))
+                .collect();
+            let nic = push_node(&mut nodes, NodeKind::Nic(inst));
+
+            // Socket interconnect: full mesh among sockets.
+            for a in 0..sockets {
+                for b in (a + 1)..sockets {
+                    push_duplex(
+                        &mut links,
+                        &mut link_by_ends,
+                        numa[a],
+                        numa[b],
+                        LinkKind::InterSocket,
+                        inter_socket_alpha,
+                        inter_socket_bw,
+                    );
+                }
+            }
+            // Switch uplinks: switch s hangs off socket s.
+            let pcie_bw = spec.pcie.bandwidth();
+            let pcie_alpha = spec.pcie.latency();
+            let mut sn = Vec::new();
+            for (s, &sw_node) in sw.iter().enumerate() {
+                push_duplex(
+                    &mut links,
+                    &mut link_by_ends,
+                    sw_node,
+                    numa[s % sockets],
+                    LinkKind::Pcie,
+                    pcie_alpha,
+                    pcie_bw,
+                );
+                sn.push(s % sockets);
+            }
+            // GPUs distributed over switches in contiguous blocks.
+            let per_switch = spec.gpu_count.div_ceil(switches);
+            let mut gs = Vec::new();
+            for (g, &gpu_node) in gpus.iter().enumerate() {
+                let s = (g / per_switch).min(switches - 1);
+                push_duplex(
+                    &mut links,
+                    &mut link_by_ends,
+                    gpu_node,
+                    sw[s],
+                    LinkKind::Pcie,
+                    pcie_alpha,
+                    pcie_bw,
+                );
+                gs.push(s);
+            }
+            // NVLink wiring.
+            let nv_bw = spec.gpu.nvlink_pair_bandwidth();
+            let wire = |a: usize, b: usize, links: &mut Vec<LinkDef>, map: &mut _| {
+                push_duplex(links, map, gpus[a], gpus[b], LinkKind::NvLink, nvlink_alpha, nv_bw);
+            };
+            match spec.nvlink {
+                NvlinkTopology::FullMesh => {
+                    for a in 0..spec.gpu_count {
+                        for b in (a + 1)..spec.gpu_count {
+                            wire(a, b, &mut links, &mut link_by_ends);
+                        }
+                    }
+                }
+                NvlinkTopology::Ring => {
+                    if spec.gpu_count == 2 {
+                        wire(0, 1, &mut links, &mut link_by_ends);
+                    } else if spec.gpu_count > 2 {
+                        for a in 0..spec.gpu_count {
+                            let b = (a + 1) % spec.gpu_count;
+                            wire(a.min(b), a.max(b), &mut links, &mut link_by_ends);
+                        }
+                    }
+                }
+                NvlinkTopology::Pairs => {
+                    let mut a = 0;
+                    while a + 1 < spec.gpu_count {
+                        wire(a, a + 1, &mut links, &mut link_by_ends);
+                        a += 2;
+                    }
+                }
+                NvlinkTopology::None => {}
+            }
+            // NIC hangs under switch 0 (home socket 0).
+            push_duplex(
+                &mut links,
+                &mut link_by_ends,
+                nic,
+                sw[0],
+                LinkKind::Pcie,
+                pcie_alpha,
+                pcie_bw,
+            );
+            // Network port resources. Self-loops in the graph sense: they
+            // connect the NIC to the (implicit, non-blocking) fabric, so
+            // src == dst == nic; they are addressed by id, never by ends.
+            let eg = push_link(
+                &mut links,
+                &mut link_by_ends,
+                LinkDef {
+                    src: nic,
+                    dst: nic,
+                    kind: LinkKind::NicEgress,
+                    alpha: SimDuration::ZERO,
+                    capacity: spec.nic.bandwidth,
+                    per_flow_cap: spec.nic.per_flow_cap(),
+                },
+            );
+            // push_link registered (nic, nic) -> eg; the ingress link will
+            // overwrite that map entry, which is harmless: port resources
+            // are never looked up by endpoints.
+            let ing = push_link(
+                &mut links,
+                &mut link_by_ends,
+                LinkDef {
+                    src: nic,
+                    dst: nic,
+                    kind: LinkKind::NicIngress,
+                    alpha: SimDuration::ZERO,
+                    capacity: spec.nic.bandwidth,
+                    per_flow_cap: spec.nic.per_flow_cap(),
+                },
+            );
+
+            gpu_nodes.push(gpus);
+            numa_nodes.push(numa);
+            switch_nodes.push(sw);
+            nic_nodes.push(nic);
+            nic_egress.push(eg);
+            nic_ingress.push(ing);
+            gpu_switch.push(gs);
+            switch_numa.push(sn);
+        }
+
+        Cluster {
+            specs: self.specs.clone(),
+            nodes,
+            links,
+            gpu_nodes,
+            numa_nodes,
+            switch_nodes,
+            nic_nodes,
+            nic_egress,
+            nic_ingress,
+            link_by_ends,
+            gpu_switch,
+            switch_numa,
+        }
+    }
+}
+
+impl Cluster {
+    /// What a node is.
+    pub fn node_kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.0]
+    }
+
+    /// Number of nodes in the physical graph.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::{GpuGeneration, Transport};
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = Cluster::paper_testbed();
+        assert_eq!(c.instance_count(), 6);
+        assert_eq!(c.gpu_count(), 24);
+        assert_eq!(c.spec(InstanceId(0)).gpu, GpuGeneration::A100);
+        assert_eq!(c.spec(InstanceId(5)).gpu, GpuGeneration::V100);
+    }
+
+    #[test]
+    fn rank_mapping_roundtrips() {
+        let c = Cluster::paper_testbed();
+        for r in 0..c.gpu_count() {
+            let (inst, local) = c.locate(Rank(r));
+            assert_eq!(c.rank_of(inst, local), Rank(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_rejects_bad_rank() {
+        let c = Cluster::homogeneous_a100(1);
+        let _ = c.locate(Rank(99));
+    }
+
+    #[test]
+    fn nvlink_full_mesh_connects_all_pairs() {
+        let c = Cluster::homogeneous_a100(1);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert!(c.nvlink_between(Rank(a), Rank(b)).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_topology_leaves_gaps() {
+        let spec = InstanceSpec::a100_server().with_nvlink(NvlinkTopology::Pairs);
+        let mut b = ClusterBuilder::new();
+        b.add_instance(spec);
+        let c = b.build();
+        assert!(c.nvlink_between(Rank(0), Rank(1)).is_some());
+        assert!(c.nvlink_between(Rank(2), Rank(3)).is_some());
+        assert!(c.nvlink_between(Rank(1), Rank(2)).is_none());
+        // The PCIe fallback path between 1 and 2 crosses both switches.
+        let p = c.intra_path(Rank(1), Rank(2));
+        assert!(p.links.len() >= 4);
+    }
+
+    #[test]
+    fn intra_path_uses_nvlink_when_available() {
+        let c = Cluster::homogeneous_a100(1);
+        let p = c.intra_path(Rank(0), Rank(3));
+        assert_eq!(p.links.len(), 1);
+        assert_eq!(c.link(p.links[0]).kind, LinkKind::NvLink);
+    }
+
+    #[test]
+    fn net_path_uses_ports_and_wire_latency() {
+        let c = Cluster::paper_testbed();
+        let p = c.net_path(InstanceId(0), InstanceId(5));
+        assert_eq!(p.links.len(), 2);
+        assert_eq!(c.link(p.links[0]).kind, LinkKind::NicEgress);
+        assert_eq!(c.link(p.links[1]).kind, LinkKind::NicIngress);
+        assert!(p.extra_alpha > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn tcp_ports_carry_per_flow_cap() {
+        let mut b = ClusterBuilder::new();
+        b.add_instances(InstanceSpec::a100_server().with_tcp(), 2);
+        let c = b.build();
+        assert_eq!(c.spec(InstanceId(0)).nic.transport, Transport::Tcp);
+        let eg = c.nic_egress_link(InstanceId(0));
+        assert!(c.link(eg).per_flow_cap.is_some());
+    }
+
+    #[test]
+    fn gpu_switch_ground_truth_blocks() {
+        let c = Cluster::homogeneous_a100(1);
+        assert_eq!(c.gpu_switch_index(Rank(0)), 0);
+        assert_eq!(c.gpu_switch_index(Rank(1)), 0);
+        assert_eq!(c.gpu_switch_index(Rank(2)), 1);
+        assert_eq!(c.gpu_switch_index(Rank(3)), 1);
+    }
+
+    #[test]
+    fn host_to_nic_is_longer_from_far_socket() {
+        let c = Cluster::homogeneous_a100(1);
+        let near = c.host_to_nic_path(InstanceId(0), 0);
+        let far = c.host_to_nic_path(InstanceId(0), 1);
+        assert!(c.path_alpha(&far) > c.path_alpha(&near));
+    }
+
+    #[test]
+    fn gpu_to_host_crosses_socket_when_needed() {
+        let c = Cluster::homogeneous_a100(1);
+        let same = c.gpu_to_host_path(Rank(0), 0);
+        let cross = c.gpu_to_host_path(Rank(0), 1);
+        assert_eq!(cross.links.len(), same.links.len() + 1);
+    }
+}

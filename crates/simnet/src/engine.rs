@@ -1,0 +1,618 @@
+//! The discrete-event transport engine.
+//!
+//! Transfers are *fluid flows*: a flow occupies every link of its
+//! [`Path`] simultaneously and receives a rate from progressive-filling
+//! (max-min) allocation, recomputed whenever the set of active flows or
+//! a link capacity changes. With single-link flows this degenerates to
+//! the paper's equal-share model (eq. 3): each of the `k` flows on a
+//! link gets `capacity / k`.
+//!
+//! The engine is timing-only: payloads are *sizes*, not data. Callers
+//! (the AdapCC executor) attach a `token` to each transfer and perform
+//! the actual buffer movement when the completion event fires, which is
+//! how real `f32` tensors flow through the simulation with exact
+//! reduction semantics.
+//!
+//! Determinism: a single-threaded binary heap ordered by `(time, seq)`
+//! makes every run bit-reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::cluster::{Cluster, LinkId, Path};
+use crate::time::{SimDuration, SimTime};
+use crate::units::ByteSize;
+
+/// Residual bytes below which a flow counts as finished (absorbs f64
+/// rounding from rate recomputations).
+const EPS_BYTES: f64 = 1e-3;
+
+/// Opaque caller-side identifier carried by transfers and timers.
+pub type Token = u64;
+
+/// A user-visible simulation event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// A transfer submitted with [`NetSim::submit_transfer`] finished.
+    TransferDone {
+        /// The caller's token.
+        token: Token,
+        /// Completion instant.
+        at: SimTime,
+    },
+    /// A timer scheduled with [`NetSim::schedule_timer`] fired.
+    Timer {
+        /// The caller's token.
+        token: Token,
+        /// Firing instant.
+        at: SimTime,
+    },
+}
+
+impl SimEvent {
+    /// The instant the event occurred.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            SimEvent::TransferDone { at, .. } | SimEvent::Timer { at, .. } => at,
+        }
+    }
+
+    /// The caller token of the event.
+    pub fn token(&self) -> Token {
+        match *self {
+            SimEvent::TransferDone { token, .. } | SimEvent::Timer { token, .. } => token,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Internal {
+    /// A flow's α latency elapsed: it joins the fluid phase.
+    LatencyDone(usize),
+    /// Re-examine flows for completion; stale if version mismatch.
+    Completion(u64),
+    /// User timer.
+    Timer(Token),
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    token: Token,
+    links: Vec<LinkId>,
+    remaining: f64,
+    /// Current allocated rate in bytes/sec (0 while in latency phase).
+    rate: f64,
+    /// Per-flow ceiling from the most restrictive traversed link.
+    cap: f64,
+    draining: bool,
+    done: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct LinkState {
+    factor: f64,
+    active: Vec<usize>,
+}
+
+/// The transport simulator for one [`Cluster`].
+///
+/// # Examples
+///
+/// ```
+/// use adapcc_simnet::cluster::{Cluster, InstanceId};
+/// use adapcc_simnet::engine::{NetSim, SimEvent};
+/// use adapcc_simnet::units::ByteSize;
+///
+/// let cluster = Cluster::homogeneous_a100(2);
+/// let mut sim = NetSim::new(&cluster);
+/// let path = cluster.net_path(InstanceId(0), InstanceId(1));
+/// sim.submit_transfer(&path, ByteSize::from_mib(100), 7);
+/// let ev = sim.step().expect("one event");
+/// assert!(matches!(ev, SimEvent::TransferDone { token: 7, .. }));
+/// ```
+#[derive(Debug)]
+pub struct NetSim<'c> {
+    cluster: &'c Cluster,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    payloads: Vec<Option<Internal>>,
+    flows: Vec<Flow>,
+    /// Indices of flows currently in the fluid phase — kept
+    /// incrementally so per-event work scales with *live* flows, not
+    /// with every flow ever submitted.
+    live: Vec<usize>,
+    links: Vec<LinkState>,
+    completion_version: u64,
+    last_advance: SimTime,
+}
+
+impl<'c> NetSim<'c> {
+    /// Creates an idle simulator at time zero over the given cluster.
+    pub fn new(cluster: &'c Cluster) -> Self {
+        NetSim {
+            cluster,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            payloads: Vec::new(),
+            flows: Vec::new(),
+            live: Vec::new(),
+            links: vec![
+                LinkState {
+                    factor: 1.0,
+                    active: Vec::new(),
+                };
+                cluster.links().len()
+            ],
+            completion_version: 0,
+            last_advance: SimTime::ZERO,
+        }
+    }
+
+    /// The cluster this simulator runs over.
+    pub fn cluster(&self) -> &'c Cluster {
+        self.cluster
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Submits a transfer of `size` bytes along `path`; a
+    /// [`SimEvent::TransferDone`] with `token` fires on completion.
+    ///
+    /// The path's total α (link alphas + extra) elapses first; the flow
+    /// then drains at its max-min allocated rate.
+    pub fn submit_transfer(&mut self, path: &Path, size: ByteSize, token: Token) {
+        let cap = path
+            .links
+            .iter()
+            .filter_map(|l| self.cluster.link(*l).per_flow_cap)
+            .map(|b| b.as_bytes_per_sec())
+            .fold(f64::INFINITY, f64::min);
+        let flow = Flow {
+            token,
+            links: path.links.clone(),
+            remaining: size.as_f64(),
+            rate: 0.0,
+            cap,
+            draining: false,
+            done: false,
+        };
+        self.flows.push(flow);
+        let id = self.flows.len() - 1;
+        let alpha = self.cluster.path_alpha(path);
+        self.push(self.now + alpha, Internal::LatencyDone(id));
+    }
+
+    /// Schedules a timer firing `after` from now with `token`.
+    pub fn schedule_timer(&mut self, after: SimDuration, token: Token) {
+        self.push(self.now + after, Internal::Timer(token));
+    }
+
+    /// Scales a link's capacity by `factor` (trace-driven variability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn set_capacity_factor(&mut self, link: LinkId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "capacity factor must be positive: {factor}"
+        );
+        self.advance_flows();
+        self.links[link.0].factor = factor;
+        self.reallocate();
+    }
+
+    /// Current capacity factor of a link.
+    pub fn capacity_factor(&self, link: LinkId) -> f64 {
+        self.links[link.0].factor
+    }
+
+    /// Number of flows currently in the fluid phase (draining).
+    pub fn draining_flows(&self) -> usize {
+        self.flows.iter().filter(|f| f.draining && !f.done).count()
+    }
+
+    /// Advances the simulation to the next user-visible event and
+    /// returns it, or `None` when nothing is pending.
+    pub fn step(&mut self) -> Option<SimEvent> {
+        loop {
+            let Reverse((t, _, pid)) = self.queue.pop()?;
+            let payload = self.payloads[pid as usize]
+                .take()
+                .expect("event payload consumed twice");
+            debug_assert!(t >= self.now, "event time went backwards");
+            self.now = t;
+            match payload {
+                Internal::Timer(token) => {
+                    return Some(SimEvent::Timer { token, at: t });
+                }
+                Internal::LatencyDone(id) => {
+                    self.advance_flows();
+                    let flow = &mut self.flows[id];
+                    if flow.remaining <= EPS_BYTES {
+                        // Zero-byte transfer: completes right after latency.
+                        flow.done = true;
+                        return Some(SimEvent::TransferDone {
+                            token: flow.token,
+                            at: t,
+                        });
+                    }
+                    flow.draining = true;
+                    self.live.push(id);
+                    for l in self.flows[id].links.clone() {
+                        self.links[l.0].active.push(id);
+                    }
+                    self.reallocate();
+                }
+                Internal::Completion(version) => {
+                    if version != self.completion_version {
+                        continue; // stale schedule
+                    }
+                    self.advance_flows();
+                    if let Some(ev) = self.harvest_one() {
+                        return Some(ev);
+                    }
+                    self.reallocate();
+                }
+            }
+        }
+    }
+
+    /// Runs to quiescence, collecting every event.
+    pub fn drain(&mut self) -> Vec<SimEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.step() {
+            out.push(ev);
+        }
+        out
+    }
+
+    fn push(&mut self, at: SimTime, payload: Internal) {
+        self.payloads.push(Some(payload));
+        let pid = (self.payloads.len() - 1) as u64;
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, pid)));
+    }
+
+    /// Integrates flow progress from `last_advance` to `now`.
+    fn advance_flows(&mut self) {
+        let dt = self.now.duration_since(self.last_advance).as_secs();
+        if dt > 0.0 {
+            for &i in &self.live {
+                let f = &mut self.flows[i];
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            }
+        }
+        self.last_advance = self.now;
+    }
+
+    /// Completes one finished flow, if any (one at a time so every
+    /// completion surfaces as its own event; a Completion event is
+    /// rescheduled at the same instant for simultaneous finishers).
+    fn harvest_one(&mut self) -> Option<SimEvent> {
+        let id = self
+            .live
+            .iter()
+            .copied()
+            .find(|&i| self.flows[i].remaining <= EPS_BYTES)?;
+        let flow = &mut self.flows[id];
+        flow.done = true;
+        flow.draining = false;
+        let token = flow.token;
+        self.live.retain(|&x| x != id);
+        for l in self.flows[id].links.clone() {
+            self.links[l.0].active.retain(|&x| x != id);
+        }
+        self.reallocate();
+        Some(SimEvent::TransferDone { token, at: self.now })
+    }
+
+    /// Progressive-filling (max-min) rate allocation with per-flow caps,
+    /// then schedules the next completion event.
+    fn reallocate(&mut self) {
+        let active: Vec<usize> = self.live.clone();
+        for &i in &active {
+            self.flows[i].rate = 0.0;
+        }
+        if active.is_empty() {
+            self.bump_completion_schedule(None);
+            return;
+        }
+        // Only links carrying active flows matter; everything else has
+        // no contention to resolve.
+        let mut hot_links: Vec<usize> = active
+            .iter()
+            .flat_map(|&f| self.flows[f].links.iter().map(|l| l.0))
+            .collect();
+        hot_links.sort_unstable();
+        hot_links.dedup();
+        // residual[k] tracks hot_links[k]; index by position via a
+        // lookup keyed on link id.
+        let mut residual: Vec<f64> = hot_links
+            .iter()
+            .map(|&li| {
+                self.cluster.links()[li].capacity.as_bytes_per_sec() * self.links[li].factor
+            })
+            .collect();
+        let pos_of = |li: usize, hot: &[usize]| -> usize {
+            hot.binary_search(&li).expect("hot link indexed")
+        };
+        let mut frozen = vec![false; self.flows.len()];
+        let mut unfrozen: Vec<usize> = active.clone();
+        // Progressive filling: raise all unfrozen flows equally until a
+        // link saturates or a flow hits its cap; freeze and repeat.
+        while !unfrozen.is_empty() {
+            let mut delta = f64::INFINITY;
+            let mut counts = vec![0usize; hot_links.len()];
+            for &f in &unfrozen {
+                for l in &self.flows[f].links {
+                    counts[pos_of(l.0, &hot_links)] += 1;
+                }
+            }
+            for (k, &n) in counts.iter().enumerate() {
+                if n > 0 {
+                    delta = delta.min(residual[k] / n as f64);
+                }
+            }
+            for &f in &unfrozen {
+                delta = delta.min(self.flows[f].cap - self.flows[f].rate);
+            }
+            if !delta.is_finite() || delta < 0.0 {
+                break;
+            }
+            for &f in &unfrozen {
+                self.flows[f].rate += delta;
+            }
+            for (k, &n) in counts.iter().enumerate() {
+                residual[k] -= delta * n as f64;
+            }
+            // Freeze flows on saturated links or at their cap.
+            let mut newly_frozen = Vec::new();
+            for &f in &unfrozen {
+                let at_cap = self.flows[f].rate >= self.flows[f].cap - 1e-6;
+                let on_sat = self.flows[f]
+                    .links
+                    .iter()
+                    .any(|l| residual[pos_of(l.0, &hot_links)] <= 1e-6);
+                if at_cap || on_sat {
+                    newly_frozen.push(f);
+                }
+            }
+            if newly_frozen.is_empty() {
+                // Numerical stall guard: freeze everything.
+                newly_frozen = unfrozen.clone();
+            }
+            for f in &newly_frozen {
+                frozen[*f] = true;
+            }
+            unfrozen.retain(|f| !frozen[*f]);
+        }
+        // Next completion: earliest remaining/rate among draining flows.
+        let mut next: Option<SimDuration> = None;
+        for &i in &active {
+            let f = &self.flows[i];
+            if f.rate > 0.0 {
+                let dt = SimDuration::from_secs((f.remaining / f.rate).max(0.0));
+                next = Some(match next {
+                    Some(cur) if cur <= dt => cur,
+                    _ => dt,
+                });
+            } else if f.remaining <= EPS_BYTES {
+                next = Some(SimDuration::ZERO);
+            }
+        }
+        self.bump_completion_schedule(next);
+    }
+
+    fn bump_completion_schedule(&mut self, after: Option<SimDuration>) {
+        self.completion_version += 1;
+        if let Some(d) = after {
+            let v = self.completion_version;
+            self.push(self.now + d, Internal::Completion(v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterBuilder, InstanceId, Rank};
+    use crate::hardware::InstanceSpec;
+    use crate::units::Bandwidth;
+
+    fn two_a100() -> Cluster {
+        Cluster::homogeneous_a100(2)
+    }
+
+    #[test]
+    fn single_transfer_matches_alpha_beta() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c);
+        let path = c.intra_path(Rank(0), Rank(1));
+        let size = ByteSize::from_mib(100);
+        sim.submit_transfer(&path, size, 1);
+        let ev = sim.step().unwrap();
+        let alpha = c.path_alpha(&path).as_secs();
+        let bw = c.link(path.links[0]).capacity.as_bytes_per_sec();
+        let expect = alpha + size.as_f64() / bw;
+        assert!((ev.at().as_secs() - expect).abs() < 1e-9);
+        assert!(sim.step().is_none());
+    }
+
+    #[test]
+    fn two_flows_share_a_link_equally() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c);
+        // Both flows cross instance 0's egress port.
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let size = ByteSize::from_mib(125); // at 12.5 GB/s: 10.49ms alone
+        sim.submit_transfer(&path, size, 1);
+        sim.submit_transfer(&path, size, 2);
+        let evs = sim.drain();
+        assert_eq!(evs.len(), 2);
+        let solo = size.as_f64() / Bandwidth::from_gbps(100.0).as_bytes_per_sec();
+        let last = evs.last().unwrap().at().as_secs();
+        // Equal sharing: both finish together at ~2x the solo time.
+        assert!((last / (2.0 * solo) - 1.0).abs() < 0.01, "last={last}");
+        let first = evs[0].at().as_secs();
+        assert!((first - last).abs() < 1e-6);
+    }
+
+    #[test]
+    fn early_finisher_releases_bandwidth() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        sim.submit_transfer(&path, ByteSize::from_mib(50), 1);
+        sim.submit_transfer(&path, ByteSize::from_mib(150), 2);
+        let evs = sim.drain();
+        assert_eq!(evs[0].token(), 1);
+        assert_eq!(evs[1].token(), 2);
+        let bw = Bandwidth::from_gbps(100.0).as_bytes_per_sec();
+        // Flow 1: 50 MiB at bw/2. Flow 2: 50 MiB at bw/2 then 100 MiB at bw.
+        let t1 = ByteSize::from_mib(50).as_f64() / (bw / 2.0);
+        let t2 = t1 + ByteSize::from_mib(100).as_f64() / bw;
+        assert!((evs[0].at().as_secs() - t1).abs() / t1 < 0.01);
+        assert!((evs[1].at().as_secs() - t2).abs() / t2 < 0.01);
+    }
+
+    #[test]
+    fn per_flow_cap_limits_tcp_stream() {
+        let mut b = ClusterBuilder::new();
+        b.add_instances(InstanceSpec::a100_server().with_tcp(), 2);
+        let c = b.build();
+        let mut sim = NetSim::new(&c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let size = ByteSize::from_mib(100);
+        sim.submit_transfer(&path, size, 1);
+        let ev = sim.step().unwrap();
+        let capped = size.as_f64() / Bandwidth::from_gbps(20.0).as_bytes_per_sec();
+        let dur = ev.at().as_secs() - c.path_alpha(&path).as_secs();
+        assert!((dur - capped).abs() / capped < 0.01, "dur={dur} capped={capped}");
+    }
+
+    #[test]
+    fn parallel_tcp_streams_aggregate_past_the_cap() {
+        let mut b = ClusterBuilder::new();
+        b.add_instances(InstanceSpec::a100_server().with_tcp(), 2);
+        let c = b.build();
+        let mut sim = NetSim::new(&c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let size = ByteSize::from_mib(100);
+        for t in 0..4 {
+            sim.submit_transfer(&path, size, t);
+        }
+        let evs = sim.drain();
+        // Four 20 Gbps streams on a 100 Gbps port: all run at cap,
+        // aggregate 80 Gbps; same finish as one stream alone.
+        let capped = size.as_f64() / Bandwidth::from_gbps(20.0).as_bytes_per_sec();
+        let last = evs.last().unwrap().at().as_secs() - c.path_alpha(&path).as_secs();
+        assert!((last - capped).abs() / capped < 0.02, "last={last}");
+    }
+
+    #[test]
+    fn capacity_factor_slows_flow() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let eg = c.nic_egress_link(InstanceId(0));
+        sim.set_capacity_factor(eg, 0.5);
+        let size = ByteSize::from_mib(100);
+        sim.submit_transfer(&path, size, 1);
+        let ev = sim.step().unwrap();
+        let slowed = size.as_f64() / (Bandwidth::from_gbps(100.0).as_bytes_per_sec() * 0.5);
+        let dur = ev.at().as_secs() - c.path_alpha(&path).as_secs();
+        assert!((dur - slowed).abs() / slowed < 0.01);
+    }
+
+    #[test]
+    fn mid_flight_capacity_change_is_integrated() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let size = ByteSize::from_mib(100);
+        sim.submit_transfer(&path, size, 1);
+        // Halve the link when roughly half the bytes are through.
+        let bw = Bandwidth::from_gbps(100.0).as_bytes_per_sec();
+        let half = size.as_f64() / 2.0 / bw;
+        sim.schedule_timer(SimDuration::from_secs(half + c.path_alpha(&path).as_secs()), 99);
+        let ev = sim.step().unwrap();
+        assert!(matches!(ev, SimEvent::Timer { token: 99, .. }));
+        let eg = c.nic_egress_link(InstanceId(0));
+        sim.set_capacity_factor(eg, 0.5);
+        let done = sim.step().unwrap();
+        let expect = c.path_alpha(&path).as_secs() + half + (size.as_f64() / 2.0) / (bw * 0.5);
+        assert!(
+            (done.at().as_secs() - expect).abs() / expect < 0.01,
+            "got {} want {expect}",
+            done.at().as_secs()
+        );
+    }
+
+    #[test]
+    fn zero_byte_transfer_completes_after_latency() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        sim.submit_transfer(&path, ByteSize::ZERO, 5);
+        let ev = sim.step().unwrap();
+        assert_eq!(ev.token(), 5);
+        let alpha = c.path_alpha(&path).as_secs();
+        assert!((ev.at().as_secs() - alpha).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timers_and_transfers_interleave_in_time_order() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        sim.submit_transfer(&path, ByteSize::from_mib(10), 1);
+        sim.schedule_timer(SimDuration::from_micros(1.0), 2);
+        sim.schedule_timer(SimDuration::from_secs(10.0), 3);
+        let evs = sim.drain();
+        let tokens: Vec<u64> = evs.iter().map(|e| e.token()).collect();
+        assert_eq!(tokens, vec![2, 1, 3]);
+        let times: Vec<f64> = evs.iter().map(|e| e.at().as_secs()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn multi_hop_flow_bottlenecked_by_slowest_link() {
+        // Cross-switch PCIe path: bottleneck is a Gen4 x16 hop (32 GB/s);
+        // the inter-socket link is 35 GB/s so PCIe binds.
+        let spec = InstanceSpec::a100_server().with_nvlink(crate::hardware::NvlinkTopology::None);
+        let mut b = ClusterBuilder::new();
+        b.add_instance(spec);
+        let c = b.build();
+        let mut sim = NetSim::new(&c);
+        let path = c.intra_path(Rank(0), Rank(3));
+        let size = ByteSize::from_mib(320);
+        sim.submit_transfer(&path, size, 1);
+        let ev = sim.step().unwrap();
+        let dur = ev.at().as_secs() - c.path_alpha(&path).as_secs();
+        let bottleneck = size.as_f64() / Bandwidth::from_gbytes_per_sec(32.0).as_bytes_per_sec();
+        assert!((dur - bottleneck).abs() / bottleneck < 0.01);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let c = two_a100();
+            let mut sim = NetSim::new(&c);
+            let path = c.net_path(InstanceId(0), InstanceId(1));
+            for t in 0..8 {
+                sim.submit_transfer(&path, ByteSize::from_mib(10 + t), t);
+            }
+            sim.drain()
+                .into_iter()
+                .map(|e| (e.token(), e.at().as_secs().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

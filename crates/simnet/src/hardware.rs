@@ -1,0 +1,382 @@
+//! Hardware specifications: GPUs, NICs, PCIe generations and instance
+//! (server) shapes.
+//!
+//! The defaults are calibrated to the paper's testbed (Sec. VI-B): four
+//! servers with 4x A100 (PCIe 4.0, 100 Gbps Mellanox NICs) and two
+//! servers with 4x V100 (PCIe 3.0, 50 Gbps NICs). Absolute values only
+//! need to be realistic in *ratio* — the reproduction compares
+//! communication strategies, not silicon.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+use crate::units::{Bandwidth, ByteSize};
+
+/// GPU generation, which fixes compute speed and NVLink bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuGeneration {
+    /// NVIDIA V100 (Volta): NVLink 2.0, our slow testbed half.
+    V100,
+    /// NVIDIA A100 (Ampere): NVLink 3.0, our fast testbed half.
+    A100,
+    /// NVIDIA H100 (Hopper): NVLink 4.0, used in scale sweeps.
+    H100,
+}
+
+impl GpuGeneration {
+    /// Relative compute throughput, normalized so A100 = 1.0.
+    ///
+    /// Used by the training simulator to derive per-iteration compute
+    /// times on heterogeneous clusters.
+    pub fn compute_factor(self) -> f64 {
+        match self {
+            GpuGeneration::V100 => 0.55,
+            GpuGeneration::A100 => 1.0,
+            GpuGeneration::H100 => 2.2,
+        }
+    }
+
+    /// Point-to-point NVLink bandwidth between a directly connected GPU
+    /// pair (one direction).
+    pub fn nvlink_pair_bandwidth(self) -> Bandwidth {
+        match self {
+            GpuGeneration::V100 => Bandwidth::from_gbytes_per_sec(50.0),
+            GpuGeneration::A100 => Bandwidth::from_gbytes_per_sec(100.0),
+            GpuGeneration::H100 => Bandwidth::from_gbytes_per_sec(225.0),
+        }
+    }
+
+    /// Effective on-GPU reduction (element-wise add) throughput.
+    pub fn reduce_bandwidth(self) -> Bandwidth {
+        match self {
+            GpuGeneration::V100 => Bandwidth::from_gbytes_per_sec(350.0),
+            GpuGeneration::A100 => Bandwidth::from_gbytes_per_sec(700.0),
+            GpuGeneration::H100 => Bandwidth::from_gbytes_per_sec(1400.0),
+        }
+    }
+
+    /// Short human-readable name ("A100").
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuGeneration::V100 => "V100",
+            GpuGeneration::A100 => "A100",
+            GpuGeneration::H100 => "H100",
+        }
+    }
+}
+
+/// PCIe generation of the host root complex and switches (x16 links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PcieGeneration {
+    /// PCIe 3.0 x16: ~16 GB/s per direction.
+    Gen3,
+    /// PCIe 4.0 x16: ~32 GB/s per direction.
+    Gen4,
+    /// PCIe 5.0 x16: ~64 GB/s per direction.
+    Gen5,
+}
+
+impl PcieGeneration {
+    /// Per-direction bandwidth of an x16 link.
+    pub fn bandwidth(self) -> Bandwidth {
+        match self {
+            PcieGeneration::Gen3 => Bandwidth::from_gbytes_per_sec(16.0),
+            PcieGeneration::Gen4 => Bandwidth::from_gbytes_per_sec(32.0),
+            PcieGeneration::Gen5 => Bandwidth::from_gbytes_per_sec(64.0),
+        }
+    }
+
+    /// One-way latency of a hop across this link.
+    pub fn latency(self) -> SimDuration {
+        SimDuration::from_micros(1.0)
+    }
+}
+
+/// Inter-server transport used by a NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transport {
+    /// RDMA over InfiniBand / RoCE: low latency, GPU-Direct, a single
+    /// queue pair can saturate the NIC.
+    Rdma,
+    /// Kernel TCP sockets: higher latency, host-memory staging, and a
+    /// per-stream throughput ceiling (~20 Gbps per the paper, Sec. VI-D)
+    /// caused by kernel-space overhead.
+    Tcp,
+}
+
+impl Transport {
+    /// Short human-readable name ("RDMA").
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::Rdma => "RDMA",
+            Transport::Tcp => "TCP",
+        }
+    }
+}
+
+/// A network interface card.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NicSpec {
+    /// Line rate per direction.
+    pub bandwidth: Bandwidth,
+    /// Transport stack the NIC is used with.
+    pub transport: Transport,
+}
+
+impl NicSpec {
+    /// A 100 Gbps RDMA NIC (the paper's A100 servers).
+    pub fn rdma_100g() -> Self {
+        NicSpec {
+            bandwidth: Bandwidth::from_gbps(100.0),
+            transport: Transport::Rdma,
+        }
+    }
+
+    /// A 50 Gbps RDMA NIC (the paper's V100 servers).
+    pub fn rdma_50g() -> Self {
+        NicSpec {
+            bandwidth: Bandwidth::from_gbps(50.0),
+            transport: Transport::Rdma,
+        }
+    }
+
+    /// A NIC with the given line rate and transport.
+    pub fn new(bandwidth: Bandwidth, transport: Transport) -> Self {
+        NicSpec {
+            bandwidth,
+            transport,
+        }
+    }
+
+    /// Per-flow throughput ceiling, if the transport imposes one.
+    ///
+    /// TCP's single-stream rate is capped at ~20 Gbps (kernel-space
+    /// overhead observed in the paper); RDMA flows can saturate the NIC.
+    pub fn per_flow_cap(&self) -> Option<Bandwidth> {
+        match self.transport {
+            Transport::Rdma => None,
+            Transport::Tcp => Some(Bandwidth::from_gbps(20.0).min(self.bandwidth)),
+        }
+    }
+
+    /// One-way wire latency between two NICs using this transport.
+    pub fn wire_latency(&self) -> SimDuration {
+        match self.transport {
+            Transport::Rdma => SimDuration::from_micros(4.0),
+            Transport::Tcp => SimDuration::from_micros(35.0),
+        }
+    }
+
+    /// Whether the transport can DMA directly between GPU and NIC
+    /// (GPU-Direct). Without it each chunk pays a host staging overhead.
+    pub fn gpu_direct(&self) -> bool {
+        matches!(self.transport, Transport::Rdma)
+    }
+
+    /// Fixed per-chunk host staging overhead when GPU-Direct is absent.
+    ///
+    /// Chunk pipelining overlaps the *bandwidth* cost of staging with the
+    /// wire transfer (Sec. V-B "hidden memory movements"), so only a small
+    /// fixed setup cost per chunk remains.
+    pub fn staging_overhead(&self) -> SimDuration {
+        if self.gpu_direct() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(12.0)
+        }
+    }
+}
+
+/// NVLink wiring among the GPUs of one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NvlinkTopology {
+    /// Every GPU pair is directly connected (small NVSwitch-like boards).
+    FullMesh,
+    /// GPUs form a ring: i is linked to (i+1) mod n.
+    Ring,
+    /// Only adjacent pairs (0-1, 2-3, ...) are linked; the fragmented
+    /// allocation case that defeats NCCL's NVLink ring search (Sec. II-A).
+    Pairs,
+    /// No NVLink at all; all intra-server traffic rides PCIe.
+    None,
+}
+
+/// GPU kernel-launch overhead, identical across generations for our
+/// purposes.
+pub fn kernel_launch_overhead() -> SimDuration {
+    SimDuration::from_micros(6.0)
+}
+
+/// Specification of one server (paper: "instance").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// GPU generation installed in this server.
+    pub gpu: GpuGeneration,
+    /// Number of GPUs (the paper's testbed uses 4 everywhere).
+    pub gpu_count: usize,
+    /// NVLink wiring among the GPUs.
+    pub nvlink: NvlinkTopology,
+    /// PCIe generation of the host.
+    pub pcie: PcieGeneration,
+    /// The single NIC of the server.
+    pub nic: NicSpec,
+    /// Number of NUMA nodes (CPU sockets).
+    pub numa_nodes: usize,
+}
+
+impl InstanceSpec {
+    /// The paper's A100 server: 4x A100 + NVLink, PCIe 4.0, 100 Gbps
+    /// RDMA NIC, two EPYC sockets.
+    pub fn a100_server() -> Self {
+        InstanceSpec {
+            gpu: GpuGeneration::A100,
+            gpu_count: 4,
+            nvlink: NvlinkTopology::FullMesh,
+            pcie: PcieGeneration::Gen4,
+            nic: NicSpec::rdma_100g(),
+            numa_nodes: 2,
+        }
+    }
+
+    /// The paper's V100 server: 4x V100 + NVLink, PCIe 3.0, 50 Gbps
+    /// RDMA NIC, two Xeon sockets.
+    pub fn v100_server() -> Self {
+        InstanceSpec {
+            gpu: GpuGeneration::V100,
+            gpu_count: 4,
+            nvlink: NvlinkTopology::FullMesh,
+            pcie: PcieGeneration::Gen3,
+            nic: NicSpec::rdma_50g(),
+            numa_nodes: 2,
+        }
+    }
+
+    /// A next-generation server: 8x H100 with NVSwitch-like full-mesh
+    /// NVLink, PCIe 5.0 and a 400 Gbps RDMA NIC (used by the scale
+    /// sweeps; not part of the paper's testbed).
+    pub fn h100_server() -> Self {
+        InstanceSpec {
+            gpu: GpuGeneration::H100,
+            gpu_count: 8,
+            nvlink: NvlinkTopology::FullMesh,
+            pcie: PcieGeneration::Gen5,
+            nic: NicSpec::new(Bandwidth::from_gbps(400.0), Transport::Rdma),
+            numa_nodes: 2,
+        }
+    }
+
+    /// A DGX-A100-style server: 8x A100, PCIe 4.0, 200 Gbps RDMA NIC.
+    pub fn dgx_a100() -> Self {
+        InstanceSpec {
+            gpu: GpuGeneration::A100,
+            gpu_count: 8,
+            nvlink: NvlinkTopology::FullMesh,
+            pcie: PcieGeneration::Gen4,
+            nic: NicSpec::new(Bandwidth::from_gbps(200.0), Transport::Rdma),
+            numa_nodes: 2,
+        }
+    }
+
+    /// Switches the server's NIC to TCP at the same line rate.
+    pub fn with_tcp(mut self) -> Self {
+        self.nic = NicSpec::new(self.nic.bandwidth, Transport::Tcp);
+        self
+    }
+
+    /// Replaces the NVLink wiring.
+    pub fn with_nvlink(mut self, nvlink: NvlinkTopology) -> Self {
+        self.nvlink = nvlink;
+        self
+    }
+
+    /// Replaces the GPU count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn with_gpu_count(mut self, count: usize) -> Self {
+        assert!(count > 0, "an instance needs at least one GPU");
+        self.gpu_count = count;
+        self
+    }
+}
+
+/// Typical probe payload used by the detector (Sec. IV-A uses 20 MB).
+pub fn detector_probe_size() -> ByteSize {
+    ByteSize::from_mib(20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_factors_are_ordered() {
+        assert!(GpuGeneration::V100.compute_factor() < GpuGeneration::A100.compute_factor());
+        assert!(GpuGeneration::A100.compute_factor() < GpuGeneration::H100.compute_factor());
+    }
+
+    #[test]
+    fn nvlink_generations_are_ordered() {
+        assert!(
+            GpuGeneration::V100.nvlink_pair_bandwidth() < GpuGeneration::A100.nvlink_pair_bandwidth()
+        );
+    }
+
+    #[test]
+    fn tcp_flows_are_capped_rdma_not() {
+        let tcp = NicSpec::new(Bandwidth::from_gbps(100.0), Transport::Tcp);
+        let rdma = NicSpec::rdma_100g();
+        let cap = tcp.per_flow_cap().expect("tcp must be capped");
+        assert!((cap.as_gbps() - 20.0).abs() < 1e-9);
+        assert!(rdma.per_flow_cap().is_none());
+    }
+
+    #[test]
+    fn slow_tcp_cap_never_exceeds_line_rate() {
+        let slow = NicSpec::new(Bandwidth::from_gbps(10.0), Transport::Tcp);
+        let cap = slow.per_flow_cap().unwrap();
+        assert!(cap.as_gbps() <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn staging_only_for_non_gpu_direct() {
+        assert_eq!(NicSpec::rdma_100g().staging_overhead(), SimDuration::ZERO);
+        let tcp = NicSpec::new(Bandwidth::from_gbps(100.0), Transport::Tcp);
+        assert!(tcp.staging_overhead() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn paper_servers_match_testbed() {
+        let a = InstanceSpec::a100_server();
+        assert_eq!(a.gpu_count, 4);
+        assert_eq!(a.gpu, GpuGeneration::A100);
+        assert!((a.nic.bandwidth.as_gbps() - 100.0).abs() < 1e-9);
+        let v = InstanceSpec::v100_server();
+        assert_eq!(v.gpu, GpuGeneration::V100);
+        assert!((v.nic.bandwidth.as_gbps() - 50.0).abs() < 1e-9);
+        assert_eq!(v.pcie, PcieGeneration::Gen3);
+    }
+
+    #[test]
+    fn next_gen_presets() {
+        let h = InstanceSpec::h100_server();
+        assert_eq!(h.gpu_count, 8);
+        assert_eq!(h.gpu, GpuGeneration::H100);
+        assert!((h.nic.bandwidth.as_gbps() - 400.0).abs() < 1e-9);
+        let d = InstanceSpec::dgx_a100();
+        assert_eq!(d.gpu_count, 8);
+        assert_eq!(d.pcie, PcieGeneration::Gen4);
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let s = InstanceSpec::a100_server()
+            .with_tcp()
+            .with_nvlink(NvlinkTopology::Pairs)
+            .with_gpu_count(8);
+        assert_eq!(s.nic.transport, Transport::Tcp);
+        assert_eq!(s.nvlink, NvlinkTopology::Pairs);
+        assert_eq!(s.gpu_count, 8);
+    }
+}

@@ -1,0 +1,57 @@
+//! # adapcc-simnet
+//!
+//! Deterministic discrete-event cluster and network simulator — the
+//! hardware substrate of the AdapCC reproduction.
+//!
+//! The paper evaluates AdapCC on a six-server GPU testbed. This crate
+//! replaces that testbed with a faithful *timing* model so the entire
+//! AdapCC control and data path (detection, profiling, strategy
+//! synthesis, relay control, chunk-pipelined execution) runs unmodified
+//! on a laptop:
+//!
+//! * [`cluster`] — servers built from [`hardware`] specs: GPUs, NUMA
+//!   sockets, PCIe switches, NICs, NVLink/PCIe/network links.
+//! * [`engine`] — fluid max-min flow transport with per-link equal
+//!   sharing (the paper's eq. 3), per-flow TCP stream caps, α–β link
+//!   costs, timers, and trace-driven capacity modulation.
+//! * [`probe`] — the measurement layer the detector/profiler sees:
+//!   timed transfers with reproducible noise.
+//! * [`trace`] — synthetic public-cloud bandwidth/latency traces
+//!   calibrated to the paper's Fig. 1, with the ×-amplification rule of
+//!   Sec. VI-D.
+//! * [`time`], [`units`], [`rng`] — strongly-typed instants, sizes,
+//!   rates, and seeded randomness.
+//!
+//! # Example
+//!
+//! ```
+//! use adapcc_simnet::cluster::{Cluster, InstanceId};
+//! use adapcc_simnet::engine::NetSim;
+//! use adapcc_simnet::units::ByteSize;
+//!
+//! // Two A100 servers; ship 256 MiB across the 100 Gbps fabric.
+//! let cluster = Cluster::homogeneous_a100(2);
+//! let mut sim = NetSim::new(&cluster);
+//! let path = cluster.net_path(InstanceId(0), InstanceId(1));
+//! sim.submit_transfer(&path, ByteSize::from_mib(256), 0);
+//! let done = sim.step().expect("transfer completes");
+//! assert!(done.at().as_secs() > 0.02); // ~21.5 ms at 12.5 GB/s
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod engine;
+pub mod hardware;
+pub mod probe;
+pub mod rng;
+pub mod time;
+pub mod trace;
+pub mod units;
+
+pub use cluster::{Cluster, ClusterBuilder, InstanceId, LinkId, NodeId, Path, Rank};
+pub use engine::{NetSim, SimEvent, Token};
+pub use hardware::{GpuGeneration, InstanceSpec, NicSpec, NvlinkTopology, Transport};
+pub use time::{SimDuration, SimTime};
+pub use units::{Bandwidth, ByteSize};

@@ -1,0 +1,218 @@
+//! Timed micro-probes over the simulated fabric.
+//!
+//! The AdapCC detector and profiler never see the cluster's ground
+//! truth; they see what real software sees — wall-clock durations of
+//! small transfers, optionally perturbed by measurement noise. This
+//! module is that measurement layer.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::cluster::{Cluster, Path};
+use crate::engine::NetSim;
+use crate::rng::seeded_rng;
+use crate::time::SimDuration;
+use crate::units::ByteSize;
+
+/// One probe: a transfer of `size` bytes along `path`.
+#[derive(Debug, Clone)]
+pub struct ProbeSpec {
+    /// Route of the probe flow.
+    pub path: Path,
+    /// Payload size.
+    pub size: ByteSize,
+}
+
+impl ProbeSpec {
+    /// Creates a probe.
+    pub fn new(path: Path, size: ByteSize) -> Self {
+        ProbeSpec { path, size }
+    }
+}
+
+/// Runs timed probes against a cluster, with reproducible measurement
+/// noise.
+///
+/// # Examples
+///
+/// ```
+/// use adapcc_simnet::cluster::{Cluster, Rank};
+/// use adapcc_simnet::probe::{ProbeRunner, ProbeSpec};
+/// use adapcc_simnet::units::ByteSize;
+///
+/// let cluster = Cluster::homogeneous_a100(1);
+/// let mut runner = ProbeRunner::new(&cluster, 42);
+/// let path = cluster.intra_path(Rank(0), Rank(1));
+/// let t = runner.run_one(&ProbeSpec::new(path, ByteSize::from_mib(4)));
+/// assert!(t.as_micros() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct ProbeRunner<'c> {
+    cluster: &'c Cluster,
+    rng: ChaCha8Rng,
+    noise_sigma: f64,
+    /// Capacity factors applied to the probe simulations, mirroring any
+    /// trace modulation active on the real fabric.
+    factors: Vec<(crate::cluster::LinkId, f64)>,
+}
+
+impl<'c> ProbeRunner<'c> {
+    /// A runner with the default 1% multiplicative measurement noise.
+    pub fn new(cluster: &'c Cluster, seed: u64) -> Self {
+        ProbeRunner {
+            cluster,
+            rng: seeded_rng(seed),
+            noise_sigma: 0.01,
+            factors: Vec::new(),
+        }
+    }
+
+    /// Overrides the relative noise level (0 disables noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn with_noise(mut self, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "invalid sigma {sigma}");
+        self.noise_sigma = sigma;
+        self
+    }
+
+    /// Mirrors a capacity factor (e.g. from an active bandwidth trace)
+    /// into subsequent probe measurements.
+    pub fn set_capacity_factor(&mut self, link: crate::cluster::LinkId, factor: f64) {
+        self.factors.retain(|(l, _)| *l != link);
+        self.factors.push((link, factor));
+    }
+
+    /// Clears all mirrored capacity factors.
+    pub fn clear_capacity_factors(&mut self) {
+        self.factors.clear();
+    }
+
+    /// Runs a single isolated probe and returns its measured duration.
+    pub fn run_one(&mut self, probe: &ProbeSpec) -> SimDuration {
+        self.run_concurrent(std::slice::from_ref(probe))
+            .pop()
+            .expect("one probe yields one duration")
+    }
+
+    /// Starts all probes at the same instant (they contend for shared
+    /// links) and returns each probe's measured duration, in input
+    /// order.
+    pub fn run_concurrent(&mut self, probes: &[ProbeSpec]) -> Vec<SimDuration> {
+        let mut sim = NetSim::new(self.cluster);
+        for (l, f) in &self.factors {
+            sim.set_capacity_factor(*l, *f);
+        }
+        for (i, p) in probes.iter().enumerate() {
+            sim.submit_transfer(&p.path, p.size, i as u64);
+        }
+        let mut out = vec![SimDuration::ZERO; probes.len()];
+        for ev in sim.drain() {
+            out[ev.token() as usize] = SimDuration::from_secs(ev.at().as_secs());
+        }
+        for d in &mut out {
+            *d = self.perturb(*d);
+        }
+        out
+    }
+
+    /// Sends `size` bytes `n` times back-to-back along `path` and
+    /// returns the total duration — the paper's n(α + βs) measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn run_repeated(&mut self, path: &Path, size: ByteSize, n: usize) -> SimDuration {
+        assert!(n > 0, "need at least one repetition");
+        let mut total = SimDuration::ZERO;
+        // Back-to-back: each send starts when the previous finishes; in
+        // an otherwise idle fabric the durations are additive, so run n
+        // isolated one-shot simulations and sum them.
+        for _ in 0..n {
+            let mut s = NetSim::new(self.cluster);
+            for (l, f) in &self.factors {
+                s.set_capacity_factor(*l, *f);
+            }
+            s.submit_transfer(path, size, 0);
+            let ev = s.step().expect("probe completes");
+            total += SimDuration::from_secs(ev.at().as_secs());
+        }
+        self.perturb(total)
+    }
+
+    fn perturb(&mut self, d: SimDuration) -> SimDuration {
+        if self.noise_sigma == 0.0 {
+            return d;
+        }
+        // Symmetric multiplicative noise, clamped to stay positive.
+        let eps: f64 = self.rng.gen_range(-3.0..3.0) * self.noise_sigma;
+        d.scale((1.0 + eps).max(0.01))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{InstanceId, Rank};
+
+    #[test]
+    fn concurrent_probes_contend() {
+        let c = Cluster::homogeneous_a100(1);
+        let mut runner = ProbeRunner::new(&c, 1).with_noise(0.0);
+        // Two GPUs under the same switch copying to host share the
+        // switch uplink: each sees half bandwidth.
+        let p0 = ProbeSpec::new(c.gpu_to_host_path(Rank(0), 0), ByteSize::from_mib(20));
+        let p1 = ProbeSpec::new(c.gpu_to_host_path(Rank(1), 0), ByteSize::from_mib(20));
+        let solo = runner.run_one(&p0);
+        let both = runner.run_concurrent(&[p0, p1]);
+        assert!(both[0].as_secs() > solo.as_secs() * 1.7);
+    }
+
+    #[test]
+    fn different_switch_probes_do_not_contend() {
+        let c = Cluster::homogeneous_a100(1);
+        let mut runner = ProbeRunner::new(&c, 1).with_noise(0.0);
+        let p0 = ProbeSpec::new(c.gpu_to_host_path(Rank(0), 0), ByteSize::from_mib(20));
+        let p2 = ProbeSpec::new(c.gpu_to_host_path(Rank(2), 1), ByteSize::from_mib(20));
+        let solo = runner.run_one(&p0);
+        let both = runner.run_concurrent(&[p0, p2]);
+        assert!((both[0].as_secs() - solo.as_secs()).abs() / solo.as_secs() < 0.05);
+    }
+
+    #[test]
+    fn repeated_probe_scales_with_n() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut runner = ProbeRunner::new(&c, 1).with_noise(0.0);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let one = runner.run_repeated(&path, ByteSize::from_mib(1), 1);
+        let five = runner.run_repeated(&path, ByteSize::from_mib(1), 5);
+        assert!((five.as_secs() / one.as_secs() - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn noise_is_reproducible() {
+        let c = Cluster::homogeneous_a100(1);
+        let path = c.intra_path(Rank(0), Rank(1));
+        let probe = ProbeSpec::new(path, ByteSize::from_mib(8));
+        let a = ProbeRunner::new(&c, 7).run_one(&probe);
+        let b = ProbeRunner::new(&c, 7).run_one(&probe);
+        assert_eq!(a.as_secs().to_bits(), b.as_secs().to_bits());
+    }
+
+    #[test]
+    fn capacity_factor_mirrors_into_probes() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut runner = ProbeRunner::new(&c, 1).with_noise(0.0);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let probe = ProbeSpec::new(path.clone(), ByteSize::from_mib(16));
+        let fast = runner.run_one(&probe);
+        runner.set_capacity_factor(c.nic_egress_link(InstanceId(0)), 0.5);
+        let slow = runner.run_one(&probe);
+        assert!(slow.as_secs() > fast.as_secs() * 1.8);
+        runner.clear_capacity_factors();
+        let fast2 = runner.run_one(&probe);
+        assert!((fast2.as_secs() - fast.as_secs()).abs() / fast.as_secs() < 0.01);
+    }
+}

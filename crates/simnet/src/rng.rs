@@ -1,0 +1,78 @@
+//! Deterministic randomness.
+//!
+//! Every stochastic component in the workspace (probe noise, traces,
+//! straggler draws, the annealer) derives its randomness from an
+//! explicit `u64` seed through this module, so any experiment replays
+//! bit-identically.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A fast, seedable, portable RNG.
+pub fn seeded_rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream label, so
+/// independent components never share a stream.
+pub fn child_seed(parent: u64, label: &str) -> u64 {
+    // FNV-1a over the label, mixed with the parent.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ parent.rotate_left(17);
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A draw from a log-normal-ish heavy-tailed distribution with median 1
+/// and the given spread; used for straggler compute-time noise.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or not finite.
+pub fn heavy_tail_factor<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
+    assert!(sigma.is_finite() && sigma >= 0.0, "invalid sigma {sigma}");
+    // Sum of uniforms approximates a normal; exponentiate for log-normal.
+    let z: f64 = (0..6).map(|_| rng.gen_range(-1.0..1.0)).sum::<f64>() / 2.0;
+    (z * sigma).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = seeded_rng(9);
+        let mut b = seeded_rng(9);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn child_seeds_differ_by_label() {
+        let s = child_seed(1, "trace");
+        let t = child_seed(1, "straggler");
+        assert_ne!(s, t);
+        assert_eq!(child_seed(1, "trace"), s);
+    }
+
+    #[test]
+    fn heavy_tail_median_near_one() {
+        let mut rng = seeded_rng(3);
+        let mut draws: Vec<f64> = (0..4001).map(|_| heavy_tail_factor(&mut rng, 0.2)).collect();
+        draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = draws[2000];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+        assert!(draws.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic_one() {
+        let mut rng = seeded_rng(3);
+        assert_eq!(heavy_tail_factor(&mut rng, 0.0), 1.0);
+    }
+}

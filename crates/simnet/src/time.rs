@@ -1,0 +1,316 @@
+//! Simulated time.
+//!
+//! The engine measures time in seconds stored as `f64`. Wrapping the raw
+//! float in [`SimTime`] / [`SimDuration`] newtypes keeps instants and
+//! spans statically distinct ([C-NEWTYPE]) and lets us provide a total
+//! order (the constructors reject NaN, so `Ord` is safe).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock, in seconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use adapcc_simnet::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(2.5);
+/// assert_eq!(t.as_secs(), 0.0025);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+/// A span of simulated time, in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use adapcc_simnet::time::SimDuration;
+///
+/// let d = SimDuration::from_micros(150.0) + SimDuration::from_micros(50.0);
+/// assert!((d.as_millis() - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimDuration(f64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates an instant from seconds since the simulation epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or negative.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid sim time: {secs}");
+        SimTime(secs)
+    }
+
+    /// Returns the instant as seconds since the simulation epoch.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the instant in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the instant in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self` by more than a floating
+    /// point rounding margin.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        let d = self.0 - earlier.0;
+        assert!(d >= -1e-12, "duration_since: {earlier:?} is after {self:?}");
+        SimDuration(d.max(0.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Creates a span from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or negative.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid sim duration: {secs}"
+        );
+        SimDuration(secs)
+    }
+
+    /// Creates a span from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms * 1e-3)
+    }
+
+    /// Creates a span from microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    /// Creates a span from nanoseconds.
+    pub fn from_nanos(ns: f64) -> Self {
+        Self::from_secs(ns * 1e-9)
+    }
+
+    /// Returns the span in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the span in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the span in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Multiplies the span by a non-negative scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is NaN or negative.
+    pub fn scale(self, k: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 * k)
+    }
+
+    /// Returns the longer of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the shorter of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Constructors guarantee the payload is finite, so total order is
+        // well defined.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Eq for SimDuration {}
+
+impl Ord for SimDuration {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimDuration is never NaN")
+    }
+}
+
+impl PartialOrd for SimDuration {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.3}s", self.0)
+        } else if self.0 >= 1e-3 {
+            write!(f, "{:.3}ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.3}us", self.0 * 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_to_time() {
+        let t = SimTime::from_secs(1.0) + SimDuration::from_millis(500.0);
+        assert!((t.as_secs() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_since_orders() {
+        let a = SimTime::from_secs(2.0);
+        let b = SimTime::from_secs(3.5);
+        assert_eq!(b.duration_since(a).as_secs(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn duration_since_backwards_panics() {
+        let a = SimTime::from_secs(2.0);
+        let b = SimTime::from_secs(1.0);
+        let _ = b.duration_since(a);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            SimTime::from_secs(3.0),
+            SimTime::from_secs(1.0),
+            SimTime::from_secs(2.0),
+        ];
+        v.sort();
+        assert_eq!(v[0], SimTime::from_secs(1.0));
+        assert_eq!(v[2], SimTime::from_secs(3.0));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimDuration::from_secs(2.0)), "2.000s");
+        assert_eq!(format!("{}", SimDuration::from_millis(2.0)), "2.000ms");
+        assert_eq!(format!("{}", SimDuration::from_micros(2.0)), "2.000us");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sim time")]
+    fn nan_time_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn scale_duration() {
+        let d = SimDuration::from_secs(2.0).scale(2.5);
+        assert_eq!(d.as_secs(), 5.0);
+    }
+
+    #[test]
+    fn max_of_times() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(4.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+}

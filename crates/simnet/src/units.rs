@@ -1,0 +1,322 @@
+//! Data-size and bandwidth units.
+//!
+//! Network gear is specified in decimal gigabits per second while GPU
+//! interconnects are quoted in binary gigabytes per second; mixing the
+//! two raw `f64`s is a classic source of silent 8x errors. [`ByteSize`]
+//! and [`Bandwidth`] keep the dimensions distinct ([C-NEWTYPE]) and the
+//! constructors spell out the unit.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul};
+
+use crate::time::SimDuration;
+
+/// A number of bytes.
+///
+/// # Examples
+///
+/// ```
+/// use adapcc_simnet::units::ByteSize;
+///
+/// let tensor = ByteSize::from_mib(256);
+/// assert_eq!(tensor.as_u64(), 256 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ByteSize(u64);
+
+/// A data rate in bytes per second.
+///
+/// # Examples
+///
+/// ```
+/// use adapcc_simnet::units::Bandwidth;
+///
+/// let nic = Bandwidth::from_gbps(100.0);
+/// assert!((nic.as_gbytes_per_sec() - 12.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Bandwidth(f64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Creates a size from raw bytes.
+    pub const fn from_bytes(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+
+    /// Creates a size from binary kibibytes.
+    pub const fn from_kib(kib: u64) -> Self {
+        ByteSize(kib * 1024)
+    }
+
+    /// Creates a size from binary mebibytes.
+    pub const fn from_mib(mib: u64) -> Self {
+        ByteSize(mib * 1024 * 1024)
+    }
+
+    /// Creates a size from binary gibibytes.
+    pub const fn from_gib(gib: u64) -> Self {
+        ByteSize(gib * 1024 * 1024 * 1024)
+    }
+
+    /// Returns the size in bytes.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the size in bytes as a float.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Returns the size in mebibytes.
+    pub fn as_mib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Returns true if the size is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Splits the size into `parts` nearly equal pieces (first pieces get
+    /// the remainder), preserving the total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adapcc_simnet::units::ByteSize;
+    ///
+    /// let parts = ByteSize::from_bytes(10).split(3);
+    /// assert_eq!(parts.iter().map(|p| p.as_u64()).collect::<Vec<_>>(), vec![4, 3, 3]);
+    /// ```
+    pub fn split(self, parts: usize) -> Vec<ByteSize> {
+        assert!(parts > 0, "cannot split into zero parts");
+        let base = self.0 / parts as u64;
+        let rem = (self.0 % parts as u64) as usize;
+        (0..parts)
+            .map(|i| ByteSize(base + u64::from(i < rem)))
+            .collect()
+    }
+
+    /// Number of chunks of size `chunk` needed to carry this size
+    /// (ceiling division).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn chunks(self, chunk: ByteSize) -> u64 {
+        assert!(!chunk.is_zero(), "chunk size must be positive");
+        self.0.div_ceil(chunk.0)
+    }
+}
+
+impl Bandwidth {
+    /// Creates a rate from bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is NaN, infinite or negative.
+    pub fn from_bytes_per_sec(bps: f64) -> Self {
+        assert!(bps.is_finite() && bps >= 0.0, "invalid bandwidth: {bps}");
+        Bandwidth(bps)
+    }
+
+    /// Creates a rate from decimal gigabits per second (network style).
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self::from_bytes_per_sec(gbps * 1e9 / 8.0)
+    }
+
+    /// Creates a rate from decimal gigabytes per second (NVLink style).
+    pub fn from_gbytes_per_sec(gbs: f64) -> Self {
+        Self::from_bytes_per_sec(gbs * 1e9)
+    }
+
+    /// Returns the rate in bytes per second.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the rate in decimal gigabytes per second.
+    pub fn as_gbytes_per_sec(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Returns the rate in decimal gigabits per second.
+    pub fn as_gbps(self) -> f64 {
+        self.0 * 8.0 / 1e9
+    }
+
+    /// Returns the inverse rate (the β of the α–β model), in seconds per
+    /// byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    pub fn inverse(self) -> f64 {
+        assert!(self.0 > 0.0, "cannot invert zero bandwidth");
+        1.0 / self.0
+    }
+
+    /// Time to move `size` bytes at this rate, excluding latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero and `size` is non-zero.
+    pub fn time_for(self, size: ByteSize) -> SimDuration {
+        if size.is_zero() {
+            return SimDuration::ZERO;
+        }
+        assert!(self.0 > 0.0, "zero bandwidth cannot carry data");
+        SimDuration::from_secs(size.as_f64() / self.0)
+    }
+
+    /// Returns the smaller of two rates.
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Bandwidth {
+    type Output = Bandwidth;
+
+    fn mul(self, rhs: f64) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Bandwidth {
+    type Output = Bandwidth;
+
+    fn div(self, rhs: f64) -> Bandwidth {
+        assert!(rhs > 0.0, "division by non-positive share count");
+        Bandwidth(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const KIB: u64 = 1024;
+        const MIB: u64 = 1024 * 1024;
+        const GIB: u64 = 1024 * 1024 * 1024;
+        if self.0 >= GIB {
+            write!(f, "{:.2}GiB", self.0 as f64 / GIB as f64)
+        } else if self.0 >= MIB {
+            write!(f, "{:.2}MiB", self.0 as f64 / MIB as f64)
+        } else if self.0 >= KIB {
+            write!(f, "{:.2}KiB", self.0 as f64 / KIB as f64)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}GB/s", self.as_gbytes_per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_converts_to_bytes() {
+        let bw = Bandwidth::from_gbps(100.0);
+        assert!((bw.as_bytes_per_sec() - 12.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn time_for_is_linear() {
+        let bw = Bandwidth::from_gbytes_per_sec(1.0);
+        let t = bw.time_for(ByteSize::from_bytes(500_000_000));
+        assert!((t.as_secs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_for_zero_bytes_is_zero_even_on_dead_link() {
+        let bw = Bandwidth::from_bytes_per_sec(0.0);
+        assert_eq!(bw.time_for(ByteSize::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn split_preserves_total() {
+        let total = ByteSize::from_bytes(1_000_003);
+        let parts = total.split(7);
+        assert_eq!(parts.len(), 7);
+        let sum: u64 = parts.iter().map(|p| p.as_u64()).sum();
+        assert_eq!(sum, total.as_u64());
+        let max = parts.iter().max().unwrap().as_u64();
+        let min = parts.iter().min().unwrap().as_u64();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn chunk_count_uses_ceiling() {
+        let s = ByteSize::from_bytes(10);
+        assert_eq!(s.chunks(ByteSize::from_bytes(4)), 3);
+        assert_eq!(s.chunks(ByteSize::from_bytes(5)), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", ByteSize::from_mib(256)), "256.00MiB");
+        assert_eq!(format!("{}", ByteSize::from_bytes(12)), "12B");
+    }
+
+    #[test]
+    fn bandwidth_share_divides() {
+        let bw = Bandwidth::from_gbytes_per_sec(10.0) / 4.0;
+        assert!((bw.as_gbytes_per_sec() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bandwidth")]
+    fn negative_bandwidth_rejected() {
+        let _ = Bandwidth::from_bytes_per_sec(-1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the fluid transport engine: conservation,
+//! fairness, ordering, and determinism under random workloads.
+
+use proptest::prelude::*;
+
+use adapcc_simnet::cluster::{Cluster, InstanceId, Rank};
+use adapcc_simnet::engine::{NetSim, SimEvent};
+use adapcc_simnet::units::{Bandwidth, ByteSize};
+
+fn cluster() -> &'static Cluster {
+    use std::sync::OnceLock;
+    static C: OnceLock<Cluster> = OnceLock::new();
+    C.get_or_init(|| Cluster::homogeneous_a100(3))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every submitted transfer completes exactly once, regardless of
+    /// the contention pattern.
+    #[test]
+    fn every_transfer_completes_once(
+        jobs in proptest::collection::vec((0usize..3, 0usize..3, 1u64..64), 1..40)
+    ) {
+        let c = cluster();
+        let mut sim = NetSim::new(c);
+        let mut expected = 0u64;
+        for (i, (a, b, mib)) in jobs.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            let path = c.net_path(InstanceId(*a), InstanceId(*b));
+            sim.submit_transfer(&path, ByteSize::from_mib(*mib), i as u64);
+            expected += 1;
+        }
+        let events = sim.drain();
+        prop_assert_eq!(events.len() as u64, expected);
+        let mut tokens: Vec<u64> = events.iter().map(|e| e.token()).collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        prop_assert_eq!(tokens.len() as u64, expected, "no duplicate completions");
+    }
+
+    /// Completion times are lower-bounded by the uncontended time and
+    /// upper-bounded by full serialization on the tightest port.
+    #[test]
+    fn completion_respects_physical_bounds(
+        sizes in proptest::collection::vec(1u64..128, 1..12)
+    ) {
+        let c = cluster();
+        let mut sim = NetSim::new(c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let bw = Bandwidth::from_gbps(100.0).as_bytes_per_sec();
+        let mut total = 0.0;
+        for (i, mib) in sizes.iter().enumerate() {
+            let b = ByteSize::from_mib(*mib);
+            total += b.as_f64();
+            sim.submit_transfer(&path, b, i as u64);
+        }
+        let events = sim.drain();
+        let alpha = c.path_alpha(&path).as_secs();
+        let last = events.iter().map(|e| e.at().as_secs()).fold(0.0, f64::max);
+        // All flows share one egress port: total bytes / port rate is a
+        // hard floor; add alpha for the latency phase.
+        prop_assert!(last + 1e-9 >= total / bw, "last {last}, floor {}", total / bw);
+        prop_assert!(
+            last <= total / bw + alpha + 1e-6,
+            "equal sharing can never exceed serialization: {last}"
+        );
+    }
+
+    /// Events are delivered in non-decreasing time order.
+    #[test]
+    fn event_times_are_monotone(
+        jobs in proptest::collection::vec((0usize..3, 0usize..3, 1u64..32), 1..30),
+        timers in proptest::collection::vec(0u64..50_000, 0..10),
+    ) {
+        let c = cluster();
+        let mut sim = NetSim::new(c);
+        let mut token = 0u64;
+        for (a, b, mib) in &jobs {
+            if a == b {
+                continue;
+            }
+            let path = c.net_path(InstanceId(*a), InstanceId(*b));
+            sim.submit_transfer(&path, ByteSize::from_mib(*mib), token);
+            token += 1;
+        }
+        for us in &timers {
+            sim.schedule_timer(
+                adapcc_simnet::time::SimDuration::from_micros(*us as f64),
+                token,
+            );
+            token += 1;
+        }
+        let mut prev = 0.0;
+        while let Some(ev) = sim.step() {
+            let t = ev.at().as_secs();
+            prop_assert!(t + 1e-12 >= prev, "time went backwards: {t} < {prev}");
+            prev = t;
+        }
+    }
+
+    /// Replays are bit-identical for any workload.
+    #[test]
+    fn engine_is_deterministic(
+        jobs in proptest::collection::vec((0usize..3, 0usize..3, 1u64..64), 1..24)
+    ) {
+        let run = || {
+            let c = cluster();
+            let mut sim = NetSim::new(c);
+            for (i, (a, b, mib)) in jobs.iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                let path = c.net_path(InstanceId(*a), InstanceId(*b));
+                sim.submit_transfer(&path, ByteSize::from_mib(*mib), i as u64);
+            }
+            sim.drain()
+                .into_iter()
+                .map(|e| (e.token(), e.at().as_secs().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Equal flows on one link finish together (fair sharing).
+    #[test]
+    fn identical_flows_share_fairly(k in 2usize..8, mib in 4u64..64) {
+        let c = cluster();
+        let mut sim = NetSim::new(c);
+        let path = c.net_path(InstanceId(0), InstanceId(2));
+        for i in 0..k {
+            sim.submit_transfer(&path, ByteSize::from_mib(mib), i as u64);
+        }
+        let events = sim.drain();
+        let times: Vec<f64> = events.iter().map(|e| e.at().as_secs()).collect();
+        let spread = times.iter().cloned().fold(0.0, f64::max)
+            - times.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(spread < 1e-6, "identical flows diverged by {spread}");
+    }
+}
+
+#[test]
+fn intra_and_inter_flows_do_not_interfere() {
+    // An NVLink transfer and a network transfer share no resources.
+    let c = cluster();
+    let solo = {
+        let mut sim = NetSim::new(c);
+        sim.submit_transfer(&c.intra_path(Rank(0), Rank(1)), ByteSize::from_mib(64), 0);
+        sim.drain()[0].at().as_secs()
+    };
+    let mut sim = NetSim::new(c);
+    sim.submit_transfer(&c.intra_path(Rank(0), Rank(1)), ByteSize::from_mib(64), 0);
+    sim.submit_transfer(&c.net_path(InstanceId(0), InstanceId(1)), ByteSize::from_mib(64), 1);
+    let both: Vec<SimEvent> = sim.drain();
+    let nv = both.iter().find(|e| e.token() == 0).unwrap().at().as_secs();
+    assert!((nv - solo).abs() < 1e-9);
+}

@@ -1,0 +1,538 @@
+//! Analytic cost model — the objective the synthesizer optimizes
+//! (paper eqs. (1)–(6)).
+//!
+//! Given a [`Strategy`], a profiled topology, and the tensor size, the
+//! model predicts the collective's completion time:
+//!
+//! * **Bandwidth sharing (eq. 3)** — each link's profiled bandwidth is
+//!   divided by the number of *streams* traversing it, summed over all
+//!   sub-collectives. Flows merged by an upstream aggregation count as
+//!   one stream (Reduce); broadcast replicas on a shared link group as
+//!   one; AlltoAll flows count individually.
+//! * **Chunk timing (eq. 2)** — a chunk leaves node `j` either when it
+//!   arrives (forwarding) or when the same-offset chunk of *every* flow
+//!   through `j` has arrived (aggregation).
+//! * **Pipelining (eqs. 5–6)** — a flow of `⌈S_m/C_m⌉` chunks finishes
+//!   at `h_dst + ⌈S_m/C_m⌉ · T_bottle`, with `T_bottle` the slowest
+//!   hop-to-hop gap along its route.
+//!
+//! The model deliberately ignores kernel-launch and staging overheads,
+//! as the paper's MIP does; the executor (crate `adapcc`) charges them.
+
+use std::collections::HashMap;
+
+use adapcc_profile::profiler::LinkProfile;
+use adapcc_simnet::time::SimDuration;
+use adapcc_simnet::units::ByteSize;
+use adapcc_topo::logical::{EdgeId, LogicalNode, LogicalTopology};
+
+use crate::primitive::Primitive;
+use crate::strategy::{Strategy, SubCollective};
+
+/// Predicted performance of a strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEstimate {
+    /// Predicted completion time of the whole collective (eq. 4).
+    pub completion: SimDuration,
+    /// Predicted completion per sub-collective.
+    pub per_sub: Vec<SimDuration>,
+}
+
+impl CostEstimate {
+    /// Algorithm bandwidth implied by the estimate: tensor bytes per
+    /// second of completion time (the paper's `Algo.bw` metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the completion time is zero.
+    pub fn algo_bandwidth(&self, tensor: ByteSize) -> f64 {
+        let t = self.completion.as_secs();
+        assert!(t > 0.0, "zero completion time");
+        tensor.as_f64() / t
+    }
+}
+
+/// The evaluator.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel<'a> {
+    topo: &'a LogicalTopology,
+    profile: &'a LinkProfile,
+}
+
+impl<'a> CostModel<'a> {
+    /// A model over a profiled topology.
+    pub fn new(topo: &'a LogicalTopology, profile: &'a LinkProfile) -> Self {
+        CostModel { topo, profile }
+    }
+
+    /// Predicts the completion time of `strategy` moving a tensor of
+    /// `total` bytes per participant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow uses an edge with no profiled cost, or if the
+    /// chunk-time recursion fails to converge (a cyclic graph — caught
+    /// earlier by [`Strategy::validate`]).
+    pub fn evaluate(&self, strategy: &Strategy, total: ByteSize) -> CostEstimate {
+        // AllReduce executes the reduce graph and its reverse broadcast
+        // *chunk-pipelined in parallel*: an interior node's NIC carries
+        // both directions at once, so both stages must be priced under
+        // one combined port load (a chain through a slow server looks
+        // fine one-way and melts in duplex).
+        let reversed;
+        let mut groups: Vec<(&SubCollective, Primitive)> = strategy
+            .subs
+            .iter()
+            .map(|s| (s, strategy.primitive))
+            .collect();
+        if strategy.primitive == Primitive::AllReduce {
+            reversed = strategy.reversed(self.topo, Primitive::Broadcast);
+            for s in &reversed.subs {
+                groups.push((s, Primitive::Broadcast));
+            }
+        }
+        // Eq. 3 denominator: streams per edge summed over sub-collectives.
+        let mut shared_load: HashMap<EdgeId, f64> = HashMap::new();
+        let per_sub_streams: Vec<HashMap<EdgeId, f64>> = groups
+            .iter()
+            .map(|(sub, prim)| {
+                let streams = edge_streams(self.topo, sub, *prim);
+                for (e, n) in &streams {
+                    *shared_load.entry(*e).or_insert(0.0) += n;
+                }
+                streams
+            })
+            .collect();
+        // Distinct logical NIC-pair edges share physical ports: all
+        // streams leaving one NIC contend on its egress, all streams
+        // arriving contend on its ingress. Without this term the model
+        // prices a star over N children as N parallel full-rate links
+        // and the search degenerates to root-ingress hot spots.
+        let mut egress_load: HashMap<LogicalNode, f64> = HashMap::new();
+        let mut ingress_load: HashMap<LogicalNode, f64> = HashMap::new();
+        for (e, n) in &shared_load {
+            let edge = self.topo.edge(*e);
+            if edge.kind == adapcc_topo::logical::EdgeKind::Network {
+                *egress_load.entry(edge.from).or_insert(0.0) += n;
+                *ingress_load.entry(edge.to).or_insert(0.0) += n;
+            }
+        }
+        // Per-NIC port bandwidth: the best profiled aggregate over its
+        // adjacent network edges (an edge's own port term is the min of
+        // its two ends, so the max over edges recovers each end's own
+        // capacity).
+        let mut egress_bw: HashMap<LogicalNode, f64> = HashMap::new();
+        let mut ingress_bw: HashMap<LogicalNode, f64> = HashMap::new();
+        for (i, edge) in self.topo.edges().iter().enumerate() {
+            if edge.kind != adapcc_topo::logical::EdgeKind::Network {
+                continue;
+            }
+            if let Some(ab) = self.profile.get(EdgeId(i)) {
+                let bw = ab.port_bandwidth().as_bytes_per_sec();
+                let e = egress_bw.entry(edge.from).or_insert(0.0);
+                *e = e.max(bw);
+                let g = ingress_bw.entry(edge.to).or_insert(0.0);
+                *g = g.max(bw);
+            }
+        }
+        let port_load = PortLoad { egress_load, ingress_load, egress_bw, ingress_bw };
+
+        let n_primary = strategy.subs.len();
+        let mut per_sub = Vec::with_capacity(groups.len());
+        for (m, (sub, _)) in groups.iter().enumerate() {
+            let s_m = strategy.partition(total, m % n_primary);
+            per_sub.push(self.sub_completion(sub, s_m, &shared_load, &port_load, &per_sub_streams[m]));
+        }
+        let completion = per_sub
+            .iter()
+            .copied()
+            .fold(SimDuration::ZERO, SimDuration::max);
+        CostEstimate { completion, per_sub }
+    }
+
+    /// Chunk transfer time on one edge (eq. 2's `t_{i,j}`), with the
+    /// shared bandwidth of eq. 3 and physical-port contention.
+    fn edge_time(
+        &self,
+        e: EdgeId,
+        chunk: ByteSize,
+        shared_load: &HashMap<EdgeId, f64>,
+        ports: &PortLoad,
+    ) -> f64 {
+        let ab = self
+            .profile
+            .get(e)
+            .unwrap_or_else(|| panic!("edge {e:?} used but not profiled"));
+        let edge = self.topo.edge(e);
+        let load = shared_load.get(&e).copied().unwrap_or(1.0).max(1.0);
+        // A stream's rate: min of its single-stream ceiling and its fair
+        // share of each physical port it crosses (tail egress, head
+        // ingress) — per-byte time is the max of the inverses.
+        let mut per_byte = ab
+            .beta_secs_per_byte
+            .max(ab.port_beta_secs_per_byte * load);
+        if edge.kind == adapcc_topo::logical::EdgeKind::Network {
+            let el = ports.egress_load.get(&edge.from).copied().unwrap_or(load);
+            let il = ports.ingress_load.get(&edge.to).copied().unwrap_or(load);
+            if let Some(bw) = ports.egress_bw.get(&edge.from) {
+                per_byte = per_byte.max(el / bw);
+            }
+            if let Some(bw) = ports.ingress_bw.get(&edge.to) {
+                per_byte = per_byte.max(il / bw);
+            }
+        }
+        ab.alpha_secs + per_byte * chunk.as_f64()
+    }
+
+    fn sub_completion(
+        &self,
+        sub: &SubCollective,
+        s_m: ByteSize,
+        shared_load: &HashMap<EdgeId, f64>,
+        ports: &PortLoad,
+        _streams: &HashMap<EdgeId, f64>,
+    ) -> SimDuration {
+        if sub.flows.is_empty() || s_m.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let chunk = ByteSize::from_bytes(sub.chunk.as_u64().min(s_m.as_u64().max(1)));
+        let chunks = s_m.chunks(chunk) as f64;
+
+        // Fixpoint of eq. 2: per-flow arrival times, synchronized at
+        // aggregating nodes. H grows monotonically; trees converge in
+        // depth iterations.
+        let mut sync: HashMap<LogicalNode, f64> = HashMap::new();
+        let mut arrivals: Vec<Vec<f64>> = vec![Vec::new(); sub.flows.len()];
+        let mut bottles: Vec<f64> = vec![0.0; sub.flows.len()];
+        let max_iters = sub.nodes(self.topo).len() + 2;
+        let mut converged = false;
+        for _ in 0..max_iters {
+            let mut changed = false;
+            for (fi, flow) in sub.flows.iter().enumerate() {
+                let mut t = 0.0_f64;
+                let mut arr = Vec::with_capacity(flow.route.len() + 1);
+                arr.push(0.0);
+                let mut bottle = 0.0_f64;
+                let mut here = flow.src;
+                for e in &flow.route {
+                    let edge = self.topo.edge(*e);
+                    // Departure from `here`: synchronized if it aggregates —
+                    // including an aggregating *source* (a leader waits for
+                    // its members before its merged stream departs).
+                    let dep = if sub.aggregates_at(here) {
+                        sync.get(&here).copied().unwrap_or(t).max(t)
+                    } else {
+                        t
+                    };
+                    let hop = self.edge_time(*e, chunk, shared_load, ports);
+                    bottle = bottle.max(hop);
+                    let arr_t = dep + hop;
+                    if sub.aggregates_at(edge.to) {
+                        let s = sync.entry(edge.to).or_insert(0.0);
+                        if arr_t > *s {
+                            *s = arr_t;
+                            changed = true;
+                        }
+                    }
+                    t = arr_t;
+                    arr.push(t);
+                    here = edge.to;
+                }
+                arrivals[fi] = arr;
+                bottles[fi] = bottle;
+            }
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "chunk-time recursion did not converge");
+
+        // Eq. 5 per flow. We deviate from eq. 6's literal `h_j - h_i`
+        // bottleneck (which charges first-chunk synchronization waits on
+        // *every* chunk): in the warmed-up pipeline the executor
+        // actually implements, only the slowest single-edge transfer
+        // gates each additional chunk. The first chunk's full latency —
+        // synchronization included — is still `h_dst`.
+        let mut worst = 0.0_f64;
+        for (fi, _flow) in sub.flows.iter().enumerate() {
+            let h_dst = *arrivals[fi].last().expect("non-empty route arrivals");
+            let t_f = h_dst + chunks * bottles[fi];
+            worst = worst.max(t_f);
+        }
+        SimDuration::from_secs(worst)
+    }
+}
+
+/// Streams per edge for one sub-collective (the `N^m_{i,j}` of eq. 3).
+///
+/// A *stream group* is a set of flows already merged by an upstream
+/// aggregation: flows are grouped by the last aggregating node at or
+/// before the edge's tail on their route (or by flow identity if none).
+pub fn edge_streams(
+    topo: &LogicalTopology,
+    sub: &SubCollective,
+    primitive: Primitive,
+) -> HashMap<EdgeId, f64> {
+    let mut out: HashMap<EdgeId, f64> = HashMap::new();
+    match primitive {
+        Primitive::Broadcast | Primitive::AllGather => {
+            // Replicas on a shared link are grouped: one stream per edge.
+            for f in &sub.flows {
+                for e in &f.route {
+                    out.insert(*e, 1.0);
+                }
+            }
+        }
+        Primitive::AllToAll => {
+            // Personalized data: every flow loads the edge.
+            for f in &sub.flows {
+                for e in &f.route {
+                    *out.entry(*e).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        Primitive::Reduce | Primitive::AllReduce | Primitive::ReduceScatter => {
+            // Group flows by their most recent aggregation point. A flow
+            // *originating* at an aggregating node (a leader's own data)
+            // merges into that node's stream immediately: the kernel
+            // combines local and received chunks into one output stream.
+            let mut groups: HashMap<EdgeId, std::collections::HashSet<GroupKey>> = HashMap::new();
+            for (fi, f) in sub.flows.iter().enumerate() {
+                let mut here = f.src;
+                let mut key = if sub.aggregates_at(f.src) {
+                    GroupKey::Merged(f.src)
+                } else {
+                    GroupKey::Flow(fi)
+                };
+                for e in &f.route {
+                    if sub.aggregates_at(here) {
+                        key = GroupKey::Merged(here);
+                    }
+                    groups.entry(*e).or_default().insert(key);
+                    here = topo.edge(*e).to;
+                }
+            }
+            for (e, g) in groups {
+                out.insert(e, g.len() as f64);
+            }
+        }
+    }
+    out
+}
+
+/// Per-NIC stream totals and port capacities for physical-port
+/// contention.
+#[derive(Debug, Default)]
+struct PortLoad {
+    egress_load: HashMap<LogicalNode, f64>,
+    ingress_load: HashMap<LogicalNode, f64>,
+    egress_bw: HashMap<LogicalNode, f64>,
+    ingress_bw: HashMap<LogicalNode, f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum GroupKey {
+    Flow(usize),
+    Merged(LogicalNode),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Flow;
+    use adapcc_profile::profiler::Profiler;
+    use adapcc_simnet::cluster::{Cluster, InstanceId, Rank};
+    use adapcc_topo::detect::Detector;
+    use std::collections::BTreeMap;
+
+    fn setup(n: usize) -> (Cluster, LogicalTopology, LinkProfile) {
+        let c = Cluster::homogeneous_a100(n);
+        let topo = Detector::new(&c, 1).run().logical_topology(&c);
+        let profile = Profiler::new(&c, &topo, 1).without_noise().run().links;
+        (c, topo, profile)
+    }
+
+    fn g(r: usize) -> LogicalNode {
+        LogicalNode::Gpu(Rank(r))
+    }
+
+    fn star_reduce(topo: &LogicalTopology, sources: &[usize], root: usize) -> Strategy {
+        let e = |a, b| topo.edge_between(a, b).expect("edge");
+        let flows = sources
+            .iter()
+            .map(|&s| Flow { src: g(s), dst: g(root), route: vec![e(g(s), g(root))] })
+            .collect();
+        let mut aggregate = BTreeMap::new();
+        aggregate.insert(g(root), true);
+        Strategy {
+            primitive: Primitive::Reduce,
+            subs: vec![SubCollective {
+                fraction: 1.0,
+                chunk: ByteSize::from_mib(1),
+                root: Some(Rank(root)),
+                flows,
+                aggregate,
+            }],
+        }
+    }
+
+    #[test]
+    fn intra_star_cost_close_to_nvlink_time() {
+        let (_c, topo, profile) = setup(1);
+        let s = star_reduce(&topo, &[1, 2, 3], 0);
+        let model = CostModel::new(&topo, &profile);
+        let total = ByteSize::from_mib(256);
+        let est = model.evaluate(&s, total);
+        // Three parallel NVLink flows into gpu0, each on its own link:
+        // ~256 MiB / 100 GB/s ≈ 2.7 ms; pipelining roughly doubles the
+        // paper-formula estimate (h_dst + all chunks).
+        let secs = est.completion.as_secs();
+        assert!(secs > 0.002 && secs < 0.008, "estimate {secs}");
+    }
+
+    #[test]
+    fn aggregation_reduces_downstream_load() {
+        let (_c, topo, profile) = setup(2);
+        let e = |a, b| topo.edge_between(a, b).expect("edge");
+        let nic = |i: usize| LogicalNode::Nic(InstanceId(i));
+        // Three flows hop gpu->leader(gpu0)->nic0->nic1->gpu4.
+        let mk = |aggregate_at_leader: bool| {
+            let mut flows = Vec::new();
+            for s in [1usize, 2, 3] {
+                flows.push(Flow {
+                    src: g(s),
+                    dst: g(4),
+                    route: vec![
+                        e(g(s), g(0)),
+                        e(g(0), nic(0)),
+                        e(nic(0), nic(1)),
+                        e(nic(1), g(4)),
+                    ],
+                });
+            }
+            let mut aggregate = BTreeMap::new();
+            aggregate.insert(g(4), true);
+            if aggregate_at_leader {
+                aggregate.insert(g(0), true);
+            }
+            Strategy {
+                primitive: Primitive::Reduce,
+                subs: vec![SubCollective {
+                    fraction: 1.0,
+                    chunk: ByteSize::from_mib(1),
+                    root: Some(Rank(4)),
+                    flows,
+                    aggregate,
+                }],
+            }
+        };
+        let model = CostModel::new(&topo, &profile);
+        let total = ByteSize::from_mib(128);
+        let merged = model.evaluate(&mk(true), total).completion;
+        let forwarded = model.evaluate(&mk(false), total).completion;
+        // Aggregating at the leader sends 1 stream over the NIC instead
+        // of 3: ~3x less network volume.
+        assert!(
+            forwarded.as_secs() / merged.as_secs() > 2.0,
+            "merged {merged} forwarded {forwarded}"
+        );
+    }
+
+    #[test]
+    fn stream_counting_matches_rules() {
+        let (_c, topo, _p) = setup(1);
+        let e = |a, b| topo.edge_between(a, b).expect("edge");
+        // Two flows share edge g2->g0; one aggregates at g2 first.
+        let flows = vec![
+            Flow { src: g(1), dst: g(0), route: vec![e(g(1), g(2)), e(g(2), g(0))] },
+            Flow { src: g(3), dst: g(0), route: vec![e(g(3), g(2)), e(g(2), g(0))] },
+        ];
+        let mut aggregate = BTreeMap::new();
+        aggregate.insert(g(2), true);
+        aggregate.insert(g(0), true);
+        let sub = SubCollective {
+            fraction: 1.0,
+            chunk: ByteSize::from_mib(1),
+            root: Some(Rank(0)),
+            flows,
+            aggregate,
+        };
+        let streams = edge_streams(&topo, &sub, Primitive::Reduce);
+        assert_eq!(streams[&e(g(2), g(0))], 1.0, "merged at g2");
+        assert_eq!(streams[&e(g(1), g(2))], 1.0);
+        // Without aggregation at g2, the shared edge carries 2 streams.
+        let mut sub2 = sub.clone();
+        sub2.aggregate.remove(&g(2));
+        let streams2 = edge_streams(&topo, &sub2, Primitive::Reduce);
+        assert_eq!(streams2[&e(g(2), g(0))], 2.0);
+        // Broadcast always groups.
+        let streams3 = edge_streams(&topo, &sub2, Primitive::Broadcast);
+        assert_eq!(streams3[&e(g(2), g(0))], 1.0);
+        // AlltoAll counts each flow.
+        let streams4 = edge_streams(&topo, &sub2, Primitive::AllToAll);
+        assert_eq!(streams4[&e(g(2), g(0))], 2.0);
+    }
+
+    #[test]
+    fn smaller_chunks_pipeline_better_until_latency_binds() {
+        let (_c, topo, profile) = setup(2);
+        let e = |a, b| topo.edge_between(a, b).expect("edge");
+        let nic = |i: usize| LogicalNode::Nic(InstanceId(i));
+        let mk = |chunk: ByteSize| {
+            let flows = vec![Flow {
+                src: g(0),
+                dst: g(4),
+                route: vec![e(g(0), nic(0)), e(nic(0), nic(1)), e(nic(1), g(4))],
+            }];
+            Strategy {
+                primitive: Primitive::Reduce,
+                subs: vec![SubCollective {
+                    fraction: 1.0,
+                    chunk,
+                    root: Some(Rank(4)),
+                    flows,
+                    aggregate: BTreeMap::new(),
+                }],
+            }
+        };
+        let model = CostModel::new(&topo, &profile);
+        let total = ByteSize::from_mib(256);
+        let huge = model.evaluate(&mk(ByteSize::from_mib(256)), total).completion;
+        let mid = model.evaluate(&mk(ByteSize::from_mib(4)), total).completion;
+        let tiny = model.evaluate(&mk(ByteSize::from_kib(1)), total).completion;
+        // One giant chunk forfeits pipelining across the 3-hop path.
+        assert!(mid < huge, "mid {mid} huge {huge}");
+        // Chunks so small that per-chunk latency dominates lose again.
+        assert!(mid < tiny, "mid {mid} tiny {tiny}");
+    }
+
+    #[test]
+    fn parallel_subs_share_link_bandwidth() {
+        let (_c, topo, profile) = setup(1);
+        let model = CostModel::new(&topo, &profile);
+        let total = ByteSize::from_mib(256);
+        let one = star_reduce(&topo, &[1], 0);
+        let mut two = one.clone();
+        two.subs = vec![
+            SubCollective { fraction: 0.5, ..one.subs[0].clone() },
+            SubCollective { fraction: 0.5, ..one.subs[0].clone() },
+        ];
+        let t1 = model.evaluate(&one, total).completion;
+        let t2 = model.evaluate(&two, total).completion;
+        // Same edge, two streams at half size each: roughly the same
+        // time (no free lunch on a single link).
+        let ratio = t2.as_secs() / t1.as_secs();
+        assert!((ratio - 1.0).abs() < 0.15, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not profiled")]
+    fn unprofiled_edge_panics() {
+        let (_c, topo, _) = setup(1);
+        let empty = LinkProfile::new();
+        let s = star_reduce(&topo, &[1], 0);
+        let model = CostModel::new(&topo, &empty);
+        let _ = model.evaluate(&s, ByteSize::from_mib(1));
+    }
+}

@@ -1,0 +1,327 @@
+//! Exhaustive strategy search for small jobs — ground truth for the
+//! annealer.
+//!
+//! The paper hands its MIP to Gurobi; our production path substitutes
+//! annealing. For *small* clusters the space of hierarchical plans is
+//! enumerable — every (root, leader assignment, instance parent map)
+//! combination with every grid chunk — so we can compute the true
+//! optimum of the cost model and measure the annealer's optimality gap
+//! (asserted in tests and reported by the `ablation` harness).
+
+use std::collections::BTreeMap;
+
+use adapcc_profile::profiler::LinkProfile;
+use adapcc_simnet::cluster::{InstanceId, Rank};
+use adapcc_simnet::units::ByteSize;
+use adapcc_topo::logical::{LogicalNode, LogicalTopology};
+
+use crate::cost::CostModel;
+use crate::primitive::Primitive;
+use crate::solver::{group_by_instance, SynthRequest};
+use crate::strategy::{Flow, Strategy, SubCollective};
+
+/// Upper bound on instances for which exhaustive search is tractable.
+pub const MAX_INSTANCES: usize = 3;
+
+/// Enumerates every hierarchical single-sub-collective plan for the
+/// request and returns the cost-model optimum.
+///
+/// Restricted (documented) plan family: one sub-collective, a leader
+/// per instance, leaders connected by any in-tree over instances,
+/// every grid chunk size — the same family the production generators
+/// draw from, minus parallel sub-collectives, so the comparison in
+/// tests scales both to `parallelism = 1`.
+///
+/// # Panics
+///
+/// Panics if the job spans more than [`MAX_INSTANCES`] instances, has
+/// no participants, or requests an unsupported primitive (only Reduce
+/// and AllReduce are enumerated).
+pub fn exhaustive_optimum(
+    topo: &LogicalTopology,
+    profile: &LinkProfile,
+    req: &SynthRequest,
+) -> (Strategy, f64) {
+    assert!(!req.participants.is_empty(), "no participants");
+    assert!(
+        matches!(req.primitive, Primitive::Reduce | Primitive::AllReduce),
+        "exhaustive search covers Reduce/AllReduce only"
+    );
+    let by_inst = group_by_instance(topo, &req.participants);
+    let insts: Vec<InstanceId> = by_inst.keys().copied().collect();
+    assert!(
+        insts.len() <= MAX_INSTANCES,
+        "exhaustive search is exponential; {} instances exceed the cap",
+        insts.len()
+    );
+    let model = CostModel::new(topo, profile);
+    let chunk_grid = [
+        ByteSize::from_kib(256),
+        ByteSize::from_kib(512),
+        ByteSize::from_mib(1),
+        ByteSize::from_mib(2),
+        ByteSize::from_mib(4),
+        ByteSize::from_mib(8),
+    ];
+
+    let mut best: Option<(Strategy, f64)> = None;
+    // Enumerate: root rank × leader per non-root instance × parent map
+    // (in-tree over instances) × chunk.
+    for &root in &req.participants {
+        let root_inst = crate::solver::instance_of(topo, root);
+        for leaders in leader_assignments(&by_inst, root_inst, root) {
+            for parents in instance_trees(&insts, root_inst) {
+                for &chunk in &chunk_grid {
+                    let Some(strategy) = realize(
+                        topo,
+                        req,
+                        &by_inst,
+                        root,
+                        root_inst,
+                        &leaders,
+                        &parents,
+                        chunk,
+                    ) else {
+                        continue;
+                    };
+                    if strategy.validate(topo).is_err() {
+                        continue;
+                    }
+                    let cost = model.evaluate(&strategy, req.tensor).completion.as_secs();
+                    if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                        best = Some((strategy, cost));
+                    }
+                }
+            }
+        }
+    }
+    best.expect("at least one feasible plan")
+}
+
+/// All leader assignments: the root instance's leader is the root; each
+/// other instance picks any member.
+fn leader_assignments(
+    by_inst: &BTreeMap<InstanceId, Vec<Rank>>,
+    root_inst: InstanceId,
+    root: Rank,
+) -> Vec<BTreeMap<InstanceId, Rank>> {
+    let mut out = vec![BTreeMap::new()];
+    for (inst, members) in by_inst {
+        let choices: Vec<Rank> = if *inst == root_inst {
+            vec![root]
+        } else {
+            members.clone()
+        };
+        let mut next = Vec::with_capacity(out.len() * choices.len());
+        for partial in &out {
+            for c in &choices {
+                let mut p = partial.clone();
+                p.insert(*inst, *c);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// All in-trees over the instances rooted at `root_inst`: every
+/// non-root instance picks any parent, filtered to acyclic maps.
+fn instance_trees(
+    insts: &[InstanceId],
+    root_inst: InstanceId,
+) -> Vec<BTreeMap<InstanceId, InstanceId>> {
+    let others: Vec<InstanceId> = insts.iter().copied().filter(|i| *i != root_inst).collect();
+    let mut out = vec![BTreeMap::from([(root_inst, root_inst)])];
+    for child in &others {
+        let mut next = Vec::with_capacity(out.len() * insts.len());
+        for partial in &out {
+            for parent in insts {
+                if parent == child {
+                    continue;
+                }
+                let mut p = partial.clone();
+                p.insert(*child, *parent);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    // Keep only acyclic maps (every node reaches the root).
+    out.retain(|parents| {
+        insts.iter().all(|start| {
+            let mut here = *start;
+            for _ in 0..=insts.len() {
+                if here == root_inst {
+                    return true;
+                }
+                here = match parents.get(&here) {
+                    Some(p) => *p,
+                    None => return false,
+                };
+            }
+            false
+        })
+    });
+    out
+}
+
+#[allow(clippy::too_many_arguments)] // one-shot plan realization
+fn realize(
+    topo: &LogicalTopology,
+    req: &SynthRequest,
+    by_inst: &BTreeMap<InstanceId, Vec<Rank>>,
+    root: Rank,
+    root_inst: InstanceId,
+    leaders: &BTreeMap<InstanceId, Rank>,
+    parents: &BTreeMap<InstanceId, InstanceId>,
+    chunk: ByteSize,
+) -> Option<Strategy> {
+    let g = LogicalNode::Gpu;
+    let nic = LogicalNode::Nic;
+    let mut aggregate = BTreeMap::new();
+    for l in leaders.values() {
+        aggregate.insert(g(*l), true);
+    }
+    aggregate.insert(g(root), true);
+    let mut flows = Vec::new();
+    for (inst, members) in by_inst {
+        for r in members {
+            if *r == root {
+                continue;
+            }
+            let mut route = Vec::new();
+            let mut cursor = *r;
+            let leader = leaders[inst];
+            if cursor != leader {
+                route.push(topo.edge_between(g(cursor), g(leader))?);
+                cursor = leader;
+            }
+            let mut here = *inst;
+            let mut guard = 0;
+            while here != root_inst {
+                let up = *parents.get(&here)?;
+                let up_leader = if up == root_inst { root } else { leaders[&up] };
+                route.push(topo.edge_between(g(cursor), nic(here))?);
+                route.push(topo.edge_between(nic(here), nic(up))?);
+                route.push(topo.edge_between(nic(up), g(up_leader))?);
+                cursor = up_leader;
+                here = up;
+                guard += 1;
+                if guard > parents.len() + 1 {
+                    return None;
+                }
+            }
+            if cursor != root {
+                route.push(topo.edge_between(g(cursor), g(root))?);
+            }
+            flows.push(Flow { src: g(*r), dst: g(root), route });
+        }
+    }
+    Some(Strategy {
+        primitive: req.primitive,
+        subs: vec![SubCollective {
+            fraction: 1.0,
+            chunk,
+            root: Some(root),
+            flows,
+            aggregate,
+        }],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SynthConfig, Synthesizer};
+    use adapcc_profile::profiler::Profiler;
+    use adapcc_simnet::cluster::{Cluster, ClusterBuilder};
+    use adapcc_simnet::hardware::InstanceSpec;
+    use adapcc_topo::detect::Detector;
+
+    fn setup(c: &Cluster) -> (LogicalTopology, LinkProfile) {
+        let topo = Detector::new(c, 1).run().logical_topology(c);
+        let profile = Profiler::new(c, &topo, 1).without_noise().run().links;
+        (topo, profile)
+    }
+
+    #[test]
+    fn annealer_is_near_optimal_on_small_homogeneous_jobs() {
+        let c = Cluster::homogeneous_a100(3);
+        let (topo, profile) = setup(&c);
+        let model = CostModel::new(&topo, &profile);
+        let req = SynthRequest::new(
+            Primitive::AllReduce,
+            ByteSize::from_mib(64),
+            1,
+            (0..12).map(Rank).collect(),
+        );
+        let (_, optimal) = exhaustive_optimum(&topo, &profile, &req);
+        let annealed = Synthesizer::new(&topo, &profile).synthesize(&req);
+        let got = model.evaluate(&annealed, req.tensor).completion.as_secs();
+        assert!(
+            got <= optimal * 1.20,
+            "annealed {got} vs optimal {optimal} exceeds 20% gap"
+        );
+    }
+
+    #[test]
+    fn annealer_is_near_optimal_on_small_heterogeneous_jobs() {
+        let mut b = ClusterBuilder::new();
+        b.add_instances(InstanceSpec::a100_server(), 2);
+        b.add_instance(InstanceSpec::v100_server());
+        let c = b.build();
+        let (topo, profile) = setup(&c);
+        let model = CostModel::new(&topo, &profile);
+        let req = SynthRequest::new(
+            Primitive::Reduce,
+            ByteSize::from_mib(128),
+            1,
+            (0..12).map(Rank).collect(),
+        );
+        let (opt_strategy, optimal) = exhaustive_optimum(&topo, &profile, &req);
+        assert!(opt_strategy.validate(&topo).is_ok());
+        let annealed = Synthesizer::new(&topo, &profile).synthesize(&req);
+        let got = model.evaluate(&annealed, req.tensor).completion.as_secs();
+        assert!(
+            got <= optimal * 1.20,
+            "annealed {got} vs optimal {optimal} exceeds 20% gap"
+        );
+        // The optimum never roots on the thin-NIC V100 instance.
+        let root = opt_strategy.subs[0].root.unwrap();
+        assert!(root.0 < 8, "optimal root {root:?} should sit on an A100 server");
+    }
+
+    #[test]
+    fn generators_alone_trail_or_match_the_optimum() {
+        let c = Cluster::homogeneous_a100(2);
+        let (topo, profile) = setup(&c);
+        let model = CostModel::new(&topo, &profile);
+        let req = SynthRequest::new(
+            Primitive::AllReduce,
+            ByteSize::from_mib(32),
+            1,
+            (0..8).map(Rank).collect(),
+        );
+        let (_, optimal) = exhaustive_optimum(&topo, &profile, &req);
+        let quick = Synthesizer::new(&topo, &profile)
+            .with_config(SynthConfig { anneal_iters: 0, ..Default::default() })
+            .synthesize(&req);
+        let got = model.evaluate(&quick, req.tensor).completion.as_secs();
+        assert!(got + 1e-12 >= optimal, "optimum must lower-bound any plan");
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn large_jobs_rejected() {
+        let c = Cluster::homogeneous_a100(4);
+        let (topo, profile) = setup(&c);
+        let req = SynthRequest::new(
+            Primitive::Reduce,
+            ByteSize::from_mib(16),
+            1,
+            (0..16).map(Rank).collect(),
+        );
+        let _ = exhaustive_optimum(&topo, &profile, &req);
+    }
+}

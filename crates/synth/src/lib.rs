@@ -1,0 +1,53 @@
+//! # adapcc-synth
+//!
+//! The AdapCC strategy synthesizer (paper Sec. IV-D): given a profiled
+//! logical topology, it derives — per collective primitive — the
+//! parallel sub-collective communication graphs, pipelining chunk sizes
+//! and per-node aggregation control that minimize the predicted
+//! completion time of the collective (eqs. 1–6).
+//!
+//! The paper solves its mixed-integer formulation with Gurobi; this
+//! crate optimizes the identical objective with candidate tree
+//! generation plus deterministic simulated annealing (the substitution
+//! is documented in DESIGN.md). Strategies serialize to the paper's XML
+//! interchange format via [`xml`].
+//!
+//! # Example
+//!
+//! ```
+//! use adapcc_simnet::cluster::{Cluster, Rank};
+//! use adapcc_simnet::units::ByteSize;
+//! use adapcc_topo::detect::Detector;
+//! use adapcc_profile::profiler::Profiler;
+//! use adapcc_synth::{Primitive, SynthRequest, Synthesizer};
+//!
+//! let cluster = Cluster::paper_testbed();
+//! let topo = Detector::new(&cluster, 1).run().logical_topology(&cluster);
+//! let profile = Profiler::new(&cluster, &topo, 1).run().links;
+//! let req = SynthRequest::new(
+//!     Primitive::AllReduce,
+//!     ByteSize::from_mib(256),
+//!     4,
+//!     (0..24).map(Rank).collect(),
+//! );
+//! let strategy = Synthesizer::new(&topo, &profile).synthesize(&req);
+//! assert!(strategy.validate(&topo).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod exhaustive;
+pub mod primitive;
+pub mod solver;
+pub mod strategy;
+pub mod summary;
+pub mod xml;
+
+pub use cost::{CostEstimate, CostModel};
+pub use exhaustive::exhaustive_optimum;
+pub use primitive::Primitive;
+pub use solver::{instance_of, SynthConfig, SynthRequest, Synthesizer};
+pub use strategy::{Flow, InvalidStrategy, Strategy, SubCollective};
+pub use summary::{describe, stats, StrategyStats};

@@ -1,0 +1,115 @@
+//! Collective primitives and their communicated-volume formulas.
+
+use serde::{Deserialize, Serialize};
+
+use adapcc_simnet::units::ByteSize;
+
+/// A collective communication primitive.
+///
+/// The synthesizer formulates strategies for the three representative
+/// patterns — [`Reduce`](Primitive::Reduce) (many-to-one),
+/// [`Broadcast`](Primitive::Broadcast) (one-to-many) and
+/// [`AllToAll`](Primitive::AllToAll) (many-to-many) — and composes the
+/// rest: AllReduce runs a Reduce then the Broadcast in reverse,
+/// AllGather is one Broadcast per GPU, ReduceScatter one Reduce per
+/// GPU (paper Sec. IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Primitive {
+    /// Many-to-one aggregation onto a root.
+    Reduce,
+    /// One-to-many distribution from a root.
+    Broadcast,
+    /// Reduce followed by reverse broadcast; every rank ends with the
+    /// full aggregate.
+    AllReduce,
+    /// Every rank ends with the concatenation of all ranks' tensors.
+    AllGather,
+    /// Every rank ends with one aggregated shard.
+    ReduceScatter,
+    /// Personalized exchange: rank i sends a distinct shard to each j.
+    AllToAll,
+}
+
+impl Primitive {
+    /// Whether the primitive aggregates data (launches reduce kernels).
+    pub fn aggregates(self) -> bool {
+        matches!(
+            self,
+            Primitive::Reduce | Primitive::AllReduce | Primitive::ReduceScatter
+        )
+    }
+
+    /// Whether the primitive needs a designated root.
+    pub fn has_root(self) -> bool {
+        matches!(self, Primitive::Reduce | Primitive::Broadcast)
+    }
+
+    /// Total data volume moved for a per-rank tensor of `tensor` bytes
+    /// among `n` ranks — the paper's ski-rental "buy" cost numerators
+    /// (Sec. IV-C): `2(N−1)`× for AllReduce, `N`× for AlltoAll, `1`×
+    /// for Broadcast; Reduce moves `(N−1)`×.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn data_volume(self, tensor: ByteSize, n: usize) -> ByteSize {
+        assert!(n > 0, "collective needs at least one rank");
+        let k = match self {
+            Primitive::AllReduce => 2 * (n as u64 - 1),
+            Primitive::Reduce | Primitive::ReduceScatter | Primitive::AllGather => n as u64 - 1,
+            Primitive::AllToAll => n as u64,
+            Primitive::Broadcast => 1,
+        };
+        ByteSize::from_bytes(tensor.as_u64() * k.max(1))
+    }
+
+    /// Short lowercase name ("allreduce").
+    pub fn name(self) -> &'static str {
+        match self {
+            Primitive::Reduce => "reduce",
+            Primitive::Broadcast => "broadcast",
+            Primitive::AllReduce => "allreduce",
+            Primitive::AllGather => "allgather",
+            Primitive::ReduceScatter => "reducescatter",
+            Primitive::AllToAll => "alltoall",
+        }
+    }
+}
+
+impl std::fmt::Display for Primitive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_formulas_match_paper() {
+        let t = ByteSize::from_mib(100);
+        assert_eq!(
+            Primitive::AllReduce.data_volume(t, 4).as_u64(),
+            t.as_u64() * 6
+        );
+        assert_eq!(Primitive::AllToAll.data_volume(t, 4).as_u64(), t.as_u64() * 4);
+        assert_eq!(Primitive::Broadcast.data_volume(t, 4).as_u64(), t.as_u64());
+        assert_eq!(Primitive::Reduce.data_volume(t, 4).as_u64(), t.as_u64() * 3);
+    }
+
+    #[test]
+    fn single_rank_volume_never_zero() {
+        let t = ByteSize::from_mib(1);
+        assert!(Primitive::AllReduce.data_volume(t, 1).as_u64() >= t.as_u64());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Primitive::Reduce.aggregates());
+        assert!(!Primitive::Broadcast.aggregates());
+        assert!(Primitive::Reduce.has_root());
+        assert!(!Primitive::AllToAll.has_root());
+        assert_eq!(Primitive::AllGather.name(), "allgather");
+    }
+}

@@ -1,0 +1,1028 @@
+//! The strategy synthesizer (paper Sec. IV-D).
+//!
+//! The paper formulates routing, chunk sizing and aggregation control as
+//! a mixed-integer program and hands it to Gurobi. Gurobi is not
+//! available here, and the MIP is NP-hard anyway, so — as documented in
+//! DESIGN.md — we optimize the *same objective* (the [`CostModel`]
+//! implementing eqs. 1–6) with a structured search:
+//!
+//! 1. **Candidate generation**: hierarchical reduce trees (per-instance
+//!    leaders fed by local stars, optionally through relay hubs; star /
+//!    chain / binary inter-instance shapes), with leaders rotated across
+//!    the `M` sub-collectives so parallel sub-collectives use disjoint
+//!    NVLinks and spread NIC load.
+//! 2. **Chunk-size sweep** over a geometric grid (the latency/pipelining
+//!    trade-off of eq. 5).
+//! 3. **Fraction balancing**: partition sizes `S_m` reweighted inversely
+//!    to each sub-collective's predicted completion.
+//! 4. **Simulated annealing** over tree mutations (re-parenting
+//!    instances, swapping leaders, toggling relay hubs, chunk steps),
+//!    accepting strictly by the cost model, with a seeded RNG for
+//!    reproducibility.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use adapcc_profile::profiler::LinkProfile;
+use adapcc_simnet::cluster::{InstanceId, Rank};
+use adapcc_simnet::rng::seeded_rng;
+use adapcc_simnet::units::ByteSize;
+use adapcc_topo::logical::{EdgeKind, LogicalNode, LogicalTopology};
+
+use crate::cost::CostModel;
+use crate::primitive::Primitive;
+use crate::strategy::{Flow, Strategy, SubCollective};
+
+/// What to synthesize.
+#[derive(Debug, Clone)]
+pub struct SynthRequest {
+    /// The primitive.
+    pub primitive: Primitive,
+    /// Per-rank tensor size.
+    pub tensor: ByteSize,
+    /// Number of parallel sub-collectives (`M`, paper default 4).
+    pub parallelism: usize,
+    /// Workers contributing data.
+    pub participants: Vec<Rank>,
+    /// Non-ready workers available as forwarding/aggregating relays.
+    pub relays: Vec<Rank>,
+    /// Preferred root (rooted primitives); chosen automatically if
+    /// `None`.
+    pub root: Option<Rank>,
+    /// RNG seed for the annealer.
+    pub seed: u64,
+}
+
+impl SynthRequest {
+    /// A request with no relays and an automatic root.
+    pub fn new(primitive: Primitive, tensor: ByteSize, parallelism: usize, participants: Vec<Rank>) -> Self {
+        SynthRequest {
+            primitive,
+            tensor,
+            parallelism,
+            participants,
+            relays: Vec::new(),
+            root: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Search effort knobs.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Annealing iterations.
+    pub anneal_iters: usize,
+    /// Initial acceptance temperature relative to the initial cost.
+    pub initial_temp: f64,
+    /// Chunk-size grid swept for every sub-collective.
+    pub chunk_grid: Vec<ByteSize>,
+    /// Fraction-balancing passes.
+    pub balance_passes: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            anneal_iters: 240,
+            initial_temp: 0.08,
+            chunk_grid: vec![
+                ByteSize::from_kib(256),
+                ByteSize::from_kib(512),
+                ByteSize::from_mib(1),
+                ByteSize::from_mib(2),
+                ByteSize::from_mib(4),
+                ByteSize::from_mib(8),
+            ],
+            balance_passes: 3,
+        }
+    }
+}
+
+/// The synthesizer.
+///
+/// # Examples
+///
+/// ```
+/// use adapcc_simnet::cluster::{Cluster, Rank};
+/// use adapcc_simnet::units::ByteSize;
+/// use adapcc_topo::detect::Detector;
+/// use adapcc_profile::profiler::Profiler;
+/// use adapcc_synth::primitive::Primitive;
+/// use adapcc_synth::solver::{SynthRequest, Synthesizer};
+///
+/// let cluster = Cluster::homogeneous_a100(2);
+/// let topo = Detector::new(&cluster, 1).run().logical_topology(&cluster);
+/// let profile = Profiler::new(&cluster, &topo, 1).run().links;
+/// let req = SynthRequest::new(
+///     Primitive::Reduce,
+///     ByteSize::from_mib(64),
+///     4,
+///     (0..8).map(Rank).collect(),
+/// );
+/// let strategy = Synthesizer::new(&topo, &profile).synthesize(&req);
+/// assert_eq!(strategy.parallelism(), 4);
+/// assert!(strategy.validate(&topo).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct Synthesizer<'a> {
+    topo: &'a LogicalTopology,
+    profile: &'a LinkProfile,
+    config: SynthConfig,
+}
+
+/// Instance of a rank, derived from the logical topology's host links
+/// (the synthesizer never touches the physical cluster).
+pub fn instance_of(topo: &LogicalTopology, rank: Rank) -> InstanceId {
+    for e in topo.edges_from(LogicalNode::Gpu(rank)) {
+        let edge = topo.edge(*e);
+        if edge.kind == EdgeKind::HostLink {
+            if let LogicalNode::Nic(i) = edge.to {
+                return i;
+            }
+        }
+    }
+    panic!("rank {rank:?} has no host link in the logical topology");
+}
+
+/// The per-sub-collective tree blueprint the annealer mutates;
+/// `realize` expands it to flows.
+#[derive(Debug, Clone, PartialEq)]
+struct TreeSpec {
+    /// Leader GPU per participating instance.
+    leader: BTreeMap<InstanceId, Rank>,
+    /// Inter-instance tree: child instance -> parent instance.
+    parent: BTreeMap<InstanceId, InstanceId>,
+    /// Root GPU of this sub-collective. Plain Reduce pins one root for
+    /// every sub; AllReduce spreads roots across instances so the
+    /// aggregation load is not funnelled into a single NIC (the
+    /// parallel-sub-collective benefit of Fig. 8).
+    root: Rank,
+    /// Root instance.
+    root_inst: InstanceId,
+    /// Members routed through a relay hub: member -> hub.
+    via_hub: BTreeMap<Rank, Rank>,
+    chunk: ByteSize,
+    fraction: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Plan {
+    specs: Vec<TreeSpec>,
+}
+
+impl<'a> Synthesizer<'a> {
+    /// A synthesizer with default search effort.
+    pub fn new(topo: &'a LogicalTopology, profile: &'a LinkProfile) -> Self {
+        Synthesizer {
+            topo,
+            profile,
+            config: SynthConfig::default(),
+        }
+    }
+
+    /// Overrides the search configuration.
+    pub fn with_config(mut self, config: SynthConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Produces a validated strategy for the request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is empty, contains duplicates, or if
+    /// `parallelism` is zero.
+    pub fn synthesize(&self, req: &SynthRequest) -> Strategy {
+        assert!(!req.participants.is_empty(), "no participants");
+        assert!(req.parallelism > 0, "parallelism must be positive");
+        let mut uniq = req.participants.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), req.participants.len(), "duplicate participants");
+
+        match req.primitive {
+            Primitive::AllToAll => self.synthesize_alltoall(req),
+            Primitive::Broadcast => {
+                let reduce = self.synthesize_reduce(req);
+                reduce.reversed(self.topo, Primitive::Broadcast)
+            }
+            Primitive::Reduce | Primitive::AllReduce => {
+                let mut s = self.synthesize_reduce(req);
+                s.primitive = req.primitive;
+                s
+            }
+            Primitive::AllGather | Primitive::ReduceScatter => panic!(
+                "{} is composed from per-root Broadcast/Reduce strategies by the \
+                 Communicator (paper Sec. IV-D); synthesize those instead",
+                req.primitive
+            ),
+        }
+    }
+
+    /// Synthesizes the Reduce strategy and its reverse Broadcast —
+    /// the pair AllReduce pipelines (paper Sec. IV-D).
+    pub fn synthesize_allreduce(&self, req: &SynthRequest) -> (Strategy, Strategy) {
+        let mut reduce = self.synthesize_reduce(req);
+        reduce.primitive = Primitive::Reduce;
+        let bcast = reduce.reversed(self.topo, Primitive::Broadcast);
+        (reduce, bcast)
+    }
+
+    // ---- Reduce family ----
+
+    fn synthesize_reduce(&self, req: &SynthRequest) -> Strategy {
+        let model = CostModel::new(self.topo, self.profile);
+        let by_inst = group_by_instance(self.topo, &req.participants);
+        let hubs = group_by_instance(self.topo, &req.relays);
+        let insts: Vec<InstanceId> = by_inst.keys().copied().collect();
+
+        // Root: requested, else a participant on the instance with the
+        // fattest profiled ingress.
+        let root = req.root.unwrap_or_else(|| {
+            let best = insts
+                .iter()
+                .max_by(|a, b| {
+                    self.ingress_score(**a)
+                        .partial_cmp(&self.ingress_score(**b))
+                        .unwrap()
+                        .then(b.0.cmp(&a.0)) // deterministic tie-break: lower id
+                })
+                .copied()
+                .expect("non-empty instance set");
+            by_inst[&best][0]
+        });
+        let root_inst = instance_of(self.topo, root);
+
+        // Initial plan per inter-tree shape x root family; keep the best.
+        let allow_multi = req.primitive == Primitive::AllReduce && req.root.is_none();
+        let mut best: Option<(f64, Plan, Strategy)> = None;
+        for shape in [TreeShape::Star, TreeShape::Binary, TreeShape::Chain] {
+            for multi_root in [false, true] {
+                if multi_root && !allow_multi {
+                    continue;
+                }
+                let plan =
+                    self.initial_plan(req, &by_inst, &hubs, root, root_inst, shape, multi_root);
+                if let Some(strategy) = self.realize_plan(&plan, req, &by_inst, &hubs) {
+                    if strategy.validate(self.topo).is_err() {
+                        continue;
+                    }
+                    let cost = model.evaluate(&strategy, req.tensor).completion.as_secs();
+                    if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                        best = Some((cost, plan, strategy));
+                    }
+                }
+            }
+        }
+        let (mut best_cost, mut plan, mut best_strategy) =
+            best.expect("at least one candidate realizes");
+
+        // Chunk sweep (uniform across subs).
+        for &chunk in &self.config.chunk_grid {
+            let mut p = plan.clone();
+            for s in &mut p.specs {
+                s.chunk = chunk;
+            }
+            if let Some((cost, strategy)) = self.eval_plan(&p, req, &by_inst, &hubs, &model) {
+                if cost < best_cost {
+                    best_cost = cost;
+                    plan = p;
+                    best_strategy = strategy;
+                }
+            }
+        }
+
+        // Fraction balancing.
+        for _ in 0..self.config.balance_passes {
+            let est = model.evaluate(&best_strategy, req.tensor);
+            let mut p = plan.clone();
+            rebalance_fractions(&mut p, &est.per_sub);
+            if let Some((cost, strategy)) = self.eval_plan(&p, req, &by_inst, &hubs, &model) {
+                if cost < best_cost {
+                    best_cost = cost;
+                    plan = p;
+                    best_strategy = strategy;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // Simulated annealing over structural mutations.
+        let mut rng = seeded_rng(req.seed ^ 0x5EED_CAFE);
+        let mut cur_cost = best_cost;
+        let mut cur = plan.clone();
+        let t0 = best_cost * self.config.initial_temp;
+        for it in 0..self.config.anneal_iters {
+            let temp = t0 * (1.0 - it as f64 / self.config.anneal_iters as f64).max(1e-3);
+            let mut cand = cur.clone();
+            if !self.mutate(&mut cand, req, &by_inst, &hubs, &mut rng) {
+                continue;
+            }
+            let Some((cost, strategy)) = self.eval_plan(&cand, req, &by_inst, &hubs, &model) else {
+                continue;
+            };
+            let accept = cost < cur_cost
+                || rng.gen::<f64>() < ((cur_cost - cost) / temp.max(1e-12)).exp();
+            if accept {
+                cur_cost = cost;
+                cur = cand;
+                if cost < best_cost {
+                    best_cost = cost;
+                    plan = cur.clone();
+                    best_strategy = strategy;
+                }
+            }
+        }
+        let _ = plan;
+        best_strategy
+    }
+
+    fn eval_plan(
+        &self,
+        plan: &Plan,
+        req: &SynthRequest,
+        by_inst: &BTreeMap<InstanceId, Vec<Rank>>,
+        hubs: &BTreeMap<InstanceId, Vec<Rank>>,
+        model: &CostModel<'_>,
+    ) -> Option<(f64, Strategy)> {
+        let strategy = self.realize_plan(plan, req, by_inst, hubs)?;
+        strategy.validate(self.topo).ok()?;
+        let cost = model.evaluate(&strategy, req.tensor).completion.as_secs();
+        Some((cost, strategy))
+    }
+
+    /// Profiled ingress bandwidth of an instance's NIC (score for root
+    /// placement).
+    fn ingress_score(&self, inst: InstanceId) -> f64 {
+        let nic = LogicalNode::Nic(inst);
+        let mut best = 0.0_f64;
+        for e in self.topo.edges_into(nic) {
+            if self.topo.edge(*e).kind == EdgeKind::Network {
+                if let Some(ab) = self.profile.get(*e) {
+                    best = best.max(ab.bandwidth().as_bytes_per_sec());
+                }
+            }
+        }
+        best
+    }
+
+    #[allow(clippy::too_many_arguments)] // plan construction is one step
+    fn initial_plan(
+        &self,
+        req: &SynthRequest,
+        by_inst: &BTreeMap<InstanceId, Vec<Rank>>,
+        hubs: &BTreeMap<InstanceId, Vec<Rank>>,
+        root: Rank,
+        root_inst: InstanceId,
+        shape: TreeShape,
+        multi_root: bool,
+    ) -> Plan {
+        let insts: Vec<InstanceId> = by_inst.keys().copied().collect();
+        // Order non-root instances by descending NIC ingress for tree
+        // layout decisions.
+        let mut others: Vec<InstanceId> = insts.iter().copied().filter(|i| *i != root_inst).collect();
+        others.sort_by(|a, b| {
+            self.ingress_score(*b)
+                .partial_cmp(&self.ingress_score(*a))
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+        });
+        // AllReduce may spread sub-collective roots over the instances
+        // with the fattest profiled ingress; plain Reduce keeps the
+        // single semantic root.
+        let mut root_order: Vec<InstanceId> = insts.clone();
+        root_order.sort_by(|a, b| {
+            self.ingress_score(*b)
+                .partial_cmp(&self.ingress_score(*a))
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+        });
+        let mut specs = Vec::with_capacity(req.parallelism);
+        for m in 0..req.parallelism {
+            let (sub_root_inst, sub_root) = if multi_root {
+                let inst = root_order[m % root_order.len()];
+                let members = &by_inst[&inst];
+                (inst, members[m % members.len()])
+            } else {
+                (root_inst, root)
+            };
+            let sub_others: Vec<InstanceId> =
+                insts.iter().copied().filter(|i| *i != sub_root_inst).collect();
+            let mut leader = BTreeMap::new();
+            for (inst, members) in by_inst {
+                if *inst == sub_root_inst {
+                    leader.insert(*inst, sub_root);
+                } else {
+                    // Rotate leaders across sub-collectives to spread
+                    // NVLink and PCIe load.
+                    leader.insert(*inst, members[m % members.len()]);
+                }
+            }
+            let mut parent = BTreeMap::new();
+            parent.insert(sub_root_inst, sub_root_inst);
+            match shape {
+                TreeShape::Star => {
+                    for i in &sub_others {
+                        parent.insert(*i, sub_root_inst);
+                    }
+                }
+                TreeShape::Binary => {
+                    // Heap order over [root, others...].
+                    let order: Vec<InstanceId> = std::iter::once(sub_root_inst)
+                        .chain(sub_others.iter().copied())
+                        .collect();
+                    for (idx, inst) in order.iter().enumerate().skip(1) {
+                        parent.insert(*inst, order[(idx - 1) / 2]);
+                    }
+                }
+                TreeShape::Chain => {
+                    let order: Vec<InstanceId> = std::iter::once(sub_root_inst)
+                        .chain(sub_others.iter().copied())
+                        .collect();
+                    for w in order.windows(2) {
+                        parent.insert(w[1], w[0]);
+                    }
+                }
+            }
+            // Relay hubs: route the back half of each instance's members
+            // through a local relay on odd sub-collectives, exercising
+            // extra NVLinks.
+            let mut via_hub = BTreeMap::new();
+            if m % 2 == 1 {
+                for (inst, members) in by_inst {
+                    if let Some(hub_list) = hubs.get(inst) {
+                        if !hub_list.is_empty() && members.len() > 2 {
+                            let hub = hub_list[m % hub_list.len()];
+                            for r in members.iter().skip(members.len() / 2) {
+                                if *r != leader[inst] {
+                                    via_hub.insert(*r, hub);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            specs.push(TreeSpec {
+                leader,
+                parent,
+                root: sub_root,
+                root_inst: sub_root_inst,
+                via_hub,
+                chunk: ByteSize::from_mib(1),
+                fraction: 1.0 / req.parallelism as f64,
+            });
+        }
+        Plan { specs }
+    }
+
+    /// Expands a plan into a flow-level strategy. Returns `None` if a
+    /// needed logical edge is missing (mutation produced nonsense).
+    fn realize_plan(
+        &self,
+        plan: &Plan,
+        req: &SynthRequest,
+        by_inst: &BTreeMap<InstanceId, Vec<Rank>>,
+        _hubs: &BTreeMap<InstanceId, Vec<Rank>>,
+    ) -> Option<Strategy> {
+        let mut subs = Vec::with_capacity(plan.specs.len());
+        for spec in &plan.specs {
+            // Leader chain to the root for each instance: sequence of
+            // (leader, instance) hops up the inter tree.
+            let mut aggregate: BTreeMap<LogicalNode, bool> = BTreeMap::new();
+            if req.primitive.aggregates() || matches!(req.primitive, Primitive::AllGather) {
+                for (_, l) in spec.leader.iter() {
+                    aggregate.insert(LogicalNode::Gpu(*l), true);
+                }
+                for hub in spec.via_hub.values() {
+                    aggregate.insert(LogicalNode::Gpu(*hub), true);
+                }
+                aggregate.insert(LogicalNode::Gpu(spec.root), true);
+            }
+            let mut flows = Vec::new();
+            for (inst, members) in by_inst {
+                for r in members {
+                    if *r == spec.root {
+                        continue;
+                    }
+                    let route = self.route_to_root(*r, *inst, spec, spec.root)?;
+                    flows.push(Flow {
+                        src: LogicalNode::Gpu(*r),
+                        dst: LogicalNode::Gpu(spec.root),
+                        route,
+                    });
+                }
+            }
+            subs.push(SubCollective {
+                fraction: spec.fraction,
+                chunk: spec.chunk,
+                root: Some(spec.root),
+                flows,
+                aggregate,
+            });
+        }
+        Some(Strategy {
+            // Evaluate under the requested primitive's pricing rules —
+            // an AllReduce must be costed as reduce + reverse broadcast
+            // in duplex, not as its reduce half alone.
+            primitive: req.primitive,
+            subs,
+        })
+    }
+
+    /// Edge chain carrying rank `r` (on `inst`) to the root: local hop
+    /// to the hub and/or leader, then up the instance tree via NICs.
+    fn route_to_root(
+        &self,
+        r: Rank,
+        inst: InstanceId,
+        spec: &TreeSpec,
+        root: Rank,
+    ) -> Option<Vec<adapcc_topo::logical::EdgeId>> {
+        let g = LogicalNode::Gpu;
+        let nic = LogicalNode::Nic;
+        let mut route = Vec::new();
+        let leader = spec.leader[&inst];
+        let mut cursor = r;
+        if let Some(hub) = spec.via_hub.get(&r) {
+            if *hub != cursor && *hub != leader {
+                route.push(self.topo.edge_between(g(cursor), g(*hub))?);
+                cursor = *hub;
+            }
+        }
+        if cursor != leader {
+            route.push(self.topo.edge_between(g(cursor), g(leader))?);
+            cursor = leader;
+        }
+        // Climb the inter-instance tree.
+        let mut here_inst = inst;
+        let mut guard = 0;
+        while here_inst != spec.root_inst {
+            let up = *spec.parent.get(&here_inst)?;
+            if up == here_inst {
+                return None;
+            }
+            let up_leader = if up == spec.root_inst { root } else { spec.leader[&up] };
+            route.push(self.topo.edge_between(g(cursor), nic(here_inst))?);
+            route.push(self.topo.edge_between(nic(here_inst), nic(up))?);
+            route.push(self.topo.edge_between(nic(up), g(up_leader))?);
+            cursor = up_leader;
+            here_inst = up;
+            guard += 1;
+            if guard > spec.parent.len() + 1 {
+                return None; // parent map has a cycle
+            }
+        }
+        if cursor != root {
+            route.push(self.topo.edge_between(g(cursor), g(root))?);
+        }
+        Some(route)
+    }
+
+    fn mutate(
+        &self,
+        plan: &mut Plan,
+        req: &SynthRequest,
+        by_inst: &BTreeMap<InstanceId, Vec<Rank>>,
+        hubs: &BTreeMap<InstanceId, Vec<Rank>>,
+        rng: &mut ChaCha8Rng,
+    ) -> bool {
+        let m = rng.gen_range(0..plan.specs.len());
+        let insts: Vec<InstanceId> = by_inst.keys().copied().collect();
+        let op = rng.gen_range(0..6u8);
+        if op == 5 {
+            // Re-root one sub-collective (AllReduce only: plain Reduce
+            // has a single semantic root).
+            if req.primitive != Primitive::AllReduce || req.root.is_some() {
+                return false;
+            }
+            let spec = &mut plan.specs[m];
+            let inst = insts[rng.gen_range(0..insts.len())];
+            let members = &by_inst[&inst];
+            let new_root = members[rng.gen_range(0..members.len())];
+            if new_root == spec.root {
+                return false;
+            }
+            spec.root = new_root;
+            spec.root_inst = inst;
+            spec.leader.insert(inst, new_root);
+            // Rebuild the parent map as a star from the new root; the
+            // re-parent mutation refines it afterwards.
+            spec.parent.clear();
+            spec.parent.insert(inst, inst);
+            for i in insts.iter().filter(|i| **i != inst) {
+                spec.parent.insert(*i, inst);
+            }
+            spec.via_hub.retain(|r, hub| *r != new_root && *hub != new_root);
+            return true;
+        }
+        if op == 4 {
+            // Move fraction between two subs (operates on the whole plan).
+            if plan.specs.len() < 2 {
+                return false;
+            }
+            let a = rng.gen_range(0..plan.specs.len());
+            let b = rng.gen_range(0..plan.specs.len());
+            if a == b {
+                return false;
+            }
+            let delta = (plan.specs[a].fraction * 0.25).min(0.1);
+            if plan.specs[a].fraction - delta < 0.02 {
+                return false;
+            }
+            plan.specs[a].fraction -= delta;
+            plan.specs[b].fraction += delta;
+            return true;
+        }
+        let spec = &mut plan.specs[m];
+        match op {
+            0 => {
+                // Re-parent a non-root instance.
+                let candidates: Vec<_> = insts.iter().filter(|i| **i != spec.root_inst).collect();
+                if candidates.is_empty() {
+                    return false;
+                }
+                let child = *candidates[rng.gen_range(0..candidates.len())];
+                let new_parent = insts[rng.gen_range(0..insts.len())];
+                if new_parent == child {
+                    return false;
+                }
+                spec.parent.insert(child, new_parent);
+                true
+            }
+            1 => {
+                // Swap an instance's leader.
+                let inst = insts[rng.gen_range(0..insts.len())];
+                if inst == spec.root_inst {
+                    return false;
+                }
+                let _ = &spec.root;
+                let members = &by_inst[&inst];
+                if members.len() < 2 {
+                    return false;
+                }
+                let new_leader = members[rng.gen_range(0..members.len())];
+                spec.leader.insert(inst, new_leader);
+                // Drop hub routes that now collide with the leader.
+                spec.via_hub.retain(|r, hub| *r != new_leader && *hub != new_leader);
+                true
+            }
+            2 => {
+                // Toggle a hub route for a random member.
+                let inst = insts[rng.gen_range(0..insts.len())];
+                let members = &by_inst[&inst];
+                let hub_list = match hubs.get(&inst) {
+                    Some(h) if !h.is_empty() => h,
+                    _ => return false,
+                };
+                let r = members[rng.gen_range(0..members.len())];
+                if r == spec.leader[&inst] {
+                    return false;
+                }
+                if spec.via_hub.remove(&r).is_none() {
+                    spec.via_hub
+                        .insert(r, hub_list[rng.gen_range(0..hub_list.len())]);
+                }
+                true
+            }
+            3 => {
+                // Chunk step.
+                let grid = &self.config.chunk_grid;
+                let pos = grid.iter().position(|c| *c == spec.chunk).unwrap_or(2);
+                let next = if rng.gen_bool(0.5) {
+                    pos.saturating_sub(1)
+                } else {
+                    (pos + 1).min(grid.len() - 1)
+                };
+                spec.chunk = grid[next];
+                true
+            }
+            _ => unreachable!("op 4 is handled before the spec borrow"),
+        }
+    }
+
+    // ---- AlltoAll ----
+
+    fn synthesize_alltoall(&self, req: &SynthRequest) -> Strategy {
+        let model = CostModel::new(self.topo, self.profile);
+        let g = LogicalNode::Gpu;
+        let nic = LogicalNode::Nic;
+        let mut flows = Vec::new();
+        for &a in &req.participants {
+            for &b in &req.participants {
+                if a == b {
+                    continue;
+                }
+                let ia = instance_of(self.topo, a);
+                let ib = instance_of(self.topo, b);
+                let route = if ia == ib {
+                    vec![self.topo.edge_between(g(a), g(b)).expect("intra edge")]
+                } else {
+                    vec![
+                        self.topo.edge_between(g(a), nic(ia)).expect("host link"),
+                        self.topo.edge_between(nic(ia), nic(ib)).expect("network"),
+                        self.topo.edge_between(nic(ib), g(b)).expect("host link"),
+                    ]
+                };
+                flows.push(Flow { src: g(a), dst: g(b), route });
+            }
+        }
+        let make = |chunk: ByteSize, m: usize| Strategy {
+            primitive: Primitive::AllToAll,
+            subs: (0..m)
+                .map(|_| SubCollective {
+                    fraction: 1.0 / m as f64,
+                    chunk,
+                    root: None,
+                    flows: flows.clone(),
+                    aggregate: BTreeMap::new(),
+                })
+                .collect(),
+        };
+        // Chunk sweep; parallelism fixed by the request.
+        let mut best = make(ByteSize::from_mib(1), req.parallelism);
+        let mut best_cost = model.evaluate(&best, req.tensor).completion;
+        for &chunk in &self.config.chunk_grid {
+            let s = make(chunk, req.parallelism);
+            let cost = model.evaluate(&s, req.tensor).completion;
+            if cost < best_cost {
+                best_cost = cost;
+                best = s;
+            }
+        }
+        best
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TreeShape {
+    Star,
+    Binary,
+    Chain,
+}
+
+/// Groups ranks by their instance (instance order, rank order within).
+pub fn group_by_instance(
+    topo: &LogicalTopology,
+    ranks: &[Rank],
+) -> BTreeMap<InstanceId, Vec<Rank>> {
+    let mut map: BTreeMap<InstanceId, Vec<Rank>> = BTreeMap::new();
+    for &r in ranks {
+        map.entry(instance_of(topo, r)).or_default().push(r);
+    }
+    for v in map.values_mut() {
+        v.sort();
+    }
+    map
+}
+
+/// Reweights fractions inversely to predicted per-sub completion.
+fn rebalance_fractions(plan: &mut Plan, per_sub: &[adapcc_simnet::time::SimDuration]) {
+    let rates: Vec<f64> = plan
+        .specs
+        .iter()
+        .zip(per_sub)
+        .map(|(s, t)| {
+            if t.as_secs() > 0.0 {
+                s.fraction / t.as_secs()
+            } else {
+                s.fraction
+            }
+        })
+        .collect();
+    let total: f64 = rates.iter().sum();
+    if total <= 0.0 {
+        return;
+    }
+    for (s, r) in plan.specs.iter_mut().zip(&rates) {
+        s.fraction = (r / total).clamp(0.02, 0.9);
+    }
+    // Renormalize after clamping.
+    let sum: f64 = plan.specs.iter().map(|s| s.fraction).sum();
+    for s in &mut plan.specs {
+        s.fraction /= sum;
+    }
+}
+
+/// Convenience map from participants to instances used by callers that
+/// need per-instance views of a strategy.
+pub fn participants_by_instance(
+    topo: &LogicalTopology,
+    strategy: &Strategy,
+) -> HashMap<InstanceId, Vec<Rank>> {
+    let mut map: HashMap<InstanceId, Vec<Rank>> = HashMap::new();
+    for r in strategy.participants() {
+        map.entry(instance_of(topo, r)).or_default().push(r);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapcc_profile::profiler::Profiler;
+    use adapcc_simnet::cluster::Cluster;
+    use adapcc_topo::detect::Detector;
+
+    fn setup(cluster: &Cluster) -> (LogicalTopology, LinkProfile) {
+        let topo = Detector::new(cluster, 1).run().logical_topology(cluster);
+        let profile = Profiler::new(cluster, &topo, 1).without_noise().run().links;
+        (topo, profile)
+    }
+
+    fn all_ranks(c: &Cluster) -> Vec<Rank> {
+        (0..c.gpu_count()).map(Rank).collect()
+    }
+
+    #[test]
+    fn reduce_strategy_validates_on_testbed() {
+        let c = Cluster::paper_testbed();
+        let (topo, profile) = setup(&c);
+        let req = SynthRequest::new(Primitive::Reduce, ByteSize::from_mib(256), 4, all_ranks(&c));
+        let s = Synthesizer::new(&topo, &profile).synthesize(&req);
+        assert_eq!(s.validate(&topo), Ok(()));
+        assert_eq!(s.parallelism(), 4);
+        // Every participant except the root has a flow in every sub.
+        for sub in &s.subs {
+            assert_eq!(sub.flows.len(), c.gpu_count() - 1);
+        }
+    }
+
+    #[test]
+    fn root_lands_on_fat_nic_instance() {
+        let c = Cluster::paper_testbed();
+        let (topo, profile) = setup(&c);
+        let req = SynthRequest::new(Primitive::Reduce, ByteSize::from_mib(256), 4, all_ranks(&c));
+        let s = Synthesizer::new(&topo, &profile).synthesize(&req);
+        let root = s.subs[0].root.expect("rooted");
+        // A100 instances are 0..=3 (ranks 0..16); V100 NICs are slower.
+        assert!(root.0 < 16, "root {root:?} should sit on an A100 server");
+    }
+
+    #[test]
+    fn respects_requested_root() {
+        let c = Cluster::paper_testbed();
+        let (topo, profile) = setup(&c);
+        let mut req = SynthRequest::new(Primitive::Reduce, ByteSize::from_mib(64), 2, all_ranks(&c));
+        req.root = Some(Rank(17));
+        let s = Synthesizer::new(&topo, &profile).synthesize(&req);
+        assert_eq!(s.subs[0].root, Some(Rank(17)));
+    }
+
+    #[test]
+    fn broadcast_is_reverse_of_reduce() {
+        let c = Cluster::homogeneous_a100(2);
+        let (topo, profile) = setup(&c);
+        let req = SynthRequest::new(Primitive::Broadcast, ByteSize::from_mib(64), 2, all_ranks(&c));
+        let s = Synthesizer::new(&topo, &profile).synthesize(&req);
+        assert_eq!(s.validate(&topo), Ok(()));
+        // Flows originate at the root.
+        for sub in &s.subs {
+            let root = sub.root.expect("rooted");
+            for f in &sub.flows {
+                assert_eq!(f.src, LogicalNode::Gpu(root));
+            }
+            assert!(sub.aggregate.is_empty());
+        }
+    }
+
+    #[test]
+    fn alltoall_has_all_pairs() {
+        let c = Cluster::homogeneous_a100(2);
+        let (topo, profile) = setup(&c);
+        let req = SynthRequest::new(Primitive::AllToAll, ByteSize::from_mib(64), 4, all_ranks(&c));
+        let s = Synthesizer::new(&topo, &profile).synthesize(&req);
+        assert_eq!(s.validate(&topo), Ok(()));
+        assert_eq!(s.subs[0].flows.len(), 8 * 7);
+    }
+
+    #[test]
+    fn relays_appear_as_forwarders_not_sources() {
+        let c = Cluster::homogeneous_a100(2);
+        let (topo, profile) = setup(&c);
+        let participants: Vec<Rank> = (0..8).filter(|r| *r != 3).map(Rank).collect();
+        let mut req =
+            SynthRequest::new(Primitive::Reduce, ByteSize::from_mib(64), 4, participants.clone());
+        req.relays = vec![Rank(3)];
+        let s = Synthesizer::new(&topo, &profile).synthesize(&req);
+        assert_eq!(s.validate(&topo), Ok(()));
+        for sub in &s.subs {
+            for f in &sub.flows {
+                assert_ne!(f.src, LogicalNode::Gpu(Rank(3)), "relay must not contribute data");
+            }
+        }
+        // At least one sub routes through the relay hub.
+        let uses_relay = s.subs.iter().any(|sub| {
+            sub.flows
+                .iter()
+                .any(|f| f.nodes(&topo).contains(&LogicalNode::Gpu(Rank(3))))
+        });
+        assert!(uses_relay, "no sub-collective exploited the relay");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let c = Cluster::paper_testbed();
+        let (topo, profile) = setup(&c);
+        let req = SynthRequest::new(Primitive::Reduce, ByteSize::from_mib(128), 4, all_ranks(&c));
+        let a = Synthesizer::new(&topo, &profile).synthesize(&req);
+        let b = Synthesizer::new(&topo, &profile).synthesize(&req);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn annealing_never_worsens_initial_candidates() {
+        let c = Cluster::paper_testbed();
+        let (topo, profile) = setup(&c);
+        let model = CostModel::new(&topo, &profile);
+        let tensor = ByteSize::from_mib(256);
+        let req = SynthRequest::new(Primitive::Reduce, tensor, 4, all_ranks(&c));
+        let quick = Synthesizer::new(&topo, &profile)
+            .with_config(SynthConfig { anneal_iters: 0, ..Default::default() })
+            .synthesize(&req);
+        let full = Synthesizer::new(&topo, &profile).synthesize(&req);
+        let cq = model.evaluate(&quick, tensor).completion;
+        let cf = model.evaluate(&full, tensor).completion;
+        assert!(cf <= cq, "annealed {cf} vs initial {cq}");
+    }
+
+    #[test]
+    fn single_instance_collective() {
+        let c = Cluster::homogeneous_a100(1);
+        let (topo, profile) = setup(&c);
+        let req = SynthRequest::new(Primitive::Reduce, ByteSize::from_mib(64), 2, all_ranks(&c));
+        let s = Synthesizer::new(&topo, &profile).synthesize(&req);
+        assert_eq!(s.validate(&topo), Ok(()));
+        for sub in &s.subs {
+            for f in &sub.flows {
+                // Intra-instance routes never touch a NIC.
+                for n in f.nodes(&topo) {
+                    assert!(matches!(n, LogicalNode::Gpu(_)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instance_grouping() {
+        let c = Cluster::paper_testbed();
+        let (topo, _) = setup(&c);
+        let groups = group_by_instance(&topo, &all_ranks(&c));
+        assert_eq!(groups.len(), 6);
+        assert_eq!(groups[&InstanceId(0)], vec![Rank(0), Rank(1), Rank(2), Rank(3)]);
+        assert_eq!(groups[&InstanceId(5)].len(), 4);
+    }
+}
+
+#[cfg(test)]
+mod diag {
+    use super::*;
+    use crate::cost::CostModel;
+    use adapcc_profile::profiler::Profiler;
+    use adapcc_simnet::cluster::Cluster;
+    use adapcc_topo::detect::Detector;
+
+    #[test]
+    #[ignore]
+    fn candidate_costs() {
+        let c = Cluster::heterogeneous_2a100_2v100();
+        let topo = Detector::new(&c, 1).run().logical_topology(&c);
+        let profile = Profiler::new(&c, &topo, 1).without_noise().run().links;
+        let req = SynthRequest::new(
+            Primitive::AllReduce,
+            adapcc_simnet::units::ByteSize::from_mib(528),
+            4,
+            (0..16).map(Rank).collect(),
+        );
+        let synth = Synthesizer::new(&topo, &profile);
+        let model = CostModel::new(&topo, &profile);
+        let by_inst = group_by_instance(&topo, &req.participants);
+        let hubs: BTreeMap<InstanceId, Vec<Rank>> = BTreeMap::new();
+        let insts: Vec<InstanceId> = by_inst.keys().copied().collect();
+        let root_inst = insts[0];
+        let root = by_inst[&root_inst][0];
+        for shape in [TreeShape::Star, TreeShape::Binary, TreeShape::Chain] {
+            for multi in [false, true] {
+                let plan = synth.initial_plan(&req, &by_inst, &hubs, root, root_inst, shape, multi);
+                match synth.realize_plan(&plan, &req, &by_inst, &hubs) {
+                    Some(s) => match s.validate(&topo) {
+                        Ok(()) => {
+                            let est = model.evaluate(&s, req.tensor);
+                            let per: Vec<f64> =
+                                est.per_sub.iter().map(|d| d.as_millis()).collect();
+                            println!(
+                                "{shape:?} multi={multi}: {:.1}ms per_sub={per:?}",
+                                est.completion.as_millis()
+                            );
+                        }
+                        Err(e) => println!("{shape:?} multi={multi}: INVALID {e:?}"),
+                    },
+                    None => println!("{shape:?} multi={multi}: UNREALIZABLE"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Human-readable strategy summaries — what `nccl-topo-dump` is to
+//! NCCL, for logs, examples, and the figure harness.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use adapcc_simnet::cluster::InstanceId;
+use adapcc_topo::logical::{EdgeKind, LogicalNode, LogicalTopology};
+
+use crate::solver::instance_of;
+use crate::strategy::Strategy;
+
+/// Aggregated shape statistics of one strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyStats {
+    /// Parallel sub-collectives.
+    pub parallelism: usize,
+    /// Total flows across sub-collectives.
+    pub flows: usize,
+    /// Distinct network (NIC-to-NIC) edges used.
+    pub network_edges: usize,
+    /// Distinct NVLink edges used.
+    pub nvlink_edges: usize,
+    /// Longest route, in logical hops.
+    pub max_route_hops: usize,
+    /// Roots per sub-collective (rooted primitives).
+    pub roots: Vec<Option<usize>>,
+    /// Streams crossing each instance's NIC egress, summed over subs.
+    pub egress_streams: BTreeMap<usize, usize>,
+}
+
+/// Computes shape statistics.
+pub fn stats(topo: &LogicalTopology, strategy: &Strategy) -> StrategyStats {
+    let mut network = std::collections::HashSet::new();
+    let mut nvlink = std::collections::HashSet::new();
+    let mut flows = 0;
+    let mut max_hops = 0;
+    let mut egress: BTreeMap<usize, usize> = BTreeMap::new();
+    for sub in &strategy.subs {
+        flows += sub.flows.len();
+        for f in &sub.flows {
+            max_hops = max_hops.max(f.route.len());
+        }
+        for e in sub.edges() {
+            match topo.edge(e).kind {
+                EdgeKind::Network => {
+                    network.insert(e);
+                    if let LogicalNode::Nic(InstanceId(i)) = topo.edge(e).from {
+                        *egress.entry(i).or_insert(0) += 1;
+                    }
+                }
+                EdgeKind::NvLink => {
+                    nvlink.insert(e);
+                }
+                _ => {}
+            }
+        }
+    }
+    StrategyStats {
+        parallelism: strategy.subs.len(),
+        flows,
+        network_edges: network.len(),
+        nvlink_edges: nvlink.len(),
+        max_route_hops: max_hops,
+        roots: strategy.subs.iter().map(|s| s.root.map(|r| r.0)).collect(),
+        egress_streams: egress,
+    }
+}
+
+/// Renders a compact multi-line description of a strategy.
+///
+/// # Examples
+///
+/// ```
+/// use adapcc_simnet::cluster::{Cluster, Rank};
+/// use adapcc_simnet::units::ByteSize;
+/// use adapcc_topo::detect::Detector;
+/// use adapcc_profile::profiler::Profiler;
+/// use adapcc_synth::{describe, Primitive, SynthRequest, Synthesizer};
+///
+/// let cluster = Cluster::homogeneous_a100(2);
+/// let topo = Detector::new(&cluster, 1).run().logical_topology(&cluster);
+/// let profile = Profiler::new(&cluster, &topo, 1).run().links;
+/// let req = SynthRequest::new(Primitive::AllReduce, ByteSize::from_mib(64), 2,
+///                             (0..8).map(Rank).collect());
+/// let s = Synthesizer::new(&topo, &profile).synthesize(&req);
+/// let text = describe(&topo, &s);
+/// assert!(text.contains("allreduce"));
+/// ```
+pub fn describe(topo: &LogicalTopology, strategy: &Strategy) -> String {
+    let st = stats(topo, strategy);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} strategy: M={} ({} flows, {} network edges, {} NVLinks, max {} hops)",
+        strategy.primitive,
+        st.parallelism,
+        st.flows,
+        st.network_edges,
+        st.nvlink_edges,
+        st.max_route_hops
+    );
+    for (m, sub) in strategy.subs.iter().enumerate() {
+        let root = sub
+            .root
+            .map(|r| format!("root gpu{} (inst{})", r.0, instance_of(topo, r).0))
+            .unwrap_or_else(|| "rootless".into());
+        let _ = writeln!(
+            out,
+            "  sub {m}: {:.0}% of tensor, {} chunks, {root}",
+            sub.fraction * 100.0,
+            sub.chunk,
+        );
+    }
+    if !st.egress_streams.is_empty() {
+        let loads: Vec<String> = st
+            .egress_streams
+            .iter()
+            .map(|(i, n)| format!("inst{i}:{n}"))
+            .collect();
+        let _ = writeln!(out, "  NIC egress streams: {}", loads.join(" "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SynthRequest, Synthesizer};
+    use crate::Primitive;
+    use adapcc_profile::profiler::Profiler;
+    use adapcc_simnet::cluster::{Cluster, Rank};
+    use adapcc_simnet::units::ByteSize;
+    use adapcc_topo::detect::Detector;
+
+    #[test]
+    fn stats_count_shapes() {
+        let c = Cluster::paper_testbed();
+        let topo = Detector::new(&c, 1).run().logical_topology(&c);
+        let profile = Profiler::new(&c, &topo, 1).run().links;
+        let req = SynthRequest::new(
+            Primitive::AllReduce,
+            ByteSize::from_mib(64),
+            4,
+            (0..24).map(Rank).collect(),
+        );
+        let s = Synthesizer::new(&topo, &profile).synthesize(&req);
+        let st = stats(&topo, &s);
+        assert_eq!(st.parallelism, 4);
+        assert_eq!(st.flows, 4 * 23);
+        assert!(st.network_edges >= 5, "{st:?}");
+        assert!(st.nvlink_edges > 0);
+        assert!(!st.egress_streams.is_empty());
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let c = Cluster::homogeneous_a100(2);
+        let topo = Detector::new(&c, 1).run().logical_topology(&c);
+        let profile = Profiler::new(&c, &topo, 1).run().links;
+        let req = SynthRequest::new(
+            Primitive::Reduce,
+            ByteSize::from_mib(32),
+            2,
+            (0..8).map(Rank).collect(),
+        );
+        let s = Synthesizer::new(&topo, &profile).synthesize(&req);
+        let text = describe(&topo, &s);
+        assert!(text.contains("reduce strategy: M=2"));
+        assert!(text.contains("sub 0"));
+        assert!(text.contains("root gpu"));
+    }
+}

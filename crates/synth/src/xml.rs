@@ -1,0 +1,326 @@
+//! XML interchange for strategies.
+//!
+//! The paper's synthesizer emits strategies "in an XML format parsed by
+//! the Communicator". This module writes and parses that format with a
+//! small hand-rolled serializer (no external XML dependency), e.g.:
+//!
+//! ```xml
+//! <strategy primitive="reduce" subs="2">
+//!   <sub fraction="0.5" chunk="1048576" root="0">
+//!     <aggregate node="gpu0"/>
+//!     <flow src="gpu1" dst="gpu0" route="12"/>
+//!   </sub>
+//! </strategy>
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use adapcc_simnet::cluster::{InstanceId, Rank};
+use adapcc_simnet::units::ByteSize;
+use adapcc_topo::logical::{EdgeId, LogicalNode};
+
+use crate::primitive::Primitive;
+use crate::strategy::{Flow, Strategy, SubCollective};
+
+/// Serializes a strategy to the XML interchange format.
+///
+/// # Examples
+///
+/// ```
+/// use adapcc_synth::xml::{to_xml, from_xml};
+/// use adapcc_synth::{Primitive, Strategy};
+///
+/// let strategy = Strategy { primitive: Primitive::AllToAll, subs: vec![] };
+/// let xml = to_xml(&strategy);
+/// assert!(xml.starts_with("<strategy"));
+/// assert_eq!(from_xml(&xml).unwrap(), strategy);
+/// ```
+pub fn to_xml(strategy: &Strategy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<strategy primitive=\"{}\" subs=\"{}\">",
+        strategy.primitive,
+        strategy.subs.len()
+    );
+    for sub in &strategy.subs {
+        let root_attr = sub
+            .root
+            .map(|r| format!(" root=\"{}\"", r.0))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  <sub fraction=\"{}\" chunk=\"{}\"{}>",
+            sub.fraction,
+            sub.chunk.as_u64(),
+            root_attr
+        );
+        for (node, flag) in &sub.aggregate {
+            if *flag {
+                let _ = writeln!(out, "    <aggregate node=\"{}\"/>", node_name(*node));
+            }
+        }
+        for f in &sub.flows {
+            let route: Vec<String> = f.route.iter().map(|e| e.0.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "    <flow src=\"{}\" dst=\"{}\" route=\"{}\"/>",
+                node_name(f.src),
+                node_name(f.dst),
+                route.join(",")
+            );
+        }
+        let _ = writeln!(out, "  </sub>");
+    }
+    out.push_str("</strategy>\n");
+    out
+}
+
+/// A parse failure, with a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseXmlError(String);
+
+impl std::fmt::Display for ParseXmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid strategy xml: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseXmlError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseXmlError> {
+    Err(ParseXmlError(msg.into()))
+}
+
+/// Parses a strategy from the XML interchange format.
+///
+/// # Errors
+///
+/// Returns [`ParseXmlError`] on malformed documents, unknown primitive
+/// names, or unparseable attributes. Edge ids are *not* checked against
+/// a topology — run [`Strategy::validate`] afterwards.
+pub fn from_xml(xml: &str) -> Result<Strategy, ParseXmlError> {
+    let mut primitive = None;
+    let mut subs: Vec<SubCollective> = Vec::new();
+    let mut cur: Option<SubCollective> = None;
+    for raw in xml.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("<strategy") {
+            let attrs = parse_attrs(rest)?;
+            let name = attrs
+                .get("primitive")
+                .ok_or_else(|| ParseXmlError("missing primitive".into()))?;
+            primitive = Some(parse_primitive(name)?);
+        } else if let Some(rest) = line.strip_prefix("<sub") {
+            if cur.is_some() {
+                return err("nested <sub>");
+            }
+            let attrs = parse_attrs(rest)?;
+            let fraction: f64 = attr_parse(&attrs, "fraction")?;
+            let chunk: u64 = attr_parse(&attrs, "chunk")?;
+            let root = match attrs.get("root") {
+                Some(v) => Some(Rank(v.parse().map_err(|_| ParseXmlError("bad root".into()))?)),
+                None => None,
+            };
+            cur = Some(SubCollective {
+                fraction,
+                chunk: ByteSize::from_bytes(chunk),
+                root,
+                flows: Vec::new(),
+                aggregate: BTreeMap::new(),
+            });
+        } else if let Some(rest) = line.strip_prefix("<aggregate") {
+            let attrs = parse_attrs(rest)?;
+            let node = parse_node(
+                attrs
+                    .get("node")
+                    .ok_or_else(|| ParseXmlError("aggregate missing node".into()))?,
+            )?;
+            match cur.as_mut() {
+                Some(sub) => {
+                    sub.aggregate.insert(node, true);
+                }
+                None => return err("<aggregate> outside <sub>"),
+            }
+        } else if let Some(rest) = line.strip_prefix("<flow") {
+            let attrs = parse_attrs(rest)?;
+            let src = parse_node(
+                attrs
+                    .get("src")
+                    .ok_or_else(|| ParseXmlError("flow missing src".into()))?,
+            )?;
+            let dst = parse_node(
+                attrs
+                    .get("dst")
+                    .ok_or_else(|| ParseXmlError("flow missing dst".into()))?,
+            )?;
+            let route_str = attrs
+                .get("route")
+                .ok_or_else(|| ParseXmlError("flow missing route".into()))?;
+            let route = if route_str.is_empty() {
+                Vec::new()
+            } else {
+                route_str
+                    .split(',')
+                    .map(|s| {
+                        s.parse::<usize>()
+                            .map(EdgeId)
+                            .map_err(|_| ParseXmlError(format!("bad edge id {s}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            match cur.as_mut() {
+                Some(sub) => sub.flows.push(Flow { src, dst, route }),
+                None => return err("<flow> outside <sub>"),
+            }
+        } else if line == "</sub>" {
+            match cur.take() {
+                Some(sub) => subs.push(sub),
+                None => return err("unmatched </sub>"),
+            }
+        } else if line == "</strategy>" {
+            if cur.is_some() {
+                return err("unterminated <sub>");
+            }
+            let primitive = primitive.ok_or_else(|| ParseXmlError("no <strategy>".into()))?;
+            return Ok(Strategy { primitive, subs });
+        } else {
+            return err(format!("unexpected line: {line}"));
+        }
+    }
+    err("missing </strategy>")
+}
+
+fn node_name(n: LogicalNode) -> String {
+    match n {
+        LogicalNode::Gpu(r) => format!("gpu{}", r.0),
+        LogicalNode::Nic(i) => format!("nic{}", i.0),
+    }
+}
+
+fn parse_node(s: &str) -> Result<LogicalNode, ParseXmlError> {
+    if let Some(r) = s.strip_prefix("gpu") {
+        return r
+            .parse()
+            .map(|x| LogicalNode::Gpu(Rank(x)))
+            .map_err(|_| ParseXmlError(format!("bad gpu node {s}")));
+    }
+    if let Some(i) = s.strip_prefix("nic") {
+        return i
+            .parse()
+            .map(|x| LogicalNode::Nic(InstanceId(x)))
+            .map_err(|_| ParseXmlError(format!("bad nic node {s}")));
+    }
+    err(format!("unknown node {s}"))
+}
+
+fn parse_primitive(s: &str) -> Result<Primitive, ParseXmlError> {
+    Ok(match s {
+        "reduce" => Primitive::Reduce,
+        "broadcast" => Primitive::Broadcast,
+        "allreduce" => Primitive::AllReduce,
+        "allgather" => Primitive::AllGather,
+        "reducescatter" => Primitive::ReduceScatter,
+        "alltoall" => Primitive::AllToAll,
+        other => return err(format!("unknown primitive {other}")),
+    })
+}
+
+fn attr_parse<T: std::str::FromStr>(
+    attrs: &BTreeMap<String, String>,
+    key: &str,
+) -> Result<T, ParseXmlError> {
+    attrs
+        .get(key)
+        .ok_or_else(|| ParseXmlError(format!("missing {key}")))?
+        .parse()
+        .map_err(|_| ParseXmlError(format!("bad {key}")))
+}
+
+/// Parses `key="value"` pairs from the tail of a tag.
+fn parse_attrs(rest: &str) -> Result<BTreeMap<String, String>, ParseXmlError> {
+    let body = rest.trim_end_matches("/>").trim_end_matches('>').trim();
+    let mut out = BTreeMap::new();
+    let mut s = body;
+    while !s.is_empty() {
+        let eq = match s.find('=') {
+            Some(i) => i,
+            None => break,
+        };
+        let key = s[..eq].trim().to_string();
+        let after = &s[eq + 1..];
+        let Some(q1) = after.find('"') else {
+            return err("missing opening quote");
+        };
+        let Some(q2) = after[q1 + 1..].find('"') else {
+            return err("missing closing quote");
+        };
+        let val = after[q1 + 1..q1 + 1 + q2].to_string();
+        out.insert(key, val);
+        s = after[q1 + q2 + 2..].trim_start();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapcc_profile::profiler::Profiler;
+    use adapcc_simnet::cluster::Cluster;
+    use adapcc_topo::detect::Detector;
+
+    use crate::solver::{SynthRequest, Synthesizer};
+
+    #[test]
+    fn roundtrip_synthesized_strategy() {
+        let c = Cluster::paper_testbed();
+        let topo = Detector::new(&c, 1).run().logical_topology(&c);
+        let profile = Profiler::new(&c, &topo, 1).without_noise().run().links;
+        let req = SynthRequest::new(
+            Primitive::Reduce,
+            ByteSize::from_mib(64),
+            4,
+            (0..24).map(Rank).collect(),
+        );
+        let s = Synthesizer::new(&topo, &profile).synthesize(&req);
+        let xml = to_xml(&s);
+        let back = from_xml(&xml).expect("parses");
+        assert_eq!(back, s);
+        assert!(back.validate(&topo).is_ok());
+    }
+
+    #[test]
+    fn parses_handwritten_document() {
+        let xml = r#"<strategy primitive="reduce" subs="1">
+  <sub fraction="1" chunk="1048576" root="0">
+    <aggregate node="gpu0"/>
+    <flow src="gpu1" dst="gpu0" route="3,4"/>
+  </sub>
+</strategy>"#;
+        let s = from_xml(xml).expect("parses");
+        assert_eq!(s.primitive, Primitive::Reduce);
+        assert_eq!(s.subs.len(), 1);
+        assert_eq!(s.subs[0].flows[0].route, vec![EdgeId(3), EdgeId(4)]);
+        assert!(s.subs[0].aggregate[&LogicalNode::Gpu(Rank(0))]);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_xml("").is_err());
+        assert!(from_xml("<strategy primitive=\"nope\" subs=\"0\">\n</strategy>").is_err());
+        assert!(from_xml("<strategy primitive=\"reduce\" subs=\"0\">").is_err());
+        let unterminated = "<strategy primitive=\"reduce\" subs=\"1\">\n  <sub fraction=\"1\" chunk=\"1\">\n</strategy>";
+        assert!(from_xml(unterminated).is_err());
+    }
+
+    #[test]
+    fn empty_route_flow_roundtrips() {
+        let xml = "<strategy primitive=\"alltoall\" subs=\"1\">\n  <sub fraction=\"1\" chunk=\"64\">\n    <flow src=\"gpu0\" dst=\"gpu1\" route=\"\"/>\n  </sub>\n</strategy>";
+        let s = from_xml(xml).expect("parses");
+        assert!(s.subs[0].flows[0].route.is_empty());
+    }
+}

@@ -1,0 +1,377 @@
+//! Topology detection (paper Sec. IV-A).
+//!
+//! Run at job initialization (or when a worker joins during elastic
+//! scaling), the detector coordinates the GPUs of each instance to send
+//! timing probes and infers, *without reading any ground truth*:
+//!
+//! 1. the NUMA affinity of the NIC (socket-loopback latency from each
+//!    socket — the nearest socket sees the smallest latency);
+//! 2. which GPU pairs share a PCIe switch (simultaneous GPU-to-host
+//!    copies collapse in bandwidth when the uplink is shared);
+//! 3. which GPUs share a PCIe switch with the NIC (a GPU-to-host copy
+//!    concurrent with a host-NIC loopback is slowed only when the
+//!    route is shared);
+//! 4. which GPU pairs have a direct NVLink (peer-copy bandwidth far
+//!    above any PCIe route).
+//!
+//! Instance-to-instance connectivity is then taken as a full mesh
+//! (the paper's assumption), yielding the [`LogicalTopology`].
+
+use serde::{Deserialize, Serialize};
+
+use adapcc_simnet::cluster::{Cluster, InstanceId, Rank};
+use adapcc_simnet::hardware::detector_probe_size;
+use adapcc_simnet::probe::{ProbeRunner, ProbeSpec};
+use adapcc_simnet::time::SimDuration;
+use adapcc_simnet::units::ByteSize;
+
+use crate::logical::{EdgeKind, LogicalEdge, LogicalNode, LogicalTopology};
+
+/// Bandwidth collapse ratio under contention that implies a shared
+/// PCIe route (measured/solo below this → shared).
+const CONTENTION_RATIO: f64 = 0.75;
+
+/// Peer-copy bandwidth above this implies a direct NVLink.
+const NVLINK_THRESHOLD_GBS: f64 = 40.0;
+
+/// Fixed software overhead of one NUMA-bind + socket loopback test.
+fn numa_bind_overhead() -> SimDuration {
+    SimDuration::from_millis(150.0)
+}
+
+/// Fixed software overhead of one contention probe (spawning the 8
+/// parallel transmissions of the paper's recipe).
+fn pair_probe_overhead() -> SimDuration {
+    SimDuration::from_millis(60.0)
+}
+
+/// Fixed software overhead of one peer-copy probe.
+fn peer_probe_overhead() -> SimDuration {
+    SimDuration::from_millis(20.0)
+}
+
+/// What was inferred about one instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceDetection {
+    /// Socket nearest to the NIC.
+    pub nic_numa: usize,
+    /// Partition of local GPU indices into shared-switch groups.
+    pub switch_groups: Vec<Vec<usize>>,
+    /// Local GPUs inferred to share a PCIe switch with the NIC.
+    pub nic_colocated_gpus: Vec<usize>,
+    /// Local GPU pairs with a direct NVLink (a < b).
+    pub nvlink_pairs: Vec<(usize, usize)>,
+}
+
+/// The full detection result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// Per-instance findings, in instance order.
+    pub instances: Vec<InstanceDetection>,
+    /// Wall-clock cost of detection. Instances probe concurrently, so
+    /// this is the slowest instance's probe schedule (the paper
+    /// measures ~1.2 s, constant in job scale).
+    pub elapsed: SimDuration,
+}
+
+impl DetectionReport {
+    /// Builds the logical topology (Fig. 5(a)) implied by the report:
+    /// NVLink edges where detected, PCIe peer edges between unlinked
+    /// same-instance pairs, host links between every GPU and its NIC,
+    /// and a full NIC-to-NIC mesh.
+    pub fn logical_topology(&self, cluster: &Cluster) -> LogicalTopology {
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        for r in 0..cluster.gpu_count() {
+            nodes.push(LogicalNode::Gpu(Rank(r)));
+        }
+        for i in 0..cluster.instance_count() {
+            nodes.push(LogicalNode::Nic(InstanceId(i)));
+        }
+        let push_pair = |edges: &mut Vec<LogicalEdge>, a, b, kind| {
+            edges.push(LogicalEdge { from: a, to: b, kind });
+            edges.push(LogicalEdge { from: b, to: a, kind });
+        };
+        for (i, det) in self.instances.iter().enumerate() {
+            let inst = InstanceId(i);
+            let n = cluster.gpus_on(inst);
+            let nvlinked: std::collections::HashSet<(usize, usize)> =
+                det.nvlink_pairs.iter().copied().collect();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let ra = LogicalNode::Gpu(cluster.rank_of(inst, a));
+                    let rb = LogicalNode::Gpu(cluster.rank_of(inst, b));
+                    let kind = if nvlinked.contains(&(a, b)) {
+                        EdgeKind::NvLink
+                    } else {
+                        EdgeKind::PciePeer
+                    };
+                    push_pair(&mut edges, ra, rb, kind);
+                }
+                let g = LogicalNode::Gpu(cluster.rank_of(inst, a));
+                push_pair(&mut edges, g, LogicalNode::Nic(inst), EdgeKind::HostLink);
+            }
+        }
+        for a in 0..cluster.instance_count() {
+            for b in (a + 1)..cluster.instance_count() {
+                push_pair(
+                    &mut edges,
+                    LogicalNode::Nic(InstanceId(a)),
+                    LogicalNode::Nic(InstanceId(b)),
+                    EdgeKind::Network,
+                );
+            }
+        }
+        LogicalTopology::new(nodes, edges)
+    }
+}
+
+/// The probing detector.
+///
+/// # Examples
+///
+/// ```
+/// use adapcc_simnet::cluster::Cluster;
+/// use adapcc_topo::detect::Detector;
+///
+/// let cluster = Cluster::homogeneous_a100(1);
+/// let report = Detector::new(&cluster, 7).run();
+/// // 4 GPUs in two switch groups of two.
+/// assert_eq!(report.instances[0].switch_groups.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Detector<'c> {
+    cluster: &'c Cluster,
+    runner: ProbeRunner<'c>,
+}
+
+impl<'c> Detector<'c> {
+    /// A detector over the given cluster with seeded probe noise.
+    pub fn new(cluster: &'c Cluster, seed: u64) -> Self {
+        Detector {
+            cluster,
+            runner: ProbeRunner::new(cluster, seed),
+        }
+    }
+
+    /// Disables measurement noise (tests).
+    pub fn without_noise(mut self) -> Self {
+        self.runner = ProbeRunner::new(self.cluster, 0).with_noise(0.0);
+        self
+    }
+
+    /// Runs all probes on every instance and returns the report.
+    pub fn run(&mut self) -> DetectionReport {
+        let mut instances = Vec::new();
+        let mut slowest = SimDuration::ZERO;
+        for i in 0..self.cluster.instance_count() {
+            let (det, took) = self.detect_instance(InstanceId(i));
+            slowest = slowest.max(took);
+            instances.push(det);
+        }
+        DetectionReport {
+            instances,
+            elapsed: slowest,
+        }
+    }
+
+    fn detect_instance(&mut self, inst: InstanceId) -> (InstanceDetection, SimDuration) {
+        let n = self.cluster.gpus_on(inst);
+        let sockets = self.cluster.spec(inst).numa_nodes;
+        let size = detector_probe_size();
+        let mut elapsed = SimDuration::ZERO;
+
+        // (1) NIC NUMA affinity: smallest loopback latency wins. A tiny
+        // payload isolates the α term.
+        let mut best = (0usize, f64::INFINITY);
+        for s in 0..sockets {
+            let t = self.runner.run_one(&ProbeSpec::new(
+                self.cluster.host_to_nic_path(inst, s),
+                ByteSize::from_kib(4),
+            ));
+            elapsed += numa_bind_overhead() + t;
+            if t.as_secs() < best.1 {
+                best = (s, t.as_secs());
+            }
+        }
+        let nic_numa = best.0;
+
+        // (2) Shared-switch inference. Baseline: each GPU's solo
+        // host-copy; then each pair copies simultaneously.
+        let mut solo = Vec::with_capacity(n);
+        for g in 0..n {
+            let rank = self.cluster.rank_of(inst, g);
+            let t = self.runner.run_one(&ProbeSpec::new(
+                self.cluster.gpu_to_host_path(rank, 0),
+                size,
+            ));
+            elapsed += pair_probe_overhead() + t;
+            solo.push(t.as_secs());
+        }
+        // Union-find over shared-switch relations.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        #[allow(clippy::needless_range_loop)] // pairs (a, b) index solo[]
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let ra = self.cluster.rank_of(inst, a);
+                let rb = self.cluster.rank_of(inst, b);
+                let both = self.runner.run_concurrent(&[
+                    ProbeSpec::new(self.cluster.gpu_to_host_path(ra, 0), size),
+                    ProbeSpec::new(self.cluster.gpu_to_host_path(rb, 0), size),
+                ]);
+                elapsed += pair_probe_overhead() + both[0].max(both[1]);
+                let ratio = solo[a] / both[0].as_secs();
+                if ratio < CONTENTION_RATIO {
+                    let (x, y) = (find(&mut parent, a), find(&mut parent, b));
+                    if x != y {
+                        parent[x] = y;
+                    }
+                }
+            }
+        }
+        let mut groups_map: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for g in 0..n {
+            let root = find(&mut parent, g);
+            groups_map.entry(root).or_default().push(g);
+        }
+        let switch_groups: Vec<Vec<usize>> = groups_map.into_values().collect();
+
+        // (3) NIC PCIe locality: GPU copy concurrent with a host-NIC
+        // loopback (send + receive halves); collapse implies the GPU
+        // shares the NIC's switch.
+        let mut nic_colocated_gpus = Vec::new();
+        #[allow(clippy::needless_range_loop)] // g indexes solo[] alongside
+        for g in 0..n {
+            let rank = self.cluster.rank_of(inst, g);
+            let res = self.runner.run_concurrent(&[
+                ProbeSpec::new(self.cluster.gpu_to_host_path(rank, 0), size),
+                ProbeSpec::new(self.cluster.host_to_nic_path(inst, nic_numa), size),
+                ProbeSpec::new(self.cluster.nic_to_host_path(inst, nic_numa), size),
+            ]);
+            elapsed += pair_probe_overhead() + res[0];
+            let ratio = solo[g] / res[0].as_secs();
+            if ratio < CONTENTION_RATIO {
+                nic_colocated_gpus.push(g);
+            }
+        }
+
+        // (4) NVLink detection: peer-copy bandwidth far above PCIe.
+        let mut nvlink_pairs = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let ra = self.cluster.rank_of(inst, a);
+                let rb = self.cluster.rank_of(inst, b);
+                let t = self
+                    .runner
+                    .run_one(&ProbeSpec::new(self.cluster.intra_path(ra, rb), size));
+                elapsed += peer_probe_overhead() + t;
+                let gbs = size.as_f64() / t.as_secs() / 1e9;
+                if gbs > NVLINK_THRESHOLD_GBS {
+                    nvlink_pairs.push((a, b));
+                }
+            }
+        }
+
+        (
+            InstanceDetection {
+                nic_numa,
+                switch_groups,
+                nic_colocated_gpus,
+                nvlink_pairs,
+            },
+            elapsed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapcc_simnet::cluster::ClusterBuilder;
+    use adapcc_simnet::hardware::{InstanceSpec, NvlinkTopology};
+
+    #[test]
+    fn detects_switch_groups_on_a100() {
+        let c = Cluster::homogeneous_a100(1);
+        let report = Detector::new(&c, 3).run();
+        let det = &report.instances[0];
+        assert_eq!(det.switch_groups, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn detects_nic_affinity_and_locality() {
+        let c = Cluster::homogeneous_a100(1);
+        let report = Detector::new(&c, 3).run();
+        let det = &report.instances[0];
+        assert_eq!(det.nic_numa, 0);
+        // The NIC hangs off switch 0, shared with GPUs 0 and 1.
+        assert_eq!(det.nic_colocated_gpus, vec![0, 1]);
+    }
+
+    #[test]
+    fn detects_full_mesh_nvlink() {
+        let c = Cluster::homogeneous_a100(1);
+        let report = Detector::new(&c, 3).run();
+        let det = &report.instances[0];
+        assert_eq!(det.nvlink_pairs.len(), 6);
+    }
+
+    #[test]
+    fn detects_fragmented_nvlink_pairs() {
+        let mut b = ClusterBuilder::new();
+        b.add_instance(InstanceSpec::a100_server().with_nvlink(NvlinkTopology::Pairs));
+        let c = b.build();
+        let report = Detector::new(&c, 3).run();
+        let det = &report.instances[0];
+        assert_eq!(det.nvlink_pairs, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn detection_matches_ground_truth_across_noise_seeds() {
+        let c = Cluster::paper_testbed();
+        for seed in [1, 2, 3] {
+            let report = Detector::new(&c, seed).run();
+            for (i, det) in report.instances.iter().enumerate() {
+                let inst = InstanceId(i);
+                for group in &det.switch_groups {
+                    let switches: std::collections::HashSet<usize> = group
+                        .iter()
+                        .map(|&g| c.gpu_switch_index(c.rank_of(inst, g)))
+                        .collect();
+                    assert_eq!(switches.len(), 1, "group crosses switches");
+                }
+                assert_eq!(det.nic_numa, c.nic_numa_index(inst));
+            }
+        }
+    }
+
+    #[test]
+    fn elapsed_is_scale_independent() {
+        let small = Detector::new(&Cluster::homogeneous_a100(1), 1).run();
+        let big = Detector::new(&Cluster::homogeneous_a100(4), 1).run();
+        // Instances probe concurrently: elapsed grows with per-instance
+        // work, not with instance count (paper: ~1.2 s constant).
+        let ratio = big.elapsed.as_secs() / small.elapsed.as_secs();
+        assert!(ratio < 1.2, "elapsed should not scale with instances: {ratio}");
+        assert!(small.elapsed.as_secs() > 0.8 && small.elapsed.as_secs() < 2.0);
+    }
+
+    #[test]
+    fn logical_topology_shape() {
+        let c = Cluster::homogeneous_a100(2);
+        let topo = Detector::new(&c, 1).run().logical_topology(&c);
+        // 8 GPUs + 2 NICs.
+        assert_eq!(topo.nodes().len(), 10);
+        // Per instance: 6 GPU pairs * 2 + 4 host links * 2 = 20; plus
+        // 1 NIC pair * 2 = 2. Total 42.
+        assert_eq!(topo.edge_count(), 42);
+        assert_eq!(topo.edges_of_kind(EdgeKind::Network).len(), 2);
+    }
+}

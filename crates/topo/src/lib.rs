@@ -1,0 +1,31 @@
+//! # adapcc-topo
+//!
+//! Topology detection for AdapCC (paper Sec. IV-A): infers GPU
+//! placement, PCIe switch sharing, NIC NUMA affinity and NVLink wiring
+//! from timing probes, and assembles the logical communication graph
+//! (Fig. 5(a)) consumed by the profiler and synthesizer.
+//!
+//! The detector sees only probe timings — never the simulator's ground
+//! truth — so the inference logic is exactly what would run against real
+//! hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use adapcc_simnet::cluster::Cluster;
+//! use adapcc_topo::detect::Detector;
+//!
+//! let cluster = Cluster::paper_testbed();
+//! let report = Detector::new(&cluster, 42).run();
+//! let topo = report.logical_topology(&cluster);
+//! assert_eq!(topo.gpu_nodes().len(), 24);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod detect;
+pub mod logical;
+
+pub use detect::{DetectionReport, Detector, InstanceDetection};
+pub use logical::{EdgeId, EdgeKind, LogicalEdge, LogicalNode, LogicalTopology};

@@ -1,0 +1,316 @@
+//! The logical topology (paper Fig. 5(a)): the graph the synthesizer
+//! routes over.
+//!
+//! Nodes are GPUs and NICs. Edges are NVLink GPU pairs, PCIe peer
+//! routes between unlinked same-instance GPU pairs, host links between
+//! each GPU and its instance NIC, and the fully connected NIC-to-NIC
+//! network. All edges are directed; physical duplex media produce two
+//! edges.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use adapcc_simnet::cluster::{Cluster, InstanceId, Path, Rank};
+
+/// A node of the logical graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LogicalNode {
+    /// A worker's GPU, identified by global rank.
+    Gpu(Rank),
+    /// An instance's NIC.
+    Nic(InstanceId),
+}
+
+impl fmt::Display for LogicalNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicalNode::Gpu(r) => write!(f, "gpu{}", r.0),
+            LogicalNode::Nic(i) => write!(f, "nic{}", i.0),
+        }
+    }
+}
+
+/// The medium class of a logical edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Direct NVLink between two GPUs of one instance.
+    NvLink,
+    /// PCIe peer route between two GPUs of one instance that lack a
+    /// direct NVLink (the paper's dotted lines).
+    PciePeer,
+    /// Host link between a GPU and its instance's NIC (PCIe; the paper
+    /// does not profile these — staging overlaps with the network).
+    HostLink,
+    /// NIC-to-NIC datacenter network connection.
+    Network,
+}
+
+/// Index of an edge within a [`LogicalTopology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub usize);
+
+/// A directed logical edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogicalEdge {
+    /// Tail node.
+    pub from: LogicalNode,
+    /// Head node.
+    pub to: LogicalNode,
+    /// Medium class.
+    pub kind: EdgeKind,
+}
+
+/// The logical communication graph over one training job.
+///
+/// # Examples
+///
+/// ```
+/// use adapcc_simnet::cluster::Cluster;
+/// use adapcc_topo::detect::Detector;
+///
+/// let cluster = Cluster::homogeneous_a100(2);
+/// let report = Detector::new(&cluster, 1).run();
+/// let topo = report.logical_topology(&cluster);
+/// assert_eq!(topo.gpu_nodes().len(), 8);
+/// assert_eq!(topo.nic_nodes().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogicalTopology {
+    nodes: Vec<LogicalNode>,
+    edges: Vec<LogicalEdge>,
+    #[serde(skip)]
+    out_edges: HashMap<LogicalNode, Vec<EdgeId>>,
+    #[serde(skip)]
+    in_edges: HashMap<LogicalNode, Vec<EdgeId>>,
+    #[serde(skip)]
+    by_ends: HashMap<(LogicalNode, LogicalNode), EdgeId>,
+}
+
+impl LogicalTopology {
+    /// Builds a topology from explicit nodes and edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node not in `nodes`, if a
+    /// duplicate directed edge exists, or if an edge is a self-loop.
+    pub fn new(nodes: Vec<LogicalNode>, edges: Vec<LogicalEdge>) -> Self {
+        let mut topo = LogicalTopology {
+            nodes,
+            edges,
+            out_edges: HashMap::new(),
+            in_edges: HashMap::new(),
+            by_ends: HashMap::new(),
+        };
+        topo.reindex();
+        topo
+    }
+
+    fn reindex(&mut self) {
+        self.out_edges.clear();
+        self.in_edges.clear();
+        self.by_ends.clear();
+        let node_set: std::collections::HashSet<_> = self.nodes.iter().copied().collect();
+        for (i, e) in self.edges.iter().enumerate() {
+            assert!(e.from != e.to, "self-loop edge {e:?}");
+            assert!(
+                node_set.contains(&e.from) && node_set.contains(&e.to),
+                "edge endpoints must be nodes: {e:?}"
+            );
+            let id = EdgeId(i);
+            self.out_edges.entry(e.from).or_default().push(id);
+            self.in_edges.entry(e.to).or_default().push(id);
+            let prev = self.by_ends.insert((e.from, e.to), id);
+            assert!(prev.is_none(), "duplicate edge {:?} -> {:?}", e.from, e.to);
+        }
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[LogicalNode] {
+        &self.nodes
+    }
+
+    /// All edges, indexable by [`EdgeId`].
+    pub fn edges(&self) -> &[LogicalEdge] {
+        &self.edges
+    }
+
+    /// One edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn edge(&self, id: EdgeId) -> &LogicalEdge {
+        &self.edges[id.0]
+    }
+
+    /// GPU nodes, in rank order.
+    pub fn gpu_nodes(&self) -> Vec<Rank> {
+        let mut v: Vec<Rank> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                LogicalNode::Gpu(r) => Some(*r),
+                LogicalNode::Nic(_) => None,
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// NIC nodes, in instance order.
+    pub fn nic_nodes(&self) -> Vec<InstanceId> {
+        let mut v: Vec<InstanceId> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                LogicalNode::Nic(i) => Some(*i),
+                LogicalNode::Gpu(_) => None,
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Outgoing edges of a node (empty for unknown nodes).
+    pub fn edges_from(&self, node: LogicalNode) -> &[EdgeId] {
+        self.out_edges.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    /// Incoming edges of a node (empty for unknown nodes).
+    pub fn edges_into(&self, node: LogicalNode) -> &[EdgeId] {
+        self.in_edges.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    /// The directed edge between two nodes, if present.
+    pub fn edge_between(&self, from: LogicalNode, to: LogicalNode) -> Option<EdgeId> {
+        self.by_ends.get(&(from, to)).copied()
+    }
+
+    /// Maps a logical edge onto the physical route it rides, for
+    /// execution or probing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge endpoints are inconsistent with its kind
+    /// (cannot happen for topologies built by this crate).
+    pub fn edge_path(&self, cluster: &Cluster, id: EdgeId) -> Path {
+        let e = self.edge(id);
+        match (e.from, e.to, e.kind) {
+            (LogicalNode::Gpu(a), LogicalNode::Gpu(b), EdgeKind::NvLink)
+            | (LogicalNode::Gpu(a), LogicalNode::Gpu(b), EdgeKind::PciePeer) => {
+                cluster.intra_path(a, b)
+            }
+            (LogicalNode::Gpu(g), LogicalNode::Nic(i), EdgeKind::HostLink) => {
+                // GPU -> host -> NIC staging route.
+                let (inst, _) = cluster.locate(g);
+                assert_eq!(inst, i, "host link must stay on one instance");
+                let mut p = cluster.gpu_to_host_path(g, cluster.nic_numa_index(i));
+                p.links
+                    .extend(cluster.host_to_nic_path(i, cluster.nic_numa_index(i)).links);
+                p
+            }
+            (LogicalNode::Nic(i), LogicalNode::Gpu(g), EdgeKind::HostLink) => {
+                let (inst, _) = cluster.locate(g);
+                assert_eq!(inst, i, "host link must stay on one instance");
+                let mut p = cluster.nic_to_host_path(i, cluster.nic_numa_index(i));
+                // Reverse of the gpu_to_host route.
+                let fwd = cluster.gpu_to_host_path(g, cluster.nic_numa_index(i));
+                let mut rev: Vec<_> = fwd
+                    .links
+                    .iter()
+                    .rev()
+                    .map(|l| {
+                        let d = cluster.link(*l);
+                        cluster
+                            .link_between(d.dst, d.src)
+                            .expect("duplex physical link")
+                    })
+                    .collect();
+                p.links.append(&mut rev);
+                p
+            }
+            (LogicalNode::Nic(a), LogicalNode::Nic(b), EdgeKind::Network) => {
+                cluster.net_path(a, b)
+            }
+            _ => panic!("inconsistent edge {e:?}"),
+        }
+    }
+
+    /// Edges of one kind.
+    pub fn edges_of_kind(&self, kind: EdgeKind) -> Vec<EdgeId> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind == kind)
+            .map(|(i, _)| EdgeId(i))
+            .collect()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LogicalTopology {
+        let g0 = LogicalNode::Gpu(Rank(0));
+        let g1 = LogicalNode::Gpu(Rank(1));
+        let n0 = LogicalNode::Nic(InstanceId(0));
+        LogicalTopology::new(
+            vec![g0, g1, n0],
+            vec![
+                LogicalEdge { from: g0, to: g1, kind: EdgeKind::NvLink },
+                LogicalEdge { from: g1, to: g0, kind: EdgeKind::NvLink },
+                LogicalEdge { from: g0, to: n0, kind: EdgeKind::HostLink },
+            ],
+        )
+    }
+
+    #[test]
+    fn adjacency_indexes() {
+        let t = tiny();
+        let g0 = LogicalNode::Gpu(Rank(0));
+        let g1 = LogicalNode::Gpu(Rank(1));
+        assert_eq!(t.edges_from(g0).len(), 2);
+        assert_eq!(t.edges_into(g0).len(), 1);
+        assert!(t.edge_between(g0, g1).is_some());
+        assert!(t.edge_between(g1, LogicalNode::Nic(InstanceId(0))).is_none());
+    }
+
+    #[test]
+    fn node_listings_sorted() {
+        let t = tiny();
+        assert_eq!(t.gpu_nodes(), vec![Rank(0), Rank(1)]);
+        assert_eq!(t.nic_nodes(), vec![InstanceId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edges_rejected() {
+        let g0 = LogicalNode::Gpu(Rank(0));
+        let g1 = LogicalNode::Gpu(Rank(1));
+        let e = LogicalEdge { from: g0, to: g1, kind: EdgeKind::NvLink };
+        let _ = LogicalTopology::new(vec![g0, g1], vec![e, e]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let g0 = LogicalNode::Gpu(Rank(0));
+        let e = LogicalEdge { from: g0, to: g0, kind: EdgeKind::NvLink };
+        let _ = LogicalTopology::new(vec![g0], vec![e]);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let t = tiny();
+        assert_eq!(t.edges_of_kind(EdgeKind::NvLink).len(), 2);
+        assert_eq!(t.edges_of_kind(EdgeKind::Network).len(), 0);
+    }
+}

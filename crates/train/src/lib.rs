@@ -1,0 +1,34 @@
+//! # adapcc-train
+//!
+//! Training-side experiments for the AdapCC reproduction: the paper's
+//! four DNN [`workload`]s with calibrated compute-time models, the
+//! [`straggler`] and CPU-interference models that create the wait-time
+//! distributions of Sec. II-C, the data-parallel [`trainer`] loop that
+//! drives AdapCC or a baseline backend and records the paper's
+//! throughput and communication metrics, and the real MLP [`accuracy`]
+//! experiment behind Fig. 19(b).
+//!
+//! # Example
+//!
+//! ```
+//! use adapcc_simnet::cluster::Cluster;
+//! use adapcc_train::trainer::{train, Backend, TrainConfig};
+//! use adapcc_train::workload::DnnModel;
+//!
+//! let cluster = Cluster::homogeneous_a100(2);
+//! let report = train(&cluster, &TrainConfig::new(DnnModel::Vit, Backend::AdapCcAdaptive, 3));
+//! assert!(report.throughput > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accuracy;
+pub mod straggler;
+pub mod trainer;
+pub mod workload;
+
+pub use accuracy::{run_accuracy_experiment, AccuracyCurve, AggregationMode};
+pub use straggler::{wait_time_ratio, StragglerModel};
+pub use trainer::{train, Backend, TrainConfig, TrainReport};
+pub use workload::DnnModel;

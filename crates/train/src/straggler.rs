@@ -1,0 +1,177 @@
+//! Computation-straggler and interference models (paper Sec. II-C and
+//! VI-D "Online Serving Interference").
+//!
+//! Per iteration, every worker's tensor-ready time is its mean compute
+//! time (by GPU generation and batch) scaled by a heavy-tailed draw;
+//! co-located CPU serving workloads add a multiplicative slowdown to
+//! the GPUs they interfere with. Both are seeded and reproducible.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use adapcc_simnet::cluster::{Cluster, Rank};
+use adapcc_simnet::rng::{heavy_tail_factor, seeded_rng};
+use adapcc_simnet::time::SimTime;
+
+use crate::workload::DnnModel;
+
+/// The per-iteration ready-time generator.
+#[derive(Debug)]
+pub struct StragglerModel {
+    rng: ChaCha8Rng,
+    /// GPUs currently slowed by co-located CPU workloads, with their
+    /// slowdown factor (> 1).
+    interference: BTreeMap<usize, f64>,
+}
+
+impl StragglerModel {
+    /// A seeded model with no interference.
+    pub fn new(seed: u64) -> Self {
+        StragglerModel {
+            rng: seeded_rng(seed ^ 0x57A6_u64.wrapping_mul(7)),
+            interference: BTreeMap::new(),
+        }
+    }
+
+    /// Applies a CPU-interference episode: each rank in `slowed` is
+    /// slowed by `factor` until the next call (paper: 0-2 GPUs per
+    /// server re-chosen every 5 minutes).
+    pub fn set_interference(&mut self, slowed: &[Rank], factor: f64) {
+        self.interference.clear();
+        for r in slowed {
+            self.interference.insert(r.0, factor.max(1.0));
+        }
+    }
+
+    /// Translates a CPU utilization level (0-400 %) of a co-located
+    /// online task into the GPU compute slowdown it induces (cache and
+    /// memory-bandwidth contention).
+    pub fn interference_slowdown(level_percent: f64) -> f64 {
+        1.0 + 0.25 * (level_percent / 100.0)
+    }
+
+    /// Draws every worker's tensor-ready time for one iteration.
+    pub fn ready_times(
+        &mut self,
+        cluster: &Cluster,
+        model: DnnModel,
+        batch: usize,
+    ) -> BTreeMap<Rank, SimTime> {
+        let sigma = model.jitter_sigma(batch);
+        let mut out = BTreeMap::new();
+        for r in 0..cluster.gpu_count() {
+            let rank = Rank(r);
+            let (inst, _) = cluster.locate(rank);
+            let gen = cluster.spec(inst).gpu;
+            let mean = model.compute_time(batch, gen).as_secs();
+            let noise = heavy_tail_factor(&mut self.rng, sigma);
+            let slow = self.interference.get(&r).copied().unwrap_or(1.0);
+            out.insert(rank, SimTime::from_secs(mean * noise * slow));
+        }
+        out
+    }
+
+    /// Picks 0-2 GPUs per instance to interfere with (the paper's
+    /// episode scheme) and applies the slowdown for `level_percent`.
+    pub fn roll_interference_episode(&mut self, cluster: &Cluster, level_percent: f64) {
+        let mut slowed = Vec::new();
+        for i in 0..cluster.instance_count() {
+            let inst = adapcc_simnet::cluster::InstanceId(i);
+            let n = cluster.gpus_on(inst);
+            let k = self.rng.gen_range(0..=2usize.min(n));
+            let mut locals: Vec<usize> = (0..n).collect();
+            for j in 0..k {
+                let pick = self.rng.gen_range(j..locals.len());
+                locals.swap(j, pick);
+                slowed.push(cluster.rank_of(inst, locals[j]));
+            }
+        }
+        let factor = Self::interference_slowdown(level_percent);
+        self.set_interference(&slowed, factor);
+    }
+}
+
+/// The paper's Fig. 3(b) metric: how long the fastest worker waits for
+/// the slowest, relative to the actual communication time.
+pub fn wait_time_ratio(ready: &BTreeMap<Rank, SimTime>, comm_actual_secs: f64) -> f64 {
+    if ready.is_empty() || comm_actual_secs <= 0.0 {
+        return 0.0;
+    }
+    let first = ready.values().copied().min().expect("non-empty");
+    let last = ready.values().copied().max().expect("non-empty");
+    last.duration_since(first).as_secs() / comm_actual_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hetero_ready_times_split_by_generation() {
+        let c = Cluster::paper_testbed();
+        let mut m = StragglerModel::new(1);
+        let ready = m.ready_times(&c, DnnModel::Gpt2, 16);
+        // V100 ranks (16..24) are systematically slower.
+        let a100_mean: f64 =
+            (0..16).map(|r| ready[&Rank(r)].as_secs()).sum::<f64>() / 16.0;
+        let v100_mean: f64 =
+            (16..24).map(|r| ready[&Rank(r)].as_secs()).sum::<f64>() / 8.0;
+        assert!(v100_mean > a100_mean * 1.5, "a={a100_mean} v={v100_mean}");
+    }
+
+    #[test]
+    fn interference_slows_chosen_ranks() {
+        let c = Cluster::homogeneous_a100(1);
+        let mut m = StragglerModel::new(1);
+        m.set_interference(&[Rank(2)], 1.5);
+        // Average over draws to see through the jitter.
+        let mut slowed = 0.0;
+        let mut others = 0.0;
+        for _ in 0..200 {
+            let ready = m.ready_times(&c, DnnModel::Vit, 128);
+            slowed += ready[&Rank(2)].as_secs();
+            others += ready[&Rank(0)].as_secs();
+        }
+        assert!(slowed / others > 1.4, "{}", slowed / others);
+    }
+
+    #[test]
+    fn interference_levels_monotone() {
+        assert!(StragglerModel::interference_slowdown(400.0)
+            > StragglerModel::interference_slowdown(100.0));
+        assert_eq!(StragglerModel::interference_slowdown(0.0), 1.0);
+    }
+
+    #[test]
+    fn episode_rolls_at_most_two_per_instance() {
+        let c = Cluster::homogeneous_a100(4);
+        let mut m = StragglerModel::new(5);
+        m.roll_interference_episode(&c, 200.0);
+        for i in 0..4 {
+            let inst = adapcc_simnet::cluster::InstanceId(i);
+            let count = (0..c.gpus_on(inst))
+                .filter(|l| m.interference.contains_key(&c.rank_of(inst, *l).0))
+                .count();
+            assert!(count <= 2);
+        }
+    }
+
+    #[test]
+    fn wait_ratio_definition() {
+        let mut ready = BTreeMap::new();
+        ready.insert(Rank(0), SimTime::from_secs(1.0));
+        ready.insert(Rank(1), SimTime::from_secs(1.3));
+        assert!((wait_time_ratio(&ready, 1.0) - 0.3).abs() < 1e-12);
+        assert_eq!(wait_time_ratio(&BTreeMap::new(), 1.0), 0.0);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let c = Cluster::paper_testbed();
+        let a = StragglerModel::new(9).ready_times(&c, DnnModel::Vgg16, 128);
+        let b = StragglerModel::new(9).ready_times(&c, DnnModel::Vgg16, 128);
+        assert_eq!(a, b);
+    }
+}

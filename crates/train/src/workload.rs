@@ -1,0 +1,145 @@
+//! The paper's training workloads (Sec. VI-D): model sizes, default
+//! batch sizes, per-iteration compute-time models, and the collective
+//! each model's data parallelism relies on.
+
+use serde::{Deserialize, Serialize};
+
+use adapcc_simnet::hardware::GpuGeneration;
+use adapcc_simnet::time::SimDuration;
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::primitive::Primitive;
+
+/// One of the paper's four DNN workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DnnModel {
+    /// VGG16 on ImageNet, 528 MB of gradients per iteration.
+    Vgg16,
+    /// GPT-2 on the personal-chat corpus, 475 MB.
+    Gpt2,
+    /// Vision Transformer on ImageNet, 208 MB.
+    Vit,
+    /// fastMoE-style mixture of experts, 512 MB, AlltoAll-bound.
+    Moe,
+}
+
+impl DnnModel {
+    /// All four workloads, in the paper's order.
+    pub fn all() -> [DnnModel; 4] {
+        [DnnModel::Vgg16, DnnModel::Gpt2, DnnModel::Vit, DnnModel::Moe]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DnnModel::Vgg16 => "VGG16",
+            DnnModel::Gpt2 => "GPT2",
+            DnnModel::Vit => "ViT",
+            DnnModel::Moe => "MoE",
+        }
+    }
+
+    /// Gradient / exchanged-tensor size per iteration (paper Sec. VI-D).
+    pub fn tensor_size(self) -> ByteSize {
+        match self {
+            DnnModel::Vgg16 => ByteSize::from_mib(528),
+            DnnModel::Gpt2 => ByteSize::from_mib(475),
+            DnnModel::Vit => ByteSize::from_mib(208),
+            DnnModel::Moe => ByteSize::from_mib(512),
+        }
+    }
+
+    /// The collective that dominates the model's communication.
+    pub fn primitive(self) -> Primitive {
+        match self {
+            DnnModel::Moe => Primitive::AllToAll,
+            _ => Primitive::AllReduce,
+        }
+    }
+
+    /// The paper's default per-GPU batch size.
+    pub fn default_batch(self) -> usize {
+        match self {
+            DnnModel::Gpt2 => 16,
+            _ => 128,
+        }
+    }
+
+    /// Mean forward+backward time for one iteration at `batch` on an
+    /// A100 (other generations scale by their compute factor).
+    ///
+    /// Calibrated to public per-GPU throughput figures; only the
+    /// compute/communication *ratio* and the variance matter to the
+    /// experiments.
+    pub fn compute_time(self, batch: usize, gpu: GpuGeneration) -> SimDuration {
+        // Seconds per sample on an A100, plus a fixed per-iteration
+        // launch overhead.
+        let (per_sample, fixed) = match self {
+            DnnModel::Vgg16 => (2.1e-3, 0.015),
+            DnnModel::Gpt2 => (8.0e-3, 0.020),
+            DnnModel::Vit => (1.5e-3, 0.015),
+            DnnModel::Moe => (1.1e-3, 0.018),
+        };
+        let a100 = fixed + per_sample * batch as f64;
+        SimDuration::from_secs(a100 / gpu.compute_factor())
+    }
+
+    /// Relative compute-time jitter (coefficient of the heavy-tailed
+    /// noise); grows with the batch size as the paper observes.
+    pub fn jitter_sigma(self, batch: usize) -> f64 {
+        let base = match self {
+            DnnModel::Gpt2 => 0.10,
+            _ => 0.06,
+        };
+        // More samples -> more work -> wider absolute spread.
+        base * (1.0 + (batch as f64 / self.default_batch() as f64 - 1.0) * 0.5).clamp(0.5, 3.0)
+    }
+}
+
+impl std::fmt::Display for DnnModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(DnnModel::Vgg16.tensor_size(), ByteSize::from_mib(528));
+        assert_eq!(DnnModel::Gpt2.tensor_size(), ByteSize::from_mib(475));
+        assert_eq!(DnnModel::Vit.tensor_size(), ByteSize::from_mib(208));
+        assert_eq!(DnnModel::Moe.tensor_size(), ByteSize::from_mib(512));
+    }
+
+    #[test]
+    fn moe_is_alltoall_bound() {
+        assert_eq!(DnnModel::Moe.primitive(), Primitive::AllToAll);
+        assert_eq!(DnnModel::Gpt2.primitive(), Primitive::AllReduce);
+    }
+
+    #[test]
+    fn v100_is_slower_than_a100() {
+        for m in DnnModel::all() {
+            let a = m.compute_time(m.default_batch(), GpuGeneration::A100);
+            let v = m.compute_time(m.default_batch(), GpuGeneration::V100);
+            assert!(v > a, "{m}");
+            let ratio = v.as_secs() / a.as_secs();
+            assert!((ratio - 1.0 / 0.55).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn compute_scales_with_batch() {
+        let small = DnnModel::Vgg16.compute_time(32, GpuGeneration::A100);
+        let large = DnnModel::Vgg16.compute_time(256, GpuGeneration::A100);
+        assert!(large.as_secs() > small.as_secs() * 4.0);
+    }
+
+    #[test]
+    fn jitter_grows_with_batch() {
+        let m = DnnModel::Gpt2;
+        assert!(m.jitter_sigma(32) > m.jitter_sigma(16));
+    }
+}

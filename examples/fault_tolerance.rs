@@ -1,0 +1,85 @@
+//! Fault tolerance: a worker dies mid-training; AdapCC detects it
+//! after phase 1, excludes it, and keeps training — no checkpoint, no
+//! relaunch. The NCCL path would hang and need a full restart
+//! (paper Sec. IV-C-2 and Fig. 19(c)).
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use std::collections::BTreeMap;
+
+use adapcc::reconstruct::nccl_restart_cost;
+use adapcc::session::InitOptions;
+use adapcc::AdapCC;
+use adapcc_simnet::cluster::{Cluster, Rank};
+use adapcc_simnet::time::SimTime;
+use adapcc_simnet::units::ByteSize;
+
+fn main() {
+    let cluster = Cluster::homogeneous_a100(4);
+    let mut cc = AdapCC::init(&cluster, InitOptions::default());
+    cc.setup();
+    let tensor = ByteSize::from_mib(208); // ViT-sized gradients
+
+    // A few healthy iterations.
+    for i in 0..3 {
+        let ready = healthy_ready(&cluster, i);
+        let rep = cc.allreduce_adaptive(tensor, &ready, None);
+        println!("iter {i}: comm {}", rep.comm_time);
+    }
+
+    // Rank 11 dies: it never reports a ready tensor.
+    println!("\n--- rank 11 crashes ---");
+    let mut ready = healthy_ready(&cluster, 3);
+    ready.remove(&Rank(11));
+    let rep = cc.allreduce_adaptive(tensor, &ready, None);
+    println!(
+        "iter 3: comm {} — faults detected: {:?}",
+        rep.comm_time, rep.faults
+    );
+    assert_eq!(rep.faults, vec![Rank(11)]);
+
+    // Exclude the dead worker; the data loader re-shards (the global
+    // batch size is preserved by the training side) and the job keeps
+    // going with 15 workers.
+    cc.exclude_workers(&rep.faults);
+    println!("continuing with {} workers", cc.workers().len());
+    for i in 4..6 {
+        let ready = survivors_ready(cc.workers(), i);
+        let rep = cc.allreduce_adaptive(tensor, &ready, None);
+        println!("iter {i}: comm {} (no restart needed)", rep.comm_time);
+        assert!(rep.faults.is_empty());
+    }
+
+    // What the static-library path would have cost instead.
+    let restart = nccl_restart_cost(tensor, cluster.gpu_count());
+    println!(
+        "\nNCCL-style recovery for comparison: checkpoint {} + relaunch {} \
+         + process group {} + restore {} = {}",
+        restart.checkpoint,
+        restart.relaunch,
+        restart.process_group,
+        restart.restore,
+        restart.total()
+    );
+}
+
+fn healthy_ready(cluster: &Cluster, iter: usize) -> BTreeMap<Rank, SimTime> {
+    (0..cluster.gpu_count())
+        .map(|r| {
+            let jitter = ((r * 7 + iter * 13) % 10) as f64 * 1e-3;
+            (Rank(r), SimTime::from_secs(0.2 + jitter))
+        })
+        .collect()
+}
+
+fn survivors_ready(workers: &[Rank], iter: usize) -> BTreeMap<Rank, SimTime> {
+    workers
+        .iter()
+        .map(|r| {
+            let jitter = ((r.0 * 7 + iter * 13) % 10) as f64 * 1e-3;
+            (*r, SimTime::from_secs(0.2 + jitter))
+        })
+        .collect()
+}

@@ -1,0 +1,65 @@
+//! Heterogeneous data-parallel training: GPT-2 on two A100 and two
+//! V100 servers, AdapCC's adaptive relay control versus the NCCL-like
+//! baseline (the paper's Fig. 14/16 scenario).
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_training
+//! ```
+
+use adapcc_baselines::runner::System;
+use adapcc_simnet::cluster::Cluster;
+use adapcc_train::trainer::{train, Backend, TrainConfig};
+use adapcc_train::workload::DnnModel;
+
+fn main() {
+    let cluster = Cluster::heterogeneous_2a100_2v100();
+    println!(
+        "cluster: 2x A100 servers + 2x V100 servers ({} GPUs)\n",
+        cluster.gpu_count()
+    );
+
+    let iters = 15;
+    let model = DnnModel::Gpt2;
+    println!("training {model} (batch {} per GPU, {iters} iterations)\n", model.default_batch());
+
+    let mut rows = Vec::new();
+    for backend in [
+        Backend::AdapCcAdaptive,
+        Backend::AdapCcWaitAll,
+        Backend::Baseline(System::Nccl),
+        Backend::Baseline(System::Msccl),
+    ] {
+        let report = train(&cluster, &TrainConfig::new(model, backend, iters));
+        let partials = report.iterations.iter().filter(|i| i.partial).count();
+        rows.push((backend.name(), report.mean_comm_secs, report.throughput, partials));
+    }
+
+    println!(
+        "{:<14} {:>14} {:>18} {:>9}",
+        "backend", "comm (s/iter)", "throughput (sps)", "partials"
+    );
+    for (name, comm, tput, partials) in &rows {
+        println!("{name:<14} {comm:>14.4} {tput:>18.1} {partials:>9}");
+    }
+    let adapcc = rows[0].2;
+    let nccl = rows[2].2;
+    println!(
+        "\nAdapCC / NCCL training throughput: {:.2}x on RDMA (paper: up to 1.31x;\n\
+         on this 2+2 RDMA cluster both systems sit on the V100-NIC duplex floor —\n\
+         the big AdapCC wins appear on TCP and asymmetric allocations, see fig14)",
+        adapcc / nccl
+    );
+
+    // Which GPUs get picked as relays? On a heterogeneous cluster the
+    // slower V100s (ranks 8..16) should dominate (paper Fig. 15).
+    let report = train(
+        &cluster,
+        &TrainConfig::new(model, Backend::AdapCcAdaptive, 30).with_seed(7),
+    );
+    println!("\nrelay probability per rank (V100s are ranks 8..16):");
+    for (rank, p) in &report.relay_probability {
+        if *p > 0.0 {
+            println!("  rank {rank:>2}: {:>5.1}%", p * 100.0);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Mixture-of-Experts expert parallelism: every training step routes
+//! token activations between experts with AlltoAll (the fastMoE
+//! pattern the paper replaces with `adapcc.alltoall()`).
+//!
+//! ```text
+//! cargo run --release --example moe_expert_parallel
+//! ```
+
+use std::collections::BTreeMap;
+
+use adapcc::session::InitOptions;
+use adapcc::AdapCC;
+use adapcc_baselines::runner::{Runner, System};
+use adapcc_profile::profiler::Profiler;
+use adapcc_simnet::cluster::{Cluster, Rank};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::Primitive;
+use adapcc_topo::detect::Detector;
+
+fn main() {
+    // One expert per GPU across four servers (the paper's MoE setup).
+    let cluster = Cluster::homogeneous_a100(4);
+    let n = cluster.gpu_count();
+    println!("expert parallelism: {n} experts on {n} GPUs\n");
+
+    let mut cc = AdapCC::init(&cluster, InitOptions::default());
+    cc.setup();
+
+    // Token dispatch: each expert sends a shard of its batch to every
+    // other expert. 512 MB of activations per step (paper's MoE size).
+    let tensor = ByteSize::from_mib(512);
+    let elems = (tensor.as_u64() / 4) as usize;
+    // Real payloads on a smaller tensor to verify the routing exactly.
+    let small = ByteSize::from_bytes((n * 1024 * 4) as u64);
+    let small_elems = n * 1024;
+    let inputs: BTreeMap<Rank, Vec<f32>> = (0..n)
+        .map(|r| {
+            (Rank(r), (0..small_elems).map(|i| (r * 100 + i / 1024) as f32).collect())
+        })
+        .collect();
+    let verify = cc.alltoall(small, &BTreeMap::new(), Some(inputs));
+    // Expert j's shard i came from expert i's shard j.
+    let out = &verify.outputs[&Rank(1)];
+    // input[r][i] = r*100 + (i / 1024): expert 1's shard 0 is expert 0's
+    // shard 1, whose values are 0*100 + 1.
+    assert_eq!(out[0], 1.0, "expert 1 shard 0 = expert 0's shard 1");
+    println!("token routing verified: expert 1 holds expert 0's shard\n");
+
+    // Dispatch timing at full size, AdapCC vs the baselines.
+    let topo = Detector::new(&cluster, 1).run().logical_topology(&cluster);
+    let profile = Profiler::new(&cluster, &topo, 1).run().links;
+    let runner = Runner::new(&cluster, &topo, &profile);
+    let ranks: Vec<Rank> = (0..n).map(Rank).collect();
+    println!("{:<8} {:>12} {:>12}", "system", "dispatch", "Algo.bw");
+    for sys in [System::AdapCc, System::Nccl, System::Msccl] {
+        let r = runner.run(sys, Primitive::AllToAll, tensor, &ranks, &BTreeMap::new());
+        println!(
+            "{:<8} {:>9.1} ms {:>9.2} GB/s",
+            sys.name(),
+            r.comm_time.as_millis(),
+            r.algo_bw_gbytes
+        );
+    }
+    println!(
+        "\n(paper Fig. 13 reports +31% over NCCL P2P; in this fluid model AlltoAll\n\
+         is volume-bound at every NIC, so all systems sit near the same floor —\n\
+         see EXPERIMENTS.md for the documented deviation)"
+    );
+    let _ = elems;
+}

@@ -1,0 +1,14 @@
+//! Top-level facade for the AdapCC reproduction workspace.
+//!
+//! This crate only hosts the workspace-wide examples and integration
+//! tests; the library itself lives in [`adapcc`] and its substrate
+//! crates. Re-exports are provided for convenience so examples can use
+//! a single import root.
+
+pub use adapcc;
+pub use adapcc_baselines as baselines;
+pub use adapcc_profile as profile;
+pub use adapcc_simnet as simnet;
+pub use adapcc_synth as synth;
+pub use adapcc_topo as topo;
+pub use adapcc_train as train;

@@ -1,0 +1,247 @@
+//! Property-based tests (proptest) over the workspace's core
+//! invariants: conservation of bytes, exactness of the data plane,
+//! validity of synthesized strategies, and boundedness of traces.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use adapcc::executor::{ExecutionRequest, Executor};
+use adapcc_profile::alphabeta::AlphaBeta;
+use adapcc_profile::profiler::Profiler;
+use adapcc_simnet::cluster::{Cluster, Rank};
+use adapcc_simnet::time::SimDuration;
+use adapcc_simnet::trace::CloudTrace;
+use adapcc_simnet::units::{Bandwidth, ByteSize};
+use adapcc_synth::solver::{SynthConfig, SynthRequest, Synthesizer};
+use adapcc_synth::Primitive;
+use adapcc_topo::detect::Detector;
+
+/// Shared slow-path fixtures, built once.
+struct Env {
+    cluster: Cluster,
+    topo: adapcc_topo::logical::LogicalTopology,
+    profile: adapcc_profile::profiler::LinkProfile,
+}
+
+fn env() -> &'static Env {
+    use std::sync::OnceLock;
+    static ENV: OnceLock<Env> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let cluster = Cluster::homogeneous_a100(2);
+        let topo = Detector::new(&cluster, 1).run().logical_topology(&cluster);
+        let profile = Profiler::new(&cluster, &topo, 1).run().links;
+        Env { cluster, topo, profile }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `ByteSize::split` preserves the total and stays near-equal.
+    #[test]
+    fn bytesize_split_conserves(total in 0u64..10_000_000, parts in 1usize..64) {
+        let sizes = ByteSize::from_bytes(total).split(parts);
+        prop_assert_eq!(sizes.len(), parts);
+        let sum: u64 = sizes.iter().map(|s| s.as_u64()).sum();
+        prop_assert_eq!(sum, total);
+        let max = sizes.iter().max().unwrap().as_u64();
+        let min = sizes.iter().min().unwrap().as_u64();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Strategy partitions cover the tensor exactly for any fractions.
+    #[test]
+    fn strategy_partition_conserves(
+        weights in proptest::collection::vec(1u32..100, 1..8),
+        total in 4u64..50_000_000,
+    ) {
+        use adapcc_synth::strategy::{Strategy, SubCollective};
+        let sum: u32 = weights.iter().sum();
+        let subs: Vec<SubCollective> = weights
+            .iter()
+            .map(|w| SubCollective {
+                fraction: f64::from(*w) / f64::from(sum),
+                chunk: ByteSize::from_kib(64),
+                root: None,
+                flows: vec![],
+                aggregate: Default::default(),
+            })
+            .collect();
+        let s = Strategy { primitive: Primitive::AllToAll, subs };
+        let t = ByteSize::from_bytes(total);
+        let covered: u64 = (0..weights.len()).map(|m| s.partition(t, m).as_u64()).sum();
+        prop_assert_eq!(covered, total);
+    }
+
+    /// The α–β fit recovers any physical line exactly from noiseless
+    /// measurements.
+    #[test]
+    fn alphabeta_fit_recovers_line(
+        alpha_us in 0.0f64..500.0,
+        gbps in 1.0f64..400.0,
+    ) {
+        let truth = AlphaBeta::new(
+            SimDuration::from_micros(alpha_us),
+            Bandwidth::from_gbps(gbps),
+        );
+        let meas: Vec<_> = [64u64, 256, 1024, 8192]
+            .iter()
+            .map(|kib| {
+                let s = ByteSize::from_kib(*kib);
+                (s, truth.transfer_time(s))
+            })
+            .collect();
+        let fit = AlphaBeta::fit(&meas).expect("noiseless fit");
+        prop_assert!((fit.bandwidth().as_gbps() - gbps).abs() / gbps < 1e-6);
+        prop_assert!((fit.alpha_secs - truth.alpha_secs).abs() < 1e-9);
+    }
+
+    /// Synthetic traces stay inside physical bounds under any
+    /// amplification.
+    #[test]
+    fn traces_stay_bounded(seed in 0u64..500, x in 0.0f64..2.0) {
+        let t = CloudTrace::synthesize(seed, 3600.0, 60.0).amplified(x);
+        for p in t.points() {
+            prop_assert!(p.bandwidth_factor > 0.0);
+            prop_assert!(p.bandwidth_factor <= 1.5);
+            prop_assert!(p.latency_factor >= 1.0);
+        }
+    }
+
+    /// Any synthesized AllReduce both validates and computes the exact
+    /// sum for arbitrary worker subsets and parallelism.
+    #[test]
+    fn synthesized_allreduce_is_exact(
+        mask in 2u8..=255,
+        m in 1usize..5,
+        elems_k in 1usize..8,
+    ) {
+        let e = env();
+        let participants: Vec<Rank> = (0..8)
+            .filter(|r| mask & (1 << r) != 0)
+            .map(Rank)
+            .collect();
+        prop_assume!(participants.len() >= 2);
+        let elems = elems_k * 256;
+        let tensor = ByteSize::from_bytes((elems * 4) as u64);
+        let req = SynthRequest::new(Primitive::AllReduce, tensor, m, participants.clone());
+        let strategy = Synthesizer::new(&e.topo, &e.profile)
+            .with_config(SynthConfig { anneal_iters: 0, ..Default::default() })
+            .synthesize(&req);
+        prop_assert!(strategy.validate(&e.topo).is_ok());
+        let inputs: BTreeMap<Rank, Vec<f32>> = participants
+            .iter()
+            .map(|r| (*r, (0..elems).map(|i| ((r.0 * 3 + i) % 7) as f32).collect()))
+            .collect();
+        let exec = Executor::new(&e.cluster, &e.topo);
+        let report = exec.execute(&[
+            ExecutionRequest::timing(&strategy, tensor).with_inputs(inputs.clone())
+        ]);
+        let outputs = &report.requests[0].outputs;
+        prop_assert_eq!(outputs.len(), participants.len());
+        for r in &participants {
+            let out = &outputs[r];
+            for i in [0usize, elems / 2, elems - 1] {
+                let expect: f32 = participants.iter().map(|p| inputs[p][i]).sum();
+                prop_assert!((out[i] - expect).abs() < 1e-2,
+                    "rank {:?} elem {}: {} != {}", r, i, out[i], expect);
+            }
+        }
+    }
+
+    /// Executor timing is monotone in tensor size (more bytes never
+    /// finish sooner) for a fixed strategy shape.
+    #[test]
+    fn completion_monotone_in_size(mib_a in 1u64..32, mib_b in 1u64..32) {
+        prop_assume!(mib_a < mib_b);
+        let e = env();
+        let ranks: Vec<Rank> = (0..8).map(Rank).collect();
+        let exec = Executor::new(&e.cluster, &e.topo);
+        let time_for = |mib: u64| {
+            let tensor = ByteSize::from_mib(mib);
+            let req = SynthRequest::new(Primitive::AllReduce, tensor, 2, ranks.clone());
+            let s = Synthesizer::new(&e.topo, &e.profile)
+                .with_config(SynthConfig { anneal_iters: 0, ..Default::default() })
+                .synthesize(&req);
+            exec.execute(&[ExecutionRequest::timing(&s, tensor)]).finish.as_secs()
+        };
+        prop_assert!(time_for(mib_b) > time_for(mib_a) * 0.9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Behaviour tuples are internally consistent on any synthesized
+    /// graph under any active subset: idle workers never send, senders
+    /// either own data or receive it, and kernels imply receipt.
+    #[test]
+    fn behavior_tuples_are_consistent(mask in 1u8..=255, active_mask in 1u8..=255) {
+        let e = env();
+        let participants: Vec<Rank> = (0..8)
+            .filter(|r| mask & (1 << r) != 0)
+            .map(Rank)
+            .collect();
+        prop_assume!(participants.len() >= 2);
+        let req = SynthRequest::new(
+            Primitive::Reduce,
+            ByteSize::from_mib(4),
+            2,
+            participants.clone(),
+        );
+        let strategy = Synthesizer::new(&e.topo, &e.profile)
+            .with_config(SynthConfig { anneal_iters: 0, ..Default::default() })
+            .synthesize(&req);
+        let active: Vec<Rank> = participants
+            .iter()
+            .copied()
+            .filter(|r| active_mask & (1 << r.0) != 0)
+            .collect();
+        for sub in &strategy.subs {
+            let tuples = adapcc::derive_behaviors(&e.topo, sub, &active);
+            for (rank, t) in &tuples {
+                // A kernel without input makes no sense.
+                prop_assert!(!t.has_kernel || t.has_recv, "{rank}: {t}");
+                // Sending requires something to send.
+                prop_assert!(!t.has_send || t.is_active || t.has_recv, "{rank}: {t}");
+                // Inactive ranks report active=false.
+                if !active.contains(rank) {
+                    prop_assert!(!t.is_active);
+                }
+            }
+        }
+    }
+
+    /// The XML interchange round-trips any synthesized strategy.
+    #[test]
+    fn xml_roundtrips_synthesized_strategies(m in 1usize..5, mib in 1u64..64) {
+        let e = env();
+        let req = SynthRequest::new(
+            Primitive::AllReduce,
+            ByteSize::from_mib(mib),
+            m,
+            (0..8).map(Rank).collect(),
+        );
+        let strategy = Synthesizer::new(&e.topo, &e.profile)
+            .with_config(SynthConfig { anneal_iters: 8, ..Default::default() })
+            .synthesize(&req);
+        let xml = adapcc_synth::xml::to_xml(&strategy);
+        let back = adapcc_synth::xml::from_xml(&xml).expect("round-trips");
+        prop_assert_eq!(back, strategy);
+    }
+
+    /// DDP bucket layouts cover the model for any cap.
+    #[test]
+    fn ddp_layout_conserves(model_kib in 1u64..200_000, cap_kib in 1u64..50_000) {
+        use adapcc::ddp::BucketLayout;
+        let model = ByteSize::from_kib(model_kib);
+        let cap = ByteSize::from_kib(cap_kib);
+        let layout = BucketLayout::from_model(model, cap);
+        prop_assert_eq!(layout.total(), model);
+        for s in layout.sizes() {
+            prop_assert!(s.as_u64() <= cap.as_u64());
+            prop_assert!(!s.is_zero());
+        }
+    }
+}
