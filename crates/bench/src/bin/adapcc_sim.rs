@@ -7,12 +7,21 @@
 //! ```
 
 use adapcc_baselines::runner::{Runner, System};
-use adapcc_bench::cli::{build_cluster, parse_args};
+use adapcc_bench::chaos::{self, ChaosConfig};
+use adapcc_bench::cli::{build_cluster, parse_args, parse_chaos_args};
+use adapcc_simnet::time::SimDuration;
+use adapcc_simnet::units::ByteSize;
 use adapcc_bench::harness::profiled;
 use adapcc_simnet::cluster::Rank;
 
 fn main() {
-    let args = match parse_args(std::env::args().skip(1)) {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("chaos") {
+        argv.remove(0);
+        run_chaos(argv);
+        return;
+    }
+    let args = match parse_args(argv) {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
@@ -42,4 +51,46 @@ fn main() {
         report.comm_time,
         report.algo_bw_gbytes
     );
+}
+
+fn run_chaos(argv: Vec<String>) {
+    let args = match parse_chaos_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.starts_with("adapcc-sim") { 0 } else { 2 });
+        }
+    };
+    let cfg = ChaosConfig {
+        servers: args.servers,
+        tensor: ByteSize::from_kib(args.size_kib),
+        horizon: SimDuration::from_millis(args.horizon_ms),
+        ..Default::default()
+    };
+    println!(
+        "chaos: {} seeds from {} on {} servers, {} KiB tensors, {} ms horizon",
+        args.seeds, args.seed_base, args.servers, args.size_kib, args.horizon_ms
+    );
+    let summary = chaos::run_sweep(&cfg, args.seed_base, args.seeds, |r| {
+        if args.verbose {
+            println!(
+                "  seed {:>4} ({} faults, {} iters): {:?}",
+                r.seed, r.schedule_len, r.iterations, r.outcome
+            );
+        }
+    });
+    println!(
+        "clean {} / recovered {} / classified {} / mismatched {} (of {})",
+        summary.clean,
+        summary.recovered,
+        summary.classified,
+        summary.mismatches.len(),
+        summary.total
+    );
+    if !summary.mismatches.is_empty() {
+        for m in &summary.mismatches {
+            eprintln!("NUMERIC MISMATCH seed {}: {:?}", m.seed, m.outcome);
+        }
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,255 @@
+//! Chaos sweep: hundreds of randomized fault schedules thrown at the
+//! full recovery path.
+//!
+//! Each seed draws a [`FaultSchedule::random`] (one to three faults:
+//! crashes, NIC failures, link flaps, degrades, probe losses), injects
+//! it into a fresh [`AdapCC`] session, and drives a training-style loop
+//! of AllReduces until the simulated session clock has crossed the
+//! fault horizon — so faults scheduled anywhere in the window get their
+//! chance to land mid-collective. A final real-data AllReduce then
+//! checks numeric correctness over whatever workers survived.
+//!
+//! The invariant under test is the tentpole robustness claim: every
+//! run either
+//!
+//! * completes and is numerically correct over the surviving workers, or
+//! * returns a *classified* [`adapcc::AdapCCError`] —
+//!
+//! never a hang, never a panic. The workspace test `tests/chaos.rs`
+//! sweeps ≥200 seeds; `adapcc_sim chaos` runs the same sweep from the
+//! command line.
+
+use std::collections::BTreeMap;
+
+use adapcc::session::{AdapCC, InitOptions};
+use adapcc::RecoveryEvent;
+use adapcc_simnet::cluster::{Cluster, Rank};
+use adapcc_simnet::faults::FaultSchedule;
+use adapcc_simnet::time::{SimDuration, SimTime};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::solver::SynthConfig;
+
+/// Parameters of one chaos sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Homogeneous A100 servers in the cluster (4 GPUs each).
+    pub servers: usize,
+    /// Per-rank tensor size of the clock-driving iterations.
+    pub tensor: ByteSize,
+    /// Fault-schedule horizon: faults land within this (simulated)
+    /// window, and the iteration loop runs until the session clock
+    /// crosses it.
+    pub horizon: SimDuration,
+    /// Iteration-count safety valve (recovery time advances the clock
+    /// in large jumps, so real sweeps stop on the horizon first).
+    pub max_iters: usize,
+    /// Synthesizer annealing iterations (kept low — chaos stresses the
+    /// recovery path, not strategy quality).
+    pub anneal_iters: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            servers: 2,
+            tensor: ByteSize::from_mib(1),
+            horizon: SimDuration::from_millis(2.0),
+            max_iters: 64,
+            anneal_iters: 24,
+        }
+    }
+}
+
+/// What one seeded run did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeedOutcome {
+    /// Completed with no recovery events: the schedule never bit (or
+    /// only stalled transfers briefly below the detection floor).
+    Clean,
+    /// Completed after the recovery loop intervened.
+    Recovered {
+        /// Transient retries taken.
+        retries: usize,
+        /// Ranks permanently excluded (empty for retry-only recovery).
+        excluded: Vec<Rank>,
+    },
+    /// The session returned a typed, classified error (rendered via
+    /// `Display`) — the accepted outcome when survivors cannot carry
+    /// the job.
+    Classified(String),
+    /// Completed but a survivor's output was wrong — a real bug, and
+    /// the only outcome the sweep rejects.
+    NumericMismatch {
+        /// The rank whose output disagreed.
+        rank: Rank,
+        /// What it produced.
+        got: f32,
+        /// The sum it should have produced.
+        want: f32,
+    },
+}
+
+/// One seeded run's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedReport {
+    /// The schedule seed.
+    pub seed: u64,
+    /// Faults in the drawn schedule.
+    pub schedule_len: usize,
+    /// Clock-driving iterations completed.
+    pub iterations: usize,
+    /// What happened.
+    pub outcome: SeedOutcome,
+}
+
+fn inputs_for(workers: &[Rank], elems: usize) -> BTreeMap<Rank, Vec<f32>> {
+    workers
+        .iter()
+        .map(|r| (*r, (0..elems).map(|i| ((r.0 * 13 + i) % 11) as f32).collect()))
+        .collect()
+}
+
+/// Classifies a finished session from its accumulated recovery log.
+fn settle(cc: &AdapCC) -> SeedOutcome {
+    let retries = cc
+        .recovery_log()
+        .iter()
+        .filter(|e| matches!(e, RecoveryEvent::Retrying { .. }))
+        .count();
+    let excluded: Vec<Rank> = cc
+        .recovery_log()
+        .iter()
+        .filter_map(|e| match e {
+            RecoveryEvent::Excluded { ranks, .. } => Some(ranks.clone()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    if retries == 0 && excluded.is_empty() {
+        SeedOutcome::Clean
+    } else {
+        SeedOutcome::Recovered { retries, excluded }
+    }
+}
+
+/// Runs one seed: build a session, inject the seeded schedule, iterate
+/// AllReduces until the session clock crosses the horizon, then verify
+/// a real-data AllReduce against the surviving workers' input sum.
+pub fn run_seed(cfg: &ChaosConfig, seed: u64) -> SeedReport {
+    let cluster = Cluster::homogeneous_a100(cfg.servers);
+    let options = InitOptions {
+        synth: SynthConfig { anneal_iters: cfg.anneal_iters, ..Default::default() },
+        seed,
+        ..Default::default()
+    };
+    let mut cc = AdapCC::init(&cluster, options);
+    cc.setup();
+    let schedule = FaultSchedule::random(&cluster, seed, cfg.horizon);
+    let schedule_len = schedule.len();
+    cc.inject_faults(schedule);
+    let horizon_end = SimTime::ZERO + cfg.horizon;
+
+    // Phase 1: training-style iterations carry the clock across the
+    // fault window (timing-only — numerics are phase 2's job).
+    let mut iterations = 0;
+    while cc.session_clock() < horizon_end && iterations < cfg.max_iters {
+        if let Err(e) = cc.allreduce(cfg.tensor, &BTreeMap::new(), None) {
+            return SeedReport {
+                seed,
+                schedule_len,
+                iterations,
+                outcome: SeedOutcome::Classified(e.to_string()),
+            };
+        }
+        iterations += 1;
+    }
+
+    // Phase 2: one real-data collective over whatever survived.
+    let verify = ByteSize::from_kib(64);
+    let elems = (verify.as_u64() / 4) as usize;
+    let inputs = inputs_for(cc.workers(), elems);
+    let outcome = match cc.allreduce(verify, &BTreeMap::new(), Some(inputs.clone())) {
+        Err(e) => SeedOutcome::Classified(e.to_string()),
+        Ok(rep) => {
+            let survivors = cc.workers().to_vec();
+            let mut mismatch = None;
+            'check: for w in &survivors {
+                let out = &rep.outputs[w];
+                for i in [0usize, elems / 2, elems - 1] {
+                    let want: f32 = survivors.iter().map(|r| inputs[r][i]).sum();
+                    if (out[i] - want).abs() > 1e-3 {
+                        mismatch = Some(SeedOutcome::NumericMismatch {
+                            rank: *w,
+                            got: out[i],
+                            want,
+                        });
+                        break 'check;
+                    }
+                }
+            }
+            mismatch.unwrap_or_else(|| settle(&cc))
+        }
+    };
+    SeedReport { seed, schedule_len, iterations, outcome }
+}
+
+/// Aggregate of a sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosSummary {
+    /// Runs the schedule never disturbed.
+    pub clean: usize,
+    /// Runs that recovered (retried and/or excluded) and finished.
+    pub recovered: usize,
+    /// Runs that ended in a classified error.
+    pub classified: usize,
+    /// Reports whose outputs were numerically wrong (must be empty).
+    pub mismatches: Vec<SeedReport>,
+    /// Total runs.
+    pub total: usize,
+}
+
+/// Sweeps `seeds` consecutive seeds starting at `base`, calling
+/// `progress` after each run (for live CLI output; pass `|_| {}` to
+/// stay quiet).
+pub fn run_sweep<F: FnMut(&SeedReport)>(
+    cfg: &ChaosConfig,
+    base: u64,
+    seeds: u64,
+    mut progress: F,
+) -> ChaosSummary {
+    let mut summary = ChaosSummary::default();
+    for seed in base..base + seeds {
+        let report = run_seed(cfg, seed);
+        match &report.outcome {
+            SeedOutcome::Clean => summary.clean += 1,
+            SeedOutcome::Recovered { .. } => summary.recovered += 1,
+            SeedOutcome::Classified(_) => summary.classified += 1,
+            SeedOutcome::NumericMismatch { .. } => summary.mismatches.push(report.clone()),
+        }
+        summary.total += 1;
+        progress(&report);
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_seed_runs_and_classifies() {
+        let cfg = ChaosConfig::default();
+        let r = run_seed(&cfg, 7);
+        assert!(!matches!(r.outcome, SeedOutcome::NumericMismatch { .. }), "{r:?}");
+        assert!(r.schedule_len >= 1 && r.schedule_len <= 3);
+    }
+
+    #[test]
+    fn sweep_aggregates() {
+        let cfg = ChaosConfig::default();
+        let s = run_sweep(&cfg, 0, 4, |_| {});
+        assert_eq!(s.total, 4);
+        assert_eq!(s.clean + s.recovered + s.classified + s.mismatches.len(), 4);
+        assert!(s.mismatches.is_empty(), "{:?}", s.mismatches);
+    }
+}

@@ -61,7 +61,103 @@ pub fn usage() -> &'static str {
        --system S                adapcc|nccl|msccl|blink (default adapcc)\n\
        --parallelism M           AdapCC sub-collectives (default 4)\n\
        --describe                print the synthesized strategy\n\
-       --help                    this message"
+       --help                    this message\n\
+     \n\
+     subcommands:\n\
+       chaos                     sweep randomized fault schedules through\n\
+                                 the recovery path (adapcc-sim chaos --help)"
+}
+
+/// A parsed `adapcc-sim chaos` invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosArgs {
+    /// Number of consecutive seeds to sweep.
+    pub seeds: u64,
+    /// First seed.
+    pub seed_base: u64,
+    /// Homogeneous A100 servers in the chaos cluster.
+    pub servers: usize,
+    /// Per-rank tensor size in KiB for the clock-driving iterations.
+    pub size_kib: u64,
+    /// Fault horizon in simulated milliseconds.
+    pub horizon_ms: f64,
+    /// Print every seed's outcome, not just the summary.
+    pub verbose: bool,
+}
+
+impl Default for ChaosArgs {
+    fn default() -> Self {
+        ChaosArgs {
+            seeds: 200,
+            seed_base: 0,
+            servers: 2,
+            size_kib: 1024,
+            horizon_ms: 2.0,
+            verbose: false,
+        }
+    }
+}
+
+/// The usage string for the `chaos` subcommand.
+pub fn chaos_usage() -> &'static str {
+    "adapcc-sim chaos: sweep randomized fault schedules through recovery\n\
+     \n\
+     options:\n\
+       --seeds N        consecutive seeds to run (default 200)\n\
+       --seed-base N    first seed (default 0)\n\
+       --servers N      homogeneous A100 servers (default 2)\n\
+       --size-kib N     per-rank tensor KiB (default 1024)\n\
+       --horizon-ms N   fault window in simulated ms (default 2)\n\
+       --verbose        print every seed's outcome\n\
+       --help           this message"
+}
+
+/// Parses `adapcc-sim chaos` arguments (everything after the
+/// subcommand word).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags or malformed
+/// values (`--help` arrives as an `Err` carrying the usage text).
+pub fn parse_chaos_args<I: IntoIterator<Item = String>>(args: I) -> Result<ChaosArgs, String> {
+    let mut out = ChaosArgs::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} expects a value\n\n{}", chaos_usage()))
+        };
+        let positive = |flag: &str, v: String| -> Result<u64, String> {
+            let n: u64 = v.parse().map_err(|_| format!("{flag} expects an integer"))?;
+            if n == 0 {
+                return Err(format!("{flag} must be positive"));
+            }
+            Ok(n)
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(chaos_usage().to_string()),
+            "--verbose" => out.verbose = true,
+            "--seeds" => out.seeds = positive("--seeds", value("--seeds")?)?,
+            "--seed-base" => {
+                out.seed_base = value("--seed-base")?
+                    .parse()
+                    .map_err(|_| "--seed-base expects an integer".to_string())?;
+            }
+            "--servers" => out.servers = positive("--servers", value("--servers")?)? as usize,
+            "--size-kib" => out.size_kib = positive("--size-kib", value("--size-kib")?)?,
+            "--horizon-ms" => {
+                let ms: f64 = value("--horizon-ms")?
+                    .parse()
+                    .map_err(|_| "--horizon-ms expects a number".to_string())?;
+                if ms <= 0.0 || ms.is_nan() {
+                    return Err("--horizon-ms must be positive".into());
+                }
+                out.horizon_ms = ms;
+            }
+            other => return Err(format!("unknown flag {other}\n\n{}", chaos_usage())),
+        }
+    }
+    Ok(out)
 }
 
 /// Parses command-line style arguments.
@@ -211,5 +307,34 @@ mod tests {
     fn help_carries_usage() {
         let err = parse(&["--help"]).unwrap_err();
         assert!(err.contains("--servers"));
+        assert!(err.contains("chaos"));
+    }
+
+    fn parse_chaos(words: &[&str]) -> Result<ChaosArgs, String> {
+        parse_chaos_args(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn chaos_defaults_and_full_invocation() {
+        assert_eq!(parse_chaos(&[]).unwrap(), ChaosArgs::default());
+        let a = parse_chaos(&[
+            "--seeds", "500", "--seed-base", "100", "--servers", "3",
+            "--size-kib", "256", "--horizon-ms", "150", "--verbose",
+        ])
+        .unwrap();
+        assert_eq!(a.seeds, 500);
+        assert_eq!(a.seed_base, 100);
+        assert_eq!(a.servers, 3);
+        assert_eq!(a.size_kib, 256);
+        assert_eq!(a.horizon_ms, 150.0);
+        assert!(a.verbose);
+    }
+
+    #[test]
+    fn chaos_rejects_malformed_input() {
+        assert!(parse_chaos(&["--seeds", "0"]).is_err());
+        assert!(parse_chaos(&["--horizon-ms", "-1"]).is_err());
+        assert!(parse_chaos(&["--banana"]).is_err());
+        assert!(parse_chaos(&["--help"]).unwrap_err().contains("--seed-base"));
     }
 }

@@ -208,7 +208,10 @@ fn volatile_makespan(adaptive: bool, x: f64, total_iters: usize, profile_period:
                 cc.set_fabric_factors(factors.clone());
                 let recon = cc.reprofile();
                 makespan += recon.total().as_secs();
-                cc.allreduce_adaptive(tensor, &ready, None).finish.as_secs()
+                cc.allreduce_adaptive(tensor, &ready, None)
+                    .expect("healthy fabric")
+                    .finish
+                    .as_secs()
             }
             (None, Some((topo, profile))) => {
                 let runner = Runner::new(&cluster, topo, profile).with_capacity_factors(&factors);

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod cli;
 pub mod figs;
 pub mod harness;

@@ -245,7 +245,9 @@ mod tests {
         let round = hook.round(&mut cc, &backward);
         // Monolithic synchronization of the same model, started only
         // when backward finished.
-        let mono = cc.allreduce(ByteSize::from_mib(200), &backward, None);
+        let mono = cc
+            .allreduce(ByteSize::from_mib(200), &backward, None)
+            .expect("healthy fabric");
         assert!(
             round.finish < mono.finish,
             "bucketed {} vs monolithic {}",

@@ -1,0 +1,166 @@
+//! Typed errors for the fault paths.
+//!
+//! A fabric fault used to surface as a panic (or a silent hang) deep in
+//! the executor; with fault injection in the simulator those paths are
+//! reachable, so every public collective now returns a `Result` whose
+//! error side carries a *classified* [`FaultReport`] — which hop stalled
+//! or aborted, over which physical links, implicating which ranks. The
+//! session's recovery loop consumes the classification; callers that
+//! opt out of fault handling still get a typed error instead of a hang.
+
+use std::error::Error;
+use std::fmt;
+
+use adapcc_simnet::cluster::{LinkId, Rank};
+use adapcc_simnet::time::SimTime;
+
+/// How an executor-level fault surfaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A chunk transfer blew through its per-hop deadline: a link on
+    /// the hop is down or severely degraded. Typically transient (a
+    /// flap heals, a degradation window closes), so worth retrying.
+    HopTimeout,
+    /// The transport aborted a transfer over a permanently failed link
+    /// (worker crash or NIC failure). Never heals; recovery must
+    /// exclude the dead component and reconstruct the graph.
+    TransferAborted,
+    /// The run quiesced with unfinished sink chunks and nothing in
+    /// flight: an upstream dependency never materialized. Treated as a
+    /// stall (the fault-injection analogue of a distributed hang).
+    Incomplete,
+}
+
+impl FaultKind {
+    /// True when the fault indicates permanently removed capacity, so
+    /// retrying the same graph cannot succeed.
+    pub fn is_permanent(&self) -> bool {
+        matches!(self, FaultKind::TransferAborted)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::HopTimeout => write!(f, "hop timeout"),
+            FaultKind::TransferAborted => write!(f, "transfer aborted"),
+            FaultKind::Incomplete => write!(f, "incomplete run"),
+        }
+    }
+}
+
+/// A classified executor fault: what stalled or aborted, where, when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// How the fault surfaced.
+    pub kind: FaultKind,
+    /// Detection instant on the iteration clock (time 0 = iteration
+    /// start; add the session clock for absolute time).
+    pub at: SimTime,
+    /// Physical links crossed by the faulted hop — the health monitor's
+    /// first suspects.
+    pub links: Vec<LinkId>,
+    /// Ranks whose data path is implicated: the endpoints of the
+    /// faulted logical hop, expanded to every rank of an instance when
+    /// a NIC is an endpoint. A superset of the truly dead ranks; the
+    /// session narrows it with health checks before excluding anyone.
+    pub suspects: Vec<Rank>,
+    /// Human-readable description of the faulted hop.
+    pub hop: String,
+}
+
+impl FaultReport {
+    /// True when retrying the same graph cannot succeed (see
+    /// [`FaultKind::is_permanent`]).
+    pub fn is_permanent(&self) -> bool {
+        self.kind.is_permanent()
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {} on {}", self.kind, self.at, self.hop)?;
+        if !self.suspects.is_empty() {
+            write!(f, " (suspects: ")?;
+            for (i, r) in self.suspects.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{r}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error type of the public collectives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdapCCError {
+    /// A fabric fault aborted the collective and recovery did not (or
+    /// could not) resolve it.
+    Fault(FaultReport),
+    /// Transient-fault retries were exhausted without the fabric
+    /// healing or a dead component to exclude.
+    RetriesExhausted {
+        /// Retry attempts made before giving up.
+        attempts: usize,
+        /// The fault observed on the last attempt.
+        last: FaultReport,
+    },
+    /// Excluding the dead workers would leave too few survivors to run
+    /// a collective.
+    InsufficientSurvivors {
+        /// Workers that would remain.
+        survivors: usize,
+    },
+    /// The request itself is malformed (misaligned tensor, wrong input
+    /// buffer length, dead root, ...).
+    InvalidRequest(String),
+}
+
+impl fmt::Display for AdapCCError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdapCCError::Fault(r) => write!(f, "unrecovered fault: {r}"),
+            AdapCCError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempt(s): {last}")
+            }
+            AdapCCError::InsufficientSurvivors { survivors } => {
+                write!(f, "only {survivors} worker(s) would survive exclusion")
+            }
+            AdapCCError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl Error for AdapCCError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permanence_follows_kind() {
+        assert!(FaultKind::TransferAborted.is_permanent());
+        assert!(!FaultKind::HopTimeout.is_permanent());
+        assert!(!FaultKind::Incomplete.is_permanent());
+    }
+
+    #[test]
+    fn display_names_the_hop_and_suspects() {
+        let r = FaultReport {
+            kind: FaultKind::TransferAborted,
+            at: SimTime::from_millis(3.0),
+            links: vec![LinkId(7)],
+            suspects: vec![Rank(1), Rank(2)],
+            hop: "gpu1->nic0 chunk 4".into(),
+        };
+        let s = format!("{r}");
+        assert!(s.contains("transfer aborted"), "{s}");
+        assert!(s.contains("gpu1->nic0"), "{s}");
+        assert!(s.contains("rank1") || s.contains("Rank(1)") || s.contains('1'), "{s}");
+        let e = AdapCCError::RetriesExhausted { attempts: 3, last: r };
+        assert!(format!("{e}").contains("3 attempt"));
+    }
+}

@@ -14,16 +14,35 @@
 //! `f32` buffers are accumulated at kernel points, which is what makes
 //! the accuracy experiment (Fig. 19(b)) honest.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use adapcc_simnet::cluster::{Cluster, Path, Rank};
 use adapcc_simnet::engine::{NetSim, SimEvent};
+use adapcc_simnet::faults::FaultSchedule;
 use adapcc_simnet::hardware::kernel_launch_overhead;
-use adapcc_simnet::time::SimTime;
+use adapcc_simnet::time::{SimDuration, SimTime};
 use adapcc_simnet::units::ByteSize;
 use adapcc_synth::primitive::Primitive;
 use adapcc_synth::strategy::Strategy;
 use adapcc_topo::logical::{EdgeId, EdgeKind, LogicalNode, LogicalTopology};
+
+use crate::error::{AdapCCError, FaultKind, FaultReport};
+
+/// Default per-hop deadline multiplier over the hop's solo α–β cost.
+///
+/// Pipelined chunks legitimately share links with sibling
+/// sub-collectives and sibling requests, so a healthy hop can run well
+/// past its uncontended time; 16x stays clear of that while still
+/// catching stalls quickly. (The paper's relay layer uses `T_fault` =
+/// 5x at iteration granularity; per-hop granularity needs more slack
+/// because contention concentrates on single links.)
+pub const DEFAULT_DEADLINE_MULTIPLIER: f64 = 16.0;
+
+/// Floor on any hop deadline, so microsecond-scale chunks do not trip
+/// their deadline on transient queueing.
+fn deadline_floor() -> SimDuration {
+    SimDuration::from_millis(5.0)
+}
 
 /// One collective to execute.
 #[derive(Debug)]
@@ -155,6 +174,11 @@ pub struct Executor<'a> {
     topo: &'a LogicalTopology,
     factors: Vec<(adapcc_simnet::cluster::LinkId, f64)>,
     tracing: bool,
+    /// Fault schedule armed on every run's fabric, with the session
+    /// clock offset at which the run starts. Attaching a schedule also
+    /// enables per-hop deadline timers and the completion audit.
+    faults: Option<(FaultSchedule, SimTime)>,
+    deadline_multiplier: f64,
 }
 
 // ---------- lowered IR ----------
@@ -228,6 +252,9 @@ enum Task {
     Hop { sub: usize, seg: usize, hop: usize, chunk: usize },
     Kernel { sub: usize, slot: usize, chunk: usize },
     OwnReady { sub: usize, slot: usize },
+    /// Deadline timer for the in-flight transfer of hop task
+    /// `hop_task`; ignored if that transfer already completed.
+    HopDeadline { hop_task: usize },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -270,6 +297,9 @@ struct RunState<'c> {
     /// In-flight transfer start times by task id (tracing only).
     hop_started: HashMap<usize, SimTime>,
     trace: Vec<TraceSpan>,
+    /// Hop-task ids with a transfer still on the wire (fault detection
+    /// only): a deadline firing while its hop is here means a stall.
+    open: HashSet<usize>,
 }
 
 impl<'a> Executor<'a> {
@@ -280,6 +310,8 @@ impl<'a> Executor<'a> {
             topo,
             factors: Vec::new(),
             tracing: false,
+            faults: None,
+            deadline_multiplier: DEFAULT_DEADLINE_MULTIPLIER,
         }
     }
 
@@ -287,6 +319,34 @@ impl<'a> Executor<'a> {
     /// proportional to the number of transfers; off by default).
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Arms `schedule` on every run's fabric, shifted so that sim time
+    /// zero corresponds to `offset` on the session clock (see
+    /// [`FaultSchedule::arm`]). Attaching a schedule also turns on
+    /// per-hop deadline timers and the end-of-run completion audit, so
+    /// a faulted run returns a classified [`FaultReport`] from
+    /// [`Executor::try_execute`] instead of hanging or finishing
+    /// silently incomplete.
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule, offset: SimTime) -> Self {
+        self.faults = Some((schedule, offset));
+        self
+    }
+
+    /// Overrides the per-hop deadline multiplier (default
+    /// [`DEFAULT_DEADLINE_MULTIPLIER`]). A hop whose transfer exceeds
+    /// `multiplier x` its uncontended α–β cost is declared stalled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is not greater than 1.
+    pub fn with_deadline_multiplier(mut self, multiplier: f64) -> Self {
+        assert!(
+            multiplier.is_finite() && multiplier > 1.0,
+            "deadline multiplier must exceed 1: {multiplier}"
+        );
+        self.deadline_multiplier = multiplier;
         self
     }
 
@@ -305,27 +365,55 @@ impl<'a> Executor<'a> {
     /// # Panics
     ///
     /// Panics if a strategy fails validation, a tensor is not
-    /// f32-aligned, a supplied input buffer has the wrong length, or an
+    /// f32-aligned, a supplied input buffer has the wrong length, an
     /// AlltoAll with data has a tensor not divisible by the participant
-    /// count (shards must align).
+    /// count (shards must align), or an attached fault schedule faults
+    /// the run (use [`Executor::try_execute`] to handle faults).
     pub fn execute(&self, requests: &[ExecutionRequest<'_>]) -> BatchReport {
+        match self.try_execute(requests) {
+            Ok(report) => report,
+            Err(AdapCCError::InvalidRequest(msg)) => panic!("{msg}"),
+            Err(e) => panic!("execution fault without recovery: {e}"),
+        }
+    }
+
+    /// Executes all requests concurrently on one fabric, returning a
+    /// typed error instead of panicking: malformed requests yield
+    /// [`AdapCCError::InvalidRequest`], and — when a fault schedule is
+    /// attached — a stalled or aborted run yields a classified
+    /// [`AdapCCError::Fault`] rather than hanging.
+    pub fn try_execute(
+        &self,
+        requests: &[ExecutionRequest<'_>],
+    ) -> Result<BatchReport, AdapCCError> {
         for r in requests {
-            r.strategy
-                .validate(self.topo)
-                .expect("strategy must validate before execution");
-            assert_eq!(r.tensor.as_u64() % 4, 0, "tensor must be f32-aligned");
+            if let Err(e) = r.strategy.validate(self.topo) {
+                return Err(AdapCCError::InvalidRequest(format!(
+                    "strategy must validate before execution: {e:?}"
+                )));
+            }
+            if r.tensor.as_u64() % 4 != 0 {
+                return Err(AdapCCError::InvalidRequest(
+                    "tensor must be f32-aligned".into(),
+                ));
+            }
             let elems = (r.tensor.as_u64() / 4) as usize;
             if let Some(inputs) = &r.inputs {
                 for (rank, buf) in inputs {
-                    assert_eq!(buf.len(), elems, "input of {rank} has wrong length");
+                    if buf.len() != elems {
+                        return Err(AdapCCError::InvalidRequest(format!(
+                            "input of {rank} has wrong length: {} vs {elems}",
+                            buf.len()
+                        )));
+                    }
                 }
                 if r.strategy.primitive == Primitive::AllToAll {
                     let n = r.strategy.participants().len();
-                    assert_eq!(
-                        elems % n.max(1),
-                        0,
-                        "alltoall with data needs shard-aligned tensors"
-                    );
+                    if !elems.is_multiple_of(n.max(1)) {
+                        return Err(AdapCCError::InvalidRequest(
+                            "alltoall with data needs shard-aligned tensors".into(),
+                        ));
+                    }
                 }
             }
         }
@@ -333,7 +421,7 @@ impl<'a> Executor<'a> {
         for (ri, r) in requests.iter().enumerate() {
             self.lower_request(ri, r, &mut subs);
         }
-        self.run(requests, &subs)
+        self.run(requests, &subs).map_err(AdapCCError::Fault)
     }
 
     // ---------- lowering ----------
@@ -582,11 +670,18 @@ impl<'a> Executor<'a> {
 
     // ---------- event loop ----------
 
-    fn run(&self, requests: &[ExecutionRequest<'_>], subs: &[LoweredSub]) -> BatchReport {
+    fn run(
+        &self,
+        requests: &[ExecutionRequest<'_>],
+        subs: &[LoweredSub],
+    ) -> Result<BatchReport, FaultReport> {
         let collect: Vec<bool> = requests.iter().map(|r| r.inputs.is_some()).collect();
         let mut sim = NetSim::new(self.cluster);
         for (l, f) in &self.factors {
             sim.set_capacity_factor(*l, *f);
+        }
+        if let Some((schedule, offset)) = &self.faults {
+            schedule.arm(&mut sim, *offset);
         }
         let mut st = RunState {
             sim,
@@ -600,6 +695,7 @@ impl<'a> Executor<'a> {
             req_finish: vec![SimTime::ZERO; requests.len()],
             hop_started: HashMap::new(),
             trace: Vec::new(),
+            open: HashSet::new(),
         };
         for sub in subs {
             st.hops.push(
@@ -684,6 +780,7 @@ impl<'a> Executor<'a> {
                     }
                 }
                 (SimEvent::TransferDone { .. }, Task::Hop { sub: si, seg, hop, chunk }) => {
+                    st.open.remove(&(ev.token() as usize));
                     if self.tracing {
                         if let Some(start) = st.hop_started.remove(&(ev.token() as usize)) {
                             let edge = subs[si].segments[seg].edges[hop];
@@ -708,11 +805,49 @@ impl<'a> Executor<'a> {
                         st.worklist.push_back(Action::Deliver { sub: si, seg, chunk });
                     }
                 }
+                (SimEvent::TransferAborted { .. }, Task::Hop { sub: si, seg, hop, chunk }) => {
+                    st.open.remove(&(ev.token() as usize));
+                    let at = st.sim.now();
+                    let edge = subs[si].segments[seg].edges[hop];
+                    return Err(self.fault_report(FaultKind::TransferAborted, at, edge, chunk));
+                }
+                (SimEvent::Timer { .. }, Task::HopDeadline { hop_task }) => {
+                    if st.open.contains(&hop_task) {
+                        let Task::Hop { sub: si, seg, hop, chunk } = st.tasks[hop_task] else {
+                            unreachable!("deadline timers reference hop tasks");
+                        };
+                        let at = st.sim.now();
+                        let edge = subs[si].segments[seg].edges[hop];
+                        return Err(self.fault_report(FaultKind::HopTimeout, at, edge, chunk));
+                    }
+                }
                 (ev, task) => panic!("event/task mismatch: {ev:?} vs {task:?}"),
             }
         }
 
-        self.assemble(requests, subs, st)
+        // Completion audit (fault-aware runs only): the event queue
+        // drained, so anything unfinalized now never finishes — report
+        // a stall instead of returning a silently incomplete batch.
+        if self.faults.is_some() {
+            for (si, sub) in subs.iter().enumerate() {
+                for sink in &sub.sinks {
+                    let slot = st.slot_of[si][sink];
+                    if let Some(chunk) =
+                        st.nodes[si][slot].finalized.iter().position(|f| !f)
+                    {
+                        return Err(FaultReport {
+                            kind: FaultKind::Incomplete,
+                            at: st.sim.now(),
+                            links: Vec::new(),
+                            suspects: self.suspects_of(sink.node),
+                            hop: format!("sink {} missing chunk {chunk}", sink.node),
+                        });
+                    }
+                }
+            }
+        }
+
+        Ok(self.assemble(requests, subs, st))
     }
 
     fn apply(
@@ -898,6 +1033,79 @@ impl<'a> Executor<'a> {
         }
         st.sim.submit_transfer(&path, bytes, token);
         st.hops[si][seg][hop].busy = true;
+        if self.faults.is_some() {
+            // Stall detector: a deadline timer races the transfer. If
+            // it fires while the hop is still open, the hop stalled.
+            st.open.insert(token as usize);
+            let deadline = self.hop_deadline(&path, bytes);
+            st.tasks.push(Task::HopDeadline { hop_task: token as usize });
+            let dl = st.tasks.len() as u64 - 1;
+            st.sim.schedule_timer(deadline, dl);
+        }
+    }
+
+    /// Deadline for one chunk transfer: the hop's uncontended α–β cost
+    /// on ground-truth link data (nominal capacity scaled by any live
+    /// capacity factors, per-flow caps honoured), times the configured
+    /// multiplier, floored so tiny chunks do not trip on noise.
+    fn hop_deadline(&self, path: &Path, bytes: ByteSize) -> SimDuration {
+        let alpha = self.cluster.path_alpha(path);
+        let mut bw = f64::INFINITY;
+        for l in &path.links {
+            let def = self.cluster.link(*l);
+            let factor = self
+                .factors
+                .iter()
+                .find(|(id, _)| id == l)
+                .map_or(1.0, |(_, f)| *f);
+            let mut b = def.capacity.as_bytes_per_sec() * factor;
+            if let Some(cap) = def.per_flow_cap {
+                b = b.min(cap.as_bytes_per_sec());
+            }
+            bw = bw.min(b);
+        }
+        let beta = if bw.is_finite() && bw > 0.0 {
+            SimDuration::from_secs(bytes.as_f64() / bw)
+        } else {
+            SimDuration::ZERO
+        };
+        (alpha + beta).scale(self.deadline_multiplier).max(deadline_floor())
+    }
+
+    /// Classifies one faulted hop: which physical links it crossed and
+    /// which ranks its endpoints implicate.
+    fn fault_report(
+        &self,
+        kind: FaultKind,
+        at: SimTime,
+        edge: EdgeId,
+        chunk: usize,
+    ) -> FaultReport {
+        let e = self.topo.edge(edge);
+        let links = self.hop_path(edge).links;
+        let mut suspects = self.suspects_of(e.from);
+        suspects.extend(self.suspects_of(e.to));
+        suspects.sort_unstable();
+        suspects.dedup();
+        FaultReport {
+            kind,
+            at,
+            links,
+            suspects,
+            hop: format!("{}->{} chunk {chunk}", e.from, e.to),
+        }
+    }
+
+    /// Ranks a faulted logical node implicates: the rank itself for a
+    /// GPU, every rank of the instance for a NIC (losing the NIC cuts
+    /// them all off the fabric).
+    fn suspects_of(&self, node: LogicalNode) -> Vec<Rank> {
+        match node {
+            LogicalNode::Gpu(r) => vec![r],
+            LogicalNode::Nic(inst) => (0..self.cluster.gpus_on(inst))
+                .map(|local| self.cluster.rank_of(inst, local))
+                .collect(),
+        }
     }
 
     fn assemble(
@@ -1275,6 +1483,116 @@ mod tests {
             .execute(&[ExecutionRequest::timing(&strategy, tensor)]);
         assert!(plain.trace.is_empty());
         assert_eq!(plain.finish, report.finish);
+    }
+
+    #[test]
+    fn nic_failure_aborts_and_classifies() {
+        use adapcc_simnet::cluster::InstanceId;
+        use adapcc_simnet::faults::Fault;
+        let c = Cluster::homogeneous_a100(2);
+        let (topo, profile) = setup(&c);
+        let ranks: Vec<Rank> = (0..8).map(Rank).collect();
+        let tensor = ByteSize::from_kib(256);
+        let strategy = Synthesizer::new(&topo, &profile)
+            .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, 3, ranks));
+        let schedule = FaultSchedule::new().with(Fault::NicFail {
+            instance: InstanceId(1),
+            at: SimTime::ZERO,
+        });
+        let exec = Executor::new(&c, &topo).with_fault_schedule(schedule, SimTime::ZERO);
+        let err = exec
+            .try_execute(&[ExecutionRequest::timing(&strategy, tensor)])
+            .expect_err("the dead NIC must abort the collective");
+        let AdapCCError::Fault(report) = err else {
+            panic!("expected a classified fault, got {err}");
+        };
+        assert_eq!(report.kind, FaultKind::TransferAborted);
+        assert!(report.is_permanent());
+        assert!(
+            report.suspects.iter().any(|r| r.0 >= 4),
+            "suspects {:?} must implicate the dead instance",
+            report.suspects
+        );
+    }
+
+    #[test]
+    fn stalled_link_trips_the_hop_deadline() {
+        use adapcc_simnet::cluster::InstanceId;
+        use adapcc_simnet::faults::{nic_links, Fault};
+        let c = Cluster::homogeneous_a100(2);
+        let (topo, profile) = setup(&c);
+        let ranks: Vec<Rank> = (0..8).map(Rank).collect();
+        let tensor = ByteSize::from_mib(4);
+        let strategy = Synthesizer::new(&topo, &profile)
+            .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, 3, ranks));
+        // Every NIC link of instance 0 flaps for far longer than the
+        // collective: inter-instance hops stall at rate zero.
+        let downed = nic_links(&c, InstanceId(0));
+        let mut schedule = FaultSchedule::new();
+        for l in &downed {
+            schedule.push(Fault::LinkDown {
+                link: *l,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(30.0),
+            });
+        }
+        let exec = Executor::new(&c, &topo).with_fault_schedule(schedule, SimTime::ZERO);
+        let err = exec
+            .try_execute(&[ExecutionRequest::timing(&strategy, tensor)])
+            .expect_err("stalled hops must trip their deadline");
+        let AdapCCError::Fault(report) = err else {
+            panic!("expected a classified fault, got {err}");
+        };
+        assert_eq!(report.kind, FaultKind::HopTimeout);
+        assert!(!report.is_permanent());
+        assert!(
+            report.links.iter().any(|l| downed.contains(l)),
+            "faulted hop links {:?} must cross a downed link {downed:?}",
+            report.links
+        );
+    }
+
+    #[test]
+    fn empty_schedule_is_behavior_neutral() {
+        let c = Cluster::homogeneous_a100(2);
+        let (topo, profile) = setup(&c);
+        let ranks: Vec<Rank> = (0..8).map(Rank).collect();
+        let tensor = ByteSize::from_kib(64);
+        let elems = 64 * 1024 / 4;
+        let strategy = Synthesizer::new(&topo, &profile)
+            .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, 3, ranks.clone()));
+        let inputs = inputs_for(&ranks, elems);
+        let plain = Executor::new(&c, &topo)
+            .execute(&[ExecutionRequest::timing(&strategy, tensor).with_inputs(inputs.clone())]);
+        let guarded = Executor::new(&c, &topo)
+            .with_fault_schedule(FaultSchedule::new(), SimTime::ZERO)
+            .try_execute(&[ExecutionRequest::timing(&strategy, tensor).with_inputs(inputs)])
+            .expect("empty schedule cannot fault");
+        assert_eq!(plain.finish, guarded.finish, "deadlines must not perturb timing");
+        for r in &ranks {
+            assert_eq!(
+                plain.requests[0].outputs[r], guarded.requests[0].outputs[r],
+                "bitwise-identical outputs for {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn misaligned_tensor_is_invalid_request() {
+        let c = Cluster::homogeneous_a100(1);
+        let (topo, profile) = setup(&c);
+        let ranks: Vec<Rank> = (0..4).map(Rank).collect();
+        let tensor = ByteSize::from_kib(64);
+        let strategy = Synthesizer::new(&topo, &profile)
+            .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, 2, ranks));
+        let exec = Executor::new(&c, &topo);
+        let err = exec
+            .try_execute(&[ExecutionRequest::timing(&strategy, ByteSize::from_bytes(1002))])
+            .expect_err("odd byte count is not f32-aligned");
+        assert!(
+            matches!(&err, AdapCCError::InvalidRequest(msg) if msg.contains("f32-aligned")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! * [`session`] — the user-facing [`AdapCC`] object
 //!   (`init` / `setup` / `allreduce` / `allreduce_adaptive` /
 //!   `reprofile`, mirroring the paper's Python API).
-//! * [`executor`] — chunk-pipelined strategy execution (Sec. V).
+//! * [`executor`] — chunk-pipelined strategy execution (Sec. V),
+//!   with per-hop deadline stall detection when faults are injected.
+//! * [`error`] — typed fault classification ([`AdapCCError`],
+//!   [`FaultReport`]) returned by every public collective.
 //! * [`relay`] — the straggler coordinator: ski-rental decisions,
 //!   relay assignment, fault detection (Sec. IV-C).
 //! * [`behavior`] — the `<isActive, hasRecv, hasKernel, hasSend>`
@@ -41,7 +44,9 @@
 //! let cluster = Cluster::homogeneous_a100(2);
 //! let mut cc = AdapCC::init(&cluster, InitOptions::default());
 //! cc.setup();
-//! let report = cc.allreduce(ByteSize::from_mib(64), &Default::default(), None);
+//! let report = cc
+//!     .allreduce(ByteSize::from_mib(64), &Default::default(), None)
+//!     .expect("healthy fabric");
 //! println!("allreduce finished in {}", report.comm_time);
 //! ```
 
@@ -51,6 +56,7 @@
 pub mod behavior;
 pub mod communicator;
 pub mod ddp;
+pub mod error;
 pub mod executor;
 pub mod reconstruct;
 pub mod relay;
@@ -59,7 +65,10 @@ pub mod session;
 pub use behavior::{derive_behaviors, BehaviorTuple};
 pub use ddp::{BucketLayout, DdpHook, DdpRoundReport};
 pub use communicator::{Communicator, SetupReport};
+pub use error::{AdapCCError, FaultKind, FaultReport};
 pub use executor::{BatchReport, ExecutionRequest, Executor, RequestReport};
-pub use reconstruct::{nccl_restart_cost, ReconstructReport, RestartCost};
+pub use reconstruct::{modeled_solve_cost, nccl_restart_cost, ReconstructReport, RestartCost};
 pub use relay::{BuyEstimate, Coordinator, Decision, RelayConfig, RelayStats};
-pub use session::{AdapCC, InitOptions, InitReport, IterationReport};
+pub use session::{
+    AdapCC, InitOptions, InitReport, IterationReport, RecoveryEvent, RecoveryPolicy,
+};

@@ -61,6 +61,19 @@ fn checkpoint_bandwidth_bytes_per_sec() -> f64 {
     1.0e9
 }
 
+/// Modeled strategy re-synthesis latency for a job of `gpus` workers,
+/// calibrated to the paper's reported MILP solve times (a fixed solver
+/// warm-up plus a per-worker term; Sec. VI-E measures seconds at the
+/// scales of Fig. 19(c)).
+///
+/// The fault-recovery path charges this to the *simulated* session
+/// clock instead of the local annealer's wall time: simulated time
+/// must be deterministic and machine-independent, and our annealer is
+/// far cheaper than the Gurobi solves the paper budgets for.
+pub fn modeled_solve_cost(gpus: usize) -> SimDuration {
+    SimDuration::from_secs(0.9 + 0.03 * gpus as f64)
+}
+
 /// The restart cost a static library pays to adopt a new graph:
 /// checkpoint + relaunch + process-group rebuild + restore, for a
 /// model of `model` bytes across `gpus` workers.

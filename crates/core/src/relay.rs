@@ -37,6 +37,8 @@ use adapcc_synth::primitive::Primitive;
 use adapcc_synth::strategy::Strategy;
 use adapcc_topo::logical::LogicalTopology;
 
+use crate::error::FaultReport;
+
 /// Coordinator tuning knobs.
 #[derive(Debug, Clone)]
 pub struct RelayConfig {
@@ -139,6 +141,11 @@ pub struct Coordinator {
     rpc: RpcModel,
     rng: ChaCha8Rng,
     stats: RelayStats,
+    /// Executor-level faults reported by the session's recovery loop
+    /// (suspects already narrowed to confirmed-dead ranks); merged into
+    /// the next readiness-based fault detection so both detectors share
+    /// one exclusion path.
+    pending_exec_faults: Vec<FaultReport>,
 }
 
 impl Coordinator {
@@ -149,6 +156,7 @@ impl Coordinator {
             rpc: RpcModel::default(),
             rng: seeded_rng(seed ^ 0xC00D),
             stats: RelayStats::default(),
+            pending_exec_faults: Vec::new(),
         }
     }
 
@@ -243,29 +251,56 @@ impl Coordinator {
         }
     }
 
+    /// Hands the coordinator an executor-level fault whose suspects the
+    /// session has already narrowed to confirmed-dead ranks. They join
+    /// the next [`Coordinator::detect_faults`] verdict, so
+    /// readiness-based and executor-based detection exclude workers
+    /// through the same path.
+    pub fn note_executor_fault(&mut self, report: FaultReport) {
+        self.pending_exec_faults.push(report);
+    }
+
+    /// Executor faults queued for the next detection pass.
+    pub fn pending_executor_faults(&self) -> &[FaultReport] {
+        &self.pending_exec_faults
+    }
+
     /// Fault detection after phase 1 (paper: `T_fault` = 5x the
     /// duration since the fastest worker became ready). Returns the
-    /// workers to exclude.
+    /// workers to exclude — readiness-based stragglers merged with any
+    /// executor-reported fatalities.
     pub fn detect_faults(
-        &self,
+        &mut self,
         all_workers: &[Rank],
         ready: &BTreeMap<Rank, SimTime>,
         phase1_end: SimTime,
     ) -> Vec<Rank> {
         let Some(first) = ready.values().copied().min() else {
-            return all_workers.to_vec();
+            return self.merge_exclusions(all_workers.to_vec());
         };
         let lead = phase1_end.duration_since(first);
         let horizon =
             phase1_end + lead.scale(self.config.fault_multiplier).max(self.config.fault_floor);
-        all_workers
+        let late = all_workers
             .iter()
             .copied()
             .filter(|r| match ready.get(r) {
                 Some(t) => *t > horizon,
                 None => true,
             })
-            .collect()
+            .collect();
+        self.merge_exclusions(late)
+    }
+
+    /// The shared exclusion path: readiness-based stragglers plus the
+    /// suspects of every queued executor fault, sorted and deduplicated.
+    fn merge_exclusions(&mut self, mut late: Vec<Rank>) -> Vec<Rank> {
+        for report in self.pending_exec_faults.drain(..) {
+            late.extend(report.suspects);
+        }
+        late.sort_unstable();
+        late.dedup();
+        late
     }
 }
 
@@ -573,7 +608,7 @@ mod tests {
 
     #[test]
     fn fault_detection_flags_missing_and_very_late() {
-        let c = Coordinator::new(1);
+        let mut c = Coordinator::new(1);
         let mut ready = ready_at(&[(0, 0.0), (1, 5.0), (2, 8.0)]);
         // Rank 3 reports absurdly late; rank 4 never reports.
         ready.insert(Rank(3), SimTime::from_secs(100.0));
@@ -584,13 +619,36 @@ mod tests {
 
     #[test]
     fn fault_detection_spares_moderately_late() {
-        let c = Coordinator::new(1);
+        let mut c = Coordinator::new(1);
         // Phase 1 ended 50 ms after the first arrival; horizon is
         // 50 + 5*50 = 300 ms. A worker at 200 ms survives.
         let mut ready = ready_at(&[(0, 0.0), (1, 5.0)]);
         ready.insert(Rank(2), SimTime::from_secs(0.200));
         let faults = c.detect_faults(&workers(3), &ready, SimTime::from_secs(0.050));
         assert!(faults.is_empty(), "{faults:?}");
+    }
+
+    #[test]
+    fn executor_faults_merge_into_detection() {
+        use crate::error::{FaultKind, FaultReport};
+        let mut c = Coordinator::new(1);
+        c.note_executor_fault(FaultReport {
+            kind: FaultKind::TransferAborted,
+            at: SimTime::from_millis(3.0),
+            links: Vec::new(),
+            suspects: vec![Rank(2), Rank(4)],
+            hop: "gpu2->nic0 chunk 0".into(),
+        });
+        assert_eq!(c.pending_executor_faults().len(), 1);
+        // Rank 4 is also readiness-late: the merged verdict dedups it.
+        let mut ready = ready_at(&[(0, 0.0), (1, 5.0), (2, 8.0), (3, 9.0)]);
+        ready.remove(&Rank(4));
+        let faults = c.detect_faults(&workers(5), &ready, SimTime::from_secs(0.050));
+        assert_eq!(faults, vec![Rank(2), Rank(4)]);
+        // The queue drains: a second pass is clean.
+        assert!(c.pending_executor_faults().is_empty());
+        let again = c.detect_faults(&workers(4), &ready_at(&[(0, 0.0), (1, 0.0)]), SimTime::from_secs(0.050));
+        assert_eq!(again, vec![Rank(2), Rank(3)]);
     }
 
     #[test]

@@ -15,8 +15,12 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use std::fmt;
+
 use adapcc_profile::profiler::{LinkProfile, Profiler};
 use adapcc_simnet::cluster::{Cluster, LinkId, Rank};
+use adapcc_simnet::engine::NetSim;
+use adapcc_simnet::faults::{nic_links, worker_links, FaultSchedule};
 use adapcc_simnet::hardware::kernel_launch_overhead;
 use adapcc_simnet::time::{SimDuration, SimTime};
 use adapcc_simnet::units::ByteSize;
@@ -27,7 +31,10 @@ use adapcc_topo::detect::{DetectionReport, Detector};
 use adapcc_topo::logical::LogicalTopology;
 
 use crate::communicator::{Communicator, SetupReport};
-use crate::executor::{ExecutionRequest, Executor};
+use crate::error::{AdapCCError, FaultReport};
+use crate::executor::{
+    BatchReport, ExecutionRequest, Executor, DEFAULT_DEADLINE_MULTIPLIER,
+};
 use crate::reconstruct::ReconstructReport;
 use crate::relay::{restrict_to_active, BuyEstimate, Coordinator, Decision, RelayConfig, RelayStats};
 
@@ -77,6 +84,104 @@ impl InitReport {
     }
 }
 
+/// How the session reacts to executor-level faults.
+///
+/// Transient faults (hop timeouts, incomplete runs) are retried with
+/// bounded exponential backoff — a link flap heals while the session
+/// backs off. Permanent faults (aborted transfers) and exhausted
+/// retries trigger the exclusion path: suspects are health-checked,
+/// confirmed-dead workers are excluded, and the communication graph is
+/// reconstructed in place (never a job restart).
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Transient-fault retries before the session escalates to the
+    /// health-check / exclusion path.
+    pub max_retries: usize,
+    /// First retry backoff; doubles per consecutive failed attempt.
+    pub backoff_base: SimDuration,
+    /// Ceiling on a single backoff.
+    pub backoff_cap: SimDuration,
+    /// Per-hop deadline multiplier handed to the executor (see
+    /// [`DEFAULT_DEADLINE_MULTIPLIER`]).
+    pub deadline_multiplier: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 5,
+            backoff_base: SimDuration::from_millis(25.0),
+            backoff_cap: SimDuration::from_millis(400.0),
+            deadline_multiplier: DEFAULT_DEADLINE_MULTIPLIER,
+        }
+    }
+}
+
+/// One entry of the session's recovery timeline (absolute session
+/// clock).
+#[derive(Debug, Clone)]
+pub enum RecoveryEvent {
+    /// The executor classified a fault.
+    Detected {
+        /// Detection instant.
+        at: SimTime,
+        /// The classified fault.
+        report: FaultReport,
+    },
+    /// A transient fault is being retried after backoff.
+    Retrying {
+        /// Instant the retry starts (backoff included).
+        at: SimTime,
+        /// Consecutive attempt number (1 = first retry).
+        attempt: usize,
+        /// Backoff charged before this retry.
+        backoff: SimDuration,
+    },
+    /// Confirmed-dead workers were excluded and the graph reconstructed
+    /// over the survivors.
+    Excluded {
+        /// Instant reconstruction finished.
+        at: SimTime,
+        /// The workers removed from the job.
+        ranks: Vec<Rank>,
+        /// Cost of the in-place reconstruction.
+        reconstruction: ReconstructReport,
+    },
+    /// A collective completed after one or more recovery actions.
+    Recovered {
+        /// Completion instant.
+        at: SimTime,
+        /// Transient retries used on the final attempt streak.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryEvent::Detected { at, report } => {
+                write!(f, "[{at}] detected: {report}")
+            }
+            RecoveryEvent::Retrying { at, attempt, backoff } => {
+                write!(f, "[{at}] retry #{attempt} after {backoff} backoff")
+            }
+            RecoveryEvent::Excluded { at, ranks, reconstruction } => {
+                write!(f, "[{at}] excluded ")?;
+                for (i, r) in ranks.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, "; graph reconstructed in {}", reconstruction.total())
+            }
+            RecoveryEvent::Recovered { at, attempts } => {
+                write!(f, "[{at}] recovered ({attempts} retry(ies) on final streak)")
+            }
+        }
+    }
+}
+
 /// Result of one collective iteration.
 #[derive(Debug, Clone)]
 pub struct IterationReport {
@@ -111,7 +216,9 @@ pub struct IterationReport {
 /// let cluster = Cluster::homogeneous_a100(2);
 /// let mut cc = AdapCC::init(&cluster, InitOptions::default());
 /// cc.setup();
-/// let report = cc.allreduce(ByteSize::from_mib(16), &Default::default(), None);
+/// let report = cc
+///     .allreduce(ByteSize::from_mib(16), &Default::default(), None)
+///     .expect("healthy fabric");
 /// assert!(report.finish.as_secs() > 0.0);
 /// ```
 #[derive(Debug)]
@@ -135,6 +242,11 @@ pub struct AdapCC<'c> {
     fabric_factors: Vec<(LinkId, f64)>,
     profile_period: Option<u64>,
     last_reconstruct: Option<ReconstructReport>,
+    fault_schedule: Option<FaultSchedule>,
+    session_clock: SimTime,
+    recovery: RecoveryPolicy,
+    recovery_log: Vec<RecoveryEvent>,
+    pending_probe_losses: Vec<(LinkId, u32)>,
 }
 
 impl<'c> AdapCC<'c> {
@@ -167,7 +279,69 @@ impl<'c> AdapCC<'c> {
             fabric_factors: Vec::new(),
             profile_period: None,
             last_reconstruct: None,
+            fault_schedule: None,
+            session_clock: SimTime::ZERO,
+            recovery: RecoveryPolicy::default(),
+            recovery_log: Vec::new(),
+            pending_probe_losses: Vec::new(),
         }
+    }
+
+    // ---- fault injection & recovery configuration ----
+
+    /// Arms a fault schedule against the session: every subsequent
+    /// collective executes with per-hop stall detection over a fabric
+    /// that replays `schedule` (timed against the session clock), and
+    /// faults that surface go through the recovery loop —
+    /// retry-with-backoff for transients, health-check → exclusion →
+    /// in-place graph reconstruction for permanent failures. Probe-loss
+    /// events are queued for the next profiling pass. Resets the
+    /// session clock and the recovery timeline.
+    pub fn inject_faults(&mut self, schedule: FaultSchedule) {
+        self.pending_probe_losses = schedule.probe_losses().collect();
+        self.fault_schedule = Some(schedule);
+        self.session_clock = SimTime::ZERO;
+        self.recovery_log.clear();
+        // Cached zero-skew times were measured on a healthy fabric.
+        self.exec_cache.clear();
+        self.estimates.clear();
+    }
+
+    /// Disarms fault injection; subsequent collectives run on a healthy
+    /// fabric again.
+    pub fn clear_faults(&mut self) {
+        self.fault_schedule = None;
+        self.pending_probe_losses.clear();
+        self.exec_cache.clear();
+        self.estimates.clear();
+    }
+
+    /// The armed fault schedule, if any.
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.fault_schedule.as_ref()
+    }
+
+    /// Absolute session clock: total simulated time consumed by
+    /// collectives, backoffs, and reconstructions since the last
+    /// [`AdapCC::inject_faults`]. Fault-schedule timestamps are
+    /// interpreted against this clock.
+    pub fn session_clock(&self) -> SimTime {
+        self.session_clock
+    }
+
+    /// The recovery timeline (detections, retries, exclusions,
+    /// recoveries) accumulated since the last [`AdapCC::inject_faults`].
+    pub fn recovery_log(&self) -> &[RecoveryEvent] {
+        &self.recovery_log
+    }
+
+    /// Replaces the recovery policy.
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        assert!(
+            policy.deadline_multiplier.is_finite() && policy.deadline_multiplier > 1.0,
+            "deadline multiplier must exceed 1"
+        );
+        self.recovery = policy;
     }
 
     /// Enables periodic on-the-fly re-profiling every `iterations`
@@ -293,58 +467,267 @@ impl<'c> AdapCC<'c> {
         &self.strategies[&key]
     }
 
+    /// An executor over the current fabric: live capacity factors
+    /// always, fault schedule + stall deadlines when one is armed.
+    fn executor(&self) -> Executor<'_> {
+        let mut exec =
+            Executor::new(self.cluster, &self.topo).with_capacity_factors(&self.fabric_factors);
+        if let Some(schedule) = &self.fault_schedule {
+            exec = exec
+                .with_fault_schedule(schedule.clone(), self.session_clock)
+                .with_deadline_multiplier(self.recovery.deadline_multiplier);
+        }
+        exec
+    }
+
+    /// Executes a raw request batch on the session's fabric (capacity
+    /// factors and any armed fault schedule included), without the
+    /// recovery loop. Chaos harnesses and tests use it to observe raw
+    /// classified faults.
+    pub fn run_batch(
+        &self,
+        requests: &[ExecutionRequest<'_>],
+    ) -> Result<BatchReport, AdapCCError> {
+        self.executor().try_execute(requests)
+    }
+
+    // ---- the recovery loop ----
+
+    /// Runs `attempt` to completion under the recovery policy.
+    ///
+    /// Transient faults retry with bounded exponential backoff.
+    /// Permanent faults — and transients that exhaust their retries —
+    /// escalate: suspects are health-checked against the armed
+    /// schedule, confirmed-dead workers are excluded and the graph is
+    /// reconstructed in place over the survivors, then the attempt
+    /// streak restarts. Every action advances the session clock by the
+    /// simulated time it consumed.
+    fn with_recovery<F>(&mut self, mut attempt: F) -> Result<IterationReport, AdapCCError>
+    where
+        F: FnMut(&mut Self) -> Result<IterationReport, AdapCCError>,
+    {
+        let mut attempts = 0usize;
+        let mut excluded: Vec<Rank> = Vec::new();
+        loop {
+            match attempt(self) {
+                Ok(mut report) => {
+                    self.session_clock += SimDuration::from_secs(report.finish.as_secs());
+                    if attempts > 0 || !excluded.is_empty() {
+                        self.recovery_log.push(RecoveryEvent::Recovered {
+                            at: self.session_clock,
+                            attempts,
+                        });
+                    }
+                    for r in &excluded {
+                        if !report.faults.contains(r) {
+                            report.faults.push(*r);
+                        }
+                    }
+                    report.faults.sort_unstable();
+                    return Ok(report);
+                }
+                Err(AdapCCError::Fault(fault)) => {
+                    self.session_clock += SimDuration::from_secs(fault.at.as_secs());
+                    self.recovery_log.push(RecoveryEvent::Detected {
+                        at: self.session_clock,
+                        report: fault.clone(),
+                    });
+                    if fault.is_permanent() || attempts >= self.recovery.max_retries {
+                        let dead = self.confirm_dead(&fault);
+                        if dead.is_empty() {
+                            // Nothing provably dead to exclude: either a
+                            // permanent abort whose owner already left the
+                            // job, or a transient that outlived our
+                            // patience. Surface the classification.
+                            return Err(if fault.is_permanent() {
+                                AdapCCError::Fault(fault)
+                            } else {
+                                AdapCCError::RetriesExhausted { attempts, last: fault }
+                            });
+                        }
+                        let survivors =
+                            self.workers.iter().filter(|r| !dead.contains(r)).count();
+                        if survivors < 2 {
+                            return Err(AdapCCError::InsufficientSurvivors { survivors });
+                        }
+                        // Cached strategy keys describe what the job was
+                        // running; they are re-synthesized over the
+                        // survivors below (set_workers clears the cache).
+                        let keys: Vec<(Primitive, u64, Option<Rank>)> =
+                            self.strategies.keys().copied().collect();
+                        self.exclude_workers(&dead);
+                        // Share the exclusion with the relay coordinator's
+                        // fault path (suspects narrowed to confirmed dead).
+                        self.coordinator.note_executor_fault(FaultReport {
+                            suspects: dead.clone(),
+                            ..fault.clone()
+                        });
+                        let rec = self.reconstruct_after_exclusion(&dead, keys);
+                        self.session_clock += rec.total();
+                        self.recovery_log.push(RecoveryEvent::Excluded {
+                            at: self.session_clock,
+                            ranks: dead.clone(),
+                            reconstruction: rec,
+                        });
+                        excluded.extend(dead);
+                        attempts = 0;
+                    } else {
+                        attempts += 1;
+                        let backoff = self
+                            .recovery
+                            .backoff_base
+                            .scale(2f64.powi(attempts as i32 - 1))
+                            .min(self.recovery.backoff_cap);
+                        self.session_clock += backoff;
+                        self.recovery_log.push(RecoveryEvent::Retrying {
+                            at: self.session_clock,
+                            attempt: attempts,
+                            backoff,
+                        });
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Health-checks a fault's suspects: a rank is confirmed dead when
+    /// its local links have permanently failed (worker crash), or —
+    /// for jobs spanning instances — when its instance's NIC links
+    /// have (NIC failure cuts the whole instance off the fabric). The
+    /// check replays the armed schedule up to the current session
+    /// clock, i.e. it asks the hardware, not the timeline. Only ranks
+    /// still in the job are returned.
+    fn confirm_dead(&self, fault: &FaultReport) -> Vec<Rank> {
+        let Some(schedule) = &self.fault_schedule else {
+            return Vec::new();
+        };
+        let mut sim = NetSim::new(self.cluster);
+        schedule.arm(&mut sim, self.session_clock);
+        let multi_instance = {
+            let mut insts: Vec<usize> = self
+                .workers
+                .iter()
+                .map(|r| self.cluster.locate(*r).0 .0)
+                .collect();
+            insts.sort_unstable();
+            insts.dedup();
+            insts.len() > 1
+        };
+        let mut dead = Vec::new();
+        for r in &fault.suspects {
+            if !self.workers.contains(r) {
+                continue;
+            }
+            // A crash fails *every* link adjacent to the worker's GPU.
+            // Requiring all of them dead distinguishes the crashed rank
+            // from a healthy neighbour that merely shares one NVLink
+            // with it.
+            let gpu_links = worker_links(self.cluster, *r);
+            let gpu_dead =
+                !gpu_links.is_empty() && gpu_links.iter().all(|l| sim.link_is_failed(*l));
+            let (inst, _) = self.cluster.locate(*r);
+            let nic_dead = multi_instance
+                && nic_links(self.cluster, inst)
+                    .iter()
+                    .any(|l| sim.link_is_failed(*l));
+            if gpu_dead || nic_dead {
+                dead.push(*r);
+            }
+        }
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+
     // ---- plain (wait-all) primitives ----
 
     /// AllReduce without relay control: waits for every worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError`] when an injected fault defeats recovery
+    /// or the request is malformed; see [`AdapCC::inject_faults`].
     pub fn allreduce(
         &mut self,
         tensor: ByteSize,
         ready: &BTreeMap<Rank, SimTime>,
         inputs: Option<BTreeMap<Rank, Vec<f32>>>,
-    ) -> IterationReport {
-        self.run_plain(Primitive::AllReduce, tensor, ready, inputs)
+    ) -> Result<IterationReport, AdapCCError> {
+        self.with_recovery(|cc| cc.run_plain(Primitive::AllReduce, tensor, ready, inputs.clone()))
     }
 
     /// Reduce onto an automatically chosen root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError`] when an injected fault defeats recovery
+    /// or the request is malformed.
     pub fn reduce(
         &mut self,
         tensor: ByteSize,
         ready: &BTreeMap<Rank, SimTime>,
         inputs: Option<BTreeMap<Rank, Vec<f32>>>,
-    ) -> IterationReport {
-        self.run_plain(Primitive::Reduce, tensor, ready, inputs)
+    ) -> Result<IterationReport, AdapCCError> {
+        self.with_recovery(|cc| cc.run_plain(Primitive::Reduce, tensor, ready, inputs.clone()))
     }
 
     /// Broadcast from `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError`] when an injected fault defeats recovery,
+    /// the request is malformed, or recovery excluded `root` itself.
     pub fn broadcast(
         &mut self,
         root: Rank,
         tensor: ByteSize,
         ready: &BTreeMap<Rank, SimTime>,
         inputs: Option<BTreeMap<Rank, Vec<f32>>>,
-    ) -> IterationReport {
-        self.run_rooted(Primitive::Broadcast, tensor, Some(root), ready, inputs)
+    ) -> Result<IterationReport, AdapCCError> {
+        self.with_recovery(|cc| {
+            cc.run_rooted(Primitive::Broadcast, tensor, Some(root), ready, inputs.clone())
+        })
     }
 
     /// AlltoAll personalized exchange.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError`] when an injected fault defeats recovery
+    /// or the request is malformed.
     pub fn alltoall(
         &mut self,
         tensor: ByteSize,
         ready: &BTreeMap<Rank, SimTime>,
         inputs: Option<BTreeMap<Rank, Vec<f32>>>,
-    ) -> IterationReport {
-        self.run_plain(Primitive::AllToAll, tensor, ready, inputs)
+    ) -> Result<IterationReport, AdapCCError> {
+        self.with_recovery(|cc| cc.run_plain(Primitive::AllToAll, tensor, ready, inputs.clone()))
     }
 
     /// AllGather, composed of one Broadcast per worker (paper
     /// Sec. IV-D). Each worker contributes `tensor` bytes; outputs are
     /// the rank-ordered concatenation (`N x tensor` per worker).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError`] when an injected fault defeats recovery
+    /// or the request is malformed.
     pub fn allgather(
         &mut self,
         tensor: ByteSize,
         ready: &BTreeMap<Rank, SimTime>,
         inputs: Option<BTreeMap<Rank, Vec<f32>>>,
-    ) -> IterationReport {
+    ) -> Result<IterationReport, AdapCCError> {
+        self.with_recovery(|cc| cc.allgather_attempt(tensor, ready, inputs.clone()))
+    }
+
+    fn allgather_attempt(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
         self.iteration += 1;
         let workers = self.workers.clone();
         let strategies: Vec<Strategy> = workers
@@ -364,8 +747,7 @@ impl<'c> AdapCC<'c> {
                 req
             })
             .collect();
-        let exec = Executor::new(self.cluster, &self.topo).with_capacity_factors(&self.fabric_factors);
-        let batch = exec.execute(&requests);
+        let batch = self.executor().try_execute(&requests)?;
         // Concatenate: slot j of every worker's output is root j's tensor.
         let elems = (tensor.as_u64() / 4) as usize;
         let mut outputs: BTreeMap<Rank, Vec<f32>> = BTreeMap::new();
@@ -384,37 +766,50 @@ impl<'c> AdapCC<'c> {
             }
         }
         let (first, last) = ready_span(ready, &workers);
-        IterationReport {
+        Ok(IterationReport {
             decision: Decision::WaitAll { start: last },
             finish: batch.finish,
             comm_time: batch.finish.duration_since(first),
             wait_time: last.duration_since(first),
             faults: Vec::new(),
             outputs,
-        }
+        })
     }
 
     /// ReduceScatter, composed of one Reduce per worker over its shard
     /// (paper Sec. IV-D). `tensor` is the full per-worker tensor; each
     /// worker ends with its aggregated `tensor / N` shard.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the tensor does not split evenly into f32 shards.
+    /// Returns [`AdapCCError::InvalidRequest`] if the tensor does not
+    /// split evenly into f32 shards over the current worker count
+    /// (which may have shrunk through fault exclusion), and
+    /// [`AdapCCError`] when an injected fault defeats recovery.
     pub fn reduce_scatter(
         &mut self,
         tensor: ByteSize,
         ready: &BTreeMap<Rank, SimTime>,
         inputs: Option<BTreeMap<Rank, Vec<f32>>>,
-    ) -> IterationReport {
+    ) -> Result<IterationReport, AdapCCError> {
+        self.with_recovery(|cc| cc.reduce_scatter_attempt(tensor, ready, inputs.clone()))
+    }
+
+    fn reduce_scatter_attempt(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
         self.iteration += 1;
         let workers = self.workers.clone();
         let n = workers.len();
-        assert_eq!(
-            tensor.as_u64() % (4 * n as u64),
-            0,
-            "tensor must split into f32 shards"
-        );
+        if !tensor.as_u64().is_multiple_of(4 * n as u64) {
+            return Err(AdapCCError::InvalidRequest(format!(
+                "tensor of {} bytes must split into f32 shards over {n} worker(s)",
+                tensor.as_u64()
+            )));
+        }
         let shard = ByteSize::from_bytes(tensor.as_u64() / n as u64);
         let shard_elems = (shard.as_u64() / 4) as usize;
         let strategies: Vec<Strategy> = workers
@@ -447,8 +842,7 @@ impl<'c> AdapCC<'c> {
                 req
             })
             .collect();
-        let exec = Executor::new(self.cluster, &self.topo).with_capacity_factors(&self.fabric_factors);
-        let batch = exec.execute(&requests);
+        let batch = self.executor().try_execute(&requests)?;
         let mut outputs = BTreeMap::new();
         if inputs.is_some() {
             for (j, root) in workers.iter().enumerate() {
@@ -458,14 +852,14 @@ impl<'c> AdapCC<'c> {
             }
         }
         let (first, last) = ready_span(ready, &workers);
-        IterationReport {
+        Ok(IterationReport {
             decision: Decision::WaitAll { start: last },
             finish: batch.finish,
             comm_time: batch.finish.duration_since(first),
             wait_time: last.duration_since(first),
             faults: Vec::new(),
             outputs,
-        }
+        })
     }
 
     fn run_plain(
@@ -474,7 +868,7 @@ impl<'c> AdapCC<'c> {
         tensor: ByteSize,
         ready: &BTreeMap<Rank, SimTime>,
         inputs: Option<BTreeMap<Rank, Vec<f32>>>,
-    ) -> IterationReport {
+    ) -> Result<IterationReport, AdapCCError> {
         self.run_rooted(primitive, tensor, None, ready, inputs)
     }
 
@@ -485,7 +879,14 @@ impl<'c> AdapCC<'c> {
         root: Option<Rank>,
         ready: &BTreeMap<Rank, SimTime>,
         inputs: Option<BTreeMap<Rank, Vec<f32>>>,
-    ) -> IterationReport {
+    ) -> Result<IterationReport, AdapCCError> {
+        if let Some(r) = root {
+            if !self.workers.contains(&r) {
+                return Err(AdapCCError::InvalidRequest(format!(
+                    "root {r} is not part of the job (excluded or never admitted)"
+                )));
+            }
+        }
         self.iteration += 1;
         self.maybe_reprofile();
         // The request rides the communicator's work queue exactly as
@@ -508,8 +909,10 @@ impl<'c> AdapCC<'c> {
         let (first, last) = ready_span(ready, &workers);
         // Timing-only wait-all runs reuse the cached zero-skew
         // execution time: the collective itself is deterministic, the
-        // slowest worker gates its start.
-        let (finish, outputs) = if item.inputs.is_none() {
+        // slowest worker gates its start. With a fault schedule armed
+        // the cache would mask faults, so every run goes through the
+        // executor for real.
+        let (finish, outputs) = if item.inputs.is_none() && self.fault_schedule.is_none() {
             let t_exec = self.cached_exec_secs(primitive, tensor, root, &strategy);
             (last + SimDuration::from_secs(t_exec), BTreeMap::new())
         } else {
@@ -517,9 +920,7 @@ impl<'c> AdapCC<'c> {
             if let Some(inp) = item.inputs {
                 req = req.with_inputs(inp);
             }
-            let exec =
-                Executor::new(self.cluster, &self.topo).with_capacity_factors(&self.fabric_factors);
-            let batch = exec.execute(&[req]);
+            let batch = self.executor().try_execute(&[req])?;
             (
                 batch.finish,
                 batch.requests.into_iter().next().expect("one request").outputs,
@@ -532,14 +933,14 @@ impl<'c> AdapCC<'c> {
         });
         let result = self.communicator.fetch().expect("the result just completed");
         debug_assert_eq!(result.id, work_id);
-        IterationReport {
+        Ok(IterationReport {
             decision: Decision::WaitAll { start: last },
             finish: result.finish,
             comm_time: result.finish.duration_since(first),
             wait_time: last.duration_since(first),
             faults: Vec::new(),
             outputs: result.outputs,
-        }
+        })
     }
 
     /// Zero-skew execution time of a cached strategy (measured once).
@@ -593,12 +994,26 @@ impl<'c> AdapCC<'c> {
     /// (ski-rental) whether to wait for stragglers or run a phase-1
     /// partial collective with relays followed by a phase-2 completion
     /// broadcast. Workers missing from `ready` are fault candidates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError`] when an injected fault defeats recovery
+    /// or the request is malformed.
     pub fn allreduce_adaptive(
         &mut self,
         tensor: ByteSize,
         ready: &BTreeMap<Rank, SimTime>,
         inputs: Option<BTreeMap<Rank, Vec<f32>>>,
-    ) -> IterationReport {
+    ) -> Result<IterationReport, AdapCCError> {
+        self.with_recovery(|cc| cc.allreduce_adaptive_attempt(tensor, ready, inputs.clone()))
+    }
+
+    fn allreduce_adaptive_attempt(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
         self.iteration += 1;
         self.maybe_reprofile();
         let workers = self.workers.clone();
@@ -614,34 +1029,33 @@ impl<'c> AdapCC<'c> {
 
         match decision.clone() {
             Decision::WaitAll { start } => {
-                if inputs.is_none() {
+                if inputs.is_none() && self.fault_schedule.is_none() {
                     let t_exec =
                         self.cached_exec_secs(Primitive::AllReduce, tensor, None, &strategy);
                     let (_, last) = ready_span(ready, &workers);
                     let finish = last.max(start) + SimDuration::from_secs(t_exec);
-                    return IterationReport {
+                    return Ok(IterationReport {
                         decision,
                         finish,
                         comm_time: finish.duration_since(first),
                         wait_time: start.duration_since(first.min(start)),
                         faults: Vec::new(),
                         outputs: BTreeMap::new(),
-                    };
+                    });
                 }
                 let mut req = ExecutionRequest::timing(&strategy, tensor).with_ready(ready.clone());
                 if let Some(inp) = inputs {
                     req = req.with_inputs(inp);
                 }
-                let exec = Executor::new(self.cluster, &self.topo).with_capacity_factors(&self.fabric_factors);
-                let batch = exec.execute(&[req]);
-                IterationReport {
+                let batch = self.executor().try_execute(&[req])?;
+                Ok(IterationReport {
                     decision,
                     finish: batch.finish,
                     comm_time: batch.finish.duration_since(first),
                     wait_time: start.duration_since(first.min(start)),
                     faults: Vec::new(),
                     outputs: batch.requests.into_iter().next().expect("one").outputs,
-                }
+                })
             }
             Decision::Partial { start, ready: active, relays } => {
                 // Phase 1: same graph, relay sources muted; sends begin
@@ -662,9 +1076,7 @@ impl<'c> AdapCC<'c> {
                         .collect();
                     req = req.with_inputs(active_inputs);
                 }
-                let phase1 = Executor::new(self.cluster, &self.topo)
-                    .with_capacity_factors(&self.fabric_factors)
-                    .execute(&[req]);
+                let phase1 = self.executor().try_execute(&[req])?;
                 let phase1_end = phase1.finish;
 
                 // Fault detection: relays still unready T_fault after
@@ -715,9 +1127,7 @@ impl<'c> AdapCC<'c> {
                             ExecutionRequest::timing(s, *bytes).with_ready(m)
                         })
                         .collect();
-                    let phase2 = Executor::new(self.cluster, &self.topo)
-                        .with_capacity_factors(&self.fabric_factors)
-                        .execute(&requests);
+                    let phase2 = self.executor().try_execute(&requests)?;
                     // Local combine kernels, one per late tensor.
                     let (inst, _) = self.cluster.locate(root);
                     let combine = kernel_launch_overhead()
@@ -745,14 +1155,14 @@ impl<'c> AdapCC<'c> {
                     }
                 }
 
-                IterationReport {
+                Ok(IterationReport {
                     decision,
                     finish,
                     comm_time: finish.duration_since(first),
                     wait_time: start.duration_since(first.min(start)),
                     faults,
                     outputs,
-                }
+                })
             }
         }
     }
@@ -768,6 +1178,11 @@ impl<'c> AdapCC<'c> {
             Profiler::new(self.cluster, &self.topo, self.options.seed ^ self.iteration);
         for (l, f) in &self.fabric_factors {
             profiler.set_capacity_factor(*l, *f);
+        }
+        // Scheduled probe losses hit the next profiling pass (the
+        // profiler's retransmission path absorbs them).
+        for (l, c) in self.pending_probe_losses.drain(..) {
+            profiler.inject_probe_loss(l, c);
         }
         let report = profiler.run();
         let delta = report.links.max_bandwidth_delta(&self.profile);
@@ -796,6 +1211,50 @@ impl<'c> AdapCC<'c> {
             solving,
             setup,
             changed,
+        };
+        self.last_reconstruct = Some(out);
+        out
+    }
+
+    /// In-place reconstruction after a permanent exclusion: re-profile
+    /// the surviving fabric, re-synthesize every strategy the job was
+    /// running (rooted collectives whose root died are dropped), and
+    /// re-run the transmission-context set-up. Unlike [`Self::reprofile`]
+    /// this always re-synthesizes — the worker set changed, so every
+    /// cached strategy is stale regardless of bandwidth deltas — and it
+    /// charges the modeled solver latency rather than local wall time,
+    /// keeping the simulated session clock deterministic.
+    fn reconstruct_after_exclusion(
+        &mut self,
+        dead: &[Rank],
+        keys: Vec<(Primitive, u64, Option<Rank>)>,
+    ) -> ReconstructReport {
+        let mut profiler =
+            Profiler::new(self.cluster, &self.topo, self.options.seed ^ self.iteration);
+        for (l, f) in &self.fabric_factors {
+            profiler.set_capacity_factor(*l, *f);
+        }
+        for (l, c) in self.pending_probe_losses.drain(..) {
+            profiler.inject_probe_loss(l, c);
+        }
+        let report = profiler.run();
+        self.profile = report.links;
+        for (p, bytes, root) in keys {
+            if root.is_some_and(|r| dead.contains(&r)) {
+                continue;
+            }
+            let _ = self.strategy_for_root(p, ByteSize::from_bytes(bytes), root);
+        }
+        let solving = crate::reconstruct::modeled_solve_cost(self.workers.len());
+        let setup = self
+            .communicator
+            .setup(self.cluster, self.options.parallelism)
+            .elapsed;
+        let out = ReconstructReport {
+            profiling: report.elapsed,
+            solving,
+            setup,
+            changed: true,
         };
         self.last_reconstruct = Some(out);
         out
@@ -939,7 +1398,9 @@ mod tests {
         let elems = 64 * 1024 / 4;
         let workers = cc.workers().to_vec();
         let inputs = inputs_for(&workers, elems);
-        let report = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs.clone()));
+        let report = cc
+            .allreduce(tensor, &BTreeMap::new(), Some(inputs.clone()))
+            .expect("healthy fabric");
         for w in &workers {
             let out = &report.outputs[w];
             for i in [0usize, 17, elems - 1] {
@@ -959,7 +1420,7 @@ mod tests {
         for r in cc.workers().to_vec() {
             ready.insert(r, SimTime::from_secs(r.0 as f64 * 1e-5));
         }
-        let report = cc.allreduce_adaptive(tensor, &ready, None);
+        let report = cc.allreduce_adaptive(tensor, &ready, None).expect("healthy fabric");
         assert!(matches!(report.decision, Decision::WaitAll { .. }));
         assert!(report.faults.is_empty());
     }
@@ -983,7 +1444,7 @@ mod tests {
         };
         let straggler = workers.iter().copied().find(|r| *r != strategy_root).unwrap();
         ready.insert(straggler, SimTime::from_secs(0.06));
-        let report = cc.allreduce_adaptive(tensor, &ready, None);
+        let report = cc.allreduce_adaptive(tensor, &ready, None).expect("healthy fabric");
         match &report.decision {
             Decision::Partial { relays, start, .. } => {
                 assert_eq!(relays, &vec![straggler]);
@@ -1016,7 +1477,9 @@ mod tests {
         };
         let straggler = workers.iter().copied().find(|r| *r != strategy_root).unwrap();
         ready.insert(straggler, SimTime::from_secs(0.04));
-        let report = cc.allreduce_adaptive(tensor, &ready, Some(inputs.clone()));
+        let report = cc
+            .allreduce_adaptive(tensor, &ready, Some(inputs.clone()))
+            .expect("healthy fabric");
         assert!(matches!(report.decision, Decision::Partial { .. }));
         // Two-phase aggregation is numerically a full allreduce.
         for w in &workers {
@@ -1041,12 +1504,12 @@ mod tests {
         }
         // Rank 7 never reports.
         ready.remove(&Rank(7));
-        let report = cc.allreduce_adaptive(tensor, &ready, None);
+        let report = cc.allreduce_adaptive(tensor, &ready, None).expect("healthy fabric");
         assert_eq!(report.faults, vec![Rank(7)]);
         cc.exclude_workers(&report.faults);
         assert_eq!(cc.workers().len(), 7);
         // Training continues among survivors.
-        let again = cc.allreduce(tensor, &BTreeMap::new(), None);
+        let again = cc.allreduce(tensor, &BTreeMap::new(), None).expect("healthy fabric");
         assert!(again.finish.as_secs() > 0.0);
     }
 
@@ -1059,7 +1522,9 @@ mod tests {
         let elems = 16 * 1024 / 4;
         let workers = cc.workers().to_vec();
         let inputs = inputs_for(&workers, elems);
-        let report = cc.allgather(tensor, &BTreeMap::new(), Some(inputs.clone()));
+        let report = cc
+            .allgather(tensor, &BTreeMap::new(), Some(inputs.clone()))
+            .expect("healthy fabric");
         for w in &workers {
             let out = &report.outputs[w];
             assert_eq!(out.len(), elems * workers.len());
@@ -1079,7 +1544,9 @@ mod tests {
         let shard_elems = 1024usize;
         let tensor = ByteSize::from_bytes((n * shard_elems * 4) as u64);
         let inputs = inputs_for(&workers, n * shard_elems);
-        let report = cc.reduce_scatter(tensor, &BTreeMap::new(), Some(inputs.clone()));
+        let report = cc
+            .reduce_scatter(tensor, &BTreeMap::new(), Some(inputs.clone()))
+            .expect("healthy fabric");
         for (j, w) in workers.iter().enumerate() {
             let out = &report.outputs[w];
             assert_eq!(out.len(), shard_elems);
@@ -1119,10 +1586,10 @@ mod tests {
         cc.set_profile_period(3);
         let tensor = ByteSize::from_mib(4);
         for _ in 0..2 {
-            let _ = cc.allreduce(tensor, &BTreeMap::new(), None);
+            let _ = cc.allreduce(tensor, &BTreeMap::new(), None).expect("healthy fabric");
         }
         assert!(cc.last_reconstruct().is_none(), "not due yet");
-        let _ = cc.allreduce(tensor, &BTreeMap::new(), None);
+        let _ = cc.allreduce(tensor, &BTreeMap::new(), None).expect("healthy fabric");
         let r = cc.last_reconstruct().expect("third iteration triggers");
         assert!(r.profiling.as_secs() > 0.0);
         assert!(!r.changed, "quiet fabric: no re-synthesis");
@@ -1137,15 +1604,19 @@ mod tests {
         cc.set_workers((0..8).map(Rank).collect());
         let tensor = ByteSize::from_kib(64);
         let elems = 16 * 1024;
-        let inputs8 = inputs_for(&cc.workers().to_vec(), elems);
-        let before = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs8));
+        let inputs8 = inputs_for(cc.workers(), elems);
+        let before = cc
+            .allreduce(tensor, &BTreeMap::new(), Some(inputs8))
+            .expect("healthy fabric");
         assert_eq!(before.outputs.len(), 8);
         // Instance 2 joins.
         let scale = cc.add_workers(&(8..12).map(Rank).collect::<Vec<_>>());
         assert!(scale.detection > SimDuration::ZERO, "new instance must be detected");
         assert_eq!(cc.workers().len(), 12);
-        let inputs12 = inputs_for(&cc.workers().to_vec(), elems);
-        let after = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs12.clone()));
+        let inputs12 = inputs_for(cc.workers(), elems);
+        let after = cc
+            .allreduce(tensor, &BTreeMap::new(), Some(inputs12.clone()))
+            .expect("healthy fabric");
         assert_eq!(after.outputs.len(), 12);
         let expect: f32 = cc.workers().iter().map(|r| inputs12[r][3]).sum();
         assert!((after.outputs[&Rank(9)][3] - expect).abs() < 1e-2);
@@ -1171,5 +1642,133 @@ mod tests {
         let _ = cc.add_workers(&[Rank(0)]);
     }
 
-    use adapcc_simnet::cluster::Cluster;
+    // ---- fault recovery ----
+
+    #[test]
+    fn transient_flap_is_retried_and_recovers() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        // Flap every NIC link of instance 0 for 40ms: long enough to
+        // trip the stall deadline, short enough that backoff outlives
+        // it (25ms + 50ms puts the third attempt past the heal).
+        let mut schedule = FaultSchedule::new();
+        for link in nic_links(&c, InstanceId(0)) {
+            schedule.push(Fault::LinkDown {
+                link,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(0.040),
+            });
+        }
+        cc.inject_faults(schedule);
+        let rep = cc
+            .allreduce(ByteSize::from_kib(64), &BTreeMap::new(), None)
+            .expect("flap heals before retries run out");
+        assert!(rep.faults.is_empty(), "transient fault excludes nobody");
+        assert_eq!(cc.workers().len(), 8, "no worker was excluded");
+        let log = cc.recovery_log();
+        assert!(
+            log.iter().any(|e| matches!(e, RecoveryEvent::Detected { .. })),
+            "{log:?}"
+        );
+        assert!(
+            log.iter().any(|e| matches!(e, RecoveryEvent::Retrying { .. })),
+            "{log:?}"
+        );
+        assert!(
+            log.iter().any(|e| matches!(e, RecoveryEvent::Recovered { .. })),
+            "{log:?}"
+        );
+        assert!(
+            !log.iter().any(|e| matches!(e, RecoveryEvent::Excluded { .. })),
+            "{log:?}"
+        );
+    }
+
+    #[test]
+    fn worker_crash_is_excluded_and_job_continues() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        cc.inject_faults(FaultSchedule::new().with(Fault::WorkerCrash {
+            rank: Rank(5),
+            at: SimTime::ZERO,
+        }));
+        let tensor = ByteSize::from_kib(64);
+        let elems = (tensor.as_u64() / 4) as usize;
+        let workers = cc.workers().to_vec();
+        let inputs = inputs_for(&workers, elems);
+        let rep = cc
+            .allreduce(tensor, &BTreeMap::new(), Some(inputs.clone()))
+            .expect("a single crash must be recoverable");
+        assert_eq!(rep.faults, vec![Rank(5)]);
+        assert_eq!(cc.workers().len(), 7);
+        // The recovered collective sums over exactly the survivors.
+        let expect: f32 = cc.workers().iter().map(|r| inputs[r][3]).sum();
+        for w in cc.workers() {
+            assert!((rep.outputs[w][3] - expect).abs() < 1e-3);
+        }
+        assert!(!rep.outputs.contains_key(&Rank(5)));
+        assert!(cc
+            .recovery_log()
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Excluded { ranks, .. } if ranks == &[Rank(5)])));
+    }
+
+    #[test]
+    fn nic_failure_excludes_whole_instance() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        cc.inject_faults(FaultSchedule::new().with(Fault::NicFail {
+            instance: InstanceId(1),
+            at: SimTime::ZERO,
+        }));
+        let rep = cc
+            .allreduce(ByteSize::from_kib(64), &BTreeMap::new(), None)
+            .expect("the healthy server carries on");
+        assert_eq!(rep.faults, vec![Rank(4), Rank(5), Rank(6), Rank(7)]);
+        assert_eq!(cc.workers(), &[Rank(0), Rank(1), Rank(2), Rank(3)]);
+    }
+
+    #[test]
+    fn insufficient_survivors_is_reported() {
+        let c = Cluster::homogeneous_a100(1);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let mut schedule = FaultSchedule::new();
+        for rank in [1, 2, 3] {
+            schedule.push(Fault::WorkerCrash { rank: Rank(rank), at: SimTime::ZERO });
+        }
+        cc.inject_faults(schedule);
+        let err = cc
+            .allreduce(ByteSize::from_kib(64), &BTreeMap::new(), None)
+            .expect_err("one survivor cannot run a collective");
+        assert!(
+            matches!(err, AdapCCError::InsufficientSurvivors { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn broadcast_from_excluded_root_is_invalid() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        cc.inject_faults(FaultSchedule::new().with(Fault::WorkerCrash {
+            rank: Rank(5),
+            at: SimTime::ZERO,
+        }));
+        let tensor = ByteSize::from_kib(64);
+        cc.allreduce(tensor, &BTreeMap::new(), None)
+            .expect("crash recovery");
+        assert_eq!(cc.workers().len(), 7);
+        let err = cc
+            .broadcast(Rank(5), tensor, &BTreeMap::new(), None)
+            .expect_err("dead root cannot broadcast");
+        assert!(matches!(err, AdapCCError::InvalidRequest(_)), "{err}");
+    }
+
+    use adapcc_simnet::cluster::{Cluster, InstanceId};
+    use adapcc_simnet::faults::Fault;
 }

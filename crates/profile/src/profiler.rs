@@ -107,10 +107,13 @@ impl Default for ProfileConfig {
 pub struct ProfileReport {
     /// Fitted costs per logical edge.
     pub links: LinkProfile,
-    /// Wall-clock cost of the pass (training is blocked this long).
+    /// Wall-clock cost of the pass (training is blocked this long),
+    /// including timeout cost of any lost-and-retried probes.
     pub elapsed: SimDuration,
     /// Number of inter-instance rounds executed (`N − 1`).
     pub rounds: usize,
+    /// Probes lost in flight and retried during the pass.
+    pub probe_retries: u64,
 }
 
 /// The profiler.
@@ -165,9 +168,17 @@ impl<'c, 't> Profiler<'c, 't> {
         self.runner.set_capacity_factor(link, factor);
     }
 
+    /// Injects transient probe loss on a link: affected measurements
+    /// time out and retry, and the timeout cost is charged to the
+    /// pass's elapsed time.
+    pub fn inject_probe_loss(&mut self, link: LinkId, count: u32) {
+        self.runner.inject_probe_loss(link, count);
+    }
+
     /// Runs the full pass: concurrent per-instance intra profiling,
     /// then `N − 1` interference-free inter-instance rounds.
     pub fn run(&mut self) -> ProfileReport {
+        let retries_before = self.runner.probe_retries();
         let mut links = LinkProfile::new();
         // Intra phase: instances profile concurrently; the phase costs
         // as much as the slowest instance.
@@ -190,8 +201,9 @@ impl<'c, 't> Profiler<'c, 't> {
         }
         ProfileReport {
             links,
-            elapsed: intra_slowest + inter_elapsed,
+            elapsed: intra_slowest + inter_elapsed + self.runner.take_lost_time(),
             rounds,
+            probe_retries: self.runner.probe_retries() - retries_before,
         }
     }
 
@@ -407,6 +419,28 @@ mod tests {
         assert!(delta > 0.3, "delta {delta}");
         let none = base.links.max_bandwidth_delta(&base.links);
         assert!(none < 1e-9);
+    }
+
+    #[test]
+    fn lost_probes_retry_without_poisoning_the_fit() {
+        let c = Cluster::homogeneous_a100(2);
+        let topo = Detector::new(&c, 1).run().logical_topology(&c);
+        let clean = Profiler::new(&c, &topo, 1).without_noise().run();
+        let mut lossy = Profiler::new(&c, &topo, 1).without_noise();
+        lossy.inject_probe_loss(c.nic_egress_link(InstanceId(0)), 3);
+        let report = lossy.run();
+        assert_eq!(report.probe_retries, 3);
+        // Retried measurements produce the same fits as a clean pass...
+        let eid = topo
+            .edge_between(
+                LogicalNode::Nic(InstanceId(0)),
+                LogicalNode::Nic(InstanceId(1)),
+            )
+            .unwrap();
+        assert_eq!(report.links.get(eid), clean.links.get(eid));
+        // ...but the pass is charged the timeout wall-clock.
+        assert!(report.elapsed > clean.elapsed);
+        assert_eq!(clean.probe_retries, 0);
     }
 
     #[test]

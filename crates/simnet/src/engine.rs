@@ -40,6 +40,14 @@ pub enum SimEvent {
         /// Completion instant.
         at: SimTime,
     },
+    /// A transfer was aborted because a link on its path permanently
+    /// failed (see [`NetSim::fail_link`]). No bytes are delivered.
+    TransferAborted {
+        /// The caller's token.
+        token: Token,
+        /// Abort instant.
+        at: SimTime,
+    },
     /// A timer scheduled with [`NetSim::schedule_timer`] fired.
     Timer {
         /// The caller's token.
@@ -53,16 +61,43 @@ impl SimEvent {
     /// The instant the event occurred.
     pub fn at(&self) -> SimTime {
         match *self {
-            SimEvent::TransferDone { at, .. } | SimEvent::Timer { at, .. } => at,
+            SimEvent::TransferDone { at, .. }
+            | SimEvent::TransferAborted { at, .. }
+            | SimEvent::Timer { at, .. } => at,
         }
     }
 
     /// The caller token of the event.
     pub fn token(&self) -> Token {
         match *self {
-            SimEvent::TransferDone { token, .. } | SimEvent::Timer { token, .. } => token,
+            SimEvent::TransferDone { token, .. }
+            | SimEvent::TransferAborted { token, .. }
+            | SimEvent::Timer { token, .. } => token,
         }
     }
+}
+
+/// A fault applied to the fabric, either immediately or scheduled on
+/// the simulation timeline with [`NetSim::schedule_fault`].
+///
+/// Faults are *silent*: applying one produces no user-visible event of
+/// its own (real networks do not announce their failures). Their
+/// consequences surface as stalled flows, [`SimEvent::TransferAborted`]
+/// events, or changed completion times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Take a link down (transient): flows crossing it stall at rate
+    /// zero until the link comes back up.
+    LinkDown(LinkId),
+    /// Bring a transiently-down link back up; stalled flows resume.
+    /// No effect on permanently failed links.
+    LinkUp(LinkId),
+    /// Permanently fail a link: every unfinished flow crossing it is
+    /// aborted and future submissions over it abort after their latency.
+    LinkFail(LinkId),
+    /// Scale a link's capacity (degradation / recovery). The factor
+    /// must be positive and finite.
+    SetCapacityFactor(LinkId, f64),
 }
 
 #[derive(Debug, Clone)]
@@ -73,6 +108,10 @@ enum Internal {
     Completion(u64),
     /// User timer.
     Timer(Token),
+    /// A draining flow was aborted by a permanent link failure.
+    Aborted(usize),
+    /// A scheduled fault fires.
+    Fault(FaultAction),
 }
 
 #[derive(Debug, Clone)]
@@ -86,12 +125,19 @@ struct Flow {
     cap: f64,
     draining: bool,
     done: bool,
+    /// Set when a permanent link failure killed this flow; surfaces as
+    /// [`SimEvent::TransferAborted`].
+    aborted: bool,
 }
 
 #[derive(Debug, Clone, Default)]
 struct LinkState {
     factor: f64,
     active: Vec<usize>,
+    /// Transient availability: a down link stalls its flows.
+    up: bool,
+    /// Permanent failure: the link never comes back and aborts flows.
+    failed: bool,
 }
 
 /// The transport simulator for one [`Cluster`].
@@ -142,6 +188,8 @@ impl<'c> NetSim<'c> {
                 LinkState {
                     factor: 1.0,
                     active: Vec::new(),
+                    up: true,
+                    failed: false,
                 };
                 cluster.links().len()
             ],
@@ -172,6 +220,9 @@ impl<'c> NetSim<'c> {
             .filter_map(|l| self.cluster.link(*l).per_flow_cap)
             .map(|b| b.as_bytes_per_sec())
             .fold(f64::INFINITY, f64::min);
+        // A path over an already-failed link aborts after its latency
+        // elapses (the sender learns of the failure one round-trip in).
+        let dead = path.links.iter().any(|l| self.links[l.0].failed);
         let flow = Flow {
             token,
             links: path.links.clone(),
@@ -180,6 +231,7 @@ impl<'c> NetSim<'c> {
             cap,
             draining: false,
             done: false,
+            aborted: dead,
         };
         self.flows.push(flow);
         let id = self.flows.len() - 1;
@@ -212,9 +264,100 @@ impl<'c> NetSim<'c> {
         self.links[link.0].factor
     }
 
+    /// Takes a link down (`up = false`) or brings it back up.
+    ///
+    /// While down, flows crossing the link stall at rate zero — they
+    /// are not aborted and resume draining when the link returns. A
+    /// permanently failed link ignores attempts to bring it up.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        let st = &self.links[link.0];
+        if st.failed || st.up == up {
+            return;
+        }
+        self.advance_flows();
+        self.links[link.0].up = up;
+        self.reallocate();
+    }
+
+    /// Permanently fails a link: every unfinished flow crossing it is
+    /// aborted (a [`SimEvent::TransferAborted`] fires per flow) and any
+    /// later submission over it aborts after its path latency. Failed
+    /// links never come back up.
+    pub fn fail_link(&mut self, link: LinkId) {
+        if self.links[link.0].failed {
+            return;
+        }
+        self.advance_flows();
+        self.links[link.0].failed = true;
+        self.links[link.0].up = false;
+        let victims: Vec<usize> = (0..self.flows.len())
+            .filter(|&i| {
+                let f = &self.flows[i];
+                !f.done && !f.aborted && f.links.contains(&link)
+            })
+            .collect();
+        for id in victims {
+            self.abort_flow(id);
+        }
+        self.reallocate();
+    }
+
+    /// True if the link is currently up (neither down nor failed).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.links[link.0].up
+    }
+
+    /// True if the link has permanently failed.
+    pub fn link_is_failed(&self, link: LinkId) -> bool {
+        self.links[link.0].failed
+    }
+
+    /// Schedules a fault to fire `after` from now, inside the
+    /// simulation timeline. The fault itself is silent; see
+    /// [`FaultAction`].
+    pub fn schedule_fault(&mut self, after: SimDuration, action: FaultAction) {
+        self.push(self.now + after, Internal::Fault(action));
+    }
+
+    /// Applies a fault action immediately.
+    pub fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::LinkDown(l) => self.set_link_up(l, false),
+            FaultAction::LinkUp(l) => self.set_link_up(l, true),
+            FaultAction::LinkFail(l) => self.fail_link(l),
+            FaultAction::SetCapacityFactor(l, f) => self.set_capacity_factor(l, f),
+        }
+    }
+
+    fn abort_flow(&mut self, id: usize) {
+        let f = &mut self.flows[id];
+        f.aborted = true;
+        if f.draining {
+            f.draining = false;
+            f.done = true;
+            self.live.retain(|&x| x != id);
+            for l in self.flows[id].links.clone() {
+                self.links[l.0].active.retain(|&x| x != id);
+            }
+            self.push(self.now, Internal::Aborted(id));
+        }
+        // A latency-phase flow keeps its pending LatencyDone event,
+        // which converts into the abort when it fires.
+    }
+
     /// Number of flows currently in the fluid phase (draining).
     pub fn draining_flows(&self) -> usize {
         self.flows.iter().filter(|f| f.draining && !f.done).count()
+    }
+
+    /// Number of draining flows currently stalled behind a down link.
+    pub fn stalled_flows(&self) -> usize {
+        self.flows
+            .iter()
+            .filter(|f| {
+                f.draining && !f.done && f.links.iter().any(|l| !self.links[l.0].up)
+            })
+            .count()
     }
 
     /// Advances the simulation to the next user-visible event and
@@ -234,6 +377,13 @@ impl<'c> NetSim<'c> {
                 Internal::LatencyDone(id) => {
                     self.advance_flows();
                     let flow = &mut self.flows[id];
+                    if flow.aborted {
+                        flow.done = true;
+                        return Some(SimEvent::TransferAborted {
+                            token: flow.token,
+                            at: t,
+                        });
+                    }
                     if flow.remaining <= EPS_BYTES {
                         // Zero-byte transfer: completes right after latency.
                         flow.done = true;
@@ -258,6 +408,16 @@ impl<'c> NetSim<'c> {
                         return Some(ev);
                     }
                     self.reallocate();
+                }
+                Internal::Aborted(id) => {
+                    return Some(SimEvent::TransferAborted {
+                        token: self.flows[id].token,
+                        at: t,
+                    });
+                }
+                Internal::Fault(action) => {
+                    // Silent: apply and keep looking for a user event.
+                    self.apply_fault(action);
                 }
             }
         }
@@ -315,12 +475,22 @@ impl<'c> NetSim<'c> {
     /// Progressive-filling (max-min) rate allocation with per-flow caps,
     /// then schedules the next completion event.
     fn reallocate(&mut self) {
-        let active: Vec<usize> = self.live.clone();
-        for &i in &active {
+        let live: Vec<usize> = self.live.clone();
+        for &i in &live {
             self.flows[i].rate = 0.0;
         }
+        // Flows crossing a down link stall at rate zero and take no part
+        // in the filling; they resume when the link comes back up.
+        let active: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&i| self.flows[i].links.iter().all(|l| self.links[l.0].up))
+            .collect();
         if active.is_empty() {
-            self.bump_completion_schedule(None);
+            // Only already-drained flows (remaining ~ 0) can still
+            // complete; stalled ones wait for a link-up.
+            let drained = live.iter().any(|&i| self.flows[i].remaining <= EPS_BYTES);
+            self.bump_completion_schedule(drained.then_some(SimDuration::ZERO));
             return;
         }
         // Only links carrying active flows matter; everything else has
@@ -392,9 +562,10 @@ impl<'c> NetSim<'c> {
             }
             unfrozen.retain(|f| !frozen[*f]);
         }
-        // Next completion: earliest remaining/rate among draining flows.
+        // Next completion: earliest remaining/rate among draining flows
+        // (stalled flows have rate 0 and only count if already drained).
         let mut next: Option<SimDuration> = None;
-        for &i in &active {
+        for &i in &live {
             let f = &self.flows[i];
             if f.rate > 0.0 {
                 let dt = SimDuration::from_secs((f.remaining / f.rate).max(0.0));
@@ -597,6 +768,129 @@ mod tests {
         let dur = ev.at().as_secs() - c.path_alpha(&path).as_secs();
         let bottleneck = size.as_f64() / Bandwidth::from_gbytes_per_sec(32.0).as_bytes_per_sec();
         assert!((dur - bottleneck).abs() / bottleneck < 0.01);
+    }
+
+    #[test]
+    fn link_down_stalls_then_resumes() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let size = ByteSize::from_mib(100);
+        let bw = Bandwidth::from_gbps(100.0).as_bytes_per_sec();
+        let alpha = c.path_alpha(&path).as_secs();
+        let half = size.as_f64() / 2.0 / bw;
+        let eg = c.nic_egress_link(InstanceId(0));
+        sim.submit_transfer(&path, size, 1);
+        // Down for 10 ms starting at the halfway point.
+        let outage = 0.010;
+        sim.schedule_fault(
+            SimDuration::from_secs(alpha + half),
+            FaultAction::LinkDown(eg),
+        );
+        sim.schedule_fault(
+            SimDuration::from_secs(alpha + half + outage),
+            FaultAction::LinkUp(eg),
+        );
+        let ev = sim.step().unwrap();
+        assert!(matches!(ev, SimEvent::TransferDone { token: 1, .. }));
+        let expect = alpha + 2.0 * half + outage;
+        assert!(
+            (ev.at().as_secs() - expect).abs() / expect < 0.01,
+            "got {} want {expect}",
+            ev.at().as_secs()
+        );
+    }
+
+    #[test]
+    fn down_link_quiesces_without_completing() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let eg = c.nic_egress_link(InstanceId(0));
+        sim.submit_transfer(&path, ByteSize::from_mib(100), 1);
+        sim.schedule_fault(SimDuration::from_millis(1.0), FaultAction::LinkDown(eg));
+        // The flow stalls forever: the sim quiesces with the flow live.
+        assert!(sim.step().is_none());
+        assert_eq!(sim.stalled_flows(), 1);
+        assert!(!sim.link_is_up(eg));
+        assert!(!sim.link_is_failed(eg));
+        // Bringing the link back finishes the transfer.
+        sim.set_link_up(eg, true);
+        let ev = sim.step().unwrap();
+        assert!(matches!(ev, SimEvent::TransferDone { token: 1, .. }));
+    }
+
+    #[test]
+    fn fail_link_aborts_in_flight_flow() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let eg = c.nic_egress_link(InstanceId(0));
+        let fail_at = SimDuration::from_millis(2.0);
+        sim.submit_transfer(&path, ByteSize::from_mib(100), 7);
+        sim.schedule_fault(fail_at, FaultAction::LinkFail(eg));
+        let ev = sim.step().unwrap();
+        assert!(matches!(ev, SimEvent::TransferAborted { token: 7, .. }));
+        assert!((ev.at().as_secs() - fail_at.as_secs()).abs() < 1e-9);
+        assert!(sim.link_is_failed(eg));
+        assert!(sim.step().is_none());
+        // Failed links never come back.
+        sim.set_link_up(eg, true);
+        assert!(!sim.link_is_up(eg));
+    }
+
+    #[test]
+    fn submission_over_failed_link_aborts_after_latency() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        sim.fail_link(c.nic_egress_link(InstanceId(0)));
+        sim.submit_transfer(&path, ByteSize::from_mib(10), 3);
+        let ev = sim.step().unwrap();
+        assert!(matches!(ev, SimEvent::TransferAborted { token: 3, .. }));
+        let alpha = c.path_alpha(&path).as_secs();
+        assert!((ev.at().as_secs() - alpha).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fail_link_spares_disjoint_flows() {
+        let c = Cluster::homogeneous_a100(3);
+        let mut sim = NetSim::new(&c);
+        let doomed = c.net_path(InstanceId(0), InstanceId(1));
+        let spared = c.net_path(InstanceId(2), InstanceId(1));
+        sim.submit_transfer(&doomed, ByteSize::from_mib(50), 1);
+        sim.submit_transfer(&spared, ByteSize::from_mib(50), 2);
+        sim.schedule_fault(
+            SimDuration::from_millis(1.0),
+            FaultAction::LinkFail(c.nic_egress_link(InstanceId(0))),
+        );
+        let evs = sim.drain();
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(evs[0], SimEvent::TransferAborted { token: 1, .. }));
+        assert!(matches!(evs[1], SimEvent::TransferDone { token: 2, .. }));
+    }
+
+    #[test]
+    fn scheduled_degradation_matches_manual_factor_change() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let size = ByteSize::from_mib(100);
+        let bw = Bandwidth::from_gbps(100.0).as_bytes_per_sec();
+        let half = size.as_f64() / 2.0 / bw;
+        let eg = c.nic_egress_link(InstanceId(0));
+        sim.schedule_fault(
+            SimDuration::from_secs(half + c.path_alpha(&path).as_secs()),
+            FaultAction::SetCapacityFactor(eg, 0.5),
+        );
+        sim.submit_transfer(&path, size, 1);
+        let done = sim.step().unwrap();
+        let expect = c.path_alpha(&path).as_secs() + half + (size.as_f64() / 2.0) / (bw * 0.5);
+        assert!(
+            (done.at().as_secs() - expect).abs() / expect < 0.01,
+            "got {} want {expect}",
+            done.at().as_secs()
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   sockets, PCIe switches, NICs, NVLink/PCIe/network links.
 //! * [`engine`] — fluid max-min flow transport with per-link equal
 //!   sharing (the paper's eq. 3), per-flow TCP stream caps, α–β link
-//!   costs, timers, and trace-driven capacity modulation.
+//!   costs, timers, trace-driven capacity modulation, and link
+//!   fault states (down, degraded, permanently failed).
+//! * [`faults`] — seeded fault schedules: worker crashes, NIC
+//!   failures, link flaps/degradations and probe losses, armed onto a
+//!   simulator timeline with offset-aware replay for retries.
 //! * [`probe`] — the measurement layer the detector/profiler sees:
 //!   timed transfers with reproducible noise.
 //! * [`trace`] — synthetic public-cloud bandwidth/latency traces
@@ -43,6 +47,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod faults;
 pub mod hardware;
 pub mod probe;
 pub mod rng;
@@ -51,7 +56,8 @@ pub mod trace;
 pub mod units;
 
 pub use cluster::{Cluster, ClusterBuilder, InstanceId, LinkId, NodeId, Path, Rank};
-pub use engine::{NetSim, SimEvent, Token};
+pub use engine::{FaultAction, NetSim, SimEvent, Token};
+pub use faults::{Fault, FaultSchedule};
 pub use hardware::{GpuGeneration, InstanceSpec, NicSpec, NvlinkTopology, Transport};
 pub use time::{SimDuration, SimTime};
 pub use units::{Bandwidth, ByteSize};

@@ -54,6 +54,15 @@ pub struct ProbeRunner<'c> {
     /// Capacity factors applied to the probe simulations, mirroring any
     /// trace modulation active on the real fabric.
     factors: Vec<(crate::cluster::LinkId, f64)>,
+    /// Injected probe losses: the next `count` measurements crossing
+    /// `link` time out and are retried internally.
+    losses: Vec<(crate::cluster::LinkId, u32)>,
+    /// Wall-clock charged per lost probe before the retry.
+    loss_timeout: SimDuration,
+    /// Total retries performed so far.
+    retries: u64,
+    /// Accumulated timeout wall-clock not yet collected by the caller.
+    lost_time: SimDuration,
 }
 
 impl<'c> ProbeRunner<'c> {
@@ -64,6 +73,10 @@ impl<'c> ProbeRunner<'c> {
             rng: seeded_rng(seed),
             noise_sigma: 0.01,
             factors: Vec::new(),
+            losses: Vec::new(),
+            loss_timeout: SimDuration::from_millis(50.0),
+            retries: 0,
+            lost_time: SimDuration::ZERO,
         }
     }
 
@@ -90,6 +103,60 @@ impl<'c> ProbeRunner<'c> {
         self.factors.clear();
     }
 
+    /// Injects transient probe loss: the next `count` measurements
+    /// whose path crosses `link` time out once each and are retried
+    /// internally. Measurements stay clean (the retry's duration is
+    /// returned); the timeout cost accumulates and is collected with
+    /// [`ProbeRunner::take_lost_time`].
+    pub fn inject_probe_loss(&mut self, link: crate::cluster::LinkId, count: u32) {
+        if count == 0 {
+            return;
+        }
+        if let Some(e) = self.losses.iter_mut().find(|(l, _)| *l == link) {
+            e.1 += count;
+        } else {
+            self.losses.push((link, count));
+        }
+    }
+
+    /// Overrides the wall-clock charged per lost probe (default 50 ms).
+    pub fn with_loss_timeout(mut self, timeout: SimDuration) -> Self {
+        self.loss_timeout = timeout;
+        self
+    }
+
+    /// Total probe retries performed by this runner.
+    pub fn probe_retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Returns and clears the accumulated timeout wall-clock from lost
+    /// probes; callers fold it into their elapsed-time accounting.
+    pub fn take_lost_time(&mut self) -> SimDuration {
+        std::mem::replace(&mut self.lost_time, SimDuration::ZERO)
+    }
+
+    /// Consumes pending losses hit by a measurement over `paths`:
+    /// each call models one timed-out attempt. Returns true while the
+    /// measurement keeps getting lost.
+    fn measurement_lost<'p>(&mut self, paths: impl Iterator<Item = &'p Path>) -> bool {
+        let crossed: Vec<crate::cluster::LinkId> =
+            paths.flat_map(|p| p.links.iter().copied()).collect();
+        let mut hit = false;
+        for (l, n) in &mut self.losses {
+            if *n > 0 && crossed.contains(l) {
+                *n -= 1;
+                hit = true;
+            }
+        }
+        if hit {
+            self.losses.retain(|(_, n)| *n > 0);
+            self.retries += 1;
+            self.lost_time += self.loss_timeout;
+        }
+        hit
+    }
+
     /// Runs a single isolated probe and returns its measured duration.
     pub fn run_one(&mut self, probe: &ProbeSpec) -> SimDuration {
         self.run_concurrent(std::slice::from_ref(probe))
@@ -101,6 +168,9 @@ impl<'c> ProbeRunner<'c> {
     /// links) and returns each probe's measured duration, in input
     /// order.
     pub fn run_concurrent(&mut self, probes: &[ProbeSpec]) -> Vec<SimDuration> {
+        // Lost measurements time out and retry until the injected loss
+        // budget for the crossed links is spent.
+        while self.measurement_lost(probes.iter().map(|p| &p.path)) {}
         let mut sim = NetSim::new(self.cluster);
         for (l, f) in &self.factors {
             sim.set_capacity_factor(*l, *f);
@@ -126,6 +196,7 @@ impl<'c> ProbeRunner<'c> {
     /// Panics if `n` is zero.
     pub fn run_repeated(&mut self, path: &Path, size: ByteSize, n: usize) -> SimDuration {
         assert!(n > 0, "need at least one repetition");
+        while self.measurement_lost(std::iter::once(path)) {}
         let mut total = SimDuration::ZERO;
         // Back-to-back: each send starts when the previous finishes; in
         // an otherwise idle fabric the durations are additive, so run n
@@ -199,6 +270,39 @@ mod tests {
         let a = ProbeRunner::new(&c, 7).run_one(&probe);
         let b = ProbeRunner::new(&c, 7).run_one(&probe);
         assert_eq!(a.as_secs().to_bits(), b.as_secs().to_bits());
+    }
+
+    #[test]
+    fn injected_losses_retry_cleanly() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut runner = ProbeRunner::new(&c, 1).with_noise(0.0);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let probe = ProbeSpec::new(path.clone(), ByteSize::from_mib(8));
+        let clean = runner.run_one(&probe);
+        runner.inject_probe_loss(c.nic_egress_link(InstanceId(0)), 2);
+        let retried = runner.run_one(&probe);
+        // The measurement itself is unaffected by the losses...
+        assert_eq!(retried.as_secs().to_bits(), clean.as_secs().to_bits());
+        // ...but the retries and their timeout cost are accounted.
+        assert_eq!(runner.probe_retries(), 2);
+        assert!((runner.take_lost_time().as_secs() - 0.1).abs() < 1e-12);
+        assert_eq!(runner.take_lost_time(), SimDuration::ZERO);
+        // Budget spent: further probes are clean.
+        let after = runner.run_one(&probe);
+        assert_eq!(after.as_secs().to_bits(), clean.as_secs().to_bits());
+        assert_eq!(runner.probe_retries(), 2);
+    }
+
+    #[test]
+    fn losses_on_other_links_do_not_trigger() {
+        let c = Cluster::homogeneous_a100(2);
+        let mut runner = ProbeRunner::new(&c, 1).with_noise(0.0);
+        runner.inject_probe_loss(c.nic_egress_link(InstanceId(1)), 3);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let _ = runner.run_one(&ProbeSpec::new(path, ByteSize::from_mib(1)));
+        // Path uses instance 0 egress + instance 1 *ingress*; the
+        // injected loss on instance 1 *egress* is untouched.
+        assert_eq!(runner.probe_retries(), 0);
     }
 
     #[test]

@@ -52,6 +52,15 @@ impl SimTime {
         SimTime(secs)
     }
 
+    /// Creates an instant from milliseconds since the simulation epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is NaN or negative.
+    pub fn from_millis(ms: f64) -> Self {
+        SimTime::from_secs(ms * 1e-3)
+    }
+
     /// Returns the instant as seconds since the simulation epoch.
     pub fn as_secs(self) -> f64 {
         self.0
@@ -277,7 +286,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_secs(3.0),
             SimTime::from_secs(1.0),
             SimTime::from_secs(2.0),

@@ -333,11 +333,15 @@ pub fn run_accuracy_experiment(
 
             let summed: Vec<f32> = match mode {
                 AggregationMode::FullSync => {
-                    let rep = cc.allreduce(tensor, &ready, Some(grads.clone()));
+                    let rep = cc
+                        .allreduce(tensor, &ready, Some(grads.clone()))
+                        .expect("healthy fabric");
                     rep.outputs.values().next().expect("outputs").clone()
                 }
                 AggregationMode::RelaySync => {
-                    let rep = cc.allreduce_adaptive(tensor, &ready, Some(grads.clone()));
+                    let rep = cc
+                        .allreduce_adaptive(tensor, &ready, Some(grads.clone()))
+                        .expect("healthy fabric");
                     assert!(rep.faults.is_empty(), "straggler must not be faulted");
                     rep.outputs.values().next().expect("outputs").clone()
                 }

@@ -192,7 +192,8 @@ pub fn train(cluster: &Cluster, config: &TrainConfig) -> TrainReport {
                 let rep = match primitive {
                     Primitive::AllToAll => cc.alltoall(tensor, &ready, None),
                     _ => cc.allreduce_adaptive(tensor, &ready, None),
-                };
+                }
+                .expect("healthy fabric");
                 let (partial, relays) = match &rep.decision {
                     Decision::Partial { relays, .. } => {
                         (true, relays.iter().map(|r| r.0).collect())
@@ -205,7 +206,8 @@ pub fn train(cluster: &Cluster, config: &TrainConfig) -> TrainReport {
                 let rep = match primitive {
                     Primitive::AllToAll => cc.alltoall(tensor, &ready, None),
                     _ => cc.allreduce(tensor, &ready, None),
-                };
+                }
+                .expect("healthy fabric");
                 (rep.finish.as_secs(), rep.comm_time.as_secs(), false, Vec::new())
             }
             (_, Some((_, _, exec_secs)), Backend::Baseline(_)) => {

@@ -47,7 +47,7 @@ fn main() {
     println!("  all gradients in sync at {}", round.finish);
     println!("  exposed communication: {}", round.exposed_comm);
 
-    let mono = cc.allreduce(model, &backward, None);
+    let mono = cc.allreduce(model, &backward, None).expect("healthy fabric");
     println!("\nmonolithic allreduce after backward:");
     println!("  finished at {}", mono.finish);
     println!(

@@ -12,7 +12,8 @@ use std::collections::BTreeMap;
 use adapcc::reconstruct::nccl_restart_cost;
 use adapcc::session::InitOptions;
 use adapcc::AdapCC;
-use adapcc_simnet::cluster::{Cluster, Rank};
+use adapcc_simnet::cluster::{Cluster, InstanceId, Rank};
+use adapcc_simnet::faults::{nic_links, Fault, FaultSchedule};
 use adapcc_simnet::time::SimTime;
 use adapcc_simnet::units::ByteSize;
 
@@ -25,7 +26,7 @@ fn main() {
     // A few healthy iterations.
     for i in 0..3 {
         let ready = healthy_ready(&cluster, i);
-        let rep = cc.allreduce_adaptive(tensor, &ready, None);
+        let rep = cc.allreduce_adaptive(tensor, &ready, None).expect("healthy fabric");
         println!("iter {i}: comm {}", rep.comm_time);
     }
 
@@ -33,7 +34,7 @@ fn main() {
     println!("\n--- rank 11 crashes ---");
     let mut ready = healthy_ready(&cluster, 3);
     ready.remove(&Rank(11));
-    let rep = cc.allreduce_adaptive(tensor, &ready, None);
+    let rep = cc.allreduce_adaptive(tensor, &ready, None).expect("healthy fabric");
     println!(
         "iter 3: comm {} — faults detected: {:?}",
         rep.comm_time, rep.faults
@@ -47,10 +48,53 @@ fn main() {
     println!("continuing with {} workers", cc.workers().len());
     for i in 4..6 {
         let ready = survivors_ready(cc.workers(), i);
-        let rep = cc.allreduce_adaptive(tensor, &ready, None);
+        let rep = cc.allreduce_adaptive(tensor, &ready, None).expect("healthy fabric");
         println!("iter {i}: comm {} (no restart needed)", rep.comm_time);
         assert!(rep.faults.is_empty());
     }
+
+    // Act 2: transport-level faults through the fault-injection
+    // subsystem — a 40 ms flap of server 0's NIC ports heals under
+    // retry-with-backoff, then a worker crash forces a permanent
+    // exclusion and an in-place graph reconstruction. One schedule,
+    // one training loop, no restart.
+    println!("\n--- injected faults: 40 ms NIC flap at t=0, rank 2 crashes at t=100 ms ---");
+    let grads = ByteSize::from_mib(16);
+    let mut schedule = FaultSchedule::new();
+    for link in nic_links(&cluster, InstanceId(0)) {
+        schedule.push(Fault::LinkDown {
+            link,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(0.040),
+        });
+    }
+    schedule.push(Fault::WorkerCrash {
+        rank: Rank(2),
+        at: SimTime::from_secs(0.1),
+    });
+    cc.inject_faults(schedule);
+
+    let mut iter = 6;
+    while cc.session_clock() < SimTime::from_secs(0.12) && iter < 40 {
+        match cc.allreduce(grads, &BTreeMap::new(), None) {
+            Ok(rep) => println!(
+                "iter {iter}: comm {} (session clock {})",
+                rep.comm_time,
+                cc.session_clock()
+            ),
+            Err(e) => {
+                println!("iter {iter}: unrecoverable: {e}");
+                break;
+            }
+        }
+        iter += 1;
+    }
+    println!("\nrecovery timeline:");
+    for event in cc.recovery_log() {
+        println!("  {event}");
+    }
+    println!("job continues with {} workers", cc.workers().len());
+    cc.clear_faults();
 
     // What the static-library path would have cost instead.
     let restart = nccl_restart_cost(tensor, cluster.gpu_count());

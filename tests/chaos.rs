@@ -1,0 +1,56 @@
+//! Chaos sweep (tentpole acceptance): ≥200 seeded random fault
+//! schedules against the full recovery path. Every run must either
+//! complete numerically correct over the surviving workers or return a
+//! classified [`adapcc::AdapCCError`] — never hang, never panic.
+//!
+//! The per-seed machinery lives in [`adapcc_bench::chaos`] and is also
+//! runnable interactively:
+//!
+//! ```text
+//! cargo run --release -p adapcc-bench --bin adapcc_sim -- chaos --seeds 500 --verbose
+//! ```
+
+use adapcc_bench::chaos::{run_sweep, ChaosConfig, SeedOutcome};
+
+#[test]
+fn two_hundred_random_fault_schedules_never_break_the_session() {
+    let cfg = ChaosConfig::default();
+    let summary = run_sweep(&cfg, 0, 200, |_| {});
+    assert_eq!(summary.total, 200);
+    // The one rejected outcome: a run that "succeeded" with wrong
+    // numbers on a surviving rank.
+    assert!(
+        summary.mismatches.is_empty(),
+        "numeric mismatches: {:?}",
+        summary.mismatches
+    );
+    // The sweep must actually exercise recovery, not dodge every fault:
+    // with 1-3 faults per seed in a 2 ms horizon, a healthy fraction of
+    // runs sees crashes / NIC failures and must exclude-and-continue.
+    assert!(
+        summary.recovered >= 40,
+        "only {} of {} runs recovered — the schedules are not biting",
+        summary.recovered,
+        summary.total
+    );
+    // And fault-free completion must still be the common case for the
+    // survivors' side of the fleet.
+    assert!(summary.clean >= 20, "only {} clean runs", summary.clean);
+}
+
+#[test]
+fn a_crash_dense_window_still_classifies_every_outcome() {
+    // Tighter horizon: every fault lands almost immediately, so nearly
+    // every seed hits the recovery machinery head-on.
+    let cfg = ChaosConfig {
+        horizon: adapcc_simnet::time::SimDuration::from_millis(0.5),
+        ..Default::default()
+    };
+    let summary = run_sweep(&cfg, 1000, 30, |r| {
+        if let SeedOutcome::NumericMismatch { .. } = r.outcome {
+            panic!("seed {} mismatched: {:?}", r.seed, r.outcome);
+        }
+    });
+    assert_eq!(summary.total, 30);
+    assert!(summary.mismatches.is_empty());
+}

@@ -43,7 +43,7 @@ fn full_pipeline_on_the_paper_testbed() {
         .iter()
         .map(|r| (*r, vec![r.0 as f32 + 0.5; elems]))
         .collect();
-    let report = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs));
+    let report = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs)).expect("healthy fabric");
     let expect: f32 = (0..24).map(|r| r as f32 + 0.5).sum();
     for (rank, out) in &report.outputs {
         assert!(
@@ -129,9 +129,11 @@ fn adaptive_two_phase_equals_full_collective_numerically() {
         .unwrap();
     ready.insert(straggler, SimTime::from_secs(0.05));
 
-    let adaptive = cc.allreduce_adaptive(tensor, &ready, Some(inputs.clone()));
+    let adaptive = cc
+        .allreduce_adaptive(tensor, &ready, Some(inputs.clone()))
+        .expect("healthy fabric");
     assert!(matches!(adaptive.decision, Decision::Partial { .. }));
-    let full = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs));
+    let full = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs)).expect("healthy fabric");
     for rank in cc.workers() {
         let a = &adaptive.outputs[rank];
         let f = &full.outputs[rank];
@@ -216,7 +218,7 @@ fn eight_gpu_servers_work_end_to_end() {
         .iter()
         .map(|r| (*r, vec![(r.0 + 1) as f32; elems]))
         .collect();
-    let report = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs));
+    let report = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs)).expect("healthy fabric");
     let expect: f32 = (1..=16).map(|v| v as f32).sum();
     assert_eq!(report.outputs[&Rank(3)][0], expect);
 }

@@ -5,8 +5,9 @@
 use std::collections::BTreeMap;
 
 use adapcc::session::{AdapCC, InitOptions};
-use adapcc::{nccl_restart_cost, Decision};
+use adapcc::{nccl_restart_cost, Decision, RecoveryEvent};
 use adapcc_simnet::cluster::{Cluster, InstanceId, Rank};
+use adapcc_simnet::faults::{Fault, FaultSchedule};
 use adapcc_simnet::time::SimTime;
 use adapcc_simnet::trace::CloudTrace;
 use adapcc_simnet::units::ByteSize;
@@ -33,7 +34,7 @@ fn training_survives_a_dead_worker_without_restart() {
         .collect();
     // Rank 5 crashes: no ready report, ever.
     ready.remove(&Rank(5));
-    let rep = cc.allreduce_adaptive(tensor, &ready, None);
+    let rep = cc.allreduce_adaptive(tensor, &ready, None).expect("healthy fabric");
     assert!(matches!(rep.decision, Decision::Partial { .. }));
     assert_eq!(rep.faults, vec![Rank(5)]);
     // Exclusion re-synthesizes over the 11 survivors; later iterations
@@ -44,7 +45,7 @@ fn training_survives_a_dead_worker_without_restart() {
     for r in cc.workers() {
         ready2.insert(*r, SimTime::from_secs(0.01));
     }
-    let rep2 = cc.allreduce_adaptive(tensor, &ready2, None);
+    let rep2 = cc.allreduce_adaptive(tensor, &ready2, None).expect("healthy fabric");
     assert!(rep2.faults.is_empty());
     assert!(rep2.finish.as_secs() > 0.0);
     // Recovery this way costs a re-synthesis, not the paper-reported
@@ -76,7 +77,7 @@ fn reconstruction_tracks_a_bandwidth_trace() {
         if recon.changed {
             reconstructions += 1;
         }
-        let rep = cc.allreduce(tensor, &BTreeMap::new(), None);
+        let rep = cc.allreduce(tensor, &BTreeMap::new(), None).expect("healthy fabric");
         if f < 0.7 {
             comm_under_dip.get_or_insert(rep.comm_time.as_secs());
         } else if f > 0.95 {
@@ -115,6 +116,49 @@ fn reconstruction_is_cheaper_than_restart_at_every_scale() {
 }
 
 #[test]
+fn fig19c_recovery_reconstruction_stays_in_the_paper_band() {
+    // Fig. 19(c): across 8–48 GPUs, recovering from a permanent fault
+    // by in-place reconstruction costs 74–91% less than the NCCL-style
+    // checkpoint + relaunch + process-group rebuild + restore. Here the
+    // reconstruction is the one the *recovery path itself* performs
+    // after confirming a crashed worker dead — not a hand-invoked
+    // reprofile.
+    for servers in [2usize, 4, 6, 8, 12] {
+        let cluster = Cluster::homogeneous_a100(servers);
+        let gpus = cluster.gpu_count();
+        let mut cc = AdapCC::init(&cluster, quick_options());
+        cc.setup();
+        cc.inject_faults(FaultSchedule::new().with(Fault::WorkerCrash {
+            rank: Rank(1),
+            at: SimTime::ZERO,
+        }));
+        let rep = cc
+            .allreduce(ByteSize::from_mib(16), &BTreeMap::new(), None)
+            .expect("a single crash must be recoverable");
+        assert_eq!(rep.faults, vec![Rank(1)], "{gpus} GPUs: exactly the crashed rank");
+        assert_eq!(cc.workers().len(), gpus - 1);
+        let recon = cc
+            .recovery_log()
+            .iter()
+            .find_map(|e| match e {
+                RecoveryEvent::Excluded { reconstruction, .. } => Some(*reconstruction),
+                _ => None,
+            })
+            .expect("recovery must have reconstructed the graph");
+        assert!(recon.changed, "exclusion always re-synthesizes");
+        let restart = nccl_restart_cost(ByteSize::from_mib(528), gpus);
+        let saved = 1.0 - recon.total().as_secs() / restart.total().as_secs();
+        assert!(
+            (0.74..=0.91).contains(&saved),
+            "{gpus} GPUs: saved {:.1}% outside the paper's 74-91% band ({} vs {})",
+            saved * 100.0,
+            recon.total(),
+            restart.total()
+        );
+    }
+}
+
+#[test]
 fn set_workers_scopes_collectives_to_the_subset() {
     let cluster = Cluster::homogeneous_a100(2);
     let mut cc = AdapCC::init(&cluster, quick_options());
@@ -127,7 +171,7 @@ fn set_workers_scopes_collectives_to_the_subset() {
         .iter()
         .map(|r| (*r, vec![1.0f32; elems]))
         .collect();
-    let rep = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs));
+    let rep = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs)).expect("healthy fabric");
     assert_eq!(rep.outputs.len(), 4);
     for out in rep.outputs.values() {
         assert_eq!(out[0], 4.0, "sum over exactly the subset");

@@ -245,3 +245,64 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fault recovery never changes arithmetic: for any single injected
+    /// fault, a recovered AllReduce's outputs over the surviving
+    /// workers are bitwise identical to a clean executor run of the
+    /// same post-recovery strategy on the same inputs.
+    #[test]
+    fn recovered_allreduce_is_bitwise_exact_over_survivors(seed in 0u64..300) {
+        use adapcc::session::{AdapCC, InitOptions};
+        use adapcc_simnet::faults::FaultSchedule;
+
+        let cluster = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(&cluster, InitOptions {
+            synth: SynthConfig { anneal_iters: 24, ..Default::default() },
+            seed,
+            ..Default::default()
+        });
+        cc.setup();
+        // A short horizon puts the fault inside (or just after) the
+        // collective, so crashes and NIC failures bite mid-transfer.
+        let horizon = SimDuration::from_millis(0.5);
+        cc.inject_faults(FaultSchedule::single_random(&cluster, seed, horizon));
+        let tensor = ByteSize::from_kib(256);
+        let elems = (tensor.as_u64() / 4) as usize;
+        let inputs: BTreeMap<Rank, Vec<f32>> = cc
+            .workers()
+            .iter()
+            .map(|r| (*r, (0..elems).map(|i| ((r.0 * 13 + i) % 11) as f32 * 0.25).collect()))
+            .collect();
+        let Ok(rep) = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs.clone())) else {
+            // Classified terminal errors (e.g. too few survivors) are a
+            // legitimate outcome — nothing to compare.
+            return Ok(());
+        };
+        let survivors = cc.workers().to_vec();
+        prop_assert_eq!(rep.outputs.len(), survivors.len());
+        // Clean reference: the post-recovery strategy executed on a
+        // fault-free fabric with the survivors' inputs.
+        let strategy = cc.strategy_for(Primitive::AllReduce, tensor).clone();
+        let survivor_inputs: BTreeMap<Rank, Vec<f32>> = survivors
+            .iter()
+            .map(|r| (*r, inputs[r].clone()))
+            .collect();
+        let clean = Executor::new(&cluster, cc.topology()).execute(&[
+            ExecutionRequest::timing(&strategy, tensor).with_inputs(survivor_inputs)
+        ]);
+        for r in &survivors {
+            let recovered = &rep.outputs[r];
+            let reference = &clean.requests[0].outputs[r];
+            for i in 0..elems {
+                prop_assert!(
+                    recovered[i].to_bits() == reference[i].to_bits(),
+                    "seed {}: rank {:?} elem {} differs: {} vs {}",
+                    seed, r, i, recovered[i], reference[i]
+                );
+            }
+        }
+    }
+}

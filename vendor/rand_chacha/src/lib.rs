@@ -1,0 +1,88 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Exposes a [`ChaCha8Rng`] with the same construction surface the
+//! workspace uses (`SeedableRng::seed_from_u64`). The generator behind
+//! the name is xoshiro256++ seeded through splitmix64 — deterministic,
+//! well mixed, and dependency-free; it is *not* bit-compatible with the
+//! real ChaCha stream (nothing in this workspace depends on that).
+#![allow(clippy::all, clippy::pedantic)]
+
+/// Re-export surface mirroring `rand_chacha::rand_core`.
+pub mod rand_core {
+    /// Seedable construction for deterministic generators.
+    pub trait SeedableRng: Sized {
+        /// Builds a generator from a 64-bit seed.
+        fn seed_from_u64(seed: u64) -> Self;
+    }
+}
+
+/// Deterministic seedable PRNG (stand-in for the ChaCha8 generator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl rand_core::SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        ChaCha8Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl rand::RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ step.
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_core::SeedableRng;
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only ever *derives* `Serialize` / `Deserialize` — it
+//! never serializes anything (there is no serde_json or bincode in the
+//! tree). The derives here are no-ops from `serde_derive`, so the
+//! attribute positions keep compiling without pulling in the real
+//! machinery.
+#![allow(clippy::all, clippy::pedantic)]
+
+pub use serde_derive::{Deserialize, Serialize};
