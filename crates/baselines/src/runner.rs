@@ -71,6 +71,7 @@ pub struct Runner<'a> {
     /// Synthesizer seed.
     pub seed: u64,
     factors: Vec<(adapcc_simnet::cluster::LinkId, f64)>,
+    telemetry: adapcc_telemetry::Telemetry,
 }
 
 impl<'a> Runner<'a> {
@@ -83,7 +84,18 @@ impl<'a> Runner<'a> {
             parallelism: 4,
             seed: 0,
             factors: Vec::new(),
+            telemetry: adapcc_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink. Runs then emit a `synthesize` phase
+    /// span (modeled solver cost for AdapCC, zero-width for baselines
+    /// whose strategies are closed-form) followed by the executor's
+    /// `execute` span and per-link flow records, all on this sink's
+    /// timeline.
+    pub fn with_telemetry(mut self, telemetry: adapcc_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Applies live capacity factors (trace-driven variability) to the
@@ -123,6 +135,7 @@ impl<'a> Runner<'a> {
                 req.seed = self.seed;
                 Synthesizer::new(self.topo, self.profile)
                     .with_config(SynthConfig { anneal_iters: 120, ..Default::default() })
+                    .with_telemetry(self.telemetry.clone())
                     .synthesize(&req)
             }
             System::Nccl => nccl_strategy_sized(self.topo, primitive, participants, tensor),
@@ -141,7 +154,25 @@ impl<'a> Runner<'a> {
         participants: &[Rank],
         ready: &BTreeMap<Rank, SimTime>,
     ) -> RunReport {
-        let exec = Executor::new(self.cluster, self.topo).with_capacity_factors(&self.factors);
+        // Strategy construction happens on the control plane; the
+        // solver's modeled wall time opens the timeline, and execution
+        // is stitched right after it.
+        let synth_secs = if self.telemetry.is_enabled() {
+            let secs = match system {
+                System::AdapCc => {
+                    adapcc::reconstruct::modeled_solve_cost(participants.len()).as_secs()
+                }
+                // Baseline strategies are closed-form: zero-width span.
+                _ => 0.0,
+            };
+            self.telemetry.span("synthesize", "phase", 0.0, secs);
+            secs
+        } else {
+            0.0
+        };
+        let exec = Executor::new(self.cluster, self.topo)
+            .with_capacity_factors(&self.factors)
+            .with_telemetry(self.telemetry.at_offset(synth_secs));
         let first = participants
             .iter()
             .map(|r| ready.get(r).copied().unwrap_or(SimTime::ZERO))
@@ -172,7 +203,9 @@ impl<'a> Runner<'a> {
         ready: &BTreeMap<Rank, SimTime>,
     ) -> SimTime {
         let plan = blink_plan(self.topo, primitive, participants);
-        let exec = Executor::new(self.cluster, self.topo).with_capacity_factors(&self.factors);
+        let exec = Executor::new(self.cluster, self.topo)
+            .with_capacity_factors(&self.factors)
+            .with_telemetry(self.telemetry.clone());
         let run_batch = |strategies: &[Strategy], ready: &BTreeMap<Rank, SimTime>| -> SimTime {
             if strategies.is_empty() {
                 return ready.values().copied().max().unwrap_or(SimTime::ZERO);

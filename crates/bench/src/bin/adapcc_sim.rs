@@ -8,11 +8,13 @@
 
 use adapcc_baselines::runner::{Runner, System};
 use adapcc_bench::chaos::{self, ChaosConfig};
-use adapcc_bench::cli::{build_cluster, parse_args, parse_chaos_args};
+use adapcc_bench::cli::{build_cluster, parse_args, parse_chaos_args, ServerKind, SimArgs};
+use adapcc_bench::harness::profiled_with_telemetry;
+use adapcc_bench::record::BenchRecord;
+use adapcc_simnet::cluster::Rank;
 use adapcc_simnet::time::SimDuration;
 use adapcc_simnet::units::ByteSize;
-use adapcc_bench::harness::profiled;
-use adapcc_simnet::cluster::Rank;
+use adapcc_telemetry::Telemetry;
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -35,8 +37,12 @@ fn main() {
         cluster.gpu_count(),
         if args.tcp { "TCP" } else { "RDMA" }
     );
-    let (topo, profile) = profiled(&cluster, 1);
-    let runner = Runner::new(&cluster, &topo, &profile).with_parallelism(args.parallelism);
+    let wants_telemetry = args.trace_out.is_some() || args.metrics_out.is_some();
+    let telemetry = if wants_telemetry { Telemetry::enabled() } else { Telemetry::disabled() };
+    let (topo, profile, control_secs) = profiled_with_telemetry(&cluster, 1, telemetry.clone());
+    let runner = Runner::new(&cluster, &topo, &profile)
+        .with_parallelism(args.parallelism)
+        .with_telemetry(telemetry.at_offset(control_secs));
     let ranks: Vec<Rank> = (0..cluster.gpu_count()).map(Rank).collect();
     if args.describe && args.system != System::Blink {
         let strategy = runner.strategy(args.system, args.primitive, args.tensor, &ranks);
@@ -51,6 +57,52 @@ fn main() {
         report.comm_time,
         report.algo_bw_gbytes
     );
+    if let Some(path) = &args.trace_out {
+        write_or_die(path, &telemetry.chrome_trace(), "trace");
+        println!("trace written to {path} (load in chrome://tracing)");
+    }
+    if let Some(path) = &args.metrics_out {
+        write_or_die(path, &telemetry.metrics_summary(), "metrics");
+        println!("metrics written to {path}");
+    }
+    if let Some(path) = &args.bench_append {
+        let rec = BenchRecord {
+            system: args.system.name().to_string(),
+            primitive: args.primitive.to_string(),
+            servers: servers_spec(&args),
+            tensor_mib: args.tensor.as_u64() / (1024 * 1024),
+            parallelism: args.parallelism,
+            comm_time_ms: report.comm_time.as_millis(),
+            algo_bw_gbytes: report.algo_bw_gbytes,
+        };
+        if let Err(e) = rec.append_to(std::path::Path::new(path)) {
+            eprintln!("cannot append bench record to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("bench record appended to {path}");
+    }
+}
+
+fn write_or_die(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {what} to {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn servers_spec(args: &SimArgs) -> String {
+    args.servers
+        .iter()
+        .map(|(kind, count)| {
+            let name = match kind {
+                ServerKind::A100 => "a100",
+                ServerKind::V100 => "v100",
+                ServerKind::H100 => "h100",
+            };
+            format!("{name}:{count}")
+        })
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 fn run_chaos(argv: Vec<String>) {

@@ -24,6 +24,12 @@ pub struct SimArgs {
     pub parallelism: usize,
     /// Print the synthesized strategy.
     pub describe: bool,
+    /// Write a Chrome-trace JSON timeline of the run here.
+    pub trace_out: Option<String>,
+    /// Write a flat metrics summary (JSON) here.
+    pub metrics_out: Option<String>,
+    /// Append a one-line machine-readable benchmark record here.
+    pub bench_append: Option<String>,
 }
 
 /// Server model selector.
@@ -33,6 +39,8 @@ pub enum ServerKind {
     A100,
     /// 4x V100, PCIe 3.0, 50 Gbps NIC.
     V100,
+    /// 8x H100, PCIe 5.0, 400 Gbps NIC.
+    H100,
 }
 
 impl Default for SimArgs {
@@ -45,6 +53,9 @@ impl Default for SimArgs {
             system: System::AdapCc,
             parallelism: 4,
             describe: false,
+            trace_out: None,
+            metrics_out: None,
+            bench_append: None,
         }
     }
 }
@@ -54,13 +65,16 @@ pub fn usage() -> &'static str {
     "adapcc-sim: run one collective on a simulated cluster\n\
      \n\
      options:\n\
-       --servers a100:4,v100:2   server fleet (default a100:2)\n\
+       --servers a100:4,v100:2   server fleet of a100|v100|h100 (default a100:2)\n\
        --tcp                     kernel TCP instead of RDMA\n\
        --primitive P             reduce|broadcast|allreduce|alltoall (default allreduce)\n\
        --size-mib N              per-rank tensor MiB (default 256)\n\
        --system S                adapcc|nccl|msccl|blink (default adapcc)\n\
        --parallelism M           AdapCC sub-collectives (default 4)\n\
        --describe                print the synthesized strategy\n\
+       --trace-out FILE          write a Chrome-trace JSON timeline (chrome://tracing)\n\
+       --metrics-out FILE        write a flat metrics summary (JSON)\n\
+       --bench-append FILE       append a one-line machine-readable run record\n\
        --help                    this message\n\
      \n\
      subcommands:\n\
@@ -179,6 +193,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<SimArgs, St
             "--tcp" => out.tcp = true,
             "--describe" => out.describe = true,
             "--servers" => out.servers = parse_servers(&value("--servers")?)?,
+            "--trace-out" => out.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => out.metrics_out = Some(value("--metrics-out")?),
+            "--bench-append" => out.bench_append = Some(value("--bench-append")?),
             "--primitive" => {
                 out.primitive = match value("--primitive")?.as_str() {
                     "reduce" => Primitive::Reduce,
@@ -230,6 +247,7 @@ fn parse_servers(spec: &str) -> Result<Vec<(ServerKind, usize)>, String> {
         let kind = match kind {
             "a100" => ServerKind::A100,
             "v100" => ServerKind::V100,
+            "h100" => ServerKind::H100,
             other => return Err(format!("unknown server kind {other}")),
         };
         let count: usize = count
@@ -253,6 +271,7 @@ pub fn build_cluster(args: &SimArgs) -> Cluster {
         let spec = match kind {
             ServerKind::A100 => InstanceSpec::a100_server(),
             ServerKind::V100 => InstanceSpec::v100_server(),
+            ServerKind::H100 => InstanceSpec::h100_server(),
         };
         let spec = if args.tcp { spec.with_tcp() } else { spec };
         b.add_instances(spec, *count);
@@ -307,7 +326,30 @@ mod tests {
     fn help_carries_usage() {
         let err = parse(&["--help"]).unwrap_err();
         assert!(err.contains("--servers"));
+        assert!(err.contains("--trace-out"));
         assert!(err.contains("chaos"));
+    }
+
+    #[test]
+    fn telemetry_output_flags() {
+        let a = parse(&[
+            "--trace-out", "trace.json", "--metrics-out", "metrics.json",
+            "--bench-append", "bench.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(a.trace_out.as_deref(), Some("trace.json"));
+        assert_eq!(a.metrics_out.as_deref(), Some("metrics.json"));
+        assert_eq!(a.bench_append.as_deref(), Some("bench.jsonl"));
+        assert!(parse(&["--trace-out"]).is_err(), "missing value");
+        assert!(parse(&["--metrics-out"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn h100_server_kind_builds() {
+        let a = parse(&["--servers", "h100:2,a100:1"]).unwrap();
+        assert_eq!(a.servers, vec![(ServerKind::H100, 2), (ServerKind::A100, 1)]);
+        let cluster = build_cluster(&a);
+        assert_eq!(cluster.instance_count(), 3);
     }
 
     fn parse_chaos(words: &[&str]) -> Result<ChaosArgs, String> {

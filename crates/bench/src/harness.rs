@@ -78,9 +78,27 @@ pub fn benchmark_cases() -> Vec<GpuCase> {
 /// Detects and profiles a cluster (the control-path preamble every
 /// experiment shares).
 pub fn profiled(cluster: &Cluster, seed: u64) -> (LogicalTopology, LinkProfile) {
-    let topo = Detector::new(cluster, seed).run().logical_topology(cluster);
-    let profile = Profiler::new(cluster, &topo, seed).run().links;
+    let (topo, profile, _) =
+        profiled_with_telemetry(cluster, seed, adapcc_telemetry::Telemetry::disabled());
     (topo, profile)
+}
+
+/// [`profiled`] with a telemetry sink: the detector records a `detect`
+/// phase span, the profiler (offset past detection) its `profile.*`
+/// spans. Returns the control-plane elapsed seconds — the offset at
+/// which the data plane (synthesize, execute) should be stitched.
+pub fn profiled_with_telemetry(
+    cluster: &Cluster,
+    seed: u64,
+    telemetry: adapcc_telemetry::Telemetry,
+) -> (LogicalTopology, LinkProfile, f64) {
+    let detection = Detector::new(cluster, seed).with_telemetry(telemetry.clone()).run();
+    let topo = detection.logical_topology(cluster);
+    let prof = Profiler::new(cluster, &topo, seed)
+        .with_telemetry(telemetry.at_offset(detection.elapsed.as_secs()))
+        .run();
+    let control_secs = (detection.elapsed + prof.elapsed).as_secs();
+    (topo, prof.links, control_secs)
 }
 
 /// Renders one table row with fixed-width numeric columns.

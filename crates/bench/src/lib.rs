@@ -19,6 +19,7 @@ pub mod chaos;
 pub mod cli;
 pub mod figs;
 pub mod harness;
+pub mod record;
 
 use adapcc_train::workload::DnnModel;
 

@@ -1,0 +1,127 @@
+//! Machine-readable benchmark records: one JSON object per line,
+//! appended to a shared file so successive `adapcc-sim --bench-append`
+//! runs accumulate a comparable result trajectory (the seed of the
+//! `BENCH_*.json` history).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One benchmark run, flattened for line-oriented appending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// System under test (`AdapCC`, `NCCL`, ...).
+    pub system: String,
+    /// Collective primitive name.
+    pub primitive: String,
+    /// Server fleet spec, e.g. `a100:2`.
+    pub servers: String,
+    /// Per-rank tensor size in MiB.
+    pub tensor_mib: u64,
+    /// AdapCC parallelism (`M`).
+    pub parallelism: usize,
+    /// Completion time in simulated milliseconds.
+    pub comm_time_ms: f64,
+    /// The paper's algorithm bandwidth in GB/s.
+    pub algo_bw_gbytes: f64,
+}
+
+impl BenchRecord {
+    /// Renders the record as a single-line JSON object (no trailing
+    /// newline). Field order is fixed, so identical runs serialize
+    /// byte-identically.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"system\":\"{}\",\"primitive\":\"{}\",\"servers\":\"{}\",\
+             \"tensor_mib\":{},\"parallelism\":{},\"comm_time_ms\":{:.6},\
+             \"algo_bw_gbytes\":{:.6}}}",
+            escape(&self.system),
+            escape(&self.primitive),
+            escape(&self.servers),
+            self.tensor_mib,
+            self.parallelism,
+            self.comm_time_ms,
+            self.algo_bw_gbytes,
+        );
+        s
+    }
+
+    /// Appends the record (plus newline) to `path`, creating the file
+    /// if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from opening or writing the file.
+    pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        writeln!(f, "{}", self.to_json())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchRecord {
+        BenchRecord {
+            system: "AdapCC".into(),
+            primitive: "allreduce".into(),
+            servers: "a100:2".into(),
+            tensor_mib: 256,
+            parallelism: 4,
+            comm_time_ms: 12.5,
+            algo_bw_gbytes: 21.474836,
+        }
+    }
+
+    #[test]
+    fn json_is_one_line_with_fixed_fields() {
+        let j = sample().to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with("{\"system\":\"AdapCC\""));
+        assert!(j.contains("\"tensor_mib\":256"));
+        assert!(j.contains("\"comm_time_ms\":12.500000"));
+        assert!(j.ends_with('}'));
+    }
+
+    #[test]
+    fn identical_records_serialize_identically() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn escapes_quotes_in_labels() {
+        let mut r = sample();
+        r.servers = "a\"b\\c".into();
+        assert!(r.to_json().contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn append_accumulates_lines() {
+        let dir = std::env::temp_dir().join("adapcc_record_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.jsonl");
+        let _ = std::fs::remove_file(&path);
+        sample().append_to(&path).unwrap();
+        sample().append_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert_eq!(line, sample().to_json());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

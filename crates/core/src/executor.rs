@@ -174,6 +174,7 @@ pub struct Executor<'a> {
     topo: &'a LogicalTopology,
     factors: Vec<(adapcc_simnet::cluster::LinkId, f64)>,
     tracing: bool,
+    telemetry: adapcc_telemetry::Telemetry,
     /// Fault schedule armed on every run's fabric, with the session
     /// clock offset at which the run starts. Attaching a schedule also
     /// enables per-hop deadline timers and the completion audit.
@@ -300,6 +301,12 @@ struct RunState<'c> {
     /// Hop-task ids with a transfer still on the wire (fault detection
     /// only): a deadline firing while its hop is here means a stall.
     open: HashSet<usize>,
+    /// Chunk enqueue instants by (sub, seg, hop, chunk), recorded when
+    /// a chunk queues behind a busy hop (telemetry only).
+    telem_enqueued: HashMap<(usize, usize, usize, usize), SimTime>,
+    /// In-flight transfer (enqueue, start, bytes) by task id
+    /// (telemetry only).
+    telem_open: HashMap<usize, (SimTime, SimTime, u64)>,
 }
 
 impl<'a> Executor<'a> {
@@ -310,6 +317,7 @@ impl<'a> Executor<'a> {
             topo,
             factors: Vec::new(),
             tracing: false,
+            telemetry: adapcc_telemetry::Telemetry::disabled(),
             faults: None,
             deadline_multiplier: DEFAULT_DEADLINE_MULTIPLIER,
         }
@@ -319,6 +327,16 @@ impl<'a> Executor<'a> {
     /// proportional to the number of transfers; off by default).
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Attaches a telemetry sink: every run emits an `execute` span,
+    /// a per-link [`adapcc_telemetry::FlowRecord`] for every chunk
+    /// transfer (bytes, enqueue/start/finish, request/sub/chunk), and
+    /// `exec.*` counters. The handle's offset places the run on the
+    /// session timeline.
+    pub fn with_telemetry(mut self, telemetry: adapcc_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -696,6 +714,8 @@ impl<'a> Executor<'a> {
             hop_started: HashMap::new(),
             trace: Vec::new(),
             open: HashSet::new(),
+            telem_enqueued: HashMap::new(),
+            telem_open: HashMap::new(),
         };
         for sub in subs {
             st.hops.push(
@@ -795,6 +815,21 @@ impl<'a> Executor<'a> {
                             });
                         }
                     }
+                    if let Some((enq, start, bytes)) =
+                        st.telem_open.remove(&(ev.token() as usize))
+                    {
+                        let e = self.topo.edge(subs[si].segments[seg].edges[hop]);
+                        self.telemetry.flow(adapcc_telemetry::FlowRecord {
+                            link: format!("{}->{}", e.from, e.to),
+                            bytes,
+                            enqueued_secs: enq.as_secs(),
+                            start_secs: start.as_secs(),
+                            end_secs: st.sim.now().as_secs(),
+                            request: subs[si].request,
+                            sub: si,
+                            chunk,
+                        });
+                    }
                     st.hops[si][seg][hop].busy = false;
                     if let Some(c) = st.hops[si][seg][hop].queue.pop_front() {
                         self.start_hop(subs, &mut st, si, seg, hop, c);
@@ -845,6 +880,12 @@ impl<'a> Executor<'a> {
                     }
                 }
             }
+        }
+
+        if self.telemetry.is_enabled() {
+            self.telemetry.span("execute", "phase", 0.0, st.finish.as_secs());
+            self.telemetry.add_counter("exec.bytes_on_wire", st.bytes_on_wire as f64);
+            self.telemetry.add_counter("exec.requests", requests.len() as f64);
         }
 
         Ok(self.assemble(requests, subs, st))
@@ -999,6 +1040,9 @@ impl<'a> Executor<'a> {
         chunk: usize,
     ) {
         if st.hops[si][seg][hop].busy {
+            if self.telemetry.is_enabled() {
+                st.telem_enqueued.insert((si, seg, hop, chunk), st.sim.now());
+            }
             st.hops[si][seg][hop].queue.push_back(chunk);
         } else {
             self.start_hop(subs, st, si, seg, hop, chunk);
@@ -1030,6 +1074,14 @@ impl<'a> Executor<'a> {
         let token = st.tasks.len() as u64 - 1;
         if self.tracing {
             st.hop_started.insert(token as usize, st.sim.now());
+        }
+        if self.telemetry.is_enabled() {
+            let start = st.sim.now();
+            let enqueued = st
+                .telem_enqueued
+                .remove(&(si, seg, hop, chunk))
+                .unwrap_or(start);
+            st.telem_open.insert(token as usize, (enqueued, start, bytes.as_u64()));
         }
         st.sim.submit_transfer(&path, bytes, token);
         st.hops[si][seg][hop].busy = true;

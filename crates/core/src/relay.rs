@@ -141,6 +141,7 @@ pub struct Coordinator {
     rpc: RpcModel,
     rng: ChaCha8Rng,
     stats: RelayStats,
+    telemetry: adapcc_telemetry::Telemetry,
     /// Executor-level faults reported by the session's recovery loop
     /// (suspects already narrowed to confirmed-dead ranks); merged into
     /// the next readiness-based fault detection so both detectors share
@@ -156,6 +157,7 @@ impl Coordinator {
             rpc: RpcModel::default(),
             rng: seeded_rng(seed ^ 0xC00D),
             stats: RelayStats::default(),
+            telemetry: adapcc_telemetry::Telemetry::disabled(),
             pending_exec_faults: Vec::new(),
         }
     }
@@ -163,6 +165,15 @@ impl Coordinator {
     /// Overrides the configuration.
     pub fn with_config(mut self, config: RelayConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Attaches a telemetry sink; each [`Coordinator::decide`] call then
+    /// accounts its accumulated waiting time (`relay.wait_secs`) and,
+    /// on a buy, the estimated transmit cost (`relay.transmit_secs`) —
+    /// the two sides of the ski-rental break-even rule.
+    pub fn with_telemetry(mut self, telemetry: adapcc_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -199,6 +210,10 @@ impl Coordinator {
         if !self.config.enabled {
             // Always-wait baseline policy. Workers that never report
             // would hang a real library; the caller models that case.
+            self.telemetry.add_counter("relay.decisions", 1.0);
+            self.telemetry.add_counter("relay.wait_all", 1.0);
+            self.telemetry
+                .add_counter("relay.wait_secs", last_known.duration_since(first).as_secs());
             return Decision::WaitAll { start: last_known + rpc };
         }
 
@@ -212,6 +227,10 @@ impl Coordinator {
                 .filter(|r| ready.get(r).is_some_and(|t| *t <= now))
                 .collect();
             if all_ready_known && ready_now.len() == all_workers.len() {
+                self.telemetry.add_counter("relay.decisions", 1.0);
+                self.telemetry.add_counter("relay.wait_all", 1.0);
+                self.telemetry
+                    .add_counter("relay.wait_secs", last_known.duration_since(first).as_secs());
                 return Decision::WaitAll { start: last_known + rpc };
             }
             let waiting = now.duration_since(first);
@@ -233,6 +252,10 @@ impl Coordinator {
                     for r in &relays {
                         *self.stats.relay_counts.entry(r.0).or_insert(0) += 1;
                     }
+                    self.telemetry.add_counter("relay.decisions", 1.0);
+                    self.telemetry.add_counter("relay.buys", 1.0);
+                    self.telemetry.add_counter("relay.wait_secs", waiting.as_secs());
+                    self.telemetry.add_counter("relay.transmit_secs", buy.as_secs());
                     return Decision::Partial { start: now + rpc, ready: ready_now, relays };
                 }
             }
@@ -246,6 +269,9 @@ impl Coordinator {
                     .copied()
                     .filter(|r| !ready_now.contains(r))
                     .collect();
+                self.telemetry.add_counter("relay.decisions", 1.0);
+                self.telemetry.add_counter("relay.buys", 1.0);
+                self.telemetry.add_counter("relay.wait_secs", waiting.as_secs());
                 return Decision::Partial { start: now + rpc, ready: ready_now, relays };
             }
         }

@@ -53,6 +53,11 @@ pub struct InitOptions {
     pub resynth_threshold: f64,
     /// Synthesizer effort.
     pub synth: SynthConfig,
+    /// Telemetry sink threaded through every pipeline phase (detect,
+    /// profile, synthesize, execute, relay). Disabled by default; an
+    /// enabled sink records phase spans on one stitched timeline plus
+    /// per-link flow records from the executor.
+    pub telemetry: adapcc_telemetry::Telemetry,
 }
 
 impl Default for InitOptions {
@@ -63,6 +68,7 @@ impl Default for InitOptions {
             relay: RelayConfig::default(),
             resynth_threshold: 0.15,
             synth: SynthConfig::default(),
+            telemetry: adapcc_telemetry::Telemetry::disabled(),
         }
     }
 }
@@ -253,10 +259,13 @@ impl<'c> AdapCC<'c> {
     /// Detects the topology, profiles the links, and returns a ready
     /// session (the paper's `adapcc.init()`).
     pub fn init(cluster: &'c Cluster, options: InitOptions) -> Self {
-        let mut detector = Detector::new(cluster, options.seed);
+        let mut detector =
+            Detector::new(cluster, options.seed).with_telemetry(options.telemetry.clone());
         let detection = detector.run();
         let topo = detection.logical_topology(cluster);
-        let prof = Profiler::new(cluster, &topo, options.seed).run();
+        let prof = Profiler::new(cluster, &topo, options.seed)
+            .with_telemetry(options.telemetry.at_offset(detection.elapsed.as_secs()))
+            .run();
         let init_report = InitReport {
             detection: detection.elapsed,
             profiling: prof.elapsed,
@@ -264,7 +273,9 @@ impl<'c> AdapCC<'c> {
         let workers = (0..cluster.gpu_count()).map(Rank).collect();
         AdapCC {
             cluster,
-            coordinator: Coordinator::new(options.seed).with_config(options.relay.clone()),
+            coordinator: Coordinator::new(options.seed)
+                .with_config(options.relay.clone())
+                .with_telemetry(options.telemetry.clone()),
             options,
             detection,
             topo,
@@ -461,6 +472,7 @@ impl<'c> AdapCC<'c> {
             req.seed = self.options.seed;
             let strategy = Synthesizer::new(&self.topo, &self.profile)
                 .with_config(self.options.synth.clone())
+                .with_telemetry(self.options.telemetry.clone())
                 .synthesize(&req);
             self.strategies.insert(key, strategy);
         }
@@ -470,8 +482,11 @@ impl<'c> AdapCC<'c> {
     /// An executor over the current fabric: live capacity factors
     /// always, fault schedule + stall deadlines when one is armed.
     fn executor(&self) -> Executor<'_> {
-        let mut exec =
-            Executor::new(self.cluster, &self.topo).with_capacity_factors(&self.fabric_factors);
+        let mut exec = Executor::new(self.cluster, &self.topo)
+            .with_capacity_factors(&self.fabric_factors)
+            .with_telemetry(
+                self.options.telemetry.at_offset(self.init_report.total().as_secs()),
+            );
         if let Some(schedule) = &self.fault_schedule {
             exec = exec
                 .with_fault_schedule(schedule.clone(), self.session_clock)

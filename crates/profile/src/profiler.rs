@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 use adapcc_simnet::cluster::{Cluster, InstanceId, LinkId};
 use adapcc_simnet::probe::{ProbeRunner, ProbeSpec};
 use adapcc_simnet::time::SimDuration;
-use adapcc_simnet::units::ByteSize;
+use adapcc_simnet::units::{Bandwidth, ByteSize};
 use adapcc_topo::logical::{EdgeId, EdgeKind, LogicalNode, LogicalTopology};
 
 use crate::alphabeta::AlphaBeta;
@@ -37,6 +37,11 @@ use crate::alphabeta::AlphaBeta;
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct LinkProfile {
     costs: HashMap<usize, AlphaBeta>,
+    /// Aggregate ingress capacity per NIC from the fan-in probe phase
+    /// (bytes/sec, keyed by instance id). Pairwise probes are capped by
+    /// the slower peer, so only a concurrent fan-in exposes a fat NIC's
+    /// true sink capacity.
+    ingress: HashMap<usize, f64>,
 }
 
 impl LinkProfile {
@@ -53,6 +58,19 @@ impl LinkProfile {
     /// The cost of an edge, if profiled.
     pub fn get(&self, edge: EdgeId) -> Option<AlphaBeta> {
         self.costs.get(&edge.0).copied()
+    }
+
+    /// Records a NIC's measured aggregate ingress capacity.
+    pub fn set_nic_ingress(&mut self, inst: InstanceId, bw: Bandwidth) {
+        self.ingress.insert(inst.0, bw.as_bytes_per_sec());
+    }
+
+    /// A NIC's measured aggregate ingress capacity, if the fan-in
+    /// phase ran.
+    pub fn nic_ingress(&self, inst: InstanceId) -> Option<Bandwidth> {
+        self.ingress
+            .get(&inst.0)
+            .map(|b| Bandwidth::from_bytes_per_sec(*b))
     }
 
     /// Number of profiled edges.
@@ -137,6 +155,7 @@ pub struct Profiler<'c, 't> {
     topo: &'t LogicalTopology,
     runner: ProbeRunner<'c>,
     config: ProfileConfig,
+    telemetry: adapcc_telemetry::Telemetry,
 }
 
 impl<'c, 't> Profiler<'c, 't> {
@@ -147,7 +166,18 @@ impl<'c, 't> Profiler<'c, 't> {
             topo,
             runner: ProbeRunner::new(cluster, seed),
             config: ProfileConfig::default(),
+            telemetry: adapcc_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink: [`Profiler::run`] emits
+    /// `profile.intra` / `profile.inter` / `profile.fanin` spans
+    /// (local time zero = pass start) plus per-NIC aggregate-ingress
+    /// counters, and the probe layer counts its measurements.
+    pub fn with_telemetry(mut self, telemetry: adapcc_telemetry::Telemetry) -> Self {
+        self.runner.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
     }
 
     /// Overrides the measurement schedule.
@@ -199,12 +229,59 @@ impl<'c, 't> Profiler<'c, 't> {
             inter_elapsed += self.profile_round(round, &mut links);
             inter_elapsed += self.config.barrier_overhead;
         }
+        // Fan-in phase: one batch per NIC measures its aggregate
+        // ingress capacity.
+        let fanin_elapsed = self.profile_fanin(&mut links);
+        let (t_intra, t_inter) = (intra_slowest.as_secs(), inter_elapsed.as_secs());
+        self.telemetry.span("profile.intra", "phase", 0.0, t_intra);
+        self.telemetry.span("profile.inter", "phase", t_intra, t_intra + t_inter);
+        self.telemetry.span(
+            "profile.fanin",
+            "phase",
+            t_intra + t_inter,
+            t_intra + t_inter + fanin_elapsed.as_secs(),
+        );
+        self.telemetry.set_counter("profile.edges", links.len() as f64);
         ProfileReport {
             links,
-            elapsed: intra_slowest + inter_elapsed + self.runner.take_lost_time(),
+            elapsed: intra_slowest + inter_elapsed + fanin_elapsed + self.runner.take_lost_time(),
             rounds,
             probe_retries: self.runner.probe_retries() - retries_before,
         }
+    }
+
+    /// Fan-in rounds: for each target instance, every other instance
+    /// sends a probe to it concurrently. The flows share only the
+    /// target's ingress port (each sender's egress carries one flow),
+    /// so the sum of per-flow rates is the port's achievable aggregate
+    /// ingress — the quantity pairwise probes undersell, because a
+    /// pairwise measurement is capped by min(sender, receiver).
+    fn profile_fanin(&mut self, links: &mut LinkProfile) -> SimDuration {
+        let n = self.cluster.instance_count();
+        if n < 2 {
+            return SimDuration::ZERO;
+        }
+        let probe = ByteSize::from_mib(8);
+        let mut elapsed = SimDuration::ZERO;
+        for t in 0..n {
+            let target = InstanceId(t);
+            let specs: Vec<ProbeSpec> = (0..n)
+                .filter(|k| *k != t)
+                .map(|k| ProbeSpec::new(self.cluster.net_path(InstanceId(k), target), probe))
+                .collect();
+            let durs = self.runner.run_concurrent(&specs);
+            let batch_max = durs.iter().copied().fold(SimDuration::ZERO, SimDuration::max);
+            elapsed += batch_max + self.config.barrier_overhead;
+            let aggregate: f64 = durs
+                .iter()
+                .filter(|d| d.as_secs() > 0.0)
+                .map(|d| probe.as_f64() / d.as_secs())
+                .sum();
+            self.telemetry
+                .set_counter(&format!("profile.nic_ingress_gbps.inst{t}"), aggregate / 1e9);
+            links.set_nic_ingress(target, Bandwidth::from_bytes_per_sec(aggregate));
+        }
+        elapsed
     }
 
     /// Profiles every NVLink / PCIe-peer edge of one instance; returns

@@ -19,6 +19,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use adapcc_telemetry::Telemetry;
+
 use crate::cluster::{Cluster, LinkId, Path};
 use crate::time::{SimDuration, SimTime};
 use crate::units::ByteSize;
@@ -171,6 +173,7 @@ pub struct NetSim<'c> {
     links: Vec<LinkState>,
     completion_version: u64,
     last_advance: SimTime,
+    telemetry: Telemetry,
 }
 
 impl<'c> NetSim<'c> {
@@ -195,7 +198,14 @@ impl<'c> NetSim<'c> {
             ],
             completion_version: 0,
             last_advance: SimTime::ZERO,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink: subsequent submissions bump the
+    /// `simnet.transfers` / `simnet.bytes_submitted` counters.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The cluster this simulator runs over.
@@ -223,6 +233,8 @@ impl<'c> NetSim<'c> {
         // A path over an already-failed link aborts after its latency
         // elapses (the sender learns of the failure one round-trip in).
         let dead = path.links.iter().any(|l| self.links[l.0].failed);
+        self.telemetry.add_counter("simnet.transfers", 1.0);
+        self.telemetry.add_counter("simnet.bytes_submitted", size.as_f64());
         let flow = Flow {
             token,
             links: path.links.clone(),

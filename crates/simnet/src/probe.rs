@@ -5,6 +5,7 @@
 //! small transfers, optionally perturbed by measurement noise. This
 //! module is that measurement layer.
 
+use adapcc_telemetry::Telemetry;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -63,6 +64,7 @@ pub struct ProbeRunner<'c> {
     retries: u64,
     /// Accumulated timeout wall-clock not yet collected by the caller.
     lost_time: SimDuration,
+    telemetry: Telemetry,
 }
 
 impl<'c> ProbeRunner<'c> {
@@ -77,7 +79,14 @@ impl<'c> ProbeRunner<'c> {
             loss_timeout: SimDuration::from_millis(50.0),
             retries: 0,
             lost_time: SimDuration::ZERO,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink: measurements bump the
+    /// `probe.measurements` / `probe.bytes` / `probe.retries` counters.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Overrides the relative noise level (0 disables noise).
@@ -153,6 +162,7 @@ impl<'c> ProbeRunner<'c> {
             self.losses.retain(|(_, n)| *n > 0);
             self.retries += 1;
             self.lost_time += self.loss_timeout;
+            self.telemetry.add_counter("probe.retries", 1.0);
         }
         hit
     }
@@ -171,6 +181,9 @@ impl<'c> ProbeRunner<'c> {
         // Lost measurements time out and retry until the injected loss
         // budget for the crossed links is spent.
         while self.measurement_lost(probes.iter().map(|p| &p.path)) {}
+        self.telemetry.add_counter("probe.measurements", probes.len() as f64);
+        self.telemetry
+            .add_counter("probe.bytes", probes.iter().map(|p| p.size.as_f64()).sum());
         let mut sim = NetSim::new(self.cluster);
         for (l, f) in &self.factors {
             sim.set_capacity_factor(*l, *f);
@@ -197,6 +210,8 @@ impl<'c> ProbeRunner<'c> {
     pub fn run_repeated(&mut self, path: &Path, size: ByteSize, n: usize) -> SimDuration {
         assert!(n > 0, "need at least one repetition");
         while self.measurement_lost(std::iter::once(path)) {}
+        self.telemetry.add_counter("probe.measurements", n as f64);
+        self.telemetry.add_counter("probe.bytes", size.as_f64() * n as f64);
         let mut total = SimDuration::ZERO;
         // Back-to-back: each send starts when the previous finishes; in
         // an otherwise idle fabric the durations are additive, so run n

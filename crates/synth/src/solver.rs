@@ -131,6 +131,7 @@ pub struct Synthesizer<'a> {
     topo: &'a LogicalTopology,
     profile: &'a LinkProfile,
     config: SynthConfig,
+    telemetry: adapcc_telemetry::Telemetry,
 }
 
 /// Instance of a rank, derived from the logical topology's host links
@@ -180,12 +181,23 @@ impl<'a> Synthesizer<'a> {
             topo,
             profile,
             config: SynthConfig::default(),
+            telemetry: adapcc_telemetry::Telemetry::disabled(),
         }
     }
 
     /// Overrides the search configuration.
     pub fn with_config(mut self, config: SynthConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Attaches a telemetry sink: every synthesis bumps `synth.*`
+    /// counters (requests, search effort, chosen root). The timed
+    /// `synthesize` span is emitted by callers that own the session
+    /// timeline — synthesis itself runs on the control plane, not the
+    /// simulated fabric.
+    pub fn with_telemetry(mut self, telemetry: adapcc_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -198,6 +210,11 @@ impl<'a> Synthesizer<'a> {
     pub fn synthesize(&self, req: &SynthRequest) -> Strategy {
         assert!(!req.participants.is_empty(), "no participants");
         assert!(req.parallelism > 0, "parallelism must be positive");
+        self.telemetry.add_counter("synth.requests", 1.0);
+        self.telemetry
+            .set_counter("synth.participants", req.participants.len() as f64);
+        self.telemetry
+            .set_counter("synth.anneal_iters", self.config.anneal_iters as f64);
         let mut uniq = req.participants.clone();
         uniq.sort();
         uniq.dedup();
@@ -255,6 +272,9 @@ impl<'a> Synthesizer<'a> {
             by_inst[&best][0]
         });
         let root_inst = instance_of(self.topo, root);
+        self.telemetry.set_counter("synth.root_rank", root.0 as f64);
+        self.telemetry
+            .set_counter("synth.root_ingress_gbps", self.ingress_score(root_inst) / 1e9);
 
         // Initial plan per inter-tree shape x root family; keep the best.
         let allow_multi = req.primitive == Primitive::AllReduce && req.root.is_none();
@@ -356,8 +376,14 @@ impl<'a> Synthesizer<'a> {
     }
 
     /// Profiled ingress bandwidth of an instance's NIC (score for root
-    /// placement).
+    /// placement). Prefers the fan-in aggregate measurement — pairwise
+    /// edge fits are capped by the slower peer and cannot distinguish a
+    /// fat NIC from its neighbours — and falls back to the fattest
+    /// profiled edge into the NIC when no fan-in pass ran.
     fn ingress_score(&self, inst: InstanceId) -> f64 {
+        if let Some(bw) = self.profile.nic_ingress(inst) {
+            return bw.as_bytes_per_sec();
+        }
         let nic = LogicalNode::Nic(inst);
         let mut best = 0.0_f64;
         for e in self.topo.edges_into(nic) {

@@ -143,6 +143,7 @@ impl DetectionReport {
 pub struct Detector<'c> {
     cluster: &'c Cluster,
     runner: ProbeRunner<'c>,
+    telemetry: adapcc_telemetry::Telemetry,
 }
 
 impl<'c> Detector<'c> {
@@ -151,12 +152,22 @@ impl<'c> Detector<'c> {
         Detector {
             cluster,
             runner: ProbeRunner::new(cluster, seed),
+            telemetry: adapcc_telemetry::Telemetry::disabled(),
         }
     }
 
     /// Disables measurement noise (tests).
     pub fn without_noise(mut self) -> Self {
         self.runner = ProbeRunner::new(self.cluster, 0).with_noise(0.0);
+        self
+    }
+
+    /// Attaches a telemetry sink: [`Detector::run`] emits a `detect`
+    /// span covering the pass (local time zero = pass start) plus
+    /// `topo.*` counters, and the probe layer counts its measurements.
+    pub fn with_telemetry(mut self, telemetry: adapcc_telemetry::Telemetry) -> Self {
+        self.runner.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
         self
     }
 
@@ -169,6 +180,11 @@ impl<'c> Detector<'c> {
             slowest = slowest.max(took);
             instances.push(det);
         }
+        self.telemetry.span("detect", "phase", 0.0, slowest.as_secs());
+        self.telemetry
+            .set_counter("topo.instances", self.cluster.instance_count() as f64);
+        self.telemetry
+            .set_counter("topo.gpus", self.cluster.gpu_count() as f64);
         DetectionReport {
             instances,
             elapsed: slowest,

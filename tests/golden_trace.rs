@@ -1,0 +1,117 @@
+//! Telemetry determinism and flow-conservation guarantees.
+//!
+//! The whole pipeline is driven by the simulated clock, so two runs of
+//! the same configuration with the same seed must export *byte
+//! identical* telemetry — the Chrome trace and the metrics summary are
+//! golden. On top of that, the executor's per-link flow records must
+//! respect flow conservation (paper eq. 1): a NIC is a pure forwarder,
+//! so per sub-collective the bytes entering it equal the bytes leaving
+//! it, and the sum of all recorded flows is exactly the executor's
+//! bytes-on-wire tally.
+
+use std::collections::BTreeMap;
+
+use adapcc_baselines::runner::{Runner, System};
+use adapcc_bench::harness::profiled_with_telemetry;
+use adapcc_simnet::cluster::{ClusterBuilder, Rank};
+use adapcc_simnet::hardware::InstanceSpec;
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::Primitive;
+use adapcc_telemetry::Telemetry;
+
+/// One full instrumented run: detect → profile → synthesize → execute
+/// on a fixed fleet, returning the sink holding every span, flow and
+/// counter.
+fn instrumented_run(
+    primitive: Primitive,
+    tensor: ByteSize,
+    parallelism: usize,
+) -> Telemetry {
+    let mut b = ClusterBuilder::new();
+    b.add_instances(InstanceSpec::dgx_a100(), 2);
+    let cluster = b.build();
+    let telemetry = Telemetry::enabled();
+    let (topo, profile, control_secs) =
+        profiled_with_telemetry(&cluster, 1, telemetry.clone());
+    let runner = Runner::new(&cluster, &topo, &profile)
+        .with_parallelism(parallelism)
+        .with_telemetry(telemetry.at_offset(control_secs));
+    let ranks: Vec<Rank> = (0..cluster.gpu_count()).map(Rank).collect();
+    runner.run(System::AdapCc, primitive, tensor, &ranks, &Default::default());
+    telemetry
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_telemetry() {
+    let a = instrumented_run(Primitive::AllReduce, ByteSize::from_mib(64), 4);
+    let b = instrumented_run(Primitive::AllReduce, ByteSize::from_mib(64), 4);
+    assert_eq!(a.chrome_trace(), b.chrome_trace(), "trace must be golden");
+    assert_eq!(a.metrics_summary(), b.metrics_summary(), "metrics must be golden");
+}
+
+#[test]
+fn trace_covers_every_pipeline_phase_and_the_links() {
+    let t = instrumented_run(Primitive::AllReduce, ByteSize::from_mib(64), 4);
+    let spans = t.spans();
+    for phase in ["detect", "profile.intra", "profile.inter", "profile.fanin", "synthesize", "execute"]
+    {
+        assert!(
+            spans.iter().any(|s| s.name == phase),
+            "missing {phase} span; have {:?}",
+            spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+        );
+    }
+    // Phases are stitched onto one timeline: each starts no earlier
+    // than the previous one on the same track.
+    let order: Vec<f64> = ["detect", "profile.intra", "profile.inter", "profile.fanin"]
+        .iter()
+        .map(|n| spans.iter().find(|s| s.name == *n).unwrap().start_secs)
+        .collect();
+    assert!(order.windows(2).all(|w| w[0] <= w[1]), "{order:?}");
+    assert!(!t.flows().is_empty(), "executor must record per-link flows");
+    let trace = t.chrome_trace();
+    assert!(trace.matches("\"cat\":\"flow\"").count() == t.flows().len());
+    assert!(trace.contains("\"displayTimeUnit\""));
+}
+
+#[test]
+fn reduce_flows_conserve_bytes_through_every_nic() {
+    // Paper eq. 1 on recorded data: sweep tensor sizes and parallelism
+    // degrees; in every Reduce run each NIC forwards exactly what it
+    // receives (per sub-collective), every flow has sane timestamps,
+    // and the flow total equals the executor's bytes-on-wire counter.
+    for (mib, parallelism) in [(16, 1), (64, 2), (64, 4), (256, 4)] {
+        let t = instrumented_run(Primitive::Reduce, ByteSize::from_mib(mib), parallelism);
+        let flows = t.flows();
+        assert!(!flows.is_empty());
+        let mut total = 0u64;
+        // (sub, nic-node) -> (bytes in, bytes out)
+        let mut nic_io: BTreeMap<(usize, String), (u64, u64)> = BTreeMap::new();
+        for f in &flows {
+            assert!(
+                f.enqueued_secs <= f.start_secs && f.start_secs <= f.end_secs,
+                "flow timestamps out of order: {f:?}"
+            );
+            total += f.bytes;
+            let (from, to) = f.link.split_once("->").expect("link label is from->to");
+            if from.starts_with("nic") {
+                nic_io.entry((f.sub, from.to_string())).or_default().1 += f.bytes;
+            }
+            if to.starts_with("nic") {
+                nic_io.entry((f.sub, to.to_string())).or_default().0 += f.bytes;
+            }
+        }
+        for ((sub, nic), (inb, outb)) in &nic_io {
+            assert_eq!(
+                inb, outb,
+                "{mib} MiB x{parallelism}: sub {sub} {nic} received {inb} but \
+                 forwarded {outb} bytes"
+            );
+        }
+        assert_eq!(
+            total,
+            t.counter("exec.bytes_on_wire") as u64,
+            "{mib} MiB x{parallelism}: flow records disagree with bytes-on-wire"
+        );
+    }
+}

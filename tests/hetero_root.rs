@@ -1,0 +1,127 @@
+//! Heterogeneous-fleet root placement: whatever order A100 / H100 /
+//! V100 servers appear in, the synthesizer must root rooted
+//! collectives on the instance with the fattest profiled NIC ingress
+//! (the H100's 400 Gbps port), because the root's ingress bounds the
+//! final aggregation hop.
+
+use adapcc_profile::profiler::{LinkProfile, Profiler};
+use adapcc_simnet::cluster::{Cluster, ClusterBuilder, InstanceId, Rank};
+use adapcc_simnet::hardware::InstanceSpec;
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::solver::{SynthConfig, SynthRequest, Synthesizer};
+use adapcc_synth::Primitive;
+use adapcc_topo::detect::Detector;
+use adapcc_topo::logical::LogicalTopology;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    A100,
+    H100,
+    V100,
+}
+
+fn spec(kind: Kind) -> InstanceSpec {
+    match kind {
+        Kind::A100 => InstanceSpec::a100_server(),
+        Kind::H100 => InstanceSpec::h100_server(),
+        Kind::V100 => InstanceSpec::v100_server(),
+    }
+}
+
+/// All six orderings of the three server generations.
+fn permutations() -> Vec<[Kind; 3]> {
+    use Kind::{A100, H100, V100};
+    vec![
+        [A100, H100, V100],
+        [A100, V100, H100],
+        [H100, A100, V100],
+        [H100, V100, A100],
+        [V100, A100, H100],
+        [V100, H100, A100],
+    ]
+}
+
+/// Builds the fleet in the given order and returns the cluster plus
+/// the rank range occupied by the H100 server.
+fn fleet(order: &[Kind; 3]) -> (Cluster, std::ops::Range<usize>) {
+    let mut b = ClusterBuilder::new();
+    for kind in order {
+        b.add_instance(spec(*kind));
+    }
+    let cluster = b.build();
+    let h100_inst = order
+        .iter()
+        .position(|k| *k == Kind::H100)
+        .expect("every permutation has an H100");
+    let first = cluster.rank_of(InstanceId(h100_inst), 0).0;
+    let range = first..first + cluster.gpus_on(InstanceId(h100_inst));
+    (cluster, range)
+}
+
+fn profiled(cluster: &Cluster) -> (LogicalTopology, LinkProfile) {
+    let topo = Detector::new(cluster, 1).run().logical_topology(cluster);
+    let profile = Profiler::new(cluster, &topo, 1).run().links;
+    (topo, profile)
+}
+
+fn synthesize(
+    topo: &LogicalTopology,
+    profile: &LinkProfile,
+    cluster: &Cluster,
+    primitive: Primitive,
+) -> adapcc_synth::strategy::Strategy {
+    let ranks: Vec<Rank> = (0..cluster.gpu_count()).map(Rank).collect();
+    let req = SynthRequest::new(primitive, ByteSize::from_mib(64), 2, ranks);
+    Synthesizer::new(topo, profile)
+        .with_config(SynthConfig { anneal_iters: 32, ..Default::default() })
+        .synthesize(&req)
+}
+
+#[test]
+fn rooted_collectives_land_on_the_h100_in_every_fleet_order() {
+    for order in permutations() {
+        let (cluster, h100_ranks) = fleet(&order);
+        let (topo, profile) = profiled(&cluster);
+        for primitive in [Primitive::Reduce, Primitive::Broadcast] {
+            let strategy = synthesize(&topo, &profile, &cluster, primitive);
+            assert!(strategy.validate(&topo).is_ok());
+            for sub in &strategy.subs {
+                let root = sub.root.expect("rooted primitive");
+                assert!(
+                    h100_ranks.contains(&root.0),
+                    "{primitive} in fleet {order:?}: root {root:?} not in \
+                     H100 ranks {h100_ranks:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn alltoall_is_rootless_and_valid_on_a_mixed_fleet() {
+    // AllToAll has no aggregation point, so no root preference applies;
+    // the strategy must still validate against the detected topology.
+    let (cluster, _) = fleet(&[Kind::V100, Kind::A100, Kind::H100]);
+    let (topo, profile) = profiled(&cluster);
+    let strategy = synthesize(&topo, &profile, &cluster, Primitive::AllToAll);
+    assert!(strategy.validate(&topo).is_ok());
+    for sub in &strategy.subs {
+        assert!(sub.root.is_none(), "alltoall must not pick a root");
+    }
+}
+
+#[test]
+fn requested_root_is_honored_even_off_the_h100() {
+    // An explicit root overrides the bandwidth preference — callers
+    // with semantic roots (e.g. parameter servers) keep control.
+    let (cluster, h100_ranks) = fleet(&[Kind::A100, Kind::H100, Kind::V100]);
+    let (topo, profile) = profiled(&cluster);
+    let ranks: Vec<Rank> = (0..cluster.gpu_count()).map(Rank).collect();
+    let mut req = SynthRequest::new(Primitive::Reduce, ByteSize::from_mib(64), 2, ranks);
+    req.root = Some(Rank(0));
+    let strategy = Synthesizer::new(&topo, &profile)
+        .with_config(SynthConfig { anneal_iters: 32, ..Default::default() })
+        .synthesize(&req);
+    assert!(!h100_ranks.contains(&0));
+    assert_eq!(strategy.subs[0].root, Some(Rank(0)));
+}

@@ -1,0 +1,113 @@
+//! The relay coordinator's ski-rental accounting, observed through
+//! telemetry counters: waiting time accumulates only while below the
+//! break-even point, and the estimated transmit (buy) cost is charged
+//! exactly once per proceed decision.
+
+use std::collections::BTreeMap;
+
+use adapcc::relay::{BuyEstimate, Coordinator, Decision, RelayConfig};
+use adapcc_simnet::cluster::Rank;
+use adapcc_simnet::time::SimTime;
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::Primitive;
+use adapcc_telemetry::Telemetry;
+
+fn workers(n: usize) -> Vec<Rank> {
+    (0..n).map(Rank).collect()
+}
+
+fn ready_at(times_ms: &[(usize, f64)]) -> BTreeMap<Rank, SimTime> {
+    times_ms
+        .iter()
+        .map(|(r, ms)| (Rank(*r), SimTime::from_secs(ms * 1e-3)))
+        .collect()
+}
+
+/// A buy estimate whose cost for (4 ready, 1 late) is about `buy_ms`.
+fn est(buy_ms: f64) -> BuyEstimate {
+    let t = ByteSize::from_mib(1);
+    let vol = 7.0 * t.as_f64();
+    BuyEstimate::from_parts(t, Primitive::AllReduce, vol / (buy_ms * 1e-3))
+}
+
+fn coordinator(telemetry: &Telemetry) -> Coordinator {
+    Coordinator::new(1).with_telemetry(telemetry.clone())
+}
+
+#[test]
+fn wait_all_charges_waiting_but_never_transmit() {
+    let telemetry = Telemetry::enabled();
+    let mut c = coordinator(&telemetry);
+    // Everyone within 2 ms; buying would cost 50 ms — wait.
+    let ready = ready_at(&[(0, 0.0), (1, 1.0), (2, 1.5), (3, 2.0), (4, 2.0)]);
+    let d = c.decide(&workers(5), Rank(0), &ready, &est(50.0));
+    assert!(matches!(d, Decision::WaitAll { .. }));
+    assert_eq!(telemetry.counter("relay.decisions"), 1.0);
+    assert_eq!(telemetry.counter("relay.wait_all"), 1.0);
+    assert_eq!(telemetry.counter("relay.buys"), 0.0);
+    assert_eq!(telemetry.counter("relay.transmit_secs"), 0.0);
+    // Waited exactly until the last worker arrived (2 ms after the
+    // first), never past it.
+    let wait = telemetry.counter("relay.wait_secs");
+    assert!((wait - 0.002).abs() < 1e-9, "wait {wait}");
+}
+
+#[test]
+fn buy_stops_waiting_at_the_break_even_point() {
+    let telemetry = Telemetry::enabled();
+    let mut c = coordinator(&telemetry);
+    let buy = est(20.0);
+    // Rank 4 is 200 ms late: the coordinator must proceed, and its
+    // accumulated wait must sit within one decision cycle (5 ms) past
+    // the buy estimate — the 2-competitive break-even rule.
+    let ready = ready_at(&[(0, 0.0), (1, 1.0), (2, 1.0), (3, 2.0), (4, 200.0)]);
+    let d = c.decide(&workers(5), Rank(0), &ready, &buy);
+    assert!(matches!(d, Decision::Partial { .. }));
+    assert_eq!(telemetry.counter("relay.buys"), 1.0);
+    let wait = telemetry.counter("relay.wait_secs");
+    let transmit = telemetry.counter("relay.transmit_secs");
+    let expected_buy = buy
+        .cost_for(&[Rank(0), Rank(1), Rank(2), Rank(3)], &[Rank(4)])
+        .as_secs();
+    assert!((transmit - expected_buy).abs() < 1e-12, "transmit {transmit} vs {expected_buy}");
+    assert!(wait >= transmit, "proceeded before break-even: {wait} < {transmit}");
+    assert!(
+        wait <= transmit + 0.005 + 1e-9,
+        "kept waiting past break-even: {wait} vs buy {transmit}"
+    );
+    // Far below the straggler's 200 ms lateness: waiting stopped.
+    assert!(wait < 0.05, "wait {wait}");
+}
+
+#[test]
+fn counters_accumulate_across_iterations() {
+    let telemetry = Telemetry::enabled();
+    let mut c = coordinator(&telemetry);
+    let ready = ready_at(&[(0, 0.0), (1, 1.0), (2, 1.0), (3, 2.0), (4, 200.0)]);
+    for _ in 0..3 {
+        let d = c.decide(&workers(5), Rank(0), &ready, &est(20.0));
+        assert!(matches!(d, Decision::Partial { .. }));
+    }
+    assert_eq!(telemetry.counter("relay.decisions"), 3.0);
+    assert_eq!(telemetry.counter("relay.buys"), 3.0);
+    let wait = telemetry.counter("relay.wait_secs");
+    let transmit = telemetry.counter("relay.transmit_secs");
+    assert!((wait / 3.0) >= (transmit / 3.0), "per-iteration break-even holds");
+    assert!(transmit > 0.0);
+}
+
+#[test]
+fn disabled_relay_reports_pure_waiting() {
+    let telemetry = Telemetry::enabled();
+    let mut c = Coordinator::new(1)
+        .with_config(RelayConfig { enabled: false, ..Default::default() })
+        .with_telemetry(telemetry.clone());
+    let ready = ready_at(&[(0, 0.0), (1, 500.0)]);
+    let d = c.decide(&workers(2), Rank(0), &ready, &est(1.0));
+    assert!(matches!(d, Decision::WaitAll { .. }));
+    // An always-wait library eats the full straggler delay and never
+    // transmits early.
+    assert_eq!(telemetry.counter("relay.wait_all"), 1.0);
+    assert!((telemetry.counter("relay.wait_secs") - 0.5).abs() < 1e-9);
+    assert_eq!(telemetry.counter("relay.transmit_secs"), 0.0);
+}
