@@ -2,9 +2,11 @@
 //! baselines on the same simulated fabric and reports the paper's
 //! *algorithm bandwidth* metric (tensor bytes / completion seconds).
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use adapcc::executor::{ExecutionRequest, Executor};
+use adapcc_plancache::{fingerprint, CachedPlan, FingerprintInputs, Lookup, PlanCache, PlanCacheStats};
 use adapcc_profile::profiler::LinkProfile;
 use adapcc_simnet::cluster::{Cluster, Rank};
 use adapcc_simnet::time::{SimDuration, SimTime};
@@ -72,6 +74,9 @@ pub struct Runner<'a> {
     pub seed: u64,
     factors: Vec<(adapcc_simnet::cluster::LinkId, f64)>,
     telemetry: adapcc_telemetry::Telemetry,
+    /// Optional fingerprinted strategy store consulted before the
+    /// AdapCC synthesizer (baselines are closed-form and never cached).
+    plan_cache: Option<RefCell<PlanCache>>,
 }
 
 impl<'a> Runner<'a> {
@@ -85,6 +90,7 @@ impl<'a> Runner<'a> {
             seed: 0,
             factors: Vec::new(),
             telemetry: adapcc_telemetry::Telemetry::disabled(),
+            plan_cache: None,
         }
     }
 
@@ -114,6 +120,27 @@ impl<'a> Runner<'a> {
         self
     }
 
+    /// Attaches a plan cache consulted before every AdapCC synthesis.
+    /// Exact fingerprint hits skip the solver; shape-only matches
+    /// warm-start it. Baseline systems never touch the cache.
+    pub fn with_plan_cache(mut self, cache: PlanCache) -> Self {
+        self.plan_cache = Some(RefCell::new(cache));
+        self
+    }
+
+    /// Cache effectiveness counters, if a cache is attached.
+    pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        self.plan_cache.as_ref().map(|c| c.borrow().stats())
+    }
+
+    /// Publishes `plancache.*` counters to the attached telemetry sink
+    /// (no-op without a cache).
+    pub fn export_plan_cache_counters(&self) {
+        if let Some(cache) = &self.plan_cache {
+            cache.borrow().export_counters(&self.telemetry);
+        }
+    }
+
     /// Synthesizes/builds the system's strategy for one primitive over
     /// the given participants (not available for Blink, which is
     /// staged — use [`Runner::run`]).
@@ -133,15 +160,71 @@ impl<'a> Runner<'a> {
                 let mut req =
                     SynthRequest::new(primitive, tensor, self.parallelism, participants.to_vec());
                 req.seed = self.seed;
-                Synthesizer::new(self.topo, self.profile)
-                    .with_config(SynthConfig { anneal_iters: 120, ..Default::default() })
-                    .with_telemetry(self.telemetry.clone())
-                    .synthesize(&req)
+                self.adapcc_strategy(&req, primitive, tensor, participants)
             }
             System::Nccl => nccl_strategy_sized(self.topo, primitive, participants, tensor),
             System::Msccl => msccl_strategy(self.topo, primitive, participants),
             System::Blink => panic!("blink is staged; use Runner::run"),
         }
+    }
+
+    /// AdapCC synthesis through the optional plan cache: exact hit →
+    /// cached strategy, shape-only match → warm-started solve, miss →
+    /// cold solve. Saved modeled solver latency accrues to the cache's
+    /// counters; the timeline span in [`Runner::run`] stays the full
+    /// modeled cost either way so traces are byte-identical warm or
+    /// cold.
+    fn adapcc_strategy(
+        &self,
+        req: &SynthRequest,
+        primitive: Primitive,
+        tensor: ByteSize,
+        participants: &[Rank],
+    ) -> Strategy {
+        let synth = || {
+            Synthesizer::new(self.topo, self.profile)
+                .with_config(SynthConfig { anneal_iters: 120, ..Default::default() })
+                .with_telemetry(self.telemetry.clone())
+        };
+        let Some(cache) = &self.plan_cache else {
+            return synth().synthesize(req);
+        };
+        // The standalone runner has no session, so it quantizes with the
+        // session default `resynth_threshold` (0.15).
+        let fp = fingerprint(&FingerprintInputs {
+            topo: self.topo,
+            profile: self.profile,
+            participants,
+            relays: &[],
+            primitive,
+            parallelism: self.parallelism,
+            tensor,
+            root: req.root,
+            quantization: 0.15,
+        });
+        let full = adapcc::reconstruct::modeled_solve_cost(participants.len());
+        let warm = adapcc::reconstruct::modeled_warm_solve_cost(participants.len());
+        let mut cache = cache.borrow_mut();
+        match cache.lookup(&fp) {
+            Lookup::Hit(plan) if plan.strategy.validate(self.topo).is_ok() => {
+                cache.note_saved(full);
+                return plan.strategy;
+            }
+            Lookup::Warm(plan) => {
+                if let Some((strategy, seed)) = synth().synthesize_warm(req, &plan.seed) {
+                    cache.note_saved(adapcc_simnet::time::SimDuration::from_secs(
+                        full.as_secs() - warm.as_secs(),
+                    ));
+                    cache.insert(fp, CachedPlan { strategy: strategy.clone(), seed });
+                    return strategy;
+                }
+                cache.warm_fell_back();
+            }
+            _ => {}
+        }
+        let (strategy, seed) = synth().synthesize_with_seed(req);
+        cache.insert(fp, CachedPlan { strategy: strategy.clone(), seed });
+        strategy
     }
 
     /// Runs one collective under the chosen system and returns its
@@ -328,6 +411,25 @@ mod tests {
         let ar = runner.run(System::Blink, Primitive::AllReduce, ByteSize::from_mib(32), &ranks, &ready);
         let red = runner.run(System::Blink, Primitive::Reduce, ByteSize::from_mib(32), &ranks, &ready);
         assert!(ar.comm_time > red.comm_time, "allreduce adds the broadcast stage");
+    }
+
+    #[test]
+    fn plan_cache_hit_replays_the_cold_strategy() {
+        let c = Cluster::paper_testbed();
+        let (topo, profile) = setup(&c);
+        let ranks = all(&c);
+        let tensor = ByteSize::from_mib(64);
+        let cold = Runner::new(&c, &topo, &profile);
+        let want = cold.strategy(System::AdapCc, Primitive::AllReduce, tensor, &ranks);
+        let cached = Runner::new(&c, &topo, &profile)
+            .with_plan_cache(adapcc_plancache::PlanCache::new(Default::default()));
+        let first = cached.strategy(System::AdapCc, Primitive::AllReduce, tensor, &ranks);
+        let second = cached.strategy(System::AdapCc, Primitive::AllReduce, tensor, &ranks);
+        assert_eq!(first, want, "cold solve through the cache is unchanged");
+        assert_eq!(second, want, "exact hit serves the stored strategy verbatim");
+        let stats = cached.plan_cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1), "{stats:?}");
+        assert!(stats.saved.as_secs() > 0.0);
     }
 
     #[test]

@@ -39,10 +39,17 @@ fn main() {
     );
     let wants_telemetry = args.trace_out.is_some() || args.metrics_out.is_some();
     let telemetry = if wants_telemetry { Telemetry::enabled() } else { Telemetry::disabled() };
-    let (topo, profile, control_secs) = profiled_with_telemetry(&cluster, 1, telemetry.clone());
-    let runner = Runner::new(&cluster, &topo, &profile)
+    let (topo, profile, control_secs) =
+        profiled_with_telemetry(&cluster, args.seed, telemetry.clone());
+    let mut runner = Runner::new(&cluster, &topo, &profile)
         .with_parallelism(args.parallelism)
         .with_telemetry(telemetry.at_offset(control_secs));
+    runner.seed = args.seed;
+    if let Some(dir) = &args.plan_cache {
+        runner = runner.with_plan_cache(adapcc_plancache::PlanCache::new(
+            adapcc_plancache::PlanCacheConfig::on_disk(dir),
+        ));
+    }
     let ranks: Vec<Rank> = (0..cluster.gpu_count()).map(Rank).collect();
     if args.describe && args.system != System::Blink {
         let strategy = runner.strategy(args.system, args.primitive, args.tensor, &ranks);
@@ -57,6 +64,20 @@ fn main() {
         report.comm_time,
         report.algo_bw_gbytes
     );
+    // Counters must land in the sink before the metrics summary below
+    // renders; the trace itself carries no cache-dependent spans, so it
+    // stays byte-identical warm or cold.
+    runner.export_plan_cache_counters();
+    let cache_stats = runner.plan_cache_stats();
+    if let Some(stats) = cache_stats {
+        println!(
+            "plan cache: {} hit(s), {} warm start(s), {} miss(es), {:.2}s modeled solve time saved",
+            stats.hits,
+            stats.warm_starts,
+            stats.misses,
+            stats.saved.as_secs()
+        );
+    }
     if let Some(path) = &args.trace_out {
         write_or_die(path, &telemetry.chrome_trace(), "trace");
         println!("trace written to {path} (load in chrome://tracing)");
@@ -74,6 +95,9 @@ fn main() {
             parallelism: args.parallelism,
             comm_time_ms: report.comm_time.as_millis(),
             algo_bw_gbytes: report.algo_bw_gbytes,
+            plan_cache_hits: cache_stats.map_or(0, |s| s.hits),
+            plan_cache_misses: cache_stats.map_or(0, |s| s.misses),
+            plan_cache_warm_starts: cache_stats.map_or(0, |s| s.warm_starts),
         };
         if let Err(e) = rec.append_to(std::path::Path::new(path)) {
             eprintln!("cannot append bench record to {path}: {e}");

@@ -22,6 +22,10 @@ pub struct SimArgs {
     pub system: System,
     /// AdapCC parallelism (`M`).
     pub parallelism: usize,
+    /// Seed threaded into profiling and synthesis (`InitOptions::seed`).
+    pub seed: u64,
+    /// Persistent plan-cache directory for AdapCC strategy synthesis.
+    pub plan_cache: Option<String>,
     /// Print the synthesized strategy.
     pub describe: bool,
     /// Write a Chrome-trace JSON timeline of the run here.
@@ -52,6 +56,8 @@ impl Default for SimArgs {
             tensor: ByteSize::from_mib(256),
             system: System::AdapCc,
             parallelism: 4,
+            seed: 1,
+            plan_cache: None,
             describe: false,
             trace_out: None,
             metrics_out: None,
@@ -71,6 +77,9 @@ pub fn usage() -> &'static str {
        --size-mib N              per-rank tensor MiB (default 256)\n\
        --system S                adapcc|nccl|msccl|blink (default adapcc)\n\
        --parallelism M           AdapCC sub-collectives (default 4)\n\
+       --seed N                  profiling/synthesis seed (default 1)\n\
+       --plan-cache DIR          persistent strategy cache; a repeat run\n\
+                                 with the same dir serves cached plans\n\
        --describe                print the synthesized strategy\n\
        --trace-out FILE          write a Chrome-trace JSON timeline (chrome://tracing)\n\
        --metrics-out FILE        write a flat metrics summary (JSON)\n\
@@ -196,6 +205,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<SimArgs, St
             "--trace-out" => out.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => out.metrics_out = Some(value("--metrics-out")?),
             "--bench-append" => out.bench_append = Some(value("--bench-append")?),
+            "--plan-cache" => out.plan_cache = Some(value("--plan-cache")?),
+            "--seed" => {
+                out.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "seed expects an integer".to_string())?;
+            }
             "--primitive" => {
                 out.primitive = match value("--primitive")?.as_str() {
                     "reduce" => Primitive::Reduce,
@@ -342,6 +357,17 @@ mod tests {
         assert_eq!(a.bench_append.as_deref(), Some("bench.jsonl"));
         assert!(parse(&["--trace-out"]).is_err(), "missing value");
         assert!(parse(&["--metrics-out"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn seed_and_plan_cache_flags() {
+        let a = parse(&["--seed", "42", "--plan-cache", "/tmp/plans"]).unwrap();
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.plan_cache.as_deref(), Some("/tmp/plans"));
+        assert_eq!(SimArgs::default().seed, 1, "default seed matches the historic run");
+        assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--seed"]).is_err(), "missing value");
+        assert!(parse(&["--plan-cache"]).is_err(), "missing value");
     }
 
     #[test]

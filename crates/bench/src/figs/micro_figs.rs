@@ -4,6 +4,7 @@
 
 use adapcc::reconstruct::nccl_restart_cost;
 use adapcc::session::{AdapCC, InitOptions};
+use adapcc_plancache::{PlanCacheConfig, PlanCacheStats};
 use adapcc_simnet::cluster::{Cluster, InstanceId, Rank};
 use adapcc_simnet::units::ByteSize;
 use adapcc_synth::cost::CostModel;
@@ -45,47 +46,69 @@ pub fn fig19b() -> Vec<String> {
 }
 
 /// Fig. 19(c): in-place graph reconstruction cost versus the NCCL
-/// restart path, across job scales.
+/// restart path, across job scales — with the plan cache's warm-started
+/// re-synthesis shown against the cache-disabled cold solve.
 pub fn fig19c() -> Vec<String> {
     let mut out = vec!["Fig. 19(c) — graph reconstruction cost vs job scale".into()];
     out.push(header(
         "scale",
-        &["detect (s)", "profile", "solve", "setup", "AdapCC", "NCCL", "saved %"],
+        &["profile (s)", "solve cold", "solve warm", "setup", "AdapCC", "NCCL", "saved %"],
     ));
+    let tensor = DnnModel::Vgg16.tensor_size();
     for servers in [2usize, 4, 6, 8, 12] {
         let cluster = Cluster::homogeneous_a100(servers);
-        let mut cc = AdapCC::init(
-            &cluster,
-            InitOptions {
-                synth: SynthConfig { anneal_iters: 120, ..Default::default() },
-                ..Default::default()
-            },
+        let (cold, _) = fig19c_reconstruct(&cluster, tensor, PlanCacheConfig::disabled());
+        let (warm, stats) = fig19c_reconstruct(&cluster, tensor, PlanCacheConfig::default());
+        assert!(
+            stats.warm_starts > 0,
+            "a drifted profile over an unchanged fleet should warm-start"
         );
-        cc.setup();
-        let tensor = DnnModel::Vgg16.tensor_size();
-        let _ = cc.strategy_for(Primitive::AllReduce, tensor);
-        // Degrade one NIC so re-synthesis actually happens.
-        cc.set_fabric_factors(vec![(cluster.nic_egress_link(InstanceId(0)), 0.5)]);
-        let recon = cc.reprofile();
-        assert!(recon.changed, "reconstruction should trigger");
         let restart = nccl_restart_cost(tensor, cluster.gpu_count());
-        let ours = recon.total().as_secs();
+        let ours = warm.total().as_secs();
         let theirs = restart.total().as_secs();
         out.push(row(
             &format!("{servers} servers / {} GPUs", cluster.gpu_count()),
             &[
-                cc.init_report().detection.as_secs(),
-                recon.profiling.as_secs(),
-                recon.solving.as_secs(),
-                recon.setup.as_secs(),
+                warm.profiling.as_secs(),
+                cold.solving.as_secs(),
+                warm.solving.as_secs(),
+                warm.setup.as_secs(),
                 ours,
                 theirs,
                 (1.0 - ours / theirs) * 100.0,
             ],
         ));
     }
+    out.push(format!(
+        "plan cache: warm-started re-synthesis bills {:.0}x less solver time than a cold solve",
+        1.0 / adapcc::reconstruct::WARM_SOLVE_FRACTION
+    ));
     out.push("paper: 74-91% saved vs restart; topology detection constant (~1.2 s)".into());
     out
+}
+
+/// One Fig. 19(c) data point: synthesize, degrade a NIC, re-profile,
+/// and return the reconstruction report plus cache counters.
+fn fig19c_reconstruct(
+    cluster: &Cluster,
+    tensor: ByteSize,
+    plan_cache: PlanCacheConfig,
+) -> (adapcc::reconstruct::ReconstructReport, PlanCacheStats) {
+    let mut cc = AdapCC::init(
+        cluster,
+        InitOptions {
+            synth: SynthConfig { anneal_iters: 120, ..Default::default() },
+            plan_cache,
+            ..Default::default()
+        },
+    );
+    cc.setup();
+    let _ = cc.strategy_for(Primitive::AllReduce, tensor);
+    // Degrade one NIC so re-synthesis actually happens.
+    cc.set_fabric_factors(vec![(cluster.nic_egress_link(InstanceId(0)), 0.5)]);
+    let recon = cc.reprofile();
+    assert!(recon.changed, "reconstruction should trigger");
+    (recon, cc.plan_cache_stats())
 }
 
 /// Fig. 19(d): CDF of the relay-negotiation RPC latency over 1000

@@ -4,6 +4,7 @@
 
 use adapcc::session::{AdapCC, InitOptions};
 use adapcc_baselines::runner::{Runner, System};
+use adapcc_plancache::{PlanCacheConfig, PlanCacheStats};
 use adapcc_simnet::cluster::{Cluster, ClusterBuilder, InstanceId, LinkId, Rank};
 use adapcc_simnet::hardware::InstanceSpec;
 use adapcc_simnet::time::SimTime;
@@ -157,23 +158,59 @@ pub fn fig18a() -> Vec<String> {
     let total_iters = 10_000usize;
     let profile_period = 500usize;
     out.push(header("amplification x", &["AdapCC (s)", "NCCL (s)", "reduction %"]));
+    let mut warm_at_max = None;
     for x in [0.0, 0.2, 0.4, 0.6] {
-        let adapcc = volatile_makespan(true, x, total_iters, profile_period);
-        let nccl = volatile_makespan(false, x, total_iters, profile_period);
+        let adapcc = volatile_makespan(true, x, total_iters, profile_period, PlanCacheConfig::default());
+        let nccl = volatile_makespan(false, x, total_iters, profile_period, PlanCacheConfig::disabled());
         out.push(row(
             &format!("x = {x:.1}"),
-            &[adapcc, nccl, (1.0 - adapcc / nccl) * 100.0],
+            &[
+                adapcc.makespan,
+                nccl.makespan,
+                (1.0 - adapcc.makespan / nccl.makespan) * 100.0,
+            ],
         ));
+        warm_at_max = Some(adapcc);
     }
+    // Reconstruction-cost breakdown at the highest volatility: the same
+    // trace replayed without the plan cache pays the cold solver on
+    // every drift, with it the shape-stable fleet warm-starts instead.
+    let cold = volatile_makespan(true, 0.6, total_iters, profile_period, PlanCacheConfig::disabled());
+    let warm = warm_at_max.expect("loop ran");
+    let stats = warm.cache.unwrap_or_default();
+    out.push(format!(
+        "reconstruction cost at x = 0.6: cache-cold {:.1} s -> cache-warm {:.1} s \
+         ({} warm start(s), {} exact hit(s), {:.1} s modeled solver time saved)",
+        cold.recon_secs,
+        warm.recon_secs,
+        stats.warm_starts,
+        stats.hits,
+        stats.saved.as_secs()
+    ));
     out.push("paper: the makespan gap over NCCL widens as volatility grows".into());
     out
+}
+
+/// One `volatile_makespan` replay: the makespan itself, the portion
+/// spent on reconstruction (profiling + solving + setup), and the
+/// session's plan-cache counters (adaptive runs only).
+struct VolatileRun {
+    makespan: f64,
+    recon_secs: f64,
+    cache: Option<PlanCacheStats>,
 }
 
 /// Stepwise makespan estimation: the trace advances in windows; each
 /// window's per-iteration time is measured once and multiplied by the
 /// iterations that fit. AdapCC re-profiles every `profile_period`
 /// iterations (cost charged) and re-synthesizes when links changed.
-fn volatile_makespan(adaptive: bool, x: f64, total_iters: usize, profile_period: usize) -> f64 {
+fn volatile_makespan(
+    adaptive: bool,
+    x: f64,
+    total_iters: usize,
+    profile_period: usize,
+    plan_cache: PlanCacheConfig,
+) -> VolatileRun {
     let cluster = Cluster::homogeneous_a100(4);
     let model = DnnModel::Vgg16;
     let tensor = model.tensor_size();
@@ -185,13 +222,14 @@ fn volatile_makespan(adaptive: bool, x: f64, total_iters: usize, profile_period:
     let mut stragglers = StragglerModel::new(9);
 
     let mut session = adaptive.then(|| {
-        let mut cc = AdapCC::init(&cluster, InitOptions::default());
+        let mut cc = AdapCC::init(&cluster, InitOptions { plan_cache, ..Default::default() });
         cc.setup();
         cc
     });
     let baseline = (!adaptive).then(|| profiled(&cluster, 1));
 
     let mut makespan = 0.0f64;
+    let mut recon_secs = 0.0f64;
     let mut done = 0usize;
     while done < total_iters {
         // Sample the trace at the current simulated wall clock.
@@ -207,6 +245,7 @@ fn volatile_makespan(adaptive: bool, x: f64, total_iters: usize, profile_period:
             (Some(cc), _) => {
                 cc.set_fabric_factors(factors.clone());
                 let recon = cc.reprofile();
+                recon_secs += recon.total().as_secs();
                 makespan += recon.total().as_secs();
                 cc.allreduce_adaptive(tensor, &ready, None)
                     .expect("healthy fabric")
@@ -232,7 +271,7 @@ fn volatile_makespan(adaptive: bool, x: f64, total_iters: usize, profile_period:
         makespan += iter_secs * window as f64;
         done += window;
     }
-    makespan
+    VolatileRun { makespan, recon_secs, cache: session.map(|cc| cc.plan_cache_stats()) }
 }
 
 /// Fig. 18(b): communication speed-up over NCCL versus the CPU

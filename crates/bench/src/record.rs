@@ -24,6 +24,13 @@ pub struct BenchRecord {
     pub comm_time_ms: f64,
     /// The paper's algorithm bandwidth in GB/s.
     pub algo_bw_gbytes: f64,
+    /// Plan-cache exact hits during the run (all zero when the run had
+    /// no `--plan-cache`).
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (cold solves).
+    pub plan_cache_misses: u64,
+    /// Plan-cache warm-started solves.
+    pub plan_cache_warm_starts: u64,
 }
 
 impl BenchRecord {
@@ -36,7 +43,8 @@ impl BenchRecord {
             s,
             "{{\"system\":\"{}\",\"primitive\":\"{}\",\"servers\":\"{}\",\
              \"tensor_mib\":{},\"parallelism\":{},\"comm_time_ms\":{:.6},\
-             \"algo_bw_gbytes\":{:.6}}}",
+             \"algo_bw_gbytes\":{:.6},\"plan_cache_hits\":{},\
+             \"plan_cache_misses\":{},\"plan_cache_warm_starts\":{}}}",
             escape(&self.system),
             escape(&self.primitive),
             escape(&self.servers),
@@ -44,6 +52,9 @@ impl BenchRecord {
             self.parallelism,
             self.comm_time_ms,
             self.algo_bw_gbytes,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.plan_cache_warm_starts,
         );
         s
     }
@@ -84,6 +95,9 @@ mod tests {
             parallelism: 4,
             comm_time_ms: 12.5,
             algo_bw_gbytes: 21.474836,
+            plan_cache_hits: 0,
+            plan_cache_misses: 1,
+            plan_cache_warm_starts: 0,
         }
     }
 
@@ -94,6 +108,8 @@ mod tests {
         assert!(j.starts_with("{\"system\":\"AdapCC\""));
         assert!(j.contains("\"tensor_mib\":256"));
         assert!(j.contains("\"comm_time_ms\":12.500000"));
+        assert!(j.contains("\"plan_cache_hits\":0"));
+        assert!(j.contains("\"plan_cache_misses\":1"));
         assert!(j.ends_with('}'));
     }
 

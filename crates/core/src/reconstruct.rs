@@ -74,6 +74,20 @@ pub fn modeled_solve_cost(gpus: usize) -> SimDuration {
     SimDuration::from_secs(0.9 + 0.03 * gpus as f64)
 }
 
+/// Fraction of the cold solve a warm-started re-synthesis is billed:
+/// the plan cache's seed skips candidate generation and all but a
+/// short polish anneal (1/8 of the iterations), leaving only the
+/// analytic chunk sweep and fraction balancing — an 8× discount,
+/// comfortably past the ≥5× reduction Fig. 19(c)'s warm-cache
+/// scenario demonstrates.
+pub const WARM_SOLVE_FRACTION: f64 = 0.125;
+
+/// Modeled latency of a warm-started re-synthesis for a job of `gpus`
+/// workers (see [`WARM_SOLVE_FRACTION`]).
+pub fn modeled_warm_solve_cost(gpus: usize) -> SimDuration {
+    SimDuration::from_secs(modeled_solve_cost(gpus).as_secs() * WARM_SOLVE_FRACTION)
+}
+
 /// The restart cost a static library pays to adopt a new graph:
 /// checkpoint + relaunch + process-group rebuild + restore, for a
 /// model of `model` bytes across `gpus` workers.

@@ -17,6 +17,10 @@ use std::collections::{BTreeMap, HashMap};
 
 use std::fmt;
 
+use adapcc_plancache::{
+    fingerprint, CachedPlan, Fingerprint, FingerprintInputs, Lookup, PlanCache, PlanCacheConfig,
+    PlanCacheStats,
+};
 use adapcc_profile::profiler::{LinkProfile, Profiler};
 use adapcc_simnet::cluster::{Cluster, LinkId, Rank};
 use adapcc_simnet::engine::NetSim;
@@ -53,6 +57,11 @@ pub struct InitOptions {
     pub resynth_threshold: f64,
     /// Synthesizer effort.
     pub synth: SynthConfig,
+    /// Plan-cache behavior: exact fingerprint hits skip the solver,
+    /// near misses warm-start it. Enabled (memory-only) by default;
+    /// see [`PlanCacheConfig::disabled`] for the cold baseline and
+    /// [`PlanCacheConfig::on_disk`] for a persistent tier.
+    pub plan_cache: PlanCacheConfig,
     /// Telemetry sink threaded through every pipeline phase (detect,
     /// profile, synthesize, execute, relay). Disabled by default; an
     /// enabled sink records phase spans on one stitched timeline plus
@@ -68,6 +77,7 @@ impl Default for InitOptions {
             relay: RelayConfig::default(),
             resynth_threshold: 0.15,
             synth: SynthConfig::default(),
+            plan_cache: PlanCacheConfig::default(),
             telemetry: adapcc_telemetry::Telemetry::disabled(),
         }
     }
@@ -87,6 +97,27 @@ impl InitReport {
     /// Total initialization time.
     pub fn total(&self) -> SimDuration {
         self.detection + self.profiling
+    }
+}
+
+/// Running totals of how synthesis requests were satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct SynthTally {
+    /// Cold solves (full candidate generation + anneal).
+    cold: u64,
+    /// Warm starts (cached seed + chunk sweep + polish anneal).
+    warm: u64,
+    /// Exact cache hits (solver skipped).
+    hit: u64,
+}
+
+impl SynthTally {
+    fn since(&self, before: SynthTally) -> SynthTally {
+        SynthTally {
+            cold: self.cold - before.cold,
+            warm: self.warm - before.warm,
+            hit: self.hit - before.hit,
+        }
     }
 }
 
@@ -238,6 +269,16 @@ pub struct AdapCC<'c> {
     communicator: Communicator,
     coordinator: Coordinator,
     strategies: HashMap<(Primitive, u64, Option<Rank>), Strategy>,
+    /// Fingerprinted cross-reconstruction plan store. Unlike
+    /// `strategies` (a per-worker-set memo cleared on every change),
+    /// the cache is keyed by content and survives `set_workers`,
+    /// reprofiles and exclusions — returning to a previously-seen
+    /// state hits.
+    plan_cache: PlanCache,
+    /// How the solver was engaged since session start (cold solves,
+    /// warm starts, exact hits); reconstruction paths diff it around
+    /// their re-synthesis loops to charge the matching modeled cost.
+    synth_tally: SynthTally,
     estimates: HashMap<(Primitive, u64), BuyEstimate>,
     /// Zero-skew execution time per cached strategy: timing-only
     /// wait-all collectives reuse it instead of re-simulating (the
@@ -271,6 +312,7 @@ impl<'c> AdapCC<'c> {
             profiling: prof.elapsed,
         };
         let workers = (0..cluster.gpu_count()).map(Rank).collect();
+        let plan_cache = PlanCache::new(options.plan_cache.clone());
         AdapCC {
             cluster,
             coordinator: Coordinator::new(options.seed)
@@ -283,6 +325,8 @@ impl<'c> AdapCC<'c> {
             init_report,
             communicator: Communicator::new(),
             strategies: HashMap::new(),
+            plan_cache,
+            synth_tally: SynthTally::default(),
             estimates: HashMap::new(),
             exec_cache: HashMap::new(),
             workers,
@@ -466,17 +510,99 @@ impl<'c> AdapCC<'c> {
     ) -> &Strategy {
         let key = (primitive, tensor.as_u64(), root);
         if !self.strategies.contains_key(&key) {
-            let mut req =
-                SynthRequest::new(primitive, tensor, self.options.parallelism, self.workers.clone());
-            req.root = root;
-            req.seed = self.options.seed;
-            let strategy = Synthesizer::new(&self.topo, &self.profile)
-                .with_config(self.options.synth.clone())
-                .with_telemetry(self.options.telemetry.clone())
-                .synthesize(&req);
+            let strategy = self.synthesize_through_cache(primitive, tensor, root);
             self.strategies.insert(key, strategy);
         }
         &self.strategies[&key]
+    }
+
+    /// Satisfies one synthesis request through the plan cache: exact
+    /// fingerprint hits return the stored strategy without touching the
+    /// solver, near misses warm-start it from the stored seed, and
+    /// misses (or seeds the solver rejects) solve cold and populate the
+    /// cache.
+    fn synthesize_through_cache(
+        &mut self,
+        primitive: Primitive,
+        tensor: ByteSize,
+        root: Option<Rank>,
+    ) -> Strategy {
+        let mut req =
+            SynthRequest::new(primitive, tensor, self.options.parallelism, self.workers.clone());
+        req.root = root;
+        req.seed = self.options.seed;
+        let fp = self.plan_fingerprint(&req);
+        let full = crate::reconstruct::modeled_solve_cost(self.workers.len());
+        let warm_cost = crate::reconstruct::modeled_warm_solve_cost(self.workers.len());
+        let lookup = self.plan_cache.lookup(&fp);
+        let strategy = match lookup {
+            // Serve only plans that still validate against the topology
+            // (a corrupted or hand-edited disk entry must not execute).
+            Lookup::Hit(plan) if plan.strategy.validate(&self.topo).is_ok() => {
+                self.synth_tally.hit += 1;
+                self.plan_cache.note_saved(full);
+                plan.strategy
+            }
+            Lookup::Warm(plan) => {
+                let warm = Synthesizer::new(&self.topo, &self.profile)
+                    .with_config(self.options.synth.clone())
+                    .with_telemetry(self.options.telemetry.clone())
+                    .synthesize_warm(&req, &plan.seed);
+                match warm {
+                    Some((strategy, seed)) => {
+                        self.synth_tally.warm += 1;
+                        self.plan_cache
+                            .note_saved(SimDuration::from_secs(full.as_secs() - warm_cost.as_secs()));
+                        self.plan_cache
+                            .insert(fp, CachedPlan { strategy: strategy.clone(), seed });
+                        strategy
+                    }
+                    None => {
+                        self.plan_cache.warm_fell_back();
+                        self.synthesize_cold(&req, fp)
+                    }
+                }
+            }
+            _ => self.synthesize_cold(&req, fp),
+        };
+        self.plan_cache.export_counters(&self.options.telemetry);
+        strategy
+    }
+
+    fn synthesize_cold(&mut self, req: &SynthRequest, fp: Fingerprint) -> Strategy {
+        self.synth_tally.cold += 1;
+        let (strategy, seed) = Synthesizer::new(&self.topo, &self.profile)
+            .with_config(self.options.synth.clone())
+            .with_telemetry(self.options.telemetry.clone())
+            .synthesize_with_seed(req);
+        self.plan_cache.insert(fp, CachedPlan { strategy: strategy.clone(), seed });
+        strategy
+    }
+
+    /// The canonical cache key of a synthesis request under the current
+    /// topology, worker set and profile. Exclusions shrink
+    /// `participants`, so they flip the shape half and structurally
+    /// invalidate every pre-exclusion plan; profile drift past the
+    /// `resynth_threshold` quantization flips only the profile half,
+    /// leaving the entry warm-startable.
+    fn plan_fingerprint(&self, req: &SynthRequest) -> Fingerprint {
+        fingerprint(&FingerprintInputs {
+            topo: &self.topo,
+            profile: &self.profile,
+            participants: &req.participants,
+            relays: &req.relays,
+            primitive: req.primitive,
+            parallelism: req.parallelism,
+            tensor: req.tensor,
+            root: req.root,
+            quantization: self.options.resynth_threshold,
+        })
+    }
+
+    /// Plan-cache effectiveness counters (hits, misses, warm starts,
+    /// modeled solver latency saved).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
     }
 
     /// An executor over the current fabric: live capacity factors
@@ -1184,6 +1310,21 @@ impl<'c> AdapCC<'c> {
 
     // ---- graph reconstruction ----
 
+    /// Modeled solver latency for the re-synthesis work done since
+    /// `before`: full cost if anything solved cold, the warm-start
+    /// fraction if the cache seeded every solve, zero if every request
+    /// was an exact hit (or nothing was synthesized).
+    fn modeled_solving_since(&self, before: SynthTally) -> SimDuration {
+        let t = self.synth_tally.since(before);
+        if t.cold > 0 {
+            crate::reconstruct::modeled_solve_cost(self.workers.len())
+        } else if t.warm > 0 {
+            crate::reconstruct::modeled_warm_solve_cost(self.workers.len())
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
     /// Re-profiles the links under the given live capacity factors and,
     /// if the picture changed beyond the threshold, re-synthesizes all
     /// cached strategies and re-runs the context set-up — all without
@@ -1211,11 +1352,17 @@ impl<'c> AdapCC<'c> {
             self.strategies.clear();
             self.estimates.clear();
             self.exec_cache.clear();
-            let wall = std::time::Instant::now();
+            // Charge the modeled solver latency (like
+            // `reconstruct_after_exclusion`) rather than local wall
+            // time, so same-seed runs report identical reconstruction
+            // costs. The plan cache scales it: any cold solve bills the
+            // full anneal, pure warm starts bill the polish fraction,
+            // pure exact hits are free.
+            let before = self.synth_tally;
             for (p, bytes, root) in keys {
                 let _ = self.strategy_for_root(p, ByteSize::from_bytes(bytes), root);
             }
-            solving = SimDuration::from_secs(wall.elapsed().as_secs_f64());
+            solving = self.modeled_solving_since(before);
             setup = self
                 .communicator
                 .setup(self.cluster, self.options.parallelism)
@@ -1254,13 +1401,25 @@ impl<'c> AdapCC<'c> {
         }
         let report = profiler.run();
         self.profile = report.links;
+        let before = self.synth_tally;
+        let mut resynthesized = false;
         for (p, bytes, root) in keys {
             if root.is_some_and(|r| dead.contains(&r)) {
                 continue;
             }
+            resynthesized = true;
             let _ = self.strategy_for_root(p, ByteSize::from_bytes(bytes), root);
         }
-        let solving = crate::reconstruct::modeled_solve_cost(self.workers.len());
+        // Exclusion shrinks the participant set, so every fingerprint's
+        // shape half changes and the loop above solves cold — unless
+        // the fleet has returned to a previously-seen worker set, where
+        // the cache legitimately discounts the bill. With no surviving
+        // keys the session still re-plans its graph at full cost.
+        let solving = if resynthesized {
+            self.modeled_solving_since(before)
+        } else {
+            crate::reconstruct::modeled_solve_cost(self.workers.len())
+        };
         let setup = self
             .communicator
             .setup(self.cluster, self.options.parallelism)

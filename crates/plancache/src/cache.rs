@@ -1,0 +1,405 @@
+//! The two-tier plan store: deterministic in-memory LRU plus an
+//! optional on-disk JSON tier.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use adapcc_simnet::time::SimDuration;
+use adapcc_synth::solver::PlanSeed;
+use adapcc_synth::strategy::Strategy;
+use adapcc_telemetry::Telemetry;
+
+use crate::fingerprint::Fingerprint;
+use crate::json;
+
+/// Cache behavior knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCacheConfig {
+    /// Master switch; a disabled cache always misses and never stores.
+    pub enabled: bool,
+    /// In-memory entry cap; least-recently-used entries evict beyond it.
+    pub capacity: usize,
+    /// Directory for the persistent tier; `None` keeps the cache
+    /// memory-only.
+    pub disk_dir: Option<PathBuf>,
+    /// Whether near misses (same shape, drifted profile) may be served
+    /// as warm-start seeds.
+    pub warm_start: bool,
+}
+
+impl Default for PlanCacheConfig {
+    fn default() -> Self {
+        PlanCacheConfig { enabled: true, capacity: 64, disk_dir: None, warm_start: true }
+    }
+}
+
+impl PlanCacheConfig {
+    /// A cache that never hits — the cold baseline.
+    pub fn disabled() -> Self {
+        PlanCacheConfig { enabled: false, ..Default::default() }
+    }
+
+    /// A default cache persisted under `dir`.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        PlanCacheConfig { disk_dir: Some(dir.into()), ..Default::default() }
+    }
+}
+
+/// A cached synthesis product: the strategy served on exact hits and
+/// the plan blueprint that seeds warm starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedPlan {
+    /// The synthesized strategy.
+    pub strategy: Strategy,
+    /// The solver blueprint it was realized from.
+    pub seed: PlanSeed,
+}
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// Fingerprint matched exactly: serve the strategy, skip the solver.
+    Hit(CachedPlan),
+    /// Shape matched but the profile drifted: warm-start the solver
+    /// from the seed.
+    Warm(CachedPlan),
+    /// Nothing usable: solve cold.
+    Miss,
+}
+
+/// Monotonic counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlanCacheStats {
+    /// Exact fingerprint hits (solver skipped entirely).
+    pub hits: u64,
+    /// Cold solves (no usable entry).
+    pub misses: u64,
+    /// Near misses served as warm-start seeds.
+    pub warm_starts: u64,
+    /// Modeled solver latency avoided by hits and warm starts.
+    pub saved: SimDuration,
+    /// Disk-tier reads or writes that failed (cache stays best-effort).
+    pub io_errors: u64,
+}
+
+/// Content-addressed strategy store keyed by [`Fingerprint`].
+///
+/// Exact hits return the stored [`Strategy`] verbatim; near misses
+/// (identical shape hash, drifted profile hash) return the stored plan
+/// seed for warm-started re-synthesis. Eviction is least-recently-used
+/// over a deterministic monotonic stamp, so same-seed runs hit and
+/// evict identically.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    config: PlanCacheConfig,
+    entries: HashMap<u128, Entry>,
+    /// Latest fingerprint seen per shape hash — the warm-start index.
+    by_shape: HashMap<u64, Fingerprint>,
+    tick: u64,
+    stats: PlanCacheStats,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    fp: Fingerprint,
+    plan: CachedPlan,
+    stamp: u64,
+}
+
+impl PlanCache {
+    /// A cache with the given configuration.
+    pub fn new(config: PlanCacheConfig) -> Self {
+        PlanCache { config, ..Default::default() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlanCacheConfig {
+        &self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Number of in-memory entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the in-memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Probes both tiers and records the outcome in [`stats`]
+    /// (`Hit` → `hits`, `Warm` → `warm_starts`, `Miss` → `misses`).
+    pub fn lookup(&mut self, fp: &Fingerprint) -> Lookup {
+        if !self.config.enabled {
+            return Lookup::Miss;
+        }
+        if let Some(e) = self.entries.get_mut(&fp.key()) {
+            self.tick += 1;
+            e.stamp = self.tick;
+            self.stats.hits += 1;
+            return Lookup::Hit(e.plan.clone());
+        }
+        if let Some(plan) = self.disk_load(fp) {
+            self.store(*fp, plan.clone());
+            self.stats.hits += 1;
+            return Lookup::Hit(plan);
+        }
+        if self.config.warm_start {
+            if let Some(prev) = self.by_shape.get(&fp.shape).copied() {
+                if let Some(e) = self.entries.get_mut(&prev.key()) {
+                    self.tick += 1;
+                    e.stamp = self.tick;
+                    self.stats.warm_starts += 1;
+                    return Lookup::Warm(e.plan.clone());
+                }
+            }
+            if let Some((prev, plan)) = self.disk_load_by_shape(fp.shape) {
+                self.store(prev, plan.clone());
+                self.stats.warm_starts += 1;
+                return Lookup::Warm(plan);
+            }
+        }
+        self.stats.misses += 1;
+        Lookup::Miss
+    }
+
+    /// Downgrades the most recent `Warm` outcome to a miss — called
+    /// when the solver rejected the seed (structure no longer matches)
+    /// and the caller solved cold after all.
+    pub fn warm_fell_back(&mut self) {
+        self.stats.warm_starts = self.stats.warm_starts.saturating_sub(1);
+        self.stats.misses += 1;
+    }
+
+    /// Stores a synthesis product under its fingerprint in both tiers.
+    pub fn insert(&mut self, fp: Fingerprint, plan: CachedPlan) {
+        if !self.config.enabled {
+            return;
+        }
+        self.disk_store(&fp, &plan);
+        self.store(fp, plan);
+    }
+
+    /// Adds modeled solver latency avoided by a hit or warm start.
+    pub fn note_saved(&mut self, d: SimDuration) {
+        self.stats.saved += d;
+    }
+
+    /// Publishes the counters to a telemetry sink (`plancache.*`).
+    pub fn export_counters(&self, telemetry: &Telemetry) {
+        telemetry.set_counter("plancache.hits", self.stats.hits as f64);
+        telemetry.set_counter("plancache.misses", self.stats.misses as f64);
+        telemetry.set_counter("plancache.warm_starts", self.stats.warm_starts as f64);
+        telemetry.set_counter("plancache.saved_secs", self.stats.saved.as_secs());
+        telemetry.set_counter("plancache.entries", self.entries.len() as f64);
+    }
+
+    fn store(&mut self, fp: Fingerprint, plan: CachedPlan) {
+        if self.config.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.entries.insert(fp.key(), Entry { fp, plan, stamp: self.tick });
+        self.by_shape.insert(fp.shape, fp);
+        while self.entries.len() > self.config.capacity {
+            let oldest = self
+                .entries
+                .values()
+                .min_by_key(|e| e.stamp)
+                .map(|e| e.fp)
+                .expect("non-empty over capacity");
+            self.entries.remove(&oldest.key());
+            if self.by_shape.get(&oldest.shape) == Some(&oldest) {
+                self.by_shape.remove(&oldest.shape);
+            }
+        }
+    }
+
+    fn entry_path(dir: &Path, fp: &Fingerprint) -> PathBuf {
+        dir.join(format!("{}.json", fp.hex()))
+    }
+
+    fn disk_load(&mut self, fp: &Fingerprint) -> Option<CachedPlan> {
+        let dir = self.config.disk_dir.clone()?;
+        let text = std::fs::read_to_string(Self::entry_path(&dir, fp)).ok()?;
+        match json::decode_entry(&text) {
+            Some((stored_fp, plan)) if stored_fp == *fp => Some(plan),
+            _ => {
+                self.stats.io_errors += 1;
+                None
+            }
+        }
+    }
+
+    /// Scans the disk tier for any entry with the given shape hash
+    /// (lexicographically first file for determinism).
+    fn disk_load_by_shape(&mut self, shape: u64) -> Option<(Fingerprint, CachedPlan)> {
+        let dir = self.config.disk_dir.clone()?;
+        let prefix = format!("{shape:016x}-");
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .ok()?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with(&prefix) && n.ends_with(".json"))
+            .collect();
+        names.sort();
+        for name in names {
+            let Ok(text) = std::fs::read_to_string(dir.join(&name)) else {
+                self.stats.io_errors += 1;
+                continue;
+            };
+            match json::decode_entry(&text) {
+                Some((fp, plan)) if fp.shape == shape => return Some((fp, plan)),
+                _ => self.stats.io_errors += 1,
+            }
+        }
+        None
+    }
+
+    fn disk_store(&mut self, fp: &Fingerprint, plan: &CachedPlan) {
+        let Some(dir) = self.config.disk_dir.clone() else {
+            return;
+        };
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&dir)?;
+            std::fs::write(Self::entry_path(&dir, fp), json::encode_entry(fp, plan))
+        };
+        if write().is_err() {
+            self.stats.io_errors += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapcc_synth::primitive::Primitive;
+
+    fn fp(shape: u64, profile: u64) -> Fingerprint {
+        Fingerprint { shape, profile }
+    }
+
+    fn plan(tag: u64) -> CachedPlan {
+        // A minimal distinguishable payload; structure is irrelevant to
+        // store mechanics.
+        CachedPlan {
+            strategy: Strategy {
+                primitive: Primitive::AllToAll,
+                subs: (0..tag as usize % 3 + 1)
+                    .map(|_| adapcc_synth::strategy::SubCollective {
+                        fraction: 1.0,
+                        chunk: adapcc_simnet::units::ByteSize::from_kib(tag.max(1)),
+                        root: None,
+                        flows: vec![],
+                        aggregate: Default::default(),
+                    })
+                    .collect(),
+            },
+            seed: PlanSeed::default(),
+        }
+    }
+
+    #[test]
+    fn exact_hit_after_insert() {
+        let mut c = PlanCache::new(PlanCacheConfig::default());
+        let f = fp(1, 2);
+        assert_eq!(c.lookup(&f), Lookup::Miss);
+        c.insert(f, plan(7));
+        assert_eq!(c.lookup(&f), Lookup::Hit(plan(7)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.warm_starts), (1, 1, 0));
+    }
+
+    #[test]
+    fn same_shape_different_profile_is_warm() {
+        let mut c = PlanCache::new(PlanCacheConfig::default());
+        c.insert(fp(1, 2), plan(7));
+        assert_eq!(c.lookup(&fp(1, 3)), Lookup::Warm(plan(7)));
+        assert_eq!(c.stats().warm_starts, 1);
+    }
+
+    #[test]
+    fn warm_start_can_be_disabled() {
+        let mut c =
+            PlanCache::new(PlanCacheConfig { warm_start: false, ..Default::default() });
+        c.insert(fp(1, 2), plan(7));
+        assert_eq!(c.lookup(&fp(1, 3)), Lookup::Miss);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits_or_stores() {
+        let mut c = PlanCache::new(PlanCacheConfig::disabled());
+        let f = fp(1, 2);
+        c.insert(f, plan(7));
+        assert_eq!(c.lookup(&f), Lookup::Miss);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().misses, 0, "disabled cache keeps quiet counters");
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let mut c = PlanCache::new(PlanCacheConfig { capacity: 2, ..Default::default() });
+        c.insert(fp(1, 1), plan(1));
+        c.insert(fp(2, 2), plan(2));
+        assert!(matches!(c.lookup(&fp(1, 1)), Lookup::Hit(_))); // touch 1
+        c.insert(fp(3, 3), plan(3)); // evicts 2
+        assert!(matches!(c.lookup(&fp(1, 1)), Lookup::Hit(_)));
+        assert!(matches!(c.lookup(&fp(3, 3)), Lookup::Hit(_)));
+        assert_eq!(c.lookup(&fp(2, 2)), Lookup::Miss);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn eviction_cleans_the_shape_index() {
+        let mut c = PlanCache::new(PlanCacheConfig { capacity: 1, ..Default::default() });
+        c.insert(fp(1, 1), plan(1));
+        c.insert(fp(2, 2), plan(2)); // evicts shape 1
+        assert_eq!(c.lookup(&fp(1, 9)), Lookup::Miss, "stale shape index must not warm-hit");
+    }
+
+    #[test]
+    fn warm_fallback_recounts_as_miss() {
+        let mut c = PlanCache::new(PlanCacheConfig::default());
+        c.insert(fp(1, 2), plan(7));
+        let _ = c.lookup(&fp(1, 3));
+        c.warm_fell_back();
+        let s = c.stats();
+        assert_eq!((s.warm_starts, s.misses), (0, 1));
+    }
+
+    #[test]
+    fn disk_tier_roundtrips_across_instances() {
+        let dir = std::env::temp_dir().join("adapcc_plancache_disk_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = fp(0xabc, 0xdef);
+        {
+            let mut c = PlanCache::new(PlanCacheConfig::on_disk(&dir));
+            c.insert(f, plan(5));
+        }
+        let mut c2 = PlanCache::new(PlanCacheConfig::on_disk(&dir));
+        assert_eq!(c2.lookup(&f), Lookup::Hit(plan(5)));
+        // Same shape, drifted profile: served from disk as a warm seed.
+        let mut c3 = PlanCache::new(PlanCacheConfig::on_disk(&dir));
+        assert_eq!(c3.lookup(&fp(0xabc, 0x123)), Lookup::Warm(plan(5)));
+        assert_eq!(c2.stats().io_errors, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_a_counted_miss() {
+        let dir = std::env::temp_dir().join("adapcc_plancache_corrupt_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = fp(0x11, 0x22);
+        std::fs::write(dir.join(format!("{}.json", f.hex())), "not json").unwrap();
+        let mut c = PlanCache::new(PlanCacheConfig::on_disk(&dir));
+        assert_eq!(c.lookup(&f), Lookup::Miss);
+        assert!(c.stats().io_errors > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

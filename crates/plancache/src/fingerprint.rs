@@ -1,0 +1,327 @@
+//! Canonical fingerprints of synthesis problem instances.
+//!
+//! A fingerprint identifies everything the synthesizer's answer depends
+//! on, split into two halves so the cache can distinguish an *exact*
+//! hit from a *warm-startable* near miss:
+//!
+//! - the **shape** half hashes the structural inputs — logical topology
+//!   (nodes and edges in index order), participant and relay sets,
+//!   primitive, parallelism `M`, tensor-size class (`⌊log2 bytes⌋`) and
+//!   requested root. Worker exclusion removes ranks from the
+//!   participant set, so it changes the shape hash and structurally
+//!   invalidates every pre-exclusion plan.
+//! - the **profile** half hashes the α–β link costs quantized into
+//!   relative buckets sized off the session's `resynth_threshold`: two
+//!   profiles whose every measurement lands in the same bucket share a
+//!   hash, so profiling noise below the re-synthesis trigger does not
+//!   defeat the cache, while drift past it yields a near miss that
+//!   warm-starts the annealer instead of solving cold.
+
+use adapcc_profile::profiler::LinkProfile;
+use adapcc_simnet::cluster::Rank;
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::primitive::Primitive;
+use adapcc_topo::logical::{EdgeId, EdgeKind, LogicalNode, LogicalTopology};
+
+/// Two-part content fingerprint of a synthesis request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint {
+    /// Structural half: topology, participants, relays, primitive,
+    /// parallelism, tensor-size class, root.
+    pub shape: u64,
+    /// Measurement half: quantized α–β profile buckets.
+    pub profile: u64,
+}
+
+impl Fingerprint {
+    /// The combined 128-bit cache key.
+    pub fn key(&self) -> u128 {
+        ((self.shape as u128) << 64) | self.profile as u128
+    }
+
+    /// Fixed-width lowercase hex rendering (shape then profile), used
+    /// as the on-disk file stem.
+    pub fn hex(&self) -> String {
+        format!("{:016x}-{:016x}", self.shape, self.profile)
+    }
+}
+
+/// The inputs a fingerprint is computed over.
+#[derive(Debug, Clone)]
+pub struct FingerprintInputs<'a> {
+    /// Logical topology the strategy routes over.
+    pub topo: &'a LogicalTopology,
+    /// Profiled α–β link costs.
+    pub profile: &'a LinkProfile,
+    /// Workers contributing data, in rank order.
+    pub participants: &'a [Rank],
+    /// Non-ready workers available as relays, in rank order.
+    pub relays: &'a [Rank],
+    /// The primitive.
+    pub primitive: Primitive,
+    /// Number of parallel sub-collectives (`M`).
+    pub parallelism: usize,
+    /// Per-rank tensor size (folded to its `⌊log2⌋` class).
+    pub tensor: ByteSize,
+    /// Requested root, if any.
+    pub root: Option<Rank>,
+    /// Relative α–β bucket width; sessions pass `resynth_threshold`.
+    pub quantization: f64,
+}
+
+/// Computes the canonical fingerprint of a synthesis problem.
+pub fn fingerprint(inp: &FingerprintInputs<'_>) -> Fingerprint {
+    Fingerprint { shape: shape_hash(inp), profile: profile_hash(inp) }
+}
+
+/// The tensor-size class: `⌊log2 bytes⌋` (0 for empty tensors).
+/// Strategies are structural — routing trees do not change within a
+/// power-of-two size band, only the swept chunk size would — so the
+/// cache deliberately keys on the class, not the exact byte count.
+pub fn size_class(tensor: ByteSize) -> u32 {
+    let b = tensor.as_u64();
+    if b == 0 {
+        0
+    } else {
+        63 - b.leading_zeros()
+    }
+}
+
+/// Quantizes a positive measurement into a relative bucket of width
+/// `quantization` (e.g. 0.15 buckets values that differ by <15%
+/// together). Non-positive and non-finite values share a sentinel.
+pub fn bucket(value: f64, quantization: f64) -> i64 {
+    if !value.is_finite() || value <= 0.0 {
+        return i64::MIN;
+    }
+    let width = (1.0 + quantization.max(1e-6)).ln();
+    (value.ln() / width).floor() as i64
+}
+
+fn shape_hash(inp: &FingerprintInputs<'_>) -> u64 {
+    let mut h = Fnv::new();
+    h.str("adapcc-plan-v1/shape");
+    h.u64(primitive_tag(inp.primitive));
+    h.u64(inp.parallelism as u64);
+    h.u64(size_class(inp.tensor) as u64);
+    match inp.root {
+        Some(r) => {
+            h.u64(1);
+            h.u64(r.0 as u64);
+        }
+        None => h.u64(0),
+    }
+    h.u64(inp.participants.len() as u64);
+    for r in inp.participants {
+        h.u64(r.0 as u64);
+    }
+    h.u64(inp.relays.len() as u64);
+    for r in inp.relays {
+        h.u64(r.0 as u64);
+    }
+    h.u64(inp.topo.nodes().len() as u64);
+    for n in inp.topo.nodes() {
+        hash_node(&mut h, *n);
+    }
+    h.u64(inp.topo.edges().len() as u64);
+    for e in inp.topo.edges() {
+        hash_node(&mut h, e.from);
+        hash_node(&mut h, e.to);
+        h.u64(kind_tag(e.kind));
+    }
+    h.finish()
+}
+
+fn profile_hash(inp: &FingerprintInputs<'_>) -> u64 {
+    let mut h = Fnv::new();
+    h.str("adapcc-plan-v1/profile");
+    for id in 0..inp.topo.edge_count() {
+        if let Some(ab) = inp.profile.get(EdgeId(id)) {
+            h.u64(id as u64);
+            h.i64(bucket(ab.alpha_secs, inp.quantization));
+            h.i64(bucket(ab.beta_secs_per_byte, inp.quantization));
+            h.i64(bucket(ab.port_beta_secs_per_byte, inp.quantization));
+        }
+    }
+    for inst in inp.topo.nic_nodes() {
+        if let Some(bw) = inp.profile.nic_ingress(inst) {
+            h.u64(inst.0 as u64);
+            h.i64(bucket(bw.as_bytes_per_sec(), inp.quantization));
+        }
+    }
+    h.finish()
+}
+
+fn hash_node(h: &mut Fnv, n: LogicalNode) {
+    match n {
+        LogicalNode::Gpu(r) => {
+            h.u64(0);
+            h.u64(r.0 as u64);
+        }
+        LogicalNode::Nic(i) => {
+            h.u64(1);
+            h.u64(i.0 as u64);
+        }
+    }
+}
+
+fn primitive_tag(p: Primitive) -> u64 {
+    match p {
+        Primitive::Reduce => 0,
+        Primitive::Broadcast => 1,
+        Primitive::AllReduce => 2,
+        Primitive::AllGather => 3,
+        Primitive::ReduceScatter => 4,
+        Primitive::AllToAll => 5,
+    }
+}
+
+fn kind_tag(k: EdgeKind) -> u64 {
+    match k {
+        EdgeKind::NvLink => 0,
+        EdgeKind::PciePeer => 1,
+        EdgeKind::HostLink => 2,
+        EdgeKind::Network => 3,
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, deterministic across runs
+/// and platforms (unlike `std::hash::DefaultHasher`, which documents
+/// no cross-version stability — on-disk cache keys must never rot).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.push(s.as_bytes());
+        self.push(&[0xff]);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.push(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapcc_profile::profiler::Profiler;
+    use adapcc_simnet::cluster::Cluster;
+    use adapcc_topo::detect::Detector;
+
+    fn setup(c: &Cluster) -> (LogicalTopology, LinkProfile) {
+        let topo = Detector::new(c, 1).run().logical_topology(c);
+        let profile = Profiler::new(c, &topo, 1).without_noise().run().links;
+        (topo, profile)
+    }
+
+    fn inputs<'a>(
+        topo: &'a LogicalTopology,
+        profile: &'a LinkProfile,
+        participants: &'a [Rank],
+    ) -> FingerprintInputs<'a> {
+        FingerprintInputs {
+            topo,
+            profile,
+            participants,
+            relays: &[],
+            primitive: Primitive::AllReduce,
+            parallelism: 4,
+            tensor: ByteSize::from_mib(64),
+            root: None,
+            quantization: 0.15,
+        }
+    }
+
+    #[test]
+    fn identical_inputs_hash_identically() {
+        let c = Cluster::homogeneous_a100(2);
+        let (topo, profile) = setup(&c);
+        let ranks: Vec<Rank> = (0..8).map(Rank).collect();
+        let a = fingerprint(&inputs(&topo, &profile, &ranks));
+        let b = fingerprint(&inputs(&topo, &profile, &ranks));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn participant_change_flips_shape() {
+        let c = Cluster::homogeneous_a100(2);
+        let (topo, profile) = setup(&c);
+        let all: Vec<Rank> = (0..8).map(Rank).collect();
+        let minus_one: Vec<Rank> = (0..7).map(Rank).collect();
+        let a = fingerprint(&inputs(&topo, &profile, &all));
+        let b = fingerprint(&inputs(&topo, &profile, &minus_one));
+        assert_ne!(a.shape, b.shape);
+    }
+
+    #[test]
+    fn size_within_class_shares_shape_but_class_step_differs() {
+        let c = Cluster::homogeneous_a100(2);
+        let (topo, profile) = setup(&c);
+        let ranks: Vec<Rank> = (0..8).map(Rank).collect();
+        let mut i = inputs(&topo, &profile, &ranks);
+        let base = fingerprint(&i);
+        i.tensor = ByteSize::from_mib(64) + ByteSize::from_kib(512);
+        assert_eq!(fingerprint(&i), base, "same log2 class must share the fingerprint");
+        i.tensor = ByteSize::from_mib(128);
+        assert_ne!(fingerprint(&i).shape, base.shape);
+    }
+
+    #[test]
+    fn profile_drift_past_quantization_flips_only_profile_half() {
+        let c = Cluster::homogeneous_a100(2);
+        let (topo, mut profile) = setup(&c);
+        let ranks: Vec<Rank> = (0..8).map(Rank).collect();
+        let healthy = profile.clone();
+        let a = fingerprint(&inputs(&topo, &healthy, &ranks));
+        // Halve one profiled edge's bandwidth (double its beta): a >15%
+        // drift lands in a different bucket.
+        let id = (0..topo.edge_count())
+            .map(EdgeId)
+            .find(|e| profile.get(*e).is_some())
+            .expect("a profiled edge");
+        let mut ab = profile.get(id).unwrap();
+        ab.beta_secs_per_byte *= 2.0;
+        profile.insert(id, ab);
+        let b = fingerprint(&inputs(&topo, &profile, &ranks));
+        assert_eq!(a.shape, b.shape, "structure unchanged");
+        assert_ne!(a.profile, b.profile, "measurement drift must flip the profile half");
+    }
+
+    #[test]
+    fn sub_threshold_noise_shares_a_bucket() {
+        // Bucket width 15%: a 1% wiggle almost always stays put; this
+        // particular value is chosen away from a bucket edge.
+        assert_eq!(bucket(1.00, 0.15), bucket(1.01, 0.15));
+        assert_ne!(bucket(1.0, 0.15), bucket(2.0, 0.15));
+        assert_eq!(bucket(-1.0, 0.15), i64::MIN);
+        assert_eq!(bucket(0.0, 0.15), i64::MIN);
+    }
+
+    #[test]
+    fn size_class_is_log2_floor() {
+        assert_eq!(size_class(ByteSize::from_bytes(0)), 0);
+        assert_eq!(size_class(ByteSize::from_bytes(1)), 0);
+        assert_eq!(size_class(ByteSize::from_bytes(1024)), 10);
+        assert_eq!(size_class(ByteSize::from_bytes(1025)), 10);
+        assert_eq!(size_class(ByteSize::from_bytes(2048)), 11);
+    }
+}

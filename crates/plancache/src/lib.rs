@@ -1,0 +1,39 @@
+//! # adapcc-plancache
+//!
+//! Content-addressed strategy cache for the AdapCC adaptation loop.
+//!
+//! The paper's control plane re-synthesizes strategies on every profile
+//! drift past `resynth_threshold` and on every worker exclusion
+//! (Sec. IV-B/IV-D, Figs. 18(a)/19(c)); each solve anneals from
+//! scratch even when the fleet returns to a previously-seen state.
+//! This crate removes the redundant work with a two-tier store keyed by
+//! a canonical [`Fingerprint`] of the synthesis problem:
+//!
+//! - **Exact hit** — the fingerprint matches: the cached [`Strategy`]
+//!   is served verbatim and the solver is never invoked.
+//! - **Warm start** — the structural half matches but the α–β profile
+//!   drifted past its quantization bucket: the cached [`PlanSeed`]
+//!   seeds `Synthesizer::synthesize_warm`, which re-runs only the
+//!   analytic chunk sweep, fraction balancing and a short polish
+//!   anneal, at ~1/8 of the modeled cold-solve latency.
+//! - **Miss** — solve cold and insert the result.
+//!
+//! The in-memory tier is a deterministic LRU (monotonic stamps, no
+//! wall clock); the optional disk tier persists entries as
+//! byte-deterministic hand-rolled JSON (`<fingerprint>.json`) so a
+//! later process — or the second `adapcc_sim --plan-cache <dir>` run
+//! in CI — starts warm. Effectiveness counters export to telemetry as
+//! `plancache.*`.
+//!
+//! [`Strategy`]: adapcc_synth::strategy::Strategy
+//! [`PlanSeed`]: adapcc_synth::solver::PlanSeed
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod fingerprint;
+pub mod json;
+
+pub use cache::{CachedPlan, Lookup, PlanCache, PlanCacheConfig, PlanCacheStats};
+pub use fingerprint::{fingerprint, Fingerprint, FingerprintInputs};

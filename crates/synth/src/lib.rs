@@ -48,6 +48,6 @@ pub mod xml;
 pub use cost::{CostEstimate, CostModel};
 pub use exhaustive::exhaustive_optimum;
 pub use primitive::Primitive;
-pub use solver::{instance_of, SynthConfig, SynthRequest, Synthesizer};
+pub use solver::{instance_of, PlanSeed, SubSeed, SynthConfig, SynthRequest, Synthesizer};
 pub use strategy::{Flow, InvalidStrategy, Strategy, SubCollective};
 pub use summary::{describe, stats, StrategyStats};

@@ -174,6 +174,69 @@ struct Plan {
     specs: Vec<TreeSpec>,
 }
 
+/// Serializable blueprint of one sub-collective's tree — the public
+/// mirror of the solver's internal `TreeSpec`, exported so plan caches
+/// can persist enough structure to warm-start a later search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubSeed {
+    /// Leader GPU per participating instance.
+    pub leader: BTreeMap<InstanceId, Rank>,
+    /// Inter-instance tree: child instance -> parent instance.
+    pub parent: BTreeMap<InstanceId, InstanceId>,
+    /// Root GPU of this sub-collective.
+    pub root: Rank,
+    /// Root instance.
+    pub root_inst: InstanceId,
+    /// Members routed through a relay hub: member -> hub.
+    pub via_hub: BTreeMap<Rank, Rank>,
+    /// Pipelining chunk size.
+    pub chunk: ByteSize,
+    /// Tensor fraction assigned to this sub-collective.
+    pub fraction: f64,
+}
+
+/// Blueprint of a whole synthesized plan, returned alongside the
+/// strategy by [`Synthesizer::synthesize_with_seed`] and accepted by
+/// [`Synthesizer::synthesize_warm`].
+///
+/// Empty for analytic primitives (AllToAll) whose synthesis has no
+/// annealed tree structure worth reusing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlanSeed {
+    /// One blueprint per sub-collective.
+    pub subs: Vec<SubSeed>,
+}
+
+impl From<&TreeSpec> for SubSeed {
+    fn from(spec: &TreeSpec) -> Self {
+        SubSeed {
+            leader: spec.leader.clone(),
+            parent: spec.parent.clone(),
+            root: spec.root,
+            root_inst: spec.root_inst,
+            via_hub: spec.via_hub.clone(),
+            chunk: spec.chunk,
+            fraction: spec.fraction,
+        }
+    }
+}
+
+fn spec_from_seed(seed: &SubSeed) -> TreeSpec {
+    TreeSpec {
+        leader: seed.leader.clone(),
+        parent: seed.parent.clone(),
+        root: seed.root,
+        root_inst: seed.root_inst,
+        via_hub: seed.via_hub.clone(),
+        chunk: seed.chunk,
+        fraction: seed.fraction,
+    }
+}
+
+fn plan_seed(plan: &Plan) -> PlanSeed {
+    PlanSeed { subs: plan.specs.iter().map(SubSeed::from).collect() }
+}
+
 impl<'a> Synthesizer<'a> {
     /// A synthesizer with default search effort.
     pub fn new(topo: &'a LogicalTopology, profile: &'a LinkProfile) -> Self {
@@ -208,6 +271,18 @@ impl<'a> Synthesizer<'a> {
     /// Panics if `participants` is empty, contains duplicates, or if
     /// `parallelism` is zero.
     pub fn synthesize(&self, req: &SynthRequest) -> Strategy {
+        self.synthesize_with_seed(req).0
+    }
+
+    /// Like [`synthesize`](Self::synthesize), but also returns the
+    /// winning plan blueprint so callers (the plan cache) can persist
+    /// it and later [`synthesize_warm`](Self::synthesize_warm) from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is empty, contains duplicates, or if
+    /// `parallelism` is zero.
+    pub fn synthesize_with_seed(&self, req: &SynthRequest) -> (Strategy, PlanSeed) {
         assert!(!req.participants.is_empty(), "no participants");
         assert!(req.parallelism > 0, "parallelism must be positive");
         self.telemetry.add_counter("synth.requests", 1.0);
@@ -221,15 +296,15 @@ impl<'a> Synthesizer<'a> {
         assert_eq!(uniq.len(), req.participants.len(), "duplicate participants");
 
         match req.primitive {
-            Primitive::AllToAll => self.synthesize_alltoall(req),
+            Primitive::AllToAll => (self.synthesize_alltoall(req), PlanSeed::default()),
             Primitive::Broadcast => {
-                let reduce = self.synthesize_reduce(req);
-                reduce.reversed(self.topo, Primitive::Broadcast)
+                let (reduce, plan) = self.synthesize_reduce_plan(req);
+                (reduce.reversed(self.topo, Primitive::Broadcast), plan_seed(&plan))
             }
             Primitive::Reduce | Primitive::AllReduce => {
-                let mut s = self.synthesize_reduce(req);
+                let (mut s, plan) = self.synthesize_reduce_plan(req);
                 s.primitive = req.primitive;
-                s
+                (s, plan_seed(&plan))
             }
             Primitive::AllGather | Primitive::ReduceScatter => panic!(
                 "{} is composed from per-root Broadcast/Reduce strategies by the \
@@ -239,10 +314,43 @@ impl<'a> Synthesizer<'a> {
         }
     }
 
+    /// Warm-starts synthesis from a previously-cached [`PlanSeed`]:
+    /// skips candidate generation and the long anneal, re-running only
+    /// the analytic chunk-size sweep, fraction balancing and a short
+    /// polish anneal (1/8 of the configured iterations).
+    ///
+    /// Returns `None` when the seed no longer matches the request —
+    /// participants moved instances, a seeded leader or root left the
+    /// participant set, a hub is no longer a relay, or the requested
+    /// root changed — in which case callers fall back to a cold
+    /// [`synthesize_with_seed`](Self::synthesize_with_seed).
+    pub fn synthesize_warm(
+        &self,
+        req: &SynthRequest,
+        seed: &PlanSeed,
+    ) -> Option<(Strategy, PlanSeed)> {
+        assert!(!req.participants.is_empty(), "no participants");
+        assert!(req.parallelism > 0, "parallelism must be positive");
+        self.telemetry.add_counter("synth.warm_requests", 1.0);
+        match req.primitive {
+            Primitive::AllToAll => Some((self.synthesize_alltoall(req), PlanSeed::default())),
+            Primitive::Broadcast => {
+                let (reduce, plan) = self.warm_reduce_plan(req, seed)?;
+                Some((reduce.reversed(self.topo, Primitive::Broadcast), plan_seed(&plan)))
+            }
+            Primitive::Reduce | Primitive::AllReduce => {
+                let (mut s, plan) = self.warm_reduce_plan(req, seed)?;
+                s.primitive = req.primitive;
+                Some((s, plan_seed(&plan)))
+            }
+            Primitive::AllGather | Primitive::ReduceScatter => None,
+        }
+    }
+
     /// Synthesizes the Reduce strategy and its reverse Broadcast —
     /// the pair AllReduce pipelines (paper Sec. IV-D).
     pub fn synthesize_allreduce(&self, req: &SynthRequest) -> (Strategy, Strategy) {
-        let mut reduce = self.synthesize_reduce(req);
+        let (mut reduce, _) = self.synthesize_reduce_plan(req);
         reduce.primitive = Primitive::Reduce;
         let bcast = reduce.reversed(self.topo, Primitive::Broadcast);
         (reduce, bcast)
@@ -250,7 +358,7 @@ impl<'a> Synthesizer<'a> {
 
     // ---- Reduce family ----
 
-    fn synthesize_reduce(&self, req: &SynthRequest) -> Strategy {
+    fn synthesize_reduce_plan(&self, req: &SynthRequest) -> (Strategy, Plan) {
         let model = CostModel::new(self.topo, self.profile);
         let by_inst = group_by_instance(self.topo, &req.participants);
         let hubs = group_by_instance(self.topo, &req.relays);
@@ -297,16 +405,105 @@ impl<'a> Synthesizer<'a> {
                 }
             }
         }
-        let (mut best_cost, mut plan, mut best_strategy) =
-            best.expect("at least one candidate realizes");
+        let (best_cost, plan, best_strategy) = best.expect("at least one candidate realizes");
+        let (_, plan, best_strategy) = self.refine_plan(
+            best_cost,
+            plan,
+            best_strategy,
+            req,
+            &by_inst,
+            &hubs,
+            &model,
+            self.config.anneal_iters,
+            req.seed ^ 0x5EED_CAFE,
+        );
+        (best_strategy, plan)
+    }
 
+    /// Warm path of the reduce family: rebuild the plan from a seed
+    /// blueprint, validate it against the current participant
+    /// structure, then run only the cheap refinement (chunk sweep,
+    /// fraction balancing, short polish anneal).
+    fn warm_reduce_plan(&self, req: &SynthRequest, seed: &PlanSeed) -> Option<(Strategy, Plan)> {
+        if seed.subs.len() != req.parallelism {
+            return None;
+        }
+        let model = CostModel::new(self.topo, self.profile);
+        let by_inst = group_by_instance(self.topo, &req.participants);
+        let hubs = group_by_instance(self.topo, &req.relays);
+        for sub in &seed.subs {
+            if sub.leader.len() != by_inst.len() || sub.parent.len() != by_inst.len() {
+                return None;
+            }
+            for (inst, members) in &by_inst {
+                if !sub.leader.get(inst).is_some_and(|l| members.contains(l)) {
+                    return None;
+                }
+                if !sub.parent.contains_key(inst) {
+                    return None;
+                }
+            }
+            if !req.participants.contains(&sub.root) {
+                return None;
+            }
+            if req.root.is_some_and(|r| sub.root != r) {
+                return None;
+            }
+            for hub in sub.via_hub.values() {
+                let inst = instance_of(self.topo, *hub);
+                if !hubs.get(&inst).is_some_and(|h| h.contains(hub)) {
+                    return None;
+                }
+            }
+            if !(sub.fraction.is_finite() && sub.fraction > 0.0) {
+                return None;
+            }
+        }
+        let mut plan = Plan { specs: seed.subs.iter().map(spec_from_seed).collect() };
+        // Disk-loaded seeds may carry drifted fractions; renormalize.
+        let total: f64 = plan.specs.iter().map(|s| s.fraction).sum();
+        for s in &mut plan.specs {
+            s.fraction /= total;
+        }
+        let (best_cost, best_strategy) = self.eval_plan(&plan, req, &by_inst, &hubs, &model)?;
+        let polish_iters = self.config.anneal_iters / 8;
+        let (_, plan, best_strategy) = self.refine_plan(
+            best_cost,
+            plan,
+            best_strategy,
+            req,
+            &by_inst,
+            &hubs,
+            &model,
+            polish_iters,
+            req.seed ^ 0x3A3A_F00D,
+        );
+        Some((best_strategy, plan))
+    }
+
+    /// Shared refinement pipeline: chunk sweep, fraction balancing and
+    /// an anneal of `anneal_iters` mutations. The cold path runs the
+    /// full configured anneal; the warm path a short polish.
+    #[allow(clippy::too_many_arguments)] // refinement state travels as one bundle
+    fn refine_plan(
+        &self,
+        mut best_cost: f64,
+        mut plan: Plan,
+        mut best_strategy: Strategy,
+        req: &SynthRequest,
+        by_inst: &BTreeMap<InstanceId, Vec<Rank>>,
+        hubs: &BTreeMap<InstanceId, Vec<Rank>>,
+        model: &CostModel<'_>,
+        anneal_iters: usize,
+        rng_seed: u64,
+    ) -> (f64, Plan, Strategy) {
         // Chunk sweep (uniform across subs).
         for &chunk in &self.config.chunk_grid {
             let mut p = plan.clone();
             for s in &mut p.specs {
                 s.chunk = chunk;
             }
-            if let Some((cost, strategy)) = self.eval_plan(&p, req, &by_inst, &hubs, &model) {
+            if let Some((cost, strategy)) = self.eval_plan(&p, req, by_inst, hubs, model) {
                 if cost < best_cost {
                     best_cost = cost;
                     plan = p;
@@ -320,7 +517,7 @@ impl<'a> Synthesizer<'a> {
             let est = model.evaluate(&best_strategy, req.tensor);
             let mut p = plan.clone();
             rebalance_fractions(&mut p, &est.per_sub);
-            if let Some((cost, strategy)) = self.eval_plan(&p, req, &by_inst, &hubs, &model) {
+            if let Some((cost, strategy)) = self.eval_plan(&p, req, by_inst, hubs, model) {
                 if cost < best_cost {
                     best_cost = cost;
                     plan = p;
@@ -332,17 +529,17 @@ impl<'a> Synthesizer<'a> {
         }
 
         // Simulated annealing over structural mutations.
-        let mut rng = seeded_rng(req.seed ^ 0x5EED_CAFE);
+        let mut rng = seeded_rng(rng_seed);
         let mut cur_cost = best_cost;
         let mut cur = plan.clone();
         let t0 = best_cost * self.config.initial_temp;
-        for it in 0..self.config.anneal_iters {
-            let temp = t0 * (1.0 - it as f64 / self.config.anneal_iters as f64).max(1e-3);
+        for it in 0..anneal_iters {
+            let temp = t0 * (1.0 - it as f64 / anneal_iters as f64).max(1e-3);
             let mut cand = cur.clone();
-            if !self.mutate(&mut cand, req, &by_inst, &hubs, &mut rng) {
+            if !self.mutate(&mut cand, req, by_inst, hubs, &mut rng) {
                 continue;
             }
-            let Some((cost, strategy)) = self.eval_plan(&cand, req, &by_inst, &hubs, &model) else {
+            let Some((cost, strategy)) = self.eval_plan(&cand, req, by_inst, hubs, model) else {
                 continue;
             };
             let accept = cost < cur_cost
@@ -357,8 +554,7 @@ impl<'a> Synthesizer<'a> {
                 }
             }
         }
-        let _ = plan;
-        best_strategy
+        (best_cost, plan, best_strategy)
     }
 
     fn eval_plan(

@@ -1,0 +1,188 @@
+//! Integration tests for the plan-cache subsystem: exact hits replay
+//! cold synthesis verbatim, worker exclusion structurally invalidates
+//! cached plans, and warm-started re-synthesis meets the Fig. 19(c)
+//! cost bar.
+
+use proptest::prelude::*;
+
+use adapcc::session::{AdapCC, InitOptions};
+use adapcc_plancache::{
+    fingerprint, CachedPlan, Fingerprint, FingerprintInputs, Lookup, PlanCache, PlanCacheConfig,
+};
+use adapcc_profile::profiler::Profiler;
+use adapcc_simnet::cluster::{Cluster, InstanceId, Rank};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::cost::CostModel;
+use adapcc_synth::solver::{SynthConfig, SynthRequest, Synthesizer};
+use adapcc_synth::Primitive;
+use adapcc_topo::detect::Detector;
+
+/// Shared slow-path fixtures, built once.
+struct Env {
+    topo: adapcc_topo::logical::LogicalTopology,
+    profile: adapcc_profile::profiler::LinkProfile,
+    ranks: Vec<Rank>,
+}
+
+fn env() -> &'static Env {
+    use std::sync::OnceLock;
+    static ENV: OnceLock<Env> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let cluster = Cluster::homogeneous_a100(2);
+        let topo = Detector::new(&cluster, 1).run().logical_topology(&cluster);
+        let profile = Profiler::new(&cluster, &topo, 1).run().links;
+        let ranks = (0..cluster.gpu_count()).map(Rank).collect();
+        Env { topo, profile, ranks }
+    })
+}
+
+fn fp_for(env: &Env, req: &SynthRequest, participants: &[Rank]) -> Fingerprint {
+    fingerprint(&FingerprintInputs {
+        topo: &env.topo,
+        profile: &env.profile,
+        participants,
+        relays: &[],
+        primitive: req.primitive,
+        parallelism: req.parallelism,
+        tensor: req.tensor,
+        root: req.root,
+        quantization: 0.15,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// An exact cache hit yields a strategy structurally identical to a
+    /// cold synthesis of the same fingerprint.
+    #[test]
+    fn exact_hit_replays_cold_synthesis(
+        mib in 8u64..256,
+        m in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let env = env();
+        let mut req = SynthRequest::new(
+            Primitive::AllReduce,
+            ByteSize::from_mib(mib),
+            m,
+            env.ranks.clone(),
+        );
+        req.seed = seed;
+        let synth = || {
+            Synthesizer::new(&env.topo, &env.profile)
+                .with_config(SynthConfig { anneal_iters: 24, ..Default::default() })
+        };
+        let (cold, plan_seed) = synth().synthesize_with_seed(&req);
+        let fp = fp_for(env, &req, &env.ranks);
+        let mut cache = PlanCache::new(PlanCacheConfig::default());
+        cache.insert(fp, CachedPlan { strategy: cold.clone(), seed: plan_seed });
+        match cache.lookup(&fp) {
+            Lookup::Hit(plan) => prop_assert_eq!(plan.strategy, cold.clone()),
+            other => prop_assert!(false, "expected exact hit, got {:?}", other),
+        }
+        // Cold synthesis of the same fingerprint is deterministic, so
+        // the cached strategy also equals a from-scratch re-solve.
+        let resolved = synth().synthesize(&req);
+        prop_assert_eq!(resolved, cold);
+    }
+}
+
+/// Removing a participant flips the shape half of the fingerprint, so
+/// a pre-exclusion entry can never exact-hit or warm-start a
+/// post-exclusion lookup.
+#[test]
+fn exclusion_changes_the_shape_fingerprint() {
+    let env = env();
+    let req =
+        SynthRequest::new(Primitive::AllReduce, ByteSize::from_mib(64), 2, env.ranks.clone());
+    let before = fp_for(env, &req, &env.ranks);
+    let survivors: Vec<Rank> = env.ranks.iter().copied().filter(|r| *r != Rank(3)).collect();
+    let after = fp_for(env, &req, &survivors);
+    assert_ne!(before.shape, after.shape, "participant loss must flip the shape hash");
+    assert_eq!(before.profile, after.profile, "links did not drift");
+    let mut cache = PlanCache::new(PlanCacheConfig::default());
+    let (strategy, seed) = Synthesizer::new(&env.topo, &env.profile)
+        .with_config(SynthConfig { anneal_iters: 24, ..Default::default() })
+        .synthesize_with_seed(&req);
+    cache.insert(before, CachedPlan { strategy, seed });
+    assert_eq!(cache.lookup(&after), Lookup::Miss, "pre-exclusion plan must not be served");
+}
+
+/// A live session never serves a pre-exclusion plan after a worker
+/// dies: the re-synthesized strategy routes only over survivors and the
+/// cache records no exact hit for the shrunken fleet.
+#[test]
+fn session_never_serves_a_pre_exclusion_plan() {
+    let cluster = Cluster::homogeneous_a100(3);
+    let mut cc = AdapCC::init(
+        &cluster,
+        InitOptions {
+            synth: SynthConfig { anneal_iters: 32, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    cc.setup();
+    let tensor = ByteSize::from_mib(16);
+    let before = cc.strategy_for(Primitive::AllReduce, tensor).clone();
+    assert!(before.participants().contains(&Rank(5)));
+    cc.exclude_workers(&[Rank(5)]);
+    let after = cc.strategy_for(Primitive::AllReduce, tensor).clone();
+    assert!(
+        !after.participants().contains(&Rank(5)),
+        "post-exclusion strategy must route only over survivors"
+    );
+    assert_ne!(before, after);
+    let stats = cc.plan_cache_stats();
+    assert_eq!(stats.hits, 0, "the shrunken fleet has a new shape: no exact hit, {stats:?}");
+    assert!(stats.misses >= 2, "init and post-exclusion solves are both cold, {stats:?}");
+}
+
+/// The Fig. 19(c) warm-cache bar: over an unchanged fleet with a
+/// drifted profile, the warm-started re-synthesis bills at least 5x
+/// less modeled solver time than the cache-disabled cold solve while
+/// arriving at a strategy of identical evaluated cost.
+#[test]
+fn warm_start_is_5x_cheaper_with_identical_evaluated_cost() {
+    let tensor = ByteSize::from_mib(128);
+    let run = |plan_cache: PlanCacheConfig| {
+        let cluster = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(
+            &cluster,
+            InitOptions {
+                synth: SynthConfig { anneal_iters: 120, ..Default::default() },
+                plan_cache,
+                ..Default::default()
+            },
+        );
+        cc.setup();
+        let _ = cc.strategy_for(Primitive::AllReduce, tensor);
+        cc.set_fabric_factors(vec![(cluster.nic_egress_link(InstanceId(0)), 0.5)]);
+        let recon = cc.reprofile();
+        assert!(recon.changed, "degraded NIC must trigger re-synthesis");
+        let strategy = cc.strategy_for(Primitive::AllReduce, tensor).clone();
+        let cost = CostModel::new(cc.topology(), cc.link_profile())
+            .evaluate(&strategy, tensor)
+            .completion
+            .as_secs();
+        (recon.solving.as_secs(), cost, cc.plan_cache_stats())
+    };
+    let (cold_solving, cold_cost, _) = run(PlanCacheConfig::disabled());
+    let (warm_solving, warm_cost, stats) = run(PlanCacheConfig::default());
+    assert!(stats.warm_starts > 0, "drifted profile over unchanged fleet warm-starts: {stats:?}");
+    assert!(
+        cold_solving >= 5.0 * warm_solving,
+        "warm solve must be >=5x cheaper: cold {cold_solving}s vs warm {warm_solving}s"
+    );
+    // "Identical" up to the chunk sweep's final polish: the warm start
+    // re-runs the sweep against the drifted profile, so it may land a
+    // hair under the cold solve but must never be worse.
+    assert!(
+        warm_cost <= cold_cost * (1.0 + 1e-9),
+        "warm re-synthesis must not be worse than cold: {warm_cost} vs {cold_cost}"
+    );
+    assert!(
+        (warm_cost - cold_cost).abs() <= 1e-3 * cold_cost,
+        "warm and cold re-syntheses must agree on evaluated cost: {warm_cost} vs {cold_cost}"
+    );
+}
