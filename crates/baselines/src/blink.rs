@@ -75,7 +75,11 @@ pub fn blink_plan(
         let flows: Vec<Flow> = members
             .iter()
             .filter(|r| **r != leader)
-            .map(|r| Flow { src: g(*r), dst: g(leader), route: vec![e(g(*r), g(leader))] })
+            .map(|r| Flow {
+                src: g(*r),
+                dst: g(leader),
+                route: vec![e(g(*r), g(leader))],
+            })
             .collect();
         let mut aggregate = BTreeMap::new();
         aggregate.insert(g(leader), true);

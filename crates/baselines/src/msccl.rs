@@ -51,9 +51,7 @@ pub fn msccl_strategy(
 ) -> Strategy {
     assert!(!participants.is_empty(), "no participants");
     match primitive {
-        Primitive::AllToAll => {
-            p2p_strategy(topo, participants, msccl_channels(), msccl_chunk())
-        }
+        Primitive::AllToAll => p2p_strategy(topo, participants, msccl_channels(), msccl_chunk()),
         Primitive::Broadcast => {
             reduce_chain(topo, participants).reversed(topo, Primitive::Broadcast)
         }
@@ -114,7 +112,11 @@ fn reduce_chain(topo: &LogicalTopology, participants: &[Rank]) -> Strategy {
                     cursor = up_leader;
                     here = up;
                 }
-                flows.push(Flow { src: g(*r), dst: g(root), route });
+                flows.push(Flow {
+                    src: g(*r),
+                    dst: g(root),
+                    route,
+                });
             }
         }
         subs.push(SubCollective {

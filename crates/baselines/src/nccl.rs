@@ -119,7 +119,11 @@ pub fn nccl_ring_strategy(
             for w in order[p..].windows(2) {
                 route.extend(hop(w[0], w[1]));
             }
-            flows.push(Flow { src: g(*r), dst: g(root), route });
+            flows.push(Flow {
+                src: g(*r),
+                dst: g(root),
+                route,
+            });
         }
         subs.push(SubCollective {
             fraction: 1.0 / channels as f64,
@@ -129,7 +133,10 @@ pub fn nccl_ring_strategy(
             aggregate,
         });
     }
-    let mut s = Strategy { primitive: Primitive::Reduce, subs };
+    let mut s = Strategy {
+        primitive: Primitive::Reduce,
+        subs,
+    };
     match primitive {
         Primitive::Broadcast => s.reversed(topo, Primitive::Broadcast),
         other => {
@@ -224,7 +231,11 @@ fn reduce_tree(topo: &LogicalTopology, participants: &[Rank]) -> Strategy {
                 cursor = up_leader;
                 here = up;
             }
-            flows.push(Flow { src: g(*r), dst: g(root), route });
+            flows.push(Flow {
+                src: g(*r),
+                dst: g(root),
+                route,
+            });
         }
         for r in members {
             aggregate.insert(g(*r), true);
@@ -266,7 +277,11 @@ pub fn p2p_strategy(
             } else {
                 vec![e(g(a), nic(ia)), e(nic(ia), nic(ib)), e(nic(ib), g(b))]
             };
-            flows.push(Flow { src: g(a), dst: g(b), route });
+            flows.push(Flow {
+                src: g(a),
+                dst: g(b),
+                route,
+            });
         }
     }
     Strategy {
@@ -326,12 +341,7 @@ mod tests {
         let topo = topo_for(&c);
         let s = nccl_strategy(&topo, Primitive::Reduce, &all(&c));
         // Chain 3->2->1->0: the deepest flow traverses three hops.
-        let longest = s.subs[0]
-            .flows
-            .iter()
-            .map(|f| f.route.len())
-            .max()
-            .unwrap();
+        let longest = s.subs[0].flows.iter().map(|f| f.route.len()).max().unwrap();
         assert_eq!(longest, 3);
     }
 
@@ -350,7 +360,10 @@ mod tests {
         let topo = topo_for(&c);
         let ranks = all(&c);
         assert!(nccl_picks_ring(&topo, &ranks, ByteSize::from_mib(256)));
-        assert!(!nccl_picks_ring(&topo, &ranks, ByteSize::from_mib(4)), "latency regime uses trees");
+        assert!(
+            !nccl_picks_ring(&topo, &ranks, ByteSize::from_mib(4)),
+            "latency regime uses trees"
+        );
         let hetero = Cluster::heterogeneous_2a100_2v100();
         let th = topo_for(&hetero);
         // Shape-wise identical hetero servers still pass NCCL's blind

@@ -6,7 +6,9 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use adapcc::executor::{ExecutionRequest, Executor};
-use adapcc_plancache::{fingerprint, CachedPlan, FingerprintInputs, Lookup, PlanCache, PlanCacheStats};
+use adapcc_plancache::{
+    fingerprint, CachedPlan, FingerprintInputs, Lookup, PlanCache, PlanCacheStats,
+};
 use adapcc_profile::profiler::LinkProfile;
 use adapcc_simnet::cluster::{Cluster, Rank};
 use adapcc_simnet::time::{SimDuration, SimTime};
@@ -183,7 +185,10 @@ impl<'a> Runner<'a> {
     ) -> Strategy {
         let synth = || {
             Synthesizer::new(self.topo, self.profile)
-                .with_config(SynthConfig { anneal_iters: 120, ..Default::default() })
+                .with_config(SynthConfig {
+                    anneal_iters: 120,
+                    ..Default::default()
+                })
                 .with_telemetry(self.telemetry.clone())
         };
         let Some(cache) = &self.plan_cache else {
@@ -215,7 +220,13 @@ impl<'a> Runner<'a> {
                     cache.note_saved(adapcc_simnet::time::SimDuration::from_secs(
                         full.as_secs() - warm.as_secs(),
                     ));
-                    cache.insert(fp, CachedPlan { strategy: strategy.clone(), seed });
+                    cache.insert(
+                        fp,
+                        CachedPlan {
+                            strategy: strategy.clone(),
+                            seed,
+                        },
+                    );
                     return strategy;
                 }
                 cache.warm_fell_back();
@@ -223,7 +234,13 @@ impl<'a> Runner<'a> {
             _ => {}
         }
         let (strategy, seed) = synth().synthesize_with_seed(req);
-        cache.insert(fp, CachedPlan { strategy: strategy.clone(), seed });
+        cache.insert(
+            fp,
+            CachedPlan {
+                strategy: strategy.clone(),
+                seed,
+            },
+        );
         strategy
     }
 
@@ -396,7 +413,13 @@ mod tests {
         let ranks = all(&c);
         let ready = BTreeMap::new();
         for sys in [System::AdapCc, System::Nccl, System::Msccl] {
-            let r = runner.run(sys, Primitive::AllToAll, ByteSize::from_mib(32), &ranks, &ready);
+            let r = runner.run(
+                sys,
+                Primitive::AllToAll,
+                ByteSize::from_mib(32),
+                &ranks,
+                &ready,
+            );
             assert!(r.algo_bw_gbytes > 0.0);
         }
     }
@@ -408,9 +431,24 @@ mod tests {
         let runner = Runner::new(&c, &topo, &profile);
         let ranks = all(&c);
         let ready = BTreeMap::new();
-        let ar = runner.run(System::Blink, Primitive::AllReduce, ByteSize::from_mib(32), &ranks, &ready);
-        let red = runner.run(System::Blink, Primitive::Reduce, ByteSize::from_mib(32), &ranks, &ready);
-        assert!(ar.comm_time > red.comm_time, "allreduce adds the broadcast stage");
+        let ar = runner.run(
+            System::Blink,
+            Primitive::AllReduce,
+            ByteSize::from_mib(32),
+            &ranks,
+            &ready,
+        );
+        let red = runner.run(
+            System::Blink,
+            Primitive::Reduce,
+            ByteSize::from_mib(32),
+            &ranks,
+            &ready,
+        );
+        assert!(
+            ar.comm_time > red.comm_time,
+            "allreduce adds the broadcast stage"
+        );
     }
 
     #[test]
@@ -426,7 +464,10 @@ mod tests {
         let first = cached.strategy(System::AdapCc, Primitive::AllReduce, tensor, &ranks);
         let second = cached.strategy(System::AdapCc, Primitive::AllReduce, tensor, &ranks);
         assert_eq!(first, want, "cold solve through the cache is unchanged");
-        assert_eq!(second, want, "exact hit serves the stored strategy verbatim");
+        assert_eq!(
+            second, want,
+            "exact hit serves the stored strategy verbatim"
+        );
         let stats = cached.plan_cache_stats().unwrap();
         assert_eq!((stats.hits, stats.misses), (1, 1), "{stats:?}");
         assert!(stats.saved.as_secs() > 0.0);
@@ -440,7 +481,13 @@ mod tests {
         let ranks = all(&c);
         let mut ready = BTreeMap::new();
         ready.insert(Rank(3), SimTime::from_secs(0.2));
-        let r = runner.run(System::Nccl, Primitive::AllReduce, ByteSize::from_mib(16), &ranks, &ready);
+        let r = runner.run(
+            System::Nccl,
+            Primitive::AllReduce,
+            ByteSize::from_mib(16),
+            &ranks,
+            &ready,
+        );
         assert!(r.finish.as_secs() > 0.2);
     }
 }
@@ -461,17 +508,28 @@ mod diag {
         let ranks: Vec<Rank> = (0..24).map(Rank).collect();
         let ready = BTreeMap::new();
         let tensor = ByteSize::from_mib(256);
-        for (label, prim) in [("reduce", Primitive::Reduce), ("allreduce", Primitive::AllReduce)] {
+        for (label, prim) in [
+            ("reduce", Primitive::Reduce),
+            ("allreduce", Primitive::AllReduce),
+        ] {
             let r = runner.run(System::Nccl, prim, tensor, &ranks, &ready);
-            println!("NCCL {label}: {:.1}ms bw={:.2}GB/s", r.comm_time.as_millis(), r.algo_bw_gbytes);
+            println!(
+                "NCCL {label}: {:.1}ms bw={:.2}GB/s",
+                r.comm_time.as_millis(),
+                r.algo_bw_gbytes
+            );
         }
         // chunk sensitivity
         for kib in [256u64, 512, 1024, 4096, 8192] {
             let mut s = crate::nccl::nccl_strategy(&topo, Primitive::AllReduce, &ranks);
-            for sub in &mut s.subs { sub.chunk = ByteSize::from_kib(kib); }
+            for sub in &mut s.subs {
+                sub.chunk = ByteSize::from_kib(kib);
+            }
             let exec = adapcc::executor::Executor::new(&c, &topo);
-            let f = exec.execute(&[adapcc::executor::ExecutionRequest::timing(&s, tensor)]).finish;
-            println!("NCCL chunk {kib}KiB: {:.1}ms", f.as_secs()*1e3);
+            let f = exec
+                .execute(&[adapcc::executor::ExecutionRequest::timing(&s, tensor)])
+                .finish;
+            println!("NCCL chunk {kib}KiB: {:.1}ms", f.as_secs() * 1e3);
         }
         // homogeneous 4x A100 for comparison
         let ch = Cluster::homogeneous_a100(4);
@@ -480,9 +538,23 @@ mod diag {
         let rh = Runner::new(&ch, &topoh, &profh);
         let ranksh: Vec<Rank> = (0..16).map(Rank).collect();
         let r = rh.run(System::Nccl, Primitive::AllReduce, tensor, &ranksh, &ready);
-        println!("NCCL homo16: {:.1}ms bw={:.2}GB/s", r.comm_time.as_millis(), r.algo_bw_gbytes);
-        let r = rh.run(System::AdapCc, Primitive::AllReduce, tensor, &ranksh, &ready);
-        println!("AdapCC homo16: {:.1}ms bw={:.2}GB/s", r.comm_time.as_millis(), r.algo_bw_gbytes);
+        println!(
+            "NCCL homo16: {:.1}ms bw={:.2}GB/s",
+            r.comm_time.as_millis(),
+            r.algo_bw_gbytes
+        );
+        let r = rh.run(
+            System::AdapCc,
+            Primitive::AllReduce,
+            tensor,
+            &ranksh,
+            &ready,
+        );
+        println!(
+            "AdapCC homo16: {:.1}ms bw={:.2}GB/s",
+            r.comm_time.as_millis(),
+            r.algo_bw_gbytes
+        );
     }
 }
 
@@ -490,8 +562,8 @@ mod diag {
 mod diag2 {
     use super::*;
     use adapcc_profile::profiler::Profiler;
-    use adapcc_topo::detect::Detector;
     use adapcc_synth::cost::CostModel;
+    use adapcc_topo::detect::Detector;
 
     #[test]
     #[ignore]
@@ -503,30 +575,68 @@ mod diag2 {
         let ranks: Vec<Rank> = (0..16).map(Rank).collect();
         let tensor = ByteSize::from_mib(528);
         for sys in [System::AdapCc, System::Nccl, System::Msccl] {
-            let r = runner.run(sys, Primitive::AllReduce, tensor, &ranks, &Default::default());
-            println!("{:<8} exec={:.1}ms bw={:.2}GB/s", sys.name(), r.comm_time.as_millis(), r.algo_bw_gbytes);
+            let r = runner.run(
+                sys,
+                Primitive::AllReduce,
+                tensor,
+                &ranks,
+                &Default::default(),
+            );
+            println!(
+                "{:<8} exec={:.1}ms bw={:.2}GB/s",
+                sys.name(),
+                r.comm_time.as_millis(),
+                r.algo_bw_gbytes
+            );
         }
         // reduce-only exec of the AdapCC strategy
         let mut rs = runner.strategy(System::AdapCc, Primitive::AllReduce, tensor, &ranks);
         rs.primitive = Primitive::Reduce;
         let exec1 = Executor::new(&c, &topo);
-        let t_red = exec1.execute(&[ExecutionRequest::timing(&rs, tensor)]).finish.as_secs();
+        let t_red = exec1
+            .execute(&[ExecutionRequest::timing(&rs, tensor)])
+            .finish
+            .as_secs();
         let mut ns2 = crate::nccl::nccl_strategy(&topo, Primitive::Reduce, &ranks);
-        let t_red_n = exec1.execute(&[ExecutionRequest::timing(&ns2, tensor)]).finish.as_secs();
+        let t_red_n = exec1
+            .execute(&[ExecutionRequest::timing(&ns2, tensor)])
+            .finish
+            .as_secs();
         ns2.primitive = Primitive::Reduce;
-        println!("reduce-only: adapcc={:.1}ms nccl={:.1}ms", t_red*1e3, t_red_n*1e3);
+        println!(
+            "reduce-only: adapcc={:.1}ms nccl={:.1}ms",
+            t_red * 1e3,
+            t_red_n * 1e3
+        );
         // model on NCCL's own strategy
         let ns = crate::nccl::nccl_strategy(&topo, Primitive::AllReduce, &ranks);
         let model0 = CostModel::new(&topo, &profile);
-        println!("model(NCCL strategy) = {:.1}ms", model0.evaluate(&ns, tensor).completion.as_millis());
+        println!(
+            "model(NCCL strategy) = {:.1}ms",
+            model0.evaluate(&ns, tensor).completion.as_millis()
+        );
         // inspect AdapCC strategy
         let s = runner.strategy(System::AdapCc, Primitive::AllReduce, tensor, &ranks);
         let model = CostModel::new(&topo, &profile);
-        println!("pred={:.1}ms M={} root={:?}", model.evaluate(&s, tensor).completion.as_millis(), s.parallelism(), s.subs[0].root);
+        println!(
+            "pred={:.1}ms M={} root={:?}",
+            model.evaluate(&s, tensor).completion.as_millis(),
+            s.parallelism(),
+            s.subs[0].root
+        );
         for (m, sub) in s.subs.iter().enumerate() {
-            let netedges: Vec<String> = sub.edges().iter().filter(|e| topo.edge(**e).kind == adapcc_topo::logical::EdgeKind::Network)
-                .map(|e| format!("{}->{}", topo.edge(*e).from, topo.edge(*e).to)).collect();
-            println!("  sub{m}: frac={:.2} chunk={}KiB net={:?}", sub.fraction, sub.chunk.as_u64()/1024, netedges);
+            let netedges: Vec<String> = sub
+                .edges()
+                .iter()
+                .filter(|e| topo.edge(**e).kind == adapcc_topo::logical::EdgeKind::Network)
+                .map(|e| format!("{}->{}", topo.edge(*e).from, topo.edge(*e).to))
+                .collect();
+            println!(
+                "  sub{m}: frac={:.2} chunk={}KiB net={:?}",
+                sub.fraction,
+                sub.chunk.as_u64() / 1024,
+                netedges
+            );
         }
     }
 }

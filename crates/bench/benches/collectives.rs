@@ -25,7 +25,13 @@ fn bench_collectives(c: &mut Criterion) {
     for sys in System::all() {
         group.bench_with_input(BenchmarkId::from_parameter(sys.name()), &sys, |b, &sys| {
             b.iter(|| {
-                runner.run(sys, Primitive::AllReduce, tensor, &ranks, &Default::default())
+                runner.run(
+                    sys,
+                    Primitive::AllReduce,
+                    tensor,
+                    &ranks,
+                    &Default::default(),
+                )
             })
         });
     }

@@ -26,7 +26,10 @@ fn bench_solver(c: &mut Criterion) {
     group.bench_function("generators_only", |b| {
         b.iter(|| {
             Synthesizer::new(&topo, &profile)
-                .with_config(SynthConfig { anneal_iters: 0, ..Default::default() })
+                .with_config(SynthConfig {
+                    anneal_iters: 0,
+                    ..Default::default()
+                })
                 .synthesize(&req)
         })
     });

@@ -38,7 +38,11 @@ fn main() {
         if args.tcp { "TCP" } else { "RDMA" }
     );
     let wants_telemetry = args.trace_out.is_some() || args.metrics_out.is_some();
-    let telemetry = if wants_telemetry { Telemetry::enabled() } else { Telemetry::disabled() };
+    let telemetry = if wants_telemetry {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let (topo, profile, control_secs) =
         profiled_with_telemetry(&cluster, args.seed, telemetry.clone());
     let mut runner = Runner::new(&cluster, &topo, &profile)
@@ -55,7 +59,13 @@ fn main() {
         let strategy = runner.strategy(args.system, args.primitive, args.tensor, &ranks);
         print!("{}", adapcc_synth::describe(&topo, &strategy));
     }
-    let report = runner.run(args.system, args.primitive, args.tensor, &ranks, &Default::default());
+    let report = runner.run(
+        args.system,
+        args.primitive,
+        args.tensor,
+        &ranks,
+        &Default::default(),
+    );
     println!(
         "{} {} of {}: {} ({:.2} GB/s algorithm bandwidth)",
         args.system.name(),

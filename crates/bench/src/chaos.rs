@@ -105,7 +105,12 @@ pub struct SeedReport {
 fn inputs_for(workers: &[Rank], elems: usize) -> BTreeMap<Rank, Vec<f32>> {
     workers
         .iter()
-        .map(|r| (*r, (0..elems).map(|i| ((r.0 * 13 + i) % 11) as f32).collect()))
+        .map(|r| {
+            (
+                *r,
+                (0..elems).map(|i| ((r.0 * 13 + i) % 11) as f32).collect(),
+            )
+        })
         .collect()
 }
 
@@ -138,7 +143,10 @@ fn settle(cc: &AdapCC) -> SeedOutcome {
 pub fn run_seed(cfg: &ChaosConfig, seed: u64) -> SeedReport {
     let cluster = Cluster::homogeneous_a100(cfg.servers);
     let options = InitOptions {
-        synth: SynthConfig { anneal_iters: cfg.anneal_iters, ..Default::default() },
+        synth: SynthConfig {
+            anneal_iters: cfg.anneal_iters,
+            ..Default::default()
+        },
         seed,
         ..Default::default()
     };
@@ -190,7 +198,12 @@ pub fn run_seed(cfg: &ChaosConfig, seed: u64) -> SeedReport {
             mismatch.unwrap_or_else(|| settle(&cc))
         }
     };
-    SeedReport { seed, schedule_len, iterations, outcome }
+    SeedReport {
+        seed,
+        schedule_len,
+        iterations,
+        outcome,
+    }
 }
 
 /// Aggregate of a sweep.
@@ -240,7 +253,10 @@ mod tests {
     fn a_seed_runs_and_classifies() {
         let cfg = ChaosConfig::default();
         let r = run_seed(&cfg, 7);
-        assert!(!matches!(r.outcome, SeedOutcome::NumericMismatch { .. }), "{r:?}");
+        assert!(
+            !matches!(r.outcome, SeedOutcome::NumericMismatch { .. }),
+            "{r:?}"
+        );
         assert!(r.schedule_len >= 1 && r.schedule_len <= 3);
     }
 

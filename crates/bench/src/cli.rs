@@ -151,7 +151,9 @@ pub fn parse_chaos_args<I: IntoIterator<Item = String>>(args: I) -> Result<Chaos
                 .ok_or_else(|| format!("{flag} expects a value\n\n{}", chaos_usage()))
         };
         let positive = |flag: &str, v: String| -> Result<u64, String> {
-            let n: u64 = v.parse().map_err(|_| format!("{flag} expects an integer"))?;
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("{flag} expects an integer"))?;
             if n == 0 {
                 return Err(format!("{flag} must be positive"));
             }
@@ -311,11 +313,24 @@ mod tests {
     #[test]
     fn full_invocation() {
         let a = parse(&[
-            "--servers", "a100:4,v100:2", "--tcp", "--primitive", "alltoall",
-            "--size-mib", "64", "--system", "msccl", "--parallelism", "2", "--describe",
+            "--servers",
+            "a100:4,v100:2",
+            "--tcp",
+            "--primitive",
+            "alltoall",
+            "--size-mib",
+            "64",
+            "--system",
+            "msccl",
+            "--parallelism",
+            "2",
+            "--describe",
         ])
         .unwrap();
-        assert_eq!(a.servers, vec![(ServerKind::A100, 4), (ServerKind::V100, 2)]);
+        assert_eq!(
+            a.servers,
+            vec![(ServerKind::A100, 4), (ServerKind::V100, 2)]
+        );
         assert!(a.tcp);
         assert_eq!(a.primitive, Primitive::AllToAll);
         assert_eq!(a.tensor, ByteSize::from_mib(64));
@@ -348,8 +363,12 @@ mod tests {
     #[test]
     fn telemetry_output_flags() {
         let a = parse(&[
-            "--trace-out", "trace.json", "--metrics-out", "metrics.json",
-            "--bench-append", "bench.jsonl",
+            "--trace-out",
+            "trace.json",
+            "--metrics-out",
+            "metrics.json",
+            "--bench-append",
+            "bench.jsonl",
         ])
         .unwrap();
         assert_eq!(a.trace_out.as_deref(), Some("trace.json"));
@@ -364,7 +383,11 @@ mod tests {
         let a = parse(&["--seed", "42", "--plan-cache", "/tmp/plans"]).unwrap();
         assert_eq!(a.seed, 42);
         assert_eq!(a.plan_cache.as_deref(), Some("/tmp/plans"));
-        assert_eq!(SimArgs::default().seed, 1, "default seed matches the historic run");
+        assert_eq!(
+            SimArgs::default().seed,
+            1,
+            "default seed matches the historic run"
+        );
         assert!(parse(&["--seed", "x"]).is_err());
         assert!(parse(&["--seed"]).is_err(), "missing value");
         assert!(parse(&["--plan-cache"]).is_err(), "missing value");
@@ -373,7 +396,10 @@ mod tests {
     #[test]
     fn h100_server_kind_builds() {
         let a = parse(&["--servers", "h100:2,a100:1"]).unwrap();
-        assert_eq!(a.servers, vec![(ServerKind::H100, 2), (ServerKind::A100, 1)]);
+        assert_eq!(
+            a.servers,
+            vec![(ServerKind::H100, 2), (ServerKind::A100, 1)]
+        );
         let cluster = build_cluster(&a);
         assert_eq!(cluster.instance_count(), 3);
     }
@@ -386,8 +412,17 @@ mod tests {
     fn chaos_defaults_and_full_invocation() {
         assert_eq!(parse_chaos(&[]).unwrap(), ChaosArgs::default());
         let a = parse_chaos(&[
-            "--seeds", "500", "--seed-base", "100", "--servers", "3",
-            "--size-kib", "256", "--horizon-ms", "150", "--verbose",
+            "--seeds",
+            "500",
+            "--seed-base",
+            "100",
+            "--servers",
+            "3",
+            "--size-kib",
+            "256",
+            "--horizon-ms",
+            "150",
+            "--verbose",
         ])
         .unwrap();
         assert_eq!(a.seeds, 500);
@@ -403,6 +438,8 @@ mod tests {
         assert!(parse_chaos(&["--seeds", "0"]).is_err());
         assert!(parse_chaos(&["--horizon-ms", "-1"]).is_err());
         assert!(parse_chaos(&["--banana"]).is_err());
-        assert!(parse_chaos(&["--help"]).unwrap_err().contains("--seed-base"));
+        assert!(parse_chaos(&["--help"])
+            .unwrap_err()
+            .contains("--seed-base"));
     }
 }

@@ -31,7 +31,13 @@ pub fn algo_bandwidth_figure(primitive: Primitive, include_blink: bool) -> Vec<S
         let mut values = Vec::new();
         let mut by_system = BTreeMap::new();
         for sys in &systems {
-            let r = runner.run(*sys, primitive, bench_tensor(), &case.participants, &Default::default());
+            let r = runner.run(
+                *sys,
+                primitive,
+                bench_tensor(),
+                &case.participants,
+                &Default::default(),
+            );
             values.push(r.algo_bw_gbytes);
             by_system.insert(sys.name(), r.algo_bw_gbytes);
         }
@@ -85,8 +91,10 @@ pub fn fig13() -> Vec<String> {
 /// bind, which on RDMA they do not (a single queue pair saturates the
 /// NIC — the RDMA sweep is flat in this model).
 pub fn fig19a() -> Vec<String> {
-    let mut out =
-        vec!["Fig. 19(a) — communication speed-up over NCCL vs parallelization degree M (TCP testbed)".into()];
+    let mut out = vec![
+        "Fig. 19(a) — communication speed-up over NCCL vs parallelization degree M (TCP testbed)"
+            .into(),
+    ];
     let case = {
         use adapcc_simnet::cluster::ClusterBuilder;
         use adapcc_simnet::hardware::InstanceSpec;
@@ -94,7 +102,9 @@ pub fn fig19a() -> Vec<String> {
         b.add_instances(InstanceSpec::a100_server().with_tcp(), 4);
         b.add_instances(InstanceSpec::v100_server().with_tcp(), 2);
         let cluster = b.build();
-        let participants = (0..cluster.gpu_count()).map(adapcc_simnet::cluster::Rank).collect();
+        let participants = (0..cluster.gpu_count())
+            .map(adapcc_simnet::cluster::Rank)
+            .collect();
         crate::harness::GpuCase {
             label: "A100:(4,4,4,4) V100:(4,4) TCP".into(),
             cluster,
@@ -105,14 +115,26 @@ pub fn fig19a() -> Vec<String> {
     let tensor = ByteSize::from_mib(528); // VGG16 gradients
     let base = Runner::new(&case.cluster, &topo, &profile);
     let nccl = base
-        .run(System::Nccl, Primitive::AllReduce, tensor, &case.participants, &Default::default())
+        .run(
+            System::Nccl,
+            Primitive::AllReduce,
+            tensor,
+            &case.participants,
+            &Default::default(),
+        )
         .comm_time
         .as_secs();
     out.push(header("M", &["speed-up"]));
     for m in [1usize, 2, 4, 8] {
         let runner = base.clone().with_parallelism(m);
         let ours = runner
-            .run(System::AdapCc, Primitive::AllReduce, tensor, &case.participants, &Default::default())
+            .run(
+                System::AdapCc,
+                Primitive::AllReduce,
+                tensor,
+                &case.participants,
+                &Default::default(),
+            )
             .comm_time
             .as_secs();
         out.push(row(&format!("M = {m}"), &[nccl / ours]));

@@ -11,9 +11,8 @@ use crate::harness::{header, percentile, row};
 
 /// Fig. 1: bandwidth/latency of a cloud instance pair over six hours.
 pub fn fig1() -> Vec<String> {
-    let mut out = vec![
-        "Fig. 1 — measured network performance between two cloud instances (6 h)".into(),
-    ];
+    let mut out =
+        vec!["Fig. 1 — measured network performance between two cloud instances (6 h)".into()];
     let trace = CloudTrace::synthesize(42, 6.0 * 3600.0, 60.0);
     out.push(header("time", &["bw factor", "lat factor"]));
     for minutes in (0..=360).step_by(45) {
@@ -41,7 +40,10 @@ pub fn fig3b() -> Vec<String> {
     ];
     let iters = 40;
     let settings = [
-        ("heterogeneous (2xA100 + 2xV100)", Cluster::heterogeneous_2a100_2v100()),
+        (
+            "heterogeneous (2xA100 + 2xV100)",
+            Cluster::heterogeneous_2a100_2v100(),
+        ),
         ("homogeneous (4xA100)", Cluster::homogeneous_a100(4)),
     ];
     let percentiles = [10.0, 25.0, 50.0, 75.0, 90.0];
@@ -54,7 +56,10 @@ pub fn fig3b() -> Vec<String> {
             &TrainConfig::new(DnnModel::Gpt2, Backend::AdapCcWaitAll, iters),
         );
         let ratios: Vec<f64> = report.iterations.iter().map(|i| i.wait_ratio).collect();
-        let values: Vec<f64> = percentiles.iter().map(|p| percentile(&ratios, *p)).collect();
+        let values: Vec<f64> = percentiles
+            .iter()
+            .map(|p| percentile(&ratios, *p))
+            .collect();
         out.push(row(label, &values));
     }
     out.push(String::new());

@@ -52,7 +52,15 @@ pub fn fig19c() -> Vec<String> {
     let mut out = vec!["Fig. 19(c) — graph reconstruction cost vs job scale".into()];
     out.push(header(
         "scale",
-        &["profile (s)", "solve cold", "solve warm", "setup", "AdapCC", "NCCL", "saved %"],
+        &[
+            "profile (s)",
+            "solve cold",
+            "solve warm",
+            "setup",
+            "AdapCC",
+            "NCCL",
+            "saved %",
+        ],
     ));
     let tensor = DnnModel::Vgg16.tensor_size();
     for servers in [2usize, 4, 6, 8, 12] {
@@ -97,7 +105,10 @@ fn fig19c_reconstruct(
     let mut cc = AdapCC::init(
         cluster,
         InitOptions {
-            synth: SynthConfig { anneal_iters: 120, ..Default::default() },
+            synth: SynthConfig {
+                anneal_iters: 120,
+                ..Default::default()
+            },
             plan_cache,
             ..Default::default()
         },
@@ -122,8 +133,16 @@ pub fn fig19d() -> Vec<String> {
     let ranks: Vec<Rank> = (0..cluster.gpu_count()).map(Rank).collect();
     let tensor = DnnModel::Vgg16.tensor_size();
     let strategy = Synthesizer::new(&topo, &profile)
-        .with_config(SynthConfig { anneal_iters: 24, ..Default::default() })
-        .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, 4, ranks.clone()));
+        .with_config(SynthConfig {
+            anneal_iters: 24,
+            ..Default::default()
+        })
+        .synthesize(&SynthRequest::new(
+            Primitive::AllReduce,
+            tensor,
+            4,
+            ranks.clone(),
+        ));
     let root = strategy.subs[0].root.expect("rooted");
     let est = adapcc::BuyEstimate::new(&topo, &profile, &strategy, tensor);
     // Drive 1000 coordinator decisions with realistic ready times; the
@@ -159,7 +178,10 @@ pub fn ablation() -> Vec<String> {
     let model = CostModel::new(&topo, &profile);
     let req = SynthRequest::new(Primitive::AllReduce, tensor, 4, ranks.clone());
     let quick = Synthesizer::new(&topo, &profile)
-        .with_config(SynthConfig { anneal_iters: 0, ..Default::default() })
+        .with_config(SynthConfig {
+            anneal_iters: 0,
+            ..Default::default()
+        })
         .synthesize(&req);
     let full = Synthesizer::new(&topo, &profile).synthesize(&req);
     let cq = model.evaluate(&quick, tensor).completion.as_secs();

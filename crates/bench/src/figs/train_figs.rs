@@ -21,7 +21,11 @@ fn tcp(spec: InstanceSpec) -> InstanceSpec {
 
 fn homo(transport_tcp: bool) -> Cluster {
     let mut b = ClusterBuilder::new();
-    let spec = if transport_tcp { tcp(InstanceSpec::a100_server()) } else { InstanceSpec::a100_server() };
+    let spec = if transport_tcp {
+        tcp(InstanceSpec::a100_server())
+    } else {
+        InstanceSpec::a100_server()
+    };
     b.add_instances(spec, 4);
     b.build()
 }
@@ -29,7 +33,10 @@ fn homo(transport_tcp: bool) -> Cluster {
 fn heter(transport_tcp: bool) -> Cluster {
     let mut b = ClusterBuilder::new();
     let (a, v) = if transport_tcp {
-        (tcp(InstanceSpec::a100_server()), tcp(InstanceSpec::v100_server()))
+        (
+            tcp(InstanceSpec::a100_server()),
+            tcp(InstanceSpec::v100_server()),
+        )
     } else {
         (InstanceSpec::a100_server(), InstanceSpec::v100_server())
     };
@@ -46,9 +53,7 @@ pub fn fig14() -> Vec<String> {
     let iters = 8;
     out.push(header("setting", &["AdapCC", "NCCL", "MSCCL", "speedup"]));
     for model in DnnModel::all() {
-        for (env, transport_tcp) in
-            [("Homo/RDMA", false), ("Homo/TCP", true)]
-        {
+        for (env, transport_tcp) in [("Homo/RDMA", false), ("Homo/TCP", true)] {
             let cluster = homo(transport_tcp);
             out.push(fig14_row(&cluster, model, env, iters));
         }
@@ -63,7 +68,10 @@ pub fn fig14() -> Vec<String> {
 }
 
 fn fig14_row(cluster: &Cluster, model: DnnModel, env: &str, iters: usize) -> String {
-    let ours = train(cluster, &TrainConfig::new(model, Backend::AdapCcAdaptive, iters));
+    let ours = train(
+        cluster,
+        &TrainConfig::new(model, Backend::AdapCcAdaptive, iters),
+    );
     let nccl = train(
         cluster,
         &TrainConfig::new(model, Backend::Baseline(System::Nccl), iters),
@@ -88,7 +96,10 @@ pub fn fig15() -> Vec<String> {
     let mut out = vec!["Fig. 15 — relay selection probability per worker".into()];
     let iters = 40;
     for (label, cluster) in [
-        ("heterogeneous (ranks 8..16 are V100)", Cluster::heterogeneous_2a100_2v100()),
+        (
+            "heterogeneous (ranks 8..16 are V100)",
+            Cluster::heterogeneous_2a100_2v100(),
+        ),
         ("homogeneous", Cluster::homogeneous_a100(4)),
     ] {
         let report = train(
@@ -109,7 +120,11 @@ pub fn fig15() -> Vec<String> {
 
 /// Figs. 16 & 17: training throughput versus batch size.
 pub fn fig16_17(model: DnnModel, batches: &[usize]) -> Vec<String> {
-    let fig = if model == DnnModel::Gpt2 { "Fig. 16" } else { "Fig. 17" };
+    let fig = if model == DnnModel::Gpt2 {
+        "Fig. 16"
+    } else {
+        "Fig. 17"
+    };
     let mut out = vec![format!(
         "{fig} — {model} training throughput (samples/s) vs per-GPU batch size, heterogeneous cluster"
     )];
@@ -152,16 +167,30 @@ fn nic_links(cluster: &Cluster) -> Vec<LinkId> {
 /// Fig. 18(a): makespan of 10^4 VGG16 iterations under trace-driven
 /// volatile bandwidth, versus the amplification factor x.
 pub fn fig18a() -> Vec<String> {
-    let mut out = vec![
-        "Fig. 18(a) — makespan of 10^4 VGG16 iterations under volatile bandwidth".into(),
-    ];
+    let mut out =
+        vec!["Fig. 18(a) — makespan of 10^4 VGG16 iterations under volatile bandwidth".into()];
     let total_iters = 10_000usize;
     let profile_period = 500usize;
-    out.push(header("amplification x", &["AdapCC (s)", "NCCL (s)", "reduction %"]));
+    out.push(header(
+        "amplification x",
+        &["AdapCC (s)", "NCCL (s)", "reduction %"],
+    ));
     let mut warm_at_max = None;
     for x in [0.0, 0.2, 0.4, 0.6] {
-        let adapcc = volatile_makespan(true, x, total_iters, profile_period, PlanCacheConfig::default());
-        let nccl = volatile_makespan(false, x, total_iters, profile_period, PlanCacheConfig::disabled());
+        let adapcc = volatile_makespan(
+            true,
+            x,
+            total_iters,
+            profile_period,
+            PlanCacheConfig::default(),
+        );
+        let nccl = volatile_makespan(
+            false,
+            x,
+            total_iters,
+            profile_period,
+            PlanCacheConfig::disabled(),
+        );
         out.push(row(
             &format!("x = {x:.1}"),
             &[
@@ -175,7 +204,13 @@ pub fn fig18a() -> Vec<String> {
     // Reconstruction-cost breakdown at the highest volatility: the same
     // trace replayed without the plan cache pays the cold solver on
     // every drift, with it the shape-stable fleet warm-starts instead.
-    let cold = volatile_makespan(true, 0.6, total_iters, profile_period, PlanCacheConfig::disabled());
+    let cold = volatile_makespan(
+        true,
+        0.6,
+        total_iters,
+        profile_period,
+        PlanCacheConfig::disabled(),
+    );
     let warm = warm_at_max.expect("loop ran");
     let stats = warm.cache.unwrap_or_default();
     out.push(format!(
@@ -222,7 +257,13 @@ fn volatile_makespan(
     let mut stragglers = StragglerModel::new(9);
 
     let mut session = adaptive.then(|| {
-        let mut cc = AdapCC::init(&cluster, InitOptions { plan_cache, ..Default::default() });
+        let mut cc = AdapCC::init(
+            &cluster,
+            InitOptions {
+                plan_cache,
+                ..Default::default()
+            },
+        );
         cc.setup();
         cc
     });
@@ -271,18 +312,24 @@ fn volatile_makespan(
         makespan += iter_secs * window as f64;
         done += window;
     }
-    VolatileRun { makespan, recon_secs, cache: session.map(|cc| cc.plan_cache_stats()) }
+    VolatileRun {
+        makespan,
+        recon_secs,
+        cache: session.map(|cc| cc.plan_cache_stats()),
+    }
 }
 
 /// Fig. 18(b): communication speed-up over NCCL versus the CPU
 /// interference level of co-located online tasks.
 pub fn fig18b() -> Vec<String> {
-    let mut out = vec![
-        "Fig. 18(b) — communication speed-up over NCCL vs CPU interference level".into(),
-    ];
+    let mut out =
+        vec!["Fig. 18(b) — communication speed-up over NCCL vs CPU interference level".into()];
     let cluster = Cluster::homogeneous_a100(4);
     let iters = 12;
-    out.push(header("interference", &["AdapCC (ms)", "NCCL (ms)", "speed-up"]));
+    out.push(header(
+        "interference",
+        &["AdapCC (ms)", "NCCL (ms)", "speed-up"],
+    ));
     for level in [0.0, 100.0, 200.0, 300.0, 400.0] {
         let ours = train(
             &cluster,

@@ -33,7 +33,10 @@ pub fn case(a100_counts: &[usize], v100_counts: &[usize]) -> GpuCase {
     let mut participants = Vec::new();
     for (i, &k) in a100_counts.iter().chain(v100_counts).enumerate() {
         let inst = InstanceId(i);
-        assert!(k <= cluster.gpus_on(inst), "case uses more GPUs than installed");
+        assert!(
+            k <= cluster.gpus_on(inst),
+            "case uses more GPUs than installed"
+        );
         for l in 0..k {
             participants.push(cluster.rank_of(inst, l));
         }
@@ -92,7 +95,9 @@ pub fn profiled_with_telemetry(
     seed: u64,
     telemetry: adapcc_telemetry::Telemetry,
 ) -> (LogicalTopology, LinkProfile, f64) {
-    let detection = Detector::new(cluster, seed).with_telemetry(telemetry.clone()).run();
+    let detection = Detector::new(cluster, seed)
+        .with_telemetry(telemetry.clone())
+        .run();
     let topo = detection.logical_topology(cluster);
     let prof = Profiler::new(cluster, &topo, seed)
         .with_telemetry(telemetry.at_offset(detection.elapsed.as_secs()))

@@ -26,8 +26,8 @@ use adapcc_train::workload::DnnModel;
 /// All figure names, in paper order.
 pub fn figure_names() -> Vec<&'static str> {
     vec![
-        "fig1", "fig3b", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-        "fig18a", "fig18b", "fig19a", "fig19b", "fig19c", "fig19d", "ablation",
+        "fig1", "fig3b", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18a",
+        "fig18b", "fig19a", "fig19b", "fig19c", "fig19d", "ablation",
     ]
 }
 

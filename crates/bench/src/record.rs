@@ -66,7 +66,10 @@ impl BenchRecord {
     ///
     /// Propagates I/O failures from opening or writing the file.
     pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
-        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
         writeln!(f, "{}", self.to_json())
     }
 }

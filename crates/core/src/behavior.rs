@@ -140,9 +140,7 @@ pub fn derive_behaviors(
         // Written to mirror the paper's three exception clauses for
         // hasKernel verbatim, not minimized boolean algebra.
         #[allow(clippy::nonminimal_bool)]
-        let has_kernel = aggregation_requested
-            && has_recv
-            && !(!is_active && active_preds == 1);
+        let has_kernel = aggregation_requested && has_recv && !(!is_active && active_preds == 1);
         out.insert(
             *rank,
             BehaviorTuple {
@@ -170,8 +168,16 @@ mod tests {
         let g = |r: usize| LogicalNode::Gpu(Rank(r));
         let e = |a, b| topo.edge_between(a, b).expect("edge");
         let flows = vec![
-            Flow { src: g(2), dst: g(0), route: vec![e(g(2), g(1)), e(g(1), g(0))] },
-            Flow { src: g(3), dst: g(0), route: vec![e(g(3), g(1)), e(g(1), g(0))] },
+            Flow {
+                src: g(2),
+                dst: g(0),
+                route: vec![e(g(2), g(1)), e(g(1), g(0))],
+            },
+            Flow {
+                src: g(3),
+                dst: g(0),
+                route: vec![e(g(3), g(1)), e(g(1), g(0))],
+            },
         ];
         let mut aggregate = BTreeMap::new();
         aggregate.insert(g(1), true);
@@ -199,17 +205,32 @@ mod tests {
         // GPU1 is active and aggregates two inflows.
         assert_eq!(
             b[&Rank(1)],
-            BehaviorTuple { is_active: true, has_recv: true, has_kernel: true, has_send: true }
+            BehaviorTuple {
+                is_active: true,
+                has_recv: true,
+                has_kernel: true,
+                has_send: true
+            }
         );
         // Root receives, aggregates, does not send.
         assert_eq!(
             b[&Rank(0)],
-            BehaviorTuple { is_active: true, has_recv: true, has_kernel: true, has_send: false }
+            BehaviorTuple {
+                is_active: true,
+                has_recv: true,
+                has_kernel: true,
+                has_send: false
+            }
         );
         // Leaves only send.
         assert_eq!(
             b[&Rank(3)],
-            BehaviorTuple { is_active: true, has_recv: false, has_kernel: false, has_send: true }
+            BehaviorTuple {
+                is_active: true,
+                has_recv: false,
+                has_kernel: false,
+                has_send: true
+            }
         );
     }
 
@@ -221,7 +242,12 @@ mod tests {
         let b = derive_behaviors(&topo, &sub, &[Rank(0), Rank(2), Rank(3)]);
         assert_eq!(
             b[&Rank(1)],
-            BehaviorTuple { is_active: false, has_recv: true, has_kernel: true, has_send: true },
+            BehaviorTuple {
+                is_active: false,
+                has_recv: true,
+                has_kernel: true,
+                has_send: true
+            },
             "a relay with two active inflows still aggregates them"
         );
     }
@@ -236,7 +262,12 @@ mod tests {
         let b = derive_behaviors(&topo, &sub, &[Rank(0), Rank(3)]);
         assert_eq!(
             b[&Rank(1)],
-            BehaviorTuple { is_active: false, has_recv: true, has_kernel: false, has_send: true }
+            BehaviorTuple {
+                is_active: false,
+                has_recv: true,
+                has_kernel: false,
+                has_send: true
+            }
         );
         // GPU2 is a silent leaf: nothing to send.
         assert_eq!(b[&Rank(2)], BehaviorTuple::IDLE);
@@ -251,13 +282,23 @@ mod tests {
         assert_eq!(b[&Rank(1)], BehaviorTuple::IDLE);
         assert_eq!(
             b[&Rank(0)],
-            BehaviorTuple { is_active: true, has_recv: false, has_kernel: false, has_send: false }
+            BehaviorTuple {
+                is_active: true,
+                has_recv: false,
+                has_kernel: false,
+                has_send: false
+            }
         );
     }
 
     #[test]
     fn display_matches_paper_notation() {
-        let t = BehaviorTuple { is_active: true, has_recv: false, has_kernel: false, has_send: true };
+        let t = BehaviorTuple {
+            is_active: true,
+            has_recv: false,
+            has_kernel: false,
+            has_send: true,
+        };
         assert_eq!(t.to_string(), "<1, 0, 0, 1>");
     }
 }

@@ -265,8 +265,16 @@ mod tests {
         assert_eq!(comm.pending(), 2);
         assert_eq!(comm.take_work().unwrap().id, a);
         assert_eq!(comm.take_work().unwrap().id, b);
-        comm.complete(WorkResult { id: b, finish: SimTime::ZERO, outputs: BTreeMap::new() });
-        comm.complete(WorkResult { id: a, finish: SimTime::ZERO, outputs: BTreeMap::new() });
+        comm.complete(WorkResult {
+            id: b,
+            finish: SimTime::ZERO,
+            outputs: BTreeMap::new(),
+        });
+        comm.complete(WorkResult {
+            id: a,
+            finish: SimTime::ZERO,
+            outputs: BTreeMap::new(),
+        });
         assert_eq!(comm.fetch().unwrap().id, b);
         assert_eq!(comm.fetch().unwrap().id, a);
         assert!(comm.fetch().is_none());

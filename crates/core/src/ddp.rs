@@ -86,9 +86,7 @@ impl BucketLayout {
 
     /// Total gradient bytes.
     pub fn total(&self) -> ByteSize {
-        self.sizes
-            .iter()
-            .fold(ByteSize::ZERO, |acc, s| acc + *s)
+        self.sizes.iter().fold(ByteSize::ZERO, |acc, s| acc + *s)
     }
 
     /// Evenly spreads each worker's backward pass over its buckets:
@@ -197,7 +195,10 @@ mod tests {
         let mut cc = AdapCC::init(
             cluster,
             InitOptions {
-                synth: SynthConfig { anneal_iters: 16, ..Default::default() },
+                synth: SynthConfig {
+                    anneal_iters: 16,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );

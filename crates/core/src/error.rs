@@ -159,8 +159,14 @@ mod tests {
         let s = format!("{r}");
         assert!(s.contains("transfer aborted"), "{s}");
         assert!(s.contains("gpu1->nic0"), "{s}");
-        assert!(s.contains("rank1") || s.contains("Rank(1)") || s.contains('1'), "{s}");
-        let e = AdapCCError::RetriesExhausted { attempts: 3, last: r };
+        assert!(
+            s.contains("rank1") || s.contains("Rank(1)") || s.contains('1'),
+            "{s}"
+        );
+        let e = AdapCCError::RetriesExhausted {
+            attempts: 3,
+            last: r,
+        };
         assert!(format!("{e}").contains("3 attempt"));
     }
 }

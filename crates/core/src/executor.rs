@@ -250,19 +250,45 @@ struct LoweredSub {
 
 #[derive(Debug, Clone, Copy)]
 enum Task {
-    Hop { sub: usize, seg: usize, hop: usize, chunk: usize },
-    Kernel { sub: usize, slot: usize, chunk: usize },
-    OwnReady { sub: usize, slot: usize },
+    Hop {
+        sub: usize,
+        seg: usize,
+        hop: usize,
+        chunk: usize,
+    },
+    Kernel {
+        sub: usize,
+        slot: usize,
+        chunk: usize,
+    },
+    OwnReady {
+        sub: usize,
+        slot: usize,
+    },
     /// Deadline timer for the in-flight transfer of hop task
     /// `hop_task`; ignored if that transfer already completed.
-    HopDeadline { hop_task: usize },
+    HopDeadline {
+        hop_task: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Action {
-    Finalize { sub: usize, slot: usize, chunk: usize },
-    StartSegs { sub: usize, slot: usize, chunk: usize },
-    Deliver { sub: usize, seg: usize, chunk: usize },
+    Finalize {
+        sub: usize,
+        slot: usize,
+        chunk: usize,
+    },
+    StartSegs {
+        sub: usize,
+        slot: usize,
+        chunk: usize,
+    },
+    Deliver {
+        sub: usize,
+        seg: usize,
+        chunk: usize,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -457,7 +483,14 @@ impl<'a> Executor<'a> {
                 let bcast = req.strategy.reversed(self.topo, Primitive::Broadcast);
                 let base = out.len();
                 let n_subs = req.strategy.subs.len();
-                self.lower_tree(ri, req.strategy, elems, SubKind::Reduce, Some(base + n_subs), out);
+                self.lower_tree(
+                    ri,
+                    req.strategy,
+                    elems,
+                    SubKind::Reduce,
+                    Some(base + n_subs),
+                    out,
+                );
                 let mut tmp = Vec::new();
                 self.lower_tree(ri, &bcast, elems, SubKind::Broadcast, None, &mut tmp);
                 out.append(&mut tmp);
@@ -526,7 +559,10 @@ impl<'a> Executor<'a> {
                     let edge = self.topo.edge(*e);
                     seg_edges.push(*e);
                     let gen_ref = visits.entry(edge.to).or_insert(0);
-                    let here = VNode { node: edge.to, gen: *gen_ref };
+                    let here = VNode {
+                        node: edge.to,
+                        gen: *gen_ref,
+                    };
                     *gen_ref += 1;
                     sink_vnode = here;
                     if sub.aggregates_at(edge.to) || edge.to == f.dst || fan_out.contains(&edge.to)
@@ -613,8 +649,11 @@ impl<'a> Executor<'a> {
         let strategy = req.strategy;
         let participants = strategy.participants();
         let n = participants.len().max(1);
-        let index_of: HashMap<Rank, usize> =
-            participants.iter().enumerate().map(|(i, r)| (*r, i)).collect();
+        let index_of: HashMap<Rank, usize> = participants
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (*r, i))
+            .collect();
         let shard_sizes = split_elems(elems, n);
         let mut shard_off = vec![0usize; n];
         for j in 1..n {
@@ -643,7 +682,10 @@ impl<'a> Executor<'a> {
                 // shard `si` of dst's tensor. Sub m carries its slice.
                 let (s_off, s_len) = frac_slice(shard_sizes[di], &fracs, m);
                 let (d_off, _d_len) = frac_slice(shard_sizes[si], &fracs, m);
-                let sink = VNode { node: f.dst, gen: 1 };
+                let sink = VNode {
+                    node: f.dst,
+                    gen: 1,
+                };
                 segments.push(Segment {
                     start: VNode::first(f.src),
                     end: sink,
@@ -762,7 +804,9 @@ impl<'a> Executor<'a> {
                     continue; // fed chunk-by-chunk by the reduce stage
                 }
                 let slot = st.slot_of[si][n];
-                let LogicalNode::Gpu(rank) = &n.node else { continue };
+                let LogicalNode::Gpu(rank) = &n.node else {
+                    continue;
+                };
                 let req = &requests[sub.request];
                 if sub.kind != SubKind::PointToPoint {
                     if let (Some(inputs), Some(acc)) = (&req.inputs, &mut st.nodes[si][slot].acc) {
@@ -792,14 +836,33 @@ impl<'a> Executor<'a> {
                         self.try_finalize(subs, &mut st, si, slot, chunk);
                     }
                 }
-                (SimEvent::Timer { .. }, Task::Kernel { sub: si, slot, chunk }) => {
+                (
+                    SimEvent::Timer { .. },
+                    Task::Kernel {
+                        sub: si,
+                        slot,
+                        chunk,
+                    },
+                ) => {
                     st.nodes[si][slot].kernel_busy = false;
-                    st.worklist.push_back(Action::Finalize { sub: si, slot, chunk });
+                    st.worklist.push_back(Action::Finalize {
+                        sub: si,
+                        slot,
+                        chunk,
+                    });
                     if let Some(next) = st.nodes[si][slot].kernel_queue.pop_front() {
                         self.start_kernel(subs, &mut st, si, slot, next);
                     }
                 }
-                (SimEvent::TransferDone { .. }, Task::Hop { sub: si, seg, hop, chunk }) => {
+                (
+                    SimEvent::TransferDone { .. },
+                    Task::Hop {
+                        sub: si,
+                        seg,
+                        hop,
+                        chunk,
+                    },
+                ) => {
                     st.open.remove(&(ev.token() as usize));
                     if self.tracing {
                         if let Some(start) = st.hop_started.remove(&(ev.token() as usize)) {
@@ -815,8 +878,7 @@ impl<'a> Executor<'a> {
                             });
                         }
                     }
-                    if let Some((enq, start, bytes)) =
-                        st.telem_open.remove(&(ev.token() as usize))
+                    if let Some((enq, start, bytes)) = st.telem_open.remove(&(ev.token() as usize))
                     {
                         let e = self.topo.edge(subs[si].segments[seg].edges[hop]);
                         self.telemetry.flow(adapcc_telemetry::FlowRecord {
@@ -837,10 +899,22 @@ impl<'a> Executor<'a> {
                     if hop + 1 < subs[si].segments[seg].edges.len() {
                         self.enqueue_hop(subs, &mut st, si, seg, hop + 1, chunk);
                     } else {
-                        st.worklist.push_back(Action::Deliver { sub: si, seg, chunk });
+                        st.worklist.push_back(Action::Deliver {
+                            sub: si,
+                            seg,
+                            chunk,
+                        });
                     }
                 }
-                (SimEvent::TransferAborted { .. }, Task::Hop { sub: si, seg, hop, chunk }) => {
+                (
+                    SimEvent::TransferAborted { .. },
+                    Task::Hop {
+                        sub: si,
+                        seg,
+                        hop,
+                        chunk,
+                    },
+                ) => {
                     st.open.remove(&(ev.token() as usize));
                     let at = st.sim.now();
                     let edge = subs[si].segments[seg].edges[hop];
@@ -848,7 +922,13 @@ impl<'a> Executor<'a> {
                 }
                 (SimEvent::Timer { .. }, Task::HopDeadline { hop_task }) => {
                     if st.open.contains(&hop_task) {
-                        let Task::Hop { sub: si, seg, hop, chunk } = st.tasks[hop_task] else {
+                        let Task::Hop {
+                            sub: si,
+                            seg,
+                            hop,
+                            chunk,
+                        } = st.tasks[hop_task]
+                        else {
                             unreachable!("deadline timers reference hop tasks");
                         };
                         let at = st.sim.now();
@@ -867,9 +947,7 @@ impl<'a> Executor<'a> {
             for (si, sub) in subs.iter().enumerate() {
                 for sink in &sub.sinks {
                     let slot = st.slot_of[si][sink];
-                    if let Some(chunk) =
-                        st.nodes[si][slot].finalized.iter().position(|f| !f)
-                    {
+                    if let Some(chunk) = st.nodes[si][slot].finalized.iter().position(|f| !f) {
                         return Err(FaultReport {
                             kind: FaultKind::Incomplete,
                             at: st.sim.now(),
@@ -883,9 +961,12 @@ impl<'a> Executor<'a> {
         }
 
         if self.telemetry.is_enabled() {
-            self.telemetry.span("execute", "phase", 0.0, st.finish.as_secs());
-            self.telemetry.add_counter("exec.bytes_on_wire", st.bytes_on_wire as f64);
-            self.telemetry.add_counter("exec.requests", requests.len() as f64);
+            self.telemetry
+                .span("execute", "phase", 0.0, st.finish.as_secs());
+            self.telemetry
+                .add_counter("exec.bytes_on_wire", st.bytes_on_wire as f64);
+            self.telemetry
+                .add_counter("exec.requests", requests.len() as f64);
         }
 
         Ok(self.assemble(requests, subs, st))
@@ -899,7 +980,11 @@ impl<'a> Executor<'a> {
         action: Action,
     ) {
         match action {
-            Action::Finalize { sub: si, slot, chunk } => {
+            Action::Finalize {
+                sub: si,
+                slot,
+                chunk,
+            } => {
                 if st.nodes[si][slot].finalized[chunk] {
                     return;
                 }
@@ -924,19 +1009,37 @@ impl<'a> Executor<'a> {
                                 dacc[a..b].copy_from_slice(&vals);
                             }
                         }
-                        st.worklist.push_back(Action::Finalize { sub: link, slot: dslot, chunk });
+                        st.worklist.push_back(Action::Finalize {
+                            sub: link,
+                            slot: dslot,
+                            chunk,
+                        });
                     }
                 }
-                st.worklist.push_back(Action::StartSegs { sub: si, slot, chunk });
+                st.worklist.push_back(Action::StartSegs {
+                    sub: si,
+                    slot,
+                    chunk,
+                });
             }
-            Action::StartSegs { sub: si, slot, chunk } => {
+            Action::StartSegs {
+                sub: si,
+                slot,
+                chunk,
+            } => {
                 let node = st.nodes[si][slot].node;
-                let Some(seg_ids) = subs[si].out_segs.get(&node) else { return };
+                let Some(seg_ids) = subs[si].out_segs.get(&node) else {
+                    return;
+                };
                 for &seg in seg_ids.clone().iter() {
                     self.enqueue_hop(subs, st, si, seg, 0, chunk);
                 }
             }
-            Action::Deliver { sub: si, seg, chunk } => {
+            Action::Deliver {
+                sub: si,
+                seg,
+                chunk,
+            } => {
                 let sub = &subs[si];
                 let end = sub.segments[seg].end;
                 let start = sub.segments[seg].start;
@@ -948,7 +1051,9 @@ impl<'a> Executor<'a> {
                         let (a, b) = chunk_range(sub, chunk);
                         let b = b.min(r.len);
                         if a < b {
-                            let LogicalNode::Gpu(srank) = start.node else { panic!("gpu") };
+                            let LogicalNode::Gpu(srank) = start.node else {
+                                panic!("gpu")
+                            };
                             let vals: Vec<f32> =
                                 inputs[&srank][r.src_off + a..r.src_off + b].to_vec();
                             let elems = (req.tensor.as_u64() / 4) as usize;
@@ -1004,7 +1109,11 @@ impl<'a> Executor<'a> {
                 self.start_kernel(subs, st, si, slot, chunk);
             }
         } else {
-            st.worklist.push_back(Action::Finalize { sub: si, slot, chunk });
+            st.worklist.push_back(Action::Finalize {
+                sub: si,
+                slot,
+                chunk,
+            });
         }
     }
 
@@ -1025,7 +1134,11 @@ impl<'a> Executor<'a> {
         let bytes = chunk_bytes(&subs[si], chunk);
         let dur = kernel_launch_overhead() + gen.reduce_bandwidth().time_for(bytes);
         st.nodes[si][slot].kernel_busy = true;
-        st.tasks.push(Task::Kernel { sub: si, slot, chunk });
+        st.tasks.push(Task::Kernel {
+            sub: si,
+            slot,
+            chunk,
+        });
         let token = st.tasks.len() as u64 - 1;
         st.sim.schedule_timer(dur, token);
     }
@@ -1041,7 +1154,8 @@ impl<'a> Executor<'a> {
     ) {
         if st.hops[si][seg][hop].busy {
             if self.telemetry.is_enabled() {
-                st.telem_enqueued.insert((si, seg, hop, chunk), st.sim.now());
+                st.telem_enqueued
+                    .insert((si, seg, hop, chunk), st.sim.now());
             }
             st.hops[si][seg][hop].queue.push_back(chunk);
         } else {
@@ -1070,7 +1184,12 @@ impl<'a> Executor<'a> {
             chunk_bytes(sub, chunk)
         };
         st.bytes_on_wire += bytes.as_u64();
-        st.tasks.push(Task::Hop { sub: si, seg, hop, chunk });
+        st.tasks.push(Task::Hop {
+            sub: si,
+            seg,
+            hop,
+            chunk,
+        });
         let token = st.tasks.len() as u64 - 1;
         if self.tracing {
             st.hop_started.insert(token as usize, st.sim.now());
@@ -1081,7 +1200,8 @@ impl<'a> Executor<'a> {
                 .telem_enqueued
                 .remove(&(si, seg, hop, chunk))
                 .unwrap_or(start);
-            st.telem_open.insert(token as usize, (enqueued, start, bytes.as_u64()));
+            st.telem_open
+                .insert(token as usize, (enqueued, start, bytes.as_u64()));
         }
         st.sim.submit_transfer(&path, bytes, token);
         st.hops[si][seg][hop].busy = true;
@@ -1090,7 +1210,9 @@ impl<'a> Executor<'a> {
             // it fires while the hop is still open, the hop stalled.
             st.open.insert(token as usize);
             let deadline = self.hop_deadline(&path, bytes);
-            st.tasks.push(Task::HopDeadline { hop_task: token as usize });
+            st.tasks.push(Task::HopDeadline {
+                hop_task: token as usize,
+            });
             let dl = st.tasks.len() as u64 - 1;
             st.sim.schedule_timer(deadline, dl);
         }
@@ -1121,7 +1243,9 @@ impl<'a> Executor<'a> {
         } else {
             SimDuration::ZERO
         };
-        (alpha + beta).scale(self.deadline_multiplier).max(deadline_floor())
+        (alpha + beta)
+            .scale(self.deadline_multiplier)
+            .max(deadline_floor())
     }
 
     /// Classifies one faulted hop: which physical links it crossed and
@@ -1169,7 +1293,10 @@ impl<'a> Executor<'a> {
         let mut reports: Vec<RequestReport> = st
             .req_finish
             .iter()
-            .map(|f| RequestReport { finish: *f, outputs: BTreeMap::new() })
+            .map(|f| RequestReport {
+                finish: *f,
+                outputs: BTreeMap::new(),
+            })
             .collect();
         for (si, sub) in subs.iter().enumerate() {
             if requests[sub.request].inputs.is_none() {
@@ -1178,7 +1305,9 @@ impl<'a> Executor<'a> {
             let req = &requests[sub.request];
             let elems = (req.tensor.as_u64() / 4) as usize;
             for sink in &sub.sinks {
-                let LogicalNode::Gpu(rank) = &sink.node else { continue };
+                let LogicalNode::Gpu(rank) = &sink.node else {
+                    continue;
+                };
                 let slot = st.slot_of[si][sink];
                 let state = &st.nodes[si][slot];
                 let Some(acc) = &state.acc else { continue };
@@ -1345,13 +1474,16 @@ mod tests {
         let ranks: Vec<Rank> = (0..8).map(Rank).collect();
         let tensor = ByteSize::from_kib(64);
         let elems = 64 * 1024 / 4;
-        let strategy = Synthesizer::new(&topo, &profile)
-            .synthesize(&SynthRequest::new(Primitive::Reduce, tensor, 3, ranks.clone()));
+        let strategy = Synthesizer::new(&topo, &profile).synthesize(&SynthRequest::new(
+            Primitive::Reduce,
+            tensor,
+            3,
+            ranks.clone(),
+        ));
         let inputs = inputs_for(&ranks, elems);
         let exec = Executor::new(&c, &topo);
-        let report = exec.execute(&[
-            ExecutionRequest::timing(&strategy, tensor).with_inputs(inputs.clone())
-        ]);
+        let report = exec
+            .execute(&[ExecutionRequest::timing(&strategy, tensor).with_inputs(inputs.clone())]);
         let root = strategy.subs[0].root.expect("rooted");
         let out = &report.requests[0].outputs[&root];
         for i in [0usize, 1, elems / 2, elems - 1] {
@@ -1371,13 +1503,16 @@ mod tests {
         let ranks: Vec<Rank> = (0..16).map(Rank).collect();
         let tensor = ByteSize::from_kib(256);
         let elems = 256 * 1024 / 4;
-        let strategy = Synthesizer::new(&topo, &profile)
-            .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, 4, ranks.clone()));
+        let strategy = Synthesizer::new(&topo, &profile).synthesize(&SynthRequest::new(
+            Primitive::AllReduce,
+            tensor,
+            4,
+            ranks.clone(),
+        ));
         let inputs = inputs_for(&ranks, elems);
         let exec = Executor::new(&c, &topo);
-        let report = exec.execute(&[
-            ExecutionRequest::timing(&strategy, tensor).with_inputs(inputs.clone())
-        ]);
+        let report = exec
+            .execute(&[ExecutionRequest::timing(&strategy, tensor).with_inputs(inputs.clone())]);
         let outputs = &report.requests[0].outputs;
         assert_eq!(outputs.len(), 16, "every rank gets the aggregate");
         for r in &ranks {
@@ -1405,9 +1540,8 @@ mod tests {
         let strategy = Synthesizer::new(&topo, &profile).synthesize(&req);
         let inputs = inputs_for(&ranks, elems);
         let exec = Executor::new(&c, &topo);
-        let report = exec.execute(&[
-            ExecutionRequest::timing(&strategy, tensor).with_inputs(inputs.clone())
-        ]);
+        let report = exec
+            .execute(&[ExecutionRequest::timing(&strategy, tensor).with_inputs(inputs.clone())]);
         for (r, out) in &report.requests[0].outputs {
             assert_ne!(*r, Rank(2));
             assert_eq!(out, &inputs[&Rank(2)], "rank {r} must hold root's tensor");
@@ -1422,13 +1556,16 @@ mod tests {
         // 8 ranks, shard-aligned tensor: 8 shards of 512 elements.
         let tensor = ByteSize::from_bytes(8 * 512 * 4);
         let elems = 8 * 512;
-        let strategy = Synthesizer::new(&topo, &profile)
-            .synthesize(&SynthRequest::new(Primitive::AllToAll, tensor, 2, ranks.clone()));
+        let strategy = Synthesizer::new(&topo, &profile).synthesize(&SynthRequest::new(
+            Primitive::AllToAll,
+            tensor,
+            2,
+            ranks.clone(),
+        ));
         let inputs = inputs_for(&ranks, elems);
         let exec = Executor::new(&c, &topo);
-        let report = exec.execute(&[
-            ExecutionRequest::timing(&strategy, tensor).with_inputs(inputs.clone())
-        ]);
+        let report = exec
+            .execute(&[ExecutionRequest::timing(&strategy, tensor).with_inputs(inputs.clone())]);
         let shard = 512;
         for (j, dst) in ranks.iter().enumerate() {
             let out = &report.requests[0].outputs[dst];
@@ -1447,15 +1584,17 @@ mod tests {
         let (topo, profile) = setup(&c);
         let ranks: Vec<Rank> = (0..8).map(Rank).collect();
         let tensor = ByteSize::from_mib(16);
-        let strategy = Synthesizer::new(&topo, &profile)
-            .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, 2, ranks));
+        let strategy = Synthesizer::new(&topo, &profile).synthesize(&SynthRequest::new(
+            Primitive::AllReduce,
+            tensor,
+            2,
+            ranks,
+        ));
         let exec = Executor::new(&c, &topo);
         let fast = exec.execute(&[ExecutionRequest::timing(&strategy, tensor)]);
         let mut ready = BTreeMap::new();
         ready.insert(Rank(5), SimTime::from_secs(0.5));
-        let slow = exec.execute(&[
-            ExecutionRequest::timing(&strategy, tensor).with_ready(ready)
-        ]);
+        let slow = exec.execute(&[ExecutionRequest::timing(&strategy, tensor).with_ready(ready)]);
         assert!(slow.finish.as_secs() > 0.5);
         assert!(fast.finish.as_secs() < 0.1);
     }
@@ -1463,16 +1602,25 @@ mod tests {
     #[test]
     fn more_parallelism_helps_on_tcp() {
         let mut b = adapcc_simnet::cluster::ClusterBuilder::new();
-        b.add_instances(adapcc_simnet::hardware::InstanceSpec::a100_server().with_tcp(), 4);
+        b.add_instances(
+            adapcc_simnet::hardware::InstanceSpec::a100_server().with_tcp(),
+            4,
+        );
         let c = b.build();
         let (topo, profile) = setup(&c);
         let ranks: Vec<Rank> = (0..16).map(Rank).collect();
         let tensor = ByteSize::from_mib(64);
         let exec = Executor::new(&c, &topo);
         let time_for = |m: usize| {
-            let s = Synthesizer::new(&topo, &profile)
-                .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, m, ranks.clone()));
-            exec.execute(&[ExecutionRequest::timing(&s, tensor)]).finish.as_secs()
+            let s = Synthesizer::new(&topo, &profile).synthesize(&SynthRequest::new(
+                Primitive::AllReduce,
+                tensor,
+                m,
+                ranks.clone(),
+            ));
+            exec.execute(&[ExecutionRequest::timing(&s, tensor)])
+                .finish
+                .as_secs()
         };
         let m1 = time_for(1);
         let m4 = time_for(4);
@@ -1487,8 +1635,12 @@ mod tests {
         let (topo, profile) = setup(&c);
         let ranks: Vec<Rank> = (0..8).map(Rank).collect();
         let tensor = ByteSize::from_mib(32);
-        let strategy = Synthesizer::new(&topo, &profile)
-            .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, 4, ranks));
+        let strategy = Synthesizer::new(&topo, &profile).synthesize(&SynthRequest::new(
+            Primitive::AllReduce,
+            tensor,
+            4,
+            ranks,
+        ));
         let exec = Executor::new(&c, &topo);
         let report = exec.execute(&[ExecutionRequest::timing(&strategy, tensor)]);
         assert!(report.requests[0].outputs.is_empty());
@@ -1502,8 +1654,12 @@ mod tests {
         let (topo, profile) = setup(&c);
         let ranks: Vec<Rank> = (0..24).map(Rank).collect();
         let tensor = ByteSize::from_mib(32);
-        let strategy = Synthesizer::new(&topo, &profile)
-            .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, 4, ranks));
+        let strategy = Synthesizer::new(&topo, &profile).synthesize(&SynthRequest::new(
+            Primitive::AllReduce,
+            tensor,
+            4,
+            ranks,
+        ));
         let exec = Executor::new(&c, &topo);
         let a = exec.execute(&[ExecutionRequest::timing(&strategy, tensor)]);
         let b = exec.execute(&[ExecutionRequest::timing(&strategy, tensor)]);
@@ -1517,8 +1673,12 @@ mod tests {
         let (topo, profile) = setup(&c);
         let ranks: Vec<Rank> = (0..8).map(Rank).collect();
         let tensor = ByteSize::from_mib(8);
-        let strategy = Synthesizer::new(&topo, &profile)
-            .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, 2, ranks));
+        let strategy = Synthesizer::new(&topo, &profile).synthesize(&SynthRequest::new(
+            Primitive::AllReduce,
+            tensor,
+            2,
+            ranks,
+        ));
         let traced = Executor::new(&c, &topo).with_tracing();
         let report = traced.execute(&[ExecutionRequest::timing(&strategy, tensor)]);
         assert!(!report.trace.is_empty());
@@ -1531,8 +1691,8 @@ mod tests {
         let timeline = report.timeline();
         assert_eq!(timeline.lines().count(), report.trace.len());
         // Untraced runs stay lean and agree on timing.
-        let plain = Executor::new(&c, &topo)
-            .execute(&[ExecutionRequest::timing(&strategy, tensor)]);
+        let plain =
+            Executor::new(&c, &topo).execute(&[ExecutionRequest::timing(&strategy, tensor)]);
         assert!(plain.trace.is_empty());
         assert_eq!(plain.finish, report.finish);
     }
@@ -1545,8 +1705,12 @@ mod tests {
         let (topo, profile) = setup(&c);
         let ranks: Vec<Rank> = (0..8).map(Rank).collect();
         let tensor = ByteSize::from_kib(256);
-        let strategy = Synthesizer::new(&topo, &profile)
-            .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, 3, ranks));
+        let strategy = Synthesizer::new(&topo, &profile).synthesize(&SynthRequest::new(
+            Primitive::AllReduce,
+            tensor,
+            3,
+            ranks,
+        ));
         let schedule = FaultSchedule::new().with(Fault::NicFail {
             instance: InstanceId(1),
             at: SimTime::ZERO,
@@ -1575,8 +1739,12 @@ mod tests {
         let (topo, profile) = setup(&c);
         let ranks: Vec<Rank> = (0..8).map(Rank).collect();
         let tensor = ByteSize::from_mib(4);
-        let strategy = Synthesizer::new(&topo, &profile)
-            .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, 3, ranks));
+        let strategy = Synthesizer::new(&topo, &profile).synthesize(&SynthRequest::new(
+            Primitive::AllReduce,
+            tensor,
+            3,
+            ranks,
+        ));
         // Every NIC link of instance 0 flaps for far longer than the
         // collective: inter-instance hops stall at rate zero.
         let downed = nic_links(&c, InstanceId(0));
@@ -1611,8 +1779,12 @@ mod tests {
         let ranks: Vec<Rank> = (0..8).map(Rank).collect();
         let tensor = ByteSize::from_kib(64);
         let elems = 64 * 1024 / 4;
-        let strategy = Synthesizer::new(&topo, &profile)
-            .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, 3, ranks.clone()));
+        let strategy = Synthesizer::new(&topo, &profile).synthesize(&SynthRequest::new(
+            Primitive::AllReduce,
+            tensor,
+            3,
+            ranks.clone(),
+        ));
         let inputs = inputs_for(&ranks, elems);
         let plain = Executor::new(&c, &topo)
             .execute(&[ExecutionRequest::timing(&strategy, tensor).with_inputs(inputs.clone())]);
@@ -1620,7 +1792,10 @@ mod tests {
             .with_fault_schedule(FaultSchedule::new(), SimTime::ZERO)
             .try_execute(&[ExecutionRequest::timing(&strategy, tensor).with_inputs(inputs)])
             .expect("empty schedule cannot fault");
-        assert_eq!(plain.finish, guarded.finish, "deadlines must not perturb timing");
+        assert_eq!(
+            plain.finish, guarded.finish,
+            "deadlines must not perturb timing"
+        );
         for r in &ranks {
             assert_eq!(
                 plain.requests[0].outputs[r], guarded.requests[0].outputs[r],
@@ -1635,11 +1810,18 @@ mod tests {
         let (topo, profile) = setup(&c);
         let ranks: Vec<Rank> = (0..4).map(Rank).collect();
         let tensor = ByteSize::from_kib(64);
-        let strategy = Synthesizer::new(&topo, &profile)
-            .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, 2, ranks));
+        let strategy = Synthesizer::new(&topo, &profile).synthesize(&SynthRequest::new(
+            Primitive::AllReduce,
+            tensor,
+            2,
+            ranks,
+        ));
         let exec = Executor::new(&c, &topo);
         let err = exec
-            .try_execute(&[ExecutionRequest::timing(&strategy, ByteSize::from_bytes(1002))])
+            .try_execute(&[ExecutionRequest::timing(
+                &strategy,
+                ByteSize::from_bytes(1002),
+            )])
             .expect_err("odd byte count is not f32-aligned");
         assert!(
             matches!(&err, AdapCCError::InvalidRequest(msg) if msg.contains("f32-aligned")),
@@ -1670,7 +1852,10 @@ mod tcp_debug {
     #[ignore]
     fn diag() {
         let mut b = adapcc_simnet::cluster::ClusterBuilder::new();
-        b.add_instances(adapcc_simnet::hardware::InstanceSpec::a100_server().with_tcp(), 4);
+        b.add_instances(
+            adapcc_simnet::hardware::InstanceSpec::a100_server().with_tcp(),
+            4,
+        );
         let c = b.build();
         let topo = Detector::new(&c, 1).run().logical_topology(&c);
         let profile = Profiler::new(&c, &topo, 1).without_noise().run().links;
@@ -1679,20 +1864,39 @@ mod tcp_debug {
         let exec = Executor::new(&c, &topo);
         let model = CostModel::new(&topo, &profile);
         for m in [1usize, 2, 4, 8] {
-            let s = Synthesizer::new(&topo, &profile)
-                .synthesize(&SynthRequest::new(Primitive::AllReduce, tensor, m, ranks.clone()));
-            let t = exec.execute(&[ExecutionRequest::timing(&s, tensor)]).finish.as_secs();
+            let s = Synthesizer::new(&topo, &profile).synthesize(&SynthRequest::new(
+                Primitive::AllReduce,
+                tensor,
+                m,
+                ranks.clone(),
+            ));
+            let t = exec
+                .execute(&[ExecutionRequest::timing(&s, tensor)])
+                .finish
+                .as_secs();
             let pred = model.evaluate(&s, tensor).completion.as_secs();
-            let chunks: Vec<u64> = s.subs.iter().map(|x| x.chunk.as_u64()/1024).collect();
-            let fracs: Vec<f64> = s.subs.iter().map(|x| (x.fraction*100.0).round()/100.0).collect();
+            let chunks: Vec<u64> = s.subs.iter().map(|x| x.chunk.as_u64() / 1024).collect();
+            let fracs: Vec<f64> = s
+                .subs
+                .iter()
+                .map(|x| (x.fraction * 100.0).round() / 100.0)
+                .collect();
             let flows0 = s.subs[0].flows.len();
             println!("M={m} exec={t:.4}s pred={pred:.4}s chunksKiB={chunks:?} fracs={fracs:?} flows/sub={flows0}");
         }
         // check network edge profile
-        for e in topo.edges_of_kind(adapcc_topo::logical::EdgeKind::Network).iter().take(2) {
+        for e in topo
+            .edges_of_kind(adapcc_topo::logical::EdgeKind::Network)
+            .iter()
+            .take(2)
+        {
             let ab = profile.get(*e).unwrap();
-            println!("net edge: stream={:.1}Gbps port={:.1}Gbps alpha={:.1}us",
-                ab.bandwidth().as_gbps(), ab.port_bandwidth().as_gbps(), ab.alpha_secs*1e6);
+            println!(
+                "net edge: stream={:.1}Gbps port={:.1}Gbps alpha={:.1}us",
+                ab.bandwidth().as_gbps(),
+                ab.port_bandwidth().as_gbps(),
+                ab.alpha_secs * 1e6
+            );
         }
     }
 }

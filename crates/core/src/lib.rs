@@ -63,8 +63,8 @@ pub mod relay;
 pub mod session;
 
 pub use behavior::{derive_behaviors, BehaviorTuple};
-pub use ddp::{BucketLayout, DdpHook, DdpRoundReport};
 pub use communicator::{Communicator, SetupReport};
+pub use ddp::{BucketLayout, DdpHook, DdpRoundReport};
 pub use error::{AdapCCError, FaultKind, FaultReport};
 pub use executor::{BatchReport, ExecutionRequest, Executor, RequestReport};
 pub use reconstruct::{modeled_solve_cost, nccl_restart_cost, ReconstructReport, RestartCost};

@@ -212,9 +212,13 @@ impl Coordinator {
             // would hang a real library; the caller models that case.
             self.telemetry.add_counter("relay.decisions", 1.0);
             self.telemetry.add_counter("relay.wait_all", 1.0);
-            self.telemetry
-                .add_counter("relay.wait_secs", last_known.duration_since(first).as_secs());
-            return Decision::WaitAll { start: last_known + rpc };
+            self.telemetry.add_counter(
+                "relay.wait_secs",
+                last_known.duration_since(first).as_secs(),
+            );
+            return Decision::WaitAll {
+                start: last_known + rpc,
+            };
         }
 
         // Walk decision cycles from the first arrival.
@@ -229,9 +233,13 @@ impl Coordinator {
             if all_ready_known && ready_now.len() == all_workers.len() {
                 self.telemetry.add_counter("relay.decisions", 1.0);
                 self.telemetry.add_counter("relay.wait_all", 1.0);
-                self.telemetry
-                    .add_counter("relay.wait_secs", last_known.duration_since(first).as_secs());
-                return Decision::WaitAll { start: last_known + rpc };
+                self.telemetry.add_counter(
+                    "relay.wait_secs",
+                    last_known.duration_since(first).as_secs(),
+                );
+                return Decision::WaitAll {
+                    start: last_known + rpc,
+                };
             }
             let waiting = now.duration_since(first);
             // Buying requires the root to be ready (the partial result
@@ -254,9 +262,15 @@ impl Coordinator {
                     }
                     self.telemetry.add_counter("relay.decisions", 1.0);
                     self.telemetry.add_counter("relay.buys", 1.0);
-                    self.telemetry.add_counter("relay.wait_secs", waiting.as_secs());
-                    self.telemetry.add_counter("relay.transmit_secs", buy.as_secs());
-                    return Decision::Partial { start: now + rpc, ready: ready_now, relays };
+                    self.telemetry
+                        .add_counter("relay.wait_secs", waiting.as_secs());
+                    self.telemetry
+                        .add_counter("relay.transmit_secs", buy.as_secs());
+                    return Decision::Partial {
+                        start: now + rpc,
+                        ready: ready_now,
+                        relays,
+                    };
                 }
             }
             k += 1;
@@ -271,8 +285,13 @@ impl Coordinator {
                     .collect();
                 self.telemetry.add_counter("relay.decisions", 1.0);
                 self.telemetry.add_counter("relay.buys", 1.0);
-                self.telemetry.add_counter("relay.wait_secs", waiting.as_secs());
-                return Decision::Partial { start: now + rpc, ready: ready_now, relays };
+                self.telemetry
+                    .add_counter("relay.wait_secs", waiting.as_secs());
+                return Decision::Partial {
+                    start: now + rpc,
+                    ready: ready_now,
+                    relays,
+                };
             }
         }
     }
@@ -305,8 +324,10 @@ impl Coordinator {
             return self.merge_exclusions(all_workers.to_vec());
         };
         let lead = phase1_end.duration_since(first);
-        let horizon =
-            phase1_end + lead.scale(self.config.fault_multiplier).max(self.config.fault_floor);
+        let horizon = phase1_end
+            + lead
+                .scale(self.config.fault_multiplier)
+                .max(self.config.fault_floor);
         let late = all_workers
             .iter()
             .copied()
@@ -497,7 +518,12 @@ impl BuyEstimate {
         } else {
             late_insts
                 .iter()
-                .map(|i| self.instance_egress.get(i).copied().unwrap_or(self.graph_bandwidth))
+                .map(|i| {
+                    self.instance_egress
+                        .get(i)
+                        .copied()
+                        .unwrap_or(self.graph_bandwidth)
+                })
                 .sum()
         };
         let bw = egress.min(self.graph_bandwidth).max(1.0);
@@ -578,7 +604,11 @@ mod tests {
         let ready = ready_at(&[(0, 0.0), (1, 1.0), (2, 1.0), (3, 2.0), (4, 200.0)]);
         let d = c.decide(&workers(5), Rank(0), &ready, &est(20.0));
         match d {
-            Decision::Partial { ready, relays, start } => {
+            Decision::Partial {
+                ready,
+                relays,
+                start,
+            } => {
                 assert_eq!(relays, vec![Rank(4)]);
                 assert_eq!(ready.len(), 4);
                 // Break-even: trigger no earlier than the buy cost and
@@ -603,7 +633,10 @@ mod tests {
                 // Offline optimum here: wait for the straggler (26 ms)
                 // or buy at t=0 (20 ms) -> 20 ms.
                 let online_total = waited + buy_cost;
-                assert!(online_total <= 2.0 * buy_cost + 0.006, "total {online_total}");
+                assert!(
+                    online_total <= 2.0 * buy_cost + 0.006,
+                    "total {online_total}"
+                );
             }
             other => panic!("expected partial, got {other:?}"),
         }
@@ -673,7 +706,11 @@ mod tests {
         assert_eq!(faults, vec![Rank(2), Rank(4)]);
         // The queue drains: a second pass is clean.
         assert!(c.pending_executor_faults().is_empty());
-        let again = c.detect_faults(&workers(4), &ready_at(&[(0, 0.0), (1, 0.0)]), SimTime::from_secs(0.050));
+        let again = c.detect_faults(
+            &workers(4),
+            &ready_at(&[(0, 0.0), (1, 0.0)]),
+            SimTime::from_secs(0.050),
+        );
         assert_eq!(again, vec![Rank(2), Rank(3)]);
     }
 

@@ -36,11 +36,11 @@ use adapcc_topo::logical::LogicalTopology;
 
 use crate::communicator::{Communicator, SetupReport};
 use crate::error::{AdapCCError, FaultReport};
-use crate::executor::{
-    BatchReport, ExecutionRequest, Executor, DEFAULT_DEADLINE_MULTIPLIER,
-};
+use crate::executor::{BatchReport, ExecutionRequest, Executor, DEFAULT_DEADLINE_MULTIPLIER};
 use crate::reconstruct::ReconstructReport;
-use crate::relay::{restrict_to_active, BuyEstimate, Coordinator, Decision, RelayConfig, RelayStats};
+use crate::relay::{
+    restrict_to_active, BuyEstimate, Coordinator, Decision, RelayConfig, RelayStats,
+};
 
 /// Initialization options.
 #[derive(Debug, Clone)]
@@ -199,10 +199,18 @@ impl fmt::Display for RecoveryEvent {
             RecoveryEvent::Detected { at, report } => {
                 write!(f, "[{at}] detected: {report}")
             }
-            RecoveryEvent::Retrying { at, attempt, backoff } => {
+            RecoveryEvent::Retrying {
+                at,
+                attempt,
+                backoff,
+            } => {
                 write!(f, "[{at}] retry #{attempt} after {backoff} backoff")
             }
-            RecoveryEvent::Excluded { at, ranks, reconstruction } => {
+            RecoveryEvent::Excluded {
+                at,
+                ranks,
+                reconstruction,
+            } => {
                 write!(f, "[{at}] excluded ")?;
                 for (i, r) in ranks.iter().enumerate() {
                     if i > 0 {
@@ -213,7 +221,10 @@ impl fmt::Display for RecoveryEvent {
                 write!(f, "; graph reconstructed in {}", reconstruction.total())
             }
             RecoveryEvent::Recovered { at, attempts } => {
-                write!(f, "[{at}] recovered ({attempts} retry(ies) on final streak)")
+                write!(
+                    f,
+                    "[{at}] recovered ({attempts} retry(ies) on final streak)"
+                )
             }
         }
     }
@@ -444,7 +455,8 @@ impl<'c> AdapCC<'c> {
 
     /// Builds the transmission contexts (the paper's `adapcc.setup()`).
     pub fn setup(&mut self) -> SetupReport {
-        self.communicator.setup(self.cluster, self.options.parallelism)
+        self.communicator
+            .setup(self.cluster, self.options.parallelism)
     }
 
     /// The initialization cost breakdown.
@@ -527,8 +539,12 @@ impl<'c> AdapCC<'c> {
         tensor: ByteSize,
         root: Option<Rank>,
     ) -> Strategy {
-        let mut req =
-            SynthRequest::new(primitive, tensor, self.options.parallelism, self.workers.clone());
+        let mut req = SynthRequest::new(
+            primitive,
+            tensor,
+            self.options.parallelism,
+            self.workers.clone(),
+        );
         req.root = root;
         req.seed = self.options.seed;
         let fp = self.plan_fingerprint(&req);
@@ -551,10 +567,16 @@ impl<'c> AdapCC<'c> {
                 match warm {
                     Some((strategy, seed)) => {
                         self.synth_tally.warm += 1;
-                        self.plan_cache
-                            .note_saved(SimDuration::from_secs(full.as_secs() - warm_cost.as_secs()));
-                        self.plan_cache
-                            .insert(fp, CachedPlan { strategy: strategy.clone(), seed });
+                        self.plan_cache.note_saved(SimDuration::from_secs(
+                            full.as_secs() - warm_cost.as_secs(),
+                        ));
+                        self.plan_cache.insert(
+                            fp,
+                            CachedPlan {
+                                strategy: strategy.clone(),
+                                seed,
+                            },
+                        );
                         strategy
                     }
                     None => {
@@ -575,7 +597,13 @@ impl<'c> AdapCC<'c> {
             .with_config(self.options.synth.clone())
             .with_telemetry(self.options.telemetry.clone())
             .synthesize_with_seed(req);
-        self.plan_cache.insert(fp, CachedPlan { strategy: strategy.clone(), seed });
+        self.plan_cache.insert(
+            fp,
+            CachedPlan {
+                strategy: strategy.clone(),
+                seed,
+            },
+        );
         strategy
     }
 
@@ -611,7 +639,9 @@ impl<'c> AdapCC<'c> {
         let mut exec = Executor::new(self.cluster, &self.topo)
             .with_capacity_factors(&self.fabric_factors)
             .with_telemetry(
-                self.options.telemetry.at_offset(self.init_report.total().as_secs()),
+                self.options
+                    .telemetry
+                    .at_offset(self.init_report.total().as_secs()),
             );
         if let Some(schedule) = &self.fault_schedule {
             exec = exec
@@ -625,10 +655,7 @@ impl<'c> AdapCC<'c> {
     /// factors and any armed fault schedule included), without the
     /// recovery loop. Chaos harnesses and tests use it to observe raw
     /// classified faults.
-    pub fn run_batch(
-        &self,
-        requests: &[ExecutionRequest<'_>],
-    ) -> Result<BatchReport, AdapCCError> {
+    pub fn run_batch(&self, requests: &[ExecutionRequest<'_>]) -> Result<BatchReport, AdapCCError> {
         self.executor().try_execute(requests)
     }
 
@@ -683,11 +710,13 @@ impl<'c> AdapCC<'c> {
                             return Err(if fault.is_permanent() {
                                 AdapCCError::Fault(fault)
                             } else {
-                                AdapCCError::RetriesExhausted { attempts, last: fault }
+                                AdapCCError::RetriesExhausted {
+                                    attempts,
+                                    last: fault,
+                                }
                             });
                         }
-                        let survivors =
-                            self.workers.iter().filter(|r| !dead.contains(r)).count();
+                        let survivors = self.workers.iter().filter(|r| !dead.contains(r)).count();
                         if survivors < 2 {
                             return Err(AdapCCError::InsufficientSurvivors { survivors });
                         }
@@ -827,7 +856,13 @@ impl<'c> AdapCC<'c> {
         inputs: Option<BTreeMap<Rank, Vec<f32>>>,
     ) -> Result<IterationReport, AdapCCError> {
         self.with_recovery(|cc| {
-            cc.run_rooted(Primitive::Broadcast, tensor, Some(root), ready, inputs.clone())
+            cc.run_rooted(
+                Primitive::Broadcast,
+                tensor,
+                Some(root),
+                ready,
+                inputs.clone(),
+            )
         })
     }
 
@@ -965,9 +1000,7 @@ impl<'c> AdapCC<'c> {
             .map(|j| {
                 inputs.as_ref().map(|inp| {
                     inp.iter()
-                        .map(|(r, buf)| {
-                            (*r, buf[j * shard_elems..(j + 1) * shard_elems].to_vec())
-                        })
+                        .map(|(r, buf)| (*r, buf[j * shard_elems..(j + 1) * shard_elems].to_vec()))
                         .collect()
                 })
             })
@@ -1064,7 +1097,12 @@ impl<'c> AdapCC<'c> {
             let batch = self.executor().try_execute(&[req])?;
             (
                 batch.finish,
-                batch.requests.into_iter().next().expect("one request").outputs,
+                batch
+                    .requests
+                    .into_iter()
+                    .next()
+                    .expect("one request")
+                    .outputs,
             )
         };
         self.communicator.complete(crate::communicator::WorkResult {
@@ -1072,7 +1110,10 @@ impl<'c> AdapCC<'c> {
             finish,
             outputs,
         });
-        let result = self.communicator.fetch().expect("the result just completed");
+        let result = self
+            .communicator
+            .fetch()
+            .expect("the result just completed");
         debug_assert_eq!(result.id, work_id);
         Ok(IterationReport {
             decision: Decision::WaitAll { start: last },
@@ -1125,8 +1166,8 @@ impl<'c> AdapCC<'c> {
             .execute(&[ExecutionRequest::timing(&bstrat, tensor)])
             .finish
             .as_secs();
-        let est = BuyEstimate::new(&self.topo, &self.profile, strategy, tensor)
-            .with_phase2_unit(unit);
+        let est =
+            BuyEstimate::new(&self.topo, &self.profile, strategy, tensor).with_phase2_unit(unit);
         self.estimates.insert(key, est.clone());
         est
     }
@@ -1159,14 +1200,12 @@ impl<'c> AdapCC<'c> {
         self.maybe_reprofile();
         let workers = self.workers.clone();
         let strategy = self.strategy_for(Primitive::AllReduce, tensor).clone();
-        let root = strategy.subs[0].root.expect("allreduce strategies are rooted");
+        let root = strategy.subs[0]
+            .root
+            .expect("allreduce strategies are rooted");
         let est = self.buy_estimate(&strategy, tensor);
         let decision = self.coordinator.decide(&workers, root, ready, &est);
-        let first = ready
-            .values()
-            .copied()
-            .min()
-            .unwrap_or(SimTime::ZERO);
+        let first = ready.values().copied().min().unwrap_or(SimTime::ZERO);
 
         match decision.clone() {
             Decision::WaitAll { start } => {
@@ -1198,7 +1237,11 @@ impl<'c> AdapCC<'c> {
                     outputs: batch.requests.into_iter().next().expect("one").outputs,
                 })
             }
-            Decision::Partial { start, ready: active, relays } => {
+            Decision::Partial {
+                start,
+                ready: active,
+                relays,
+            } => {
                 // Phase 1: same graph, relay sources muted; sends begin
                 // at the trigger instant.
                 let phase1_strategy = restrict_to_active(&strategy, &active);
@@ -1207,8 +1250,8 @@ impl<'c> AdapCC<'c> {
                     let t = ready.get(r).copied().unwrap_or(SimTime::ZERO);
                     phase1_ready.insert(*r, t.max(start));
                 }
-                let mut req = ExecutionRequest::timing(&phase1_strategy, tensor)
-                    .with_ready(phase1_ready);
+                let mut req =
+                    ExecutionRequest::timing(&phase1_strategy, tensor).with_ready(phase1_ready);
                 if let Some(inp) = &inputs {
                     let active_inputs: BTreeMap<Rank, Vec<f32>> = inp
                         .iter()
@@ -1272,7 +1315,12 @@ impl<'c> AdapCC<'c> {
                     // Local combine kernels, one per late tensor.
                     let (inst, _) = self.cluster.locate(root);
                     let combine = kernel_launch_overhead()
-                        + self.cluster.spec(inst).gpu.reduce_bandwidth().time_for(tensor);
+                        + self
+                            .cluster
+                            .spec(inst)
+                            .gpu
+                            .reduce_bandwidth()
+                            .time_for(tensor);
                     finish = phase2.finish + combine.scale(late.len() as f64);
                 }
 
@@ -1451,10 +1499,7 @@ impl<'c> AdapCC<'c> {
             .map(|r| self.cluster.locate(*r).0 .0)
             .collect();
         for r in new {
-            assert!(
-                !self.workers.contains(r),
-                "{r} is already part of the job"
-            );
+            assert!(!self.workers.contains(r), "{r} is already part of the job");
             assert!(r.0 < self.cluster.gpu_count(), "{r} outside the cluster");
         }
         // Detection re-runs only for instances joining the job; it is
@@ -1542,14 +1587,20 @@ mod tests {
         workers
             .iter()
             .map(|r| {
-                (*r, (0..elems).map(|i| ((r.0 * 13 + i) % 11) as f32).collect())
+                (
+                    *r,
+                    (0..elems).map(|i| ((r.0 * 13 + i) % 11) as f32).collect(),
+                )
             })
             .collect()
     }
 
     fn quick_options() -> InitOptions {
         InitOptions {
-            synth: SynthConfig { anneal_iters: 24, ..Default::default() },
+            synth: SynthConfig {
+                anneal_iters: 24,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -1558,7 +1609,10 @@ mod tests {
     /// test workers are relayed rather than declared dead.
     fn patient_options() -> InitOptions {
         InitOptions {
-            relay: RelayConfig { fault_floor: SimDuration::from_millis(500.0), ..Default::default() },
+            relay: RelayConfig {
+                fault_floor: SimDuration::from_millis(500.0),
+                ..Default::default()
+            },
             ..quick_options()
         }
     }
@@ -1594,7 +1648,9 @@ mod tests {
         for r in cc.workers().to_vec() {
             ready.insert(r, SimTime::from_secs(r.0 as f64 * 1e-5));
         }
-        let report = cc.allreduce_adaptive(tensor, &ready, None).expect("healthy fabric");
+        let report = cc
+            .allreduce_adaptive(tensor, &ready, None)
+            .expect("healthy fabric");
         assert!(matches!(report.decision, Decision::WaitAll { .. }));
         assert!(report.faults.is_empty());
     }
@@ -1616,9 +1672,15 @@ mod tests {
             let s = cc.strategy_for(Primitive::AllReduce, tensor);
             s.subs[0].root.unwrap()
         };
-        let straggler = workers.iter().copied().find(|r| *r != strategy_root).unwrap();
+        let straggler = workers
+            .iter()
+            .copied()
+            .find(|r| *r != strategy_root)
+            .unwrap();
         ready.insert(straggler, SimTime::from_secs(0.06));
-        let report = cc.allreduce_adaptive(tensor, &ready, None).expect("healthy fabric");
+        let report = cc
+            .allreduce_adaptive(tensor, &ready, None)
+            .expect("healthy fabric");
         match &report.decision {
             Decision::Partial { relays, start, .. } => {
                 assert_eq!(relays, &vec![straggler]);
@@ -1628,7 +1690,10 @@ mod tests {
             other => panic!("expected partial, got {other:?}"),
         }
         // Phase 2 needs the late tensor, so completion follows it.
-        assert!(report.finish.as_secs() > 0.06, "phase2 needs the late tensor");
+        assert!(
+            report.finish.as_secs() > 0.06,
+            "phase2 needs the late tensor"
+        );
         assert!(report.faults.is_empty(), "{:?}", report.faults);
     }
 
@@ -1649,7 +1714,11 @@ mod tests {
             let s = cc.strategy_for(Primitive::AllReduce, tensor);
             s.subs[0].root.unwrap()
         };
-        let straggler = workers.iter().copied().find(|r| *r != strategy_root).unwrap();
+        let straggler = workers
+            .iter()
+            .copied()
+            .find(|r| *r != strategy_root)
+            .unwrap();
         ready.insert(straggler, SimTime::from_secs(0.04));
         let report = cc
             .allreduce_adaptive(tensor, &ready, Some(inputs.clone()))
@@ -1678,12 +1747,16 @@ mod tests {
         }
         // Rank 7 never reports.
         ready.remove(&Rank(7));
-        let report = cc.allreduce_adaptive(tensor, &ready, None).expect("healthy fabric");
+        let report = cc
+            .allreduce_adaptive(tensor, &ready, None)
+            .expect("healthy fabric");
         assert_eq!(report.faults, vec![Rank(7)]);
         cc.exclude_workers(&report.faults);
         assert_eq!(cc.workers().len(), 7);
         // Training continues among survivors.
-        let again = cc.allreduce(tensor, &BTreeMap::new(), None).expect("healthy fabric");
+        let again = cc
+            .allreduce(tensor, &BTreeMap::new(), None)
+            .expect("healthy fabric");
         assert!(again.finish.as_secs() > 0.0);
     }
 
@@ -1703,7 +1776,11 @@ mod tests {
             let out = &report.outputs[w];
             assert_eq!(out.len(), elems * workers.len());
             for (j, root) in workers.iter().enumerate() {
-                assert_eq!(&out[j * elems..(j + 1) * elems], &inputs[root][..], "slot {j}");
+                assert_eq!(
+                    &out[j * elems..(j + 1) * elems],
+                    &inputs[root][..],
+                    "slot {j}"
+                );
             }
         }
     }
@@ -1725,10 +1802,7 @@ mod tests {
             let out = &report.outputs[w];
             assert_eq!(out.len(), shard_elems);
             for i in [0usize, shard_elems - 1] {
-                let expect: f32 = workers
-                    .iter()
-                    .map(|r| inputs[r][j * shard_elems + i])
-                    .sum();
+                let expect: f32 = workers.iter().map(|r| inputs[r][j * shard_elems + i]).sum();
                 assert!((out[i] - expect).abs() < 1e-3);
             }
         }
@@ -1760,10 +1834,14 @@ mod tests {
         cc.set_profile_period(3);
         let tensor = ByteSize::from_mib(4);
         for _ in 0..2 {
-            let _ = cc.allreduce(tensor, &BTreeMap::new(), None).expect("healthy fabric");
+            let _ = cc
+                .allreduce(tensor, &BTreeMap::new(), None)
+                .expect("healthy fabric");
         }
         assert!(cc.last_reconstruct().is_none(), "not due yet");
-        let _ = cc.allreduce(tensor, &BTreeMap::new(), None).expect("healthy fabric");
+        let _ = cc
+            .allreduce(tensor, &BTreeMap::new(), None)
+            .expect("healthy fabric");
         let r = cc.last_reconstruct().expect("third iteration triggers");
         assert!(r.profiling.as_secs() > 0.0);
         assert!(!r.changed, "quiet fabric: no re-synthesis");
@@ -1785,7 +1863,10 @@ mod tests {
         assert_eq!(before.outputs.len(), 8);
         // Instance 2 joins.
         let scale = cc.add_workers(&(8..12).map(Rank).collect::<Vec<_>>());
-        assert!(scale.detection > SimDuration::ZERO, "new instance must be detected");
+        assert!(
+            scale.detection > SimDuration::ZERO,
+            "new instance must be detected"
+        );
         assert_eq!(cc.workers().len(), 12);
         let inputs12 = inputs_for(cc.workers(), elems);
         let after = cc
@@ -1842,19 +1923,23 @@ mod tests {
         assert_eq!(cc.workers().len(), 8, "no worker was excluded");
         let log = cc.recovery_log();
         assert!(
-            log.iter().any(|e| matches!(e, RecoveryEvent::Detected { .. })),
+            log.iter()
+                .any(|e| matches!(e, RecoveryEvent::Detected { .. })),
             "{log:?}"
         );
         assert!(
-            log.iter().any(|e| matches!(e, RecoveryEvent::Retrying { .. })),
+            log.iter()
+                .any(|e| matches!(e, RecoveryEvent::Retrying { .. })),
             "{log:?}"
         );
         assert!(
-            log.iter().any(|e| matches!(e, RecoveryEvent::Recovered { .. })),
+            log.iter()
+                .any(|e| matches!(e, RecoveryEvent::Recovered { .. })),
             "{log:?}"
         );
         assert!(
-            !log.iter().any(|e| matches!(e, RecoveryEvent::Excluded { .. })),
+            !log.iter()
+                .any(|e| matches!(e, RecoveryEvent::Excluded { .. })),
             "{log:?}"
         );
     }
@@ -1912,7 +1997,10 @@ mod tests {
         cc.setup();
         let mut schedule = FaultSchedule::new();
         for rank in [1, 2, 3] {
-            schedule.push(Fault::WorkerCrash { rank: Rank(rank), at: SimTime::ZERO });
+            schedule.push(Fault::WorkerCrash {
+                rank: Rank(rank),
+                at: SimTime::ZERO,
+            });
         }
         cc.inject_faults(schedule);
         let err = cc

@@ -29,19 +29,30 @@ pub struct PlanCacheConfig {
 
 impl Default for PlanCacheConfig {
     fn default() -> Self {
-        PlanCacheConfig { enabled: true, capacity: 64, disk_dir: None, warm_start: true }
+        PlanCacheConfig {
+            enabled: true,
+            capacity: 64,
+            disk_dir: None,
+            warm_start: true,
+        }
     }
 }
 
 impl PlanCacheConfig {
     /// A cache that never hits — the cold baseline.
     pub fn disabled() -> Self {
-        PlanCacheConfig { enabled: false, ..Default::default() }
+        PlanCacheConfig {
+            enabled: false,
+            ..Default::default()
+        }
     }
 
     /// A default cache persisted under `dir`.
     pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
-        PlanCacheConfig { disk_dir: Some(dir.into()), ..Default::default() }
+        PlanCacheConfig {
+            disk_dir: Some(dir.into()),
+            ..Default::default()
+        }
     }
 }
 
@@ -109,7 +120,10 @@ struct Entry {
 impl PlanCache {
     /// A cache with the given configuration.
     pub fn new(config: PlanCacheConfig) -> Self {
-        PlanCache { config, ..Default::default() }
+        PlanCache {
+            config,
+            ..Default::default()
+        }
     }
 
     /// The active configuration.
@@ -204,7 +218,14 @@ impl PlanCache {
             return;
         }
         self.tick += 1;
-        self.entries.insert(fp.key(), Entry { fp, plan, stamp: self.tick });
+        self.entries.insert(
+            fp.key(),
+            Entry {
+                fp,
+                plan,
+                stamp: self.tick,
+            },
+        );
         self.by_shape.insert(fp.shape, fp);
         while self.entries.len() > self.config.capacity {
             let oldest = self
@@ -325,8 +346,10 @@ mod tests {
 
     #[test]
     fn warm_start_can_be_disabled() {
-        let mut c =
-            PlanCache::new(PlanCacheConfig { warm_start: false, ..Default::default() });
+        let mut c = PlanCache::new(PlanCacheConfig {
+            warm_start: false,
+            ..Default::default()
+        });
         c.insert(fp(1, 2), plan(7));
         assert_eq!(c.lookup(&fp(1, 3)), Lookup::Miss);
     }
@@ -343,7 +366,10 @@ mod tests {
 
     #[test]
     fn lru_evicts_the_least_recently_used() {
-        let mut c = PlanCache::new(PlanCacheConfig { capacity: 2, ..Default::default() });
+        let mut c = PlanCache::new(PlanCacheConfig {
+            capacity: 2,
+            ..Default::default()
+        });
         c.insert(fp(1, 1), plan(1));
         c.insert(fp(2, 2), plan(2));
         assert!(matches!(c.lookup(&fp(1, 1)), Lookup::Hit(_))); // touch 1
@@ -356,10 +382,17 @@ mod tests {
 
     #[test]
     fn eviction_cleans_the_shape_index() {
-        let mut c = PlanCache::new(PlanCacheConfig { capacity: 1, ..Default::default() });
+        let mut c = PlanCache::new(PlanCacheConfig {
+            capacity: 1,
+            ..Default::default()
+        });
         c.insert(fp(1, 1), plan(1));
         c.insert(fp(2, 2), plan(2)); // evicts shape 1
-        assert_eq!(c.lookup(&fp(1, 9)), Lookup::Miss, "stale shape index must not warm-hit");
+        assert_eq!(
+            c.lookup(&fp(1, 9)),
+            Lookup::Miss,
+            "stale shape index must not warm-hit"
+        );
     }
 
     #[test]

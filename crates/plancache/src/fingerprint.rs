@@ -71,7 +71,10 @@ pub struct FingerprintInputs<'a> {
 
 /// Computes the canonical fingerprint of a synthesis problem.
 pub fn fingerprint(inp: &FingerprintInputs<'_>) -> Fingerprint {
-    Fingerprint { shape: shape_hash(inp), profile: profile_hash(inp) }
+    Fingerprint {
+        shape: shape_hash(inp),
+        profile: profile_hash(inp),
+    }
 }
 
 /// The tensor-size class: `⌊log2 bytes⌋` (0 for empty tensors).
@@ -280,7 +283,11 @@ mod tests {
         let mut i = inputs(&topo, &profile, &ranks);
         let base = fingerprint(&i);
         i.tensor = ByteSize::from_mib(64) + ByteSize::from_kib(512);
-        assert_eq!(fingerprint(&i), base, "same log2 class must share the fingerprint");
+        assert_eq!(
+            fingerprint(&i),
+            base,
+            "same log2 class must share the fingerprint"
+        );
         i.tensor = ByteSize::from_mib(128);
         assert_ne!(fingerprint(&i).shape, base.shape);
     }
@@ -303,7 +310,10 @@ mod tests {
         profile.insert(id, ab);
         let b = fingerprint(&inputs(&topo, &profile, &ranks));
         assert_eq!(a.shape, b.shape, "structure unchanged");
-        assert_ne!(a.profile, b.profile, "measurement drift must flip the profile half");
+        assert_ne!(
+            a.profile, b.profile,
+            "measurement drift must flip the profile half"
+        );
     }
 
     #[test]

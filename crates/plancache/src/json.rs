@@ -54,7 +54,11 @@ pub fn decode_entry(text: &str) -> Option<(Fingerprint, CachedPlan)> {
 // ---- encoding ----
 
 fn encode_strategy(s: &mut String, strategy: &Strategy) {
-    let _ = write!(s, "{{\"primitive\":\"{}\",\"subs\":[", primitive_tag(strategy.primitive));
+    let _ = write!(
+        s,
+        "{{\"primitive\":\"{}\",\"subs\":[",
+        primitive_tag(strategy.primitive)
+    );
     for (i, sub) in strategy.subs.iter().enumerate() {
         if i > 0 {
             s.push(',');
@@ -76,7 +80,12 @@ fn encode_strategy(s: &mut String, strategy: &Strategy) {
             if j > 0 {
                 s.push(',');
             }
-            let _ = write!(s, "{{\"src\":\"{}\",\"dst\":\"{}\",\"route\":[", node(f.src), node(f.dst));
+            let _ = write!(
+                s,
+                "{{\"src\":\"{}\",\"dst\":\"{}\",\"route\":[",
+                node(f.src),
+                node(f.dst)
+            );
             for (k, e) in f.route.iter().enumerate() {
                 if k > 0 {
                     s.push(',');
@@ -107,7 +116,11 @@ fn encode_seed(s: &mut String, seed: &PlanSeed) {
         pairs(s, sub.leader.iter().map(|(k, v)| (k.0 as u64, v.0 as u64)));
         s.push_str(",\"parent\":");
         pairs(s, sub.parent.iter().map(|(k, v)| (k.0 as u64, v.0 as u64)));
-        let _ = write!(s, ",\"root\":{},\"root_inst\":{},\"via_hub\":", sub.root.0, sub.root_inst.0);
+        let _ = write!(
+            s,
+            ",\"root\":{},\"root_inst\":{},\"via_hub\":",
+            sub.root.0, sub.root_inst.0
+        );
         pairs(s, sub.via_hub.iter().map(|(k, v)| (k.0 as u64, v.0 as u64)));
         let _ = write!(
             s,
@@ -185,7 +198,13 @@ fn decode_strategy(v: &Val) -> Option<Strategy> {
             }
             aggregate.insert(parse_node(pair[0].str()?)?, pair[1].bool()?);
         }
-        subs.push(SubCollective { fraction, chunk, root, flows, aggregate });
+        subs.push(SubCollective {
+            fraction,
+            chunk,
+            root,
+            flows,
+            aggregate,
+        });
     }
     Some(Strategy { primitive, subs })
 }
@@ -202,9 +221,7 @@ fn decode_seed(v: &Val) -> Option<PlanSeed> {
             root_inst: InstanceId(usize::try_from(field(so, "root_inst")?.int()?).ok()?),
             via_hub: map_pairs(field(so, "via_hub")?, |k, v| (Rank(k), Rank(v)))?,
             chunk: ByteSize::from_bytes(field(so, "chunk")?.int()?),
-            fraction: f64::from_bits(
-                u64::from_str_radix(field(so, "fraction")?.str()?, 16).ok()?,
-            ),
+            fraction: f64::from_bits(u64::from_str_radix(field(so, "fraction")?.str()?, 16).ok()?),
         });
     }
     Some(PlanSeed { subs })
@@ -403,7 +420,11 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Option<Val> {
             while *pos < b.len() && b[*pos].is_ascii_digit() {
                 *pos += 1;
             }
-            std::str::from_utf8(&b[start..*pos]).ok()?.parse().ok().map(Val::Int)
+            std::str::from_utf8(&b[start..*pos])
+                .ok()?
+                .parse()
+                .ok()
+                .map(Val::Int)
         }
         b't' if b[*pos..].starts_with(b"true") => {
             *pos += 4;
@@ -426,7 +447,10 @@ mod tests {
     use super::*;
 
     fn sample() -> (Fingerprint, CachedPlan) {
-        let fp = Fingerprint { shape: 0xdead_beef, profile: 0x1234_5678 };
+        let fp = Fingerprint {
+            shape: 0xdead_beef,
+            profile: 0x1234_5678,
+        };
         let strategy = Strategy {
             primitive: Primitive::AllReduce,
             subs: vec![SubCollective {
@@ -476,8 +500,14 @@ mod tests {
         plan.strategy.subs[0].fraction = 0.1 + 0.2; // famously unrepresentable
         plan.seed.subs[0].fraction = f64::MIN_POSITIVE;
         let (_, plan2) = decode_entry(&encode_entry(&fp, &plan)).unwrap();
-        assert_eq!(plan.strategy.subs[0].fraction.to_bits(), plan2.strategy.subs[0].fraction.to_bits());
-        assert_eq!(plan.seed.subs[0].fraction.to_bits(), plan2.seed.subs[0].fraction.to_bits());
+        assert_eq!(
+            plan.strategy.subs[0].fraction.to_bits(),
+            plan2.strategy.subs[0].fraction.to_bits()
+        );
+        assert_eq!(
+            plan.seed.subs[0].fraction.to_bits(),
+            plan2.seed.subs[0].fraction.to_bits()
+        );
     }
 
     #[test]

@@ -141,7 +141,11 @@ mod tests {
 
     #[test]
     fn fit_recovers_exact_line() {
-        let truth = AlphaBeta { alpha_secs: 5e-6, beta_secs_per_byte: 1.0 / 12.5e9, port_beta_secs_per_byte: 1.0 / 12.5e9 };
+        let truth = AlphaBeta {
+            alpha_secs: 5e-6,
+            beta_secs_per_byte: 1.0 / 12.5e9,
+            port_beta_secs_per_byte: 1.0 / 12.5e9,
+        };
         let meas: Vec<_> = [64 * 1024, 1024 * 1024, 8 * 1024 * 1024]
             .iter()
             .map(|&b| {
@@ -156,16 +160,25 @@ mod tests {
 
     #[test]
     fn fit_tolerates_noise() {
-        let truth = AlphaBeta { alpha_secs: 4e-6, beta_secs_per_byte: 1.0 / 50e9, port_beta_secs_per_byte: 1.0 / 50e9 };
+        let truth = AlphaBeta {
+            alpha_secs: 4e-6,
+            beta_secs_per_byte: 1.0 / 50e9,
+            port_beta_secs_per_byte: 1.0 / 50e9,
+        };
         let noise = [1.01, 0.99, 1.004, 0.996];
-        let meas: Vec<_> = [256 * 1024u64, 1024 * 1024, 4 * 1024 * 1024, 16 * 1024 * 1024]
-            .iter()
-            .zip(noise.iter())
-            .map(|(&b, &k)| {
-                let s = ByteSize::from_bytes(b);
-                (s, truth.transfer_time(s).scale(k))
-            })
-            .collect();
+        let meas: Vec<_> = [
+            256 * 1024u64,
+            1024 * 1024,
+            4 * 1024 * 1024,
+            16 * 1024 * 1024,
+        ]
+        .iter()
+        .zip(noise.iter())
+        .map(|(&b, &k)| {
+            let s = ByteSize::from_bytes(b);
+            (s, truth.transfer_time(s).scale(k))
+        })
+        .collect();
         let fit = AlphaBeta::fit(&meas).expect("fits");
         assert!((fit.bandwidth().as_gbytes_per_sec() - 50.0).abs() < 2.0);
     }
@@ -194,8 +207,16 @@ mod tests {
 
     #[test]
     fn bandwidth_delta_symmetry_in_sign() {
-        let a = AlphaBeta { alpha_secs: 0.0, beta_secs_per_byte: 1.0 / 10e9, port_beta_secs_per_byte: 1.0 / 10e9 };
-        let b = AlphaBeta { alpha_secs: 0.0, beta_secs_per_byte: 1.0 / 8e9, port_beta_secs_per_byte: 1.0 / 8e9 };
+        let a = AlphaBeta {
+            alpha_secs: 0.0,
+            beta_secs_per_byte: 1.0 / 10e9,
+            port_beta_secs_per_byte: 1.0 / 10e9,
+        };
+        let b = AlphaBeta {
+            alpha_secs: 0.0,
+            beta_secs_per_byte: 1.0 / 8e9,
+            port_beta_secs_per_byte: 1.0 / 8e9,
+        };
         assert!((a.bandwidth_delta(&b) - 0.25).abs() < 1e-12);
     }
 }

@@ -234,14 +234,16 @@ impl<'c, 't> Profiler<'c, 't> {
         let fanin_elapsed = self.profile_fanin(&mut links);
         let (t_intra, t_inter) = (intra_slowest.as_secs(), inter_elapsed.as_secs());
         self.telemetry.span("profile.intra", "phase", 0.0, t_intra);
-        self.telemetry.span("profile.inter", "phase", t_intra, t_intra + t_inter);
+        self.telemetry
+            .span("profile.inter", "phase", t_intra, t_intra + t_inter);
         self.telemetry.span(
             "profile.fanin",
             "phase",
             t_intra + t_inter,
             t_intra + t_inter + fanin_elapsed.as_secs(),
         );
-        self.telemetry.set_counter("profile.edges", links.len() as f64);
+        self.telemetry
+            .set_counter("profile.edges", links.len() as f64);
         ProfileReport {
             links,
             elapsed: intra_slowest + inter_elapsed + fanin_elapsed + self.runner.take_lost_time(),
@@ -270,15 +272,20 @@ impl<'c, 't> Profiler<'c, 't> {
                 .map(|k| ProbeSpec::new(self.cluster.net_path(InstanceId(k), target), probe))
                 .collect();
             let durs = self.runner.run_concurrent(&specs);
-            let batch_max = durs.iter().copied().fold(SimDuration::ZERO, SimDuration::max);
+            let batch_max = durs
+                .iter()
+                .copied()
+                .fold(SimDuration::ZERO, SimDuration::max);
             elapsed += batch_max + self.config.barrier_overhead;
             let aggregate: f64 = durs
                 .iter()
                 .filter(|d| d.as_secs() > 0.0)
                 .map(|d| probe.as_f64() / d.as_secs())
                 .sum();
-            self.telemetry
-                .set_counter(&format!("profile.nic_ingress_gbps.inst{t}"), aggregate / 1e9);
+            self.telemetry.set_counter(
+                &format!("profile.nic_ingress_gbps.inst{t}"),
+                aggregate / 1e9,
+            );
             links.set_nic_ingress(target, Bandwidth::from_bytes_per_sec(aggregate));
         }
         elapsed
@@ -342,7 +349,10 @@ impl<'c, 't> Profiler<'c, 't> {
                 .map(|(a, b)| ProbeSpec::new(self.cluster.net_path(*a, *b), s))
                 .collect();
             let durs = self.runner.run_concurrent(&specs);
-            let batch_max = durs.iter().copied().fold(SimDuration::ZERO, SimDuration::max);
+            let batch_max = durs
+                .iter()
+                .copied()
+                .fold(SimDuration::ZERO, SimDuration::max);
             elapsed += batch_max;
             for (i, d) in durs.into_iter().enumerate() {
                 per_pair[i].push((s, d));
@@ -362,13 +372,21 @@ impl<'c, 't> Profiler<'c, 't> {
             })
             .collect();
         let durs = self.runner.run_concurrent(&specs);
-        elapsed += durs.iter().copied().fold(SimDuration::ZERO, SimDuration::max);
+        elapsed += durs
+            .iter()
+            .copied()
+            .fold(SimDuration::ZERO, SimDuration::max);
         let mut port_bw = Vec::with_capacity(pairs.len());
         for (i, _) in pairs.iter().enumerate() {
             let batch = &durs[i * STREAMS..(i + 1) * STREAMS];
-            let slowest = batch.iter().copied().fold(SimDuration::ZERO, SimDuration::max);
+            let slowest = batch
+                .iter()
+                .copied()
+                .fold(SimDuration::ZERO, SimDuration::max);
             let aggregate = probe.as_f64() * STREAMS as f64 / slowest.as_secs();
-            port_bw.push(adapcc_simnet::units::Bandwidth::from_bytes_per_sec(aggregate));
+            port_bw.push(adapcc_simnet::units::Bandwidth::from_bytes_per_sec(
+                aggregate,
+            ));
         }
         for (i, meas) in per_pair.iter().enumerate() {
             let (a, b) = pairs[i];
@@ -427,8 +445,18 @@ mod tests {
                 LogicalNode::Nic(InstanceId(5)),
             )
             .unwrap();
-        let a = report.links.get(a_edge).unwrap().bandwidth().as_gbytes_per_sec();
-        let v = report.links.get(v_edge).unwrap().bandwidth().as_gbytes_per_sec();
+        let a = report
+            .links
+            .get(a_edge)
+            .unwrap()
+            .bandwidth()
+            .as_gbytes_per_sec();
+        let v = report
+            .links
+            .get(v_edge)
+            .unwrap()
+            .bandwidth()
+            .as_gbytes_per_sec();
         assert!((a - 12.5).abs() < 0.5, "a100-a100 {a}");
         assert!((v - 6.25).abs() < 0.3, "a100-v100 {v}");
     }
@@ -462,7 +490,12 @@ mod tests {
                 LogicalNode::Nic(InstanceId(1)),
             )
             .unwrap();
-        let bw = report.links.get(eid).unwrap().bandwidth().as_gbytes_per_sec();
+        let bw = report
+            .links
+            .get(eid)
+            .unwrap()
+            .bandwidth()
+            .as_gbytes_per_sec();
         assert!((bw - 6.25).abs() < 0.3, "modulated fit {bw}");
         // Reverse direction unaffected.
         let rev = topo
@@ -471,7 +504,12 @@ mod tests {
                 LogicalNode::Nic(InstanceId(0)),
             )
             .unwrap();
-        let bw_rev = report.links.get(rev).unwrap().bandwidth().as_gbytes_per_sec();
+        let bw_rev = report
+            .links
+            .get(rev)
+            .unwrap()
+            .bandwidth()
+            .as_gbytes_per_sec();
         assert!((bw_rev - 12.5).abs() < 0.5, "reverse fit {bw_rev}");
     }
 

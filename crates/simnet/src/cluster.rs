@@ -222,7 +222,11 @@ impl Cluster {
             }
             r -= gpus.len();
         }
-        panic!("rank {} out of range (cluster has {} GPUs)", rank.0, self.gpu_count());
+        panic!(
+            "rank {} out of range (cluster has {} GPUs)",
+            rank.0,
+            self.gpu_count()
+        );
     }
 
     /// Maps `(instance, local gpu index)` to the global rank.
@@ -464,7 +468,10 @@ impl ClusterBuilder {
     ///
     /// Panics if no instances were added.
     pub fn build(&self) -> Cluster {
-        assert!(!self.specs.is_empty(), "cluster needs at least one instance");
+        assert!(
+            !self.specs.is_empty(),
+            "cluster needs at least one instance"
+        );
         let inter_socket_bw = Bandwidth::from_gbytes_per_sec(35.0);
         let inter_socket_alpha = SimDuration::from_nanos(300.0);
         let nvlink_alpha = SimDuration::from_nanos(700.0);
@@ -486,8 +493,8 @@ impl ClusterBuilder {
             NodeId(nodes.len() - 1)
         };
         let push_link = |links: &mut Vec<LinkDef>,
-                             map: &mut HashMap<(NodeId, NodeId), LinkId>,
-                             def: LinkDef|
+                         map: &mut HashMap<(NodeId, NodeId), LinkId>,
+                         def: LinkDef|
          -> LinkId {
             links.push(def);
             let id = LinkId(links.len() - 1);
@@ -496,12 +503,12 @@ impl ClusterBuilder {
         };
         // Duplex helper: adds both directions with identical parameters.
         let push_duplex = |links: &mut Vec<LinkDef>,
-                               map: &mut HashMap<(NodeId, NodeId), LinkId>,
-                               a: NodeId,
-                               b: NodeId,
-                               kind: LinkKind,
-                               alpha: SimDuration,
-                               cap: Bandwidth| {
+                           map: &mut HashMap<(NodeId, NodeId), LinkId>,
+                           a: NodeId,
+                           b: NodeId,
+                           kind: LinkKind,
+                           alpha: SimDuration,
+                           cap: Bandwidth| {
             for (s, d) in [(a, b), (b, a)] {
                 links.push(LinkDef {
                     src: s,
@@ -579,7 +586,15 @@ impl ClusterBuilder {
             // NVLink wiring.
             let nv_bw = spec.gpu.nvlink_pair_bandwidth();
             let wire = |a: usize, b: usize, links: &mut Vec<LinkDef>, map: &mut _| {
-                push_duplex(links, map, gpus[a], gpus[b], LinkKind::NvLink, nvlink_alpha, nv_bw);
+                push_duplex(
+                    links,
+                    map,
+                    gpus[a],
+                    gpus[b],
+                    LinkKind::NvLink,
+                    nvlink_alpha,
+                    nv_bw,
+                );
             };
             match spec.nvlink {
                 NvlinkTopology::FullMesh => {

@@ -234,7 +234,8 @@ impl<'c> NetSim<'c> {
         // elapses (the sender learns of the failure one round-trip in).
         let dead = path.links.iter().any(|l| self.links[l.0].failed);
         self.telemetry.add_counter("simnet.transfers", 1.0);
-        self.telemetry.add_counter("simnet.bytes_submitted", size.as_f64());
+        self.telemetry
+            .add_counter("simnet.bytes_submitted", size.as_f64());
         let flow = Flow {
             token,
             links: path.links.clone(),
@@ -366,9 +367,7 @@ impl<'c> NetSim<'c> {
     pub fn stalled_flows(&self) -> usize {
         self.flows
             .iter()
-            .filter(|f| {
-                f.draining && !f.done && f.links.iter().any(|l| !self.links[l.0].up)
-            })
+            .filter(|f| f.draining && !f.done && f.links.iter().any(|l| !self.links[l.0].up))
             .count()
     }
 
@@ -481,7 +480,10 @@ impl<'c> NetSim<'c> {
             self.links[l.0].active.retain(|&x| x != id);
         }
         self.reallocate();
-        Some(SimEvent::TransferDone { token, at: self.now })
+        Some(SimEvent::TransferDone {
+            token,
+            at: self.now,
+        })
     }
 
     /// Progressive-filling (max-min) rate allocation with per-flow caps,
@@ -517,9 +519,7 @@ impl<'c> NetSim<'c> {
         // lookup keyed on link id.
         let mut residual: Vec<f64> = hot_links
             .iter()
-            .map(|&li| {
-                self.cluster.links()[li].capacity.as_bytes_per_sec() * self.links[li].factor
-            })
+            .map(|&li| self.cluster.links()[li].capacity.as_bytes_per_sec() * self.links[li].factor)
             .collect();
         let pos_of = |li: usize, hot: &[usize]| -> usize {
             hot.binary_search(&li).expect("hot link indexed")
@@ -676,7 +676,10 @@ mod tests {
         let ev = sim.step().unwrap();
         let capped = size.as_f64() / Bandwidth::from_gbps(20.0).as_bytes_per_sec();
         let dur = ev.at().as_secs() - c.path_alpha(&path).as_secs();
-        assert!((dur - capped).abs() / capped < 0.01, "dur={dur} capped={capped}");
+        assert!(
+            (dur - capped).abs() / capped < 0.01,
+            "dur={dur} capped={capped}"
+        );
     }
 
     #[test]
@@ -723,7 +726,10 @@ mod tests {
         // Halve the link when roughly half the bytes are through.
         let bw = Bandwidth::from_gbps(100.0).as_bytes_per_sec();
         let half = size.as_f64() / 2.0 / bw;
-        sim.schedule_timer(SimDuration::from_secs(half + c.path_alpha(&path).as_secs()), 99);
+        sim.schedule_timer(
+            SimDuration::from_secs(half + c.path_alpha(&path).as_secs()),
+            99,
+        );
         let ev = sim.step().unwrap();
         assert!(matches!(ev, SimEvent::Timer { token: 99, .. }));
         let eg = c.nic_egress_link(InstanceId(0));

@@ -113,8 +113,18 @@ impl fmt::Display for Fault {
             Fault::LinkDown { link, from, until } => {
                 write!(f, "link {} down {from} .. {until}", link.0)
             }
-            Fault::LinkDegrade { link, factor, from, until } => {
-                write!(f, "link {} at {:.0}% capacity {from} .. {until}", link.0, factor * 100.0)
+            Fault::LinkDegrade {
+                link,
+                factor,
+                from,
+                until,
+            } => {
+                write!(
+                    f,
+                    "link {} at {:.0}% capacity {from} .. {until}",
+                    link.0,
+                    factor * 100.0
+                )
             }
             Fault::ProbeLoss { link, count } => {
                 write!(f, "{count} probe(s) lost on link {}", link.0)
@@ -188,7 +198,9 @@ impl FaultSchedule {
     pub fn random(cluster: &Cluster, seed: u64, horizon: SimDuration) -> Self {
         let mut rng = seeded_rng(child_seed(seed, "fault-schedule"));
         let n = rng.gen_range(1..=3usize);
-        let faults = (0..n).map(|_| random_fault(cluster, &mut rng, horizon)).collect();
+        let faults = (0..n)
+            .map(|_| random_fault(cluster, &mut rng, horizon))
+            .collect();
         FaultSchedule { faults }
     }
 
@@ -226,12 +238,27 @@ impl FaultSchedule {
                     arm_action(sim, offset, from, FaultAction::LinkDown(link));
                     arm_action(sim, offset, until, FaultAction::LinkUp(link));
                 }
-                Fault::LinkDegrade { link, factor, from, until } => {
+                Fault::LinkDegrade {
+                    link,
+                    factor,
+                    from,
+                    until,
+                } => {
                     if until <= offset {
                         continue;
                     }
-                    arm_action(sim, offset, from, FaultAction::SetCapacityFactor(link, factor));
-                    arm_action(sim, offset, until, FaultAction::SetCapacityFactor(link, 1.0));
+                    arm_action(
+                        sim,
+                        offset,
+                        from,
+                        FaultAction::SetCapacityFactor(link, factor),
+                    );
+                    arm_action(
+                        sim,
+                        offset,
+                        until,
+                        FaultAction::SetCapacityFactor(link, 1.0),
+                    );
                 }
                 // Probe losses live in the measurement layer
                 // (`ProbeRunner::inject_probe_loss`), not the transport.
@@ -402,7 +429,10 @@ mod tests {
         // Links not touching the dead GPU survive.
         let alive = c.intra_path(Rank(2), Rank(3));
         sim.submit_transfer(&alive, ByteSize::from_mib(1), 10);
-        assert!(matches!(sim.step(), Some(SimEvent::TransferDone { token: 10, .. })));
+        assert!(matches!(
+            sim.step(),
+            Some(SimEvent::TransferDone { token: 10, .. })
+        ));
     }
 
     #[test]
@@ -460,7 +490,10 @@ mod tests {
     fn exclusion_covers_crashes_and_nic_failures() {
         let c = Cluster::homogeneous_a100(2);
         let schedule = FaultSchedule::new()
-            .with(Fault::WorkerCrash { rank: Rank(6), at: SimTime::from_millis(1.0) })
+            .with(Fault::WorkerCrash {
+                rank: Rank(6),
+                at: SimTime::from_millis(1.0),
+            })
             .with(Fault::NicFail {
                 instance: InstanceId(0),
                 at: SimTime::from_millis(3.0),

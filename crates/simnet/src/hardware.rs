@@ -319,7 +319,8 @@ mod tests {
     #[test]
     fn nvlink_generations_are_ordered() {
         assert!(
-            GpuGeneration::V100.nvlink_pair_bandwidth() < GpuGeneration::A100.nvlink_pair_bandwidth()
+            GpuGeneration::V100.nvlink_pair_bandwidth()
+                < GpuGeneration::A100.nvlink_pair_bandwidth()
         );
     }
 

@@ -181,7 +181,8 @@ impl<'c> ProbeRunner<'c> {
         // Lost measurements time out and retry until the injected loss
         // budget for the crossed links is spent.
         while self.measurement_lost(probes.iter().map(|p| &p.path)) {}
-        self.telemetry.add_counter("probe.measurements", probes.len() as f64);
+        self.telemetry
+            .add_counter("probe.measurements", probes.len() as f64);
         self.telemetry
             .add_counter("probe.bytes", probes.iter().map(|p| p.size.as_f64()).sum());
         let mut sim = NetSim::new(self.cluster);
@@ -211,7 +212,8 @@ impl<'c> ProbeRunner<'c> {
         assert!(n > 0, "need at least one repetition");
         while self.measurement_lost(std::iter::once(path)) {}
         self.telemetry.add_counter("probe.measurements", n as f64);
-        self.telemetry.add_counter("probe.bytes", size.as_f64() * n as f64);
+        self.telemetry
+            .add_counter("probe.bytes", size.as_f64() * n as f64);
         let mut total = SimDuration::ZERO;
         // Back-to-back: each send starts when the previous finishes; in
         // an otherwise idle fabric the durations are additive, so run n

@@ -63,7 +63,9 @@ mod tests {
     #[test]
     fn heavy_tail_median_near_one() {
         let mut rng = seeded_rng(3);
-        let mut draws: Vec<f64> = (0..4001).map(|_| heavy_tail_factor(&mut rng, 0.2)).collect();
+        let mut draws: Vec<f64> = (0..4001)
+            .map(|_| heavy_tail_factor(&mut rng, 0.2))
+            .collect();
         draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = draws[2000];
         assert!((median - 1.0).abs() < 0.05, "median {median}");

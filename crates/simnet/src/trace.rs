@@ -63,7 +63,10 @@ impl CloudTrace {
     ///
     /// Panics if the duration or interval is not positive.
     pub fn synthesize(seed: u64, duration_secs: f64, interval_secs: f64) -> Self {
-        assert!(duration_secs > 0.0 && interval_secs > 0.0, "invalid trace shape");
+        assert!(
+            duration_secs > 0.0 && interval_secs > 0.0,
+            "invalid trace shape"
+        );
         let mut rng = seeded_rng(seed);
         let n = (duration_secs / interval_secs).ceil() as usize + 1;
         let mut points = Vec::with_capacity(n);
@@ -186,8 +189,8 @@ impl CloudTrace {
             .iter()
             .map(|p| p.latency_factor)
             .fold(0.0_f64, f64::max);
-        let mean = self.points.iter().map(|p| p.bandwidth_factor).sum::<f64>()
-            / self.points.len() as f64;
+        let mean =
+            self.points.iter().map(|p| p.bandwidth_factor).sum::<f64>() / self.points.len() as f64;
         TraceStats {
             worst_bandwidth_degradation: 1.0 - min_bw,
             worst_latency_degradation: max_lat - 1.0,
@@ -203,8 +206,10 @@ impl CloudTrace {
     /// Serializes the trace to CSV (`secs,bandwidth_factor,latency_factor`
     /// with a header), the interchange format for captured real traces.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("secs,bandwidth_factor,latency_factor
-");
+        let mut out = String::from(
+            "secs,bandwidth_factor,latency_factor
+",
+        );
         for p in &self.points {
             out.push_str(&format!(
                 "{},{},{}
@@ -252,7 +257,11 @@ impl CloudTrace {
                     return Err(format!("line {}: timestamps must not decrease", i + 1));
                 }
             }
-            points.push(TracePoint { at_secs, bandwidth_factor, latency_factor });
+            points.push(TracePoint {
+                at_secs,
+                bandwidth_factor,
+                latency_factor,
+            });
         }
         if points.is_empty() {
             return Err("trace has no data rows".into());
@@ -287,8 +296,16 @@ mod tests {
     #[test]
     fn sampling_is_step_interpolated() {
         let t = CloudTrace::from_points(vec![
-            TracePoint { at_secs: 0.0, bandwidth_factor: 1.0, latency_factor: 1.0 },
-            TracePoint { at_secs: 60.0, bandwidth_factor: 0.8, latency_factor: 1.1 },
+            TracePoint {
+                at_secs: 0.0,
+                bandwidth_factor: 1.0,
+                latency_factor: 1.0,
+            },
+            TracePoint {
+                at_secs: 60.0,
+                bandwidth_factor: 0.8,
+                latency_factor: 1.1,
+            },
         ]);
         assert_eq!(t.sample(SimTime::from_secs(30.0)).bandwidth_factor, 1.0);
         assert_eq!(t.sample(SimTime::from_secs(60.0)).bandwidth_factor, 0.8);
@@ -299,10 +316,7 @@ mod tests {
     fn amplification_widens_swings() {
         let base = six_hours();
         let amp = base.amplified(0.4);
-        assert!(
-            amp.stats().worst_bandwidth_degradation
-                > base.stats().worst_bandwidth_degradation
-        );
+        assert!(amp.stats().worst_bandwidth_degradation > base.stats().worst_bandwidth_degradation);
         // Zero amplification leaves bandwidth untouched.
         let id = base.amplified(0.0);
         for (a, b) in id.points().iter().zip(base.points()) {
@@ -333,24 +347,50 @@ mod tests {
     #[test]
     fn csv_rejects_garbage() {
         assert!(CloudTrace::from_csv("").is_err());
-        assert!(CloudTrace::from_csv("secs,bandwidth_factor,latency_factor
+        assert!(CloudTrace::from_csv(
+            "secs,bandwidth_factor,latency_factor
 1,0.5
-").is_err());
-        assert!(CloudTrace::from_csv("0,0.5,0.9
-").is_err(), "latency < 1");
-        assert!(CloudTrace::from_csv("5,0.5,1.0
+"
+        )
+        .is_err());
+        assert!(
+            CloudTrace::from_csv(
+                "0,0.5,0.9
+"
+            )
+            .is_err(),
+            "latency < 1"
+        );
+        assert!(
+            CloudTrace::from_csv(
+                "5,0.5,1.0
 1,0.5,1.0
-").is_err(), "unordered");
-        assert!(CloudTrace::from_csv("0,abc,1.0
-").is_err());
+"
+            )
+            .is_err(),
+            "unordered"
+        );
+        assert!(CloudTrace::from_csv(
+            "0,abc,1.0
+"
+        )
+        .is_err());
     }
 
     #[test]
     #[should_panic(expected = "time-ordered")]
     fn unordered_points_rejected() {
         let _ = CloudTrace::from_points(vec![
-            TracePoint { at_secs: 10.0, bandwidth_factor: 1.0, latency_factor: 1.0 },
-            TracePoint { at_secs: 0.0, bandwidth_factor: 1.0, latency_factor: 1.0 },
+            TracePoint {
+                at_secs: 10.0,
+                bandwidth_factor: 1.0,
+                latency_factor: 1.0,
+            },
+            TracePoint {
+                at_secs: 0.0,
+                bandwidth_factor: 1.0,
+                latency_factor: 1.0,
+            },
         ]);
     }
 }

@@ -24,7 +24,9 @@ use crate::time::SimDuration;
 /// let tensor = ByteSize::from_mib(256);
 /// assert_eq!(tensor.as_u64(), 256 * 1024 * 1024);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ByteSize(u64);
 
 /// A data rate in bytes per second.

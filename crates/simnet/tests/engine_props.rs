@@ -152,7 +152,11 @@ fn intra_and_inter_flows_do_not_interfere() {
     };
     let mut sim = NetSim::new(c);
     sim.submit_transfer(&c.intra_path(Rank(0), Rank(1)), ByteSize::from_mib(64), 0);
-    sim.submit_transfer(&c.net_path(InstanceId(0), InstanceId(1)), ByteSize::from_mib(64), 1);
+    sim.submit_transfer(
+        &c.net_path(InstanceId(0), InstanceId(1)),
+        ByteSize::from_mib(64),
+        1,
+    );
     let both: Vec<SimEvent> = sim.drain();
     let nv = both.iter().find(|e| e.token() == 0).unwrap().at().as_secs();
     assert!((nv - solo).abs() < 1e-9);

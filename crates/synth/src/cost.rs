@@ -135,19 +135,33 @@ impl<'a> CostModel<'a> {
                 *g = g.max(bw);
             }
         }
-        let port_load = PortLoad { egress_load, ingress_load, egress_bw, ingress_bw };
+        let port_load = PortLoad {
+            egress_load,
+            ingress_load,
+            egress_bw,
+            ingress_bw,
+        };
 
         let n_primary = strategy.subs.len();
         let mut per_sub = Vec::with_capacity(groups.len());
         for (m, (sub, _)) in groups.iter().enumerate() {
             let s_m = strategy.partition(total, m % n_primary);
-            per_sub.push(self.sub_completion(sub, s_m, &shared_load, &port_load, &per_sub_streams[m]));
+            per_sub.push(self.sub_completion(
+                sub,
+                s_m,
+                &shared_load,
+                &port_load,
+                &per_sub_streams[m],
+            ));
         }
         let completion = per_sub
             .iter()
             .copied()
             .fold(SimDuration::ZERO, SimDuration::max);
-        CostEstimate { completion, per_sub }
+        CostEstimate {
+            completion,
+            per_sub,
+        }
     }
 
     /// Chunk transfer time on one edge (eq. 2's `t_{i,j}`), with the
@@ -168,9 +182,7 @@ impl<'a> CostModel<'a> {
         // A stream's rate: min of its single-stream ceiling and its fair
         // share of each physical port it crosses (tail egress, head
         // ingress) — per-byte time is the max of the inverses.
-        let mut per_byte = ab
-            .beta_secs_per_byte
-            .max(ab.port_beta_secs_per_byte * load);
+        let mut per_byte = ab.beta_secs_per_byte.max(ab.port_beta_secs_per_byte * load);
         if edge.kind == adapcc_topo::logical::EdgeKind::Network {
             let el = ports.egress_load.get(&edge.from).copied().unwrap_or(load);
             let il = ports.ingress_load.get(&edge.to).copied().unwrap_or(load);
@@ -361,7 +373,11 @@ mod tests {
         let e = |a, b| topo.edge_between(a, b).expect("edge");
         let flows = sources
             .iter()
-            .map(|&s| Flow { src: g(s), dst: g(root), route: vec![e(g(s), g(root))] })
+            .map(|&s| Flow {
+                src: g(s),
+                dst: g(root),
+                route: vec![e(g(s), g(root))],
+            })
             .collect();
         let mut aggregate = BTreeMap::new();
         aggregate.insert(g(root), true);
@@ -445,8 +461,16 @@ mod tests {
         let e = |a, b| topo.edge_between(a, b).expect("edge");
         // Two flows share edge g2->g0; one aggregates at g2 first.
         let flows = vec![
-            Flow { src: g(1), dst: g(0), route: vec![e(g(1), g(2)), e(g(2), g(0))] },
-            Flow { src: g(3), dst: g(0), route: vec![e(g(3), g(2)), e(g(2), g(0))] },
+            Flow {
+                src: g(1),
+                dst: g(0),
+                route: vec![e(g(1), g(2)), e(g(2), g(0))],
+            },
+            Flow {
+                src: g(3),
+                dst: g(0),
+                route: vec![e(g(3), g(2)), e(g(2), g(0))],
+            },
         ];
         let mut aggregate = BTreeMap::new();
         aggregate.insert(g(2), true);
@@ -498,7 +522,9 @@ mod tests {
         };
         let model = CostModel::new(&topo, &profile);
         let total = ByteSize::from_mib(256);
-        let huge = model.evaluate(&mk(ByteSize::from_mib(256)), total).completion;
+        let huge = model
+            .evaluate(&mk(ByteSize::from_mib(256)), total)
+            .completion;
         let mid = model.evaluate(&mk(ByteSize::from_mib(4)), total).completion;
         let tiny = model.evaluate(&mk(ByteSize::from_kib(1)), total).completion;
         // One giant chunk forfeits pipelining across the 3-hop path.
@@ -515,8 +541,14 @@ mod tests {
         let one = star_reduce(&topo, &[1], 0);
         let mut two = one.clone();
         two.subs = vec![
-            SubCollective { fraction: 0.5, ..one.subs[0].clone() },
-            SubCollective { fraction: 0.5, ..one.subs[0].clone() },
+            SubCollective {
+                fraction: 0.5,
+                ..one.subs[0].clone()
+            },
+            SubCollective {
+                fraction: 0.5,
+                ..one.subs[0].clone()
+            },
         ];
         let t1 = model.evaluate(&one, total).completion;
         let t2 = model.evaluate(&two, total).completion;

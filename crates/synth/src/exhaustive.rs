@@ -73,14 +73,7 @@ pub fn exhaustive_optimum(
             for parents in instance_trees(&insts, root_inst) {
                 for &chunk in &chunk_grid {
                     let Some(strategy) = realize(
-                        topo,
-                        req,
-                        &by_inst,
-                        root,
-                        root_inst,
-                        &leaders,
-                        &parents,
-                        chunk,
+                        topo, req, &by_inst, root, root_inst, &leaders, &parents, chunk,
                     ) else {
                         continue;
                     };
@@ -215,7 +208,11 @@ fn realize(
             if cursor != root {
                 route.push(topo.edge_between(g(cursor), g(root))?);
             }
-            flows.push(Flow { src: g(*r), dst: g(root), route });
+            flows.push(Flow {
+                src: g(*r),
+                dst: g(root),
+                route,
+            });
         }
     }
     Some(Strategy {
@@ -289,7 +286,10 @@ mod tests {
         );
         // The optimum never roots on the thin-NIC V100 instance.
         let root = opt_strategy.subs[0].root.unwrap();
-        assert!(root.0 < 8, "optimal root {root:?} should sit on an A100 server");
+        assert!(
+            root.0 < 8,
+            "optimal root {root:?} should sit on an A100 server"
+        );
     }
 
     #[test]
@@ -305,7 +305,10 @@ mod tests {
         );
         let (_, optimal) = exhaustive_optimum(&topo, &profile, &req);
         let quick = Synthesizer::new(&topo, &profile)
-            .with_config(SynthConfig { anneal_iters: 0, ..Default::default() })
+            .with_config(SynthConfig {
+                anneal_iters: 0,
+                ..Default::default()
+            })
             .synthesize(&req);
         let got = model.evaluate(&quick, req.tensor).completion.as_secs();
         assert!(got + 1e-12 >= optimal, "optimum must lower-bound any plan");

@@ -93,7 +93,10 @@ mod tests {
             Primitive::AllReduce.data_volume(t, 4).as_u64(),
             t.as_u64() * 6
         );
-        assert_eq!(Primitive::AllToAll.data_volume(t, 4).as_u64(), t.as_u64() * 4);
+        assert_eq!(
+            Primitive::AllToAll.data_volume(t, 4).as_u64(),
+            t.as_u64() * 4
+        );
         assert_eq!(Primitive::Broadcast.data_volume(t, 4).as_u64(), t.as_u64());
         assert_eq!(Primitive::Reduce.data_volume(t, 4).as_u64(), t.as_u64() * 3);
     }

@@ -57,7 +57,12 @@ pub struct SynthRequest {
 
 impl SynthRequest {
     /// A request with no relays and an automatic root.
-    pub fn new(primitive: Primitive, tensor: ByteSize, parallelism: usize, participants: Vec<Rank>) -> Self {
+    pub fn new(
+        primitive: Primitive,
+        tensor: ByteSize,
+        parallelism: usize,
+        participants: Vec<Rank>,
+    ) -> Self {
         SynthRequest {
             primitive,
             tensor,
@@ -234,7 +239,9 @@ fn spec_from_seed(seed: &SubSeed) -> TreeSpec {
 }
 
 fn plan_seed(plan: &Plan) -> PlanSeed {
-    PlanSeed { subs: plan.specs.iter().map(SubSeed::from).collect() }
+    PlanSeed {
+        subs: plan.specs.iter().map(SubSeed::from).collect(),
+    }
 }
 
 impl<'a> Synthesizer<'a> {
@@ -299,7 +306,10 @@ impl<'a> Synthesizer<'a> {
             Primitive::AllToAll => (self.synthesize_alltoall(req), PlanSeed::default()),
             Primitive::Broadcast => {
                 let (reduce, plan) = self.synthesize_reduce_plan(req);
-                (reduce.reversed(self.topo, Primitive::Broadcast), plan_seed(&plan))
+                (
+                    reduce.reversed(self.topo, Primitive::Broadcast),
+                    plan_seed(&plan),
+                )
             }
             Primitive::Reduce | Primitive::AllReduce => {
                 let (mut s, plan) = self.synthesize_reduce_plan(req);
@@ -336,7 +346,10 @@ impl<'a> Synthesizer<'a> {
             Primitive::AllToAll => Some((self.synthesize_alltoall(req), PlanSeed::default())),
             Primitive::Broadcast => {
                 let (reduce, plan) = self.warm_reduce_plan(req, seed)?;
-                Some((reduce.reversed(self.topo, Primitive::Broadcast), plan_seed(&plan)))
+                Some((
+                    reduce.reversed(self.topo, Primitive::Broadcast),
+                    plan_seed(&plan),
+                ))
             }
             Primitive::Reduce | Primitive::AllReduce => {
                 let (mut s, plan) = self.warm_reduce_plan(req, seed)?;
@@ -381,8 +394,10 @@ impl<'a> Synthesizer<'a> {
         });
         let root_inst = instance_of(self.topo, root);
         self.telemetry.set_counter("synth.root_rank", root.0 as f64);
-        self.telemetry
-            .set_counter("synth.root_ingress_gbps", self.ingress_score(root_inst) / 1e9);
+        self.telemetry.set_counter(
+            "synth.root_ingress_gbps",
+            self.ingress_score(root_inst) / 1e9,
+        );
 
         // Initial plan per inter-tree shape x root family; keep the best.
         let allow_multi = req.primitive == Primitive::AllReduce && req.root.is_none();
@@ -459,7 +474,9 @@ impl<'a> Synthesizer<'a> {
                 return None;
             }
         }
-        let mut plan = Plan { specs: seed.subs.iter().map(spec_from_seed).collect() };
+        let mut plan = Plan {
+            specs: seed.subs.iter().map(spec_from_seed).collect(),
+        };
         // Disk-loaded seeds may carry drifted fractions; renormalize.
         let total: f64 = plan.specs.iter().map(|s| s.fraction).sum();
         for s in &mut plan.specs {
@@ -542,8 +559,8 @@ impl<'a> Synthesizer<'a> {
             let Some((cost, strategy)) = self.eval_plan(&cand, req, by_inst, hubs, model) else {
                 continue;
             };
-            let accept = cost < cur_cost
-                || rng.gen::<f64>() < ((cur_cost - cost) / temp.max(1e-12)).exp();
+            let accept =
+                cost < cur_cost || rng.gen::<f64>() < ((cur_cost - cost) / temp.max(1e-12)).exp();
             if accept {
                 cur_cost = cost;
                 cur = cand;
@@ -606,7 +623,8 @@ impl<'a> Synthesizer<'a> {
         let insts: Vec<InstanceId> = by_inst.keys().copied().collect();
         // Order non-root instances by descending NIC ingress for tree
         // layout decisions.
-        let mut others: Vec<InstanceId> = insts.iter().copied().filter(|i| *i != root_inst).collect();
+        let mut others: Vec<InstanceId> =
+            insts.iter().copied().filter(|i| *i != root_inst).collect();
         others.sort_by(|a, b| {
             self.ingress_score(*b)
                 .partial_cmp(&self.ingress_score(*a))
@@ -632,8 +650,11 @@ impl<'a> Synthesizer<'a> {
             } else {
                 (root_inst, root)
             };
-            let sub_others: Vec<InstanceId> =
-                insts.iter().copied().filter(|i| *i != sub_root_inst).collect();
+            let sub_others: Vec<InstanceId> = insts
+                .iter()
+                .copied()
+                .filter(|i| *i != sub_root_inst)
+                .collect();
             let mut leader = BTreeMap::new();
             for (inst, members) in by_inst {
                 if *inst == sub_root_inst {
@@ -787,7 +808,11 @@ impl<'a> Synthesizer<'a> {
             if up == here_inst {
                 return None;
             }
-            let up_leader = if up == spec.root_inst { root } else { spec.leader[&up] };
+            let up_leader = if up == spec.root_inst {
+                root
+            } else {
+                spec.leader[&up]
+            };
             route.push(self.topo.edge_between(g(cursor), nic(here_inst))?);
             route.push(self.topo.edge_between(nic(here_inst), nic(up))?);
             route.push(self.topo.edge_between(nic(up), g(up_leader))?);
@@ -838,7 +863,8 @@ impl<'a> Synthesizer<'a> {
             for i in insts.iter().filter(|i| **i != inst) {
                 spec.parent.insert(*i, inst);
             }
-            spec.via_hub.retain(|r, hub| *r != new_root && *hub != new_root);
+            spec.via_hub
+                .retain(|r, hub| *r != new_root && *hub != new_root);
             return true;
         }
         if op == 4 {
@@ -889,7 +915,8 @@ impl<'a> Synthesizer<'a> {
                 let new_leader = members[rng.gen_range(0..members.len())];
                 spec.leader.insert(inst, new_leader);
                 // Drop hub routes that now collide with the leader.
-                spec.via_hub.retain(|r, hub| *r != new_leader && *hub != new_leader);
+                spec.via_hub
+                    .retain(|r, hub| *r != new_leader && *hub != new_leader);
                 true
             }
             2 => {
@@ -949,7 +976,11 @@ impl<'a> Synthesizer<'a> {
                         self.topo.edge_between(nic(ib), g(b)).expect("host link"),
                     ]
                 };
-                flows.push(Flow { src: g(a), dst: g(b), route });
+                flows.push(Flow {
+                    src: g(a),
+                    dst: g(b),
+                    route,
+                });
             }
         }
         let make = |chunk: ByteSize, m: usize| Strategy {
@@ -1088,7 +1119,8 @@ mod tests {
     fn respects_requested_root() {
         let c = Cluster::paper_testbed();
         let (topo, profile) = setup(&c);
-        let mut req = SynthRequest::new(Primitive::Reduce, ByteSize::from_mib(64), 2, all_ranks(&c));
+        let mut req =
+            SynthRequest::new(Primitive::Reduce, ByteSize::from_mib(64), 2, all_ranks(&c));
         req.root = Some(Rank(17));
         let s = Synthesizer::new(&topo, &profile).synthesize(&req);
         assert_eq!(s.subs[0].root, Some(Rank(17)));
@@ -1098,7 +1130,12 @@ mod tests {
     fn broadcast_is_reverse_of_reduce() {
         let c = Cluster::homogeneous_a100(2);
         let (topo, profile) = setup(&c);
-        let req = SynthRequest::new(Primitive::Broadcast, ByteSize::from_mib(64), 2, all_ranks(&c));
+        let req = SynthRequest::new(
+            Primitive::Broadcast,
+            ByteSize::from_mib(64),
+            2,
+            all_ranks(&c),
+        );
         let s = Synthesizer::new(&topo, &profile).synthesize(&req);
         assert_eq!(s.validate(&topo), Ok(()));
         // Flows originate at the root.
@@ -1115,7 +1152,12 @@ mod tests {
     fn alltoall_has_all_pairs() {
         let c = Cluster::homogeneous_a100(2);
         let (topo, profile) = setup(&c);
-        let req = SynthRequest::new(Primitive::AllToAll, ByteSize::from_mib(64), 4, all_ranks(&c));
+        let req = SynthRequest::new(
+            Primitive::AllToAll,
+            ByteSize::from_mib(64),
+            4,
+            all_ranks(&c),
+        );
         let s = Synthesizer::new(&topo, &profile).synthesize(&req);
         assert_eq!(s.validate(&topo), Ok(()));
         assert_eq!(s.subs[0].flows.len(), 8 * 7);
@@ -1126,14 +1168,22 @@ mod tests {
         let c = Cluster::homogeneous_a100(2);
         let (topo, profile) = setup(&c);
         let participants: Vec<Rank> = (0..8).filter(|r| *r != 3).map(Rank).collect();
-        let mut req =
-            SynthRequest::new(Primitive::Reduce, ByteSize::from_mib(64), 4, participants.clone());
+        let mut req = SynthRequest::new(
+            Primitive::Reduce,
+            ByteSize::from_mib(64),
+            4,
+            participants.clone(),
+        );
         req.relays = vec![Rank(3)];
         let s = Synthesizer::new(&topo, &profile).synthesize(&req);
         assert_eq!(s.validate(&topo), Ok(()));
         for sub in &s.subs {
             for f in &sub.flows {
-                assert_ne!(f.src, LogicalNode::Gpu(Rank(3)), "relay must not contribute data");
+                assert_ne!(
+                    f.src,
+                    LogicalNode::Gpu(Rank(3)),
+                    "relay must not contribute data"
+                );
             }
         }
         // At least one sub routes through the relay hub.
@@ -1163,7 +1213,10 @@ mod tests {
         let tensor = ByteSize::from_mib(256);
         let req = SynthRequest::new(Primitive::Reduce, tensor, 4, all_ranks(&c));
         let quick = Synthesizer::new(&topo, &profile)
-            .with_config(SynthConfig { anneal_iters: 0, ..Default::default() })
+            .with_config(SynthConfig {
+                anneal_iters: 0,
+                ..Default::default()
+            })
             .synthesize(&req);
         let full = Synthesizer::new(&topo, &profile).synthesize(&req);
         let cq = model.evaluate(&quick, tensor).completion;
@@ -1194,7 +1247,10 @@ mod tests {
         let (topo, _) = setup(&c);
         let groups = group_by_instance(&topo, &all_ranks(&c));
         assert_eq!(groups.len(), 6);
-        assert_eq!(groups[&InstanceId(0)], vec![Rank(0), Rank(1), Rank(2), Rank(3)]);
+        assert_eq!(
+            groups[&InstanceId(0)],
+            vec![Rank(0), Rank(1), Rank(2), Rank(3)]
+        );
         assert_eq!(groups[&InstanceId(5)].len(), 4);
     }
 }
@@ -1233,8 +1289,7 @@ mod diag {
                     Some(s) => match s.validate(&topo) {
                         Ok(()) => {
                             let est = model.evaluate(&s, req.tensor);
-                            let per: Vec<f64> =
-                                est.per_sub.iter().map(|d| d.as_millis()).collect();
+                            let per: Vec<f64> = est.per_sub.iter().map(|d| d.as_millis()).collect();
                             println!(
                                 "{shape:?} multi={multi}: {:.1}ms per_sub={per:?}",
                                 est.completion.as_millis()

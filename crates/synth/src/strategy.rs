@@ -141,10 +141,16 @@ impl std::fmt::Display for InvalidStrategy {
             InvalidStrategy::BadFractions => write!(f, "sub-collective fractions do not sum to 1"),
             InvalidStrategy::ZeroChunk => write!(f, "chunk size is zero"),
             InvalidStrategy::BrokenRoute { sub, flow } => {
-                write!(f, "flow {flow} of sub-collective {sub} has a disconnected route")
+                write!(
+                    f,
+                    "flow {flow} of sub-collective {sub} has a disconnected route"
+                )
             }
             InvalidStrategy::DivergentAggregation { sub, node } => {
-                write!(f, "aggregating node {node} of sub-collective {sub} has divergent successors")
+                write!(
+                    f,
+                    "aggregating node {node} of sub-collective {sub} has divergent successors"
+                )
             }
             InvalidStrategy::CyclicGraph { sub } => {
                 write!(f, "sub-collective {sub} routes form a cycle")
@@ -328,9 +334,7 @@ fn has_cycle(sub: &SubCollective, topo: &LogicalTopology) -> bool {
         let boundaries: Vec<LogicalNode> = nodes
             .iter()
             .enumerate()
-            .filter(|(i, n)| {
-                *i == 0 || *i + 1 == nodes.len() || sub.aggregates_at(**n)
-            })
+            .filter(|(i, n)| *i == 0 || *i + 1 == nodes.len() || sub.aggregates_at(**n))
             .map(|(_, n)| *n)
             .collect();
         for w in boundaries.windows(2) {
@@ -386,7 +390,11 @@ mod tests {
         let nic = |i: usize| LogicalNode::Nic(InstanceId(i));
         let e = |a, b| topo.edge_between(a, b).expect("edge");
         let flows = vec![
-            Flow { src: g(1), dst: g(0), route: vec![e(g(1), g(0))] },
+            Flow {
+                src: g(1),
+                dst: g(0),
+                route: vec![e(g(1), g(0))],
+            },
             Flow {
                 src: g(4),
                 dst: g(0),
@@ -441,8 +449,16 @@ mod tests {
         let e = |a, b| topo.edge_between(a, b).expect("edge");
         // Two flows pass through gpu1 (aggregating) but then diverge.
         let flows = vec![
-            Flow { src: g(0), dst: g(2), route: vec![e(g(0), g(1)), e(g(1), g(2))] },
-            Flow { src: g(3), dst: g(0), route: vec![e(g(3), g(1)), e(g(1), g(0))] },
+            Flow {
+                src: g(0),
+                dst: g(2),
+                route: vec![e(g(0), g(1)), e(g(1), g(2))],
+            },
+            Flow {
+                src: g(3),
+                dst: g(0),
+                route: vec![e(g(3), g(1)), e(g(1), g(0))],
+            },
         ];
         let mut aggregate = BTreeMap::new();
         aggregate.insert(g(1), true);
@@ -468,9 +484,21 @@ mod tests {
         let g = |r: usize| LogicalNode::Gpu(Rank(r));
         let e = |a, b| topo.edge_between(a, b).expect("edge");
         let flows = vec![
-            Flow { src: g(0), dst: g(1), route: vec![e(g(0), g(1))] },
-            Flow { src: g(1), dst: g(2), route: vec![e(g(1), g(2))] },
-            Flow { src: g(2), dst: g(0), route: vec![e(g(2), g(0))] },
+            Flow {
+                src: g(0),
+                dst: g(1),
+                route: vec![e(g(0), g(1))],
+            },
+            Flow {
+                src: g(1),
+                dst: g(2),
+                route: vec![e(g(1), g(2))],
+            },
+            Flow {
+                src: g(2),
+                dst: g(0),
+                route: vec![e(g(2), g(0))],
+            },
         ];
         let mut aggregate = BTreeMap::new();
         aggregate.insert(g(0), true);
@@ -484,7 +512,10 @@ mod tests {
                 aggregate,
             }],
         };
-        assert_eq!(s.validate(&topo), Err(InvalidStrategy::CyclicGraph { sub: 0 }));
+        assert_eq!(
+            s.validate(&topo),
+            Err(InvalidStrategy::CyclicGraph { sub: 0 })
+        );
         // Without aggregation the same union cycle is legal (AlltoAll).
         let mut p2p = s.clone();
         p2p.primitive = Primitive::AllToAll;
@@ -498,9 +529,18 @@ mod tests {
         let (_c, topo) = topo2();
         let mut s = simple_reduce(&topo);
         s.subs = vec![
-            SubCollective { fraction: 0.333, ..s.subs[0].clone() },
-            SubCollective { fraction: 0.333, ..s.subs[0].clone() },
-            SubCollective { fraction: 0.334, ..s.subs[0].clone() },
+            SubCollective {
+                fraction: 0.333,
+                ..s.subs[0].clone()
+            },
+            SubCollective {
+                fraction: 0.333,
+                ..s.subs[0].clone()
+            },
+            SubCollective {
+                fraction: 0.334,
+                ..s.subs[0].clone()
+            },
         ];
         let total = ByteSize::from_bytes(1_000_001);
         let sum: u64 = (0..3).map(|m| s.partition(total, m).as_u64()).sum();

@@ -123,7 +123,9 @@ pub fn from_xml(xml: &str) -> Result<Strategy, ParseXmlError> {
             let fraction: f64 = attr_parse(&attrs, "fraction")?;
             let chunk: u64 = attr_parse(&attrs, "chunk")?;
             let root = match attrs.get("root") {
-                Some(v) => Some(Rank(v.parse().map_err(|_| ParseXmlError("bad root".into()))?)),
+                Some(v) => Some(Rank(
+                    v.parse().map_err(|_| ParseXmlError("bad root".into()))?,
+                )),
                 None => None,
             };
             cur = Some(SubCollective {

@@ -332,7 +332,11 @@ impl Telemetry {
             .iter()
             .map(|(link, a)| {
                 let window = a.last - a.first;
-                let util = if window > 0.0 { a.busy_secs / window } else { 0.0 };
+                let util = if window > 0.0 {
+                    a.busy_secs / window
+                } else {
+                    0.0
+                };
                 format!(
                     "{{\"link\": \"{}\", \"flows\": {}, \"bytes\": {}, \"busy_us\": {}, \
                      \"queue_us\": {}, \"utilization\": {}}}",
@@ -351,7 +355,11 @@ impl Telemetry {
             fct_max = fct_max.max(f.completion_secs());
             fct_sum += f.completion_secs();
         }
-        let fct_mean = if flows.is_empty() { 0.0 } else { fct_sum / flows.len() as f64 };
+        let fct_mean = if flows.is_empty() {
+            0.0
+        } else {
+            fct_sum / flows.len() as f64
+        };
         out.push_str(&format!(
             "],\n  \"fct\": {{\"flows\": {}, \"mean_us\": {}, \"max_us\": {}}},\n",
             flows.len(),
@@ -430,7 +438,10 @@ mod tests {
         assert!(t.spans().is_empty());
         assert!(t.flows().is_empty());
         assert_eq!(t.counter("x"), 0.0);
-        assert_eq!(t.chrome_trace(), "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n");
+        assert_eq!(
+            t.chrome_trace(),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n"
+        );
     }
 
     #[test]

@@ -89,8 +89,16 @@ impl DetectionReport {
             nodes.push(LogicalNode::Nic(InstanceId(i)));
         }
         let push_pair = |edges: &mut Vec<LogicalEdge>, a, b, kind| {
-            edges.push(LogicalEdge { from: a, to: b, kind });
-            edges.push(LogicalEdge { from: b, to: a, kind });
+            edges.push(LogicalEdge {
+                from: a,
+                to: b,
+                kind,
+            });
+            edges.push(LogicalEdge {
+                from: b,
+                to: a,
+                kind,
+            });
         };
         for (i, det) in self.instances.iter().enumerate() {
             let inst = InstanceId(i);
@@ -180,7 +188,8 @@ impl<'c> Detector<'c> {
             slowest = slowest.max(took);
             instances.push(det);
         }
-        self.telemetry.span("detect", "phase", 0.0, slowest.as_secs());
+        self.telemetry
+            .span("detect", "phase", 0.0, slowest.as_secs());
         self.telemetry
             .set_counter("topo.instances", self.cluster.instance_count() as f64);
         self.telemetry
@@ -375,7 +384,10 @@ mod tests {
         // Instances probe concurrently: elapsed grows with per-instance
         // work, not with instance count (paper: ~1.2 s constant).
         let ratio = big.elapsed.as_secs() / small.elapsed.as_secs();
-        assert!(ratio < 1.2, "elapsed should not scale with instances: {ratio}");
+        assert!(
+            ratio < 1.2,
+            "elapsed should not scale with instances: {ratio}"
+        );
         assert!(small.elapsed.as_secs() > 0.8 && small.elapsed.as_secs() < 2.0);
     }
 

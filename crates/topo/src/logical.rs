@@ -231,9 +231,7 @@ impl LogicalTopology {
                 p.links.append(&mut rev);
                 p
             }
-            (LogicalNode::Nic(a), LogicalNode::Nic(b), EdgeKind::Network) => {
-                cluster.net_path(a, b)
-            }
+            (LogicalNode::Nic(a), LogicalNode::Nic(b), EdgeKind::Network) => cluster.net_path(a, b),
             _ => panic!("inconsistent edge {e:?}"),
         }
     }
@@ -265,9 +263,21 @@ mod tests {
         LogicalTopology::new(
             vec![g0, g1, n0],
             vec![
-                LogicalEdge { from: g0, to: g1, kind: EdgeKind::NvLink },
-                LogicalEdge { from: g1, to: g0, kind: EdgeKind::NvLink },
-                LogicalEdge { from: g0, to: n0, kind: EdgeKind::HostLink },
+                LogicalEdge {
+                    from: g0,
+                    to: g1,
+                    kind: EdgeKind::NvLink,
+                },
+                LogicalEdge {
+                    from: g1,
+                    to: g0,
+                    kind: EdgeKind::NvLink,
+                },
+                LogicalEdge {
+                    from: g0,
+                    to: n0,
+                    kind: EdgeKind::HostLink,
+                },
             ],
         )
     }
@@ -280,7 +290,9 @@ mod tests {
         assert_eq!(t.edges_from(g0).len(), 2);
         assert_eq!(t.edges_into(g0).len(), 1);
         assert!(t.edge_between(g0, g1).is_some());
-        assert!(t.edge_between(g1, LogicalNode::Nic(InstanceId(0))).is_none());
+        assert!(t
+            .edge_between(g1, LogicalNode::Nic(InstanceId(0)))
+            .is_none());
     }
 
     #[test]
@@ -295,7 +307,11 @@ mod tests {
     fn duplicate_edges_rejected() {
         let g0 = LogicalNode::Gpu(Rank(0));
         let g1 = LogicalNode::Gpu(Rank(1));
-        let e = LogicalEdge { from: g0, to: g1, kind: EdgeKind::NvLink };
+        let e = LogicalEdge {
+            from: g0,
+            to: g1,
+            kind: EdgeKind::NvLink,
+        };
         let _ = LogicalTopology::new(vec![g0, g1], vec![e, e]);
     }
 
@@ -303,7 +319,11 @@ mod tests {
     #[should_panic(expected = "self-loop")]
     fn self_loops_rejected() {
         let g0 = LogicalNode::Gpu(Rank(0));
-        let e = LogicalEdge { from: g0, to: g0, kind: EdgeKind::NvLink };
+        let e = LogicalEdge {
+            from: g0,
+            to: g0,
+            kind: EdgeKind::NvLink,
+        };
         let _ = LogicalTopology::new(vec![g0], vec![e]);
     }
 

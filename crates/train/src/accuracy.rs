@@ -79,7 +79,9 @@ impl Mlp {
     /// Xavier-ish random initialization.
     pub fn new(rng: &mut ChaCha8Rng) -> Self {
         let mut draw = |n: usize, scale: f32| -> Vec<f32> {
-            (0..n).map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale).collect()
+            (0..n)
+                .map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
+                .collect()
         };
         Mlp {
             w1: draw(IN * HIDDEN, (1.0 / IN as f32).sqrt()),
@@ -279,7 +281,10 @@ pub fn run_accuracy_experiment(
                 fault_floor: SimDuration::from_millis(2000.0),
                 ..Default::default()
             },
-            synth: SynthConfig { anneal_iters: 16, ..Default::default() },
+            synth: SynthConfig {
+                anneal_iters: 16,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
@@ -325,10 +330,8 @@ pub fn run_accuracy_experiment(
             } else {
                 Rank(rng.gen_range(0..n_workers))
             };
-            let mut ready: BTreeMap<Rank, SimTime> = workers
-                .iter()
-                .map(|r| (*r, SimTime::ZERO))
-                .collect();
+            let mut ready: BTreeMap<Rank, SimTime> =
+                workers.iter().map(|r| (*r, SimTime::ZERO)).collect();
             ready.insert(straggler, SimTime::from_secs(0.06));
 
             let summed: Vec<f32> = match mode {
@@ -403,7 +406,10 @@ mod tests {
             model.apply(&g, 0.1);
         }
         let trained = data.accuracy(&model);
-        assert!(trained > initial + 0.2, "initial {initial}, trained {trained}");
+        assert!(
+            trained > initial + 0.2,
+            "initial {initial}, trained {trained}"
+        );
     }
 
     #[test]
@@ -446,9 +452,16 @@ mod tests {
         let last = |c: &AccuracyCurve| *c.per_epoch.last().unwrap();
         // The three synchronous variants land together (float-order
         // differences only).
-        assert!((last(&sync) - last(&relay)).abs() < 0.05, "sync {sync:?} relay {relay:?}");
+        assert!(
+            (last(&sync) - last(&relay)).abs() < 0.05,
+            "sync {sync:?} relay {relay:?}"
+        );
         assert!((last(&sync) - last(&nccl)).abs() < 0.05);
-        assert!(last(&sync) > 0.4, "model must actually learn: {}", last(&sync));
+        assert!(
+            last(&sync) > 0.4,
+            "model must actually learn: {}",
+            last(&sync)
+        );
     }
 
     #[test]

@@ -114,10 +114,8 @@ mod tests {
         let mut m = StragglerModel::new(1);
         let ready = m.ready_times(&c, DnnModel::Gpt2, 16);
         // V100 ranks (16..24) are systematically slower.
-        let a100_mean: f64 =
-            (0..16).map(|r| ready[&Rank(r)].as_secs()).sum::<f64>() / 16.0;
-        let v100_mean: f64 =
-            (16..24).map(|r| ready[&Rank(r)].as_secs()).sum::<f64>() / 8.0;
+        let a100_mean: f64 = (0..16).map(|r| ready[&Rank(r)].as_secs()).sum::<f64>() / 16.0;
+        let v100_mean: f64 = (16..24).map(|r| ready[&Rank(r)].as_secs()).sum::<f64>() / 8.0;
         assert!(v100_mean > a100_mean * 1.5, "a={a100_mean} v={v100_mean}");
     }
 
@@ -139,8 +137,10 @@ mod tests {
 
     #[test]
     fn interference_levels_monotone() {
-        assert!(StragglerModel::interference_slowdown(400.0)
-            > StragglerModel::interference_slowdown(100.0));
+        assert!(
+            StragglerModel::interference_slowdown(400.0)
+                > StragglerModel::interference_slowdown(100.0)
+        );
         assert_eq!(StragglerModel::interference_slowdown(0.0), 1.0);
     }
 

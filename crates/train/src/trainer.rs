@@ -155,14 +155,19 @@ pub fn train(cluster: &Cluster, config: &TrainConfig) -> TrainReport {
         Backend::AdapCcAdaptive | Backend::AdapCcWaitAll => {
             let mut cc = AdapCC::init(
                 cluster,
-                InitOptions { seed: config.seed, ..Default::default() },
+                InitOptions {
+                    seed: config.seed,
+                    ..Default::default()
+                },
             );
             cc.setup();
             cc.set_fabric_factors(config.fabric_factors.clone());
             session = Some(cc);
         }
         Backend::Baseline(sys) => {
-            let topo = Detector::new(cluster, config.seed).run().logical_topology(cluster);
+            let topo = Detector::new(cluster, config.seed)
+                .run()
+                .logical_topology(cluster);
             let profile = Profiler::new(cluster, &topo, config.seed).run().links;
             // Baseline collectives are deterministic: measure the
             // zero-skew execution once and gate it on the slowest
@@ -184,8 +189,18 @@ pub fn train(cluster: &Cluster, config: &TrainConfig) -> TrainReport {
             stragglers.roll_interference_episode(cluster, config.interference_percent);
         }
         let ready = stragglers.ready_times(cluster, config.model, config.batch);
-        let first = ready.values().copied().min().expect("workers exist").as_secs();
-        let last = ready.values().copied().max().expect("workers exist").as_secs();
+        let first = ready
+            .values()
+            .copied()
+            .min()
+            .expect("workers exist")
+            .as_secs();
+        let last = ready
+            .values()
+            .copied()
+            .max()
+            .expect("workers exist")
+            .as_secs();
 
         let (finish, comm_secs, partial, relays) = match (&mut session, &baseline, config.backend) {
             (Some(cc), _, Backend::AdapCcAdaptive) => {
@@ -200,7 +215,12 @@ pub fn train(cluster: &Cluster, config: &TrainConfig) -> TrainReport {
                     }
                     Decision::WaitAll { .. } => (false, Vec::new()),
                 };
-                (rep.finish.as_secs(), rep.comm_time.as_secs(), partial, relays)
+                (
+                    rep.finish.as_secs(),
+                    rep.comm_time.as_secs(),
+                    partial,
+                    relays,
+                )
             }
             (Some(cc), _, Backend::AdapCcWaitAll) => {
                 let rep = match primitive {
@@ -208,7 +228,12 @@ pub fn train(cluster: &Cluster, config: &TrainConfig) -> TrainReport {
                     _ => cc.allreduce(tensor, &ready, None),
                 }
                 .expect("healthy fabric");
-                (rep.finish.as_secs(), rep.comm_time.as_secs(), false, Vec::new())
+                (
+                    rep.finish.as_secs(),
+                    rep.comm_time.as_secs(),
+                    false,
+                    Vec::new(),
+                )
             }
             (_, Some((_, _, exec_secs)), Backend::Baseline(_)) => {
                 let finish = last + exec_secs;
@@ -231,8 +256,7 @@ pub fn train(cluster: &Cluster, config: &TrainConfig) -> TrainReport {
         let _ = first;
     }
 
-    let mean_comm =
-        iterations.iter().map(|i| i.comm_secs).sum::<f64>() / iterations.len() as f64;
+    let mean_comm = iterations.iter().map(|i| i.comm_secs).sum::<f64>() / iterations.len() as f64;
     let mean_iter =
         iterations.iter().map(|i| i.iteration_secs).sum::<f64>() / iterations.len() as f64;
     let global_batch = (config.batch * cluster.gpu_count()) as f64;
@@ -266,8 +290,14 @@ mod tests {
         // within its competitive margin while occasionally trading a
         // partial collective against tail stragglers.
         let c = Cluster::heterogeneous_2a100_2v100();
-        let adaptive = train(&c, &TrainConfig::new(DnnModel::Vit, Backend::AdapCcAdaptive, 12));
-        let waiting = train(&c, &TrainConfig::new(DnnModel::Vit, Backend::AdapCcWaitAll, 12));
+        let adaptive = train(
+            &c,
+            &TrainConfig::new(DnnModel::Vit, Backend::AdapCcAdaptive, 12),
+        );
+        let waiting = train(
+            &c,
+            &TrainConfig::new(DnnModel::Vit, Backend::AdapCcWaitAll, 12),
+        );
         assert!(
             adaptive.mean_comm_secs < waiting.mean_comm_secs * 1.35,
             "adaptive {} vs wait {}",
@@ -284,10 +314,19 @@ mod tests {
         // NCCL's single 20 Gbps channel starves a 100 Gbps NIC and
         // AdapCC's parallel sub-collectives do not.
         let mut b = adapcc_simnet::cluster::ClusterBuilder::new();
-        b.add_instances(adapcc_simnet::hardware::InstanceSpec::a100_server().with_tcp(), 2);
-        b.add_instances(adapcc_simnet::hardware::InstanceSpec::v100_server().with_tcp(), 2);
+        b.add_instances(
+            adapcc_simnet::hardware::InstanceSpec::a100_server().with_tcp(),
+            2,
+        );
+        b.add_instances(
+            adapcc_simnet::hardware::InstanceSpec::v100_server().with_tcp(),
+            2,
+        );
         let c = b.build();
-        let ours = train(&c, &TrainConfig::new(DnnModel::Vgg16, Backend::AdapCcAdaptive, 10));
+        let ours = train(
+            &c,
+            &TrainConfig::new(DnnModel::Vgg16, Backend::AdapCcAdaptive, 10),
+        );
         let nccl = train(
             &c,
             &TrainConfig::new(DnnModel::Vgg16, Backend::Baseline(System::Nccl), 10),
@@ -300,7 +339,10 @@ mod tests {
         );
         // And on RDMA, AdapCC must at least hold parity.
         let r = Cluster::heterogeneous_2a100_2v100();
-        let ours_r = train(&r, &TrainConfig::new(DnnModel::Vgg16, Backend::AdapCcAdaptive, 10));
+        let ours_r = train(
+            &r,
+            &TrainConfig::new(DnnModel::Vgg16, Backend::AdapCcAdaptive, 10),
+        );
         let nccl_r = train(
             &r,
             &TrainConfig::new(DnnModel::Vgg16, Backend::Baseline(System::Nccl), 10),
@@ -374,7 +416,10 @@ mod tests {
     #[test]
     fn throughput_definition() {
         let c = Cluster::homogeneous_a100(2);
-        let r = train(&c, &TrainConfig::new(DnnModel::Vit, Backend::AdapCcWaitAll, 5));
+        let r = train(
+            &c,
+            &TrainConfig::new(DnnModel::Vit, Backend::AdapCcWaitAll, 5),
+        );
         let mean_iter = r.iterations.iter().map(|i| i.iteration_secs).sum::<f64>() / 5.0;
         let expect = (128 * 8) as f64 / mean_iter;
         assert!((r.throughput - expect).abs() / expect < 1e-9);
@@ -389,14 +434,21 @@ mod diag {
     #[ignore]
     fn vgg_hetero_breakdown() {
         let c = Cluster::heterogeneous_2a100_2v100();
-        for backend in [Backend::AdapCcAdaptive, Backend::AdapCcWaitAll,
-                        Backend::Baseline(System::Nccl), Backend::Baseline(System::Msccl)] {
+        for backend in [
+            Backend::AdapCcAdaptive,
+            Backend::AdapCcWaitAll,
+            Backend::Baseline(System::Nccl),
+            Backend::Baseline(System::Msccl),
+        ] {
             let r = train(&c, &TrainConfig::new(DnnModel::Vgg16, backend, 10));
             let partials = r.iterations.iter().filter(|i| i.partial).count();
-            println!("{:<12} comm={:.1}ms iter={:.1}ms tput={:.0} partials={partials}",
-                backend.name(), r.mean_comm_secs*1e3,
-                r.iterations.iter().map(|i|i.iteration_secs).sum::<f64>()/10.0*1e3,
-                r.throughput);
+            println!(
+                "{:<12} comm={:.1}ms iter={:.1}ms tput={:.0} partials={partials}",
+                backend.name(),
+                r.mean_comm_secs * 1e3,
+                r.iterations.iter().map(|i| i.iteration_secs).sum::<f64>() / 10.0 * 1e3,
+                r.throughput
+            );
         }
     }
 }

@@ -25,7 +25,12 @@ pub enum DnnModel {
 impl DnnModel {
     /// All four workloads, in the paper's order.
     pub fn all() -> [DnnModel; 4] {
-        [DnnModel::Vgg16, DnnModel::Gpt2, DnnModel::Vit, DnnModel::Moe]
+        [
+            DnnModel::Vgg16,
+            DnnModel::Gpt2,
+            DnnModel::Vit,
+            DnnModel::Moe,
+        ]
     }
 
     /// Display name.

@@ -47,14 +47,14 @@ fn main() {
     println!("  all gradients in sync at {}", round.finish);
     println!("  exposed communication: {}", round.exposed_comm);
 
-    let mono = cc.allreduce(model, &backward, None).expect("healthy fabric");
+    let mono = cc
+        .allreduce(model, &backward, None)
+        .expect("healthy fabric");
     println!("\nmonolithic allreduce after backward:");
     println!("  finished at {}", mono.finish);
     println!(
         "\noverlap win: {:.1} ms ({:.0}% of the monolithic exposed comm hidden)",
         (mono.finish.as_secs() - round.finish.as_secs()) * 1e3,
-        (1.0 - round.exposed_comm.as_secs()
-            / (mono.finish.as_secs() - 0.195).max(1e-9))
-            * 100.0
+        (1.0 - round.exposed_comm.as_secs() / (mono.finish.as_secs() - 0.195).max(1e-9)) * 100.0
     );
 }

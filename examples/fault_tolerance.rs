@@ -26,7 +26,9 @@ fn main() {
     // A few healthy iterations.
     for i in 0..3 {
         let ready = healthy_ready(&cluster, i);
-        let rep = cc.allreduce_adaptive(tensor, &ready, None).expect("healthy fabric");
+        let rep = cc
+            .allreduce_adaptive(tensor, &ready, None)
+            .expect("healthy fabric");
         println!("iter {i}: comm {}", rep.comm_time);
     }
 
@@ -34,7 +36,9 @@ fn main() {
     println!("\n--- rank 11 crashes ---");
     let mut ready = healthy_ready(&cluster, 3);
     ready.remove(&Rank(11));
-    let rep = cc.allreduce_adaptive(tensor, &ready, None).expect("healthy fabric");
+    let rep = cc
+        .allreduce_adaptive(tensor, &ready, None)
+        .expect("healthy fabric");
     println!(
         "iter 3: comm {} — faults detected: {:?}",
         rep.comm_time, rep.faults
@@ -48,7 +52,9 @@ fn main() {
     println!("continuing with {} workers", cc.workers().len());
     for i in 4..6 {
         let ready = survivors_ready(cc.workers(), i);
-        let rep = cc.allreduce_adaptive(tensor, &ready, None).expect("healthy fabric");
+        let rep = cc
+            .allreduce_adaptive(tensor, &ready, None)
+            .expect("healthy fabric");
         println!("iter {i}: comm {} (no restart needed)", rep.comm_time);
         assert!(rep.faults.is_empty());
     }

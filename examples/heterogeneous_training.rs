@@ -20,7 +20,10 @@ fn main() {
 
     let iters = 15;
     let model = DnnModel::Gpt2;
-    println!("training {model} (batch {} per GPU, {iters} iterations)\n", model.default_batch());
+    println!(
+        "training {model} (batch {} per GPU, {iters} iterations)\n",
+        model.default_batch()
+    );
 
     let mut rows = Vec::new();
     for backend in [
@@ -31,7 +34,12 @@ fn main() {
     ] {
         let report = train(&cluster, &TrainConfig::new(model, backend, iters));
         let partials = report.iterations.iter().filter(|i| i.partial).count();
-        rows.push((backend.name(), report.mean_comm_secs, report.throughput, partials));
+        rows.push((
+            backend.name(),
+            report.mean_comm_secs,
+            report.throughput,
+            partials,
+        ));
     }
 
     println!(

@@ -35,10 +35,17 @@ fn main() {
     let small_elems = n * 1024;
     let inputs: BTreeMap<Rank, Vec<f32>> = (0..n)
         .map(|r| {
-            (Rank(r), (0..small_elems).map(|i| (r * 100 + i / 1024) as f32).collect())
+            (
+                Rank(r),
+                (0..small_elems)
+                    .map(|i| (r * 100 + i / 1024) as f32)
+                    .collect(),
+            )
         })
         .collect();
-    let verify = cc.alltoall(small, &BTreeMap::new(), Some(inputs)).expect("healthy fabric");
+    let verify = cc
+        .alltoall(small, &BTreeMap::new(), Some(inputs))
+        .expect("healthy fabric");
     // Expert j's shard i came from expert i's shard j.
     let out = &verify.outputs[&Rank(1)];
     // input[r][i] = r*100 + (i / 1024): expert 1's shard 0 is expert 0's

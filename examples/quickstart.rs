@@ -45,7 +45,9 @@ fn main() {
         .iter()
         .map(|r| (*r, vec![(r.0 + 1) as f32; elems]))
         .collect();
-    let report = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs)).expect("healthy fabric");
+    let report = cc
+        .allreduce(tensor, &BTreeMap::new(), Some(inputs))
+        .expect("healthy fabric");
     let expected: f32 = (1..=cluster.gpu_count() as u32).map(|v| v as f32).sum();
     let got = report.outputs[&Rank(0)][elems / 2];
     println!(
@@ -55,10 +57,16 @@ fn main() {
     assert_eq!(got, expected);
 
     // The other primitives ride the same synthesized strategies.
-    let a2a = cc.alltoall(ByteSize::from_mib(32), &BTreeMap::new(), None).expect("healthy fabric");
+    let a2a = cc
+        .alltoall(ByteSize::from_mib(32), &BTreeMap::new(), None)
+        .expect("healthy fabric");
     println!("alltoall(32 MiB): {}", a2a.comm_time);
-    let bc = cc.broadcast(Rank(3), ByteSize::from_mib(32), &BTreeMap::new(), None).expect("healthy fabric");
+    let bc = cc
+        .broadcast(Rank(3), ByteSize::from_mib(32), &BTreeMap::new(), None)
+        .expect("healthy fabric");
     println!("broadcast(32 MiB from rank 3): {}", bc.comm_time);
-    let ag = cc.allgather(ByteSize::from_mib(8), &BTreeMap::new(), None).expect("healthy fabric");
+    let ag = cc
+        .allgather(ByteSize::from_mib(8), &BTreeMap::new(), None)
+        .expect("healthy fabric");
     println!("allgather(8 MiB each): {}", ag.comm_time);
 }

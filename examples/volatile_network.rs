@@ -50,7 +50,9 @@ fn main() {
         // Periodic on-the-fly re-profiling (the paper does this every
         // 500 iterations): profile, re-solve if the links changed.
         let recon = cc.reprofile();
-        let rep = cc.allreduce(tensor, &BTreeMap::new(), None).expect("healthy fabric");
+        let rep = cc
+            .allreduce(tensor, &BTreeMap::new(), None)
+            .expect("healthy fabric");
         println!(
             "{:>8} {:>10.2} {:>14.1} {:>12} {:>10}",
             step,

@@ -17,7 +17,10 @@ use adapcc_topo::detect::Detector;
 
 fn quick_options() -> InitOptions {
     InitOptions {
-        synth: SynthConfig { anneal_iters: 32, ..Default::default() },
+        synth: SynthConfig {
+            anneal_iters: 32,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -43,7 +46,9 @@ fn full_pipeline_on_the_paper_testbed() {
         .iter()
         .map(|r| (*r, vec![r.0 as f32 + 0.5; elems]))
         .collect();
-    let report = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs)).expect("healthy fabric");
+    let report = cc
+        .allreduce(tensor, &BTreeMap::new(), Some(inputs))
+        .expect("healthy fabric");
     let expect: f32 = (0..24).map(|r| r as f32 + 0.5).sum();
     for (rank, out) in &report.outputs {
         assert!(
@@ -65,7 +70,13 @@ fn adapcc_strategy_beats_every_baseline_on_the_testbed() {
     let tensor = ByteSize::from_mib(128);
     let mut bw = BTreeMap::new();
     for sys in System::all() {
-        let r = runner.run(sys, Primitive::AllReduce, tensor, &ranks, &Default::default());
+        let r = runner.run(
+            sys,
+            Primitive::AllReduce,
+            tensor,
+            &ranks,
+            &Default::default(),
+        );
         bw.insert(sys.name(), r.algo_bw_gbytes);
     }
     assert!(bw["AdapCC"] > bw["NCCL"], "{bw:?}");
@@ -79,15 +90,30 @@ fn tcp_single_stream_penalty_matches_paper_observation() {
     // 100 Gbps NIC; AdapCC's parallel sub-collectives recover most of
     // the line rate while NCCL's single channel cannot.
     let mut b = adapcc_simnet::cluster::ClusterBuilder::new();
-    b.add_instances(adapcc_simnet::hardware::InstanceSpec::a100_server().with_tcp(), 2);
+    b.add_instances(
+        adapcc_simnet::hardware::InstanceSpec::a100_server().with_tcp(),
+        2,
+    );
     let cluster = b.build();
     let topo = Detector::new(&cluster, 1).run().logical_topology(&cluster);
     let profile = Profiler::new(&cluster, &topo, 1).run().links;
     let runner = Runner::new(&cluster, &topo, &profile);
     let ranks: Vec<Rank> = (0..8).map(Rank).collect();
     let tensor = ByteSize::from_mib(64);
-    let ours = runner.run(System::AdapCc, Primitive::AllReduce, tensor, &ranks, &Default::default());
-    let nccl = runner.run(System::Nccl, Primitive::AllReduce, tensor, &ranks, &Default::default());
+    let ours = runner.run(
+        System::AdapCc,
+        Primitive::AllReduce,
+        tensor,
+        &ranks,
+        &Default::default(),
+    );
+    let nccl = runner.run(
+        System::Nccl,
+        Primitive::AllReduce,
+        tensor,
+        &ranks,
+        &Default::default(),
+    );
     assert!(
         ours.algo_bw_gbytes > nccl.algo_bw_gbytes * 1.3,
         "ours {} vs nccl {}",
@@ -108,17 +134,17 @@ fn adaptive_two_phase_equals_full_collective_numerically() {
     let inputs: BTreeMap<Rank, Vec<f32>> = cc
         .workers()
         .iter()
-        .map(|r| (*r, (0..elems).map(|i| ((r.0 * 7 + i) % 13) as f32).collect()))
+        .map(|r| {
+            (
+                *r,
+                (0..elems).map(|i| ((r.0 * 7 + i) % 13) as f32).collect(),
+            )
+        })
         .collect();
     // Straggler way past the break-even point.
-    let mut ready: BTreeMap<Rank, SimTime> = cc
-        .workers()
-        .iter()
-        .map(|r| (*r, SimTime::ZERO))
-        .collect();
-    let strategy_root = cc
-        .strategy_for(Primitive::AllReduce, tensor)
-        .subs[0]
+    let mut ready: BTreeMap<Rank, SimTime> =
+        cc.workers().iter().map(|r| (*r, SimTime::ZERO)).collect();
+    let strategy_root = cc.strategy_for(Primitive::AllReduce, tensor).subs[0]
         .root
         .unwrap();
     let straggler = cc
@@ -133,7 +159,9 @@ fn adaptive_two_phase_equals_full_collective_numerically() {
         .allreduce_adaptive(tensor, &ready, Some(inputs.clone()))
         .expect("healthy fabric");
     assert!(matches!(adaptive.decision, Decision::Partial { .. }));
-    let full = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs)).expect("healthy fabric");
+    let full = cc
+        .allreduce(tensor, &BTreeMap::new(), Some(inputs))
+        .expect("healthy fabric");
     for rank in cc.workers() {
         let a = &adaptive.outputs[rank];
         let f = &full.outputs[rank];
@@ -218,7 +246,9 @@ fn eight_gpu_servers_work_end_to_end() {
         .iter()
         .map(|r| (*r, vec![(r.0 + 1) as f32; elems]))
         .collect();
-    let report = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs)).expect("healthy fabric");
+    let report = cc
+        .allreduce(tensor, &BTreeMap::new(), Some(inputs))
+        .expect("healthy fabric");
     let expect: f32 = (1..=16).map(|v| v as f32).sum();
     assert_eq!(report.outputs[&Rank(3)][0], expect);
 }
@@ -240,5 +270,8 @@ fn mixed_generation_fleet_synthesizes() {
     assert!(strategy.validate(&topo).is_ok());
     let root = strategy.subs[0].root.unwrap();
     // Ranks 4..12 are the H100 server's.
-    assert!((4..12).contains(&root.0), "root {root:?} should sit on the H100 server");
+    assert!(
+        (4..12).contains(&root.0),
+        "root {root:?} should sit on the H100 server"
+    );
 }

@@ -16,7 +16,10 @@ use adapcc_synth::Primitive;
 
 fn quick_options() -> InitOptions {
     InitOptions {
-        synth: SynthConfig { anneal_iters: 32, ..Default::default() },
+        synth: SynthConfig {
+            anneal_iters: 32,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -34,7 +37,9 @@ fn training_survives_a_dead_worker_without_restart() {
         .collect();
     // Rank 5 crashes: no ready report, ever.
     ready.remove(&Rank(5));
-    let rep = cc.allreduce_adaptive(tensor, &ready, None).expect("healthy fabric");
+    let rep = cc
+        .allreduce_adaptive(tensor, &ready, None)
+        .expect("healthy fabric");
     assert!(matches!(rep.decision, Decision::Partial { .. }));
     assert_eq!(rep.faults, vec![Rank(5)]);
     // Exclusion re-synthesizes over the 11 survivors; later iterations
@@ -45,7 +50,9 @@ fn training_survives_a_dead_worker_without_restart() {
     for r in cc.workers() {
         ready2.insert(*r, SimTime::from_secs(0.01));
     }
-    let rep2 = cc.allreduce_adaptive(tensor, &ready2, None).expect("healthy fabric");
+    let rep2 = cc
+        .allreduce_adaptive(tensor, &ready2, None)
+        .expect("healthy fabric");
     assert!(rep2.faults.is_empty());
     assert!(rep2.finish.as_secs() > 0.0);
     // Recovery this way costs a re-synthesis, not the paper-reported
@@ -77,7 +84,9 @@ fn reconstruction_tracks_a_bandwidth_trace() {
         if recon.changed {
             reconstructions += 1;
         }
-        let rep = cc.allreduce(tensor, &BTreeMap::new(), None).expect("healthy fabric");
+        let rep = cc
+            .allreduce(tensor, &BTreeMap::new(), None)
+            .expect("healthy fabric");
         if f < 0.7 {
             comm_under_dip.get_or_insert(rep.comm_time.as_secs());
         } else if f > 0.95 {
@@ -135,7 +144,11 @@ fn fig19c_recovery_reconstruction_stays_in_the_paper_band() {
         let rep = cc
             .allreduce(ByteSize::from_mib(16), &BTreeMap::new(), None)
             .expect("a single crash must be recoverable");
-        assert_eq!(rep.faults, vec![Rank(1)], "{gpus} GPUs: exactly the crashed rank");
+        assert_eq!(
+            rep.faults,
+            vec![Rank(1)],
+            "{gpus} GPUs: exactly the crashed rank"
+        );
         assert_eq!(cc.workers().len(), gpus - 1);
         let recon = cc
             .recovery_log()
@@ -171,7 +184,9 @@ fn set_workers_scopes_collectives_to_the_subset() {
         .iter()
         .map(|r| (*r, vec![1.0f32; elems]))
         .collect();
-    let rep = cc.allreduce(tensor, &BTreeMap::new(), Some(inputs)).expect("healthy fabric");
+    let rep = cc
+        .allreduce(tensor, &BTreeMap::new(), Some(inputs))
+        .expect("healthy fabric");
     assert_eq!(rep.outputs.len(), 4);
     for out in rep.outputs.values() {
         assert_eq!(out[0], 4.0, "sum over exactly the subset");

@@ -22,22 +22,23 @@ use adapcc_telemetry::Telemetry;
 /// One full instrumented run: detect → profile → synthesize → execute
 /// on a fixed fleet, returning the sink holding every span, flow and
 /// counter.
-fn instrumented_run(
-    primitive: Primitive,
-    tensor: ByteSize,
-    parallelism: usize,
-) -> Telemetry {
+fn instrumented_run(primitive: Primitive, tensor: ByteSize, parallelism: usize) -> Telemetry {
     let mut b = ClusterBuilder::new();
     b.add_instances(InstanceSpec::dgx_a100(), 2);
     let cluster = b.build();
     let telemetry = Telemetry::enabled();
-    let (topo, profile, control_secs) =
-        profiled_with_telemetry(&cluster, 1, telemetry.clone());
+    let (topo, profile, control_secs) = profiled_with_telemetry(&cluster, 1, telemetry.clone());
     let runner = Runner::new(&cluster, &topo, &profile)
         .with_parallelism(parallelism)
         .with_telemetry(telemetry.at_offset(control_secs));
     let ranks: Vec<Rank> = (0..cluster.gpu_count()).map(Rank).collect();
-    runner.run(System::AdapCc, primitive, tensor, &ranks, &Default::default());
+    runner.run(
+        System::AdapCc,
+        primitive,
+        tensor,
+        &ranks,
+        &Default::default(),
+    );
     telemetry
 }
 
@@ -46,15 +47,25 @@ fn same_seed_runs_export_byte_identical_telemetry() {
     let a = instrumented_run(Primitive::AllReduce, ByteSize::from_mib(64), 4);
     let b = instrumented_run(Primitive::AllReduce, ByteSize::from_mib(64), 4);
     assert_eq!(a.chrome_trace(), b.chrome_trace(), "trace must be golden");
-    assert_eq!(a.metrics_summary(), b.metrics_summary(), "metrics must be golden");
+    assert_eq!(
+        a.metrics_summary(),
+        b.metrics_summary(),
+        "metrics must be golden"
+    );
 }
 
 #[test]
 fn trace_covers_every_pipeline_phase_and_the_links() {
     let t = instrumented_run(Primitive::AllReduce, ByteSize::from_mib(64), 4);
     let spans = t.spans();
-    for phase in ["detect", "profile.intra", "profile.inter", "profile.fanin", "synthesize", "execute"]
-    {
+    for phase in [
+        "detect",
+        "profile.intra",
+        "profile.inter",
+        "profile.fanin",
+        "synthesize",
+        "execute",
+    ] {
         assert!(
             spans.iter().any(|s| s.name == phase),
             "missing {phase} span; have {:?}",

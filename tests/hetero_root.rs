@@ -73,7 +73,10 @@ fn synthesize(
     let ranks: Vec<Rank> = (0..cluster.gpu_count()).map(Rank).collect();
     let req = SynthRequest::new(primitive, ByteSize::from_mib(64), 2, ranks);
     Synthesizer::new(topo, profile)
-        .with_config(SynthConfig { anneal_iters: 32, ..Default::default() })
+        .with_config(SynthConfig {
+            anneal_iters: 32,
+            ..Default::default()
+        })
         .synthesize(&req)
 }
 
@@ -120,7 +123,10 @@ fn requested_root_is_honored_even_off_the_h100() {
     let mut req = SynthRequest::new(Primitive::Reduce, ByteSize::from_mib(64), 2, ranks);
     req.root = Some(Rank(0));
     let strategy = Synthesizer::new(&topo, &profile)
-        .with_config(SynthConfig { anneal_iters: 32, ..Default::default() })
+        .with_config(SynthConfig {
+            anneal_iters: 32,
+            ..Default::default()
+        })
         .synthesize(&req);
     assert!(!h100_ranks.contains(&0));
     assert_eq!(strategy.subs[0].root, Some(Rank(0)));

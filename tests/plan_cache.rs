@@ -32,7 +32,11 @@ fn env() -> &'static Env {
         let topo = Detector::new(&cluster, 1).run().logical_topology(&cluster);
         let profile = Profiler::new(&cluster, &topo, 1).run().links;
         let ranks = (0..cluster.gpu_count()).map(Rank).collect();
-        Env { topo, profile, ranks }
+        Env {
+            topo,
+            profile,
+            ranks,
+        }
     })
 }
 
@@ -94,19 +98,38 @@ proptest! {
 #[test]
 fn exclusion_changes_the_shape_fingerprint() {
     let env = env();
-    let req =
-        SynthRequest::new(Primitive::AllReduce, ByteSize::from_mib(64), 2, env.ranks.clone());
+    let req = SynthRequest::new(
+        Primitive::AllReduce,
+        ByteSize::from_mib(64),
+        2,
+        env.ranks.clone(),
+    );
     let before = fp_for(env, &req, &env.ranks);
-    let survivors: Vec<Rank> = env.ranks.iter().copied().filter(|r| *r != Rank(3)).collect();
+    let survivors: Vec<Rank> = env
+        .ranks
+        .iter()
+        .copied()
+        .filter(|r| *r != Rank(3))
+        .collect();
     let after = fp_for(env, &req, &survivors);
-    assert_ne!(before.shape, after.shape, "participant loss must flip the shape hash");
+    assert_ne!(
+        before.shape, after.shape,
+        "participant loss must flip the shape hash"
+    );
     assert_eq!(before.profile, after.profile, "links did not drift");
     let mut cache = PlanCache::new(PlanCacheConfig::default());
     let (strategy, seed) = Synthesizer::new(&env.topo, &env.profile)
-        .with_config(SynthConfig { anneal_iters: 24, ..Default::default() })
+        .with_config(SynthConfig {
+            anneal_iters: 24,
+            ..Default::default()
+        })
         .synthesize_with_seed(&req);
     cache.insert(before, CachedPlan { strategy, seed });
-    assert_eq!(cache.lookup(&after), Lookup::Miss, "pre-exclusion plan must not be served");
+    assert_eq!(
+        cache.lookup(&after),
+        Lookup::Miss,
+        "pre-exclusion plan must not be served"
+    );
 }
 
 /// A live session never serves a pre-exclusion plan after a worker
@@ -118,7 +141,10 @@ fn session_never_serves_a_pre_exclusion_plan() {
     let mut cc = AdapCC::init(
         &cluster,
         InitOptions {
-            synth: SynthConfig { anneal_iters: 32, ..Default::default() },
+            synth: SynthConfig {
+                anneal_iters: 32,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
@@ -134,8 +160,14 @@ fn session_never_serves_a_pre_exclusion_plan() {
     );
     assert_ne!(before, after);
     let stats = cc.plan_cache_stats();
-    assert_eq!(stats.hits, 0, "the shrunken fleet has a new shape: no exact hit, {stats:?}");
-    assert!(stats.misses >= 2, "init and post-exclusion solves are both cold, {stats:?}");
+    assert_eq!(
+        stats.hits, 0,
+        "the shrunken fleet has a new shape: no exact hit, {stats:?}"
+    );
+    assert!(
+        stats.misses >= 2,
+        "init and post-exclusion solves are both cold, {stats:?}"
+    );
 }
 
 /// The Fig. 19(c) warm-cache bar: over an unchanged fleet with a
@@ -150,7 +182,10 @@ fn warm_start_is_5x_cheaper_with_identical_evaluated_cost() {
         let mut cc = AdapCC::init(
             &cluster,
             InitOptions {
-                synth: SynthConfig { anneal_iters: 120, ..Default::default() },
+                synth: SynthConfig {
+                    anneal_iters: 120,
+                    ..Default::default()
+                },
                 plan_cache,
                 ..Default::default()
             },
@@ -169,7 +204,10 @@ fn warm_start_is_5x_cheaper_with_identical_evaluated_cost() {
     };
     let (cold_solving, cold_cost, _) = run(PlanCacheConfig::disabled());
     let (warm_solving, warm_cost, stats) = run(PlanCacheConfig::default());
-    assert!(stats.warm_starts > 0, "drifted profile over unchanged fleet warm-starts: {stats:?}");
+    assert!(
+        stats.warm_starts > 0,
+        "drifted profile over unchanged fleet warm-starts: {stats:?}"
+    );
     assert!(
         cold_solving >= 5.0 * warm_solving,
         "warm solve must be >=5x cheaper: cold {cold_solving}s vs warm {warm_solving}s"

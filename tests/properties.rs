@@ -31,7 +31,11 @@ fn env() -> &'static Env {
         let cluster = Cluster::homogeneous_a100(2);
         let topo = Detector::new(&cluster, 1).run().logical_topology(&cluster);
         let profile = Profiler::new(&cluster, &topo, 1).run().links;
-        Env { cluster, topo, profile }
+        Env {
+            cluster,
+            topo,
+            profile,
+        }
     })
 }
 

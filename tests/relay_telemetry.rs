@@ -69,8 +69,14 @@ fn buy_stops_waiting_at_the_break_even_point() {
     let expected_buy = buy
         .cost_for(&[Rank(0), Rank(1), Rank(2), Rank(3)], &[Rank(4)])
         .as_secs();
-    assert!((transmit - expected_buy).abs() < 1e-12, "transmit {transmit} vs {expected_buy}");
-    assert!(wait >= transmit, "proceeded before break-even: {wait} < {transmit}");
+    assert!(
+        (transmit - expected_buy).abs() < 1e-12,
+        "transmit {transmit} vs {expected_buy}"
+    );
+    assert!(
+        wait >= transmit,
+        "proceeded before break-even: {wait} < {transmit}"
+    );
     assert!(
         wait <= transmit + 0.005 + 1e-9,
         "kept waiting past break-even: {wait} vs buy {transmit}"
@@ -92,7 +98,10 @@ fn counters_accumulate_across_iterations() {
     assert_eq!(telemetry.counter("relay.buys"), 3.0);
     let wait = telemetry.counter("relay.wait_secs");
     let transmit = telemetry.counter("relay.transmit_secs");
-    assert!((wait / 3.0) >= (transmit / 3.0), "per-iteration break-even holds");
+    assert!(
+        (wait / 3.0) >= (transmit / 3.0),
+        "per-iteration break-even holds"
+    );
     assert!(transmit > 0.0);
 }
 
@@ -100,7 +109,10 @@ fn counters_accumulate_across_iterations() {
 fn disabled_relay_reports_pure_waiting() {
     let telemetry = Telemetry::enabled();
     let mut c = Coordinator::new(1)
-        .with_config(RelayConfig { enabled: false, ..Default::default() })
+        .with_config(RelayConfig {
+            enabled: false,
+            ..Default::default()
+        })
         .with_telemetry(telemetry.clone());
     let ready = ready_at(&[(0, 0.0), (1, 500.0)]);
     let d = c.decide(&workers(2), Rank(0), &ready, &est(1.0));

@@ -122,7 +122,10 @@ impl BenchmarkGroup<'_> {
 impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
     }
 
     /// Runs an ungrouped benchmark.
@@ -164,7 +167,9 @@ mod tests {
 
     fn sample_bench(c: &mut Criterion) {
         let mut group = c.benchmark_group("g");
-        group.sample_size(10).measurement_time(Duration::from_secs(1));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(1));
         group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
         group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
             b.iter(|| n * 2)
