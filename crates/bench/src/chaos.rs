@@ -21,8 +21,7 @@
 
 use std::collections::BTreeMap;
 
-use adapcc::session::{AdapCC, InitOptions};
-use adapcc::RecoveryEvent;
+use adapcc::{AdapCC, InitOptions, RecoveryEvent};
 use adapcc_simnet::cluster::{Cluster, Rank};
 use adapcc_simnet::faults::FaultSchedule;
 use adapcc_simnet::time::{SimDuration, SimTime};

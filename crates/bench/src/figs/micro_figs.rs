@@ -2,8 +2,7 @@
 //! reconstruction cost, Fig. 19(d) relay-control RPC latency, and the
 //! DESIGN.md ablations.
 
-use adapcc::reconstruct::nccl_restart_cost;
-use adapcc::session::{AdapCC, InitOptions};
+use adapcc::{nccl_restart_cost, AdapCC, InitOptions};
 use adapcc_plancache::{PlanCacheConfig, PlanCacheStats};
 use adapcc_simnet::cluster::{Cluster, InstanceId, Rank};
 use adapcc_simnet::units::ByteSize;

@@ -2,7 +2,7 @@
 //! (relay selection), Figs. 16-17 (throughput vs batch size),
 //! Fig. 18(a) (volatile network) and Fig. 18(b) (serving interference).
 
-use adapcc::session::{AdapCC, InitOptions};
+use adapcc::{AdapCC, InitOptions};
 use adapcc_baselines::runner::{Runner, System};
 use adapcc_plancache::{PlanCacheConfig, PlanCacheStats};
 use adapcc_simnet::cluster::{Cluster, ClusterBuilder, InstanceId, LinkId, Rank};

@@ -1,0 +1,474 @@
+//! The staged pipeline every collective flows through:
+//! **plan** (synthesis via the plan cache) → **relay** (ski-rental
+//! decision) → **execute** (wait-all or phase-1/phase-2 partial) →
+//! **assemble** (per-sub outputs → result buffers). The recovery loop
+//! in [`crate::session`] wraps the whole pipeline, so stage DAGs get
+//! the same retry / exclusion / reconstruction treatment as base
+//! primitives, and every stage emits a telemetry span
+//! (`collective.plan` / `collective.relay` / `collective.execute` /
+//! `collective.assemble`) on the `collective` track.
+
+use std::collections::BTreeMap;
+
+use adapcc_simnet::cluster::Rank;
+use adapcc_simnet::time::{SimDuration, SimTime};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::strategy::Strategy;
+
+use crate::collective::assemble::{assemble, SlotOutput};
+use crate::collective::plan::{expand, StagePlan};
+use crate::collective::report::{ready_span, IterationReport};
+use crate::collective::spec::{CollectiveSpec, Fanout, RelayPolicy};
+use crate::error::AdapCCError;
+use crate::executor::ExecutionRequest;
+use crate::relay::Decision;
+use crate::session::AdapCC;
+
+/// A spec lowered onto the current worker set with every stage
+/// strategy synthesized (or served from the memo / plan cache).
+pub(super) struct Planned<'s> {
+    pub(super) spec: &'s CollectiveSpec,
+    pub(super) root: Option<Rank>,
+    pub(super) tensor: ByteSize,
+    pub(super) stages: Vec<StagePlan>,
+    pub(super) strategies: Vec<Vec<Strategy>>,
+}
+
+/// The `Partial` decision's fields, bundled for the execution helpers.
+pub(super) struct PartialPlan<'d> {
+    pub(super) start: SimTime,
+    pub(super) active: &'d [Rank],
+    pub(super) relays: &'d [Rank],
+}
+
+/// What one execution path produced: the completion instant, either
+/// ready-made outputs (single-strategy paths) or per-slot outputs for
+/// the assemble stage, and any workers declared faulty.
+pub(super) struct ExecOutcome {
+    pub(super) finish: SimTime,
+    pub(super) outputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    pub(super) slots: Vec<SlotOutput>,
+    pub(super) faults: Vec<Rank>,
+}
+
+impl ExecOutcome {
+    pub(super) fn done(finish: SimTime, outputs: BTreeMap<Rank, Vec<f32>>) -> Self {
+        ExecOutcome {
+            finish,
+            outputs: Some(outputs),
+            slots: Vec::new(),
+            faults: Vec::new(),
+        }
+    }
+}
+
+fn decision_start(decision: &Decision) -> SimTime {
+    match decision {
+        Decision::WaitAll { start } => *start,
+        Decision::Partial { start, .. } => *start,
+    }
+}
+
+impl<'c> AdapCC<'c> {
+    /// One attempt of `spec` through the staged pipeline. The recovery
+    /// loop calls this repeatedly; errors (faults, invalid requests)
+    /// surface untouched.
+    pub(crate) fn run_collective(
+        &mut self,
+        spec: &CollectiveSpec,
+        root: Option<Rank>,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<&BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        if let Some(r) = root {
+            if !self.workers.contains(&r) {
+                return Err(AdapCCError::InvalidRequest(format!(
+                    "root {r} is not part of the job (excluded or never admitted)"
+                )));
+            }
+        }
+        self.iteration += 1;
+        self.maybe_reprofile();
+        let tel = self.pipeline_telemetry();
+
+        // Plan: lower the spec, synthesize every stage strategy.
+        let planned = self.plan_collective(spec, root, tensor, &tel)?;
+        let workers = self.workers.clone();
+
+        // Relay: consult (or bypass) the ski-rental coordinator.
+        let (decision, first, eff) = self.decide_relay(&planned, ready, &workers);
+        let start = decision_start(&decision);
+        tel.span(
+            "collective.relay",
+            "collective",
+            first.min(start).as_secs(),
+            start.as_secs(),
+        );
+
+        // Execute: wait-all (queued, cached or staged) or partial.
+        let outcome = match &decision {
+            Decision::WaitAll { start } => {
+                if planned.spec.queue {
+                    self.execute_queued(&planned, ready, inputs)?
+                } else if matches!(
+                    planned.spec.relay,
+                    RelayPolicy::Adaptive {
+                        missing_is_fault: true
+                    }
+                ) {
+                    self.execute_adaptive_waitall(&planned, *start, ready, inputs)?
+                } else {
+                    self.execute_stages(&planned, ready, inputs)?
+                }
+            }
+            Decision::Partial {
+                start,
+                ready: active,
+                relays,
+            } => {
+                let partial = PartialPlan {
+                    start: *start,
+                    active,
+                    relays,
+                };
+                match planned.stages[0].fanout {
+                    Fanout::Single => {
+                        self.execute_partial_single(&planned, &partial, ready, inputs)?
+                    }
+                    _ => self.execute_partial_fanout(&planned, &partial, &eff, inputs)?,
+                }
+            }
+        };
+        tel.span(
+            "collective.execute",
+            "collective",
+            start.min(outcome.finish).as_secs(),
+            outcome.finish.as_secs(),
+        );
+
+        // Assemble: per-slot outputs → the collective's result buffers.
+        let outputs = match outcome.outputs {
+            Some(outputs) => outputs,
+            None => match inputs {
+                Some(inp) => {
+                    let survivors: Vec<Rank> = workers
+                        .iter()
+                        .copied()
+                        .filter(|w| !outcome.faults.contains(w))
+                        .collect();
+                    let elems = planned
+                        .stages
+                        .last()
+                        .and_then(|s| s.subs.first())
+                        .map(|s| (s.tensor.as_u64() / 4) as usize)
+                        .unwrap_or(0);
+                    assemble(
+                        planned.spec.assemble,
+                        &survivors,
+                        planned.root,
+                        elems,
+                        inp,
+                        &outcome.slots,
+                    )
+                }
+                None => BTreeMap::new(),
+            },
+        };
+        tel.span(
+            "collective.assemble",
+            "collective",
+            outcome.finish.as_secs(),
+            outcome.finish.as_secs(),
+        );
+
+        Ok(IterationReport {
+            finish: outcome.finish,
+            comm_time: outcome.finish.duration_since(first),
+            wait_time: start.duration_since(first.min(start)),
+            decision,
+            faults: outcome.faults,
+            outputs,
+        })
+    }
+
+    /// Lowers the spec and synthesizes every stage strategy through
+    /// the session memo / plan cache. Stage `k > 0` single-fanout
+    /// sub-plans with no explicit root inherit the previous stage's
+    /// strategy root (Reduce → reverse Broadcast chaining).
+    fn plan_collective<'s>(
+        &mut self,
+        spec: &'s CollectiveSpec,
+        root: Option<Rank>,
+        tensor: ByteSize,
+        tel: &adapcc_telemetry::Telemetry,
+    ) -> Result<Planned<'s>, AdapCCError> {
+        let mut stages = expand(spec, root, tensor, &self.workers.clone())?;
+        let mut strategies: Vec<Vec<Strategy>> = Vec::with_capacity(stages.len());
+        let mut memo_miss = false;
+        for i in 0..stages.len() {
+            if i > 0 && stages[i].fanout == Fanout::Single && stages[i].subs[0].root.is_none() {
+                stages[i].subs[0].root = strategies[i - 1][0].subs[0].root;
+            }
+            let primitive = stages[i].primitive;
+            let mut row = Vec::with_capacity(stages[i].subs.len());
+            for sub in &stages[i].subs {
+                let key = sub.key(primitive);
+                memo_miss |= !self.strategies.contains_key(&key);
+                row.push(self.strategy_for_key(&key).clone());
+            }
+            strategies.push(row);
+        }
+        // The plan span charges the modeled solver latency when any
+        // strategy was freshly synthesized this iteration — the memo,
+        // not the content-addressed plan cache, decides the width, so
+        // same-seed runs stay byte-identical regardless of cache tier.
+        let solve = if memo_miss {
+            crate::reconstruct::modeled_solve_cost(self.workers.len()).as_secs()
+        } else {
+            0.0
+        };
+        tel.span("collective.plan", "collective", 0.0, solve);
+        Ok(Planned {
+            spec,
+            root,
+            tensor,
+            stages,
+            strategies,
+        })
+    }
+
+    /// The relay stage. Returns the decision, the first ready instant
+    /// (the report's clock origin) and the effective readiness map the
+    /// composite partial path works from.
+    fn decide_relay(
+        &mut self,
+        planned: &Planned<'_>,
+        ready: &BTreeMap<Rank, SimTime>,
+        workers: &[Rank],
+    ) -> (Decision, SimTime, BTreeMap<Rank, SimTime>) {
+        match planned.spec.relay {
+            RelayPolicy::WaitAll => {
+                let (first, last) = ready_span(ready, workers);
+                (Decision::WaitAll { start: last }, first, ready.clone())
+            }
+            RelayPolicy::Adaptive {
+                missing_is_fault: true,
+            } => {
+                // The adaptive AllReduce contract: absent workers are
+                // fault candidates, the raw map goes to the
+                // coordinator, and the buy estimate carries a measured
+                // phase-2 broadcast unit.
+                let strategy = &planned.strategies[0][0];
+                let droot = strategy.subs[0]
+                    .root
+                    .expect("allreduce strategies are rooted");
+                let est = self.buy_estimate(strategy, planned.tensor);
+                let decision = self.coordinator.decide(workers, droot, ready, &est);
+                let first = ready.values().copied().min().unwrap_or(SimTime::ZERO);
+                (decision, first, ready.clone())
+            }
+            RelayPolicy::Adaptive {
+                missing_is_fault: false,
+            } => {
+                // Composite contract: callers historically pass
+                // partial or empty maps, so absent workers count as
+                // ready at time zero rather than as faults.
+                let eff: BTreeMap<Rank, SimTime> = workers
+                    .iter()
+                    .map(|w| (*w, ready.get(w).copied().unwrap_or(SimTime::ZERO)))
+                    .collect();
+                let stage = &planned.stages[0];
+                let droot = match stage.fanout {
+                    Fanout::Single => planned.strategies[0][0].subs[0]
+                        .root
+                        .expect("rooted strategy"),
+                    _ => {
+                        // The earliest-ready worker anchors the
+                        // decision: its sub-collective certainly runs
+                        // in phase 1.
+                        let mut droot = workers[0];
+                        let mut best = eff[&droot];
+                        for w in workers {
+                            if eff[w] < best {
+                                best = eff[w];
+                                droot = *w;
+                            }
+                        }
+                        droot
+                    }
+                };
+                let est = self.modeled_buy_estimate(
+                    planned.spec.estimate_as,
+                    &planned.strategies[0][0],
+                    stage.subs[0].tensor,
+                );
+                let decision = self.coordinator.decide(workers, droot, &eff, &est);
+                let first = eff.values().copied().min().unwrap_or(SimTime::ZERO);
+                (decision, first, eff)
+            }
+        }
+    }
+
+    /// The plain wait-all path: the request rides the communicator's
+    /// work queue exactly as the ML framework would push it (paper
+    /// Fig. 4), and timing-only runs on a healthy fabric reuse the
+    /// cached zero-skew execution time.
+    fn execute_queued(
+        &mut self,
+        planned: &Planned<'_>,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<&BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<ExecOutcome, AdapCCError> {
+        let primitive = planned.stages[0].primitive;
+        let tensor = planned.tensor;
+        let work_id = self.communicator.submit(crate::communicator::WorkItem {
+            id: 0,
+            primitive,
+            tensor,
+            ready: ready.clone(),
+            inputs: inputs.cloned(),
+        });
+        let item = self
+            .communicator
+            .take_work()
+            .expect("the request just submitted");
+        debug_assert_eq!(item.id, work_id);
+        let workers = self.workers.clone();
+        let strategy = planned.strategies[0][0].clone();
+        let (_, last) = ready_span(ready, &workers);
+        // Timing-only wait-all runs reuse the cached zero-skew
+        // execution time: the collective itself is deterministic, the
+        // slowest worker gates its start. With a fault schedule armed
+        // the cache would mask faults, so every run goes through the
+        // executor for real.
+        let (finish, outputs) = if item.inputs.is_none() && self.fault_schedule.is_none() {
+            let key = planned.stages[0].subs[0].key(primitive);
+            let t_exec = self.cached_exec_secs(&key, &strategy);
+            (last + SimDuration::from_secs(t_exec), BTreeMap::new())
+        } else {
+            let mut req = ExecutionRequest::timing(&strategy, tensor).with_ready(item.ready);
+            if let Some(inp) = item.inputs {
+                req = req.with_inputs(inp);
+            }
+            let batch = self.executor().try_execute(&[req])?;
+            (
+                batch.finish,
+                batch
+                    .requests
+                    .into_iter()
+                    .next()
+                    .expect("one request")
+                    .outputs,
+            )
+        };
+        self.communicator.complete(crate::communicator::WorkResult {
+            id: work_id,
+            finish,
+            outputs,
+        });
+        let result = self
+            .communicator
+            .fetch()
+            .expect("the result just completed");
+        debug_assert_eq!(result.id, work_id);
+        Ok(ExecOutcome::done(result.finish, result.outputs))
+    }
+
+    /// Adaptive AllReduce whose decision came back `WaitAll`: cached
+    /// zero-skew time on a healthy timing-only run, one full request
+    /// otherwise.
+    fn execute_adaptive_waitall(
+        &mut self,
+        planned: &Planned<'_>,
+        start: SimTime,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<&BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<ExecOutcome, AdapCCError> {
+        let strategy = planned.strategies[0][0].clone();
+        let tensor = planned.tensor;
+        if inputs.is_none() && self.fault_schedule.is_none() {
+            let key = planned.stages[0].subs[0].key(planned.stages[0].primitive);
+            let t_exec = self.cached_exec_secs(&key, &strategy);
+            let (_, last) = ready_span(ready, &self.workers.clone());
+            let finish = last.max(start) + SimDuration::from_secs(t_exec);
+            return Ok(ExecOutcome::done(finish, BTreeMap::new()));
+        }
+        let mut req = ExecutionRequest::timing(&strategy, tensor).with_ready(ready.clone());
+        if let Some(inp) = inputs {
+            req = req.with_inputs(inp.clone());
+        }
+        let batch = self.executor().try_execute(&[req])?;
+        Ok(ExecOutcome::done(
+            batch.finish,
+            batch.requests.into_iter().next().expect("one").outputs,
+        ))
+    }
+
+    /// Wait-all execution of a stage DAG: each stage's sub-collectives
+    /// run as one batch; stage `k + 1` starts when stage `k` drains
+    /// and consumes its merged outputs.
+    fn execute_stages(
+        &mut self,
+        planned: &Planned<'_>,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<&BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<ExecOutcome, AdapCCError> {
+        let workers = self.workers.clone();
+        let (_, last) = ready_span(ready, &workers);
+        let mut stage_ready: BTreeMap<Rank, SimTime> = ready.clone();
+        let mut stage_inputs: Option<BTreeMap<Rank, Vec<f32>>> = inputs.cloned();
+        let mut finish = last;
+        let mut slots: Vec<SlotOutput> = Vec::new();
+        for (i, stage) in planned.stages.iter().enumerate() {
+            let requests: Vec<ExecutionRequest<'_>> = stage
+                .subs
+                .iter()
+                .zip(&planned.strategies[i])
+                .map(|(sub, s)| {
+                    let mut req =
+                        ExecutionRequest::timing(s, sub.tensor).with_ready(stage_ready.clone());
+                    if let Some(inp) = &stage_inputs {
+                        req = req.with_inputs(stage.sub_inputs(sub, inp, planned.root));
+                    }
+                    req
+                })
+                .collect();
+            if requests.is_empty() {
+                // A pairwise stage over a single worker has nothing to
+                // move; assembly serves the root from its own input.
+                continue;
+            }
+            let batch = self.executor().try_execute(&requests)?;
+            finish = batch.finish;
+            slots = stage
+                .subs
+                .iter()
+                .zip(&batch.requests)
+                .map(|(sub, r)| SlotOutput {
+                    owner: sub.owner.or(sub.root).unwrap_or(workers[0]),
+                    slot: sub.slot,
+                    outputs: Some(r.outputs.clone()),
+                })
+                .collect();
+            if i + 1 < planned.stages.len() {
+                stage_ready = workers.iter().map(|w| (*w, finish)).collect();
+                if stage_inputs.is_some() {
+                    let mut merged: BTreeMap<Rank, Vec<f32>> = BTreeMap::new();
+                    for r in &batch.requests {
+                        for (k, v) in &r.outputs {
+                            merged.insert(*k, v.clone());
+                        }
+                    }
+                    stage_inputs = Some(merged);
+                }
+            }
+        }
+        Ok(ExecOutcome {
+            finish,
+            outputs: None,
+            slots,
+            faults: Vec::new(),
+        })
+    }
+}

@@ -1,0 +1,53 @@
+//! The per-iteration result every collective entry point returns.
+
+use std::collections::BTreeMap;
+
+use adapcc_simnet::cluster::Rank;
+use adapcc_simnet::time::{SimDuration, SimTime};
+
+use crate::relay::Decision;
+
+/// Result of one collective iteration.
+#[derive(Debug, Clone)]
+pub struct IterationReport {
+    /// What the coordinator decided. Plain wait-all entry points
+    /// always report `WaitAll`; adaptive-relay specs — including the
+    /// composite `allgather` / `reduce_scatter`, which consult the
+    /// coordinator since the pipeline refactor — may report `Partial`.
+    pub decision: Decision,
+    /// Completion instant on the iteration clock (time 0 = iteration
+    /// start; worker ready times are offsets on that clock).
+    pub finish: SimTime,
+    /// `finish` minus the first worker's ready time: the paper's
+    /// "communication time" including waiting.
+    pub comm_time: SimDuration,
+    /// How long the fastest worker waited before communication began.
+    pub wait_time: SimDuration,
+    /// Workers declared faulty this iteration (excluded from training;
+    /// the caller re-shards its data loader).
+    pub faults: Vec<Rank>,
+    /// Output tensors (present when inputs were given).
+    pub outputs: BTreeMap<Rank, Vec<f32>>,
+}
+
+/// Earliest and latest ready instants over the worker set (workers
+/// missing from the map count as ready at time zero).
+pub(crate) fn ready_span(ready: &BTreeMap<Rank, SimTime>, workers: &[Rank]) -> (SimTime, SimTime) {
+    let mut first = SimTime::ZERO;
+    let mut last = SimTime::ZERO;
+    let mut any = false;
+    for w in workers {
+        let t = ready.get(w).copied().unwrap_or(SimTime::ZERO);
+        if !any {
+            first = t;
+            last = t;
+            any = true;
+        } else {
+            if t < first {
+                first = t;
+            }
+            last = last.max(t);
+        }
+    }
+    (first, last)
+}

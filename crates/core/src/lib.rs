@@ -20,6 +20,9 @@
 //! * [`session`] — the user-facing [`AdapCC`] object
 //!   (`init` / `setup` / `allreduce` / `allreduce_adaptive` /
 //!   `reprofile`, mirroring the paper's Python API).
+//! * [`collective`] — the declarative [`CollectiveSpec`] grammar and
+//!   the staged pipeline (plan → relay → execute → assemble) every
+//!   entry point flows through (Sec. IV-D).
 //! * [`executor`] — chunk-pipelined strategy execution (Sec. V),
 //!   with per-hop deadline stall detection when faults are injected.
 //! * [`error`] — typed fault classification ([`AdapCCError`],
@@ -36,7 +39,7 @@
 //! ## Example
 //!
 //! ```
-//! use adapcc::{AdapCC, session::InitOptions};
+//! use adapcc::{AdapCC, InitOptions};
 //! use adapcc_simnet::cluster::Cluster;
 //! use adapcc_simnet::units::ByteSize;
 //!
@@ -54,6 +57,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod behavior;
+pub mod collective;
 pub mod communicator;
 pub mod ddp;
 pub mod error;
@@ -63,6 +67,7 @@ pub mod relay;
 pub mod session;
 
 pub use behavior::{derive_behaviors, BehaviorTuple};
+pub use collective::CollectiveSpec;
 pub use communicator::{Communicator, SetupReport};
 pub use ddp::{BucketLayout, DdpHook, DdpRoundReport};
 pub use error::{AdapCCError, FaultKind, FaultReport};

@@ -432,6 +432,16 @@ impl BuyEstimate {
         }
     }
 
+    /// Prices phase 1 with `primitive`'s volume formula instead of the
+    /// strategy's own primitive. Composite collectives execute stages
+    /// of base primitives (AllGather = per-GPU Broadcasts), but the
+    /// ski-rental buy must be priced at the *composite's* traffic
+    /// volume, not one stage sub-collective's.
+    pub fn with_primitive(mut self, primitive: Primitive) -> Self {
+        self.primitive = primitive;
+        self
+    }
+
     /// Records a measured single-late-tensor phase-2 cost; `cost_for`
     /// then prices phase 2 as `unit x n_late` (conservative: concurrent
     /// late broadcasts contend on every receiver's ingress).

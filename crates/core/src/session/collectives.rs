@@ -1,0 +1,189 @@
+//! The public collective entry points. Each is a thin wrapper: build
+//! the declarative [`CollectiveSpec`], run it through the staged
+//! pipeline (plan → relay → execute → assemble → report) inside the
+//! recovery loop. No entry point carries bespoke orchestration.
+
+use std::collections::BTreeMap;
+
+use adapcc_simnet::cluster::Rank;
+use adapcc_simnet::time::SimTime;
+use adapcc_simnet::units::ByteSize;
+
+use crate::collective::report::IterationReport;
+use crate::collective::spec::CollectiveSpec;
+use crate::error::AdapCCError;
+use crate::session::AdapCC;
+
+impl<'c> AdapCC<'c> {
+    /// AllReduce without relay control: waits for every worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError`] when an injected fault defeats recovery
+    /// or the request is malformed; see [`AdapCC::inject_faults`].
+    pub fn allreduce(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        let spec = CollectiveSpec::allreduce();
+        self.with_recovery(|cc| cc.run_collective(&spec, None, tensor, ready, inputs.as_ref()))
+    }
+
+    /// Reduce onto an automatically chosen root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError`] when an injected fault defeats recovery
+    /// or the request is malformed.
+    pub fn reduce(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        let spec = CollectiveSpec::reduce();
+        self.with_recovery(|cc| cc.run_collective(&spec, None, tensor, ready, inputs.as_ref()))
+    }
+
+    /// Broadcast from `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError`] when an injected fault defeats recovery,
+    /// the request is malformed, or recovery excluded `root` itself.
+    pub fn broadcast(
+        &mut self,
+        root: Rank,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        let spec = CollectiveSpec::broadcast();
+        self.with_recovery(|cc| {
+            cc.run_collective(&spec, Some(root), tensor, ready, inputs.as_ref())
+        })
+    }
+
+    /// AlltoAll personalized exchange.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError`] when an injected fault defeats recovery
+    /// or the request is malformed.
+    pub fn alltoall(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        let spec = CollectiveSpec::alltoall();
+        self.with_recovery(|cc| cc.run_collective(&spec, None, tensor, ready, inputs.as_ref()))
+    }
+
+    /// AllReduce with adaptive relay control: the coordinator decides
+    /// (ski-rental) whether to wait for stragglers or run a phase-1
+    /// partial collective with relays followed by a phase-2 completion
+    /// broadcast. Workers missing from `ready` are fault candidates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError`] when an injected fault defeats recovery
+    /// or the request is malformed.
+    pub fn allreduce_adaptive(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        let spec = CollectiveSpec::allreduce_adaptive();
+        self.with_recovery(|cc| cc.run_collective(&spec, None, tensor, ready, inputs.as_ref()))
+    }
+
+    /// AllGather, composed of one Broadcast per worker (paper
+    /// Sec. IV-D). Each worker contributes `tensor` bytes; outputs are
+    /// the rank-ordered concatenation (`N x tensor` per worker). The
+    /// coordinator is consulted each iteration: behind a heavy
+    /// straggler the ready workers' broadcasts run in phase 1 and the
+    /// stragglers' complete in phase 2 (workers missing from `ready`
+    /// count as ready at time zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError`] when an injected fault defeats recovery
+    /// or the request is malformed.
+    pub fn allgather(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        let spec = CollectiveSpec::allgather();
+        self.with_recovery(|cc| cc.run_collective(&spec, None, tensor, ready, inputs.as_ref()))
+    }
+
+    /// ReduceScatter, composed of one Reduce per worker over its shard
+    /// (paper Sec. IV-D). `tensor` is the full per-worker tensor; each
+    /// worker ends with its aggregated `tensor / N` shard. Consults the
+    /// relay coordinator like [`AdapCC::allgather`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError::InvalidRequest`] if the tensor does not
+    /// split evenly into f32 shards over the current worker count
+    /// (which may have shrunk through fault exclusion), and
+    /// [`AdapCCError`] when an injected fault defeats recovery.
+    pub fn reduce_scatter(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        let spec = CollectiveSpec::reduce_scatter();
+        self.with_recovery(|cc| cc.run_collective(&spec, None, tensor, ready, inputs.as_ref()))
+    }
+
+    /// Gather: every worker's `tensor` collected at `root`, which ends
+    /// with the rank-ordered concatenation. A pure spec over the shared
+    /// pipeline (per-worker point-to-point Broadcasts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError`] when an injected fault defeats recovery,
+    /// the request is malformed, or recovery excluded `root` itself.
+    pub fn gather(
+        &mut self,
+        root: Rank,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        let spec = CollectiveSpec::gather();
+        self.with_recovery(|cc| {
+            cc.run_collective(&spec, Some(root), tensor, ready, inputs.as_ref())
+        })
+    }
+
+    /// Scatter: `root`'s `tensor` split into `N` equal f32 shards, one
+    /// delivered to each worker. A pure spec over the shared pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError::InvalidRequest`] if the tensor does not
+    /// split evenly over the current worker count, and [`AdapCCError`]
+    /// when an injected fault defeats recovery or recovery excluded
+    /// `root` itself.
+    pub fn scatter(
+        &mut self,
+        root: Rank,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        let spec = CollectiveSpec::scatter();
+        self.with_recovery(|cc| {
+            cc.run_collective(&spec, Some(root), tensor, ready, inputs.as_ref())
+        })
+    }
+}

@@ -1,0 +1,172 @@
+//! Session lifecycle: setup, fault arming, periodic profiling
+//! schedule, fabric factors, and read-only accessors.
+
+use adapcc_profile::profiler::LinkProfile;
+use adapcc_simnet::cluster::{Cluster, LinkId, Rank};
+use adapcc_simnet::faults::FaultSchedule;
+use adapcc_simnet::time::SimTime;
+use adapcc_topo::detect::DetectionReport;
+use adapcc_topo::logical::LogicalTopology;
+
+use crate::communicator::SetupReport;
+use crate::reconstruct::ReconstructReport;
+use crate::relay::RelayStats;
+use crate::session::{AdapCC, InitReport, RecoveryEvent, RecoveryPolicy};
+
+impl<'c> AdapCC<'c> {
+    // ---- fault injection & recovery configuration ----
+
+    /// Arms a fault schedule against the session: every subsequent
+    /// collective executes with per-hop stall detection over a fabric
+    /// that replays `schedule` (timed against the session clock), and
+    /// faults that surface go through the recovery loop —
+    /// retry-with-backoff for transients, health-check → exclusion →
+    /// in-place graph reconstruction for permanent failures. Probe-loss
+    /// events are queued for the next profiling pass. Resets the
+    /// session clock and the recovery timeline.
+    pub fn inject_faults(&mut self, schedule: FaultSchedule) {
+        self.pending_probe_losses = schedule.probe_losses().collect();
+        self.fault_schedule = Some(schedule);
+        self.session_clock = SimTime::ZERO;
+        self.recovery_log.clear();
+        // Cached zero-skew times were measured on a healthy fabric.
+        self.exec_cache.clear();
+        self.estimates.clear();
+    }
+
+    /// Disarms fault injection; subsequent collectives run on a healthy
+    /// fabric again.
+    pub fn clear_faults(&mut self) {
+        self.fault_schedule = None;
+        self.pending_probe_losses.clear();
+        self.exec_cache.clear();
+        self.estimates.clear();
+    }
+
+    /// The armed fault schedule, if any.
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.fault_schedule.as_ref()
+    }
+
+    /// Absolute session clock: total simulated time consumed by
+    /// collectives, backoffs, and reconstructions since the last
+    /// [`AdapCC::inject_faults`]. Fault-schedule timestamps are
+    /// interpreted against this clock.
+    pub fn session_clock(&self) -> SimTime {
+        self.session_clock
+    }
+
+    /// The recovery timeline (detections, retries, exclusions,
+    /// recoveries) accumulated since the last [`AdapCC::inject_faults`].
+    pub fn recovery_log(&self) -> &[RecoveryEvent] {
+        &self.recovery_log
+    }
+
+    /// Replaces the recovery policy.
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        assert!(
+            policy.deadline_multiplier.is_finite() && policy.deadline_multiplier > 1.0,
+            "deadline multiplier must exceed 1"
+        );
+        self.recovery = policy;
+    }
+
+    /// Enables periodic on-the-fly re-profiling every `iterations`
+    /// collective calls (the paper's `adapcc.profile()` API; Sec. VI-D
+    /// uses 500). The pass runs transparently at the start of the
+    /// triggering iteration; its cost is visible through
+    /// [`AdapCC::last_reconstruct`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    pub fn set_profile_period(&mut self, iterations: u64) {
+        assert!(iterations > 0, "profiling period must be positive");
+        self.profile_period = Some(iterations);
+    }
+
+    /// Disables periodic re-profiling.
+    pub fn clear_profile_period(&mut self) {
+        self.profile_period = None;
+    }
+
+    /// The most recent automatic (or manual) reconstruction report.
+    pub fn last_reconstruct(&self) -> Option<ReconstructReport> {
+        self.last_reconstruct
+    }
+
+    /// Runs the periodic profiling pass if this iteration is due.
+    pub(crate) fn maybe_reprofile(&mut self) {
+        if let Some(period) = self.profile_period {
+            if self.iteration > 0 && self.iteration.is_multiple_of(period) {
+                let report = self.reprofile();
+                self.last_reconstruct = Some(report);
+            }
+        }
+    }
+
+    /// Applies live capacity factors (the `tc`-shaped / trace-driven
+    /// bandwidth of Sec. VI-D) to every subsequent collective and to
+    /// re-profiling passes.
+    pub fn set_fabric_factors(&mut self, factors: Vec<(LinkId, f64)>) {
+        self.fabric_factors = factors;
+        self.exec_cache.clear();
+        self.estimates.clear();
+    }
+
+    /// Builds the transmission contexts (the paper's `adapcc.setup()`).
+    pub fn setup(&mut self) -> SetupReport {
+        self.communicator
+            .setup(self.cluster, self.options.parallelism)
+    }
+
+    /// The initialization cost breakdown.
+    pub fn init_report(&self) -> InitReport {
+        self.init_report
+    }
+
+    /// The cluster the session runs over.
+    pub fn cluster(&self) -> &'c Cluster {
+        self.cluster
+    }
+
+    /// The live capacity factors applied to the fabric.
+    pub fn fabric_factors(&self) -> &[(LinkId, f64)] {
+        &self.fabric_factors
+    }
+
+    /// The detected topology report.
+    pub fn detection(&self) -> &DetectionReport {
+        &self.detection
+    }
+
+    /// The logical topology.
+    pub fn topology(&self) -> &LogicalTopology {
+        &self.topo
+    }
+
+    /// The current link profile.
+    pub fn link_profile(&self) -> &LinkProfile {
+        &self.profile
+    }
+
+    /// Relay statistics accumulated so far (Fig. 15 / Fig. 19(d)).
+    pub fn relay_stats(&self) -> &RelayStats {
+        self.coordinator.stats()
+    }
+
+    /// All worker ranks of the job.
+    pub fn workers(&self) -> &[Rank] {
+        &self.workers
+    }
+
+    /// Restricts the job to a subset of workers (after faults, or for
+    /// partial-job collectives). Cached strategies are dropped.
+    pub fn set_workers(&mut self, workers: Vec<Rank>) {
+        assert!(!workers.is_empty(), "job needs at least one worker");
+        self.workers = workers;
+        self.strategies.clear();
+        self.estimates.clear();
+        self.exec_cache.clear();
+    }
+}

@@ -1,0 +1,237 @@
+//! The top-level AdapCC session — the public API a training script
+//! uses (paper Sec. VI-A mirrors it as `adapcc.init()` /
+//! `adapcc.setup()` / `adapcc.allreduce()` / `adapcc.profile()`).
+//!
+//! [`AdapCC::init`] runs the detector and the profiler and caches
+//! nothing else; strategies are synthesized lazily per
+//! [`crate::collective::plan::StrategyKey`] and reused.
+//! [`AdapCC::setup`] builds the transmission contexts. Every collective
+//! entry point lowers a [`crate::collective::CollectiveSpec`] through
+//! the staged pipeline (plan → relay → execute → assemble → report)
+//! wrapped in the recovery loop; the adaptive entry point
+//! [`AdapCC::allreduce_adaptive`] consults the relay
+//! [`crate::relay::Coordinator`] each iteration and runs
+//! the phase-1 / phase-2 protocol when the ski-rental rule says to
+//! proceed without stragglers. [`AdapCC::reprofile`] is the in-place
+//! graph reconstruction: profile → re-solve → re-set-up, never
+//! restarting the job.
+//!
+//! Module layout:
+//!
+//! - [`lifecycle`](self) — init, setup, fault arming, accessors
+//! - `planning` — lazy synthesis, the plan cache, buy estimates
+//! - `recovery` — the retry / exclusion loop and its policy
+//! - `scaling` — reprofile, reconstruction, elastic scale-out
+//! - `collectives` — the public entry points (one spec each)
+
+mod collectives;
+mod lifecycle;
+mod planning;
+mod recovery;
+mod scaling;
+#[cfg(test)]
+mod tests;
+
+use std::collections::HashMap;
+
+use adapcc_plancache::{PlanCache, PlanCacheConfig};
+use adapcc_profile::profiler::{LinkProfile, Profiler};
+use adapcc_simnet::cluster::{Cluster, LinkId, Rank};
+use adapcc_simnet::faults::FaultSchedule;
+use adapcc_simnet::time::{SimDuration, SimTime};
+use adapcc_synth::solver::SynthConfig;
+use adapcc_synth::strategy::Strategy;
+use adapcc_topo::detect::{DetectionReport, Detector};
+use adapcc_topo::logical::LogicalTopology;
+
+pub use crate::collective::report::IterationReport;
+pub use recovery::{RecoveryEvent, RecoveryPolicy};
+pub use scaling::ScaleReport;
+
+use crate::collective::plan::StrategyKey;
+use crate::communicator::Communicator;
+use crate::reconstruct::ReconstructReport;
+use crate::relay::{BuyEstimate, Coordinator, RelayConfig};
+
+/// Initialization options.
+#[derive(Debug, Clone)]
+pub struct InitOptions {
+    /// Parallel sub-collectives per strategy (`M`, paper default 4).
+    pub parallelism: usize,
+    /// Seed for every stochastic component (probing noise, annealer,
+    /// RPC jitter).
+    pub seed: u64,
+    /// Relay-control configuration.
+    pub relay: RelayConfig,
+    /// Relative bandwidth change that triggers re-synthesis on
+    /// re-profiling.
+    pub resynth_threshold: f64,
+    /// Synthesizer effort.
+    pub synth: SynthConfig,
+    /// Plan-cache behavior: exact fingerprint hits skip the solver,
+    /// near misses warm-start it. Enabled (memory-only) by default;
+    /// see [`PlanCacheConfig::disabled`] for the cold baseline and
+    /// [`PlanCacheConfig::on_disk`] for a persistent tier.
+    pub plan_cache: PlanCacheConfig,
+    /// Telemetry sink threaded through every pipeline phase (detect,
+    /// profile, synthesize, execute, relay). Disabled by default; an
+    /// enabled sink records phase spans on one stitched timeline plus
+    /// per-link flow records from the executor.
+    pub telemetry: adapcc_telemetry::Telemetry,
+}
+
+impl Default for InitOptions {
+    fn default() -> Self {
+        InitOptions {
+            parallelism: 4,
+            seed: 0,
+            relay: RelayConfig::default(),
+            resynth_threshold: 0.15,
+            synth: SynthConfig::default(),
+            plan_cache: PlanCacheConfig::default(),
+            telemetry: adapcc_telemetry::Telemetry::disabled(),
+        }
+    }
+}
+
+/// What initialization cost (detection + profiling, charged before
+/// training starts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InitReport {
+    /// Topology detection time (constant in job scale).
+    pub detection: SimDuration,
+    /// First profiling pass.
+    pub profiling: SimDuration,
+}
+
+impl InitReport {
+    /// Total initialization time.
+    pub fn total(&self) -> SimDuration {
+        self.detection + self.profiling
+    }
+}
+
+/// Running totals of how synthesis requests were satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct SynthTally {
+    /// Cold solves (full candidate generation + anneal).
+    pub(crate) cold: u64,
+    /// Warm starts (cached seed + chunk sweep + polish anneal).
+    pub(crate) warm: u64,
+    /// Exact cache hits (solver skipped).
+    pub(crate) hit: u64,
+}
+
+impl SynthTally {
+    pub(crate) fn since(&self, before: SynthTally) -> SynthTally {
+        SynthTally {
+            cold: self.cold - before.cold,
+            warm: self.warm - before.warm,
+            hit: self.hit - before.hit,
+        }
+    }
+}
+
+/// The AdapCC session over one cluster.
+///
+/// # Examples
+///
+/// ```
+/// use adapcc::{AdapCC, InitOptions};
+/// use adapcc_simnet::cluster::Cluster;
+/// use adapcc_simnet::units::ByteSize;
+///
+/// let cluster = Cluster::homogeneous_a100(2);
+/// let mut cc = AdapCC::init(&cluster, InitOptions::default());
+/// cc.setup();
+/// let report = cc
+///     .allreduce(ByteSize::from_mib(16), &Default::default(), None)
+///     .expect("healthy fabric");
+/// assert!(report.finish.as_secs() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct AdapCC<'c> {
+    pub(crate) cluster: &'c Cluster,
+    pub(crate) options: InitOptions,
+    pub(crate) detection: DetectionReport,
+    pub(crate) topo: LogicalTopology,
+    pub(crate) profile: LinkProfile,
+    pub(crate) init_report: InitReport,
+    pub(crate) communicator: Communicator,
+    pub(crate) coordinator: Coordinator,
+    /// Per-worker-set strategy memo, cleared on every worker-set or
+    /// profile change; keyed by the canonical [`StrategyKey`].
+    pub(crate) strategies: HashMap<StrategyKey, Strategy>,
+    /// Fingerprinted cross-reconstruction plan store. Unlike
+    /// `strategies` (a per-worker-set memo cleared on every change),
+    /// the cache is keyed by content and survives `set_workers`,
+    /// reprofiles and exclusions — returning to a previously-seen
+    /// state hits.
+    pub(crate) plan_cache: PlanCache,
+    /// How the solver was engaged since session start (cold solves,
+    /// warm starts, exact hits); reconstruction paths diff it around
+    /// their re-synthesis loops to charge the matching modeled cost.
+    pub(crate) synth_tally: SynthTally,
+    pub(crate) estimates: HashMap<(adapcc_synth::primitive::Primitive, u64), BuyEstimate>,
+    /// Zero-skew execution time per cached strategy: timing-only
+    /// wait-all collectives reuse it instead of re-simulating (the
+    /// collective itself is deterministic; only readiness varies).
+    pub(crate) exec_cache: HashMap<StrategyKey, f64>,
+    pub(crate) workers: Vec<Rank>,
+    pub(crate) iteration: u64,
+    pub(crate) fabric_factors: Vec<(LinkId, f64)>,
+    pub(crate) profile_period: Option<u64>,
+    pub(crate) last_reconstruct: Option<ReconstructReport>,
+    pub(crate) fault_schedule: Option<FaultSchedule>,
+    pub(crate) session_clock: SimTime,
+    pub(crate) recovery: RecoveryPolicy,
+    pub(crate) recovery_log: Vec<RecoveryEvent>,
+    pub(crate) pending_probe_losses: Vec<(LinkId, u32)>,
+}
+
+impl<'c> AdapCC<'c> {
+    /// Detects the topology, profiles the links, and returns a ready
+    /// session (the paper's `adapcc.init()`).
+    pub fn init(cluster: &'c Cluster, options: InitOptions) -> Self {
+        let mut detector =
+            Detector::new(cluster, options.seed).with_telemetry(options.telemetry.clone());
+        let detection = detector.run();
+        let topo = detection.logical_topology(cluster);
+        let prof = Profiler::new(cluster, &topo, options.seed)
+            .with_telemetry(options.telemetry.at_offset(detection.elapsed.as_secs()))
+            .run();
+        let init_report = InitReport {
+            detection: detection.elapsed,
+            profiling: prof.elapsed,
+        };
+        let workers = (0..cluster.gpu_count()).map(Rank).collect();
+        let plan_cache = PlanCache::new(options.plan_cache.clone());
+        AdapCC {
+            cluster,
+            coordinator: Coordinator::new(options.seed)
+                .with_config(options.relay.clone())
+                .with_telemetry(options.telemetry.clone()),
+            options,
+            detection,
+            topo,
+            profile: prof.links,
+            init_report,
+            communicator: Communicator::new(),
+            strategies: HashMap::new(),
+            plan_cache,
+            synth_tally: SynthTally::default(),
+            estimates: HashMap::new(),
+            exec_cache: HashMap::new(),
+            workers,
+            iteration: 0,
+            fabric_factors: Vec::new(),
+            profile_period: None,
+            last_reconstruct: None,
+            fault_schedule: None,
+            session_clock: SimTime::ZERO,
+            recovery: RecoveryPolicy::default(),
+            recovery_log: Vec::new(),
+            pending_probe_losses: Vec::new(),
+        }
+    }
+}

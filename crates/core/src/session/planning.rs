@@ -1,0 +1,252 @@
+//! Lazy strategy synthesis through the plan cache, zero-skew execution
+//! caching, ski-rental buy estimates, and raw executor access.
+
+use adapcc_plancache::{
+    fingerprint, CachedPlan, Fingerprint, FingerprintInputs, Lookup, PlanCacheStats,
+};
+use adapcc_simnet::time::SimDuration;
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::primitive::Primitive;
+use adapcc_synth::solver::{SynthRequest, Synthesizer};
+use adapcc_synth::strategy::Strategy;
+
+use crate::collective::plan::StrategyKey;
+use crate::error::AdapCCError;
+use crate::executor::{BatchReport, ExecutionRequest, Executor};
+use crate::relay::BuyEstimate;
+use crate::session::{AdapCC, SynthTally};
+
+impl<'c> AdapCC<'c> {
+    /// The synthesized strategy for a primitive/tensor pair (cached).
+    pub fn strategy_for(&mut self, primitive: Primitive, tensor: ByteSize) -> &Strategy {
+        self.strategy_for_key(&StrategyKey {
+            primitive,
+            tensor: tensor.as_u64(),
+            root: None,
+            scope: None,
+        })
+    }
+
+    /// The synthesized strategy behind one canonical key (memoized per
+    /// worker set; misses go through the plan cache).
+    pub(crate) fn strategy_for_key(&mut self, key: &StrategyKey) -> &Strategy {
+        if !self.strategies.contains_key(key) {
+            let strategy = self.synthesize_through_cache(key);
+            self.strategies.insert(key.clone(), strategy);
+        }
+        &self.strategies[key]
+    }
+
+    /// Satisfies one synthesis request through the plan cache: exact
+    /// fingerprint hits return the stored strategy without touching the
+    /// solver, near misses warm-start it from the stored seed, and
+    /// misses (or seeds the solver rejects) solve cold and populate the
+    /// cache.
+    fn synthesize_through_cache(&mut self, key: &StrategyKey) -> Strategy {
+        let participants = key.scope.clone().unwrap_or_else(|| self.workers.clone());
+        let mut req = SynthRequest::new(
+            key.primitive,
+            ByteSize::from_bytes(key.tensor),
+            self.options.parallelism,
+            participants,
+        );
+        req.root = key.root;
+        req.seed = self.options.seed;
+        let fp = self.plan_fingerprint(&req);
+        let full = crate::reconstruct::modeled_solve_cost(self.workers.len());
+        let warm_cost = crate::reconstruct::modeled_warm_solve_cost(self.workers.len());
+        let lookup = self.plan_cache.lookup(&fp);
+        let strategy = match lookup {
+            // Serve only plans that still validate against the topology
+            // (a corrupted or hand-edited disk entry must not execute).
+            Lookup::Hit(plan) if plan.strategy.validate(&self.topo).is_ok() => {
+                self.synth_tally.hit += 1;
+                self.plan_cache.note_saved(full);
+                plan.strategy
+            }
+            Lookup::Warm(plan) => {
+                let warm = Synthesizer::new(&self.topo, &self.profile)
+                    .with_config(self.options.synth.clone())
+                    .with_telemetry(self.options.telemetry.clone())
+                    .synthesize_warm(&req, &plan.seed);
+                match warm {
+                    Some((strategy, seed)) => {
+                        self.synth_tally.warm += 1;
+                        self.plan_cache.note_saved(SimDuration::from_secs(
+                            full.as_secs() - warm_cost.as_secs(),
+                        ));
+                        self.plan_cache.insert(
+                            fp,
+                            CachedPlan {
+                                strategy: strategy.clone(),
+                                seed,
+                            },
+                        );
+                        strategy
+                    }
+                    None => {
+                        self.plan_cache.warm_fell_back();
+                        self.synthesize_cold(&req, fp)
+                    }
+                }
+            }
+            _ => self.synthesize_cold(&req, fp),
+        };
+        self.plan_cache.export_counters(&self.options.telemetry);
+        strategy
+    }
+
+    fn synthesize_cold(&mut self, req: &SynthRequest, fp: Fingerprint) -> Strategy {
+        self.synth_tally.cold += 1;
+        let (strategy, seed) = Synthesizer::new(&self.topo, &self.profile)
+            .with_config(self.options.synth.clone())
+            .with_telemetry(self.options.telemetry.clone())
+            .synthesize_with_seed(req);
+        self.plan_cache.insert(
+            fp,
+            CachedPlan {
+                strategy: strategy.clone(),
+                seed,
+            },
+        );
+        strategy
+    }
+
+    /// The canonical cache key of a synthesis request under the current
+    /// topology, worker set and profile. Exclusions shrink
+    /// `participants`, so they flip the shape half and structurally
+    /// invalidate every pre-exclusion plan; profile drift past the
+    /// `resynth_threshold` quantization flips only the profile half,
+    /// leaving the entry warm-startable.
+    fn plan_fingerprint(&self, req: &SynthRequest) -> Fingerprint {
+        fingerprint(&FingerprintInputs {
+            topo: &self.topo,
+            profile: &self.profile,
+            participants: &req.participants,
+            relays: &req.relays,
+            primitive: req.primitive,
+            parallelism: req.parallelism,
+            tensor: req.tensor,
+            root: req.root,
+            quantization: self.options.resynth_threshold,
+        })
+    }
+
+    /// Plan-cache effectiveness counters (hits, misses, warm starts,
+    /// modeled solver latency saved).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// An executor over the current fabric: live capacity factors
+    /// always, fault schedule + stall deadlines when one is armed.
+    pub(crate) fn executor(&self) -> Executor<'_> {
+        let mut exec = Executor::new(self.cluster, &self.topo)
+            .with_capacity_factors(&self.fabric_factors)
+            .with_telemetry(self.pipeline_telemetry());
+        if let Some(schedule) = &self.fault_schedule {
+            exec = exec
+                .with_fault_schedule(schedule.clone(), self.session_clock)
+                .with_deadline_multiplier(self.recovery.deadline_multiplier);
+        }
+        exec
+    }
+
+    /// The session telemetry offset past init (detection + profiling),
+    /// the origin every pipeline-stage and executor span is stitched
+    /// onto.
+    pub(crate) fn pipeline_telemetry(&self) -> adapcc_telemetry::Telemetry {
+        self.options
+            .telemetry
+            .at_offset(self.init_report.total().as_secs())
+    }
+
+    /// Executes a raw request batch on the session's fabric (capacity
+    /// factors and any armed fault schedule included), without the
+    /// recovery loop. Chaos harnesses and tests use it to observe raw
+    /// classified faults.
+    pub fn run_batch(&self, requests: &[ExecutionRequest<'_>]) -> Result<BatchReport, AdapCCError> {
+        self.executor().try_execute(requests)
+    }
+
+    /// Zero-skew execution time of a cached strategy (measured once).
+    pub(crate) fn cached_exec_secs(&mut self, key: &StrategyKey, strategy: &Strategy) -> f64 {
+        if let Some(t) = self.exec_cache.get(key) {
+            return *t;
+        }
+        let t = Executor::new(self.cluster, &self.topo)
+            .with_capacity_factors(&self.fabric_factors)
+            .execute(&[ExecutionRequest::timing(
+                strategy,
+                ByteSize::from_bytes(key.tensor),
+            )])
+            .finish
+            .as_secs();
+        self.exec_cache.insert(key.clone(), t);
+        t
+    }
+
+    /// The ski-rental buy estimate for one strategy, with a *measured*
+    /// phase-2 unit: one full-tensor broadcast is executed once on the
+    /// current fabric and its wall time cached (estimation by
+    /// measurement, like everything else in AdapCC).
+    pub(crate) fn buy_estimate(&mut self, strategy: &Strategy, tensor: ByteSize) -> BuyEstimate {
+        let key = (strategy.primitive, tensor.as_u64());
+        if let Some(est) = self.estimates.get(&key) {
+            return est.clone();
+        }
+        let probe_root = self.workers[self.workers.len() / 2];
+        let bstrat = self
+            .strategy_for_key(&StrategyKey {
+                primitive: Primitive::Broadcast,
+                tensor: tensor.as_u64(),
+                root: Some(probe_root),
+                scope: None,
+            })
+            .clone();
+        let unit = Executor::new(self.cluster, &self.topo)
+            .with_capacity_factors(&self.fabric_factors)
+            .execute(&[ExecutionRequest::timing(&bstrat, tensor)])
+            .finish
+            .as_secs();
+        let est =
+            BuyEstimate::new(&self.topo, &self.profile, strategy, tensor).with_phase2_unit(unit);
+        self.estimates.insert(key, est.clone());
+        est
+    }
+
+    /// A *modeled* buy estimate priced at `kind`'s traffic volume —
+    /// the composite entry points use it, so consulting the
+    /// coordinator never adds a probe broadcast (which would perturb
+    /// plan-cache counters and the strategy memo).
+    pub(crate) fn modeled_buy_estimate(
+        &mut self,
+        kind: Primitive,
+        strategy: &Strategy,
+        tensor: ByteSize,
+    ) -> BuyEstimate {
+        let key = (kind, tensor.as_u64());
+        if let Some(est) = self.estimates.get(&key) {
+            return est.clone();
+        }
+        let est =
+            BuyEstimate::new(&self.topo, &self.profile, strategy, tensor).with_primitive(kind);
+        self.estimates.insert(key, est.clone());
+        est
+    }
+
+    /// Modeled solver latency for the re-synthesis work done since
+    /// `before`: full cost if anything solved cold, the warm-start
+    /// fraction if the cache seeded every solve, zero if every request
+    /// was an exact hit (or nothing was synthesized).
+    pub(crate) fn modeled_solving_since(&self, before: SynthTally) -> SimDuration {
+        let t = self.synth_tally.since(before);
+        if t.cold > 0 {
+            crate::reconstruct::modeled_solve_cost(self.workers.len())
+        } else if t.warm > 0 {
+            crate::reconstruct::modeled_warm_solve_cost(self.workers.len())
+        } else {
+            SimDuration::ZERO
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The executor-level recovery loop: retry-with-backoff for transient
+//! faults, health-check → exclusion → in-place reconstruction for
+//! permanent ones.
+
+use std::fmt;
+
+use adapcc_simnet::cluster::Rank;
+use adapcc_simnet::engine::NetSim;
+use adapcc_simnet::faults::{nic_links, worker_links};
+use adapcc_simnet::time::{SimDuration, SimTime};
+
+use crate::collective::report::IterationReport;
+use crate::error::{AdapCCError, FaultReport};
+use crate::executor::DEFAULT_DEADLINE_MULTIPLIER;
+use crate::reconstruct::ReconstructReport;
+use crate::session::AdapCC;
+
+/// How the session reacts to executor-level faults.
+///
+/// Transient faults (hop timeouts, incomplete runs) are retried with
+/// bounded exponential backoff — a link flap heals while the session
+/// backs off. Permanent faults (aborted transfers) and exhausted
+/// retries trigger the exclusion path: suspects are health-checked,
+/// confirmed-dead workers are excluded, and the communication graph is
+/// reconstructed in place (never a job restart).
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Transient-fault retries before the session escalates to the
+    /// health-check / exclusion path.
+    pub max_retries: usize,
+    /// First retry backoff; doubles per consecutive failed attempt.
+    pub backoff_base: SimDuration,
+    /// Ceiling on a single backoff.
+    pub backoff_cap: SimDuration,
+    /// Per-hop deadline multiplier handed to the executor (see
+    /// [`DEFAULT_DEADLINE_MULTIPLIER`]).
+    pub deadline_multiplier: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 5,
+            backoff_base: SimDuration::from_millis(25.0),
+            backoff_cap: SimDuration::from_millis(400.0),
+            deadline_multiplier: DEFAULT_DEADLINE_MULTIPLIER,
+        }
+    }
+}
+
+/// One entry of the session's recovery timeline (absolute session
+/// clock).
+#[derive(Debug, Clone)]
+pub enum RecoveryEvent {
+    /// The executor classified a fault.
+    Detected {
+        /// Detection instant.
+        at: SimTime,
+        /// The classified fault.
+        report: FaultReport,
+    },
+    /// A transient fault is being retried after backoff.
+    Retrying {
+        /// Instant the retry starts (backoff included).
+        at: SimTime,
+        /// Consecutive attempt number (1 = first retry).
+        attempt: usize,
+        /// Backoff charged before this retry.
+        backoff: SimDuration,
+    },
+    /// Confirmed-dead workers were excluded and the graph reconstructed
+    /// over the survivors.
+    Excluded {
+        /// Instant reconstruction finished.
+        at: SimTime,
+        /// The workers removed from the job.
+        ranks: Vec<Rank>,
+        /// Cost of the in-place reconstruction.
+        reconstruction: ReconstructReport,
+    },
+    /// A collective completed after one or more recovery actions.
+    Recovered {
+        /// Completion instant.
+        at: SimTime,
+        /// Transient retries used on the final attempt streak.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryEvent::Detected { at, report } => {
+                write!(f, "[{at}] detected: {report}")
+            }
+            RecoveryEvent::Retrying {
+                at,
+                attempt,
+                backoff,
+            } => {
+                write!(f, "[{at}] retry #{attempt} after {backoff} backoff")
+            }
+            RecoveryEvent::Excluded {
+                at,
+                ranks,
+                reconstruction,
+            } => {
+                write!(f, "[{at}] excluded ")?;
+                for (i, r) in ranks.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, "; graph reconstructed in {}", reconstruction.total())
+            }
+            RecoveryEvent::Recovered { at, attempts } => {
+                write!(
+                    f,
+                    "[{at}] recovered ({attempts} retry(ies) on final streak)"
+                )
+            }
+        }
+    }
+}
+
+impl<'c> AdapCC<'c> {
+    /// Runs `attempt` to completion under the recovery policy.
+    ///
+    /// Transient faults retry with bounded exponential backoff.
+    /// Permanent faults — and transients that exhaust their retries —
+    /// escalate: suspects are health-checked against the armed
+    /// schedule, confirmed-dead workers are excluded and the graph is
+    /// reconstructed in place over the survivors, then the attempt
+    /// streak restarts. Every action advances the session clock by the
+    /// simulated time it consumed.
+    pub(crate) fn with_recovery<F>(
+        &mut self,
+        mut attempt: F,
+    ) -> Result<IterationReport, AdapCCError>
+    where
+        F: FnMut(&mut Self) -> Result<IterationReport, AdapCCError>,
+    {
+        let mut attempts = 0usize;
+        let mut excluded: Vec<Rank> = Vec::new();
+        loop {
+            match attempt(self) {
+                Ok(mut report) => {
+                    self.session_clock += SimDuration::from_secs(report.finish.as_secs());
+                    if attempts > 0 || !excluded.is_empty() {
+                        self.recovery_log.push(RecoveryEvent::Recovered {
+                            at: self.session_clock,
+                            attempts,
+                        });
+                    }
+                    for r in &excluded {
+                        if !report.faults.contains(r) {
+                            report.faults.push(*r);
+                        }
+                    }
+                    report.faults.sort_unstable();
+                    return Ok(report);
+                }
+                Err(AdapCCError::Fault(fault)) => {
+                    self.session_clock += SimDuration::from_secs(fault.at.as_secs());
+                    self.recovery_log.push(RecoveryEvent::Detected {
+                        at: self.session_clock,
+                        report: fault.clone(),
+                    });
+                    if fault.is_permanent() || attempts >= self.recovery.max_retries {
+                        let dead = self.confirm_dead(&fault);
+                        if dead.is_empty() {
+                            // Nothing provably dead to exclude: either a
+                            // permanent abort whose owner already left the
+                            // job, or a transient that outlived our
+                            // patience. Surface the classification.
+                            return Err(if fault.is_permanent() {
+                                AdapCCError::Fault(fault)
+                            } else {
+                                AdapCCError::RetriesExhausted {
+                                    attempts,
+                                    last: fault,
+                                }
+                            });
+                        }
+                        let survivors = self.workers.iter().filter(|r| !dead.contains(r)).count();
+                        if survivors < 2 {
+                            return Err(AdapCCError::InsufficientSurvivors { survivors });
+                        }
+                        // Cached strategy keys describe what the job was
+                        // running; they are re-synthesized over the
+                        // survivors below (set_workers clears the cache).
+                        let keys: Vec<crate::collective::plan::StrategyKey> =
+                            self.strategies.keys().cloned().collect();
+                        self.exclude_workers(&dead);
+                        // Share the exclusion with the relay coordinator's
+                        // fault path (suspects narrowed to confirmed dead).
+                        self.coordinator.note_executor_fault(FaultReport {
+                            suspects: dead.clone(),
+                            ..fault.clone()
+                        });
+                        let rec = self.reconstruct_after_exclusion(&dead, keys);
+                        self.session_clock += rec.total();
+                        self.recovery_log.push(RecoveryEvent::Excluded {
+                            at: self.session_clock,
+                            ranks: dead.clone(),
+                            reconstruction: rec,
+                        });
+                        excluded.extend(dead);
+                        attempts = 0;
+                    } else {
+                        attempts += 1;
+                        let backoff = self
+                            .recovery
+                            .backoff_base
+                            .scale(2f64.powi(attempts as i32 - 1))
+                            .min(self.recovery.backoff_cap);
+                        self.session_clock += backoff;
+                        self.recovery_log.push(RecoveryEvent::Retrying {
+                            at: self.session_clock,
+                            attempt: attempts,
+                            backoff,
+                        });
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Health-checks a fault's suspects: a rank is confirmed dead when
+    /// its local links have permanently failed (worker crash), or —
+    /// for jobs spanning instances — when its instance's NIC links
+    /// have (NIC failure cuts the whole instance off the fabric). The
+    /// check replays the armed schedule up to the current session
+    /// clock, i.e. it asks the hardware, not the timeline. Only ranks
+    /// still in the job are returned.
+    pub(crate) fn confirm_dead(&self, fault: &FaultReport) -> Vec<Rank> {
+        let Some(schedule) = &self.fault_schedule else {
+            return Vec::new();
+        };
+        let mut sim = NetSim::new(self.cluster);
+        schedule.arm(&mut sim, self.session_clock);
+        let multi_instance = {
+            let mut insts: Vec<usize> = self
+                .workers
+                .iter()
+                .map(|r| self.cluster.locate(*r).0 .0)
+                .collect();
+            insts.sort_unstable();
+            insts.dedup();
+            insts.len() > 1
+        };
+        let mut dead = Vec::new();
+        for r in &fault.suspects {
+            if !self.workers.contains(r) {
+                continue;
+            }
+            // A crash fails *every* link adjacent to the worker's GPU.
+            // Requiring all of them dead distinguishes the crashed rank
+            // from a healthy neighbour that merely shares one NVLink
+            // with it.
+            let gpu_links = worker_links(self.cluster, *r);
+            let gpu_dead =
+                !gpu_links.is_empty() && gpu_links.iter().all(|l| sim.link_is_failed(*l));
+            let (inst, _) = self.cluster.locate(*r);
+            let nic_dead = multi_instance
+                && nic_links(self.cluster, inst)
+                    .iter()
+                    .any(|l| sim.link_is_failed(*l));
+            if gpu_dead || nic_dead {
+                dead.push(*r);
+            }
+        }
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+}

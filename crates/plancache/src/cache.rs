@@ -146,7 +146,7 @@ impl PlanCache {
         self.entries.is_empty()
     }
 
-    /// Probes both tiers and records the outcome in [`stats`]
+    /// Probes both tiers and records the outcome in [`Self::stats`]
     /// (`Hit` → `hits`, `Warm` → `warm_starts`, `Miss` → `misses`).
     pub fn lookup(&mut self, fp: &Fingerprint) -> Lookup {
         if !self.config.enabled {

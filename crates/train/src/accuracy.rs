@@ -20,8 +20,7 @@ use std::collections::BTreeMap;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
-use adapcc::session::{AdapCC, InitOptions};
-use adapcc::RelayConfig;
+use adapcc::{AdapCC, InitOptions, RelayConfig};
 use adapcc_baselines::nccl::nccl_strategy;
 use adapcc_simnet::cluster::{Cluster, Rank};
 use adapcc_simnet::rng::seeded_rng;

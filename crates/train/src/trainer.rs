@@ -12,8 +12,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use adapcc::session::{AdapCC, InitOptions};
-use adapcc::Decision;
+use adapcc::{AdapCC, Decision, InitOptions};
 use adapcc_baselines::runner::{Runner, System};
 use adapcc_profile::profiler::{LinkProfile, Profiler};
 use adapcc_simnet::cluster::{Cluster, LinkId, Rank};

@@ -10,8 +10,7 @@
 use std::collections::BTreeMap;
 
 use adapcc::ddp::{default_bucket_cap, BucketLayout, DdpHook};
-use adapcc::session::InitOptions;
-use adapcc::AdapCC;
+use adapcc::{AdapCC, InitOptions};
 use adapcc_simnet::cluster::{Cluster, Rank};
 use adapcc_simnet::time::SimTime;
 use adapcc_simnet::units::ByteSize;

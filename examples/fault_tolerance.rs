@@ -10,8 +10,7 @@
 use std::collections::BTreeMap;
 
 use adapcc::reconstruct::nccl_restart_cost;
-use adapcc::session::InitOptions;
-use adapcc::AdapCC;
+use adapcc::{AdapCC, InitOptions};
 use adapcc_simnet::cluster::{Cluster, InstanceId, Rank};
 use adapcc_simnet::faults::{nic_links, Fault, FaultSchedule};
 use adapcc_simnet::time::SimTime;

@@ -8,8 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use adapcc::session::InitOptions;
-use adapcc::AdapCC;
+use adapcc::{AdapCC, InitOptions};
 use adapcc_baselines::runner::{Runner, System};
 use adapcc_profile::profiler::Profiler;
 use adapcc_simnet::cluster::{Cluster, Rank};

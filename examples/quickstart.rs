@@ -7,8 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use adapcc::session::InitOptions;
-use adapcc::AdapCC;
+use adapcc::{AdapCC, InitOptions};
 use adapcc_simnet::cluster::{Cluster, Rank};
 use adapcc_simnet::units::ByteSize;
 

@@ -10,8 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use adapcc::session::InitOptions;
-use adapcc::AdapCC;
+use adapcc::{AdapCC, InitOptions};
 use adapcc_simnet::cluster::{Cluster, InstanceId, LinkId};
 use adapcc_simnet::time::SimTime;
 use adapcc_simnet::trace::CloudTrace;

@@ -192,3 +192,75 @@ fn set_workers_scopes_collectives_to_the_subset() {
         assert_eq!(out[0], 4.0, "sum over exactly the subset");
     }
 }
+
+#[test]
+fn reduce_scatter_surfaces_divisibility_after_exclusion_then_resharding_succeeds() {
+    use adapcc::AdapCCError;
+
+    // Eight workers, a 8192-element tensor: divisible by 8, not by 7.
+    let cluster = Cluster::homogeneous_a100(2);
+    let mut cc = AdapCC::init(&cluster, quick_options());
+    cc.setup();
+    cc.inject_faults(FaultSchedule::new().with(Fault::WorkerCrash {
+        rank: Rank(5),
+        at: SimTime::ZERO,
+    }));
+    let elems = 8192usize;
+    let tensor = ByteSize::from_bytes((elems * 4) as u64);
+    let inputs: BTreeMap<Rank, Vec<f32>> = cc
+        .workers()
+        .iter()
+        .map(|r| {
+            let buf = (0..elems).map(|i| ((r.0 * 13 + i) % 11) as f32).collect();
+            (*r, buf)
+        })
+        .collect();
+
+    // The crash is recovered by exclusion, but the retry then plans
+    // over 7 survivors — and 8192 elements do not shard evenly, so the
+    // pipeline must refuse with a typed error instead of truncating.
+    let err = cc
+        .reduce_scatter(tensor, &BTreeMap::new(), Some(inputs))
+        .expect_err("8192 elements cannot shard over 7 survivors");
+    match &err {
+        AdapCCError::InvalidRequest(msg) => {
+            assert!(msg.contains("7 worker(s)"), "unhelpful message: {msg}");
+        }
+        other => panic!("expected InvalidRequest, got {other:?}"),
+    }
+    // Recovery did its half of the job before the planner balked: the
+    // crashed rank is gone and the exclusion is on the log.
+    assert_eq!(cc.workers().len(), 7);
+    assert!(!cc.workers().contains(&Rank(5)));
+    assert!(cc
+        .recovery_log()
+        .iter()
+        .any(|e| matches!(e, RecoveryEvent::Excluded { ranks, .. } if ranks.contains(&Rank(5)))));
+
+    // The caller re-shards its buffers to the survivor count and the
+    // same call now lands: each survivor holds its aggregated shard.
+    let survivors = cc.workers().to_vec();
+    let shard = 1024usize;
+    let elems2 = survivors.len() * shard;
+    let tensor2 = ByteSize::from_bytes((elems2 * 4) as u64);
+    let inputs2: BTreeMap<Rank, Vec<f32>> = survivors
+        .iter()
+        .map(|r| {
+            let buf = (0..elems2).map(|i| ((r.0 * 13 + i) % 11) as f32).collect();
+            (*r, buf)
+        })
+        .collect();
+    let rep = cc
+        .reduce_scatter(tensor2, &BTreeMap::new(), Some(inputs2.clone()))
+        .expect("re-sharded request must succeed");
+    assert!(rep.faults.is_empty());
+    assert_eq!(rep.outputs.len(), survivors.len());
+    for (slot, r) in survivors.iter().enumerate() {
+        let got = &rep.outputs[r];
+        assert_eq!(got.len(), shard);
+        for i in 0..shard {
+            let want: f32 = survivors.iter().map(|s| inputs2[s][slot * shard + i]).sum();
+            assert_eq!(got[i], want, "rank {} elem {i}", r.0);
+        }
+    }
+}

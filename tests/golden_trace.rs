@@ -11,11 +11,15 @@
 
 use std::collections::BTreeMap;
 
+use adapcc::session::{AdapCC, InitOptions};
+use adapcc::{Decision, RelayConfig};
 use adapcc_baselines::runner::{Runner, System};
 use adapcc_bench::harness::profiled_with_telemetry;
-use adapcc_simnet::cluster::{ClusterBuilder, Rank};
+use adapcc_simnet::cluster::{Cluster, ClusterBuilder, Rank};
 use adapcc_simnet::hardware::InstanceSpec;
+use adapcc_simnet::time::{SimDuration, SimTime};
 use adapcc_simnet::units::ByteSize;
+use adapcc_synth::solver::SynthConfig;
 use adapcc_synth::Primitive;
 use adapcc_telemetry::Telemetry;
 
@@ -124,5 +128,274 @@ fn reduce_flows_conserve_bytes_through_every_nic() {
             t.counter("exec.bytes_on_wire") as u64,
             "{mib} MiB x{parallelism}: flow records disagree with bytes-on-wire"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden equivalence through the staged CollectiveSpec pipeline.
+//
+// The constants below were captured on the pre-refactor session code
+// (bespoke per-entry-point orchestration). The staged pipeline must
+// reproduce the same finish instants and output tensors bit for bit:
+// finish times are compared as `f64::to_bits`, outputs as an FNV-1a
+// hash over every `(rank, f32::to_bits)` pair in rank order.
+// ---------------------------------------------------------------------------
+
+fn inputs_for(workers: &[Rank], elems: usize) -> BTreeMap<Rank, Vec<f32>> {
+    workers
+        .iter()
+        .map(|r| {
+            let buf = (0..elems).map(|i| ((r.0 * 13 + i) % 11) as f32).collect();
+            (*r, buf)
+        })
+        .collect()
+}
+
+fn quick_options() -> InitOptions {
+    InitOptions {
+        synth: SynthConfig {
+            anneal_iters: 24,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn patient_options() -> InitOptions {
+    InitOptions {
+        relay: RelayConfig {
+            fault_floor: SimDuration::from_millis(500.0),
+            ..Default::default()
+        },
+        ..quick_options()
+    }
+}
+
+fn fnv(outputs: &BTreeMap<Rank, Vec<f32>>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for (r, buf) in outputs {
+        for b in (r.0 as u64).to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        for v in buf {
+            for b in v.to_bits().to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+    h
+}
+
+#[test]
+fn pipeline_matches_pre_refactor_goldens_for_wait_all_collectives() {
+    let c = Cluster::homogeneous_a100(2);
+    let kib64 = ByteSize::from_kib(64);
+    let elems = 64 * 1024 / 4;
+
+    // AllReduce: a data run, then a 16 MiB timing-only run in the same
+    // session (exercises the zero-skew execution cache).
+    {
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let inputs = inputs_for(cc.workers(), elems);
+        let r = cc.allreduce(kib64, &BTreeMap::new(), Some(inputs)).unwrap();
+        assert_eq!(
+            r.finish.as_secs().to_bits(),
+            0x3f07bd06a2e303d3,
+            "allreduce finish"
+        );
+        assert_eq!(fnv(&r.outputs), 0x5495bb624097e475, "allreduce outputs");
+        let r2 = cc
+            .allreduce(ByteSize::from_mib(16), &BTreeMap::new(), None)
+            .unwrap();
+        assert_eq!(
+            r2.finish.as_secs().to_bits(),
+            0x3f572b49cb1b2da2,
+            "allreduce timing"
+        );
+    }
+    {
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let inputs = inputs_for(cc.workers(), elems);
+        let r = cc.reduce(kib64, &BTreeMap::new(), Some(inputs)).unwrap();
+        assert_eq!(
+            r.finish.as_secs().to_bits(),
+            0x3f01896331389d4a,
+            "reduce finish"
+        );
+        assert_eq!(fnv(&r.outputs), 0xc772b8272d6b4de9, "reduce outputs");
+    }
+    {
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let inputs = inputs_for(cc.workers(), elems);
+        let r = cc
+            .broadcast(Rank(1), kib64, &BTreeMap::new(), Some(inputs))
+            .unwrap();
+        assert_eq!(
+            r.finish.as_secs().to_bits(),
+            0x3ef6c485e00d1e31,
+            "broadcast finish"
+        );
+        assert_eq!(fnv(&r.outputs), 0xb1980c0e8d51c74e, "broadcast outputs");
+    }
+    {
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let inputs = inputs_for(cc.workers(), elems);
+        let r = cc.alltoall(kib64, &BTreeMap::new(), Some(inputs)).unwrap();
+        assert_eq!(
+            r.finish.as_secs().to_bits(),
+            0x3eff89efedb823a2,
+            "alltoall finish"
+        );
+        assert_eq!(fnv(&r.outputs), 0x33a8e6ab7f22fc2d, "alltoall outputs");
+    }
+}
+
+#[test]
+fn pipeline_matches_pre_refactor_goldens_for_composites() {
+    let c = Cluster::homogeneous_a100(2);
+    {
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let t16 = ByteSize::from_kib(16);
+        let inputs = inputs_for(cc.workers(), 16 * 1024 / 4);
+        let r = cc.allgather(t16, &BTreeMap::new(), Some(inputs)).unwrap();
+        assert_eq!(
+            r.finish.as_secs().to_bits(),
+            0x3ef661d6167c73f7,
+            "allgather finish"
+        );
+        assert_eq!(fnv(&r.outputs), 0xff85e564b16ea5f5, "allgather outputs");
+        let r2 = cc.allgather(t16, &BTreeMap::new(), None).unwrap();
+        assert_eq!(
+            r2.finish.as_secs().to_bits(),
+            0x3ef661d6167c73f7,
+            "allgather timing"
+        );
+    }
+    {
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let n = cc.workers().len();
+        let shard_elems = 1024usize;
+        let tensor = ByteSize::from_bytes((n * shard_elems * 4) as u64);
+        let inputs = inputs_for(cc.workers(), n * shard_elems);
+        let r = cc
+            .reduce_scatter(tensor, &BTreeMap::new(), Some(inputs))
+            .unwrap();
+        assert_eq!(
+            r.finish.as_secs().to_bits(),
+            0x3efc0a33bd3b8e82,
+            "reduce_scatter finish"
+        );
+        assert_eq!(
+            fnv(&r.outputs),
+            0x573fc57d0de0ac80,
+            "reduce_scatter outputs"
+        );
+    }
+}
+
+#[test]
+fn pipeline_matches_pre_refactor_goldens_for_adaptive_allreduce() {
+    let c = Cluster::homogeneous_a100(2);
+    let kib64 = ByteSize::from_kib(64);
+
+    // Small skew: the ski-rental rule says wait, and the decision start
+    // instant (which embeds the seeded RPC jitter draw) must match.
+    {
+        let mut cc = AdapCC::init(&c, quick_options());
+        cc.setup();
+        let mut ready = BTreeMap::new();
+        for r in cc.workers().to_vec() {
+            ready.insert(r, SimTime::from_secs(r.0 as f64 * 1e-5));
+        }
+        let r = cc
+            .allreduce_adaptive(ByteSize::from_mib(16), &ready, None)
+            .unwrap();
+        assert_eq!(
+            r.finish.as_secs().to_bits(),
+            0x3f5f899be97b8c7d,
+            "adaptive wait-all finish"
+        );
+        match r.decision {
+            Decision::WaitAll { start } => {
+                assert_eq!(start.as_secs(), 0.0005107690753955371, "decision start");
+            }
+            other => panic!("expected WaitAll, got {other:?}"),
+        }
+    }
+
+    // Heavy straggler (not the strategy root): phase-1 partial plus the
+    // phase-2 completion broadcast, with full data fidelity.
+    {
+        let mut cc = AdapCC::init(&c, patient_options());
+        cc.setup();
+        let workers = cc.workers().to_vec();
+        let inputs = inputs_for(&workers, 64 * 1024 / 4);
+        let mut ready: BTreeMap<Rank, SimTime> =
+            workers.iter().map(|r| (*r, SimTime::ZERO)).collect();
+        let strategy_root = cc.strategy_for(Primitive::AllReduce, kib64).subs[0]
+            .root
+            .unwrap();
+        let straggler = workers
+            .iter()
+            .copied()
+            .find(|r| *r != strategy_root)
+            .unwrap();
+        ready.insert(straggler, SimTime::from_secs(0.04));
+        let r = cc.allreduce_adaptive(kib64, &ready, Some(inputs)).unwrap();
+        assert!(
+            matches!(r.decision, Decision::Partial { .. }),
+            "{:?}",
+            r.decision
+        );
+        assert_eq!(
+            r.finish.as_secs().to_bits(),
+            0x3fa47e86503c75b4,
+            "adaptive partial finish"
+        );
+        assert_eq!(
+            fnv(&r.outputs),
+            0x5495bb624097e475,
+            "adaptive partial outputs"
+        );
+    }
+}
+
+#[test]
+fn every_pipeline_stage_emits_one_span_per_collective() {
+    // Six entry points through the shared pipeline: each stage must
+    // emit exactly one span per collective on the `collective` track.
+    let c = Cluster::homogeneous_a100(2);
+    let telemetry = Telemetry::enabled();
+    let mut options = quick_options();
+    options.telemetry = telemetry.clone();
+    let mut cc = AdapCC::init(&c, options);
+    cc.setup();
+    let idle = BTreeMap::new();
+    let kib64 = ByteSize::from_kib(64);
+    cc.allreduce(kib64, &idle, None).unwrap();
+    cc.reduce(kib64, &idle, None).unwrap();
+    cc.broadcast(Rank(0), kib64, &idle, None).unwrap();
+    cc.alltoall(kib64, &idle, None).unwrap();
+    cc.allgather(ByteSize::from_kib(16), &idle, None).unwrap();
+    cc.reduce_scatter(ByteSize::from_bytes(8 * 1024 * 4), &idle, None)
+        .unwrap();
+    let spans = telemetry.spans();
+    for stage in [
+        "collective.plan",
+        "collective.relay",
+        "collective.execute",
+        "collective.assemble",
+    ] {
+        let n = spans.iter().filter(|s| s.name == stage).count();
+        assert_eq!(n, 6, "expected one {stage} span per collective, got {n}");
+    }
+    for s in spans.iter().filter(|s| s.name.starts_with("collective.")) {
+        assert_eq!(s.track, "collective");
     }
 }

@@ -123,3 +123,58 @@ fn disabled_relay_reports_pure_waiting() {
     assert!((telemetry.counter("relay.wait_secs") - 0.5).abs() < 1e-9);
     assert_eq!(telemetry.counter("relay.transmit_secs"), 0.0);
 }
+
+// ---------------------------------------------------------------------------
+// Composite collectives consult the coordinator (the pre-refactor
+// session never did: AllGather / ReduceScatter ran wait-all
+// unconditionally, so a straggler stalled every broadcast).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn allgather_with_a_straggler_goes_partial_and_charges_the_relay_counters() {
+    use adapcc::session::{AdapCC, InitOptions};
+    use adapcc_simnet::cluster::Cluster;
+    use adapcc_simnet::time::SimDuration;
+
+    let cluster = Cluster::homogeneous_a100(2);
+    let telemetry = Telemetry::enabled();
+    let options = InitOptions {
+        relay: RelayConfig {
+            // High fault floor: an 80 ms straggler is slow, not dead.
+            fault_floor: SimDuration::from_millis(500.0),
+            ..Default::default()
+        },
+        telemetry: telemetry.clone(),
+        ..Default::default()
+    };
+    let mut cc = AdapCC::init(&cluster, options);
+    cc.setup();
+    let workers = cc.workers().to_vec();
+    let straggler = *workers.last().unwrap();
+    let mut ready: BTreeMap<Rank, SimTime> = workers.iter().map(|r| (*r, SimTime::ZERO)).collect();
+    ready.insert(straggler, SimTime::from_secs(0.08));
+
+    let report = cc
+        .allgather(ByteSize::from_kib(64), &ready, None)
+        .expect("straggler is slow, not faulty");
+
+    // The ski-rental rule buys: 80 ms dwarfs the modeled transmit cost
+    // of seven 64 KiB broadcasts, so phase 1 runs without the straggler
+    // and its own broadcast completes in phase 2.
+    match &report.decision {
+        Decision::Partial { ready, relays, .. } => {
+            assert!(relays.contains(&straggler), "straggler must be relayed");
+            assert!(!ready.contains(&straggler));
+            assert_eq!(ready.len(), workers.len() - 1);
+        }
+        other => panic!("expected Partial, got {other:?}"),
+    }
+    // Slow, not dead — nobody is excluded, and the straggler's shard
+    // still lands (its phase-2 broadcast starts at its ready time).
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+    assert!(report.finish.as_secs() > 0.08, "finish {}", report.finish);
+    assert!(telemetry.counter("relay.decisions") >= 1.0);
+    assert!(telemetry.counter("relay.buys") >= 1.0, "must buy, not wait");
+    assert!(telemetry.counter("relay.wait_secs") > 0.0);
+    assert!(telemetry.counter("relay.transmit_secs") > 0.0);
+}
