@@ -74,6 +74,11 @@ pub struct Runner<'a> {
     pub parallelism: usize,
     /// Synthesizer seed.
     pub seed: u64,
+    /// Annealing chains for AdapCC synthesis (1 ≡ the sequential
+    /// legacy schedule).
+    pub solver_chains: usize,
+    /// Worker threads executing those chains (output-invariant).
+    pub solver_threads: usize,
     factors: Vec<(adapcc_simnet::cluster::LinkId, f64)>,
     telemetry: adapcc_telemetry::Telemetry,
     /// Optional fingerprinted strategy store consulted before the
@@ -90,6 +95,8 @@ impl<'a> Runner<'a> {
             profile,
             parallelism: 4,
             seed: 0,
+            solver_chains: 1,
+            solver_threads: 1,
             factors: Vec::new(),
             telemetry: adapcc_telemetry::Telemetry::disabled(),
             plan_cache: None,
@@ -119,6 +126,16 @@ impl<'a> Runner<'a> {
     /// Overrides AdapCC's parallelism (the Fig. 19(a) sweep).
     pub fn with_parallelism(mut self, m: usize) -> Self {
         self.parallelism = m;
+        self
+    }
+
+    /// Configures the AdapCC annealer's chain split and worker-thread
+    /// count. The strategy depends only on `chains` (and the seed);
+    /// `threads` affects wall-clock only and is clamped to `chains`
+    /// by the solver.
+    pub fn with_solver(mut self, chains: usize, threads: usize) -> Self {
+        self.solver_chains = chains.max(1);
+        self.solver_threads = threads.max(1);
         self
     }
 
@@ -187,6 +204,8 @@ impl<'a> Runner<'a> {
             Synthesizer::new(self.topo, self.profile)
                 .with_config(SynthConfig {
                     anneal_iters: 120,
+                    anneal_chains: self.solver_chains,
+                    solver_threads: self.solver_threads,
                     ..Default::default()
                 })
                 .with_telemetry(self.telemetry.clone())

@@ -36,6 +36,34 @@ fn bench_solver(c: &mut Criterion) {
     group.bench_function("annealed_240", |b| {
         b.iter(|| Synthesizer::new(&topo, &profile).synthesize(&req))
     });
+    // Same anneal budget, explicit single chain: the incremental
+    // (delta-cost) sequential path, named separately so the BENCH_*
+    // trajectory can track it against the historical full-eval cost.
+    group.bench_function("annealed_240_delta", |b| {
+        b.iter(|| {
+            Synthesizer::new(&topo, &profile)
+                .with_config(SynthConfig {
+                    anneal_chains: 1,
+                    solver_threads: 1,
+                    ..Default::default()
+                })
+                .synthesize(&req)
+        })
+    });
+    // The 240-iteration budget split over K parallel chains.
+    for chains in [2usize, 4] {
+        group.bench_function(format!("annealed_240_par{chains}"), |b| {
+            b.iter(|| {
+                Synthesizer::new(&topo, &profile)
+                    .with_config(SynthConfig {
+                        anneal_chains: chains,
+                        solver_threads: chains,
+                        ..Default::default()
+                    })
+                    .synthesize(&req)
+            })
+        });
+    }
     let strategy = Synthesizer::new(&topo, &profile).synthesize(&req);
     let model = CostModel::new(&topo, &profile);
     group.bench_function("cost_model_evaluate", |b| {

@@ -47,6 +47,7 @@ fn main() {
         profiled_with_telemetry(&cluster, args.seed, telemetry.clone());
     let mut runner = Runner::new(&cluster, &topo, &profile)
         .with_parallelism(args.parallelism)
+        .with_solver(args.solver_chains, args.solver_threads)
         .with_telemetry(telemetry.at_offset(control_secs));
     runner.seed = args.seed;
     if let Some(dir) = &args.plan_cache {
@@ -97,6 +98,29 @@ fn main() {
         println!("metrics written to {path}");
     }
     if let Some(path) = &args.bench_append {
+        // One extra cold synthesis, timed on the host clock with a
+        // throwaway telemetry sink for the synth.* counters. The wall
+        // time is a property of this machine, never of the simulated
+        // timeline, so it lives only in the bench record.
+        let (solver_wall_ms, full_evals, delta_evals, chains) = if args.system == System::AdapCc {
+            let probe = Telemetry::enabled();
+            let mut timed = Runner::new(&cluster, &topo, &profile)
+                .with_parallelism(args.parallelism)
+                .with_solver(args.solver_chains, args.solver_threads)
+                .with_telemetry(probe.clone());
+            timed.seed = args.seed;
+            let start = std::time::Instant::now();
+            let _ = timed.strategy(System::AdapCc, args.primitive, args.tensor, &ranks);
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            (
+                wall,
+                probe.counter("synth.full_evals") as u64,
+                probe.counter("synth.delta_evals") as u64,
+                probe.counter("synth.chains") as u64,
+            )
+        } else {
+            (0.0, 0, 0, 0)
+        };
         let rec = BenchRecord {
             system: args.system.name().to_string(),
             primitive: args.primitive.to_string(),
@@ -108,6 +132,10 @@ fn main() {
             plan_cache_hits: cache_stats.map_or(0, |s| s.hits),
             plan_cache_misses: cache_stats.map_or(0, |s| s.misses),
             plan_cache_warm_starts: cache_stats.map_or(0, |s| s.warm_starts),
+            solver_wall_ms,
+            synth_full_evals: full_evals,
+            synth_delta_evals: delta_evals,
+            synth_chains: chains,
         };
         if let Err(e) = rec.append_to(std::path::Path::new(path)) {
             eprintln!("cannot append bench record to {path}: {e}");

@@ -24,6 +24,11 @@ pub struct SimArgs {
     pub parallelism: usize,
     /// Seed threaded into profiling and synthesis (`InitOptions::seed`).
     pub seed: u64,
+    /// Annealing chains for AdapCC synthesis (1 ≡ legacy schedule).
+    pub solver_chains: usize,
+    /// Worker threads running those chains (wall-clock only; the
+    /// strategy is bit-identical for any thread count).
+    pub solver_threads: usize,
     /// Persistent plan-cache directory for AdapCC strategy synthesis.
     pub plan_cache: Option<String>,
     /// Print the synthesized strategy.
@@ -57,6 +62,8 @@ impl Default for SimArgs {
             system: System::AdapCc,
             parallelism: 4,
             seed: 1,
+            solver_chains: 1,
+            solver_threads: 1,
             plan_cache: None,
             describe: false,
             trace_out: None,
@@ -78,6 +85,10 @@ pub fn usage() -> &'static str {
        --system S                adapcc|nccl|msccl|blink (default adapcc)\n\
        --parallelism M           AdapCC sub-collectives (default 4)\n\
        --seed N                  profiling/synthesis seed (default 1)\n\
+       --solver-chains K         annealing chains; 1 reproduces the legacy\n\
+                                 sequential schedule bit-for-bit (default 1)\n\
+       --solver-threads N        worker threads for the chains; affects\n\
+                                 wall-clock only, never the strategy (default 1)\n\
        --plan-cache DIR          persistent strategy cache; a repeat run\n\
                                  with the same dir serves cached plans\n\
        --describe                print the synthesized strategy\n\
@@ -212,6 +223,24 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<SimArgs, St
                 out.seed = value("--seed")?
                     .parse()
                     .map_err(|_| "seed expects an integer".to_string())?;
+            }
+            "--solver-chains" => {
+                let k: usize = value("--solver-chains")?
+                    .parse()
+                    .map_err(|_| "solver-chains expects an integer".to_string())?;
+                if k == 0 {
+                    return Err("solver-chains must be positive".into());
+                }
+                out.solver_chains = k;
+            }
+            "--solver-threads" => {
+                let n: usize = value("--solver-threads")?
+                    .parse()
+                    .map_err(|_| "solver-threads expects an integer".to_string())?;
+                if n == 0 {
+                    return Err("solver-threads must be positive".into());
+                }
+                out.solver_threads = n;
             }
             "--primitive" => {
                 out.primitive = match value("--primitive")?.as_str() {
@@ -391,6 +420,19 @@ mod tests {
         assert!(parse(&["--seed", "x"]).is_err());
         assert!(parse(&["--seed"]).is_err(), "missing value");
         assert!(parse(&["--plan-cache"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn solver_flags() {
+        let a = parse(&["--solver-chains", "4", "--solver-threads", "2"]).unwrap();
+        assert_eq!(a.solver_chains, 4);
+        assert_eq!(a.solver_threads, 2);
+        assert_eq!(SimArgs::default().solver_chains, 1, "legacy schedule");
+        assert_eq!(SimArgs::default().solver_threads, 1);
+        assert!(parse(&["--solver-chains", "0"]).is_err());
+        assert!(parse(&["--solver-threads", "0"]).is_err());
+        assert!(parse(&["--solver-threads", "two"]).is_err());
+        assert!(parse(&["--solver-chains"]).is_err(), "missing value");
     }
 
     #[test]

@@ -31,6 +31,16 @@ pub struct BenchRecord {
     pub plan_cache_misses: u64,
     /// Plan-cache warm-started solves.
     pub plan_cache_warm_starts: u64,
+    /// Host wall-clock milliseconds of one cold AdapCC synthesis at
+    /// the run's solver settings (0 for baseline systems). Real time,
+    /// never part of the simulated timeline.
+    pub solver_wall_ms: f64,
+    /// `synth.full_evals` counter from that synthesis.
+    pub synth_full_evals: u64,
+    /// `synth.delta_evals` counter from that synthesis.
+    pub synth_delta_evals: u64,
+    /// `synth.chains` counter (annealing chains actually used).
+    pub synth_chains: u64,
 }
 
 impl BenchRecord {
@@ -44,7 +54,9 @@ impl BenchRecord {
             "{{\"system\":\"{}\",\"primitive\":\"{}\",\"servers\":\"{}\",\
              \"tensor_mib\":{},\"parallelism\":{},\"comm_time_ms\":{:.6},\
              \"algo_bw_gbytes\":{:.6},\"plan_cache_hits\":{},\
-             \"plan_cache_misses\":{},\"plan_cache_warm_starts\":{}}}",
+             \"plan_cache_misses\":{},\"plan_cache_warm_starts\":{},\
+             \"solver_wall_ms\":{:.3},\"synth_full_evals\":{},\
+             \"synth_delta_evals\":{},\"synth_chains\":{}}}",
             escape(&self.system),
             escape(&self.primitive),
             escape(&self.servers),
@@ -55,6 +67,10 @@ impl BenchRecord {
             self.plan_cache_hits,
             self.plan_cache_misses,
             self.plan_cache_warm_starts,
+            self.solver_wall_ms,
+            self.synth_full_evals,
+            self.synth_delta_evals,
+            self.synth_chains,
         );
         s
     }
@@ -101,6 +117,10 @@ mod tests {
             plan_cache_hits: 0,
             plan_cache_misses: 1,
             plan_cache_warm_starts: 0,
+            solver_wall_ms: 8.062,
+            synth_full_evals: 13,
+            synth_delta_evals: 360,
+            synth_chains: 1,
         }
     }
 
@@ -113,6 +133,10 @@ mod tests {
         assert!(j.contains("\"comm_time_ms\":12.500000"));
         assert!(j.contains("\"plan_cache_hits\":0"));
         assert!(j.contains("\"plan_cache_misses\":1"));
+        assert!(j.contains("\"solver_wall_ms\":8.062"));
+        assert!(j.contains("\"synth_full_evals\":13"));
+        assert!(j.contains("\"synth_delta_evals\":360"));
+        assert!(j.contains("\"synth_chains\":1"));
         assert!(j.ends_with('}'));
     }
 

@@ -1,0 +1,54 @@
+//! CI bench smoke: the multi-chain annealer's determinism and
+//! incremental-evaluation contracts, cheap enough for every CI run.
+//! A full criterion pass stays manual (`cargo bench -p adapcc-bench`);
+//! this pins the two properties that would silently rot — strategy
+//! digests across thread counts, and delta evaluation actually
+//! engaging on the annealed path.
+
+use adapcc_bench::harness::profiled;
+use adapcc_simnet::cluster::{Cluster, Rank};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::solver::{SynthConfig, SynthRequest, Synthesizer};
+use adapcc_synth::Primitive;
+use adapcc_telemetry::Telemetry;
+
+/// Synthesizes the paper-testbed AllReduce with 4 chains on `threads`
+/// workers, returning the strategy and the run's telemetry sink.
+fn run(threads: usize) -> (adapcc_synth::strategy::Strategy, Telemetry) {
+    let cluster = Cluster::paper_testbed();
+    let (topo, profile) = profiled(&cluster, 1);
+    let ranks: Vec<Rank> = (0..cluster.gpu_count()).map(Rank).collect();
+    let req = SynthRequest::new(Primitive::AllReduce, ByteSize::from_mib(256), 4, ranks);
+    let telemetry = Telemetry::enabled();
+    let strategy = Synthesizer::new(&topo, &profile)
+        .with_config(SynthConfig {
+            anneal_chains: 4,
+            solver_threads: threads,
+            ..Default::default()
+        })
+        .with_telemetry(telemetry.clone())
+        .synthesize(&req);
+    (strategy, telemetry)
+}
+
+#[test]
+fn strategy_digest_is_identical_for_1_and_4_threads() {
+    let (seq, _) = run(1);
+    let (par, _) = run(4);
+    assert_eq!(
+        seq, par,
+        "solver threads changed the synthesized strategy — the \
+         deterministic chain reduction is broken"
+    );
+}
+
+#[test]
+fn annealed_path_uses_delta_evaluation() {
+    let (_, telemetry) = run(4);
+    assert!(
+        telemetry.counter("synth.delta_evals") > 0.0,
+        "annealed synthesis fell back to full evaluation on every step"
+    );
+    assert_eq!(telemetry.counter("synth.chains"), 4.0);
+    assert!(telemetry.counter("synth.full_evals") > 0.0);
+}

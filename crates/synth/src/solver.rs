@@ -20,7 +20,7 @@
 //!    accepting strictly by the cost model, with a seeded RNG for
 //!    reproducibility.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -31,9 +31,9 @@ use adapcc_simnet::rng::seeded_rng;
 use adapcc_simnet::units::ByteSize;
 use adapcc_topo::logical::{EdgeKind, LogicalNode, LogicalTopology};
 
-use crate::cost::CostModel;
+use crate::cost::{CostModel, CostState};
 use crate::primitive::Primitive;
-use crate::strategy::{Flow, Strategy, SubCollective};
+use crate::strategy::{validate_sub, Flow, Strategy, SubCollective};
 
 /// What to synthesize.
 #[derive(Debug, Clone)]
@@ -86,6 +86,18 @@ pub struct SynthConfig {
     pub chunk_grid: Vec<ByteSize>,
     /// Fraction-balancing passes.
     pub balance_passes: usize,
+    /// Independent annealing chains the iteration budget is split
+    /// across. Part of the *search definition*: changing it changes the
+    /// synthesized strategy (each chain explores from its own seed and
+    /// the deterministic argmin picks the cheapest). The default of 1
+    /// is bit-identical to the historical sequential annealer.
+    pub anneal_chains: usize,
+    /// Worker threads chains are scheduled onto, clamped to
+    /// [`anneal_chains`](Self::anneal_chains). Pure *execution* knob:
+    /// the synthesized strategy is bit-identical for any value — chain
+    /// seeds, iteration splits and the cost argmin are all independent
+    /// of how chains map to threads.
+    pub solver_threads: usize,
 }
 
 impl Default for SynthConfig {
@@ -102,6 +114,8 @@ impl Default for SynthConfig {
                 ByteSize::from_mib(8),
             ],
             balance_passes: 3,
+            anneal_chains: 1,
+            solver_threads: 1,
         }
     }
 }
@@ -177,6 +191,37 @@ struct TreeSpec {
 #[derive(Debug, Clone)]
 struct Plan {
     specs: Vec<TreeSpec>,
+}
+
+/// Salt deriving the seeds of annealing chains 1.. from the request
+/// seed; chain 0 keeps the raw seed so a single chain replays the
+/// historical sequential stream bit-for-bit.
+const CHAIN_SEED_SALT: u64 = 0xC4A1_4E5D_5EED_0001;
+
+/// Result of one annealing chain: its best cost, the improving plan and
+/// strategy if it found one, and its evaluation tallies.
+struct ChainOut {
+    cost: f64,
+    best: Option<(Plan, Strategy)>,
+    full: u64,
+    delta: u64,
+}
+
+/// What a mutation changed: one sub-collective's tree (re-realize and
+/// delta-score just that sub) or the fraction split (re-partition
+/// only — no flow changes).
+#[derive(Debug, Clone, Copy)]
+enum Mutated {
+    Spec(usize),
+    Fractions,
+}
+
+/// The fraction half of `Strategy::validate`, applied before a
+/// fraction delta (fraction mutations leave every tree untouched, so
+/// this is the only check that can newly fail).
+fn fractions_valid(fracs: &[f64]) -> bool {
+    let total: f64 = fracs.iter().sum();
+    (total - 1.0).abs() <= 1e-6 && fracs.iter().all(|f| *f >= 0.0)
 }
 
 /// Serializable blueprint of one sub-collective's tree — the public
@@ -402,6 +447,7 @@ impl<'a> Synthesizer<'a> {
         // Initial plan per inter-tree shape x root family; keep the best.
         let allow_multi = req.primitive == Primitive::AllReduce && req.root.is_none();
         let mut best: Option<(f64, Plan, Strategy)> = None;
+        let mut candidate_evals = 0u64;
         for shape in [TreeShape::Star, TreeShape::Binary, TreeShape::Chain] {
             for multi_root in [false, true] {
                 if multi_root && !allow_multi {
@@ -414,6 +460,7 @@ impl<'a> Synthesizer<'a> {
                         continue;
                     }
                     let cost = model.evaluate(&strategy, req.tensor).completion.as_secs();
+                    candidate_evals += 1;
                     if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
                         best = Some((cost, plan, strategy));
                     }
@@ -431,6 +478,7 @@ impl<'a> Synthesizer<'a> {
             &model,
             self.config.anneal_iters,
             req.seed ^ 0x5EED_CAFE,
+            candidate_evals,
         );
         (best_strategy, plan)
     }
@@ -494,13 +542,18 @@ impl<'a> Synthesizer<'a> {
             &model,
             polish_iters,
             req.seed ^ 0x3A3A_F00D,
+            1,
         );
         Some((best_strategy, plan))
     }
 
     /// Shared refinement pipeline: chunk sweep, fraction balancing and
-    /// an anneal of `anneal_iters` mutations. The cold path runs the
-    /// full configured anneal; the warm path a short polish.
+    /// an anneal of `anneal_iters` mutations split across
+    /// `anneal_chains` independent chains. The cold path runs the full
+    /// configured anneal; the warm path a short polish. Every step is
+    /// scored incrementally against a persistent [`CostState`] —
+    /// `caller_full_evals` folds the caller's candidate evaluations
+    /// into the emitted `synth.full_evals` counter.
     #[allow(clippy::too_many_arguments)] // refinement state travels as one bundle
     fn refine_plan(
         &self,
@@ -513,63 +566,196 @@ impl<'a> Synthesizer<'a> {
         model: &CostModel<'_>,
         anneal_iters: usize,
         rng_seed: u64,
+        caller_full_evals: u64,
     ) -> (f64, Plan, Strategy) {
-        // Chunk sweep (uniform across subs).
+        let insts: Vec<InstanceId> = by_inst.keys().copied().collect();
+        let mut state = model.state(&best_strategy, req.tensor);
+        debug_assert_eq!(
+            state.completion_secs().to_bits(),
+            best_cost.to_bits(),
+            "state rebuild diverged from the caller's evaluation"
+        );
+
+        // Chunk sweep (uniform across subs): replace every sub's chunk
+        // as one delta batch, keep the batch only if it improves.
         for &chunk in &self.config.chunk_grid {
-            let mut p = plan.clone();
-            for s in &mut p.specs {
-                s.chunk = chunk;
+            let mut cost = best_cost;
+            for m in 0..plan.specs.len() {
+                let mut sub = state.sub(m).clone();
+                sub.chunk = chunk;
+                cost = state.replace_sub(m, sub);
             }
-            if let Some((cost, strategy)) = self.eval_plan(&p, req, by_inst, hubs, model) {
-                if cost < best_cost {
-                    best_cost = cost;
-                    plan = p;
-                    best_strategy = strategy;
+            if cost < best_cost {
+                state.commit();
+                best_cost = cost;
+                for s in &mut plan.specs {
+                    s.chunk = chunk;
                 }
+            } else {
+                state.rollback();
             }
         }
 
-        // Fraction balancing.
+        // Fraction balancing: reweight inversely to the current per-sub
+        // completions (state-cached — the state *is* the best plan
+        // here) and keep the reweighting while it improves.
         for _ in 0..self.config.balance_passes {
-            let est = model.evaluate(&best_strategy, req.tensor);
+            let est = state.estimate();
             let mut p = plan.clone();
             rebalance_fractions(&mut p, &est.per_sub);
-            if let Some((cost, strategy)) = self.eval_plan(&p, req, by_inst, hubs, model) {
-                if cost < best_cost {
-                    best_cost = cost;
-                    plan = p;
-                    best_strategy = strategy;
-                } else {
-                    break;
-                }
+            let fracs: Vec<f64> = p.specs.iter().map(|s| s.fraction).collect();
+            if !fractions_valid(&fracs) {
+                continue;
+            }
+            let cost = state.set_fractions(&fracs);
+            if cost < best_cost {
+                state.commit();
+                best_cost = cost;
+                plan = p;
+            } else {
+                state.rollback();
+                break;
             }
         }
+        best_strategy = state.strategy();
+        let (pre_full, pre_delta) = state.take_eval_counts();
 
-        // Simulated annealing over structural mutations.
-        let mut rng = seeded_rng(rng_seed);
-        let mut cur_cost = best_cost;
-        let mut cur = plan.clone();
+        // Simulated annealing, split over `anneal_chains` independent
+        // chains. Chain 0 continues the historical sequential stream
+        // (seed `rng_seed`, so `anneal_chains == 1` is bit-identical to
+        // the old annealer); chains 1.. draw their seeds from a salted
+        // ChaCha stream. Every chain starts from the refined plan and
+        // owns a private `CostState`; the winner is the deterministic
+        // argmin over (cost, chain index) — independent of how many
+        // threads the chains ran on.
+        let chains = self.config.anneal_chains.max(1);
         let t0 = best_cost * self.config.initial_temp;
-        for it in 0..anneal_iters {
-            let temp = t0 * (1.0 - it as f64 / anneal_iters as f64).max(1e-3);
-            let mut cand = cur.clone();
-            if !self.mutate(&mut cand, req, by_inst, hubs, &mut rng) {
-                continue;
-            }
-            let Some((cost, strategy)) = self.eval_plan(&cand, req, by_inst, hubs, model) else {
-                continue;
-            };
-            let accept =
-                cost < cur_cost || rng.gen::<f64>() < ((cur_cost - cost) / temp.max(1e-12)).exp();
-            if accept {
-                cur_cost = cost;
-                cur = cand;
-                if cost < best_cost {
-                    best_cost = cost;
-                    plan = cur.clone();
-                    best_strategy = strategy;
+        let chain_seeds: Vec<u64> = {
+            let mut salt_rng = seeded_rng(rng_seed ^ CHAIN_SEED_SALT);
+            std::iter::once(rng_seed)
+                .chain((1..chains).map(|_| salt_rng.gen::<u64>()))
+                .collect()
+        };
+        let chain_iters: Vec<usize> = (0..chains)
+            .map(|c| anneal_iters / chains + usize::from(c < anneal_iters % chains))
+            .collect();
+
+        let run_chain = |state: &mut CostState<'_>, seed: u64, iters: usize| -> ChainOut {
+            let mut rng = seeded_rng(seed);
+            let mut cur = plan.clone();
+            let mut cur_cost = best_cost;
+            let mut chain_cost = best_cost;
+            let mut chain_best: Option<(Plan, Strategy)> = None;
+            for it in 0..iters {
+                let temp = t0 * (1.0 - it as f64 / iters as f64).max(1e-3);
+                let mut cand = cur.clone();
+                let Some(mutated) = self.mutate(&mut cand, req, by_inst, hubs, &insts, &mut rng)
+                else {
+                    continue;
+                };
+                // Delta-score the single change. Untouched subs keep
+                // their realization and validity, so validating just
+                // the mutated one is equivalent to the historical
+                // whole-strategy check.
+                let cost = match mutated {
+                    Mutated::Spec(m) => {
+                        let Some(sub) = self.realize_sub(&cand.specs[m], req, by_inst) else {
+                            continue;
+                        };
+                        if validate_sub(&sub, self.topo, m).is_err() {
+                            continue;
+                        }
+                        state.replace_sub(m, sub)
+                    }
+                    Mutated::Fractions => {
+                        let fracs: Vec<f64> = cand.specs.iter().map(|s| s.fraction).collect();
+                        if !fractions_valid(&fracs) {
+                            continue;
+                        }
+                        state.set_fractions(&fracs)
+                    }
+                };
+                let accept = cost < cur_cost
+                    || rng.gen::<f64>() < ((cur_cost - cost) / temp.max(1e-12)).exp();
+                if accept {
+                    state.commit();
+                    cur_cost = cost;
+                    cur = cand;
+                    if cost < chain_cost {
+                        chain_cost = cost;
+                        chain_best = Some((cur.clone(), state.strategy()));
+                    }
+                } else {
+                    state.rollback();
                 }
             }
+            let (full, delta) = state.take_eval_counts();
+            ChainOut {
+                cost: chain_cost,
+                best: chain_best,
+                full,
+                delta,
+            }
+        };
+
+        let mut outs: Vec<ChainOut> = if chains == 1 {
+            // Sequential fast path: continue on the refinement state.
+            vec![run_chain(&mut state, chain_seeds[0], chain_iters[0])]
+        } else {
+            // Each chain gets a fresh state (even single-threaded, so
+            // the eval counters are invariant in the thread count) and
+            // chains are dealt round-robin onto the workers.
+            let threads = self.config.solver_threads.clamp(1, chains);
+            let mut slots: Vec<Option<ChainOut>> = (0..chains).map(|_| None).collect();
+            let run = &run_chain;
+            let strategy = &best_strategy;
+            let seeds = &chain_seeds;
+            let iters = &chain_iters;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            let mut outs = Vec::new();
+                            let mut c = t;
+                            while c < chains {
+                                let mut st = model.state(strategy, req.tensor);
+                                outs.push((c, run(&mut st, seeds[c], iters[c])));
+                                c += threads;
+                            }
+                            outs
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (c, out) in h.join().expect("annealing chain panicked") {
+                        slots[c] = Some(out);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|o| o.expect("every chain ran"))
+                .collect()
+        };
+
+        let full: u64 = caller_full_evals + pre_full + outs.iter().map(|o| o.full).sum::<u64>();
+        let delta: u64 = pre_delta + outs.iter().map(|o| o.delta).sum::<u64>();
+        self.telemetry.add_counter("synth.full_evals", full as f64);
+        self.telemetry
+            .add_counter("synth.delta_evals", delta as f64);
+        self.telemetry.set_counter("synth.chains", chains as f64);
+
+        let mut win = 0;
+        for c in 1..outs.len() {
+            if outs[c].cost < outs[win].cost {
+                win = c;
+            }
+        }
+        let winner = outs.swap_remove(win);
+        if let Some((p, s)) = winner.best {
+            best_cost = winner.cost;
+            plan = p;
+            best_strategy = s;
         }
         (best_cost, plan, best_strategy)
     }
@@ -733,39 +919,7 @@ impl<'a> Synthesizer<'a> {
     ) -> Option<Strategy> {
         let mut subs = Vec::with_capacity(plan.specs.len());
         for spec in &plan.specs {
-            // Leader chain to the root for each instance: sequence of
-            // (leader, instance) hops up the inter tree.
-            let mut aggregate: BTreeMap<LogicalNode, bool> = BTreeMap::new();
-            if req.primitive.aggregates() || matches!(req.primitive, Primitive::AllGather) {
-                for (_, l) in spec.leader.iter() {
-                    aggregate.insert(LogicalNode::Gpu(*l), true);
-                }
-                for hub in spec.via_hub.values() {
-                    aggregate.insert(LogicalNode::Gpu(*hub), true);
-                }
-                aggregate.insert(LogicalNode::Gpu(spec.root), true);
-            }
-            let mut flows = Vec::new();
-            for (inst, members) in by_inst {
-                for r in members {
-                    if *r == spec.root {
-                        continue;
-                    }
-                    let route = self.route_to_root(*r, *inst, spec, spec.root)?;
-                    flows.push(Flow {
-                        src: LogicalNode::Gpu(*r),
-                        dst: LogicalNode::Gpu(spec.root),
-                        route,
-                    });
-                }
-            }
-            subs.push(SubCollective {
-                fraction: spec.fraction,
-                chunk: spec.chunk,
-                root: Some(spec.root),
-                flows,
-                aggregate,
-            });
+            subs.push(self.realize_sub(spec, req, by_inst)?);
         }
         Some(Strategy {
             // Evaluate under the requested primitive's pricing rules —
@@ -773,6 +927,50 @@ impl<'a> Synthesizer<'a> {
             // in duplex, not as its reduce half alone.
             primitive: req.primitive,
             subs,
+        })
+    }
+
+    /// Expands one tree blueprint into a flow-level sub-collective —
+    /// the per-sub unit the annealer re-realizes after a mutation.
+    /// Returns `None` if a needed logical edge is missing.
+    fn realize_sub(
+        &self,
+        spec: &TreeSpec,
+        req: &SynthRequest,
+        by_inst: &BTreeMap<InstanceId, Vec<Rank>>,
+    ) -> Option<SubCollective> {
+        // Leader chain to the root for each instance: sequence of
+        // (leader, instance) hops up the inter tree.
+        let mut aggregate: BTreeMap<LogicalNode, bool> = BTreeMap::new();
+        if req.primitive.aggregates() || matches!(req.primitive, Primitive::AllGather) {
+            for (_, l) in spec.leader.iter() {
+                aggregate.insert(LogicalNode::Gpu(*l), true);
+            }
+            for hub in spec.via_hub.values() {
+                aggregate.insert(LogicalNode::Gpu(*hub), true);
+            }
+            aggregate.insert(LogicalNode::Gpu(spec.root), true);
+        }
+        let mut flows = Vec::new();
+        for (inst, members) in by_inst {
+            for r in members {
+                if *r == spec.root {
+                    continue;
+                }
+                let route = self.route_to_root(*r, *inst, spec, spec.root)?;
+                flows.push(Flow {
+                    src: LogicalNode::Gpu(*r),
+                    dst: LogicalNode::Gpu(spec.root),
+                    route,
+                });
+            }
+        }
+        Some(SubCollective {
+            fraction: spec.fraction,
+            chunk: spec.chunk,
+            root: Some(spec.root),
+            flows,
+            aggregate,
         })
     }
 
@@ -829,29 +1027,34 @@ impl<'a> Synthesizer<'a> {
         Some(route)
     }
 
+    /// Applies one random structural mutation to `plan`, reporting what
+    /// changed so the caller can delta-score exactly that. The RNG draw
+    /// sequence is identical to the historical boolean version —
+    /// `insts` is hoisted out of the hot loop and drawn against by
+    /// index, never re-collected or re-filtered into fresh `Vec`s.
     fn mutate(
         &self,
         plan: &mut Plan,
         req: &SynthRequest,
         by_inst: &BTreeMap<InstanceId, Vec<Rank>>,
         hubs: &BTreeMap<InstanceId, Vec<Rank>>,
+        insts: &[InstanceId],
         rng: &mut ChaCha8Rng,
-    ) -> bool {
+    ) -> Option<Mutated> {
         let m = rng.gen_range(0..plan.specs.len());
-        let insts: Vec<InstanceId> = by_inst.keys().copied().collect();
         let op = rng.gen_range(0..6u8);
         if op == 5 {
             // Re-root one sub-collective (AllReduce only: plain Reduce
             // has a single semantic root).
             if req.primitive != Primitive::AllReduce || req.root.is_some() {
-                return false;
+                return None;
             }
             let spec = &mut plan.specs[m];
             let inst = insts[rng.gen_range(0..insts.len())];
             let members = &by_inst[&inst];
             let new_root = members[rng.gen_range(0..members.len())];
             if new_root == spec.root {
-                return false;
+                return None;
             }
             spec.root = new_root;
             spec.root_inst = inst;
@@ -865,59 +1068,65 @@ impl<'a> Synthesizer<'a> {
             }
             spec.via_hub
                 .retain(|r, hub| *r != new_root && *hub != new_root);
-            return true;
+            return Some(Mutated::Spec(m));
         }
         if op == 4 {
             // Move fraction between two subs (operates on the whole plan).
             if plan.specs.len() < 2 {
-                return false;
+                return None;
             }
             let a = rng.gen_range(0..plan.specs.len());
             let b = rng.gen_range(0..plan.specs.len());
             if a == b {
-                return false;
+                return None;
             }
             let delta = (plan.specs[a].fraction * 0.25).min(0.1);
             if plan.specs[a].fraction - delta < 0.02 {
-                return false;
+                return None;
             }
             plan.specs[a].fraction -= delta;
             plan.specs[b].fraction += delta;
-            return true;
+            return Some(Mutated::Fractions);
         }
         let spec = &mut plan.specs[m];
         match op {
             0 => {
-                // Re-parent a non-root instance.
-                let candidates: Vec<_> = insts.iter().filter(|i| **i != spec.root_inst).collect();
-                if candidates.is_empty() {
-                    return false;
+                // Re-parent a non-root instance. Count-then-nth keeps
+                // the historical filtered-`Vec` selection order without
+                // allocating.
+                let candidates = insts.iter().filter(|i| **i != spec.root_inst).count();
+                if candidates == 0 {
+                    return None;
                 }
-                let child = *candidates[rng.gen_range(0..candidates.len())];
+                let pick = rng.gen_range(0..candidates);
+                let child = *insts
+                    .iter()
+                    .filter(|i| **i != spec.root_inst)
+                    .nth(pick)
+                    .expect("pick < candidate count");
                 let new_parent = insts[rng.gen_range(0..insts.len())];
                 if new_parent == child {
-                    return false;
+                    return None;
                 }
                 spec.parent.insert(child, new_parent);
-                true
+                Some(Mutated::Spec(m))
             }
             1 => {
                 // Swap an instance's leader.
                 let inst = insts[rng.gen_range(0..insts.len())];
                 if inst == spec.root_inst {
-                    return false;
+                    return None;
                 }
-                let _ = &spec.root;
                 let members = &by_inst[&inst];
                 if members.len() < 2 {
-                    return false;
+                    return None;
                 }
                 let new_leader = members[rng.gen_range(0..members.len())];
                 spec.leader.insert(inst, new_leader);
                 // Drop hub routes that now collide with the leader.
                 spec.via_hub
                     .retain(|r, hub| *r != new_leader && *hub != new_leader);
-                true
+                Some(Mutated::Spec(m))
             }
             2 => {
                 // Toggle a hub route for a random member.
@@ -925,17 +1134,17 @@ impl<'a> Synthesizer<'a> {
                 let members = &by_inst[&inst];
                 let hub_list = match hubs.get(&inst) {
                     Some(h) if !h.is_empty() => h,
-                    _ => return false,
+                    _ => return None,
                 };
                 let r = members[rng.gen_range(0..members.len())];
                 if r == spec.leader[&inst] {
-                    return false;
+                    return None;
                 }
                 if spec.via_hub.remove(&r).is_none() {
                     spec.via_hub
                         .insert(r, hub_list[rng.gen_range(0..hub_list.len())]);
                 }
-                true
+                Some(Mutated::Spec(m))
             }
             3 => {
                 // Chunk step.
@@ -947,7 +1156,7 @@ impl<'a> Synthesizer<'a> {
                     (pos + 1).min(grid.len() - 1)
                 };
                 spec.chunk = grid[next];
-                true
+                Some(Mutated::Spec(m))
             }
             _ => unreachable!("op 4 is handled before the spec borrow"),
         }
@@ -1006,6 +1215,10 @@ impl<'a> Synthesizer<'a> {
                 best = s;
             }
         }
+        self.telemetry.add_counter(
+            "synth.full_evals",
+            (1 + self.config.chunk_grid.len()) as f64,
+        );
         best
     }
 }
@@ -1061,12 +1274,14 @@ fn rebalance_fractions(plan: &mut Plan, per_sub: &[adapcc_simnet::time::SimDurat
 }
 
 /// Convenience map from participants to instances used by callers that
-/// need per-instance views of a strategy.
+/// need per-instance views of a strategy. Keyed by `BTreeMap` so
+/// iteration is instance-ordered — never hash-ordered — like every
+/// other instance map in the solver.
 pub fn participants_by_instance(
     topo: &LogicalTopology,
     strategy: &Strategy,
-) -> HashMap<InstanceId, Vec<Rank>> {
-    let mut map: HashMap<InstanceId, Vec<Rank>> = HashMap::new();
+) -> BTreeMap<InstanceId, Vec<Rank>> {
+    let mut map: BTreeMap<InstanceId, Vec<Rank>> = BTreeMap::new();
     for r in strategy.participants() {
         map.entry(instance_of(topo, r)).or_default().push(r);
     }
@@ -1252,6 +1467,93 @@ mod tests {
             vec![Rank(0), Rank(1), Rank(2), Rank(3)]
         );
         assert_eq!(groups[&InstanceId(5)].len(), 4);
+    }
+
+    /// Shared fixture for the proptests below, built once.
+    fn cached_env() -> &'static (LogicalTopology, LinkProfile) {
+        use std::sync::OnceLock;
+        static ENV: OnceLock<(LogicalTopology, LinkProfile)> = OnceLock::new();
+        ENV.get_or_init(|| {
+            let c = Cluster::homogeneous_a100(2);
+            setup(&c)
+        })
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+
+        /// Delta-scored cost stays bitwise equal to a fresh full
+        /// evaluation across random accept/reject mutation sequences —
+        /// the incremental-evaluation contract, checked through the
+        /// public scoring path so it holds in release builds where
+        /// `assert_matches_full` is compiled out.
+        #[test]
+        fn delta_cost_matches_full_eval_over_mutation_sequences(
+            seed in 0u64..1000,
+            m in 1usize..4,
+            steps in 10usize..40,
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            let (topo, profile) = cached_env();
+            let ranks: Vec<Rank> = (0..8).map(Rank).collect();
+            let mut req =
+                SynthRequest::new(Primitive::AllReduce, ByteSize::from_mib(32), m, ranks);
+            req.seed = seed;
+            let synth = Synthesizer::new(topo, profile);
+            let (strategy, mut plan) = synth.synthesize_reduce_plan(&req);
+            let model = CostModel::new(topo, profile);
+            let by_inst = group_by_instance(topo, &req.participants);
+            let hubs = group_by_instance(topo, &req.relays);
+            let insts: Vec<InstanceId> = by_inst.keys().copied().collect();
+            let mut state = model.state(&strategy, req.tensor);
+            let mut rng = seeded_rng(seed ^ 0xD0_17A);
+            for _ in 0..steps {
+                let mut cand = plan.clone();
+                let Some(mutated) =
+                    synth.mutate(&mut cand, &req, &by_inst, &hubs, &insts, &mut rng)
+                else {
+                    continue;
+                };
+                let cost = match mutated {
+                    Mutated::Spec(i) => {
+                        let Some(sub) = synth.realize_sub(&cand.specs[i], &req, &by_inst)
+                        else {
+                            continue;
+                        };
+                        if validate_sub(&sub, topo, i).is_err() {
+                            continue;
+                        }
+                        state.replace_sub(i, sub)
+                    }
+                    Mutated::Fractions => {
+                        let fracs: Vec<f64> =
+                            cand.specs.iter().map(|s| s.fraction).collect();
+                        if !fractions_valid(&fracs) {
+                            continue;
+                        }
+                        state.set_fractions(&fracs)
+                    }
+                };
+                let keep = rng.gen::<bool>();
+                if keep {
+                    state.commit();
+                    plan = cand;
+                    prop_assert_eq!(cost.to_bits(), state.completion_secs().to_bits());
+                } else {
+                    state.rollback();
+                }
+                let full = model
+                    .evaluate(&state.strategy(), req.tensor)
+                    .completion
+                    .as_secs();
+                prop_assert_eq!(
+                    state.completion_secs().to_bits(),
+                    full.to_bits(),
+                    "state diverged from full evaluation after a {} step",
+                    if keep { "committed" } else { "rolled-back" }
+                );
+            }
+        }
     }
 }
 

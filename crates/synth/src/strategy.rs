@@ -184,49 +184,7 @@ impl Strategy {
             return Err(InvalidStrategy::BadFractions);
         }
         for (si, sub) in self.subs.iter().enumerate() {
-            if sub.chunk.is_zero() {
-                return Err(InvalidStrategy::ZeroChunk);
-            }
-            for (fi, flow) in sub.flows.iter().enumerate() {
-                let mut cur = flow.src;
-                for e in &flow.route {
-                    let edge = topo.edge(*e);
-                    if edge.from != cur {
-                        return Err(InvalidStrategy::BrokenRoute { sub: si, flow: fi });
-                    }
-                    cur = edge.to;
-                }
-                if cur != flow.dst {
-                    return Err(InvalidStrategy::BrokenRoute { sub: si, flow: fi });
-                }
-            }
-            // Aggregating nodes: all flows leaving the node go to the
-            // same successor.
-            let mut successor: HashMap<LogicalNode, LogicalNode> = HashMap::new();
-            for flow in &sub.flows {
-                let nodes = flow.nodes(topo);
-                for w in nodes.windows(2) {
-                    let (here, next) = (w[0], w[1]);
-                    if sub.aggregates_at(here) {
-                        if let Some(prev) = successor.insert(here, next) {
-                            if prev != next {
-                                return Err(InvalidStrategy::DivergentAggregation {
-                                    sub: si,
-                                    node: here,
-                                });
-                            }
-                        }
-                    }
-                }
-            }
-            // Acyclicity of the union graph — only needed when
-            // aggregation creates cross-flow chunk dependencies.
-            // Independent point-to-point flows (AlltoAll) may legally
-            // form cycles in the union (gpu0→gpu1 and gpu1→gpu0).
-            let any_aggregation = sub.aggregate.values().any(|v| *v);
-            if any_aggregation && has_cycle(sub, topo) {
-                return Err(InvalidStrategy::CyclicGraph { sub: si });
-            }
+            validate_sub(sub, topo, si)?;
         }
         Ok(())
     }
@@ -240,19 +198,8 @@ impl Strategy {
     /// Panics if `m` is out of range.
     pub fn partition(&self, total: ByteSize, m: usize) -> ByteSize {
         assert!(m < self.subs.len(), "sub-collective {m} out of range");
-        // Deterministic largest-remainder style split.
-        let mut assigned = 0u64;
-        let mut sizes = Vec::with_capacity(self.subs.len());
-        for (i, sub) in self.subs.iter().enumerate() {
-            let size = if i + 1 == self.subs.len() {
-                total.as_u64() - assigned
-            } else {
-                ((total.as_f64() * sub.fraction).round() as u64).min(total.as_u64() - assigned)
-            };
-            assigned += size;
-            sizes.push(size);
-        }
-        ByteSize::from_bytes(sizes[m])
+        let fractions: Vec<f64> = self.subs.iter().map(|s| s.fraction).collect();
+        ByteSize::from_bytes(split_sizes(&fractions, total)[m])
     }
 
     /// The GPUs participating as data sources or destinations.
@@ -287,38 +234,121 @@ impl Strategy {
         let subs = self
             .subs
             .iter()
-            .map(|sub| {
-                let flows = sub
-                    .flows
-                    .iter()
-                    .map(|f| {
-                        let route: Vec<EdgeId> = f
-                            .route
-                            .iter()
-                            .rev()
-                            .map(|e| {
-                                let d = topo.edge(*e);
-                                topo.edge_between(d.to, d.from)
-                                    .expect("logical topologies are duplex")
-                            })
-                            .collect();
-                        Flow {
-                            src: f.dst,
-                            dst: f.src,
-                            route,
-                        }
-                    })
-                    .collect();
-                SubCollective {
-                    fraction: sub.fraction,
-                    chunk: sub.chunk,
-                    root: sub.root,
-                    flows,
-                    aggregate: BTreeMap::new(),
-                }
-            })
+            .map(|sub| reversed_sub(sub, topo))
             .collect();
         Strategy { primitive, subs }
+    }
+}
+
+/// Per-sub-collective half of [`Strategy::validate`]: positive chunk,
+/// connected routes, convergent successors at aggregating nodes, and an
+/// acyclic synchronization graph. The solver's incremental evaluator
+/// revalidates only the mutated sub-collective through this, which is
+/// equivalent to the full check because the per-sub invariants of
+/// untouched subs cannot change.
+pub(crate) fn validate_sub(
+    sub: &SubCollective,
+    topo: &LogicalTopology,
+    si: usize,
+) -> Result<(), InvalidStrategy> {
+    if sub.chunk.is_zero() {
+        return Err(InvalidStrategy::ZeroChunk);
+    }
+    for (fi, flow) in sub.flows.iter().enumerate() {
+        let mut cur = flow.src;
+        for e in &flow.route {
+            let edge = topo.edge(*e);
+            if edge.from != cur {
+                return Err(InvalidStrategy::BrokenRoute { sub: si, flow: fi });
+            }
+            cur = edge.to;
+        }
+        if cur != flow.dst {
+            return Err(InvalidStrategy::BrokenRoute { sub: si, flow: fi });
+        }
+    }
+    // Aggregating nodes: all flows leaving the node go to the same
+    // successor.
+    let mut successor: HashMap<LogicalNode, LogicalNode> = HashMap::new();
+    for flow in &sub.flows {
+        let nodes = flow.nodes(topo);
+        for w in nodes.windows(2) {
+            let (here, next) = (w[0], w[1]);
+            if sub.aggregates_at(here) {
+                if let Some(prev) = successor.insert(here, next) {
+                    if prev != next {
+                        return Err(InvalidStrategy::DivergentAggregation {
+                            sub: si,
+                            node: here,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Acyclicity of the union graph — only needed when aggregation
+    // creates cross-flow chunk dependencies. Independent point-to-point
+    // flows (AlltoAll) may legally form cycles in the union
+    // (gpu0→gpu1 and gpu1→gpu0).
+    let any_aggregation = sub.aggregate.values().any(|v| *v);
+    if any_aggregation && has_cycle(sub, topo) {
+        return Err(InvalidStrategy::CyclicGraph { sub: si });
+    }
+    Ok(())
+}
+
+/// The deterministic largest-remainder split behind
+/// [`Strategy::partition`], over raw fraction values. Exposed so the
+/// solver's incremental cost state computes byte-identical partition
+/// sizes without assembling a `Strategy`.
+pub(crate) fn split_sizes(fractions: &[f64], total: ByteSize) -> Vec<u64> {
+    let mut assigned = 0u64;
+    let mut sizes = Vec::with_capacity(fractions.len());
+    for (i, fraction) in fractions.iter().enumerate() {
+        let size = if i + 1 == fractions.len() {
+            total.as_u64() - assigned
+        } else {
+            ((total.as_f64() * fraction).round() as u64).min(total.as_u64() - assigned)
+        };
+        assigned += size;
+        sizes.push(size);
+    }
+    sizes
+}
+
+/// One sub-collective of [`Strategy::reversed`]: every flow's route
+/// reversed edge by edge (duplex twins), endpoints swapped, aggregation
+/// cleared. The cost model's AllReduce duplex pricing rebuilds a single
+/// mutated reverse twin through this instead of reversing the whole
+/// strategy.
+pub(crate) fn reversed_sub(sub: &SubCollective, topo: &LogicalTopology) -> SubCollective {
+    let flows = sub
+        .flows
+        .iter()
+        .map(|f| {
+            let route: Vec<EdgeId> = f
+                .route
+                .iter()
+                .rev()
+                .map(|e| {
+                    let d = topo.edge(*e);
+                    topo.edge_between(d.to, d.from)
+                        .expect("logical topologies are duplex")
+                })
+                .collect();
+            Flow {
+                src: f.dst,
+                dst: f.src,
+                route,
+            }
+        })
+        .collect();
+    SubCollective {
+        fraction: sub.fraction,
+        chunk: sub.chunk,
+        root: sub.root,
+        flows,
+        aggregate: BTreeMap::new(),
     }
 }
 

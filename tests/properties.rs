@@ -235,6 +235,45 @@ proptest! {
         prop_assert_eq!(back, strategy);
     }
 
+    /// Solver worker threads schedule annealing chains but never
+    /// change the search: the synthesized strategy is identical for
+    /// 1/2/4/8 threads at any seed, chain split, and primitive.
+    #[test]
+    fn solver_threads_never_change_the_strategy(
+        seed in 0u64..1000,
+        chains in 1usize..=4,
+        prim_idx in 0usize..4,
+    ) {
+        let prim = [
+            Primitive::Reduce,
+            Primitive::Broadcast,
+            Primitive::AllReduce,
+            Primitive::AllToAll,
+        ][prim_idx];
+        let e = env();
+        let mut req = SynthRequest::new(
+            prim,
+            ByteSize::from_mib(16),
+            2,
+            (0..8).map(Rank).collect(),
+        );
+        req.seed = seed;
+        let run = |threads: usize| {
+            Synthesizer::new(&e.topo, &e.profile)
+                .with_config(SynthConfig {
+                    anneal_iters: 24,
+                    anneal_chains: chains,
+                    solver_threads: threads,
+                    ..Default::default()
+                })
+                .synthesize(&req)
+        };
+        let base = run(1);
+        for threads in [2usize, 4, 8] {
+            prop_assert_eq!(&run(threads), &base, "diverged at {} threads", threads);
+        }
+    }
+
     /// DDP bucket layouts cover the model for any cap.
     #[test]
     fn ddp_layout_conserves(model_kib in 1u64..200_000, cap_kib in 1u64..50_000) {
