@@ -8,7 +8,10 @@
 
 use adapcc_baselines::runner::{Runner, System};
 use adapcc_bench::chaos::{self, ChaosConfig};
-use adapcc_bench::cli::{build_cluster, parse_args, parse_chaos_args, ServerKind, SimArgs};
+use adapcc_bench::churn::{self, ChurnConfig};
+use adapcc_bench::cli::{
+    build_cluster, parse_args, parse_chaos_args, parse_churn_args, ServerKind, SimArgs,
+};
 use adapcc_bench::harness::profiled_with_telemetry;
 use adapcc_bench::record::BenchRecord;
 use adapcc_simnet::cluster::Rank;
@@ -21,6 +24,11 @@ fn main() {
     if argv.first().map(String::as_str) == Some("chaos") {
         argv.remove(0);
         run_chaos(argv);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("churn") {
+        argv.remove(0);
+        run_churn(argv);
         return;
     }
     let args = match parse_args(argv) {
@@ -204,6 +212,50 @@ fn run_chaos(argv: Vec<String>) {
     if !summary.mismatches.is_empty() {
         for m in &summary.mismatches {
             eprintln!("NUMERIC MISMATCH seed {}: {:?}", m.seed, m.outcome);
+        }
+        std::process::exit(1);
+    }
+}
+
+fn run_churn(argv: Vec<String>) {
+    let args = match parse_churn_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.starts_with("adapcc-sim") { 0 } else { 2 });
+        }
+    };
+    let cfg = ChurnConfig {
+        servers: args.servers,
+        tensor: ByteSize::from_kib(args.size_kib),
+        horizon: SimDuration::from_millis(args.horizon_ms),
+        settle_iters: args.settle_iters,
+        ..Default::default()
+    };
+    println!(
+        "churn: {} seeds from {} on {} servers, {} KiB tensors, {} ms horizon, {} settle iters",
+        args.seeds, args.seed_base, args.servers, args.size_kib, args.horizon_ms, args.settle_iters
+    );
+    let summary = churn::run_sweep(&cfg, args.seed_base, args.seeds, |r| {
+        if args.verbose {
+            println!(
+                "  seed {:>4} ({} events, {} iters, {} errors, {} rejoins): {:?}",
+                r.seed, r.schedule_len, r.iterations, r.errors, r.rejoins, r.outcome
+            );
+        }
+    });
+    println!(
+        "converged {} / classified {} / violations {} (of {}); {} rejoins, {} errors absorbed",
+        summary.converged,
+        summary.classified,
+        summary.violations.len(),
+        summary.total,
+        summary.rejoins,
+        summary.errors
+    );
+    if !summary.violations.is_empty() {
+        for v in &summary.violations {
+            eprintln!("INVARIANT VIOLATION seed {}: {:?}", v.seed, v.outcome);
         }
         std::process::exit(1);
     }

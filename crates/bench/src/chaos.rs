@@ -1,8 +1,9 @@
 //! Chaos sweep: hundreds of randomized fault schedules thrown at the
 //! full recovery path.
 //!
-//! Each seed draws a [`FaultSchedule::random`] (one to three faults:
-//! crashes, NIC failures, link flaps, degrades, probe losses), injects
+//! Each seed draws a [`FaultSchedule::random`] (one to three primary
+//! faults — crashes, NIC failures, link flaps, degrades, probe losses —
+//! each with a coin-flip chance of a correlated recovery event), injects
 //! it into a fresh [`AdapCC`] session, and drives a training-style loop
 //! of AllReduces until the simulated session clock has crossed the
 //! fault horizon — so faults scheduled anywhere in the window get their
@@ -183,7 +184,12 @@ pub fn run_seed(cfg: &ChaosConfig, seed: u64) -> SeedReport {
             'check: for w in &survivors {
                 let out = &rep.outputs[w];
                 for i in [0usize, elems / 2, elems - 1] {
-                    let want: f32 = survivors.iter().map(|r| inputs[r][i]).sum();
+                    // A rank re-admitted *during* the verify call has no
+                    // input buffer and contributes zeros.
+                    let want: f32 = survivors
+                        .iter()
+                        .map(|r| inputs.get(r).map_or(0.0, |v| v[i]))
+                        .sum();
                     if (out[i] - want).abs() > 1e-3 {
                         mismatch = Some(SeedOutcome::NumericMismatch {
                             rank: *w,
@@ -256,7 +262,8 @@ mod tests {
             !matches!(r.outcome, SeedOutcome::NumericMismatch { .. }),
             "{r:?}"
         );
-        assert!(r.schedule_len >= 1 && r.schedule_len <= 3);
+        // 1-3 primary faults, each with at most one correlated recovery.
+        assert!(r.schedule_len >= 1 && r.schedule_len <= 6);
     }
 
     #[test]

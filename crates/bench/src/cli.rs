@@ -99,7 +99,9 @@ pub fn usage() -> &'static str {
      \n\
      subcommands:\n\
        chaos                     sweep randomized fault schedules through\n\
-                                 the recovery path (adapcc-sim chaos --help)"
+                                 the recovery path (adapcc-sim chaos --help)\n\
+       churn                     sweep dense leave/rejoin schedules through\n\
+                                 the membership lifecycle (adapcc-sim churn --help)"
 }
 
 /// A parsed `adapcc-sim chaos` invocation.
@@ -191,6 +193,109 @@ pub fn parse_chaos_args<I: IntoIterator<Item = String>>(args: I) -> Result<Chaos
                 out.horizon_ms = ms;
             }
             other => return Err(format!("unknown flag {other}\n\n{}", chaos_usage())),
+        }
+    }
+    Ok(out)
+}
+
+/// A parsed `adapcc-sim churn` invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnArgs {
+    /// Number of consecutive seeds to sweep.
+    pub seeds: u64,
+    /// First seed.
+    pub seed_base: u64,
+    /// Homogeneous A100 servers in the churn cluster.
+    pub servers: usize,
+    /// Per-rank tensor size in KiB for the clock-driving iterations.
+    pub size_kib: u64,
+    /// Churn horizon in simulated milliseconds.
+    pub horizon_ms: f64,
+    /// Settle iterations past the horizon for probe-driven rejoin.
+    pub settle_iters: usize,
+    /// Print every seed's outcome, not just the summary.
+    pub verbose: bool,
+}
+
+impl Default for ChurnArgs {
+    fn default() -> Self {
+        ChurnArgs {
+            seeds: 200,
+            seed_base: 0,
+            servers: 2,
+            size_kib: 1024,
+            horizon_ms: 2.0,
+            settle_iters: 6,
+            verbose: false,
+        }
+    }
+}
+
+/// The usage string for the `churn` subcommand.
+pub fn churn_usage() -> &'static str {
+    "adapcc-sim churn: sweep dense leave/rejoin schedules through the\n\
+     elastic membership lifecycle\n\
+     \n\
+     options:\n\
+       --seeds N         consecutive seeds to run (default 200)\n\
+       --seed-base N     first seed (default 0)\n\
+       --servers N       homogeneous A100 servers (default 2)\n\
+       --size-kib N      per-rank tensor KiB (default 1024)\n\
+       --horizon-ms N    churn window in simulated ms (default 2)\n\
+       --settle-iters N  iterations past the horizon so probes can\n\
+                         readmit restarted workers (default 6)\n\
+       --verbose         print every seed's outcome\n\
+       --help            this message"
+}
+
+/// Parses `adapcc-sim churn` arguments (everything after the
+/// subcommand word).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags or malformed
+/// values (`--help` arrives as an `Err` carrying the usage text).
+pub fn parse_churn_args<I: IntoIterator<Item = String>>(args: I) -> Result<ChurnArgs, String> {
+    let mut out = ChurnArgs::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} expects a value\n\n{}", churn_usage()))
+        };
+        let positive = |flag: &str, v: String| -> Result<u64, String> {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("{flag} expects an integer"))?;
+            if n == 0 {
+                return Err(format!("{flag} must be positive"));
+            }
+            Ok(n)
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(churn_usage().to_string()),
+            "--verbose" => out.verbose = true,
+            "--seeds" => out.seeds = positive("--seeds", value("--seeds")?)?,
+            "--seed-base" => {
+                out.seed_base = value("--seed-base")?
+                    .parse()
+                    .map_err(|_| "--seed-base expects an integer".to_string())?;
+            }
+            "--servers" => out.servers = positive("--servers", value("--servers")?)? as usize,
+            "--size-kib" => out.size_kib = positive("--size-kib", value("--size-kib")?)?,
+            "--settle-iters" => {
+                out.settle_iters = positive("--settle-iters", value("--settle-iters")?)? as usize;
+            }
+            "--horizon-ms" => {
+                let ms: f64 = value("--horizon-ms")?
+                    .parse()
+                    .map_err(|_| "--horizon-ms expects a number".to_string())?;
+                if ms <= 0.0 || ms.is_nan() {
+                    return Err("--horizon-ms must be positive".into());
+                }
+                out.horizon_ms = ms;
+            }
+            other => return Err(format!("unknown flag {other}\n\n{}", churn_usage())),
         }
     }
     Ok(out)
@@ -483,5 +588,50 @@ mod tests {
         assert!(parse_chaos(&["--help"])
             .unwrap_err()
             .contains("--seed-base"));
+    }
+
+    fn parse_churn(words: &[&str]) -> Result<ChurnArgs, String> {
+        parse_churn_args(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn churn_defaults_and_full_invocation() {
+        assert_eq!(parse_churn(&[]).unwrap(), ChurnArgs::default());
+        let a = parse_churn(&[
+            "--seeds",
+            "400",
+            "--seed-base",
+            "200",
+            "--servers",
+            "3",
+            "--size-kib",
+            "512",
+            "--horizon-ms",
+            "4",
+            "--settle-iters",
+            "8",
+            "--verbose",
+        ])
+        .unwrap();
+        assert_eq!(a.seeds, 400);
+        assert_eq!(a.seed_base, 200);
+        assert_eq!(a.servers, 3);
+        assert_eq!(a.size_kib, 512);
+        assert_eq!(a.horizon_ms, 4.0);
+        assert_eq!(a.settle_iters, 8);
+        assert!(a.verbose);
+    }
+
+    #[test]
+    fn churn_rejects_malformed_input() {
+        assert!(parse_churn(&["--seeds", "0"]).is_err());
+        assert!(parse_churn(&["--settle-iters", "0"]).is_err());
+        assert!(parse_churn(&["--horizon-ms", "nan"]).is_err());
+        assert!(parse_churn(&["--banana"]).is_err());
+        assert!(parse_churn(&["--help"])
+            .unwrap_err()
+            .contains("--settle-iters"));
+        let usage = parse(&["--help"]).unwrap_err();
+        assert!(usage.contains("churn"), "main usage advertises churn");
     }
 }

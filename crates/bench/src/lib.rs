@@ -16,6 +16,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chaos;
+pub mod churn;
 pub mod cli;
 pub mod figs;
 pub mod harness;

@@ -35,7 +35,7 @@ impl<'c> AdapCC<'c> {
         let workers = self.workers.clone();
         let strategy = planned.strategies[0][0].clone();
         let tensor = planned.tensor;
-        let (start, active, relays) = (partial.start, partial.active, partial.relays);
+        let (start, active) = (partial.start, partial.active);
         let root = strategy.subs[0]
             .root
             .expect("allreduce strategies are rooted");
@@ -59,13 +59,15 @@ impl<'c> AdapCC<'c> {
         let phase1 = self.executor().try_execute(&[req])?;
         let phase1_end = phase1.finish;
 
-        // Fault detection: relays still unready T_fault after phase 1
-        // are excluded.
+        // Fault detection: stragglers still unready T_fault after
+        // phase 1 are excluded. The late set is every worker outside
+        // phase 1 — including relay-ineligible probation ranks, whose
+        // data must still arrive — minus the faults.
         let faults = self.coordinator.detect_faults(&workers, ready, phase1_end);
-        let late: Vec<Rank> = relays
+        let late: Vec<Rank> = workers
             .iter()
             .copied()
-            .filter(|r| !faults.contains(r))
+            .filter(|r| !active.contains(r) && !faults.contains(r))
             .collect();
 
         // Phase 2: late tensors are broadcast and locally combined
@@ -167,7 +169,7 @@ impl<'c> AdapCC<'c> {
         let stage = &planned.stages[0];
         let strategies = &planned.strategies[0];
         let owner_of = |i: usize| stage.subs[i].owner.expect("fanned subs have owners");
-        let (start, active, relays) = (partial.start, partial.active, partial.relays);
+        let (start, active) = (partial.start, partial.active);
 
         // Phase 1: the ready workers' sub-collectives, sends clamped
         // to the trigger instant.
@@ -194,12 +196,12 @@ impl<'c> AdapCC<'c> {
         let phase1_end = phase1.finish;
 
         // Stragglers still unready T_fault past phase 1 are faults;
-        // the rest complete in phase 2.
+        // the rest — relay-assigned or not — complete in phase 2.
         let faults = self.coordinator.detect_faults(&workers, eff, phase1_end);
-        let late: Vec<Rank> = relays
+        let late: Vec<Rank> = workers
             .iter()
             .copied()
-            .filter(|r| !faults.contains(r))
+            .filter(|r| !active.contains(r) && !faults.contains(r))
             .collect();
         let p2_idx: Vec<usize> = (0..stage.subs.len())
             .filter(|i| late.contains(&owner_of(*i)))

@@ -35,10 +35,13 @@ pub(super) struct Planned<'s> {
 }
 
 /// The `Partial` decision's fields, bundled for the execution helpers.
+/// The decision's relay *assignment* stays behind in the coordinator's
+/// stats: execution derives the late set from the active set, so a
+/// straggler's data arrives in phase 2 whether or not it was eligible
+/// to be assigned as a relay.
 pub(super) struct PartialPlan<'d> {
     pub(super) start: SimTime,
     pub(super) active: &'d [Rank],
-    pub(super) relays: &'d [Rank],
 }
 
 /// What one execution path produced: the completion instant, either
@@ -90,6 +93,25 @@ impl<'c> AdapCC<'c> {
         }
         self.iteration += 1;
         self.maybe_reprofile();
+        // A worker admitted between the caller building its input map
+        // and this attempt (elastic rejoin runs ahead of the recovery
+        // loop) contributes a zero tensor until the trainer reshards —
+        // indexing a missing rank deep in the executor would panic.
+        let filled: Option<BTreeMap<Rank, Vec<f32>>> = inputs.and_then(|m| {
+            if self.workers.iter().all(|r| m.contains_key(r)) {
+                return None;
+            }
+            let elems = (tensor.as_u64() / 4) as usize;
+            let mut m2 = m.clone();
+            for r in &self.workers {
+                m2.entry(*r).or_insert_with(|| vec![0.0; elems]);
+            }
+            Some(m2)
+        });
+        let inputs = match &filled {
+            Some(m) => Some(m),
+            None => inputs,
+        };
         let tel = self.pipeline_telemetry();
 
         // Plan: lower the spec, synthesize every stage strategy.
@@ -125,12 +147,11 @@ impl<'c> AdapCC<'c> {
             Decision::Partial {
                 start,
                 ready: active,
-                relays,
+                ..
             } => {
                 let partial = PartialPlan {
                     start: *start,
                     active,
-                    relays,
                 };
                 match planned.stages[0].fanout {
                     Fanout::Single => {

@@ -94,6 +94,29 @@ impl fmt::Display for FaultReport {
     }
 }
 
+/// Condensed view of the session's recovery timeline, attached to
+/// terminal recovery errors so the caller sees what the loop tried
+/// before giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoverySummary {
+    /// Faults the executor classified this session.
+    pub detections: usize,
+    /// Backoff-and-retry attempts made.
+    pub retries: usize,
+    /// Workers excluded through the reconstruction path.
+    pub exclusions: usize,
+}
+
+impl fmt::Display for RecoverySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} detection(s), {} retry(ies), {} exclusion(s)",
+            self.detections, self.retries, self.exclusions
+        )
+    }
+}
+
 /// Error type of the public collectives.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AdapCCError {
@@ -107,12 +130,16 @@ pub enum AdapCCError {
         attempts: usize,
         /// The fault observed on the last attempt.
         last: FaultReport,
+        /// What the recovery loop tried this session.
+        recovery: RecoverySummary,
     },
     /// Excluding the dead workers would leave too few survivors to run
     /// a collective.
     InsufficientSurvivors {
         /// Workers that would remain.
         survivors: usize,
+        /// What the recovery loop tried this session.
+        recovery: RecoverySummary,
     },
     /// The request itself is malformed (misaligned tensor, wrong input
     /// buffer length, dead root, ...).
@@ -123,11 +150,24 @@ impl fmt::Display for AdapCCError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AdapCCError::Fault(r) => write!(f, "unrecovered fault: {r}"),
-            AdapCCError::RetriesExhausted { attempts, last } => {
-                write!(f, "retries exhausted after {attempts} attempt(s): {last}")
+            AdapCCError::RetriesExhausted {
+                attempts,
+                last,
+                recovery,
+            } => {
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempt(s): {last} [{recovery}]"
+                )
             }
-            AdapCCError::InsufficientSurvivors { survivors } => {
-                write!(f, "only {survivors} worker(s) would survive exclusion")
+            AdapCCError::InsufficientSurvivors {
+                survivors,
+                recovery,
+            } => {
+                write!(
+                    f,
+                    "only {survivors} worker(s) would survive exclusion [{recovery}]"
+                )
             }
             AdapCCError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
         }
@@ -166,7 +206,15 @@ mod tests {
         let e = AdapCCError::RetriesExhausted {
             attempts: 3,
             last: r,
+            recovery: RecoverySummary {
+                detections: 4,
+                retries: 3,
+                exclusions: 0,
+            },
         };
-        assert!(format!("{e}").contains("3 attempt"));
+        let s = format!("{e}");
+        assert!(s.contains("3 attempt"), "{s}");
+        assert!(s.contains("4 detection(s)"), "{s}");
+        assert!(s.contains("3 retry(ies)"), "{s}");
     }
 }

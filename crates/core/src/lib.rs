@@ -70,10 +70,11 @@ pub use behavior::{derive_behaviors, BehaviorTuple};
 pub use collective::CollectiveSpec;
 pub use communicator::{Communicator, SetupReport};
 pub use ddp::{BucketLayout, DdpHook, DdpRoundReport};
-pub use error::{AdapCCError, FaultKind, FaultReport};
+pub use error::{AdapCCError, FaultKind, FaultReport, RecoverySummary};
 pub use executor::{BatchReport, ExecutionRequest, Executor, RequestReport};
 pub use reconstruct::{modeled_solve_cost, nccl_restart_cost, ReconstructReport, RestartCost};
 pub use relay::{BuyEstimate, Coordinator, Decision, RelayConfig, RelayStats};
 pub use session::{
-    AdapCC, InitOptions, InitReport, IterationReport, RecoveryEvent, RecoveryPolicy,
+    AdapCC, HealthMonitor, HealthPolicy, InitOptions, InitReport, IterationReport, RankHealth,
+    RecoveryEvent, RecoveryPolicy, ScaleReport, QUARANTINE_FACTOR,
 };

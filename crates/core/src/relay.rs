@@ -147,6 +147,11 @@ pub struct Coordinator {
     /// the next readiness-based fault detection so both detectors share
     /// one exclusion path.
     pending_exec_faults: Vec<FaultReport>,
+    /// Ranks the membership lifecycle bars from relay assignment
+    /// (probation: recently re-admitted, not yet fully trusted). Their
+    /// late data still arrives in phase 2 — they are simply never
+    /// *assigned* as relays.
+    relay_ineligible: Vec<Rank>,
 }
 
 impl Coordinator {
@@ -159,7 +164,19 @@ impl Coordinator {
             stats: RelayStats::default(),
             telemetry: adapcc_telemetry::Telemetry::disabled(),
             pending_exec_faults: Vec::new(),
+            relay_ineligible: Vec::new(),
         }
+    }
+
+    /// Replaces the set of ranks barred from relay assignment (the
+    /// session keeps this in sync with its probation list).
+    pub fn set_relay_ineligible(&mut self, ranks: Vec<Rank>) {
+        self.relay_ineligible = ranks;
+    }
+
+    /// Ranks currently barred from relay assignment.
+    pub fn relay_ineligible(&self) -> &[Rank] {
+        &self.relay_ineligible
     }
 
     /// Overrides the configuration.
@@ -255,7 +272,7 @@ impl Coordinator {
                     let relays: Vec<Rank> = all_workers
                         .iter()
                         .copied()
-                        .filter(|r| !ready_now.contains(r))
+                        .filter(|r| !ready_now.contains(r) && !self.relay_ineligible.contains(r))
                         .collect();
                     for r in &relays {
                         *self.stats.relay_counts.entry(r.0).or_insert(0) += 1;
@@ -281,7 +298,7 @@ impl Coordinator {
                 let relays: Vec<Rank> = all_workers
                     .iter()
                     .copied()
-                    .filter(|r| !ready_now.contains(r))
+                    .filter(|r| !ready_now.contains(r) && !self.relay_ineligible.contains(r))
                     .collect();
                 self.telemetry.add_counter("relay.decisions", 1.0);
                 self.telemetry.add_counter("relay.buys", 1.0);
@@ -624,6 +641,29 @@ mod tests {
                 // Break-even: trigger no earlier than the buy cost and
                 // well before the straggler.
                 assert!(start.as_secs() >= 0.020 && start.as_secs() < 0.2, "{start}");
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probation_ranks_are_not_assigned_relay_duty() {
+        let mut c = Coordinator::new(1);
+        // Same geometry as `proceeds_when_straggler_exceeds_buy_cost`,
+        // but the straggler is on probation: it still gets phase-2
+        // service (it is late, so its data must arrive), yet it is
+        // never *assigned* as a relay.
+        c.set_relay_ineligible(vec![Rank(4)]);
+        assert_eq!(c.relay_ineligible(), [Rank(4)]);
+        let ready = ready_at(&[(0, 0.0), (1, 1.0), (2, 1.0), (3, 2.0), (4, 200.0)]);
+        let d = c.decide(&workers(5), Rank(0), &ready, &est(20.0));
+        match d {
+            Decision::Partial { ready, relays, .. } => {
+                assert!(
+                    relays.is_empty(),
+                    "probation rank must not relay: {relays:?}"
+                );
+                assert_eq!(ready.len(), 4);
             }
             other => panic!("expected partial, got {other:?}"),
         }

@@ -1,0 +1,422 @@
+//! Per-rank membership health and per-link flap quarantine.
+//!
+//! Exclusion used to be a one-way door: a rank confirmed dead was
+//! removed from the job forever, even after its worker restarted. The
+//! [`HealthMonitor`] closes the loop with a small state machine per
+//! rank —
+//!
+//! ```text
+//! Healthy -> Suspected -> Excluded -> Probation -> Healthy
+//!               ^  |          |           |
+//!               |  +-(heals)--+-(probes)--+-(relay-eligible again)
+//! ```
+//!
+//! Excluded ranks are periodically health-probed on the session clock
+//! (each probe charges [`HealthPolicy::probe_cost`]); after
+//! [`HealthPolicy::probes_to_rejoin`] consecutive passing probes the
+//! rank is re-admitted through the elastic scale-out path and serves a
+//! probation period during which the relay coordinator will not assign
+//! it relay duty.
+//!
+//! Links that flap repeatedly are quarantined with an exponentially
+//! growing hold-down: the annealer sees their capacity collapsed to
+//! [`QUARANTINE_FACTOR`] and routes around them. Strikes persist after
+//! a quarantine expires — hysteresis, not amnesia — so a chronic
+//! flapper earns successively longer hold-downs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use adapcc_simnet::cluster::{LinkId, Rank};
+use adapcc_simnet::time::{SimDuration, SimTime};
+
+/// Capacity factor applied to quarantined links: small enough that the
+/// synthesizer routes around them, non-zero so the fluid solver stays
+/// well-conditioned.
+pub const QUARANTINE_FACTOR: f64 = 1e-3;
+
+/// Tuning knobs of the membership lifecycle.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// Consecutive passing probes before an excluded rank is
+    /// re-admitted.
+    pub probes_to_rejoin: usize,
+    /// Modeled cost of one health-probe round, charged to the session
+    /// clock whenever at least one excluded rank is probed.
+    pub probe_cost: SimDuration,
+    /// Iterations a re-admitted rank spends relay-ineligible before it
+    /// graduates back to `Healthy`.
+    pub probation_iterations: u64,
+    /// Distinct flap episodes on a link before it is quarantined.
+    pub flap_threshold: usize,
+    /// First quarantine hold-down; doubles per strike.
+    pub quarantine_base: SimDuration,
+    /// Ceiling on a single hold-down.
+    pub quarantine_cap: SimDuration,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            probes_to_rejoin: 2,
+            probe_cost: SimDuration::from_millis(5.0),
+            probation_iterations: 2,
+            flap_threshold: 3,
+            quarantine_base: SimDuration::from_secs(2.0),
+            quarantine_cap: SimDuration::from_secs(60.0),
+        }
+    }
+}
+
+/// Where a rank sits in the membership lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankHealth {
+    /// Full participant; relay-eligible.
+    Healthy,
+    /// Implicated by a classified fault but not yet confirmed dead.
+    Suspected,
+    /// Confirmed dead and removed from the job; probed for rejoin.
+    Excluded,
+    /// Re-admitted and participating, but relay-ineligible until it
+    /// graduates.
+    Probation,
+}
+
+impl fmt::Display for RankHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankHealth::Healthy => write!(f, "healthy"),
+            RankHealth::Suspected => write!(f, "suspected"),
+            RankHealth::Excluded => write!(f, "excluded"),
+            RankHealth::Probation => write!(f, "probation"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RankEntry {
+    state: RankHealth,
+    /// Consecutive passing probes while `Excluded`.
+    probe_streak: usize,
+    /// Iteration at which the rank was re-admitted (valid in
+    /// `Probation`).
+    admitted_iteration: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FlapEntry {
+    /// Flap episodes since the last quarantine.
+    episodes: usize,
+    /// Collective iteration of the most recent counted episode: the
+    /// retry loop re-observes the same flap several times within one
+    /// collective, which must count once.
+    last_episode: Option<u64>,
+    /// Lifetime quarantines served; drives the exponential hold-down
+    /// and survives expiry.
+    strikes: u32,
+    quarantined_until: Option<SimTime>,
+}
+
+/// Tracks rank lifecycle states and link flap quarantines for one
+/// session.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    policy: HealthPolicy,
+    ranks: BTreeMap<Rank, RankEntry>,
+    links: BTreeMap<LinkId, FlapEntry>,
+}
+
+impl HealthMonitor {
+    /// A monitor with the given policy; every rank starts `Healthy`.
+    pub fn new(policy: HealthPolicy) -> Self {
+        HealthMonitor {
+            policy,
+            ranks: BTreeMap::new(),
+            links: BTreeMap::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+
+    /// Current lifecycle state of `rank` (unseen ranks are `Healthy`).
+    pub fn state_of(&self, rank: Rank) -> RankHealth {
+        self.ranks
+            .get(&rank)
+            .map_or(RankHealth::Healthy, |e| e.state)
+    }
+
+    fn entry(&mut self, rank: Rank) -> &mut RankEntry {
+        self.ranks.entry(rank).or_insert(RankEntry {
+            state: RankHealth::Healthy,
+            probe_streak: 0,
+            admitted_iteration: 0,
+        })
+    }
+
+    /// Marks a rank implicated by a classified fault. Only healthy
+    /// ranks move; returns true on a `Healthy -> Suspected` transition.
+    pub fn note_suspected(&mut self, rank: Rank) -> bool {
+        let e = self.entry(rank);
+        if e.state == RankHealth::Healthy {
+            e.state = RankHealth::Suspected;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks a rank confirmed dead and removed from the job.
+    pub fn note_excluded(&mut self, rank: Rank) {
+        let e = self.entry(rank);
+        e.state = RankHealth::Excluded;
+        e.probe_streak = 0;
+    }
+
+    /// Clears a suspicion that did not pan out (the fault healed or the
+    /// rank was not confirmed dead).
+    pub fn clear_suspected(&mut self, rank: Rank) {
+        if let Some(e) = self.ranks.get_mut(&rank) {
+            if e.state == RankHealth::Suspected {
+                e.state = RankHealth::Healthy;
+            }
+        }
+    }
+
+    /// Returns every suspected rank to `Healthy` — called when a
+    /// collective completes, proving the surviving suspects innocent.
+    pub fn absolve(&mut self) {
+        for e in self.ranks.values_mut() {
+            if e.state == RankHealth::Suspected {
+                e.state = RankHealth::Healthy;
+            }
+        }
+    }
+
+    /// Records one health-probe outcome for an excluded rank and
+    /// returns true when the rank has accumulated enough consecutive
+    /// passes to rejoin.
+    pub fn note_probe(&mut self, rank: Rank, passed: bool) -> bool {
+        let target = self.policy.probes_to_rejoin;
+        let e = self.entry(rank);
+        debug_assert_eq!(e.state, RankHealth::Excluded, "probing a non-excluded rank");
+        if passed {
+            e.probe_streak += 1;
+        } else {
+            e.probe_streak = 0;
+        }
+        e.probe_streak >= target
+    }
+
+    /// Marks a rank re-admitted at `iteration`; it enters `Probation`.
+    pub fn note_admitted(&mut self, rank: Rank, iteration: u64) {
+        let e = self.entry(rank);
+        e.state = RankHealth::Probation;
+        e.probe_streak = 0;
+        e.admitted_iteration = iteration;
+    }
+
+    /// Graduates probation ranks whose probation period has elapsed by
+    /// `iteration`; returns the ranks that just became `Healthy`.
+    pub fn graduate(&mut self, iteration: u64) -> Vec<Rank> {
+        let period = self.policy.probation_iterations;
+        let mut out = Vec::new();
+        for (r, e) in &mut self.ranks {
+            if e.state == RankHealth::Probation
+                && iteration.saturating_sub(e.admitted_iteration) >= period
+            {
+                e.state = RankHealth::Healthy;
+                out.push(*r);
+            }
+        }
+        out
+    }
+
+    /// Ranks currently serving probation (relay-ineligible).
+    pub fn probation_ranks(&self) -> Vec<Rank> {
+        self.ranks
+            .iter()
+            .filter(|(_, e)| e.state == RankHealth::Probation)
+            .map(|(r, _)| *r)
+            .collect()
+    }
+
+    /// Ranks currently excluded (probed for rejoin).
+    pub fn excluded_ranks(&self) -> Vec<Rank> {
+        self.ranks
+            .iter()
+            .filter(|(_, e)| e.state == RankHealth::Excluded)
+            .map(|(r, _)| *r)
+            .collect()
+    }
+
+    // ---- link flap quarantine ----
+
+    /// Records one flap episode on `link` during collective iteration
+    /// `episode`. Repeat observations within the same iteration are
+    /// deduplicated. When the link crosses the flap threshold it enters
+    /// quarantine until `now + hold`, where the hold-down doubles per
+    /// strike (capped); the hold is returned so the caller can account
+    /// for the change.
+    pub fn note_flap(&mut self, link: LinkId, episode: u64, now: SimTime) -> Option<SimDuration> {
+        let threshold = self.policy.flap_threshold;
+        let base = self.policy.quarantine_base;
+        let cap = self.policy.quarantine_cap;
+        let e = self.links.entry(link).or_default();
+        if e.last_episode == Some(episode) {
+            return None;
+        }
+        e.last_episode = Some(episode);
+        e.episodes += 1;
+        if e.episodes < threshold {
+            return None;
+        }
+        e.episodes = 0;
+        e.strikes += 1;
+        let exponent = (e.strikes - 1).min(63);
+        let hold = base.scale(2f64.powi(exponent as i32)).min(cap);
+        e.quarantined_until = Some(now + hold);
+        Some(hold)
+    }
+
+    /// Links under an active quarantine at `now`.
+    pub fn quarantined_links(&self, now: SimTime) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .filter(|(_, e)| e.quarantined_until.is_some_and(|t| t > now))
+            .map(|(l, _)| *l)
+            .collect()
+    }
+
+    /// Clears quarantines that have run out by `now` (strikes persist)
+    /// and returns the released links.
+    pub fn expire_quarantines(&mut self, now: SimTime) -> Vec<LinkId> {
+        let mut out = Vec::new();
+        for (l, e) in &mut self.links {
+            if e.quarantined_until.is_some_and(|t| t <= now) {
+                e.quarantined_until = None;
+                out.push(*l);
+            }
+        }
+        out
+    }
+
+    /// Lifetime quarantine strikes recorded against `link`.
+    pub fn strikes(&self, link: LinkId) -> u32 {
+        self.links.get(&link).map_or(0, |e| e.strikes)
+    }
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        HealthMonitor::new(HealthPolicy::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_walks_the_state_machine() {
+        let mut m = HealthMonitor::default();
+        let r = Rank(3);
+        assert_eq!(m.state_of(r), RankHealth::Healthy);
+        assert!(m.note_suspected(r));
+        assert!(!m.note_suspected(r), "already suspected");
+        m.note_excluded(r);
+        assert_eq!(m.state_of(r), RankHealth::Excluded);
+        assert_eq!(m.excluded_ranks(), vec![r]);
+        // Two consecutive passes rejoin; a failure resets the streak.
+        assert!(!m.note_probe(r, true));
+        assert!(!m.note_probe(r, false));
+        assert!(!m.note_probe(r, true));
+        assert!(m.note_probe(r, true));
+        m.note_admitted(r, 10);
+        assert_eq!(m.state_of(r), RankHealth::Probation);
+        assert_eq!(m.probation_ranks(), vec![r]);
+        assert!(m.graduate(11).is_empty(), "probation lasts 2 iterations");
+        assert_eq!(m.graduate(12), vec![r]);
+        assert_eq!(m.state_of(r), RankHealth::Healthy);
+    }
+
+    #[test]
+    fn suspicion_clears_only_from_suspected() {
+        let mut m = HealthMonitor::default();
+        m.note_suspected(Rank(0));
+        m.clear_suspected(Rank(0));
+        assert_eq!(m.state_of(Rank(0)), RankHealth::Healthy);
+        m.note_excluded(Rank(1));
+        m.clear_suspected(Rank(1));
+        assert_eq!(m.state_of(Rank(1)), RankHealth::Excluded);
+    }
+
+    #[test]
+    fn flaps_within_one_iteration_count_once() {
+        let mut m = HealthMonitor::default();
+        let l = LinkId(4);
+        for _ in 0..10 {
+            assert!(m.note_flap(l, 7, SimTime::ZERO).is_none());
+        }
+        assert!(m.note_flap(l, 8, SimTime::ZERO).is_none());
+        // Third distinct episode quarantines.
+        let hold = m.note_flap(l, 9, SimTime::ZERO).expect("quarantined");
+        assert_eq!(hold, SimDuration::from_secs(2.0));
+        assert_eq!(m.quarantined_links(SimTime::ZERO), vec![l]);
+    }
+
+    #[test]
+    fn hold_down_doubles_per_strike_and_caps() {
+        let mut m = HealthMonitor::new(HealthPolicy {
+            flap_threshold: 1,
+            quarantine_base: SimDuration::from_secs(2.0),
+            quarantine_cap: SimDuration::from_secs(7.0),
+            ..HealthPolicy::default()
+        });
+        let l = LinkId(0);
+        let h1 = m.note_flap(l, 1, SimTime::ZERO).unwrap();
+        let h2 = m.note_flap(l, 2, SimTime::ZERO).unwrap();
+        let h3 = m.note_flap(l, 3, SimTime::ZERO).unwrap();
+        assert_eq!(h1, SimDuration::from_secs(2.0));
+        assert_eq!(h2, SimDuration::from_secs(4.0));
+        assert_eq!(h3, SimDuration::from_secs(7.0), "capped");
+        assert_eq!(m.strikes(l), 3);
+    }
+
+    #[test]
+    fn hold_down_exponent_is_clamped() {
+        // A pathological strike count must not overflow the scale.
+        let mut m = HealthMonitor::new(HealthPolicy {
+            flap_threshold: 1,
+            quarantine_cap: SimDuration::from_secs(30.0),
+            ..HealthPolicy::default()
+        });
+        let l = LinkId(1);
+        let mut last = SimDuration::ZERO;
+        for ep in 1..=200 {
+            last = m.note_flap(l, ep, SimTime::ZERO).unwrap();
+        }
+        assert_eq!(last, SimDuration::from_secs(30.0));
+        assert_eq!(m.strikes(l), 200);
+    }
+
+    #[test]
+    fn expiry_releases_the_link_but_keeps_strikes() {
+        let mut m = HealthMonitor::new(HealthPolicy {
+            flap_threshold: 1,
+            ..HealthPolicy::default()
+        });
+        let l = LinkId(2);
+        let hold = m.note_flap(l, 1, SimTime::ZERO).unwrap();
+        let after = SimTime::ZERO + hold;
+        assert!(m.quarantined_links(after).is_empty(), "inclusive expiry");
+        assert_eq!(m.expire_quarantines(after), vec![l]);
+        assert_eq!(m.expire_quarantines(after), Vec::<LinkId>::new());
+        assert_eq!(m.strikes(l), 1, "hysteresis, not amnesia");
+        // The next episode quarantines immediately with a doubled hold.
+        let h2 = m.note_flap(l, 2, after).unwrap();
+        assert_eq!(h2, SimDuration::from_secs(4.0));
+    }
+}

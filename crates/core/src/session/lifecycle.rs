@@ -11,7 +11,10 @@ use adapcc_topo::logical::LogicalTopology;
 use crate::communicator::SetupReport;
 use crate::reconstruct::ReconstructReport;
 use crate::relay::RelayStats;
-use crate::session::{AdapCC, InitReport, RecoveryEvent, RecoveryPolicy};
+use crate::session::{
+    AdapCC, HealthMonitor, HealthPolicy, InitReport, RankHealth, RecoveryEvent, RecoveryPolicy,
+    QUARANTINE_FACTOR,
+};
 
 impl<'c> AdapCC<'c> {
     // ---- fault injection & recovery configuration ----
@@ -32,6 +35,9 @@ impl<'c> AdapCC<'c> {
         // Cached zero-skew times were measured on a healthy fabric.
         self.exec_cache.clear();
         self.estimates.clear();
+        // A fresh timeline gets a fresh membership ledger.
+        self.health = HealthMonitor::new(self.health.policy().clone());
+        self.coordinator.set_relay_ineligible(Vec::new());
     }
 
     /// Disarms fault injection; subsequent collectives run on a healthy
@@ -69,6 +75,28 @@ impl<'c> AdapCC<'c> {
             "deadline multiplier must exceed 1"
         );
         self.recovery = policy;
+    }
+
+    /// Replaces the membership health policy. Resets the health
+    /// ledger: existing probe streaks, probations, and quarantines are
+    /// dropped.
+    pub fn set_health_policy(&mut self, policy: HealthPolicy) {
+        assert!(
+            policy.probes_to_rejoin > 0 && policy.flap_threshold > 0,
+            "health thresholds must be positive"
+        );
+        self.health = HealthMonitor::new(policy);
+        self.coordinator.set_relay_ineligible(Vec::new());
+    }
+
+    /// The membership lifecycle state of one rank.
+    pub fn rank_health(&self, rank: Rank) -> RankHealth {
+        self.health.state_of(rank)
+    }
+
+    /// The membership health monitor (rank states, quarantines).
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
     }
 
     /// Enables periodic on-the-fly re-profiling every `iterations`
@@ -133,6 +161,25 @@ impl<'c> AdapCC<'c> {
     /// The live capacity factors applied to the fabric.
     pub fn fabric_factors(&self) -> &[(LinkId, f64)] {
         &self.fabric_factors
+    }
+
+    /// The capacity factors the *planning* passes (profiler →
+    /// synthesizer) see: the live fabric factors with every actively
+    /// quarantined link collapsed to [`QUARANTINE_FACTOR`], so the
+    /// annealer routes around chronic flappers. The executor keeps the
+    /// physical factors — quarantine is a routing bias, not a fabric
+    /// degradation — and with no active quarantine this is exactly
+    /// [`AdapCC::fabric_factors`], so healthy runs are unchanged.
+    pub(crate) fn effective_factors(&self) -> Vec<(LinkId, f64)> {
+        let quarantined = self.health.quarantined_links(self.session_clock);
+        let mut out = self.fabric_factors.clone();
+        for l in quarantined {
+            match out.iter_mut().find(|(k, _)| *k == l) {
+                Some(e) => e.1 = e.1.min(QUARANTINE_FACTOR),
+                None => out.push((l, QUARANTINE_FACTOR)),
+            }
+        }
+        out
     }
 
     /// The detected topology report.

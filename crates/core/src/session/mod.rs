@@ -21,10 +21,13 @@
 //! - [`lifecycle`](self) — init, setup, fault arming, accessors
 //! - `planning` — lazy synthesis, the plan cache, buy estimates
 //! - `recovery` — the retry / exclusion loop and its policy
+//! - `health` — the membership state machine (rejoin probing,
+//!   probation, flap quarantine)
 //! - `scaling` — reprofile, reconstruction, elastic scale-out
 //! - `collectives` — the public entry points (one spec each)
 
 mod collectives;
+mod health;
 mod lifecycle;
 mod planning;
 mod recovery;
@@ -45,6 +48,7 @@ use adapcc_topo::detect::{DetectionReport, Detector};
 use adapcc_topo::logical::LogicalTopology;
 
 pub use crate::collective::report::IterationReport;
+pub use health::{HealthMonitor, HealthPolicy, RankHealth, QUARANTINE_FACTOR};
 pub use recovery::{RecoveryEvent, RecoveryPolicy};
 pub use scaling::ScaleReport;
 
@@ -187,6 +191,9 @@ pub struct AdapCC<'c> {
     pub(crate) recovery: RecoveryPolicy,
     pub(crate) recovery_log: Vec<RecoveryEvent>,
     pub(crate) pending_probe_losses: Vec<(LinkId, u32)>,
+    /// Membership lifecycle: per-rank health states (rejoin probing,
+    /// probation) and per-link flap quarantines.
+    pub(crate) health: HealthMonitor,
 }
 
 impl<'c> AdapCC<'c> {
@@ -232,6 +239,7 @@ impl<'c> AdapCC<'c> {
             recovery: RecoveryPolicy::default(),
             recovery_log: Vec::new(),
             pending_probe_losses: Vec::new(),
+            health: HealthMonitor::default(),
         }
     }
 }

@@ -10,10 +10,10 @@ use adapcc_simnet::faults::{nic_links, worker_links};
 use adapcc_simnet::time::{SimDuration, SimTime};
 
 use crate::collective::report::IterationReport;
-use crate::error::{AdapCCError, FaultReport};
+use crate::error::{AdapCCError, FaultReport, RecoverySummary};
 use crate::executor::DEFAULT_DEADLINE_MULTIPLIER;
 use crate::reconstruct::ReconstructReport;
-use crate::session::AdapCC;
+use crate::session::{AdapCC, ScaleReport};
 
 /// How the session reacts to executor-level faults.
 ///
@@ -45,6 +45,19 @@ impl Default for RecoveryPolicy {
             backoff_cap: SimDuration::from_millis(400.0),
             deadline_multiplier: DEFAULT_DEADLINE_MULTIPLIER,
         }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff charged before retry number `attempt` (1-based):
+    /// `backoff_base * 2^(attempt - 1)`, capped at `backoff_cap`. The
+    /// exponent is clamped so a pathological `max_retries` cannot push
+    /// the doubling into a non-finite duration before the cap applies.
+    pub fn backoff_for(&self, attempt: usize) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(63) as i32;
+        self.backoff_base
+            .scale(2f64.powi(exp))
+            .min(self.backoff_cap)
     }
 }
 
@@ -85,6 +98,17 @@ pub enum RecoveryEvent {
         /// Transient retries used on the final attempt streak.
         attempts: usize,
     },
+    /// Previously excluded ranks passed their health probes and were
+    /// re-admitted through the elastic scale-out path (they serve a
+    /// relay-ineligible probation before counting as healthy again).
+    Rejoined {
+        /// Instant re-admission finished.
+        at: SimTime,
+        /// The re-admitted ranks.
+        ranks: Vec<Rank>,
+        /// Cost of the scale event (detection + reconstruction).
+        scale: ScaleReport,
+    },
 }
 
 impl fmt::Display for RecoveryEvent {
@@ -120,6 +144,16 @@ impl fmt::Display for RecoveryEvent {
                     "[{at}] recovered ({attempts} retry(ies) on final streak)"
                 )
             }
+            RecoveryEvent::Rejoined { at, ranks, scale } => {
+                write!(f, "[{at}] rejoined ")?;
+                for (i, r) in ranks.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, "; scale-out took {}", scale.total())
+            }
         }
     }
 }
@@ -141,6 +175,10 @@ impl<'c> AdapCC<'c> {
     where
         F: FnMut(&mut Self) -> Result<IterationReport, AdapCCError>,
     {
+        self.maintain_membership();
+        // One flap episode per *logical* collective: every retry bumps
+        // `iteration`, so the episode id is pinned before the loop.
+        let episode = self.iteration;
         let mut attempts = 0usize;
         let mut excluded: Vec<Rank> = Vec::new();
         loop {
@@ -153,6 +191,9 @@ impl<'c> AdapCC<'c> {
                             attempts,
                         });
                     }
+                    // Surviving the collective absolves every suspect
+                    // that was never confirmed dead.
+                    self.health.absolve();
                     for r in &excluded {
                         if !report.faults.contains(r) {
                             report.faults.push(*r);
@@ -167,25 +208,64 @@ impl<'c> AdapCC<'c> {
                         at: self.session_clock,
                         report: fault.clone(),
                     });
+                    for r in &fault.suspects {
+                        if self.health.note_suspected(*r) {
+                            self.options.telemetry.add_counter("health.suspected", 1.0);
+                        }
+                    }
+                    // Transient faults feed the flap ledger: a link that
+                    // keeps flapping across iterations is quarantined
+                    // (capacity collapsed for planning) so the annealer
+                    // routes around it.
+                    if !fault.is_permanent() {
+                        let mut quarantined = false;
+                        for l in &fault.links {
+                            if let Some(hold) =
+                                self.health.note_flap(*l, episode, self.session_clock)
+                            {
+                                quarantined = true;
+                                self.options
+                                    .telemetry
+                                    .add_counter("health.quarantines", 1.0);
+                                let start = self.session_clock.as_secs();
+                                self.options.telemetry.span(
+                                    "health.quarantine",
+                                    "health",
+                                    start,
+                                    start + hold.as_secs(),
+                                );
+                            }
+                        }
+                        if quarantined {
+                            let rec = self.reprofile();
+                            self.session_clock += rec.total();
+                        }
+                    }
+                    let mut dead = Vec::new();
                     if fault.is_permanent() || attempts >= self.recovery.max_retries {
-                        let dead = self.confirm_dead(&fault);
-                        if dead.is_empty() {
-                            // Nothing provably dead to exclude: either a
-                            // permanent abort whose owner already left the
-                            // job, or a transient that outlived our
-                            // patience. Surface the classification.
+                        dead = self.confirm_dead(&fault);
+                        if dead.is_empty() && attempts >= self.recovery.max_retries {
+                            // Nothing provably dead to exclude and no
+                            // patience left. Surface the classification
+                            // with the recovery timeline attached.
                             return Err(if fault.is_permanent() {
                                 AdapCCError::Fault(fault)
                             } else {
                                 AdapCCError::RetriesExhausted {
                                     attempts,
                                     last: fault,
+                                    recovery: self.recovery_summary(),
                                 }
                             });
                         }
+                    }
+                    if !dead.is_empty() {
                         let survivors = self.workers.iter().filter(|r| !dead.contains(r)).count();
                         if survivors < 2 {
-                            return Err(AdapCCError::InsufficientSurvivors { survivors });
+                            return Err(AdapCCError::InsufficientSurvivors {
+                                survivors,
+                                recovery: self.recovery_summary(),
+                            });
                         }
                         // Cached strategy keys describe what the job was
                         // running; they are re-synthesized over the
@@ -206,16 +286,32 @@ impl<'c> AdapCC<'c> {
                             ranks: dead.clone(),
                             reconstruction: rec,
                         });
+                        for r in &dead {
+                            self.health.note_excluded(*r);
+                        }
+                        for r in &fault.suspects {
+                            if !dead.contains(r) {
+                                self.health.clear_suspected(*r);
+                            }
+                        }
+                        self.options
+                            .telemetry
+                            .add_counter("health.excluded", dead.len() as f64);
+                        self.options
+                            .telemetry
+                            .add_counter("recovery.exclusions", dead.len() as f64);
                         excluded.extend(dead);
                         attempts = 0;
                     } else {
+                        // A transient worth retrying — or a permanent
+                        // abort with nothing provably dead behind it
+                        // (the crashed worker may already have
+                        // restarted, healing the fabric for the next
+                        // attempt). Back off and retry.
                         attempts += 1;
-                        let backoff = self
-                            .recovery
-                            .backoff_base
-                            .scale(2f64.powi(attempts as i32 - 1))
-                            .min(self.recovery.backoff_cap);
+                        let backoff = self.recovery.backoff_for(attempts);
                         self.session_clock += backoff;
+                        self.options.telemetry.add_counter("recovery.retries", 1.0);
                         self.recovery_log.push(RecoveryEvent::Retrying {
                             at: self.session_clock,
                             attempt: attempts,
@@ -228,17 +324,111 @@ impl<'c> AdapCC<'c> {
         }
     }
 
+    /// Runs the membership lifecycle ahead of a collective: graduates
+    /// probation ranks, releases expired quarantines (re-synthesizing
+    /// over the restored capacity), health-probes excluded ranks
+    /// against the armed schedule, and re-admits ranks with enough
+    /// consecutive passing probes through [`AdapCC::add_workers`].
+    pub(crate) fn maintain_membership(&mut self) {
+        let graduated = self.health.graduate(self.iteration);
+        if !graduated.is_empty() {
+            self.options
+                .telemetry
+                .add_counter("health.graduations", graduated.len() as f64);
+        }
+        let released = self.health.expire_quarantines(self.session_clock);
+        if !released.is_empty() {
+            // The planning profile was biased around the quarantined
+            // links; re-profile at real capacity and re-synthesize.
+            let rec = self.reprofile();
+            self.session_clock += rec.total();
+        }
+        if !graduated.is_empty() || !released.is_empty() {
+            self.coordinator
+                .set_relay_ineligible(self.health.probation_ranks());
+        }
+        let excluded = self.health.excluded_ranks();
+        if excluded.is_empty() {
+            return;
+        }
+        let Some(schedule) = &self.fault_schedule else {
+            return;
+        };
+        // One modeled probe round covers every excluded rank; truth is
+        // the armed schedule replayed to the current session clock (a
+        // crash healed by a later restart probes alive).
+        self.session_clock += self.health.policy().probe_cost;
+        let dead = schedule.permanently_excluded_ranks(self.cluster, self.session_clock);
+        let mut ready = Vec::new();
+        for r in excluded {
+            if self.health.note_probe(r, !dead.contains(&r)) {
+                ready.push(r);
+            }
+        }
+        if ready.is_empty() {
+            return;
+        }
+        match self.add_workers(&ready) {
+            Ok(scale) => {
+                let start = self.session_clock.as_secs();
+                self.session_clock += scale.total();
+                for r in &ready {
+                    self.health.note_admitted(*r, self.iteration);
+                }
+                self.coordinator
+                    .set_relay_ineligible(self.health.probation_ranks());
+                self.options
+                    .telemetry
+                    .add_counter("health.rejoins", ready.len() as f64);
+                self.options.telemetry.span(
+                    "health.rejoin",
+                    "health",
+                    start,
+                    self.session_clock.as_secs(),
+                );
+                self.recovery_log.push(RecoveryEvent::Rejoined {
+                    at: self.session_clock,
+                    ranks: ready,
+                    scale,
+                });
+            }
+            Err(_) => {
+                // Raced back into the job through another path (e.g. a
+                // manual scale-out); nothing left to re-admit.
+            }
+        }
+    }
+
+    /// Condenses the recovery timeline into the counts attached to
+    /// terminal recovery errors.
+    pub(crate) fn recovery_summary(&self) -> RecoverySummary {
+        let mut s = RecoverySummary::default();
+        for e in &self.recovery_log {
+            match e {
+                RecoveryEvent::Detected { .. } => s.detections += 1,
+                RecoveryEvent::Retrying { .. } => s.retries += 1,
+                RecoveryEvent::Excluded { ranks, .. } => s.exclusions += ranks.len(),
+                _ => {}
+            }
+        }
+        s
+    }
+
     /// Health-checks a fault's suspects: a rank is confirmed dead when
     /// its local links have permanently failed (worker crash), or —
     /// for jobs spanning instances — when its instance's NIC links
     /// have (NIC failure cuts the whole instance off the fabric). The
     /// check replays the armed schedule up to the current session
-    /// clock, i.e. it asks the hardware, not the timeline. Only ranks
-    /// still in the job are returned.
+    /// clock. Link states alone can mask a death under churn — a
+    /// neighbour's restart revives the NVLink it shares with a worker
+    /// that is still down — so the recovery-aware membership view of
+    /// the schedule is consulted as well. Only ranks still in the job
+    /// are returned.
     pub(crate) fn confirm_dead(&self, fault: &FaultReport) -> Vec<Rank> {
         let Some(schedule) = &self.fault_schedule else {
             return Vec::new();
         };
+        let schedule_dead = schedule.permanently_excluded_ranks(self.cluster, self.session_clock);
         let mut sim = NetSim::new(self.cluster);
         schedule.arm(&mut sim, self.session_clock);
         let multi_instance = {
@@ -268,7 +458,7 @@ impl<'c> AdapCC<'c> {
                 && nic_links(self.cluster, inst)
                     .iter()
                     .any(|l| sim.link_is_failed(*l));
-            if gpu_dead || nic_dead {
+            if gpu_dead || nic_dead || schedule_dead.contains(r) {
                 dead.push(*r);
             }
         }

@@ -7,6 +7,7 @@ use adapcc_simnet::time::SimDuration;
 use adapcc_topo::detect::Detector;
 
 use crate::collective::plan::StrategyKey;
+use crate::error::AdapCCError;
 use crate::reconstruct::ReconstructReport;
 use crate::session::AdapCC;
 
@@ -18,8 +19,8 @@ impl<'c> AdapCC<'c> {
     pub fn reprofile(&mut self) -> ReconstructReport {
         let mut profiler =
             Profiler::new(self.cluster, &self.topo, self.options.seed ^ self.iteration);
-        for (l, f) in &self.fabric_factors {
-            profiler.set_capacity_factor(*l, *f);
+        for (l, f) in self.effective_factors() {
+            profiler.set_capacity_factor(l, f);
         }
         // Scheduled probe losses hit the next profiling pass (the
         // profiler's retransmission path absorbs them).
@@ -79,8 +80,8 @@ impl<'c> AdapCC<'c> {
     ) -> ReconstructReport {
         let mut profiler =
             Profiler::new(self.cluster, &self.topo, self.options.seed ^ self.iteration);
-        for (l, f) in &self.fabric_factors {
-            profiler.set_capacity_factor(*l, *f);
+        for (l, f) in self.effective_factors() {
+            profiler.set_capacity_factor(l, f);
         }
         for (l, c) in self.pending_probe_losses.drain(..) {
             profiler.inject_probe_loss(l, c);
@@ -131,19 +132,35 @@ impl<'c> AdapCC<'c> {
     /// of it, re-profiles, and re-synthesizes — all without stopping
     /// training. Returns the cost breakdown.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a rank is already in the job or outside the cluster.
-    pub fn add_workers(&mut self, new: &[Rank]) -> ScaleReport {
+    /// Returns [`AdapCCError::InvalidRequest`] when a rank is already
+    /// part of the job, appears twice in `new`, or lies outside the
+    /// cluster; the job is left untouched.
+    pub fn add_workers(&mut self, new: &[Rank]) -> Result<ScaleReport, AdapCCError> {
         use std::collections::BTreeSet;
         let existing_instances: BTreeSet<usize> = self
             .workers
             .iter()
             .map(|r| self.cluster.locate(*r).0 .0)
             .collect();
+        let mut seen = BTreeSet::new();
         for r in new {
-            assert!(!self.workers.contains(r), "{r} is already part of the job");
-            assert!(r.0 < self.cluster.gpu_count(), "{r} outside the cluster");
+            if self.workers.contains(r) {
+                return Err(AdapCCError::InvalidRequest(format!(
+                    "{r} is already part of the job"
+                )));
+            }
+            if r.0 >= self.cluster.gpu_count() {
+                return Err(AdapCCError::InvalidRequest(format!(
+                    "{r} outside the cluster"
+                )));
+            }
+            if !seen.insert(*r) {
+                return Err(AdapCCError::InvalidRequest(format!(
+                    "{r} requested twice in one scale-out"
+                )));
+            }
         }
         // Detection re-runs only for instances joining the job; it is
         // concurrent per instance, so the cost is one instance's probe
@@ -165,10 +182,10 @@ impl<'c> AdapCC<'c> {
         workers.sort();
         self.set_workers(workers);
         let reconstruction = self.reprofile();
-        ScaleReport {
+        Ok(ScaleReport {
             detection,
             reconstruction,
-        }
+        })
     }
 
     /// Removes faulty workers from the job and re-synthesizes over the

@@ -396,7 +396,9 @@ fn elastic_scale_out_admits_new_instance() {
         .expect("healthy fabric");
     assert_eq!(before.outputs.len(), 8);
     // Instance 2 joins.
-    let scale = cc.add_workers(&(8..12).map(Rank).collect::<Vec<_>>());
+    let scale = cc
+        .add_workers(&(8..12).map(Rank).collect::<Vec<_>>())
+        .expect("valid scale-out");
     assert!(
         scale.detection > SimDuration::ZERO,
         "new instance must be detected"
@@ -417,18 +419,41 @@ fn scale_out_within_known_instances_skips_detection() {
     let mut cc = AdapCC::init(&c, quick_options());
     cc.setup();
     cc.set_workers(vec![Rank(0), Rank(1), Rank(4), Rank(5)]);
-    let scale = cc.add_workers(&[Rank(2), Rank(6)]);
+    let scale = cc
+        .add_workers(&[Rank(2), Rank(6)])
+        .expect("valid scale-out");
     assert_eq!(scale.detection, SimDuration::ZERO);
     assert_eq!(cc.workers().len(), 6);
 }
 
 #[test]
-#[should_panic(expected = "already part of the job")]
-fn double_admission_rejected() {
+fn invalid_scale_out_is_a_typed_error_not_a_panic() {
     let c = Cluster::homogeneous_a100(1);
     let mut cc = AdapCC::init(&c, quick_options());
     cc.setup();
-    let _ = cc.add_workers(&[Rank(0)]);
+    // Already part of the job.
+    match cc.add_workers(&[Rank(0)]) {
+        Err(AdapCCError::InvalidRequest(msg)) => {
+            assert!(msg.contains("already part of the job"), "{msg}");
+        }
+        other => panic!("expected InvalidRequest, got {other:?}"),
+    }
+    // Outside the cluster.
+    match cc.add_workers(&[Rank(99)]) {
+        Err(AdapCCError::InvalidRequest(msg)) => {
+            assert!(msg.contains("outside the cluster"), "{msg}");
+        }
+        other => panic!("expected InvalidRequest, got {other:?}"),
+    }
+    // Duplicated within one request.
+    cc.set_workers(vec![Rank(0)]);
+    match cc.add_workers(&[Rank(1), Rank(1)]) {
+        Err(AdapCCError::InvalidRequest(msg)) => {
+            assert!(msg.contains("twice"), "{msg}");
+        }
+        other => panic!("expected InvalidRequest, got {other:?}"),
+    }
+    assert_eq!(cc.workers(), [Rank(0)], "job untouched by rejections");
 }
 
 // ---- fault recovery ----
@@ -544,6 +569,124 @@ fn insufficient_survivors_is_reported() {
         matches!(err, AdapCCError::InsufficientSurvivors { .. }),
         "{err}"
     );
+}
+
+// ---- membership lifecycle ----
+
+#[test]
+fn restarted_worker_rejoins_and_participates() {
+    let c = Cluster::homogeneous_a100(2);
+    let telemetry = adapcc_telemetry::Telemetry::enabled();
+    let mut cc = AdapCC::init(
+        &c,
+        InitOptions {
+            telemetry: telemetry.clone(),
+            ..quick_options()
+        },
+    );
+    cc.setup();
+    // Crash at t=0; the worker restarts 300 ms in — long before the
+    // post-exclusion clock (reconstruction alone is ~1 s), so the
+    // first health probe already sees it alive.
+    cc.inject_faults(
+        FaultSchedule::new()
+            .with(Fault::WorkerCrash {
+                rank: Rank(5),
+                at: SimTime::ZERO,
+            })
+            .with(Fault::WorkerRestart {
+                rank: Rank(5),
+                at: SimTime::from_secs(0.3),
+            }),
+    );
+    let tensor = ByteSize::from_kib(64);
+    let rep = cc
+        .allreduce(tensor, &BTreeMap::new(), None)
+        .expect("a single crash must be recoverable");
+    assert_eq!(rep.faults, vec![Rank(5)]);
+    assert_eq!(cc.workers().len(), 7);
+    assert_eq!(
+        cc.rank_health(Rank(5)),
+        crate::session::RankHealth::Excluded
+    );
+    // Default policy needs two consecutive passing probes (one probe
+    // round per collective); the rank is back for the collective after
+    // that and serves its probation.
+    let elems = (tensor.as_u64() / 4) as usize;
+    let mut rejoined_at = None;
+    for i in 0..4 {
+        // Inputs are built from the pre-call worker set, as a trainer
+        // would; the pipeline zero-fills a rank admitted mid-call.
+        let inputs = inputs_for(cc.workers(), elems);
+        let rep = cc
+            .allreduce(tensor, &BTreeMap::new(), Some(inputs))
+            .expect("healed fabric");
+        if cc.workers().len() == 8 && rejoined_at.is_none() {
+            rejoined_at = Some(i);
+            assert!(
+                rep.outputs.contains_key(&Rank(5)),
+                "rejoined rank participates: {:?}",
+                rep.outputs.keys()
+            );
+        }
+    }
+    assert!(rejoined_at.is_some(), "worker never rejoined");
+    assert!(telemetry.counter("health.rejoins") >= 1.0);
+    assert!(cc
+        .recovery_log()
+        .iter()
+        .any(|e| matches!(e, RecoveryEvent::Rejoined { ranks, .. } if ranks == &[Rank(5)])));
+    // Probation ends after a couple more collectives.
+    assert_eq!(cc.rank_health(Rank(5)), crate::session::RankHealth::Healthy);
+}
+
+#[test]
+fn quarantine_biases_planning_but_not_the_fabric() {
+    let c = Cluster::homogeneous_a100(2);
+    let mut cc = AdapCC::init(&c, quick_options());
+    cc.setup();
+    // The NIC egress link sits on every profiled inter-instance edge,
+    // so its quarantine must perturb the planning profile.
+    let link = c.nic_egress_link(InstanceId(0));
+    // Three flap episodes across distinct collectives quarantine it.
+    assert!(cc.health.note_flap(link, 1, SimTime::ZERO).is_none());
+    assert!(cc.health.note_flap(link, 2, SimTime::ZERO).is_none());
+    let hold = cc
+        .health
+        .note_flap(link, 3, SimTime::ZERO)
+        .expect("third episode quarantines");
+    let eff = cc.effective_factors();
+    assert!(
+        eff.iter()
+            .any(|(l, f)| *l == link && *f == crate::session::QUARANTINE_FACTOR),
+        "{eff:?}"
+    );
+    assert!(
+        cc.fabric_factors().iter().all(|(l, _)| *l != link),
+        "physical factors untouched"
+    );
+    // Planning under the bias sees the collapsed link and re-solves.
+    let rec = cc.reprofile();
+    assert!(rec.changed, "quarantine must perturb the profile");
+    // Once the hold-down runs out the bias is gone (strikes persist).
+    cc.session_clock = SimTime::ZERO + hold;
+    assert!(cc.effective_factors().iter().all(|(l, _)| *l != link));
+    assert_eq!(cc.health.strikes(link), 1);
+}
+
+#[test]
+fn backoff_exponent_clamps_at_pathological_retry_counts() {
+    use crate::session::RecoveryPolicy;
+    let p = RecoveryPolicy {
+        max_retries: 128,
+        ..Default::default()
+    };
+    assert_eq!(p.backoff_for(1), p.backoff_base);
+    assert_eq!(p.backoff_for(2), p.backoff_base.scale(2.0));
+    // At attempt 128 the unclamped doubling (25 ms * 2^127) is far past
+    // the cap; the clamp keeps the arithmetic finite and the cap wins.
+    assert_eq!(p.backoff_for(128), p.backoff_cap);
+    assert_eq!(p.backoff_for(usize::MAX), p.backoff_cap);
 }
 
 #[test]

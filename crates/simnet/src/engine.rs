@@ -97,6 +97,10 @@ pub enum FaultAction {
     /// Permanently fail a link: every unfinished flow crossing it is
     /// aborted and future submissions over it abort after their latency.
     LinkFail(LinkId),
+    /// Repair a failed link (hardware replaced / worker restarted):
+    /// clears the failure and brings the link back up. Flows aborted
+    /// by the failure stay aborted; new submissions succeed.
+    LinkRecover(LinkId),
     /// Scale a link's capacity (degradation / recovery). The factor
     /// must be positive and finite.
     SetCapacityFactor(LinkId, f64),
@@ -315,6 +319,20 @@ impl<'c> NetSim<'c> {
         self.reallocate();
     }
 
+    /// Repairs a permanently failed link: the failure flag clears and
+    /// the link comes back up, so later submissions drain normally.
+    /// Flows already aborted by the failure stay aborted — recovery is
+    /// not retroactive. No effect on a link that never failed.
+    pub fn recover_link(&mut self, link: LinkId) {
+        if !self.links[link.0].failed {
+            return;
+        }
+        self.advance_flows();
+        self.links[link.0].failed = false;
+        self.links[link.0].up = true;
+        self.reallocate();
+    }
+
     /// True if the link is currently up (neither down nor failed).
     pub fn link_is_up(&self, link: LinkId) -> bool {
         self.links[link.0].up
@@ -338,6 +356,7 @@ impl<'c> NetSim<'c> {
             FaultAction::LinkDown(l) => self.set_link_up(l, false),
             FaultAction::LinkUp(l) => self.set_link_up(l, true),
             FaultAction::LinkFail(l) => self.fail_link(l),
+            FaultAction::LinkRecover(l) => self.recover_link(l),
             FaultAction::SetCapacityFactor(l, f) => self.set_capacity_factor(l, f),
         }
     }
@@ -855,6 +874,48 @@ mod tests {
         // Failed links never come back.
         sim.set_link_up(eg, true);
         assert!(!sim.link_is_up(eg));
+    }
+
+    #[test]
+    fn recover_link_revives_future_submissions() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let eg = c.nic_egress_link(InstanceId(0));
+        sim.submit_transfer(&path, ByteSize::from_mib(10), 1);
+        sim.fail_link(eg);
+        let ev = sim.step().unwrap();
+        assert!(matches!(ev, SimEvent::TransferAborted { token: 1, .. }));
+        // Repair: the failure clears and new traffic drains normally.
+        sim.recover_link(eg);
+        assert!(!sim.link_is_failed(eg));
+        assert!(sim.link_is_up(eg));
+        sim.submit_transfer(&path, ByteSize::from_mib(10), 2);
+        let ev = sim.step().unwrap();
+        assert!(matches!(ev, SimEvent::TransferDone { token: 2, .. }));
+        // The earlier abort is not retroactively undone.
+        assert!(sim.step().is_none());
+    }
+
+    #[test]
+    fn scheduled_recovery_lets_a_late_submission_finish() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c);
+        let eg = c.nic_egress_link(InstanceId(0));
+        sim.fail_link(eg);
+        sim.schedule_fault(SimDuration::from_millis(1.0), FaultAction::LinkRecover(eg));
+        // Submitted while failed, but recovery fires before the flow's
+        // latency elapses only if the engine re-checks at drain time —
+        // it does not, so this one aborts...
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        sim.submit_transfer(&path, ByteSize::from_mib(10), 1);
+        let evs = sim.drain();
+        assert!(matches!(evs[0], SimEvent::TransferAborted { token: 1, .. }));
+        // ...while a post-recovery submission completes.
+        assert!(!sim.link_is_failed(eg));
+        sim.submit_transfer(&path, ByteSize::from_mib(10), 2);
+        let ev = sim.step().unwrap();
+        assert!(matches!(ev, SimEvent::TransferDone { token: 2, .. }));
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! Seeded fault injection for the simulated fabric.
 //!
 //! A [`FaultSchedule`] is a list of timed [`Fault`] events — worker
-//! crashes, NIC failures, transient link flaps, bandwidth degradations
-//! and probe losses — expressed in *absolute session time*. Arming a
-//! schedule against a [`NetSim`] translates each event into engine
-//! [`FaultAction`]s on the simulation timeline: crashes and NIC
-//! failures permanently fail every physical link adjacent to the dead
-//! component (in-flight flows abort), flaps take links down and bring
-//! them back, degradations scale capacity for an interval.
+//! crashes and restarts, NIC failures and repairs, transient link
+//! flaps, flap bursts, bandwidth degradations and probe losses —
+//! expressed in *absolute session time*. Arming a schedule against a
+//! [`NetSim`] translates each event into engine [`FaultAction`]s on
+//! the simulation timeline: crashes and NIC failures permanently fail
+//! every physical link adjacent to the dead component (in-flight flows
+//! abort), restarts and repairs recover those links, flaps take links
+//! down and bring them back, degradations scale capacity for an
+//! interval.
 //!
 //! Because schedules use absolute times while each collective runs in
 //! its own simulator starting at `t = 0`, [`FaultSchedule::arm`] takes
@@ -42,6 +44,15 @@ pub enum Fault {
         /// Crash instant.
         at: SimTime,
     },
+    /// The worker process on `rank` is restarted by the scheduler at
+    /// `at`: every physical link a prior [`Fault::WorkerCrash`] took
+    /// down recovers. A restart with no preceding crash is a no-op.
+    WorkerRestart {
+        /// The returning worker.
+        rank: Rank,
+        /// Restart instant.
+        at: SimTime,
+    },
     /// The NIC of `instance` dies at `at`: its network ports and its
     /// PCIe attachment fail permanently, cutting the instance off the
     /// fabric.
@@ -49,6 +60,15 @@ pub enum Fault {
         /// The instance losing its NIC.
         instance: InstanceId,
         /// Failure instant.
+        at: SimTime,
+    },
+    /// The NIC of `instance` is replaced at `at`: the links a prior
+    /// [`Fault::NicFail`] took down recover and the instance rejoins
+    /// the fabric.
+    NicRecover {
+        /// The instance regaining its NIC.
+        instance: InstanceId,
+        /// Repair instant.
         at: SimTime,
     },
     /// A transient link flap: down at `from`, back up at `until`.
@@ -60,6 +80,22 @@ pub enum Fault {
         from: SimTime,
         /// Outage end (healed from here on).
         until: SimTime,
+    },
+    /// A repeated flap: `count` outages of length `down` starting at
+    /// `from`, one every `period` (`down < period`, so the link is up
+    /// between outages). The signature fault of a marginal cable — one
+    /// retry never outlives the whole burst.
+    FlapBurst {
+        /// The flapping link.
+        link: LinkId,
+        /// Start of the first outage.
+        from: SimTime,
+        /// Length of each outage.
+        down: SimDuration,
+        /// Spacing between consecutive outage starts.
+        period: SimDuration,
+        /// Number of outages.
+        count: u32,
     },
     /// The link runs at `factor` of nominal capacity during
     /// `[from, until)`, then recovers.
@@ -86,18 +122,30 @@ pub enum Fault {
 
 impl Fault {
     /// True for faults that permanently remove capacity (worker crash,
-    /// NIC failure); false for transient flaps, degradations and probe
-    /// losses.
+    /// NIC failure); false for transient flaps, degradations, probe
+    /// losses and recovery events. A permanent fault only heals if the
+    /// schedule also carries the matching recovery event.
     pub fn is_permanent(&self) -> bool {
         matches!(self, Fault::WorkerCrash { .. } | Fault::NicFail { .. })
+    }
+
+    /// True for events that restore capacity (worker restart, NIC
+    /// repair) rather than remove it.
+    pub fn is_recovery(&self) -> bool {
+        matches!(self, Fault::WorkerRestart { .. } | Fault::NicRecover { .. })
     }
 
     /// When the fault first takes effect, if it has a time at all
     /// (probe losses are positional, not timed).
     pub fn start(&self) -> Option<SimTime> {
         match *self {
-            Fault::WorkerCrash { at, .. } | Fault::NicFail { at, .. } => Some(at),
-            Fault::LinkDown { from, .. } | Fault::LinkDegrade { from, .. } => Some(from),
+            Fault::WorkerCrash { at, .. }
+            | Fault::WorkerRestart { at, .. }
+            | Fault::NicFail { at, .. }
+            | Fault::NicRecover { at, .. } => Some(at),
+            Fault::LinkDown { from, .. }
+            | Fault::FlapBurst { from, .. }
+            | Fault::LinkDegrade { from, .. } => Some(from),
             Fault::ProbeLoss { .. } => None,
         }
     }
@@ -107,11 +155,28 @@ impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             Fault::WorkerCrash { rank, at } => write!(f, "{rank} crashes at {at}"),
+            Fault::WorkerRestart { rank, at } => write!(f, "{rank} restarts at {at}"),
             Fault::NicFail { instance, at } => {
                 write!(f, "NIC of instance {} fails at {at}", instance.0)
             }
+            Fault::NicRecover { instance, at } => {
+                write!(f, "NIC of instance {} recovers at {at}", instance.0)
+            }
             Fault::LinkDown { link, from, until } => {
                 write!(f, "link {} down {from} .. {until}", link.0)
+            }
+            Fault::FlapBurst {
+                link,
+                from,
+                down,
+                period,
+                count,
+            } => {
+                write!(
+                    f,
+                    "link {} flaps {count}x from {from} ({down} down every {period})",
+                    link.0
+                )
             }
             Fault::LinkDegrade {
                 link,
@@ -192,15 +257,39 @@ impl FaultSchedule {
         self.faults.len()
     }
 
-    /// Draws a random schedule of one to three faults within `horizon`.
-    /// The same `(cluster, seed, horizon)` always yields the same
-    /// schedule.
+    /// Draws a random schedule of one to three faults within `horizon`,
+    /// with correlated churn: roughly half the crashes and NIC failures
+    /// are paired with a later restart / repair, the way a scheduler
+    /// brings a crashed worker back. The same `(cluster, seed,
+    /// horizon)` always yields the same schedule.
     pub fn random(cluster: &Cluster, seed: u64, horizon: SimDuration) -> Self {
         let mut rng = seeded_rng(child_seed(seed, "fault-schedule"));
         let n = rng.gen_range(1..=3usize);
-        let faults = (0..n)
+        let mut faults: Vec<Fault> = (0..n)
             .map(|_| random_fault(cluster, &mut rng, horizon))
             .collect();
+        for i in 0..n {
+            if let Some(recovery) = random_recovery(&faults[i], &mut rng, horizon, 0.5) {
+                faults.push(recovery);
+            }
+        }
+        FaultSchedule { faults }
+    }
+
+    /// Draws a dense churn schedule: more events than [`Self::random`]
+    /// and a strong bias toward leave→rejoin pairs and flap bursts —
+    /// the sustained membership churn the elastic lifecycle must
+    /// absorb. Deterministic in `(cluster, seed, horizon)`.
+    pub fn random_churn(cluster: &Cluster, seed: u64, horizon: SimDuration) -> Self {
+        let mut rng = seeded_rng(child_seed(seed, "churn-schedule"));
+        let n = rng.gen_range(2..=5usize);
+        let mut faults = Vec::new();
+        for _ in 0..n {
+            let fault = random_fault(cluster, &mut rng, horizon);
+            let recovery = random_recovery(&fault, &mut rng, horizon, 0.8);
+            faults.push(fault);
+            faults.extend(recovery);
+        }
         FaultSchedule { faults }
     }
 
@@ -215,20 +304,35 @@ impl FaultSchedule {
 
     /// Translates the schedule into engine fault actions on `sim`,
     /// shifted by `offset`: events at or before the offset are applied
-    /// as current state (a flap that fully healed is skipped), later
-    /// events are scheduled at `event time − offset` on the sim
-    /// timeline.
+    /// as current state (a flap that fully healed is skipped; a crash
+    /// followed by a restart nets out to a live worker), later events
+    /// are scheduled at `event time − offset` on the sim timeline.
+    ///
+    /// Events are processed in start-time order regardless of insertion
+    /// order, so past crash→restart pairs collapse correctly.
     pub fn arm(&self, sim: &mut NetSim, offset: SimTime) {
-        for fault in &self.faults {
+        let mut ordered: Vec<&Fault> = self.faults.iter().collect();
+        ordered.sort_by_key(|f| f.start().unwrap_or(SimTime::ZERO));
+        for fault in ordered {
             match *fault {
                 Fault::WorkerCrash { rank, at } => {
                     for l in worker_links(sim.cluster(), rank) {
                         arm_action(sim, offset, at, FaultAction::LinkFail(l));
                     }
                 }
+                Fault::WorkerRestart { rank, at } => {
+                    for l in worker_links(sim.cluster(), rank) {
+                        arm_action(sim, offset, at, FaultAction::LinkRecover(l));
+                    }
+                }
                 Fault::NicFail { instance, at } => {
                     for l in nic_links(sim.cluster(), instance) {
                         arm_action(sim, offset, at, FaultAction::LinkFail(l));
+                    }
+                }
+                Fault::NicRecover { instance, at } => {
+                    for l in nic_links(sim.cluster(), instance) {
+                        arm_action(sim, offset, at, FaultAction::LinkRecover(l));
                     }
                 }
                 Fault::LinkDown { link, from, until } => {
@@ -237,6 +341,23 @@ impl FaultSchedule {
                     }
                     arm_action(sim, offset, from, FaultAction::LinkDown(link));
                     arm_action(sim, offset, until, FaultAction::LinkUp(link));
+                }
+                Fault::FlapBurst {
+                    link,
+                    from,
+                    down,
+                    period,
+                    count,
+                } => {
+                    for i in 0..count {
+                        let start = from + period.scale(i as f64);
+                        let end = start + down;
+                        if end <= offset {
+                            continue; // this outage already healed
+                        }
+                        arm_action(sim, offset, start, FaultAction::LinkDown(link));
+                        arm_action(sim, offset, end, FaultAction::LinkUp(link));
+                    }
                 }
                 Fault::LinkDegrade {
                     link,
@@ -267,24 +388,70 @@ impl FaultSchedule {
         }
     }
 
-    /// Ranks permanently cut off by `by`: crashed workers plus every
-    /// worker of an instance whose NIC failed (they can no longer reach
-    /// the fabric). Sorted, deduplicated.
+    /// Ranks cut off as of `by`: crashed workers with no later restart,
+    /// plus every worker of an instance whose NIC failed with no later
+    /// repair (they can no longer reach the fabric). Recovery events at
+    /// or after the latest failure heal it. Sorted, deduplicated.
     pub fn permanently_excluded_ranks(&self, cluster: &Cluster, by: SimTime) -> Vec<Rank> {
+        self.excluded_ranks_bounded(cluster, Some(by))
+    }
+
+    /// Ranks cut off once every scheduled event has played out — the
+    /// final alive set's complement, which sustained churn must
+    /// converge to.
+    pub fn eventually_excluded_ranks(&self, cluster: &Cluster) -> Vec<Rank> {
+        self.excluded_ranks_bounded(cluster, None)
+    }
+
+    fn excluded_ranks_bounded(&self, cluster: &Cluster, by: Option<SimTime>) -> Vec<Rank> {
+        let within = |at: SimTime| by.is_none_or(|b| at <= b);
+        let dead = |fail: Option<SimTime>, recover: Option<SimTime>| match (fail, recover) {
+            (Some(f), Some(r)) => r < f,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
         let mut out = Vec::new();
-        for fault in &self.faults {
-            match *fault {
-                Fault::WorkerCrash { rank, at } if at <= by => out.push(rank),
-                Fault::NicFail { instance, at } if at <= by => {
-                    for local in 0..cluster.gpus_on(instance) {
-                        out.push(cluster.rank_of(instance, local));
+        for r in 0..cluster.gpu_count() {
+            let rank = Rank(r);
+            let crash = self
+                .faults
+                .iter()
+                .filter_map(|f| match *f {
+                    Fault::WorkerCrash { rank: k, at } if k == rank && within(at) => Some(at),
+                    _ => None,
+                })
+                .max();
+            let restart = self
+                .faults
+                .iter()
+                .filter_map(|f| match *f {
+                    Fault::WorkerRestart { rank: k, at } if k == rank && within(at) => Some(at),
+                    _ => None,
+                })
+                .max();
+            let (instance, _) = cluster.locate(rank);
+            let nic_fail = self
+                .faults
+                .iter()
+                .filter_map(|f| match *f {
+                    Fault::NicFail { instance: i, at } if i == instance && within(at) => Some(at),
+                    _ => None,
+                })
+                .max();
+            let nic_recover = self
+                .faults
+                .iter()
+                .filter_map(|f| match *f {
+                    Fault::NicRecover { instance: i, at } if i == instance && within(at) => {
+                        Some(at)
                     }
-                }
-                _ => {}
+                    _ => None,
+                })
+                .max();
+            if dead(crash, restart) || dead(nic_fail, nic_recover) {
+                out.push(rank);
             }
         }
-        out.sort_unstable();
-        out.dedup();
         out
     }
 
@@ -297,9 +464,9 @@ impl FaultSchedule {
         })
     }
 
-    /// Earliest instant any transient (non-permanent, timed) fault has
-    /// fully healed, if the schedule contains only such faults — the
-    /// earliest time a retry can expect a clean fabric.
+    /// Earliest instant every scheduled fault has fully healed — the
+    /// earliest time a retry can expect a clean fabric. `None` if any
+    /// permanent fault has no matching later recovery event.
     pub fn healed_by(&self) -> Option<SimTime> {
         let mut worst = SimTime::ZERO;
         for fault in &self.faults {
@@ -307,8 +474,48 @@ impl FaultSchedule {
                 Fault::LinkDown { until, .. } | Fault::LinkDegrade { until, .. } => {
                     worst = worst.max(until);
                 }
+                Fault::FlapBurst {
+                    from,
+                    down,
+                    period,
+                    count,
+                    ..
+                } => {
+                    let last = from + period.scale(count.saturating_sub(1) as f64) + down;
+                    worst = worst.max(last);
+                }
                 Fault::ProbeLoss { .. } => {}
-                Fault::WorkerCrash { .. } | Fault::NicFail { .. } => return None,
+                Fault::WorkerRestart { at, .. } | Fault::NicRecover { at, .. } => {
+                    worst = worst.max(at);
+                }
+                Fault::WorkerCrash { rank, at } => {
+                    let heal = self
+                        .faults
+                        .iter()
+                        .filter_map(|f| match *f {
+                            Fault::WorkerRestart { rank: k, at: r } if k == rank && r >= at => {
+                                Some(r)
+                            }
+                            _ => None,
+                        })
+                        .max()?;
+                    worst = worst.max(heal);
+                }
+                Fault::NicFail { instance, at } => {
+                    let heal = self
+                        .faults
+                        .iter()
+                        .filter_map(|f| match *f {
+                            Fault::NicRecover { instance: i, at: r }
+                                if i == instance && r >= at =>
+                            {
+                                Some(r)
+                            }
+                            _ => None,
+                        })
+                        .max()?;
+                    worst = worst.max(heal);
+                }
             }
         }
         Some(worst)
@@ -369,12 +576,23 @@ fn random_fault(cluster: &Cluster, rng: &mut ChaCha8Rng, horizon: SimDuration) -
             instance: InstanceId(rng.gen_range(0..cluster.instance_count())),
             at: at(rng),
         },
-        4..=6 => {
+        4..=5 => {
             let from = at(rng);
             Fault::LinkDown {
                 link: port(rng),
                 from,
                 until: from + horizon.scale(rng.gen_range(0.02..0.2)),
+            }
+        }
+        6 => {
+            let from = at(rng);
+            let period = horizon.scale(rng.gen_range(0.06..0.15));
+            Fault::FlapBurst {
+                link: port(rng),
+                from,
+                down: period.scale(rng.gen_range(0.3..0.7)),
+                period,
+                count: rng.gen_range(2..=4),
             }
         }
         7..=8 => {
@@ -393,6 +611,29 @@ fn random_fault(cluster: &Cluster, rng: &mut ChaCha8Rng, horizon: SimDuration) -
     }
 }
 
+/// Draws the matching recovery event for a permanent fault with
+/// probability `p`, landing a fraction of the horizon after the
+/// failure; `None` for non-permanent faults or when the coin says the
+/// component stays dead.
+fn random_recovery(
+    fault: &Fault,
+    rng: &mut ChaCha8Rng,
+    horizon: SimDuration,
+    p: f64,
+) -> Option<Fault> {
+    match *fault {
+        Fault::WorkerCrash { rank, at } if rng.gen_bool(p) => Some(Fault::WorkerRestart {
+            rank,
+            at: at + horizon.scale(rng.gen_range(0.2..0.9)),
+        }),
+        Fault::NicFail { instance, at } if rng.gen_bool(p) => Some(Fault::NicRecover {
+            instance,
+            at: at + horizon.scale(rng.gen_range(0.2..0.9)),
+        }),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,11 +647,33 @@ mod tests {
         let a = FaultSchedule::random(&c, 42, h);
         let b = FaultSchedule::random(&c, 42, h);
         assert_eq!(a, b);
-        assert!(!a.is_empty() && a.len() <= 3);
+        // 1-3 primary faults, each optionally paired with a recovery.
+        assert!(!a.is_empty() && a.len() <= 6);
         let other = FaultSchedule::random(&c, 43, h);
         // Not a strict guarantee for any pair of seeds, but these two
         // are fixed by the deterministic generator.
         assert_ne!(a, other);
+    }
+
+    #[test]
+    fn random_churn_is_deterministic_and_correlated() {
+        let c = Cluster::homogeneous_a100(2);
+        let h = SimDuration::from_secs(1.0);
+        let a = FaultSchedule::random_churn(&c, 7, h);
+        assert_eq!(a, FaultSchedule::random_churn(&c, 7, h));
+        assert!(!a.is_empty());
+        // Over many seeds the 0.8 pairing bias must actually produce
+        // recovery events — churn without rejoins is just decay.
+        let recoveries: usize = (0..100)
+            .map(|s| {
+                FaultSchedule::random_churn(&c, s, h)
+                    .faults()
+                    .iter()
+                    .filter(|f| f.is_recovery())
+                    .count()
+            })
+            .sum();
+        assert!(recoveries > 50, "only {recoveries} recoveries in 100 seeds");
     }
 
     #[test]
@@ -503,6 +766,129 @@ mod tests {
         let late = schedule.permanently_excluded_ranks(&c, SimTime::from_millis(5.0));
         assert_eq!(late, vec![Rank(0), Rank(1), Rank(2), Rank(3), Rank(6)]);
         assert_eq!(schedule.healed_by(), None);
+    }
+
+    #[test]
+    fn restart_heals_a_past_crash_when_armed_later() {
+        let c = Cluster::homogeneous_a100(2);
+        let schedule = FaultSchedule::new()
+            .with(Fault::WorkerCrash {
+                rank: Rank(1),
+                at: SimTime::from_millis(1.0),
+            })
+            .with(Fault::WorkerRestart {
+                rank: Rank(1),
+                at: SimTime::from_millis(5.0),
+            });
+        // Armed between crash and restart: the worker is down now but
+        // its links recover on schedule.
+        let mut sim = NetSim::new(&c);
+        schedule.arm(&mut sim, SimTime::from_millis(2.0));
+        for l in worker_links(&c, Rank(1)) {
+            assert!(sim.link_is_failed(l));
+        }
+        // Armed after the restart: crash→restart nets out to alive.
+        let mut sim = NetSim::new(&c);
+        schedule.arm(&mut sim, SimTime::from_millis(6.0));
+        for l in worker_links(&c, Rank(1)) {
+            assert!(!sim.link_is_failed(l), "link {} still failed", l.0);
+            assert!(sim.link_is_up(l));
+        }
+        // Insertion order must not matter: restart pushed first.
+        let reversed = FaultSchedule::new()
+            .with(Fault::WorkerRestart {
+                rank: Rank(1),
+                at: SimTime::from_millis(5.0),
+            })
+            .with(Fault::WorkerCrash {
+                rank: Rank(1),
+                at: SimTime::from_millis(1.0),
+            });
+        let mut sim = NetSim::new(&c);
+        reversed.arm(&mut sim, SimTime::from_millis(6.0));
+        for l in worker_links(&c, Rank(1)) {
+            assert!(!sim.link_is_failed(l));
+        }
+    }
+
+    #[test]
+    fn nic_recover_brings_the_instance_back() {
+        let c = Cluster::homogeneous_a100(2);
+        let schedule = FaultSchedule::new()
+            .with(Fault::NicFail {
+                instance: InstanceId(0),
+                at: SimTime::from_millis(1.0),
+            })
+            .with(Fault::NicRecover {
+                instance: InstanceId(0),
+                at: SimTime::from_millis(4.0),
+            });
+        assert_eq!(schedule.healed_by(), Some(SimTime::from_millis(4.0)));
+        let mut sim = NetSim::new(&c);
+        schedule.arm(&mut sim, SimTime::from_millis(5.0));
+        assert!(sim.link_is_up(c.nic_egress_link(InstanceId(0))));
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        sim.submit_transfer(&path, ByteSize::from_mib(1), 1);
+        assert!(matches!(sim.step(), Some(SimEvent::TransferDone { .. })));
+    }
+
+    #[test]
+    fn exclusion_is_recovery_aware() {
+        let c = Cluster::homogeneous_a100(2);
+        let schedule = FaultSchedule::new()
+            .with(Fault::WorkerCrash {
+                rank: Rank(6),
+                at: SimTime::from_millis(1.0),
+            })
+            .with(Fault::WorkerRestart {
+                rank: Rank(6),
+                at: SimTime::from_millis(3.0),
+            });
+        // Before the restart the rank is out; after, it is back.
+        assert_eq!(
+            schedule.permanently_excluded_ranks(&c, SimTime::from_millis(2.0)),
+            vec![Rank(6)]
+        );
+        assert_eq!(
+            schedule.permanently_excluded_ranks(&c, SimTime::from_millis(4.0)),
+            vec![]
+        );
+        assert_eq!(schedule.eventually_excluded_ranks(&c), vec![]);
+        // A second crash after the restart makes the exclusion stick.
+        let schedule = schedule.with(Fault::WorkerCrash {
+            rank: Rank(6),
+            at: SimTime::from_millis(5.0),
+        });
+        assert_eq!(schedule.eventually_excluded_ranks(&c), vec![Rank(6)]);
+        assert_eq!(schedule.healed_by(), None);
+    }
+
+    #[test]
+    fn flap_burst_arms_every_outage_and_skips_healed_ones() {
+        let c = Cluster::homogeneous_a100(2);
+        let eg = c.nic_egress_link(InstanceId(0));
+        let schedule = FaultSchedule::new().with(Fault::FlapBurst {
+            link: eg,
+            from: SimTime::from_millis(1.0),
+            down: SimDuration::from_millis(1.0),
+            period: SimDuration::from_millis(3.0),
+            count: 3,
+        });
+        // Outages: [1,2) [4,5) [7,8) ms; fully healed at 8 ms.
+        assert_eq!(schedule.healed_by(), Some(SimTime::from_millis(8.0)));
+        // Armed mid-burst: the first outage is skipped, the second is
+        // live right now.
+        let mut sim = NetSim::new(&c);
+        schedule.arm(&mut sim, SimTime::from_millis(4.5));
+        assert!(!sim.link_is_up(eg));
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        sim.submit_transfer(&path, ByteSize::from_mib(1), 1);
+        let ev = sim.step().unwrap();
+        assert!(matches!(ev, SimEvent::TransferDone { .. }));
+        // Armed after the burst: clean fabric.
+        let mut sim = NetSim::new(&c);
+        schedule.arm(&mut sim, SimTime::from_millis(8.0));
+        assert!(sim.link_is_up(eg));
     }
 
     #[test]

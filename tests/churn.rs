@@ -1,0 +1,132 @@
+//! Churn chaos harness (tentpole acceptance): 200 seeded dense
+//! leave→rejoin schedules against the elastic membership lifecycle.
+//! Every run must finish without a hang or panic, absorb typed errors
+//! without wedging, converge membership to the schedule's final alive
+//! set, and bill each rejoin below the NCCL-style restart it replaces.
+//!
+//! The per-seed machinery lives in [`adapcc_bench::churn`] and is
+//! also runnable interactively:
+//!
+//! ```text
+//! cargo run --release -p adapcc-bench --bin adapcc_sim -- churn --seeds 500 --verbose
+//! ```
+//!
+//! The sweep is split into two 100-seed shards so CI can run them as
+//! separate test threads (and so one shard failing still reports the
+//! other's summary).
+
+use std::collections::BTreeMap;
+
+use adapcc::{AdapCC, InitOptions, RankHealth, RecoveryEvent};
+use adapcc_bench::churn::{run_sweep, ChurnConfig, ChurnSummary};
+use adapcc_simnet::cluster::{Cluster, Rank};
+use adapcc_simnet::faults::{Fault, FaultSchedule};
+use adapcc_simnet::time::SimTime;
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::solver::SynthConfig;
+use adapcc_telemetry::Telemetry;
+
+fn shard(base: u64) -> ChurnSummary {
+    let cfg = ChurnConfig::default();
+    let summary = run_sweep(&cfg, base, 100, |_| {});
+    assert_eq!(summary.total, 100);
+    // The rejected outcomes: wrong membership, wrong numbers, or a
+    // rejoin that cost as much as the restart it is meant to beat.
+    assert!(
+        summary.violations.is_empty(),
+        "invariant violations: {:?}",
+        summary.violations
+    );
+    // Churn must be survivable, not merely classifiable: the common
+    // case is a run that rides out the schedule and converges.
+    assert!(
+        summary.converged >= 60,
+        "only {} of {} runs converged",
+        summary.converged,
+        summary.total
+    );
+    summary
+}
+
+#[test]
+fn churn_shard_a_converges_without_violations() {
+    let summary = shard(0);
+    // Dense schedules are biased toward leave→rejoin pairs, so the
+    // shard must actually exercise the rejoin path.
+    assert!(
+        summary.rejoins >= 5,
+        "only {} rejoins across the shard — churn is not churning",
+        summary.rejoins
+    );
+}
+
+#[test]
+fn churn_shard_b_converges_without_violations() {
+    shard(100);
+}
+
+/// Deterministic crash→restart→rejoin walk through the public API:
+/// the restarted worker is probed back in, participates in a real
+/// collective, and the rejoin is visible in telemetry.
+#[test]
+fn restarted_worker_rejoins_with_telemetry_evidence() {
+    let cluster = Cluster::homogeneous_a100(2);
+    let telemetry = Telemetry::enabled();
+    let mut cc = AdapCC::init(
+        &cluster,
+        InitOptions {
+            telemetry: telemetry.clone(),
+            synth: SynthConfig {
+                anneal_iters: 24,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    cc.setup();
+    cc.inject_faults(
+        FaultSchedule::new()
+            .with(Fault::WorkerCrash {
+                rank: Rank(2),
+                at: SimTime::ZERO,
+            })
+            .with(Fault::WorkerRestart {
+                rank: Rank(2),
+                at: SimTime::from_secs(0.25),
+            }),
+    );
+    let tensor = ByteSize::from_kib(64);
+    let elems = (tensor.as_u64() / 4) as usize;
+    cc.allreduce(tensor, &BTreeMap::new(), None)
+        .expect("one crash is recoverable");
+    assert_eq!(cc.workers().len(), 7, "crashed worker excluded");
+    assert_eq!(cc.rank_health(Rank(2)), RankHealth::Excluded);
+    let mut participated = false;
+    for _ in 0..4 {
+        let inputs: BTreeMap<Rank, Vec<f32>> = cc
+            .workers()
+            .iter()
+            .map(|r| (*r, vec![1.0; elems]))
+            .collect();
+        let rep = cc
+            .allreduce(tensor, &BTreeMap::new(), Some(inputs))
+            .expect("healed fabric");
+        if rep.outputs.contains_key(&Rank(2)) {
+            participated = true;
+            break;
+        }
+    }
+    assert!(participated, "rejoined rank never appeared in a report");
+    assert_eq!(cc.workers().len(), 8, "full fleet restored");
+    assert!(
+        telemetry.counter("health.rejoins") >= 1.0,
+        "rejoin must be counted"
+    );
+    assert!(
+        cc.recovery_log()
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Rejoined { ranks, .. } if ranks == &[Rank(2)])),
+        "recovery log must record the rejoin: {:?}",
+        cc.recovery_log()
+    );
+}

@@ -92,6 +92,55 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The exclude -> rejoin round-trip: while the worker set differs
+    /// the cache must not serve the pre-exclusion plan (the shape half
+    /// of the fingerprint changed); once the fleet returns to the
+    /// previously-seen set, the lookup is an exact hit that returns a
+    /// bit-identical strategy without touching the solver.
+    #[test]
+    fn exclude_rejoin_roundtrip_exact_hits(
+        mib in 4u64..64,
+        victim in 0usize..8,
+        seed in 0u64..50,
+    ) {
+        let cluster = Cluster::homogeneous_a100(2);
+        let mut cc = AdapCC::init(
+            &cluster,
+            InitOptions {
+                seed,
+                synth: SynthConfig { anneal_iters: 24, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        cc.setup();
+        let tensor = ByteSize::from_mib(mib);
+        let before = cc.strategy_for(Primitive::AllReduce, tensor).clone();
+        let hits_baseline = cc.plan_cache_stats().hits;
+        cc.exclude_workers(&[Rank(victim)]);
+        let shrunk = cc.strategy_for(Primitive::AllReduce, tensor).clone();
+        prop_assert!(
+            !shrunk.participants().contains(&Rank(victim)),
+            "post-exclusion strategy routes only over survivors"
+        );
+        prop_assert_eq!(
+            cc.plan_cache_stats().hits, hits_baseline,
+            "no exact hit while the worker set differs"
+        );
+        // Rejoin through the elastic scale-out path.
+        cc.add_workers(&[Rank(victim)]).expect("rejoin is valid");
+        let hits_prior = cc.plan_cache_stats().hits;
+        let again = cc.strategy_for(Primitive::AllReduce, tensor).clone();
+        prop_assert_eq!(
+            cc.plan_cache_stats().hits, hits_prior + 1,
+            "rejoin to a previously-seen worker set must exact-hit"
+        );
+        prop_assert_eq!(again, before, "served strategy must be bit-identical");
+    }
+}
+
 /// Removing a participant flips the shape half of the fingerprint, so
 /// a pre-exclusion entry can never exact-hit or warm-start a
 /// post-exclusion lookup.
