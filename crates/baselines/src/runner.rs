@@ -79,6 +79,9 @@ pub struct Runner<'a> {
     pub solver_chains: usize,
     /// Worker threads executing those chains (output-invariant).
     pub solver_threads: usize,
+    /// Tier decomposition mode for AdapCC synthesis (defaults to
+    /// [`adapcc_synth::Hierarchical::Auto`]: two-tier at 64+ GPUs).
+    pub hierarchical: adapcc_synth::Hierarchical,
     factors: Vec<(adapcc_simnet::cluster::LinkId, f64)>,
     telemetry: adapcc_telemetry::Telemetry,
     /// Optional fingerprinted strategy store consulted before the
@@ -97,6 +100,7 @@ impl<'a> Runner<'a> {
             seed: 0,
             solver_chains: 1,
             solver_threads: 1,
+            hierarchical: adapcc_synth::Hierarchical::Auto,
             factors: Vec::new(),
             telemetry: adapcc_telemetry::Telemetry::disabled(),
             plan_cache: None,
@@ -136,6 +140,13 @@ impl<'a> Runner<'a> {
     pub fn with_solver(mut self, chains: usize, threads: usize) -> Self {
         self.solver_chains = chains.max(1);
         self.solver_threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the AdapCC synthesizer's tier decomposition mode
+    /// (the scale sweeps force [`adapcc_synth::Hierarchical::On`]).
+    pub fn with_hierarchical(mut self, mode: adapcc_synth::Hierarchical) -> Self {
+        self.hierarchical = mode;
         self
     }
 
@@ -206,6 +217,7 @@ impl<'a> Runner<'a> {
                     anneal_iters: 120,
                     anneal_chains: self.solver_chains,
                     solver_threads: self.solver_threads,
+                    hierarchical: self.hierarchical,
                     ..Default::default()
                 })
                 .with_telemetry(self.telemetry.clone())
@@ -215,6 +227,7 @@ impl<'a> Runner<'a> {
         };
         // The standalone runner has no session, so it quantizes with the
         // session default `resynth_threshold` (0.15).
+        let instances = adapcc_synth::solver::group_by_instance(self.topo, participants).len();
         let fp = fingerprint(&FingerprintInputs {
             topo: self.topo,
             profile: self.profile,
@@ -225,6 +238,7 @@ impl<'a> Runner<'a> {
             tensor,
             root: req.root,
             quantization: 0.15,
+            hierarchical: self.hierarchical.enabled_for(participants.len(), instances),
         });
         let full = adapcc::reconstruct::modeled_solve_cost(participants.len());
         let warm = adapcc::reconstruct::modeled_warm_solve_cost(participants.len());

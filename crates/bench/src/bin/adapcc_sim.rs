@@ -10,8 +10,10 @@ use adapcc_baselines::runner::{Runner, System};
 use adapcc_bench::chaos::{self, ChaosConfig};
 use adapcc_bench::churn::{self, ChurnConfig};
 use adapcc_bench::cli::{
-    build_cluster, parse_args, parse_chaos_args, parse_churn_args, ServerKind, SimArgs,
+    build_cluster, parse_args, parse_chaos_args, parse_churn_args, parse_engine_args, ServerKind,
+    SimArgs,
 };
+use adapcc_bench::engine_bench::engine_storm;
 use adapcc_bench::harness::profiled_with_telemetry;
 use adapcc_bench::record::BenchRecord;
 use adapcc_simnet::cluster::Rank;
@@ -29,6 +31,11 @@ fn main() {
     if argv.first().map(String::as_str) == Some("churn") {
         argv.remove(0);
         run_churn(argv);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("engine") {
+        argv.remove(0);
+        run_engine(argv);
         return;
     }
     let args = match parse_args(argv) {
@@ -51,11 +58,18 @@ fn main() {
     } else {
         Telemetry::disabled()
     };
+    let hierarchical = if args.hierarchical {
+        adapcc_synth::Hierarchical::On
+    } else {
+        adapcc_synth::Hierarchical::Auto
+    };
+    let run_start = std::time::Instant::now();
     let (topo, profile, control_secs) =
         profiled_with_telemetry(&cluster, args.seed, telemetry.clone());
     let mut runner = Runner::new(&cluster, &topo, &profile)
         .with_parallelism(args.parallelism)
         .with_solver(args.solver_chains, args.solver_threads)
+        .with_hierarchical(hierarchical)
         .with_telemetry(telemetry.at_offset(control_secs));
     runner.seed = args.seed;
     if let Some(dir) = &args.plan_cache {
@@ -75,13 +89,15 @@ fn main() {
         &ranks,
         &Default::default(),
     );
+    let sim_wall_ms = run_start.elapsed().as_secs_f64() * 1e3;
     println!(
-        "{} {} of {}: {} ({:.2} GB/s algorithm bandwidth)",
+        "{} {} of {}: {} ({:.2} GB/s algorithm bandwidth, {:.0} ms wall)",
         args.system.name(),
         args.primitive,
         args.tensor,
         report.comm_time,
-        report.algo_bw_gbytes
+        report.algo_bw_gbytes,
+        sim_wall_ms
     );
     // Counters must land in the sink before the metrics summary below
     // renders; the trace itself carries no cache-dependent spans, so it
@@ -115,6 +131,7 @@ fn main() {
             let mut timed = Runner::new(&cluster, &topo, &profile)
                 .with_parallelism(args.parallelism)
                 .with_solver(args.solver_chains, args.solver_threads)
+                .with_hierarchical(hierarchical)
                 .with_telemetry(probe.clone());
             timed.seed = args.seed;
             let start = std::time::Instant::now();
@@ -128,6 +145,13 @@ fn main() {
             )
         } else {
             (0.0, 0, 0, 0)
+        };
+        // Engine throughput on the same cluster: a short storm so
+        // BENCH rows carry events/sec alongside the solver numbers.
+        let engine_events_per_sec = if cluster.instance_count() >= 2 {
+            engine_storm(&cluster, 4).events_per_sec()
+        } else {
+            0.0
         };
         let rec = BenchRecord {
             system: args.system.name().to_string(),
@@ -144,6 +168,9 @@ fn main() {
             synth_full_evals: full_evals,
             synth_delta_evals: delta_evals,
             synth_chains: chains,
+            hierarchical: args.hierarchical,
+            sim_wall_ms,
+            engine_events_per_sec,
         };
         if let Err(e) = rec.append_to(std::path::Path::new(path)) {
             eprintln!("cannot append bench record to {path}: {e}");
@@ -173,6 +200,47 @@ fn servers_spec(args: &SimArgs) -> String {
         })
         .collect::<Vec<_>>()
         .join(",")
+}
+
+fn run_engine(argv: Vec<String>) {
+    let args = match parse_engine_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.starts_with("adapcc-sim") { 0 } else { 2 });
+        }
+    };
+    let cluster = adapcc_simnet::cluster::Cluster::homogeneous_a100(args.servers);
+    let report = engine_storm(&cluster, args.waves);
+    println!(
+        "engine storm: {} servers / {} GPUs, {} waves, {} transfers -> {} events \
+         in {:.1} ms wall ({:.0} events/sec, {:.3} ms simulated)",
+        cluster.instance_count(),
+        cluster.gpu_count(),
+        args.waves,
+        report.transfers,
+        report.events,
+        report.wall_ms,
+        report.events_per_sec(),
+        report.sim_ms
+    );
+    if let Some(path) = &args.bench_append {
+        let rec = adapcc_bench::record::EngineBenchRecord {
+            servers: format!("a100:{}", args.servers),
+            gpus: cluster.gpu_count(),
+            waves: args.waves,
+            transfers: report.transfers,
+            events: report.events,
+            sim_ms: report.sim_ms,
+            wall_ms: report.wall_ms,
+            events_per_sec: report.events_per_sec(),
+        };
+        if let Err(e) = rec.append_to(std::path::Path::new(path)) {
+            eprintln!("cannot append engine record to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("engine record appended to {path}");
+    }
 }
 
 fn run_chaos(argv: Vec<String>) {

@@ -29,6 +29,9 @@ pub struct SimArgs {
     /// Worker threads running those chains (wall-clock only; the
     /// strategy is bit-identical for any thread count).
     pub solver_threads: usize,
+    /// Force two-tier hierarchical synthesis regardless of fleet size
+    /// (default: automatic at 64+ GPUs).
+    pub hierarchical: bool,
     /// Persistent plan-cache directory for AdapCC strategy synthesis.
     pub plan_cache: Option<String>,
     /// Print the synthesized strategy.
@@ -64,6 +67,7 @@ impl Default for SimArgs {
             seed: 1,
             solver_chains: 1,
             solver_threads: 1,
+            hierarchical: false,
             plan_cache: None,
             describe: false,
             trace_out: None,
@@ -78,7 +82,8 @@ pub fn usage() -> &'static str {
     "adapcc-sim: run one collective on a simulated cluster\n\
      \n\
      options:\n\
-       --servers a100:4,v100:2   server fleet of a100|v100|h100 (default a100:2)\n\
+       --servers a100:4,v100:2   server fleet of a100|v100|h100 (default a100:2);\n\
+                                 a plain integer N is shorthand for a100:N\n\
        --tcp                     kernel TCP instead of RDMA\n\
        --primitive P             reduce|broadcast|allreduce|alltoall (default allreduce)\n\
        --size-mib N              per-rank tensor MiB (default 256)\n\
@@ -89,6 +94,9 @@ pub fn usage() -> &'static str {
                                  sequential schedule bit-for-bit (default 1)\n\
        --solver-threads N        worker threads for the chains; affects\n\
                                  wall-clock only, never the strategy (default 1)\n\
+       --hierarchical            force two-tier (intra/inter-server) synthesis;\n\
+                                 without it, tiering engages automatically at\n\
+                                 64+ GPUs\n\
        --plan-cache DIR          persistent strategy cache; a repeat run\n\
                                  with the same dir serves cached plans\n\
        --describe                print the synthesized strategy\n\
@@ -101,7 +109,9 @@ pub fn usage() -> &'static str {
        chaos                     sweep randomized fault schedules through\n\
                                  the recovery path (adapcc-sim chaos --help)\n\
        churn                     sweep dense leave/rejoin schedules through\n\
-                                 the membership lifecycle (adapcc-sim churn --help)"
+                                 the membership lifecycle (adapcc-sim churn --help)\n\
+       engine                    engine-throughput storm micro-benchmark\n\
+                                 (adapcc-sim engine --help)"
 }
 
 /// A parsed `adapcc-sim chaos` invocation.
@@ -193,6 +203,80 @@ pub fn parse_chaos_args<I: IntoIterator<Item = String>>(args: I) -> Result<Chaos
                 out.horizon_ms = ms;
             }
             other => return Err(format!("unknown flag {other}\n\n{}", chaos_usage())),
+        }
+    }
+    Ok(out)
+}
+
+/// A parsed `adapcc-sim engine` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineArgs {
+    /// Homogeneous A100 servers in the storm cluster.
+    pub servers: usize,
+    /// Storm waves (each wave is one transfer per server, fully
+    /// drained before the next).
+    pub waves: usize,
+    /// Append an `EngineBenchRecord` line here.
+    pub bench_append: Option<String>,
+}
+
+impl Default for EngineArgs {
+    fn default() -> Self {
+        EngineArgs {
+            servers: 32,
+            waves: 4,
+            bench_append: None,
+        }
+    }
+}
+
+/// The usage string for the `engine` subcommand.
+pub fn engine_usage() -> &'static str {
+    "adapcc-sim engine: flood the fluid-flow engine with contending\n\
+     cross-server transfers and report events per wall-clock second\n\
+     \n\
+     options:\n\
+       --servers N          homogeneous A100 servers (default 32)\n\
+       --waves N            storm waves, each fully drained (default 4)\n\
+       --bench-append FILE  append a one-line machine-readable record\n\
+       --help               this message"
+}
+
+/// Parses `adapcc-sim engine` arguments (everything after the
+/// subcommand word).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags or malformed
+/// values (`--help` arrives as an `Err` carrying the usage text).
+pub fn parse_engine_args<I: IntoIterator<Item = String>>(args: I) -> Result<EngineArgs, String> {
+    let mut out = EngineArgs::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} expects a value\n\n{}", engine_usage()))
+        };
+        let positive = |flag: &str, v: String| -> Result<usize, String> {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("{flag} expects an integer"))?;
+            if n == 0 {
+                return Err(format!("{flag} must be positive"));
+            }
+            Ok(n)
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(engine_usage().to_string()),
+            "--servers" => {
+                out.servers = positive("--servers", value("--servers")?)?;
+                if out.servers < 2 {
+                    return Err("--servers must be at least 2 (the storm is cross-server)".into());
+                }
+            }
+            "--waves" => out.waves = positive("--waves", value("--waves")?)?,
+            "--bench-append" => out.bench_append = Some(value("--bench-append")?),
+            other => return Err(format!("unknown flag {other}\n\n{}", engine_usage())),
         }
     }
     Ok(out)
@@ -319,6 +403,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<SimArgs, St
             "--help" | "-h" => return Err(usage().to_string()),
             "--tcp" => out.tcp = true,
             "--describe" => out.describe = true,
+            "--hierarchical" => out.hierarchical = true,
             "--servers" => out.servers = parse_servers(&value("--servers")?)?,
             "--trace-out" => out.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => out.metrics_out = Some(value("--metrics-out")?),
@@ -390,6 +475,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<SimArgs, St
 }
 
 fn parse_servers(spec: &str) -> Result<Vec<(ServerKind, usize)>, String> {
+    // Plain integer: shorthand for a homogeneous a100:N fleet, the
+    // common case of the scale sweeps.
+    if let Ok(n) = spec.parse::<usize>() {
+        if n == 0 {
+            return Err("zero servers".into());
+        }
+        return Ok(vec![(ServerKind::A100, n)]);
+    }
     let mut out = Vec::new();
     for part in spec.split(',') {
         let (kind, count) = part
@@ -541,6 +634,21 @@ mod tests {
     }
 
     #[test]
+    fn plain_integer_servers_shorthand() {
+        let a = parse(&["--servers", "128"]).unwrap();
+        assert_eq!(a.servers, vec![(ServerKind::A100, 128)]);
+        assert!(parse(&["--servers", "0"]).is_err());
+    }
+
+    #[test]
+    fn hierarchical_flag() {
+        assert!(!SimArgs::default().hierarchical);
+        assert!(parse(&["--hierarchical"]).unwrap().hierarchical);
+        let usage = parse(&["--help"]).unwrap_err();
+        assert!(usage.contains("--hierarchical"));
+    }
+
+    #[test]
     fn h100_server_kind_builds() {
         let a = parse(&["--servers", "h100:2,a100:1"]).unwrap();
         assert_eq!(
@@ -620,6 +728,37 @@ mod tests {
         assert_eq!(a.horizon_ms, 4.0);
         assert_eq!(a.settle_iters, 8);
         assert!(a.verbose);
+    }
+
+    fn parse_engine(words: &[&str]) -> Result<EngineArgs, String> {
+        parse_engine_args(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn engine_defaults_and_full_invocation() {
+        assert_eq!(parse_engine(&[]).unwrap(), EngineArgs::default());
+        let a = parse_engine(&[
+            "--servers",
+            "128",
+            "--waves",
+            "8",
+            "--bench-append",
+            "BENCH_engine.json",
+        ])
+        .unwrap();
+        assert_eq!(a.servers, 128);
+        assert_eq!(a.waves, 8);
+        assert_eq!(a.bench_append.as_deref(), Some("BENCH_engine.json"));
+    }
+
+    #[test]
+    fn engine_rejects_malformed_input() {
+        assert!(parse_engine(&["--servers", "1"]).is_err(), "cross-server");
+        assert!(parse_engine(&["--waves", "0"]).is_err());
+        assert!(parse_engine(&["--banana"]).is_err());
+        assert!(parse_engine(&["--help"]).unwrap_err().contains("--waves"));
+        let usage = parse(&["--help"]).unwrap_err();
+        assert!(usage.contains("engine"), "main usage advertises engine");
     }
 
     #[test]

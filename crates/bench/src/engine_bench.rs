@@ -1,0 +1,95 @@
+//! Synthetic engine-throughput benchmark ("storm"): floods the
+//! fluid-flow simulator with waves of contending cross-server
+//! transfers and reports processed events per wall-clock second — the
+//! `BENCH_engine.json` metric. The workload is pure engine stress (no
+//! synthesis, no executor), so it isolates the event-queue,
+//! flow-aggregation and allocator paths that the cluster-scale rewrite
+//! targets.
+
+use std::time::Instant;
+
+use adapcc_simnet::cluster::{Cluster, InstanceId};
+use adapcc_simnet::engine::NetSim;
+use adapcc_simnet::units::ByteSize;
+
+/// Result of one [`engine_storm`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStormReport {
+    /// Transfers submitted across all waves.
+    pub transfers: u64,
+    /// Internal engine events processed.
+    pub events: u64,
+    /// Simulated completion time in milliseconds.
+    pub sim_ms: f64,
+    /// Host wall-clock milliseconds for the whole storm (a property of
+    /// the machine, never of the simulated timeline).
+    pub wall_ms: f64,
+}
+
+impl EngineStormReport {
+    /// The headline throughput: engine events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+/// Runs `waves` rounds of an all-instances shifting-ring pattern: in
+/// wave `w`, every instance sends one 256 KiB transfer to the instance
+/// `1 + (w mod (n-1))` positions ahead, and the wave drains fully
+/// before the next begins. Every wave therefore has all `n` NIC pairs
+/// contending at once, and successive waves rotate the stride so pod
+/// uplinks see both local and cross-pod load.
+///
+/// # Panics
+///
+/// Panics if the cluster has fewer than two instances.
+pub fn engine_storm(cluster: &Cluster, waves: usize) -> EngineStormReport {
+    let n = cluster.instance_count();
+    assert!(n >= 2, "the storm needs at least two instances");
+    let mut sim = NetSim::new(cluster);
+    let mut token = 0u64;
+    let start = Instant::now();
+    for w in 0..waves {
+        let stride = 1 + w % (n - 1);
+        for i in 0..n {
+            let path = cluster.net_path(InstanceId(i), InstanceId((i + stride) % n));
+            sim.submit_transfer(&path, ByteSize::from_kib(256), token);
+            token += 1;
+        }
+        while sim.step().is_some() {}
+    }
+    EngineStormReport {
+        transfers: token,
+        events: sim.events_processed(),
+        sim_ms: sim.now().as_millis(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_completes_every_transfer() {
+        let cluster = Cluster::homogeneous_a100(4);
+        let r = engine_storm(&cluster, 3);
+        assert_eq!(r.transfers, 12);
+        assert!(r.events >= r.transfers, "every transfer costs events");
+        assert!(r.sim_ms > 0.0);
+        assert!(r.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn storm_scales_to_podded_fleets() {
+        // 32 servers > FLAT_FABRIC_MAX: the pattern crosses pod
+        // boundaries and must still drain completely.
+        let cluster = Cluster::homogeneous_a100(32);
+        let r = engine_storm(&cluster, 2);
+        assert_eq!(r.transfers, 64);
+        assert!(r.events >= r.transfers);
+    }
+}

@@ -18,6 +18,7 @@
 pub mod chaos;
 pub mod churn;
 pub mod cli;
+pub mod engine_bench;
 pub mod figs;
 pub mod harness;
 pub mod record;

@@ -41,6 +41,15 @@ pub struct BenchRecord {
     pub synth_delta_evals: u64,
     /// `synth.chains` counter (annealing chains actually used).
     pub synth_chains: u64,
+    /// Whether the run forced two-tier hierarchical synthesis
+    /// (`--hierarchical`).
+    pub hierarchical: bool,
+    /// Host wall-clock milliseconds of the end-to-end synth + sim run
+    /// (0 when not measured). Real time, never simulated.
+    pub sim_wall_ms: f64,
+    /// Engine throughput from the storm micro-benchmark on the same
+    /// cluster, in events per wall-clock second (0 when not measured).
+    pub engine_events_per_sec: f64,
 }
 
 impl BenchRecord {
@@ -56,7 +65,9 @@ impl BenchRecord {
              \"algo_bw_gbytes\":{:.6},\"plan_cache_hits\":{},\
              \"plan_cache_misses\":{},\"plan_cache_warm_starts\":{},\
              \"solver_wall_ms\":{:.3},\"synth_full_evals\":{},\
-             \"synth_delta_evals\":{},\"synth_chains\":{}}}",
+             \"synth_delta_evals\":{},\"synth_chains\":{},\
+             \"hierarchical\":{},\"sim_wall_ms\":{:.3},\
+             \"engine_events_per_sec\":{:.1}}}",
             escape(&self.system),
             escape(&self.primitive),
             escape(&self.servers),
@@ -71,6 +82,69 @@ impl BenchRecord {
             self.synth_full_evals,
             self.synth_delta_evals,
             self.synth_chains,
+            self.hierarchical,
+            self.sim_wall_ms,
+            self.engine_events_per_sec,
+        );
+        s
+    }
+
+    /// Appends the record (plus newline) to `path`, creating the file
+    /// if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from opening or writing the file.
+    pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{}", self.to_json())
+    }
+}
+
+/// One engine-storm micro-benchmark run (see
+/// [`crate::engine_bench::engine_storm`]), flattened for line-oriented
+/// appending to `BENCH_engine.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineBenchRecord {
+    /// Server fleet spec, e.g. `a100:128`.
+    pub servers: String,
+    /// GPUs in the fleet.
+    pub gpus: usize,
+    /// Storm waves run.
+    pub waves: usize,
+    /// Transfers submitted.
+    pub transfers: u64,
+    /// Internal engine events processed.
+    pub events: u64,
+    /// Simulated completion milliseconds.
+    pub sim_ms: f64,
+    /// Host wall-clock milliseconds (machine property).
+    pub wall_ms: f64,
+    /// Events per wall-clock second — the headline metric.
+    pub events_per_sec: f64,
+}
+
+impl EngineBenchRecord {
+    /// Renders the record as a single-line JSON object (no trailing
+    /// newline), field order fixed.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"servers\":\"{}\",\"gpus\":{},\"waves\":{},\"transfers\":{},\
+             \"events\":{},\"sim_ms\":{:.6},\"wall_ms\":{:.3},\
+             \"events_per_sec\":{:.1}}}",
+            escape(&self.servers),
+            self.gpus,
+            self.waves,
+            self.transfers,
+            self.events,
+            self.sim_ms,
+            self.wall_ms,
+            self.events_per_sec,
         );
         s
     }
@@ -121,6 +195,9 @@ mod tests {
             synth_full_evals: 13,
             synth_delta_evals: 360,
             synth_chains: 1,
+            hierarchical: false,
+            sim_wall_ms: 0.0,
+            engine_events_per_sec: 0.0,
         }
     }
 
@@ -137,6 +214,30 @@ mod tests {
         assert!(j.contains("\"synth_full_evals\":13"));
         assert!(j.contains("\"synth_delta_evals\":360"));
         assert!(j.contains("\"synth_chains\":1"));
+        assert!(j.contains("\"hierarchical\":false"));
+        assert!(j.contains("\"sim_wall_ms\":0.000"));
+        assert!(j.contains("\"engine_events_per_sec\":0.0"));
+        assert!(j.ends_with('}'));
+    }
+
+    #[test]
+    fn engine_record_is_one_line_json() {
+        let r = EngineBenchRecord {
+            servers: "a100:128".into(),
+            gpus: 512,
+            waves: 4,
+            transfers: 512,
+            events: 4096,
+            sim_ms: 1.25,
+            wall_ms: 97.5,
+            events_per_sec: 42010.3,
+        };
+        let j = r.to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with("{\"servers\":\"a100:128\""));
+        assert!(j.contains("\"gpus\":512"));
+        assert!(j.contains("\"events\":4096"));
+        assert!(j.contains("\"events_per_sec\":42010.3"));
         assert!(j.ends_with('}'));
     }
 

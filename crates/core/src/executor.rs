@@ -38,6 +38,13 @@ use crate::error::{AdapCCError, FaultKind, FaultReport};
 /// because contention concentrates on single links.)
 pub const DEFAULT_DEADLINE_MULTIPLIER: f64 = 16.0;
 
+/// Fleet size (in instances) at which the executor turns on the
+/// engine's completion coalescing. Below it the exact drain cascade is
+/// kept — its event stream is pinned by golden traces; at or above it
+/// the sub-picosecond cascade spacing is collapsed per wave (see
+/// `NetSim::with_completion_coalescing`).
+pub const COALESCE_INSTANCE_THRESHOLD: usize = 64;
+
 /// Floor on any hop deadline, so microsecond-scale chunks do not trip
 /// their deadline on transient queueing.
 fn deadline_floor() -> SimDuration {
@@ -736,7 +743,13 @@ impl<'a> Executor<'a> {
         subs: &[LoweredSub],
     ) -> Result<BatchReport, FaultReport> {
         let collect: Vec<bool> = requests.iter().map(|r| r.inputs.is_some()).collect();
-        let mut sim = NetSim::new(self.cluster);
+        // Cluster-scale fleets drain synchronized chunk waves whose
+        // exact-mode completion cascade costs one rate filling per
+        // finisher; coalescing collapses each wave to one instant (and
+        // one filling). Small fleets stay in exact mode, whose event
+        // stream is pinned bit-for-bit by golden traces.
+        let coalesce = self.cluster.instance_count() >= COALESCE_INSTANCE_THRESHOLD;
+        let mut sim = NetSim::new(self.cluster).with_completion_coalescing(coalesce);
         for (l, f) in &self.factors {
             sim.set_capacity_factor(*l, *f);
         }

@@ -117,8 +117,14 @@ impl<'c> AdapCC<'c> {
     /// `participants`, so they flip the shape half and structurally
     /// invalidate every pre-exclusion plan; profile drift past the
     /// `resynth_threshold` quantization flips only the profile half,
-    /// leaving the entry warm-startable.
+    /// leaving the entry warm-startable. The key carries the *resolved*
+    /// tier decision (would this request synthesize hierarchically?),
+    /// so flipping `SynthConfig::hierarchical` — or crossing the auto
+    /// threshold as workers join — never serves a plan solved under the
+    /// other regime.
     fn plan_fingerprint(&self, req: &SynthRequest) -> Fingerprint {
+        let instances =
+            adapcc_synth::solver::group_by_instance(&self.topo, &req.participants).len();
         fingerprint(&FingerprintInputs {
             topo: &self.topo,
             profile: &self.profile,
@@ -129,6 +135,11 @@ impl<'c> AdapCC<'c> {
             tensor: req.tensor,
             root: req.root,
             quantization: self.options.resynth_threshold,
+            hierarchical: self
+                .options
+                .synth
+                .hierarchical
+                .enabled_for(req.participants.len(), instances),
         })
     }
 

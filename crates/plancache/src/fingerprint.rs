@@ -67,6 +67,14 @@ pub struct FingerprintInputs<'a> {
     pub root: Option<Rank>,
     /// Relative α–β bucket width; sessions pass `resynth_threshold`.
     pub quantization: f64,
+    /// Whether the synthesizer will decompose this request into
+    /// intra-/inter-server tiers (sessions pass the resolved
+    /// `Hierarchical::enabled_for` decision, not the raw mode). Tiered
+    /// and flat solves of the same problem produce different
+    /// strategies, so they must not share a cache entry; hashed into
+    /// the shape half only when set, keeping every flat fingerprint
+    /// byte-stable across cache versions.
+    pub hierarchical: bool,
 }
 
 /// Computes the canonical fingerprint of a synthesis problem.
@@ -107,6 +115,9 @@ fn shape_hash(inp: &FingerprintInputs<'_>) -> u64 {
     h.u64(primitive_tag(inp.primitive));
     h.u64(inp.parallelism as u64);
     h.u64(size_class(inp.tensor) as u64);
+    if inp.hierarchical {
+        h.str("hierarchical");
+    }
     match inp.root {
         Some(r) => {
             h.u64(1);
@@ -251,6 +262,7 @@ mod tests {
             tensor: ByteSize::from_mib(64),
             root: None,
             quantization: 0.15,
+            hierarchical: false,
         }
     }
 
@@ -324,6 +336,22 @@ mod tests {
         assert_ne!(bucket(1.0, 0.15), bucket(2.0, 0.15));
         assert_eq!(bucket(-1.0, 0.15), i64::MIN);
         assert_eq!(bucket(0.0, 0.15), i64::MIN);
+    }
+
+    #[test]
+    fn hierarchical_tier_flips_only_the_shape_half() {
+        let c = Cluster::homogeneous_a100(2);
+        let (topo, profile) = setup(&c);
+        let ranks: Vec<Rank> = (0..8).map(Rank).collect();
+        let mut i = inputs(&topo, &profile, &ranks);
+        let flat = fingerprint(&i);
+        i.hierarchical = true;
+        let tiered = fingerprint(&i);
+        assert_ne!(
+            flat.shape, tiered.shape,
+            "tiered and flat solves must not share a cache entry"
+        );
+        assert_eq!(flat.profile, tiered.profile, "measurements unchanged");
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use adapcc_simnet::cluster::{Cluster, InstanceId, LinkId};
+use adapcc_simnet::hardware::InstanceSpec;
 use adapcc_simnet::probe::{ProbeRunner, ProbeSpec};
 use adapcc_simnet::time::SimDuration;
 use adapcc_simnet::units::{Bandwidth, ByteSize};
@@ -128,7 +129,9 @@ pub struct ProfileReport {
     /// Wall-clock cost of the pass (training is blocked this long),
     /// including timeout cost of any lost-and-retried probes.
     pub elapsed: SimDuration,
-    /// Number of inter-instance rounds executed (`N − 1`).
+    /// Number of inter-instance rounds executed: `N − 1` for the full
+    /// schedule, or the distinct pair-class count in sampled mode (see
+    /// [`Profiler::SAMPLE_THRESHOLD`]).
     pub rounds: usize,
     /// Probes lost in flight and retried during the pass.
     pub probe_retries: u64,
@@ -205,9 +208,25 @@ impl<'c, 't> Profiler<'c, 't> {
         self.runner.inject_probe_loss(link, count);
     }
 
+    /// Above this fleet size, [`Profiler::run`] switches to sampled
+    /// profiling: one representative instance per distinct spec is
+    /// measured intra-instance, one representative pair per
+    /// (spec-class, spec-class, same-pod) triple is measured across the
+    /// network, and one fan-in batch runs per target spec class — the
+    /// fits replicate to every identical edge. The full `N − 1` round
+    /// schedule is quadratic in fleet size and would block training for
+    /// minutes at 512 instances; sampling keeps the pass near-constant
+    /// while still measuring every distinct link population.
+    pub const SAMPLE_THRESHOLD: usize = 16;
+
     /// Runs the full pass: concurrent per-instance intra profiling,
-    /// then `N − 1` interference-free inter-instance rounds.
+    /// then `N − 1` interference-free inter-instance rounds. Fleets
+    /// larger than [`Profiler::SAMPLE_THRESHOLD`] run the sampled
+    /// schedule instead (see the constant's docs).
     pub fn run(&mut self) -> ProfileReport {
+        if self.cluster.instance_count() > Self::SAMPLE_THRESHOLD {
+            return self.run_sampled();
+        }
         let retries_before = self.runner.probe_retries();
         let mut links = LinkProfile::new();
         // Intra phase: instances profile concurrently; the phase costs
@@ -250,6 +269,214 @@ impl<'c, 't> Profiler<'c, 't> {
             rounds,
             probe_retries: self.runner.probe_retries() - retries_before,
         }
+    }
+
+    /// The sampled pass for large fleets: representatives per spec
+    /// class / pair class are measured; fits replicate to every edge of
+    /// the same population. `elapsed` is the cost of the reduced
+    /// schedule actually executed — that reduction is the point.
+    fn run_sampled(&mut self) -> ProfileReport {
+        let retries_before = self.runner.probe_retries();
+        let mut links = LinkProfile::new();
+        let n = self.cluster.instance_count();
+        // Spec classes in first-seen instance order.
+        let mut classes: Vec<InstanceSpec> = Vec::new();
+        let mut class_of: Vec<usize> = Vec::with_capacity(n);
+        let mut rep_of: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let spec = *self.cluster.spec(InstanceId(i));
+            match classes.iter().position(|s| *s == spec) {
+                Some(c) => class_of.push(c),
+                None => {
+                    class_of.push(classes.len());
+                    rep_of.push(i);
+                    classes.push(spec);
+                }
+            }
+        }
+        // Intra phase: representatives probe concurrently; identical
+        // servers inherit their class representative's fits (all
+        // endpoints are local GPU indices, so the mapping is exact).
+        let mut intra_slowest = SimDuration::ZERO;
+        for &rep in &rep_of {
+            let took = self.profile_instance(InstanceId(rep), &mut links);
+            intra_slowest = intra_slowest.max(took);
+        }
+        for kind in [EdgeKind::NvLink, EdgeKind::PciePeer] {
+            for eid in self.topo.edges_of_kind(kind) {
+                let edge = self.topo.edge(eid);
+                let (LogicalNode::Gpu(ra), LogicalNode::Gpu(rb)) = (edge.from, edge.to) else {
+                    continue;
+                };
+                let (ia, la) = self.cluster.locate(ra);
+                let (ib, lb) = self.cluster.locate(rb);
+                if ia != ib {
+                    continue;
+                }
+                let rep = InstanceId(rep_of[class_of[ia.0]]);
+                if rep == ia {
+                    continue;
+                }
+                let rep_edge = self.topo.edge_between(
+                    LogicalNode::Gpu(self.cluster.rank_of(rep, la)),
+                    LogicalNode::Gpu(self.cluster.rank_of(rep, lb)),
+                );
+                if let Some(fit) = rep_edge.and_then(|re| links.get(re)) {
+                    links.insert(eid, fit);
+                }
+            }
+        }
+        for e in self.topo.edges_of_kind(EdgeKind::HostLink) {
+            links.insert(e, AlphaBeta::empirical_pcie());
+        }
+        // Inter phase: one representative ordered pair per
+        // (sender class, receiver class, same-pod) population. Pod
+        // membership is part of the key because cross-pod paths ride
+        // the oversubscribed spine and profile differently.
+        let mut pair_keys: Vec<(usize, usize, bool)> = Vec::new();
+        let mut pair_reps: Vec<(InstanceId, InstanceId)> = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let same_pod =
+                    self.cluster.pod_of(InstanceId(a)) == self.cluster.pod_of(InstanceId(b));
+                let key = (class_of[a], class_of[b], same_pod);
+                if !pair_keys.contains(&key) {
+                    pair_keys.push(key);
+                    pair_reps.push((InstanceId(a), InstanceId(b)));
+                }
+            }
+        }
+        let mut inter_elapsed = SimDuration::ZERO;
+        let mut pair_fits: Vec<Option<AlphaBeta>> = Vec::with_capacity(pair_reps.len());
+        for &(a, b) in &pair_reps {
+            let (fit, took) = self.profile_one_pair(a, b);
+            inter_elapsed += took + self.config.barrier_overhead;
+            pair_fits.push(fit);
+        }
+        for eid in self.topo.edges_of_kind(EdgeKind::Network) {
+            let edge = self.topo.edge(eid);
+            let (LogicalNode::Nic(a), LogicalNode::Nic(b)) = (edge.from, edge.to) else {
+                continue;
+            };
+            let same_pod = self.cluster.pod_of(a) == self.cluster.pod_of(b);
+            let key = (class_of[a.0], class_of[b.0], same_pod);
+            if let Some(k) = pair_keys.iter().position(|x| *x == key) {
+                if let Some(fit) = pair_fits[k] {
+                    links.insert(eid, fit);
+                }
+            }
+        }
+        // Fan-in phase: one batch per target spec class, capped sender
+        // count; the measured aggregate ingress replicates class-wide.
+        let fanin_elapsed = self.profile_fanin_sampled(&class_of, &rep_of, &mut links);
+        let (t_intra, t_inter) = (intra_slowest.as_secs(), inter_elapsed.as_secs());
+        self.telemetry.span("profile.intra", "phase", 0.0, t_intra);
+        self.telemetry
+            .span("profile.inter", "phase", t_intra, t_intra + t_inter);
+        self.telemetry.span(
+            "profile.fanin",
+            "phase",
+            t_intra + t_inter,
+            t_intra + t_inter + fanin_elapsed.as_secs(),
+        );
+        self.telemetry
+            .set_counter("profile.edges", links.len() as f64);
+        self.telemetry
+            .set_counter("profile.sampled_pairs", pair_reps.len() as f64);
+        ProfileReport {
+            links,
+            elapsed: intra_slowest + inter_elapsed + fanin_elapsed + self.runner.take_lost_time(),
+            rounds: pair_reps.len(),
+            probe_retries: self.runner.probe_retries() - retries_before,
+        }
+    }
+
+    /// Probes one NIC pair with the standard three payloads plus the
+    /// four-stream aggregate probe, returning the fitted cost.
+    fn profile_one_pair(
+        &mut self,
+        a: InstanceId,
+        b: InstanceId,
+    ) -> (Option<AlphaBeta>, SimDuration) {
+        let sizes = [
+            ByteSize::from_kib(256),
+            ByteSize::from_mib(4),
+            ByteSize::from_mib(16),
+        ];
+        let mut meas = Vec::new();
+        let mut elapsed = SimDuration::ZERO;
+        for s in sizes {
+            let d = self
+                .runner
+                .run_one(&ProbeSpec::new(self.cluster.net_path(a, b), s));
+            elapsed += d;
+            meas.push((s, d));
+        }
+        const STREAMS: usize = 4;
+        let probe = ByteSize::from_mib(8);
+        let specs: Vec<ProbeSpec> = (0..STREAMS)
+            .map(|_| ProbeSpec::new(self.cluster.net_path(a, b), probe))
+            .collect();
+        let durs = self.runner.run_concurrent(&specs);
+        let slowest = durs
+            .iter()
+            .copied()
+            .fold(SimDuration::ZERO, SimDuration::max);
+        elapsed += slowest;
+        let aggregate = probe.as_f64() * STREAMS as f64 / slowest.as_secs();
+        let fit = AlphaBeta::fit(&meas)
+            .map(|f| f.with_port_bandwidth(Bandwidth::from_bytes_per_sec(aggregate)));
+        (fit, elapsed)
+    }
+
+    /// Sampled fan-in: one batch per target spec class with at most
+    /// eight senders; the measured ingress replicates to every instance
+    /// of the class.
+    fn profile_fanin_sampled(
+        &mut self,
+        class_of: &[usize],
+        rep_of: &[usize],
+        links: &mut LinkProfile,
+    ) -> SimDuration {
+        let n = self.cluster.instance_count();
+        if n < 2 {
+            return SimDuration::ZERO;
+        }
+        const MAX_SENDERS: usize = 8;
+        let probe = ByteSize::from_mib(8);
+        let mut elapsed = SimDuration::ZERO;
+        for (c, &rep) in rep_of.iter().enumerate() {
+            let target = InstanceId(rep);
+            let specs: Vec<ProbeSpec> = (0..n)
+                .filter(|k| *k != rep)
+                .take(MAX_SENDERS)
+                .map(|k| ProbeSpec::new(self.cluster.net_path(InstanceId(k), target), probe))
+                .collect();
+            let durs = self.runner.run_concurrent(&specs);
+            let batch_max = durs
+                .iter()
+                .copied()
+                .fold(SimDuration::ZERO, SimDuration::max);
+            elapsed += batch_max + self.config.barrier_overhead;
+            let aggregate: f64 = durs
+                .iter()
+                .filter(|d| d.as_secs() > 0.0)
+                .map(|d| probe.as_f64() / d.as_secs())
+                .sum();
+            self.telemetry.set_counter(
+                &format!("profile.nic_ingress_gbps.inst{rep}"),
+                aggregate / 1e9,
+            );
+            for (i, &ci) in class_of.iter().enumerate() {
+                if ci == c {
+                    links.set_nic_ingress(InstanceId(i), Bandwidth::from_bytes_per_sec(aggregate));
+                }
+            }
+        }
+        elapsed
     }
 
     /// Fan-in rounds: for each target instance, every other instance
@@ -556,6 +783,50 @@ mod tests {
         // ...but the pass is charged the timeout wall-clock.
         assert!(report.elapsed > clean.elapsed);
         assert_eq!(clean.probe_retries, 0);
+    }
+
+    #[test]
+    fn sampled_profiling_covers_large_fleets() {
+        // 24 instances (> SAMPLE_THRESHOLD) with two pods: one spec
+        // class, so two pair classes (same-pod, cross-pod).
+        let c = Cluster::homogeneous_a100(24);
+        let topo = Detector::new(&c, 1).run().logical_topology(&c);
+        let report = Profiler::new(&c, &topo, 1).without_noise().run();
+        for kind in [
+            EdgeKind::NvLink,
+            EdgeKind::PciePeer,
+            EdgeKind::HostLink,
+            EdgeKind::Network,
+        ] {
+            for e in topo.edges_of_kind(kind) {
+                assert!(report.links.get(e).is_some(), "{kind:?} edge unprofiled");
+            }
+        }
+        assert_eq!(report.rounds, 2, "one spec class x same/cross pod");
+        // Every instance carries a fan-in ingress measurement.
+        for i in 0..24 {
+            assert!(report.links.nic_ingress(InstanceId(i)).is_some());
+        }
+        // Replicated intra fits match the representative's measurement.
+        let rep = topo
+            .edge_between(
+                LogicalNode::Gpu(c.rank_of(InstanceId(0), 0)),
+                LogicalNode::Gpu(c.rank_of(InstanceId(0), 1)),
+            )
+            .unwrap();
+        let far = topo
+            .edge_between(
+                LogicalNode::Gpu(c.rank_of(InstanceId(23), 0)),
+                LogicalNode::Gpu(c.rank_of(InstanceId(23), 1)),
+            )
+            .unwrap();
+        assert_eq!(report.links.get(rep), report.links.get(far));
+        // The pass stays near-constant instead of scaling with N^2.
+        assert!(
+            report.elapsed.as_secs() < 2.0,
+            "sampled elapsed {}",
+            report.elapsed
+        );
     }
 
     #[test]

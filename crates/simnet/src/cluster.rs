@@ -64,6 +64,12 @@ pub enum LinkKind {
     NicEgress,
     /// The NIC's ingress port from the datacenter fabric.
     NicIngress,
+    /// A pod's shared uplink into the spine (oversubscribed fat-tree
+    /// tier): every cross-pod flow leaving the pod crosses it.
+    PodUplink,
+    /// A pod's shared downlink from the spine: every cross-pod flow
+    /// entering the pod crosses it.
+    PodDownlink,
 }
 
 /// A directed link with an α–β cost: `alpha` latency plus
@@ -142,6 +148,12 @@ pub struct Cluster {
     gpu_switch: Vec<Vec<usize>>,
     /// Which NUMA node each switch hangs off.
     switch_numa: Vec<Vec<usize>>,
+    /// Which pod each instance belongs to (all zero on a flat fabric).
+    pod_of: Vec<usize>,
+    /// Per-pod shared uplink into the spine; empty on a flat fabric.
+    pod_uplink: Vec<LinkId>,
+    /// Per-pod shared downlink from the spine; empty on a flat fabric.
+    pod_downlink: Vec<LinkId>,
 }
 
 impl Cluster {
@@ -158,13 +170,55 @@ impl Cluster {
         b.build()
     }
 
+    /// Largest fleet still modeled as a flat, non-blocking NIC fabric.
+    /// Above this, presets switch to an oversubscribed pod fabric —
+    /// real clusters at that scale are fat-trees, not crossbars.
+    pub const FLAT_FABRIC_MAX: usize = 16;
+
+    /// Servers per pod (leaf switch) on the preset fat-tree fabrics.
+    pub const POD_SIZE: usize = 16;
+
     /// The paper's homogeneous setting: `n` A100 servers, RDMA.
+    ///
+    /// Up to [`Cluster::FLAT_FABRIC_MAX`] servers the NIC fabric is flat
+    /// (the paper's testbed). Larger fleets are grouped into pods of
+    /// [`Cluster::POD_SIZE`] with oversubscription that grows with the
+    /// pod count — `f = clamp(ceil(log2(pods)), 1, 4)` — so NIC sizing
+    /// scales the way production fat-trees do instead of assuming the
+    /// testbed's crossbar.
     pub fn homogeneous_a100(n: usize) -> Self {
         let mut b = ClusterBuilder::new();
-        for _ in 0..n {
-            b.add_instance(InstanceSpec::a100_server());
-        }
+        b.add_instances(InstanceSpec::a100_server(), n);
+        Self::pod_defaults(&mut b, n);
         b.build()
+    }
+
+    /// A fat-tree cluster of `servers` A100-class instances with
+    /// `gpus_per_server` GPUs each, using the same pod sizing rules as
+    /// [`Cluster::homogeneous_a100`]. This is the scale-sweep builder:
+    /// `fat_tree(128, 8)` is a 1024-GPU cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` or `gpus_per_server` is zero.
+    pub fn fat_tree(servers: usize, gpus_per_server: usize) -> Self {
+        assert!(servers > 0, "fat_tree needs at least one server");
+        let spec = InstanceSpec::a100_server().with_gpu_count(gpus_per_server);
+        let mut b = ClusterBuilder::new();
+        b.add_instances(spec, servers);
+        Self::pod_defaults(&mut b, servers);
+        b.build()
+    }
+
+    /// Applies the preset pod policy: flat up to `FLAT_FABRIC_MAX`
+    /// servers, pods of `POD_SIZE` with log-scaled oversubscription
+    /// beyond.
+    fn pod_defaults(b: &mut ClusterBuilder, servers: usize) {
+        if servers > Self::FLAT_FABRIC_MAX {
+            let pods = servers.div_ceil(Self::POD_SIZE);
+            let f = (pods as f64).log2().ceil().clamp(1.0, 4.0);
+            b.with_pod_size(Self::POD_SIZE).with_oversubscription(f);
+        }
     }
 
     /// The paper's heterogeneous training setting: two A100 + two V100
@@ -395,7 +449,45 @@ impl Cluster {
             .nic
             .wire_latency()
             .max(self.specs[to.0].nic.wire_latency());
-        Path::new(vec![self.nic_egress[from.0], self.nic_ingress[to.0]]).with_extra_alpha(wire)
+        let mut links = vec![self.nic_egress[from.0]];
+        if !self.pod_uplink.is_empty() {
+            let (pf, pt) = (self.pod_of[from.0], self.pod_of[to.0]);
+            if pf != pt {
+                // Cross-pod traffic shares the pod's uplink and the
+                // destination pod's downlink — this is where fat-tree
+                // oversubscription bites.
+                links.push(self.pod_uplink[pf]);
+                links.push(self.pod_downlink[pt]);
+            }
+        }
+        links.push(self.nic_ingress[to.0]);
+        Path::new(links).with_extra_alpha(wire)
+    }
+
+    /// Number of pods in the fabric (1 on a flat fabric).
+    pub fn pod_count(&self) -> usize {
+        self.pod_uplink.len().max(1)
+    }
+
+    /// The pod an instance belongs to (always 0 on a flat fabric).
+    pub fn pod_of(&self, id: InstanceId) -> usize {
+        self.pod_of[id.0]
+    }
+
+    /// True when the fabric has an oversubscribed pod tier (i.e. it is
+    /// not the testbed's flat crossbar).
+    pub fn has_pods(&self) -> bool {
+        !self.pod_uplink.is_empty()
+    }
+
+    /// The shared uplink of a pod, if the fabric has a pod tier.
+    pub fn pod_uplink_link(&self, pod: usize) -> Option<LinkId> {
+        self.pod_uplink.get(pod).copied()
+    }
+
+    /// The shared downlink of a pod, if the fabric has a pod tier.
+    pub fn pod_downlink_link(&self, pod: usize) -> Option<LinkId> {
+        self.pod_downlink.get(pod).copied()
     }
 
     /// The NIC egress port resource of an instance.
@@ -440,6 +532,8 @@ impl Cluster {
 #[derive(Debug, Default)]
 pub struct ClusterBuilder {
     specs: Vec<InstanceSpec>,
+    pod_size: Option<usize>,
+    oversubscription: Option<f64>,
 }
 
 impl ClusterBuilder {
@@ -459,6 +553,30 @@ impl ClusterBuilder {
         for _ in 0..n {
             self.specs.push(spec);
         }
+        self
+    }
+
+    /// Groups instances into pods of `size` behind shared spine links.
+    /// Without this the fabric is a flat crossbar (the paper testbed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn with_pod_size(&mut self, size: usize) -> &mut Self {
+        assert!(size > 0, "pod size must be positive");
+        self.pod_size = Some(size);
+        self
+    }
+
+    /// Sets the pod-tier oversubscription factor `f`: a pod's uplink
+    /// and downlink each carry `sum(member NIC bandwidth) / f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not at least 1.
+    pub fn with_oversubscription(&mut self, f: f64) -> &mut Self {
+        assert!(f.is_finite() && f >= 1.0, "oversubscription must be >= 1");
+        self.oversubscription = Some(f);
         self
     }
 
@@ -674,6 +792,51 @@ impl ClusterBuilder {
             switch_numa.push(sn);
         }
 
+        // Pod tier: instances grouped behind shared, possibly
+        // oversubscribed spine links. Like the NIC ports, pod links are
+        // self-loops in the graph sense (anchored on a member NIC node)
+        // and are addressed by id, never by endpoints.
+        let n = self.specs.len();
+        let mut pod_of = vec![0usize; n];
+        let mut pod_uplink = Vec::new();
+        let mut pod_downlink = Vec::new();
+        if let Some(ps) = self.pod_size {
+            let pods = n.div_ceil(ps);
+            if pods >= 2 {
+                let f = self.oversubscription.unwrap_or(1.0);
+                let fabric_alpha = SimDuration::from_nanos(600.0);
+                for (i, p) in pod_of.iter_mut().enumerate() {
+                    *p = i / ps;
+                }
+                for pod in 0..pods {
+                    let members = pod * ps..((pod + 1) * ps).min(n);
+                    let anchor = nic_nodes[members.start];
+                    let nic_sum: f64 = members
+                        .map(|i| self.specs[i].nic.bandwidth.as_bytes_per_sec())
+                        .sum();
+                    let cap = Bandwidth::from_bytes_per_sec(nic_sum / f);
+                    for kind in [LinkKind::PodUplink, LinkKind::PodDownlink] {
+                        let id = push_link(
+                            &mut links,
+                            &mut link_by_ends,
+                            LinkDef {
+                                src: anchor,
+                                dst: anchor,
+                                kind,
+                                alpha: fabric_alpha,
+                                capacity: cap,
+                                per_flow_cap: None,
+                            },
+                        );
+                        match kind {
+                            LinkKind::PodUplink => pod_uplink.push(id),
+                            _ => pod_downlink.push(id),
+                        }
+                    }
+                }
+            }
+        }
+
         Cluster {
             specs: self.specs.clone(),
             nodes,
@@ -687,6 +850,9 @@ impl ClusterBuilder {
             link_by_ends,
             gpu_switch,
             switch_numa,
+            pod_of,
+            pod_uplink,
+            pod_downlink,
         }
     }
 }
@@ -810,5 +976,79 @@ mod tests {
         let same = c.gpu_to_host_path(Rank(0), 0);
         let cross = c.gpu_to_host_path(Rank(0), 1);
         assert_eq!(cross.links.len(), same.links.len() + 1);
+    }
+
+    #[test]
+    fn small_fleets_stay_on_the_flat_fabric() {
+        // The paper-scale presets must keep their historical shape:
+        // no pod tier, two-link net paths.
+        for n in [1, 2, 4, 16] {
+            let c = Cluster::homogeneous_a100(n);
+            assert!(!c.has_pods(), "n={n}");
+            assert_eq!(c.pod_count(), 1);
+            if n >= 2 {
+                assert_eq!(c.net_path(InstanceId(0), InstanceId(n - 1)).links.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn per_tier_bandwidth_scales_oversubscription_with_n() {
+        // 32 servers -> 2 pods, f = clamp(ceil(log2(2)), 1, 4) = 1:
+        // each pod uplink carries the full 16 x 12.5 GB/s = 200 GB/s.
+        let c = Cluster::homogeneous_a100(32);
+        assert!(c.has_pods());
+        assert_eq!(c.pod_count(), 2);
+        let up = c.pod_uplink_link(0).unwrap();
+        let gbs = c.link(up).capacity.as_gbytes_per_sec();
+        assert!((gbs - 200.0).abs() < 1e-6, "2-pod uplink {gbs}");
+
+        // 512 servers -> 32 pods, f = clamp(ceil(log2(32)), 1, 4) = 4:
+        // 200 GB/s / 4 = 50 GB/s per tier link, both directions.
+        let c = Cluster::homogeneous_a100(512);
+        assert_eq!(c.instance_count(), 512);
+        assert_eq!(c.pod_count(), 32);
+        for pod in [0, 31] {
+            let up = c.link(c.pod_uplink_link(pod).unwrap()).capacity;
+            let down = c.link(c.pod_downlink_link(pod).unwrap()).capacity;
+            assert!((up.as_gbytes_per_sec() - 50.0).abs() < 1e-6);
+            assert!((down.as_gbytes_per_sec() - 50.0).abs() < 1e-6);
+        }
+        // Per-NIC egress is unchanged by the pod tier.
+        let eg = c.nic_egress_link(InstanceId(0));
+        assert!((c.link(eg).capacity.as_gbytes_per_sec() - 12.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_pod_paths_traverse_the_spine() {
+        let c = Cluster::homogeneous_a100(32);
+        // Same pod: flat two-link path.
+        let intra = c.net_path(InstanceId(0), InstanceId(15));
+        assert_eq!(intra.links.len(), 2);
+        // Cross pod: egress -> uplink -> downlink -> ingress.
+        let cross = c.net_path(InstanceId(0), InstanceId(16));
+        assert_eq!(cross.links.len(), 4);
+        assert_eq!(c.link(cross.links[1]).kind, LinkKind::PodUplink);
+        assert_eq!(c.link(cross.links[2]).kind, LinkKind::PodDownlink);
+        assert!(c.path_alpha(&cross) > c.path_alpha(&intra));
+        assert_eq!(c.pod_of(InstanceId(0)), 0);
+        assert_eq!(c.pod_of(InstanceId(16)), 1);
+    }
+
+    #[test]
+    fn fat_tree_builder_scales_to_512_instances() {
+        let c = Cluster::fat_tree(128, 8);
+        assert_eq!(c.instance_count(), 128);
+        assert_eq!(c.gpu_count(), 1024);
+        assert_eq!(c.pod_count(), 8);
+        // 8 pods -> f = 3; uplink = 16 x 12.5 / 3 GB/s.
+        let up = c.pod_uplink_link(0).unwrap();
+        let want = 16.0 * 12.5 / 3.0;
+        assert!((c.link(up).capacity.as_gbytes_per_sec() - want).abs() < 1e-6);
+        // The big homogeneous preset builds and ranks round-trip.
+        let big = Cluster::homogeneous_a100(512);
+        assert_eq!(big.gpu_count(), 2048);
+        let (inst, local) = big.locate(Rank(2047));
+        assert_eq!(big.rank_of(inst, local), Rank(2047));
     }
 }

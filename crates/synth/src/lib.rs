@@ -39,6 +39,7 @@
 
 pub mod cost;
 pub mod exhaustive;
+pub mod hierarchy;
 pub mod primitive;
 pub mod solver;
 pub mod strategy;
@@ -47,6 +48,7 @@ pub mod xml;
 
 pub use cost::{CostEstimate, CostModel};
 pub use exhaustive::exhaustive_optimum;
+pub use hierarchy::Hierarchical;
 pub use primitive::Primitive;
 pub use solver::{instance_of, PlanSeed, SubSeed, SynthConfig, SynthRequest, Synthesizer};
 pub use strategy::{Flow, InvalidStrategy, Strategy, SubCollective};

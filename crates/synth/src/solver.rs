@@ -32,6 +32,7 @@ use adapcc_simnet::units::ByteSize;
 use adapcc_topo::logical::{EdgeKind, LogicalNode, LogicalTopology};
 
 use crate::cost::{CostModel, CostState};
+use crate::hierarchy::Hierarchical;
 use crate::primitive::Primitive;
 use crate::strategy::{validate_sub, Flow, Strategy, SubCollective};
 
@@ -98,6 +99,9 @@ pub struct SynthConfig {
     /// seeds, iteration splits and the cost argmin are all independent
     /// of how chains map to threads.
     pub solver_threads: usize,
+    /// When to decompose into intra-/inter-server tiers instead of
+    /// running the flat whole-fleet search (see [`crate::hierarchy`]).
+    pub hierarchical: Hierarchical,
 }
 
 impl Default for SynthConfig {
@@ -116,6 +120,7 @@ impl Default for SynthConfig {
             balance_passes: 3,
             anneal_chains: 1,
             solver_threads: 1,
+            hierarchical: Hierarchical::Auto,
         }
     }
 }
@@ -170,27 +175,31 @@ pub fn instance_of(topo: &LogicalTopology, rank: Rank) -> InstanceId {
 /// The per-sub-collective tree blueprint the annealer mutates;
 /// `realize` expands it to flows.
 #[derive(Debug, Clone, PartialEq)]
-struct TreeSpec {
+pub(crate) struct TreeSpec {
     /// Leader GPU per participating instance.
-    leader: BTreeMap<InstanceId, Rank>,
+    pub(crate) leader: BTreeMap<InstanceId, Rank>,
     /// Inter-instance tree: child instance -> parent instance.
-    parent: BTreeMap<InstanceId, InstanceId>,
+    pub(crate) parent: BTreeMap<InstanceId, InstanceId>,
     /// Root GPU of this sub-collective. Plain Reduce pins one root for
     /// every sub; AllReduce spreads roots across instances so the
     /// aggregation load is not funnelled into a single NIC (the
     /// parallel-sub-collective benefit of Fig. 8).
-    root: Rank,
+    pub(crate) root: Rank,
     /// Root instance.
-    root_inst: InstanceId,
+    pub(crate) root_inst: InstanceId,
     /// Members routed through a relay hub: member -> hub.
-    via_hub: BTreeMap<Rank, Rank>,
-    chunk: ByteSize,
-    fraction: f64,
+    pub(crate) via_hub: BTreeMap<Rank, Rank>,
+    /// Chunk size flows of this sub are pipelined at.
+    pub(crate) chunk: ByteSize,
+    /// Share of the tensor carried by this sub.
+    pub(crate) fraction: f64,
 }
 
+/// A full strategy blueprint: one [`TreeSpec`] per sub-collective.
 #[derive(Debug, Clone)]
-struct Plan {
-    specs: Vec<TreeSpec>,
+pub(crate) struct Plan {
+    /// Blueprints, indexed like `Strategy::subs`.
+    pub(crate) specs: Vec<TreeSpec>,
 }
 
 /// Salt deriving the seeds of annealing chains 1.. from the request
@@ -316,6 +325,26 @@ impl<'a> Synthesizer<'a> {
         self
     }
 
+    /// The logical topology being synthesized over.
+    pub(crate) fn topo(&self) -> &'a LogicalTopology {
+        self.topo
+    }
+
+    /// The profiled link fits driving the cost model.
+    pub(crate) fn profile(&self) -> &'a LinkProfile {
+        self.profile
+    }
+
+    /// The active search configuration.
+    pub(crate) fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// The telemetry sink.
+    pub(crate) fn telemetry(&self) -> &adapcc_telemetry::Telemetry {
+        &self.telemetry
+    }
+
     /// Produces a validated strategy for the request.
     ///
     /// # Panics
@@ -416,9 +445,23 @@ impl<'a> Synthesizer<'a> {
 
     // ---- Reduce family ----
 
-    fn synthesize_reduce_plan(&self, req: &SynthRequest) -> (Strategy, Plan) {
-        let model = CostModel::new(self.topo, self.profile);
+    /// Synthesizes the reduce-family strategy and its blueprint,
+    /// dispatching to the two-tier decomposition for cluster-scale
+    /// fleets (see [`crate::hierarchy`]) and the flat search otherwise.
+    pub(crate) fn synthesize_reduce_plan(&self, req: &SynthRequest) -> (Strategy, Plan) {
         let by_inst = group_by_instance(self.topo, &req.participants);
+        if self
+            .config
+            .hierarchical
+            .enabled_for(req.participants.len(), by_inst.len())
+        {
+            if let Some(out) = crate::hierarchy::synthesize_hierarchical(self, req, &by_inst) {
+                return out;
+            }
+            // Composition failed realization or validation: fall back
+            // to the flat whole-fleet search.
+        }
+        let model = CostModel::new(self.topo, self.profile);
         let hubs = group_by_instance(self.topo, &req.relays);
         let insts: Vec<InstanceId> = by_inst.keys().copied().collect();
 
@@ -555,7 +598,7 @@ impl<'a> Synthesizer<'a> {
     /// `caller_full_evals` folds the caller's candidate evaluations
     /// into the emitted `synth.full_evals` counter.
     #[allow(clippy::too_many_arguments)] // refinement state travels as one bundle
-    fn refine_plan(
+    pub(crate) fn refine_plan(
         &self,
         mut best_cost: f64,
         mut plan: Plan,
@@ -760,7 +803,7 @@ impl<'a> Synthesizer<'a> {
         (best_cost, plan, best_strategy)
     }
 
-    fn eval_plan(
+    pub(crate) fn eval_plan(
         &self,
         plan: &Plan,
         req: &SynthRequest,

@@ -179,13 +179,39 @@ impl<'c> Detector<'c> {
         self
     }
 
-    /// Runs all probes on every instance and returns the report.
+    /// Above this fleet size, detection probes one representative per
+    /// distinct instance spec and replicates its findings across the
+    /// identical servers. Every [`InstanceDetection`] field is a local
+    /// GPU/socket index, so same-spec instances always detect the same
+    /// shape — the replication is lossless, and it turns detection cost
+    /// from O(instances) probe schedules into O(distinct specs). At or
+    /// below the threshold every instance is probed individually
+    /// (bit-identical to the historical behaviour).
+    pub const DEDUP_THRESHOLD: usize = 16;
+
+    /// Runs all probes and returns the report. Fleets larger than
+    /// [`Detector::DEDUP_THRESHOLD`] probe one representative per
+    /// distinct instance spec (see the constant's docs).
     pub fn run(&mut self) -> DetectionReport {
-        let mut instances = Vec::new();
+        let total = self.cluster.instance_count();
+        let dedup = total > Self::DEDUP_THRESHOLD;
+        let mut instances: Vec<InstanceDetection> = Vec::with_capacity(total);
         let mut slowest = SimDuration::ZERO;
-        for i in 0..self.cluster.instance_count() {
+        let mut reps: Vec<(adapcc_simnet::hardware::InstanceSpec, usize)> = Vec::new();
+        let mut probed = 0usize;
+        for i in 0..total {
+            if dedup {
+                let spec = *self.cluster.spec(InstanceId(i));
+                if let Some(&(_, rep)) = reps.iter().find(|(s, _)| *s == spec) {
+                    let det = instances[rep].clone();
+                    instances.push(det);
+                    continue;
+                }
+                reps.push((spec, i));
+            }
             let (det, took) = self.detect_instance(InstanceId(i));
             slowest = slowest.max(took);
+            probed += 1;
             instances.push(det);
         }
         self.telemetry
@@ -194,6 +220,8 @@ impl<'c> Detector<'c> {
             .set_counter("topo.instances", self.cluster.instance_count() as f64);
         self.telemetry
             .set_counter("topo.gpus", self.cluster.gpu_count() as f64);
+        self.telemetry
+            .set_counter("topo.probed_instances", probed as f64);
         DetectionReport {
             instances,
             elapsed: slowest,
@@ -389,6 +417,26 @@ mod tests {
             "elapsed should not scale with instances: {ratio}"
         );
         assert!(small.elapsed.as_secs() > 0.8 && small.elapsed.as_secs() < 2.0);
+    }
+
+    #[test]
+    fn large_fleet_detection_dedupes_by_spec() {
+        let c = Cluster::homogeneous_a100(32);
+        let report = Detector::new(&c, 5).run();
+        assert_eq!(report.instances.len(), 32);
+        // One representative probed; every identical server carries the
+        // same findings, which still match ground truth.
+        for det in &report.instances {
+            assert_eq!(det, &report.instances[0]);
+        }
+        assert_eq!(
+            report.instances[0].switch_groups,
+            vec![vec![0, 1], vec![2, 3]]
+        );
+        assert_eq!(report.instances[0].nvlink_pairs.len(), 6);
+        // Detection stays ~constant-time at fleet scale.
+        let small = Detector::new(&Cluster::homogeneous_a100(1), 5).run();
+        assert!(report.elapsed.as_secs() / small.elapsed.as_secs() < 1.2);
     }
 
     #[test]

@@ -131,6 +131,49 @@ fn reduce_flows_conserve_bytes_through_every_nic() {
     }
 }
 
+#[test]
+fn hierarchical_64_gpu_trace_is_deterministic() {
+    // 64 GPUs on 16 servers: the Auto threshold engages the two-tier
+    // synthesis, and the fleet sits below the executor's completion-
+    // coalescing threshold, so this pins the exact engine's event
+    // ordering at the largest scale that still runs it. Two identical
+    // runs must export byte-identical telemetry — every flow record,
+    // span and counter in the same order at the same instants.
+    let run = || {
+        let cluster = Cluster::homogeneous_a100(16);
+        let telemetry = Telemetry::enabled();
+        let (topo, profile, control_secs) = profiled_with_telemetry(&cluster, 1, telemetry.clone());
+        let runner = Runner::new(&cluster, &topo, &profile)
+            .with_parallelism(2)
+            .with_telemetry(telemetry.at_offset(control_secs));
+        let ranks: Vec<Rank> = (0..cluster.gpu_count()).map(Rank).collect();
+        runner.run(
+            System::AdapCc,
+            Primitive::AllReduce,
+            ByteSize::from_mib(4),
+            &ranks,
+            &Default::default(),
+        );
+        telemetry
+    };
+    let a = run();
+    let b = run();
+    assert!(
+        a.counter("synth.hierarchical") >= 1.0,
+        "64 GPUs must take the hierarchical path"
+    );
+    assert_eq!(
+        a.chrome_trace(),
+        b.chrome_trace(),
+        "64-GPU trace must be golden"
+    );
+    assert_eq!(
+        a.metrics_summary(),
+        b.metrics_summary(),
+        "64-GPU metrics must be golden"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Golden equivalence through the staged CollectiveSpec pipeline.
 //

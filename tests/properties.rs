@@ -14,7 +14,7 @@ use adapcc_simnet::time::SimDuration;
 use adapcc_simnet::trace::CloudTrace;
 use adapcc_simnet::units::{Bandwidth, ByteSize};
 use adapcc_synth::solver::{SynthConfig, SynthRequest, Synthesizer};
-use adapcc_synth::Primitive;
+use adapcc_synth::{Hierarchical, Primitive};
 use adapcc_topo::detect::Detector;
 
 /// Shared slow-path fixtures, built once.
@@ -344,6 +344,63 @@ proptest! {
                     recovered[i].to_bits() == reference[i].to_bits(),
                     "seed {}: rank {:?} elem {} differs: {} vs {}",
                     seed, r, i, recovered[i], reference[i]
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Hierarchical composition over random two-level topologies:
+    /// whatever the (servers x GPUs-per-server) shape, parallelism, or
+    /// seed, the intra+inter composition passes the same
+    /// flow-conservation validator as flat strategies and the executed
+    /// allreduce delivers every rank's contribution exactly once —
+    /// each output element equals the sum over all inputs, nothing
+    /// dropped, nothing double-counted.
+    #[test]
+    fn hierarchical_composition_is_exact(
+        servers in 2usize..6,
+        gpus_per in 2usize..5,
+        m in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let cluster = Cluster::fat_tree(servers, gpus_per);
+        let topo = Detector::new(&cluster, 1).run().logical_topology(&cluster);
+        let profile = Profiler::new(&cluster, &topo, 1).run().links;
+        let ranks: Vec<Rank> = (0..cluster.gpu_count()).map(Rank).collect();
+        let elems = 128usize;
+        let tensor = ByteSize::from_bytes((elems * 4) as u64);
+        let mut req = SynthRequest::new(Primitive::AllReduce, tensor, m, ranks.clone());
+        req.seed = seed;
+        let strategy = Synthesizer::new(&topo, &profile)
+            .with_config(SynthConfig {
+                anneal_iters: 8,
+                hierarchical: Hierarchical::On,
+                ..Default::default()
+            })
+            .synthesize(&req);
+        prop_assert!(strategy.validate(&topo).is_ok());
+        let inputs: BTreeMap<Rank, Vec<f32>> = ranks
+            .iter()
+            .map(|r| (*r, (0..elems).map(|i| ((r.0 * 7 + i) % 13) as f32).collect()))
+            .collect();
+        let exec = Executor::new(&cluster, &topo);
+        let report = exec.execute(&[
+            ExecutionRequest::timing(&strategy, tensor).with_inputs(inputs.clone())
+        ]);
+        let outputs = &report.requests[0].outputs;
+        prop_assert_eq!(outputs.len(), ranks.len());
+        for r in &ranks {
+            let out = &outputs[r];
+            for i in [0usize, elems / 2, elems - 1] {
+                let expect: f32 = ranks.iter().map(|p| inputs[p][i]).sum();
+                prop_assert!(
+                    (out[i] - expect).abs() < 1e-2,
+                    "{}x{} m={} seed={}: rank {:?} elem {}: {} != {}",
+                    servers, gpus_per, m, seed, r, i, out[i], expect
                 );
             }
         }
