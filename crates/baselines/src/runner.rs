@@ -4,11 +4,13 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use adapcc::executor::{ExecutionRequest, Executor};
 use adapcc_plancache::{
-    fingerprint, CachedPlan, FingerprintInputs, Lookup, PlanCache, PlanCacheStats,
+    fingerprint, CachedPlan, Fingerprint, FingerprintInputs, Lookup, PlanCache, PlanCacheStats,
 };
+use adapcc_planserve::{PlanService, ServiceStats};
 use adapcc_profile::profiler::LinkProfile;
 use adapcc_simnet::cluster::{Cluster, Rank};
 use adapcc_simnet::time::{SimDuration, SimTime};
@@ -87,6 +89,9 @@ pub struct Runner<'a> {
     /// Optional fingerprinted strategy store consulted before the
     /// AdapCC synthesizer (baselines are closed-form and never cached).
     plan_cache: Option<RefCell<PlanCache>>,
+    /// Optional shared cross-job plan service; takes precedence over
+    /// the private `plan_cache` so concurrent runners share solves.
+    plan_service: Option<Arc<PlanService>>,
 }
 
 impl<'a> Runner<'a> {
@@ -104,6 +109,7 @@ impl<'a> Runner<'a> {
             factors: Vec::new(),
             telemetry: adapcc_telemetry::Telemetry::disabled(),
             plan_cache: None,
+            plan_service: None,
         }
     }
 
@@ -156,6 +162,21 @@ impl<'a> Runner<'a> {
     pub fn with_plan_cache(mut self, cache: PlanCache) -> Self {
         self.plan_cache = Some(RefCell::new(cache));
         self
+    }
+
+    /// Attaches a shared cross-job plan service consulted before every
+    /// AdapCC synthesis — and before the private plan cache, so
+    /// concurrent runners (jobs) sharing one service share every solve
+    /// through its single-flight admission. Baseline systems never
+    /// touch the service.
+    pub fn with_plan_service(mut self, service: Arc<PlanService>) -> Self {
+        self.plan_service = Some(service);
+        self
+    }
+
+    /// The shared service's effectiveness counters, if one is attached.
+    pub fn plan_service_stats(&self) -> Option<ServiceStats> {
+        self.plan_service.as_ref().map(|s| s.stats())
     }
 
     /// Cache effectiveness counters, if a cache is attached.
@@ -222,24 +243,24 @@ impl<'a> Runner<'a> {
                 })
                 .with_telemetry(self.telemetry.clone())
         };
-        let Some(cache) = &self.plan_cache else {
+        if self.plan_cache.is_none() && self.plan_service.is_none() {
             return synth().synthesize(req);
-        };
-        // The standalone runner has no session, so it quantizes with the
-        // session default `resynth_threshold` (0.15).
-        let instances = adapcc_synth::solver::group_by_instance(self.topo, participants).len();
-        let fp = fingerprint(&FingerprintInputs {
-            topo: self.topo,
-            profile: self.profile,
-            participants,
-            relays: &[],
-            primitive,
-            parallelism: self.parallelism,
-            tensor,
-            root: req.root,
-            quantization: 0.15,
-            hierarchical: self.hierarchical.enabled_for(participants.len(), instances),
-        });
+        }
+        let fp = self.plan_fingerprint(req, primitive, tensor, participants);
+        if let Some(service) = &self.plan_service {
+            let resolved = service.resolve(fp, |seed| {
+                if let Some(prev) = seed {
+                    if let Some((strategy, seed)) = synth().synthesize_warm(req, &prev.seed) {
+                        return (CachedPlan { strategy, seed }, true);
+                    }
+                }
+                let (strategy, seed) = synth().synthesize_with_seed(req);
+                (CachedPlan { strategy, seed }, false)
+            });
+            service.export_counters(&self.telemetry);
+            return resolved.plan.strategy.clone();
+        }
+        let cache = self.plan_cache.as_ref().expect("checked above");
         let full = adapcc::reconstruct::modeled_solve_cost(participants.len());
         let warm = adapcc::reconstruct::modeled_warm_solve_cost(participants.len());
         let mut cache = cache.borrow_mut();
@@ -275,6 +296,31 @@ impl<'a> Runner<'a> {
             },
         );
         strategy
+    }
+
+    /// The canonical cache/service key of one AdapCC synthesis. The
+    /// standalone runner has no session, so it quantizes with the
+    /// session default `resynth_threshold` (0.15).
+    fn plan_fingerprint(
+        &self,
+        req: &SynthRequest,
+        primitive: Primitive,
+        tensor: ByteSize,
+        participants: &[Rank],
+    ) -> Fingerprint {
+        let instances = adapcc_synth::solver::group_by_instance(self.topo, participants).len();
+        fingerprint(&FingerprintInputs {
+            topo: self.topo,
+            profile: self.profile,
+            participants,
+            relays: &[],
+            primitive,
+            parallelism: self.parallelism,
+            tensor,
+            root: req.root,
+            quantization: 0.15,
+            hierarchical: self.hierarchical.enabled_for(participants.len(), instances),
+        })
     }
 
     /// Runs one collective under the chosen system and returns its

@@ -10,12 +10,13 @@ use adapcc_baselines::runner::{Runner, System};
 use adapcc_bench::chaos::{self, ChaosConfig};
 use adapcc_bench::churn::{self, ChurnConfig};
 use adapcc_bench::cli::{
-    build_cluster, parse_args, parse_chaos_args, parse_churn_args, parse_engine_args, ServerKind,
-    SimArgs,
+    build_cluster, parse_args, parse_chaos_args, parse_churn_args, parse_engine_args,
+    parse_serve_args, ServerKind, SimArgs,
 };
 use adapcc_bench::engine_bench::engine_storm;
 use adapcc_bench::harness::profiled_with_telemetry;
 use adapcc_bench::record::BenchRecord;
+use adapcc_bench::service_bench::{run_service_bench, ServiceWorkload};
 use adapcc_simnet::cluster::Rank;
 use adapcc_simnet::time::SimDuration;
 use adapcc_simnet::units::ByteSize;
@@ -36,6 +37,11 @@ fn main() {
     if argv.first().map(String::as_str) == Some("engine") {
         argv.remove(0);
         run_engine(argv);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        argv.remove(0);
+        run_serve(argv);
         return;
     }
     let args = match parse_args(argv) {
@@ -234,12 +240,103 @@ fn run_engine(argv: Vec<String>) {
             sim_ms: report.sim_ms,
             wall_ms: report.wall_ms,
             events_per_sec: report.events_per_sec(),
+            // The storm never synthesizes; the zero cache columns keep
+            // engine rows schema-uniform with every other record.
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            plan_cache_warm_starts: 0,
+            hierarchical: false,
         };
         if let Err(e) = rec.append_to(std::path::Path::new(path)) {
             eprintln!("cannot append engine record to {path}: {e}");
             std::process::exit(1);
         }
         println!("engine record appended to {path}");
+    }
+}
+
+fn run_serve(argv: Vec<String>) {
+    let args = match parse_serve_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.starts_with("adapcc-sim") { 0 } else { 2 });
+        }
+    };
+    let workload = ServiceWorkload {
+        jobs: args.jobs,
+        threads: args.threads,
+        repeat_ratio: args.repeat_ratio,
+        shapes: args.shapes,
+        seed: args.seed,
+        shards: args.shards,
+        byte_budget: args.budget_mib << 20,
+        ..ServiceWorkload::default()
+    };
+    println!(
+        "serve: {} jobs on {} threads, repeat ratio {:.2}, {} shapes, \
+         {} shards / {} MiB budget",
+        args.jobs, args.threads, args.repeat_ratio, args.shapes, args.shards, args.budget_mib
+    );
+    let r = run_service_bench(&workload);
+    println!(
+        "service:  {} requests in {:.1} ms -> {:.0} plans/sec \
+         (hit {} / warm {} / cold {} / coalesced {}; p50 {:.0} us, p99 {:.0} us)",
+        r.service.requests,
+        r.service.wall_ms,
+        r.service.plans_per_sec,
+        r.service.hits,
+        r.service.warm_starts,
+        r.service.cold_solves,
+        r.service.coalesced,
+        r.service.p50_us,
+        r.service.p99_us,
+    );
+    println!(
+        "baseline: {} requests in {:.1} ms -> {:.0} plans/sec \
+         (hit {} / warm {} / cold {}; p50 {:.0} us, p99 {:.0} us)",
+        r.baseline.requests,
+        r.baseline.wall_ms,
+        r.baseline.plans_per_sec,
+        r.baseline.hits,
+        r.baseline.warm_starts,
+        r.baseline.cold_solves,
+        r.baseline.p50_us,
+        r.baseline.p99_us,
+    );
+    println!(
+        "store: {} entries / {} bytes, {} evictions; speedup {:.2}x",
+        r.entries, r.bytes, r.evictions, r.speedup
+    );
+    if let Some(path) = &args.bench_append {
+        let rec = adapcc_bench::record::ServiceBenchRecord {
+            jobs: args.jobs,
+            threads: args.threads,
+            repeat_ratio: args.repeat_ratio,
+            shapes: args.shapes,
+            requests: r.service.requests,
+            hits: r.service.hits,
+            warm_starts: r.service.warm_starts,
+            cold_solves: r.service.cold_solves,
+            coalesced: r.service.coalesced,
+            entries: r.entries,
+            bytes: r.bytes,
+            evictions: r.evictions,
+            plans_per_sec: r.service.plans_per_sec,
+            p50_us: r.service.p50_us,
+            p99_us: r.service.p99_us,
+            wall_ms: r.service.wall_ms,
+            baseline_plans_per_sec: r.baseline.plans_per_sec,
+            baseline_p50_us: r.baseline.p50_us,
+            baseline_p99_us: r.baseline.p99_us,
+            baseline_wall_ms: r.baseline.wall_ms,
+            speedup: r.speedup,
+        };
+        if let Err(e) = rec.append_to(std::path::Path::new(path)) {
+            eprintln!("cannot append service record to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("service record appended to {path}");
     }
 }
 
@@ -304,6 +401,7 @@ fn run_churn(argv: Vec<String>) {
         "churn: {} seeds from {} on {} servers, {} KiB tensors, {} ms horizon, {} settle iters",
         args.seeds, args.seed_base, args.servers, args.size_kib, args.horizon_ms, args.settle_iters
     );
+    let start = std::time::Instant::now();
     let summary = churn::run_sweep(&cfg, args.seed_base, args.seeds, |r| {
         if args.verbose {
             println!(
@@ -312,6 +410,7 @@ fn run_churn(argv: Vec<String>) {
             );
         }
     });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     println!(
         "converged {} / classified {} / violations {} (of {}); {} rejoins, {} errors absorbed",
         summary.converged,
@@ -321,6 +420,35 @@ fn run_churn(argv: Vec<String>) {
         summary.rejoins,
         summary.errors
     );
+    println!(
+        "plan cache over the sweep: {} hit(s), {} warm start(s), {} miss(es)",
+        summary.plan_hits, summary.plan_warm_starts, summary.plan_misses
+    );
+    if let Some(path) = &args.bench_append {
+        let rec = adapcc_bench::record::ChurnBenchRecord {
+            seeds: args.seeds,
+            seed_base: args.seed_base,
+            servers: args.servers,
+            size_kib: args.size_kib,
+            horizon_ms: args.horizon_ms,
+            settle_iters: args.settle_iters,
+            converged: summary.converged,
+            classified: summary.classified,
+            violations: summary.violations.len(),
+            rejoins: summary.rejoins,
+            errors: summary.errors,
+            plan_cache_hits: summary.plan_hits,
+            plan_cache_misses: summary.plan_misses,
+            plan_cache_warm_starts: summary.plan_warm_starts,
+            hierarchical: false,
+            wall_ms,
+        };
+        if let Err(e) = rec.append_to(std::path::Path::new(path)) {
+            eprintln!("cannot append churn record to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("churn record appended to {path}");
+    }
     if !summary.violations.is_empty() {
         for v in &summary.violations {
             eprintln!("INVARIANT VIOLATION seed {}: {:?}", v.seed, v.outcome);

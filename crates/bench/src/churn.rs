@@ -135,6 +135,13 @@ pub struct ChurnReport {
     pub errors: usize,
     /// Ranks readmitted through the rejoin path.
     pub rejoins: usize,
+    /// Plan-cache exact hits inside the session (membership changes
+    /// re-plan through the cache, so churn exercises it for real).
+    pub plan_hits: u64,
+    /// Plan-cache misses (cold solves) inside the session.
+    pub plan_misses: u64,
+    /// Plan-cache warm-started solves inside the session.
+    pub plan_warm_starts: u64,
     /// What the run concluded.
     pub outcome: ChurnOutcome,
 }
@@ -210,12 +217,16 @@ pub fn run_seed(cfg: &ChurnConfig, seed: u64) -> ChurnReport {
             _ => None,
         })
         .sum();
+    let cache = cc.plan_cache_stats();
     let report = |outcome| ChurnReport {
         seed,
         schedule_len,
         iterations,
         errors,
         rejoins,
+        plan_hits: cache.hits,
+        plan_misses: cache.misses,
+        plan_warm_starts: cache.warm_starts,
         outcome,
     };
 
@@ -289,6 +300,12 @@ pub struct ChurnSummary {
     pub rejoins: usize,
     /// Typed errors absorbed across the whole sweep.
     pub errors: usize,
+    /// Plan-cache exact hits summed over every session.
+    pub plan_hits: u64,
+    /// Plan-cache misses summed over every session.
+    pub plan_misses: u64,
+    /// Plan-cache warm starts summed over every session.
+    pub plan_warm_starts: u64,
     /// Reports that violated an invariant (must be empty).
     pub violations: Vec<ChurnReport>,
     /// Total runs.
@@ -314,6 +331,9 @@ pub fn run_sweep<F: FnMut(&ChurnReport)>(
         }
         summary.rejoins += report.rejoins;
         summary.errors += report.errors;
+        summary.plan_hits += report.plan_hits;
+        summary.plan_misses += report.plan_misses;
+        summary.plan_warm_starts += report.plan_warm_starts;
         summary.total += 1;
         progress(&report);
     }

@@ -111,7 +111,9 @@ pub fn usage() -> &'static str {
        churn                     sweep dense leave/rejoin schedules through\n\
                                  the membership lifecycle (adapcc-sim churn --help)\n\
        engine                    engine-throughput storm micro-benchmark\n\
-                                 (adapcc-sim engine --help)"
+                                 (adapcc-sim engine --help)\n\
+       serve                     many-job shared plan-service benchmark\n\
+                                 (adapcc-sim serve --help)"
 }
 
 /// A parsed `adapcc-sim chaos` invocation.
@@ -282,8 +284,116 @@ pub fn parse_engine_args<I: IntoIterator<Item = String>>(args: I) -> Result<Engi
     Ok(out)
 }
 
+/// A parsed `adapcc-sim serve` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Concurrent jobs (`M`), each one AdapCC session.
+    pub jobs: usize,
+    /// Worker threads (`K`) driving the jobs.
+    pub threads: usize,
+    /// Fraction of jobs repeating canonical fingerprints.
+    pub repeat_ratio: f64,
+    /// Distinct fleet shapes the jobs cycle through.
+    pub shapes: usize,
+    /// Base profiling/synthesis seed.
+    pub seed: u64,
+    /// Service store stripes.
+    pub shards: usize,
+    /// Service byte budget in MiB.
+    pub budget_mib: usize,
+    /// Append a `ServiceBenchRecord` line here.
+    pub bench_append: Option<String>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            jobs: 32,
+            threads: 8,
+            repeat_ratio: 0.75,
+            shapes: 2,
+            seed: 1,
+            shards: 16,
+            budget_mib: 64,
+            bench_append: None,
+        }
+    }
+}
+
+/// The usage string for the `serve` subcommand.
+pub fn serve_usage() -> &'static str {
+    "adapcc-sim serve: drive a synthetic many-job workload against one\n\
+     shared plan service (sharded store + single-flight admission) and\n\
+     against per-session private caches, and report the speedup\n\
+     \n\
+     options:\n\
+       --jobs M             concurrent jobs, one session each (default 32)\n\
+       --threads K          worker threads (default 8)\n\
+       --repeat-ratio F     fraction of jobs repeating canonical\n\
+                            fingerprints, 0..=1 (default 0.75); the rest\n\
+                            carry per-job profiler noise and warm-start\n\
+       --shapes N           distinct fleet shapes cycled through (default 2)\n\
+       --seed N             base profiling seed (default 1)\n\
+       --shards N           service store stripes (default 16)\n\
+       --budget-mib N       service byte budget in MiB (default 64)\n\
+       --bench-append FILE  append a one-line machine-readable record\n\
+       --help               this message"
+}
+
+/// Parses `adapcc-sim serve` arguments (everything after the
+/// subcommand word).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags or malformed
+/// values (`--help` arrives as an `Err` carrying the usage text).
+pub fn parse_serve_args<I: IntoIterator<Item = String>>(args: I) -> Result<ServeArgs, String> {
+    let mut out = ServeArgs::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} expects a value\n\n{}", serve_usage()))
+        };
+        let positive = |flag: &str, v: String| -> Result<usize, String> {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("{flag} expects an integer"))?;
+            if n == 0 {
+                return Err(format!("{flag} must be positive"));
+            }
+            Ok(n)
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(serve_usage().to_string()),
+            "--jobs" => out.jobs = positive("--jobs", value("--jobs")?)?,
+            "--threads" => out.threads = positive("--threads", value("--threads")?)?,
+            "--shapes" => out.shapes = positive("--shapes", value("--shapes")?)?,
+            "--shards" => out.shards = positive("--shards", value("--shards")?)?,
+            "--budget-mib" => out.budget_mib = positive("--budget-mib", value("--budget-mib")?)?,
+            "--bench-append" => out.bench_append = Some(value("--bench-append")?),
+            "--seed" => {
+                out.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--repeat-ratio" => {
+                let f: f64 = value("--repeat-ratio")?
+                    .parse()
+                    .map_err(|_| "--repeat-ratio expects a number".to_string())?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err("--repeat-ratio must be in 0..=1".into());
+                }
+                out.repeat_ratio = f;
+            }
+            other => return Err(format!("unknown flag {other}\n\n{}", serve_usage())),
+        }
+    }
+    Ok(out)
+}
+
 /// A parsed `adapcc-sim churn` invocation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChurnArgs {
     /// Number of consecutive seeds to sweep.
     pub seeds: u64,
@@ -299,6 +409,8 @@ pub struct ChurnArgs {
     pub settle_iters: usize,
     /// Print every seed's outcome, not just the summary.
     pub verbose: bool,
+    /// Append a `ChurnBenchRecord` line here.
+    pub bench_append: Option<String>,
 }
 
 impl Default for ChurnArgs {
@@ -311,6 +423,7 @@ impl Default for ChurnArgs {
             horizon_ms: 2.0,
             settle_iters: 6,
             verbose: false,
+            bench_append: None,
         }
     }
 }
@@ -329,6 +442,7 @@ pub fn churn_usage() -> &'static str {
        --settle-iters N  iterations past the horizon so probes can\n\
                          readmit restarted workers (default 6)\n\
        --verbose         print every seed's outcome\n\
+       --bench-append FILE  append a one-line machine-readable record\n\
        --help            this message"
 }
 
@@ -367,6 +481,7 @@ pub fn parse_churn_args<I: IntoIterator<Item = String>>(args: I) -> Result<Churn
             }
             "--servers" => out.servers = positive("--servers", value("--servers")?)? as usize,
             "--size-kib" => out.size_kib = positive("--size-kib", value("--size-kib")?)?,
+            "--bench-append" => out.bench_append = Some(value("--bench-append")?),
             "--settle-iters" => {
                 out.settle_iters = positive("--settle-iters", value("--settle-iters")?)? as usize;
             }
@@ -719,6 +834,8 @@ mod tests {
             "--settle-iters",
             "8",
             "--verbose",
+            "--bench-append",
+            "BENCH_churn.json",
         ])
         .unwrap();
         assert_eq!(a.seeds, 400);
@@ -728,6 +845,58 @@ mod tests {
         assert_eq!(a.horizon_ms, 4.0);
         assert_eq!(a.settle_iters, 8);
         assert!(a.verbose);
+        assert_eq!(a.bench_append.as_deref(), Some("BENCH_churn.json"));
+    }
+
+    fn parse_serve(words: &[&str]) -> Result<ServeArgs, String> {
+        parse_serve_args(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn serve_defaults_and_full_invocation() {
+        assert_eq!(parse_serve(&[]).unwrap(), ServeArgs::default());
+        let a = parse_serve(&[
+            "--jobs",
+            "64",
+            "--threads",
+            "16",
+            "--repeat-ratio",
+            "0.5",
+            "--shapes",
+            "4",
+            "--seed",
+            "7",
+            "--shards",
+            "32",
+            "--budget-mib",
+            "128",
+            "--bench-append",
+            "BENCH_service.json",
+        ])
+        .unwrap();
+        assert_eq!(a.jobs, 64);
+        assert_eq!(a.threads, 16);
+        assert_eq!(a.repeat_ratio, 0.5);
+        assert_eq!(a.shapes, 4);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.shards, 32);
+        assert_eq!(a.budget_mib, 128);
+        assert_eq!(a.bench_append.as_deref(), Some("BENCH_service.json"));
+    }
+
+    #[test]
+    fn serve_rejects_malformed_input() {
+        assert!(parse_serve(&["--jobs", "0"]).is_err());
+        assert!(parse_serve(&["--threads", "0"]).is_err());
+        assert!(parse_serve(&["--repeat-ratio", "1.5"]).is_err());
+        assert!(parse_serve(&["--repeat-ratio", "-0.1"]).is_err());
+        assert!(parse_serve(&["--shards", "x"]).is_err());
+        assert!(parse_serve(&["--banana"]).is_err());
+        assert!(parse_serve(&["--help"])
+            .unwrap_err()
+            .contains("--repeat-ratio"));
+        let usage = parse(&["--help"]).unwrap_err();
+        assert!(usage.contains("serve"), "main usage advertises serve");
     }
 
     fn parse_engine(words: &[&str]) -> Result<EngineArgs, String> {

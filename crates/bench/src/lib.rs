@@ -22,6 +22,7 @@ pub mod engine_bench;
 pub mod figs;
 pub mod harness;
 pub mod record;
+pub mod service_bench;
 
 use adapcc_train::workload::DnnModel;
 

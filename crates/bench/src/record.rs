@@ -125,6 +125,17 @@ pub struct EngineBenchRecord {
     pub wall_ms: f64,
     /// Events per wall-clock second — the headline metric.
     pub events_per_sec: f64,
+    /// Plan-cache exact hits. The storm runs no synthesis, so this is
+    /// always zero; the field exists so every `BENCH_*.json` row
+    /// carries the same cache columns.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (schema uniformity; zero for the storm).
+    pub plan_cache_misses: u64,
+    /// Plan-cache warm starts (schema uniformity; zero for the storm).
+    pub plan_cache_warm_starts: u64,
+    /// Whether two-tier hierarchical synthesis was in play (schema
+    /// uniformity; always `false` for the synthesis-free storm).
+    pub hierarchical: bool,
 }
 
 impl EngineBenchRecord {
@@ -136,7 +147,9 @@ impl EngineBenchRecord {
             s,
             "{{\"servers\":\"{}\",\"gpus\":{},\"waves\":{},\"transfers\":{},\
              \"events\":{},\"sim_ms\":{:.6},\"wall_ms\":{:.3},\
-             \"events_per_sec\":{:.1}}}",
+             \"events_per_sec\":{:.1},\"plan_cache_hits\":{},\
+             \"plan_cache_misses\":{},\"plan_cache_warm_starts\":{},\
+             \"hierarchical\":{}}}",
             escape(&self.servers),
             self.gpus,
             self.waves,
@@ -145,6 +158,205 @@ impl EngineBenchRecord {
             self.sim_ms,
             self.wall_ms,
             self.events_per_sec,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.plan_cache_warm_starts,
+            self.hierarchical,
+        );
+        s
+    }
+
+    /// Appends the record (plus newline) to `path`, creating the file
+    /// if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from opening or writing the file.
+    pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{}", self.to_json())
+    }
+}
+
+/// One churn-sweep run (see [`crate::churn::run_sweep`]), flattened
+/// for line-oriented appending to `BENCH_churn.json`. Carries the same
+/// `plan_cache_*` / `hierarchical` columns as every other record so
+/// mixed BENCH files stay schema-uniform; churn's cache counters are
+/// real (membership changes re-plan through each session's cache).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnBenchRecord {
+    /// Consecutive seeds swept.
+    pub seeds: u64,
+    /// First seed.
+    pub seed_base: u64,
+    /// Homogeneous A100 servers per run.
+    pub servers: usize,
+    /// Per-rank tensor KiB of the clock-driving iterations.
+    pub size_kib: u64,
+    /// Churn window in simulated milliseconds.
+    pub horizon_ms: f64,
+    /// Settle iterations past the horizon.
+    pub settle_iters: usize,
+    /// Runs whose membership converged and verified.
+    pub converged: usize,
+    /// Runs that ended in a classified error.
+    pub classified: usize,
+    /// Invariant violations (must be zero for a healthy sweep).
+    pub violations: usize,
+    /// Ranks readmitted across the sweep.
+    pub rejoins: usize,
+    /// Typed errors absorbed across the sweep.
+    pub errors: usize,
+    /// Plan-cache exact hits summed over every session in the sweep.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses summed over every session in the sweep.
+    pub plan_cache_misses: u64,
+    /// Plan-cache warm starts summed over every session in the sweep.
+    pub plan_cache_warm_starts: u64,
+    /// Whether the sweep's sessions forced hierarchical synthesis
+    /// (always `false` today; the column keeps the schema uniform).
+    pub hierarchical: bool,
+    /// Host wall-clock milliseconds for the whole sweep.
+    pub wall_ms: f64,
+}
+
+impl ChurnBenchRecord {
+    /// Renders the record as a single-line JSON object (no trailing
+    /// newline), field order fixed.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"seeds\":{},\"seed_base\":{},\"servers\":{},\"size_kib\":{},\
+             \"horizon_ms\":{:.3},\"settle_iters\":{},\"converged\":{},\
+             \"classified\":{},\"violations\":{},\"rejoins\":{},\"errors\":{},\
+             \"plan_cache_hits\":{},\"plan_cache_misses\":{},\
+             \"plan_cache_warm_starts\":{},\"hierarchical\":{},\
+             \"wall_ms\":{:.3}}}",
+            self.seeds,
+            self.seed_base,
+            self.servers,
+            self.size_kib,
+            self.horizon_ms,
+            self.settle_iters,
+            self.converged,
+            self.classified,
+            self.violations,
+            self.rejoins,
+            self.errors,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.plan_cache_warm_starts,
+            self.hierarchical,
+            self.wall_ms,
+        );
+        s
+    }
+
+    /// Appends the record (plus newline) to `path`, creating the file
+    /// if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from opening or writing the file.
+    pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{}", self.to_json())
+    }
+}
+
+/// One many-job plan-service benchmark run (see
+/// [`crate::service_bench::run_service_bench`]), flattened for
+/// line-oriented appending to `BENCH_service.json`. Every row carries
+/// the shared-service pass and the private-cache baseline of the
+/// identical workload, so the speedup is self-contained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceBenchRecord {
+    /// Concurrent jobs (`M`).
+    pub jobs: usize,
+    /// Worker threads (`K`).
+    pub threads: usize,
+    /// Fraction of jobs repeating canonical fingerprints.
+    pub repeat_ratio: f64,
+    /// Distinct fleet shapes in the workload.
+    pub shapes: usize,
+    /// `strategy_for_root` requests issued per pass.
+    pub requests: u64,
+    /// Service pass: exact store hits.
+    pub hits: u64,
+    /// Service pass: cross-job warm-started solves.
+    pub warm_starts: u64,
+    /// Service pass: cold solves.
+    pub cold_solves: u64,
+    /// Service pass: requests coalesced onto in-flight solves.
+    pub coalesced: u64,
+    /// Entries left in the service store.
+    pub entries: u64,
+    /// Estimated bytes left in the service store.
+    pub bytes: u64,
+    /// Entries evicted to hold the byte budget.
+    pub evictions: u64,
+    /// Service pass: plans per wall-clock second.
+    pub plans_per_sec: f64,
+    /// Service pass: median request latency, microseconds.
+    pub p50_us: f64,
+    /// Service pass: p99 request latency, microseconds.
+    pub p99_us: f64,
+    /// Service pass: request-phase wall milliseconds (max over threads).
+    pub wall_ms: f64,
+    /// Baseline pass: plans per wall-clock second.
+    pub baseline_plans_per_sec: f64,
+    /// Baseline pass: median request latency, microseconds.
+    pub baseline_p50_us: f64,
+    /// Baseline pass: p99 request latency, microseconds.
+    pub baseline_p99_us: f64,
+    /// Baseline pass: request-phase wall milliseconds.
+    pub baseline_wall_ms: f64,
+    /// `plans_per_sec / baseline_plans_per_sec`.
+    pub speedup: f64,
+}
+
+impl ServiceBenchRecord {
+    /// Renders the record as a single-line JSON object (no trailing
+    /// newline), field order fixed.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"jobs\":{},\"threads\":{},\"repeat_ratio\":{:.2},\"shapes\":{},\
+             \"requests\":{},\"hits\":{},\"warm_starts\":{},\"cold_solves\":{},\
+             \"coalesced\":{},\"entries\":{},\"bytes\":{},\"evictions\":{},\
+             \"plans_per_sec\":{:.1},\"p50_us\":{:.1},\"p99_us\":{:.1},\
+             \"wall_ms\":{:.3},\"baseline_plans_per_sec\":{:.1},\
+             \"baseline_p50_us\":{:.1},\"baseline_p99_us\":{:.1},\
+             \"baseline_wall_ms\":{:.3},\"speedup\":{:.2}}}",
+            self.jobs,
+            self.threads,
+            self.repeat_ratio,
+            self.shapes,
+            self.requests,
+            self.hits,
+            self.warm_starts,
+            self.cold_solves,
+            self.coalesced,
+            self.entries,
+            self.bytes,
+            self.evictions,
+            self.plans_per_sec,
+            self.p50_us,
+            self.p99_us,
+            self.wall_ms,
+            self.baseline_plans_per_sec,
+            self.baseline_p50_us,
+            self.baseline_p99_us,
+            self.baseline_wall_ms,
+            self.speedup,
         );
         s
     }
@@ -231,6 +443,10 @@ mod tests {
             sim_ms: 1.25,
             wall_ms: 97.5,
             events_per_sec: 42010.3,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            plan_cache_warm_starts: 0,
+            hierarchical: false,
         };
         let j = r.to_json();
         assert!(!j.contains('\n'));
@@ -241,9 +457,111 @@ mod tests {
         assert!(j.ends_with('}'));
     }
 
+    /// The schema-uniformity contract: every record type carries the
+    /// same plan-cache and hierarchical columns, so a mixed BENCH file
+    /// can be grouped on them without per-row schema sniffing.
+    #[test]
+    fn every_record_carries_the_cache_columns() {
+        let engine = EngineBenchRecord {
+            servers: "a100:4".into(),
+            gpus: 16,
+            waves: 2,
+            transfers: 8,
+            events: 64,
+            sim_ms: 0.5,
+            wall_ms: 3.0,
+            events_per_sec: 21333.3,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            plan_cache_warm_starts: 0,
+            hierarchical: false,
+        };
+        let churn = churn_sample();
+        for j in [sample().to_json(), engine.to_json(), churn.to_json()] {
+            for col in [
+                "\"plan_cache_hits\":",
+                "\"plan_cache_misses\":",
+                "\"plan_cache_warm_starts\":",
+                "\"hierarchical\":",
+            ] {
+                assert!(j.contains(col), "{j} lacks {col}");
+            }
+        }
+    }
+
+    fn churn_sample() -> ChurnBenchRecord {
+        ChurnBenchRecord {
+            seeds: 200,
+            seed_base: 0,
+            servers: 2,
+            size_kib: 1024,
+            horizon_ms: 2.0,
+            settle_iters: 6,
+            converged: 180,
+            classified: 20,
+            violations: 0,
+            rejoins: 97,
+            errors: 311,
+            plan_cache_hits: 12,
+            plan_cache_misses: 200,
+            plan_cache_warm_starts: 45,
+            hierarchical: false,
+            wall_ms: 15321.7,
+        }
+    }
+
+    #[test]
+    fn churn_record_is_one_line_json() {
+        let j = churn_sample().to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with("{\"seeds\":200"));
+        assert!(j.contains("\"converged\":180"));
+        assert!(j.contains("\"violations\":0"));
+        assert!(j.contains("\"rejoins\":97"));
+        assert!(j.contains("\"plan_cache_warm_starts\":45"));
+        assert!(j.contains("\"wall_ms\":15321.700"));
+        assert!(j.ends_with('}'));
+        assert_eq!(j, churn_sample().to_json(), "byte-deterministic");
+    }
+
     #[test]
     fn identical_records_serialize_identically() {
         assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn service_record_is_one_line_json() {
+        let r = ServiceBenchRecord {
+            jobs: 32,
+            threads: 8,
+            repeat_ratio: 0.75,
+            shapes: 2,
+            requests: 136,
+            hits: 81,
+            warm_starts: 33,
+            cold_solves: 8,
+            coalesced: 14,
+            entries: 9,
+            bytes: 4521,
+            evictions: 0,
+            plans_per_sec: 2891.2,
+            p50_us: 45.4,
+            p99_us: 21665.7,
+            wall_ms: 47.039,
+            baseline_plans_per_sec: 385.8,
+            baseline_p50_us: 19273.0,
+            baseline_p99_us: 31861.2,
+            baseline_wall_ms: 352.518,
+            speedup: 7.49,
+        };
+        let j = r.to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with("{\"jobs\":32,\"threads\":8,\"repeat_ratio\":0.75"));
+        assert!(j.contains("\"coalesced\":14"));
+        assert!(j.contains("\"plans_per_sec\":2891.2"));
+        assert!(j.contains("\"speedup\":7.49"));
+        assert!(j.ends_with('}'));
+        assert_eq!(j, r.to_json(), "byte-deterministic");
     }
 
     #[test]

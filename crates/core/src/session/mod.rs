@@ -82,6 +82,12 @@ pub struct InitOptions {
     /// enabled sink records phase spans on one stitched timeline plus
     /// per-link flow records from the executor.
     pub telemetry: adapcc_telemetry::Telemetry,
+    /// Shared cross-job plan service. When set, synthesis requests
+    /// resolve through the service's sharded store with single-flight
+    /// admission instead of the private [`plan_cache`](Self::plan_cache)
+    /// tier, so concurrent sessions (jobs) share every solve. `None`
+    /// (the default) keeps the per-session cache behavior.
+    pub plan_service: Option<std::sync::Arc<adapcc_planserve::PlanService>>,
 }
 
 impl Default for InitOptions {
@@ -94,6 +100,7 @@ impl Default for InitOptions {
             synth: SynthConfig::default(),
             plan_cache: PlanCacheConfig::default(),
             telemetry: adapcc_telemetry::Telemetry::disabled(),
+            plan_service: None,
         }
     }
 }

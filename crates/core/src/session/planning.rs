@@ -4,6 +4,8 @@
 use adapcc_plancache::{
     fingerprint, CachedPlan, Fingerprint, FingerprintInputs, Lookup, PlanCacheStats,
 };
+use adapcc_planserve::{PlanService, Served};
+use adapcc_simnet::cluster::Rank;
 use adapcc_simnet::time::SimDuration;
 use adapcc_simnet::units::ByteSize;
 use adapcc_synth::primitive::Primitive;
@@ -23,6 +25,26 @@ impl<'c> AdapCC<'c> {
             primitive,
             tensor: tensor.as_u64(),
             root: None,
+            scope: None,
+        })
+    }
+
+    /// The synthesized strategy for a rooted primitive (broadcast,
+    /// reduce, gather, scatter). `root = None` falls back to the
+    /// primitive's canonical rank-0 root. This is the entry point the
+    /// plan service drives: many jobs resolving the same
+    /// `(primitive, tensor, root)` against one shared
+    /// [`PlanService`] pay for exactly one solve.
+    pub fn strategy_for_root(
+        &mut self,
+        primitive: Primitive,
+        tensor: ByteSize,
+        root: Option<Rank>,
+    ) -> &Strategy {
+        self.strategy_for_key(&StrategyKey {
+            primitive,
+            tensor: tensor.as_u64(),
+            root,
             scope: None,
         })
     }
@@ -53,6 +75,9 @@ impl<'c> AdapCC<'c> {
         req.root = key.root;
         req.seed = self.options.seed;
         let fp = self.plan_fingerprint(&req);
+        if let Some(service) = self.options.plan_service.clone() {
+            return self.synthesize_through_service(&service, &req, fp);
+        }
         let full = crate::reconstruct::modeled_solve_cost(self.workers.len());
         let warm_cost = crate::reconstruct::modeled_warm_solve_cost(self.workers.len());
         let lookup = self.plan_cache.lookup(&fp);
@@ -94,6 +119,65 @@ impl<'c> AdapCC<'c> {
         };
         self.plan_cache.export_counters(&self.options.telemetry);
         strategy
+    }
+
+    /// Satisfies one synthesis request through the shared cross-job
+    /// [`PlanService`]: exact hits and coalesced in-flight solves skip
+    /// this session's solver entirely, shape siblings stored by *other
+    /// jobs* warm-start it, and true cold keys solve once under the
+    /// service's single-flight admission.
+    fn synthesize_through_service(
+        &mut self,
+        service: &PlanService,
+        req: &SynthRequest,
+        fp: Fingerprint,
+    ) -> Strategy {
+        let topo = &self.topo;
+        let profile = &self.profile;
+        let synth = self.options.synth.clone();
+        let telemetry = self.options.telemetry.clone();
+        let tally = &mut self.synth_tally;
+        let resolved = service.resolve(fp, |seed| {
+            if let Some(prev) = seed {
+                if let Some((strategy, seed)) = Synthesizer::new(topo, profile)
+                    .with_config(synth.clone())
+                    .with_telemetry(telemetry.clone())
+                    .synthesize_warm(req, &prev.seed)
+                {
+                    tally.warm += 1;
+                    return (CachedPlan { strategy, seed }, true);
+                }
+            }
+            tally.cold += 1;
+            let (strategy, seed) = Synthesizer::new(topo, profile)
+                .with_config(synth.clone())
+                .with_telemetry(telemetry.clone())
+                .synthesize_with_seed(req);
+            (CachedPlan { strategy, seed }, false)
+        });
+        if matches!(resolved.served, Served::Hit | Served::Coalesced) {
+            self.synth_tally.hit += 1;
+            // A served plan came from another job's solve; guard it the
+            // same way a disk-tier hit is guarded before executing.
+            if resolved.plan.strategy.validate(&self.topo).is_err() {
+                self.synth_tally.cold += 1;
+                let (strategy, seed) = Synthesizer::new(&self.topo, &self.profile)
+                    .with_config(self.options.synth.clone())
+                    .with_telemetry(self.options.telemetry.clone())
+                    .synthesize_with_seed(req);
+                service.insert(
+                    fp,
+                    CachedPlan {
+                        strategy: strategy.clone(),
+                        seed,
+                    },
+                );
+                service.export_counters(&self.options.telemetry);
+                return strategy;
+            }
+        }
+        service.export_counters(&self.options.telemetry);
+        resolved.plan.strategy.clone()
     }
 
     fn synthesize_cold(&mut self, req: &SynthRequest, fp: Fingerprint) -> Strategy {

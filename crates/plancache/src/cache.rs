@@ -247,14 +247,33 @@ impl PlanCache {
 
     fn disk_load(&mut self, fp: &Fingerprint) -> Option<CachedPlan> {
         let dir = self.config.disk_dir.clone()?;
-        let text = std::fs::read_to_string(Self::entry_path(&dir, fp)).ok()?;
+        let path = Self::entry_path(&dir, fp);
+        let bytes = std::fs::read(&path).ok()?;
+        let Ok(text) = String::from_utf8(bytes) else {
+            // The file exists but is not even UTF-8: binary garbage
+            // from a torn write. Same treatment as undecodable JSON.
+            self.evict_corrupt(&path);
+            return None;
+        };
         match json::decode_entry(&text) {
             Some((stored_fp, plan)) if stored_fp == *fp => Some(plan),
             _ => {
-                self.stats.io_errors += 1;
+                // Truncated write, hand-edited file, or a key whose
+                // content rotted: drop the entry so the cold re-solve
+                // can repopulate it instead of tripping on the same
+                // garbage every run.
+                self.evict_corrupt(&path);
                 None
             }
         }
+    }
+
+    /// Removes an undecodable disk entry and counts the I/O error. The
+    /// cache stays best-effort: if the delete itself fails the entry
+    /// just remains a counted miss.
+    fn evict_corrupt(&mut self, path: &Path) {
+        self.stats.io_errors += 1;
+        let _ = std::fs::remove_file(path);
     }
 
     /// Scans the disk tier for any entry with the given shape hash
@@ -270,13 +289,21 @@ impl PlanCache {
             .collect();
         names.sort();
         for name in names {
-            let Ok(text) = std::fs::read_to_string(dir.join(&name)) else {
+            let path = dir.join(&name);
+            let Ok(bytes) = std::fs::read(&path) else {
                 self.stats.io_errors += 1;
+                continue;
+            };
+            let Ok(text) = String::from_utf8(bytes) else {
+                self.evict_corrupt(&path);
                 continue;
             };
             match json::decode_entry(&text) {
                 Some((fp, plan)) if fp.shape == shape => return Some((fp, plan)),
-                _ => self.stats.io_errors += 1,
+                // Undecodable or mislabeled (filename shape prefix that
+                // does not match the decoded fingerprint): evict so the
+                // scan does not trip on it every warm-start probe.
+                _ => self.evict_corrupt(&path),
             }
         }
         None
@@ -433,6 +460,44 @@ mod tests {
         let mut c = PlanCache::new(PlanCacheConfig::on_disk(&dir));
         assert_eq!(c.lookup(&f), Lookup::Miss);
         assert!(c.stats().io_errors > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_deleted_and_resolved() {
+        let dir = std::env::temp_dir().join("adapcc_plancache_corrupt_delete_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = fp(0x31, 0x42);
+        let path = dir.join(format!("{}.json", f.hex()));
+        // Garbage bytes: a truncated/garbled write from a crashed run.
+        std::fs::write(&path, b"{\"fingerpr\x00\xff garbage").unwrap();
+        let mut c = PlanCache::new(PlanCacheConfig::on_disk(&dir));
+        assert_eq!(c.lookup(&f), Lookup::Miss);
+        assert!(!path.exists(), "corrupt entry must be evicted from disk");
+        // The cold re-solve repopulates a clean entry that a fresh
+        // cache instance then serves from disk without error.
+        c.insert(f, plan(9));
+        let mut c2 = PlanCache::new(PlanCacheConfig::on_disk(&dir));
+        assert_eq!(c2.lookup(&f), Lookup::Hit(plan(9)));
+        assert_eq!(c2.stats().io_errors, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_shape_sibling_is_deleted_during_warm_probe() {
+        let dir = std::env::temp_dir().join("adapcc_plancache_corrupt_shape_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A shape-prefixed sibling too short to decode: the warm-start
+        // scan must skip it, count the error, and remove it.
+        let probe = fp(0x77, 0x01);
+        let bad = dir.join(format!("{:016x}-{:016x}.json", probe.shape, 0xdead_u64));
+        std::fs::write(&bad, "x").unwrap();
+        let mut c = PlanCache::new(PlanCacheConfig::on_disk(&dir));
+        assert_eq!(c.lookup(&probe), Lookup::Miss);
+        assert!(c.stats().io_errors > 0);
+        assert!(!bad.exists(), "corrupt sibling must be evicted from disk");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,354 @@
+//! The [`PlanService`] facade: sharded store + single-flight admission
+//! + cross-job warm starts behind one `resolve` call.
+//!
+//! Sessions hand the service their fingerprint and a solve closure;
+//! the service decides whether the request is a [`Served::Hit`]
+//! (exact entry), [`Served::Coalesced`] (another thread is solving the
+//! same fingerprint right now), [`Served::Warm`] (a shape sibling's
+//! seed cut the solve short), or [`Served::Cold`] (nobody has seen
+//! this problem — full solve). Every outcome increments a counter in
+//! [`ServiceStats`], exportable to telemetry as `planserve.*`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use adapcc_plancache::{CachedPlan, Fingerprint};
+use adapcc_telemetry::Telemetry;
+
+use crate::admission::{FlightTable, Joined};
+use crate::store::ShardedStore;
+
+/// Tuning knobs for a [`PlanService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Number of store stripes. More shards means less read/write
+    /// contention; entries for one fleet shape always share a shard.
+    pub shards: usize,
+    /// Global byte budget over all shards (split evenly).
+    pub byte_budget: usize,
+    /// Whether a cold request may warm-start from a stored shape
+    /// sibling solved by another job.
+    pub warm_start: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 16,
+            byte_budget: 64 << 20,
+            warm_start: true,
+        }
+    }
+}
+
+/// How one `resolve` call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// Exact fingerprint was in the store.
+    Hit,
+    /// Another thread was solving the same fingerprint; this request
+    /// blocked on its flight and shares the one solve.
+    Coalesced,
+    /// Solved with a warm seed from a stored shape sibling.
+    Warm,
+    /// Full cold solve.
+    Cold,
+}
+
+/// A resolved plan plus how the service produced it.
+#[derive(Debug, Clone)]
+pub struct Resolved {
+    /// The strategy and its seed, shared with every other requester of
+    /// the same fingerprint.
+    pub plan: Arc<CachedPlan>,
+    /// Admission outcome.
+    pub served: Served,
+}
+
+/// Snapshot of service effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Exact store hits.
+    pub hits: u64,
+    /// Requests that piggybacked on another thread's in-flight solve.
+    pub coalesced: u64,
+    /// Solves warm-started from another job's shape sibling.
+    pub warm: u64,
+    /// Full cold solves.
+    pub cold: u64,
+    /// Store entries evicted to hold the byte budget.
+    pub evictions: u64,
+    /// Plans rejected because they alone exceed a shard's budget.
+    pub rejected: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+    /// Estimated bytes currently stored.
+    pub bytes: u64,
+}
+
+/// Shared, thread-safe plan service. Clone the `Arc` into every
+/// session ([`InitOptions::plan_service`]) so concurrent jobs resolve
+/// against one store.
+///
+/// [`InitOptions::plan_service`]: https://docs.rs/adapcc-core
+#[derive(Debug)]
+pub struct PlanService {
+    store: ShardedStore,
+    flights: FlightTable,
+    config: ServiceConfig,
+    hits: AtomicU64,
+    coalesced: AtomicU64,
+    warm: AtomicU64,
+    cold: AtomicU64,
+    evictions: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Default for PlanService {
+    fn default() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+}
+
+impl PlanService {
+    /// A service with the given store geometry.
+    pub fn new(config: ServiceConfig) -> Self {
+        PlanService {
+            store: ShardedStore::new(config.shards, config.byte_budget),
+            flights: FlightTable::new(),
+            config,
+            hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            warm: AtomicU64::new(0),
+            cold: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Resolves `fp` to a plan, solving at most once per distinct
+    /// fingerprint across all concurrent callers.
+    ///
+    /// `solve` is invoked only when this thread is elected leader for
+    /// a fingerprint nobody has stored. Its argument is the warm-start
+    /// seed plan when a shape sibling is stored (and warm starts are
+    /// enabled); it returns the solved plan plus whether the seed was
+    /// actually used (`false` = the seed did not apply and the solve
+    /// ran cold). `FnMut` because a waiter whose leader panicked
+    /// retries admission and may be elected leader itself.
+    pub fn resolve<F>(&self, fp: Fingerprint, mut solve: F) -> Resolved
+    where
+        F: FnMut(Option<&CachedPlan>) -> (CachedPlan, bool),
+    {
+        loop {
+            // Fast path: no locks beyond one shard read guard.
+            if let Some(plan) = self.store.get(&fp) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Resolved {
+                    plan,
+                    served: Served::Hit,
+                };
+            }
+            match self.flights.join(fp.key(), || self.store.get(&fp)) {
+                Joined::Ready(plan) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Resolved {
+                        plan,
+                        served: Served::Hit,
+                    };
+                }
+                Joined::Wait(flight) => {
+                    if let Some(plan) = flight.wait() {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return Resolved {
+                            plan,
+                            served: Served::Coalesced,
+                        };
+                    }
+                    // Leader died without publishing; retry from the
+                    // top (this thread may lead the next flight).
+                    continue;
+                }
+                Joined::Lead(lead) => {
+                    let seed = if self.config.warm_start {
+                        self.store.warm_candidate(&fp)
+                    } else {
+                        None
+                    };
+                    let (solved, warmed) = solve(seed.as_deref());
+                    let plan = Arc::new(solved);
+                    // Store BEFORE publishing/retiring the flight —
+                    // the exactly-once guarantee depends on the store
+                    // being authoritative the instant the flight ends.
+                    let outcome = self.store.insert(fp, Arc::clone(&plan));
+                    self.evictions.fetch_add(outcome.evicted, Ordering::Relaxed);
+                    if !outcome.stored {
+                        self.rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    lead.publish(Arc::clone(&plan));
+                    let served = if warmed && seed.is_some() {
+                        self.warm.fetch_add(1, Ordering::Relaxed);
+                        Served::Warm
+                    } else {
+                        self.cold.fetch_add(1, Ordering::Relaxed);
+                        Served::Cold
+                    };
+                    return Resolved { plan, served };
+                }
+            }
+        }
+    }
+
+    /// Exact lookup without admission — never solves.
+    pub fn peek(&self, fp: &Fingerprint) -> Option<Arc<CachedPlan>> {
+        let plan = self.store.get(fp);
+        if plan.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        plan
+    }
+
+    /// Inserts a plan solved outside the service (e.g. a session that
+    /// resolved through its private path but wants to share).
+    pub fn insert(&self, fp: Fingerprint, plan: CachedPlan) {
+        let outcome = self.store.insert(fp, Arc::new(plan));
+        self.evictions.fetch_add(outcome.evicted, Ordering::Relaxed);
+        if !outcome.stored {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Effectiveness counters plus current store occupancy.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            warm: self.warm.load(Ordering::Relaxed),
+            cold: self.cold.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            entries: self.store.len() as u64,
+            bytes: self.store.bytes() as u64,
+        }
+    }
+
+    /// Estimated bytes currently stored (always ≤ the byte budget).
+    pub fn bytes(&self) -> usize {
+        self.store.bytes()
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Exports the effectiveness counters to `telemetry` as
+    /// `planserve.*`.
+    pub fn export_counters(&self, telemetry: &Telemetry) {
+        let stats = self.stats();
+        telemetry.set_counter("planserve.hits", stats.hits as f64);
+        telemetry.set_counter("planserve.coalesced", stats.coalesced as f64);
+        telemetry.set_counter("planserve.warm_starts", stats.warm as f64);
+        telemetry.set_counter("planserve.cold_solves", stats.cold as f64);
+        telemetry.set_counter("planserve.evictions", stats.evictions as f64);
+        telemetry.set_counter("planserve.rejected", stats.rejected as f64);
+        telemetry.set_counter("planserve.entries", stats.entries as f64);
+        telemetry.set_counter("planserve.bytes", stats.bytes as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapcc_synth::primitive::Primitive;
+    use adapcc_synth::solver::PlanSeed;
+    use adapcc_synth::strategy::Strategy;
+
+    fn fp(shape: u64, profile: u64) -> Fingerprint {
+        Fingerprint { shape, profile }
+    }
+
+    fn plan() -> CachedPlan {
+        CachedPlan {
+            strategy: Strategy {
+                primitive: Primitive::AllReduce,
+                subs: vec![],
+            },
+            seed: PlanSeed::default(),
+        }
+    }
+
+    #[test]
+    fn cold_then_hit() {
+        let svc = PlanService::default();
+        let r1 = svc.resolve(fp(1, 1), |seed| {
+            assert!(seed.is_none(), "empty store has no warm seed");
+            (plan(), false)
+        });
+        assert_eq!(r1.served, Served::Cold);
+        let r2 = svc.resolve(fp(1, 1), |_| panic!("hit must not solve"));
+        assert_eq!(r2.served, Served::Hit);
+        assert!(Arc::ptr_eq(&r1.plan, &r2.plan));
+        let stats = svc.stats();
+        assert_eq!((stats.cold, stats.hits), (1, 1));
+    }
+
+    #[test]
+    fn shape_sibling_offers_a_warm_seed() {
+        let svc = PlanService::default();
+        svc.resolve(fp(3, 1), |_| (plan(), false));
+        let r = svc.resolve(fp(3, 2), |seed| {
+            assert!(seed.is_some(), "same shape must offer a seed");
+            (plan(), true)
+        });
+        assert_eq!(r.served, Served::Warm);
+        assert_eq!(svc.stats().warm, 1);
+    }
+
+    #[test]
+    fn warm_start_can_be_disabled() {
+        let svc = PlanService::new(ServiceConfig {
+            warm_start: false,
+            ..ServiceConfig::default()
+        });
+        svc.resolve(fp(3, 1), |_| (plan(), false));
+        let r = svc.resolve(fp(3, 2), |seed| {
+            assert!(seed.is_none(), "warm starts disabled");
+            (plan(), false)
+        });
+        assert_eq!(r.served, Served::Cold);
+    }
+
+    #[test]
+    fn seed_that_did_not_apply_counts_cold() {
+        let svc = PlanService::default();
+        svc.resolve(fp(3, 1), |_| (plan(), false));
+        // Seed offered, but the solver reports it did not apply.
+        let r = svc.resolve(fp(3, 2), |_| (plan(), false));
+        assert_eq!(r.served, Served::Cold);
+        assert_eq!(svc.stats().warm, 0);
+        assert_eq!(svc.stats().cold, 2);
+    }
+
+    #[test]
+    fn counters_export_as_planserve() {
+        let svc = PlanService::default();
+        svc.resolve(fp(1, 1), |_| (plan(), false));
+        svc.resolve(fp(1, 1), |_| unreachable!());
+        let t = Telemetry::enabled();
+        svc.export_counters(&t);
+        assert_eq!(t.counter("planserve.cold_solves"), 1.0);
+        assert_eq!(t.counter("planserve.hits"), 1.0);
+        assert_eq!(t.counter("planserve.entries"), 1.0);
+    }
+}
