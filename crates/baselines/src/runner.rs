@@ -320,6 +320,7 @@ impl<'a> Runner<'a> {
             root: req.root,
             quantization: 0.15,
             hierarchical: self.hierarchical.enabled_for(participants.len(), instances),
+            concurrency: 0,
         })
     }
 

@@ -11,7 +11,7 @@ use adapcc_bench::chaos::{self, ChaosConfig};
 use adapcc_bench::churn::{self, ChurnConfig};
 use adapcc_bench::cli::{
     build_cluster, parse_args, parse_chaos_args, parse_churn_args, parse_engine_args,
-    parse_serve_args, ServerKind, SimArgs,
+    parse_parallel3d_args, parse_serve_args, ServerKind, SimArgs,
 };
 use adapcc_bench::engine_bench::engine_storm;
 use adapcc_bench::harness::profiled_with_telemetry;
@@ -42,6 +42,11 @@ fn main() {
     if argv.first().map(String::as_str) == Some("serve") {
         argv.remove(0);
         run_serve(argv);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("parallel3d") {
+        argv.remove(0);
+        run_parallel3d(argv);
         return;
     }
     let args = match parse_args(argv) {
@@ -454,5 +459,89 @@ fn run_churn(argv: Vec<String>) {
             eprintln!("INVARIANT VIOLATION seed {}: {:?}", v.seed, v.outcome);
         }
         std::process::exit(1);
+    }
+}
+
+fn run_parallel3d(argv: Vec<String>) {
+    use adapcc_bench::parallel_bench::{self, ParallelConfig};
+    use adapcc_train::parallel::ParallelLayout;
+    let args = match parse_parallel3d_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.starts_with("adapcc-sim") { 0 } else { 2 });
+        }
+    };
+    let dp = args.dp().expect("validated at parse time");
+    let cluster = adapcc_simnet::cluster::Cluster::fat_tree(args.servers, args.gpus);
+    println!(
+        "parallel3d: {} servers x {} GPUs fat tree, dp={} tp={} pp={}, {} MiB model, {} rounds max",
+        args.servers, args.gpus, dp, args.tp, args.pp, args.model_mib, args.rounds
+    );
+    let start = std::time::Instant::now();
+    let (topo, profile, _) = profiled_with_telemetry(&cluster, args.seed, Telemetry::disabled());
+    let cfg = ParallelConfig {
+        servers: args.servers,
+        gpus_per_server: args.gpus,
+        layout: ParallelLayout::new(dp, args.tp, args.pp),
+        model: ByteSize::from_mib(args.model_mib),
+        parallelism: args.parallelism,
+        seed: args.seed,
+        synth: adapcc_synth::solver::SynthConfig::default(),
+        max_rounds: args.rounds,
+    };
+    let report = parallel_bench::run_parallel3d(&cluster, &topo, &profile, &cfg);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    if args.verbose {
+        for p in &report.phases {
+            println!(
+                "  {:<14} {:>3} groups: executed {:.3} ms oblivious vs {:.3} ms aware \
+                 (modeled {:.3} vs {:.3} ms, {} sweeps)",
+                p.name,
+                p.groups,
+                p.oblivious_executed_s * 1e3,
+                p.aware_executed_s * 1e3,
+                p.oblivious_modeled_s * 1e3,
+                p.aware_modeled_s * 1e3,
+                p.rounds
+            );
+        }
+    }
+    let obl = report.oblivious_executed_s();
+    let aware = report.aware_executed_s();
+    println!(
+        "executed step: {:.3} ms oblivious vs {:.3} ms contention-aware ({:+.1}%); \
+         modeled {:.3} vs {:.3} ms ({:.0} ms wall)",
+        obl * 1e3,
+        aware * 1e3,
+        (aware / obl - 1.0) * 100.0,
+        report.oblivious_modeled_s() * 1e3,
+        report.aware_modeled_s() * 1e3,
+        wall_ms
+    );
+    if let Some(path) = &args.bench_append {
+        let rec = adapcc_bench::record::ParallelBenchRecord {
+            servers: args.servers,
+            gpus_per_server: args.gpus,
+            gpus: args.servers * args.gpus,
+            dp,
+            tp: args.tp,
+            pp: args.pp,
+            model_mib: args.model_mib,
+            parallelism: args.parallelism,
+            seed: args.seed,
+            phases: report.phases.len(),
+            rounds: report.phases.iter().map(|p| p.rounds).sum(),
+            oblivious_modeled_s: report.oblivious_modeled_s(),
+            aware_modeled_s: report.aware_modeled_s(),
+            oblivious_executed_s: obl,
+            aware_executed_s: aware,
+            wall_ms,
+        };
+        if let Err(e) = rec.append_to(std::path::Path::new(path)) {
+            eprintln!("could not append bench record to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("appended bench record to {path}");
     }
 }

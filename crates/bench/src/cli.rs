@@ -113,7 +113,10 @@ pub fn usage() -> &'static str {
        engine                    engine-throughput storm micro-benchmark\n\
                                  (adapcc-sim engine --help)\n\
        serve                     many-job shared plan-service benchmark\n\
-                                 (adapcc-sim serve --help)"
+                                 (adapcc-sim serve --help)\n\
+       parallel3d                3D-parallel + MoE step: group-oblivious vs\n\
+                                 contention-aware co-scheduled synthesis\n\
+                                 (adapcc-sim parallel3d --help)"
 }
 
 /// A parsed `adapcc-sim chaos` invocation.
@@ -497,6 +500,136 @@ pub fn parse_churn_args<I: IntoIterator<Item = String>>(args: I) -> Result<Churn
             other => return Err(format!("unknown flag {other}\n\n{}", churn_usage())),
         }
     }
+    Ok(out)
+}
+
+/// A parsed `adapcc-sim parallel3d` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parallel3dArgs {
+    /// Fat-tree servers.
+    pub servers: usize,
+    /// GPUs per server.
+    pub gpus: usize,
+    /// Tensor-parallel degree.
+    pub tp: usize,
+    /// Pipeline stages.
+    pub pp: usize,
+    /// Model parameter MiB (sharded over tp*pp).
+    pub model_mib: u64,
+    /// AdapCC parallelism (`M`).
+    pub parallelism: usize,
+    /// Profiling/synthesis seed.
+    pub seed: u64,
+    /// Co-scheduling fix-point sweep cap.
+    pub rounds: usize,
+    /// Print every phase's outcome, not just the step totals.
+    pub verbose: bool,
+    /// Append a `ParallelBenchRecord` line here.
+    pub bench_append: Option<String>,
+}
+
+impl Default for Parallel3dArgs {
+    fn default() -> Self {
+        Parallel3dArgs {
+            servers: 8,
+            gpus: 4,
+            tp: 2,
+            pp: 2,
+            model_mib: 512,
+            parallelism: 4,
+            seed: 1,
+            rounds: 4,
+            verbose: false,
+            bench_append: None,
+        }
+    }
+}
+
+impl Parallel3dArgs {
+    /// The data-parallel degree the fleet leaves after tp and pp:
+    /// `gpus_total / (tp * pp)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `tp * pp` does not divide the fleet.
+    pub fn dp(&self) -> Result<usize, String> {
+        let world = self.servers * self.gpus;
+        let cell = self.tp * self.pp;
+        if cell == 0 || !world.is_multiple_of(cell) {
+            return Err(format!("tp*pp = {cell} must divide the {world}-GPU fleet"));
+        }
+        Ok(world / cell)
+    }
+}
+
+/// The usage string for the `parallel3d` subcommand.
+pub fn parallel3d_usage() -> &'static str {
+    "adapcc-sim parallel3d: one 3D-parallel + MoE training step on a\n\
+     fat tree, group-oblivious vs contention-aware co-scheduling\n\
+     \n\
+     options:\n\
+       --servers N       fat-tree servers (default 8)\n\
+       --gpus N          GPUs per server (default 4)\n\
+       --tp N            tensor-parallel degree (default 2)\n\
+       --pp N            pipeline stages (default 2); dp is derived as\n\
+                         gpus_total / (tp*pp) and must divide evenly\n\
+       --model-mib N     model parameter MiB (default 512)\n\
+       --parallelism M   AdapCC sub-collectives (default 4)\n\
+       --seed N          profiling/synthesis seed (default 1)\n\
+       --rounds N        co-scheduling fix-point sweep cap (default 4)\n\
+       --verbose         print every phase's outcome\n\
+       --bench-append FILE  append a one-line machine-readable record\n\
+       --help            this message"
+}
+
+/// Parses `adapcc-sim parallel3d` arguments (everything after the
+/// subcommand word).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags or malformed
+/// values (`--help` arrives as an `Err` carrying the usage text).
+pub fn parse_parallel3d_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<Parallel3dArgs, String> {
+    let mut out = Parallel3dArgs::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} expects a value\n\n{}", parallel3d_usage()))
+        };
+        let positive = |flag: &str, v: String| -> Result<u64, String> {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("{flag} expects an integer"))?;
+            if n == 0 {
+                return Err(format!("{flag} must be positive"));
+            }
+            Ok(n)
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(parallel3d_usage().to_string()),
+            "--verbose" => out.verbose = true,
+            "--servers" => out.servers = positive("--servers", value("--servers")?)? as usize,
+            "--gpus" => out.gpus = positive("--gpus", value("--gpus")?)? as usize,
+            "--tp" => out.tp = positive("--tp", value("--tp")?)? as usize,
+            "--pp" => out.pp = positive("--pp", value("--pp")?)? as usize,
+            "--model-mib" => out.model_mib = positive("--model-mib", value("--model-mib")?)?,
+            "--parallelism" => {
+                out.parallelism = positive("--parallelism", value("--parallelism")?)? as usize;
+            }
+            "--seed" => {
+                out.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--rounds" => out.rounds = positive("--rounds", value("--rounds")?)? as usize,
+            "--bench-append" => out.bench_append = Some(value("--bench-append")?),
+            other => return Err(format!("unknown flag {other}\n\n{}", parallel3d_usage())),
+        }
+    }
+    out.dp()?;
     Ok(out)
 }
 

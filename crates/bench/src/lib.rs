@@ -21,6 +21,7 @@ pub mod cli;
 pub mod engine_bench;
 pub mod figs;
 pub mod harness;
+pub mod parallel_bench;
 pub mod record;
 pub mod service_bench;
 

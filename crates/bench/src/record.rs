@@ -376,6 +376,95 @@ impl ServiceBenchRecord {
     }
 }
 
+/// One `adapcc-sim parallel3d` run: a 3D-parallel + MoE step on a
+/// fat tree, group-oblivious versus contention-aware co-scheduled
+/// synthesis, flattened for line-oriented appending to
+/// `BENCH_parallel.json`. Every row carries both variants' modeled
+/// and *executed* step times, so the contention win is self-contained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelBenchRecord {
+    /// Fat-tree servers.
+    pub servers: usize,
+    /// GPUs per server.
+    pub gpus_per_server: usize,
+    /// Total GPUs (`servers * gpus_per_server`).
+    pub gpus: usize,
+    /// Data-parallel degree.
+    pub dp: usize,
+    /// Tensor-parallel degree.
+    pub tp: usize,
+    /// Pipeline stages.
+    pub pp: usize,
+    /// Model parameter MiB.
+    pub model_mib: u64,
+    /// Parallel sub-collectives per strategy.
+    pub parallelism: usize,
+    /// Profiling/synthesis seed.
+    pub seed: u64,
+    /// Communication phases in the step.
+    pub phases: usize,
+    /// Co-scheduling fix-point sweeps, summed over phases.
+    pub rounds: usize,
+    /// Modeled step seconds, group-oblivious.
+    pub oblivious_modeled_s: f64,
+    /// Modeled step seconds, contention-aware.
+    pub aware_modeled_s: f64,
+    /// Executed step seconds, group-oblivious.
+    pub oblivious_executed_s: f64,
+    /// Executed step seconds, contention-aware.
+    pub aware_executed_s: f64,
+    /// Host wall-clock milliseconds for the whole comparison.
+    pub wall_ms: f64,
+}
+
+impl ParallelBenchRecord {
+    /// Renders the record as a single-line JSON object (no trailing
+    /// newline), field order fixed.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"servers\":{},\"gpus_per_server\":{},\"gpus\":{},\"dp\":{},\
+             \"tp\":{},\"pp\":{},\"model_mib\":{},\"parallelism\":{},\
+             \"seed\":{},\"phases\":{},\"rounds\":{},\
+             \"oblivious_modeled_s\":{:.6},\"aware_modeled_s\":{:.6},\
+             \"oblivious_executed_s\":{:.6},\"aware_executed_s\":{:.6},\
+             \"wall_ms\":{:.3}}}",
+            self.servers,
+            self.gpus_per_server,
+            self.gpus,
+            self.dp,
+            self.tp,
+            self.pp,
+            self.model_mib,
+            self.parallelism,
+            self.seed,
+            self.phases,
+            self.rounds,
+            self.oblivious_modeled_s,
+            self.aware_modeled_s,
+            self.oblivious_executed_s,
+            self.aware_executed_s,
+            self.wall_ms,
+        );
+        s
+    }
+
+    /// Appends the record (plus newline) to `path`, creating the file
+    /// if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from opening or writing the file.
+    pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{}", self.to_json())
+    }
+}
+
 fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -390,6 +479,65 @@ fn escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parallel_sample() -> ParallelBenchRecord {
+        ParallelBenchRecord {
+            servers: 8,
+            gpus_per_server: 4,
+            gpus: 32,
+            dp: 8,
+            tp: 2,
+            pp: 2,
+            model_mib: 512,
+            parallelism: 4,
+            seed: 1,
+            phases: 4,
+            rounds: 6,
+            oblivious_modeled_s: 0.101234,
+            aware_modeled_s: 0.091234,
+            oblivious_executed_s: 0.120001,
+            aware_executed_s: 0.110001,
+            wall_ms: 950.5,
+        }
+    }
+
+    #[test]
+    fn parallel_json_is_one_line_with_fixed_fields() {
+        let j = parallel_sample().to_json();
+        assert!(!j.contains('\n'));
+        for field in [
+            "\"servers\":8",
+            "\"gpus\":32",
+            "\"dp\":8",
+            "\"tp\":2",
+            "\"pp\":2",
+            "\"model_mib\":512",
+            "\"phases\":4",
+            "\"rounds\":6",
+            "\"oblivious_executed_s\":0.120001",
+            "\"aware_executed_s\":0.110001",
+        ] {
+            assert!(j.contains(field), "{field} missing in {j}");
+        }
+        assert_eq!(parallel_sample().to_json(), j, "rendering is deterministic");
+    }
+
+    #[test]
+    fn parallel_record_appends_parseable_lines() {
+        let dir =
+            std::env::temp_dir().join(format!("adapcc-parallel-record-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_parallel.json");
+        let _ = std::fs::remove_file(&path);
+        parallel_sample().append_to(&path).unwrap();
+        parallel_sample().append_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 
     fn sample() -> BenchRecord {
         BenchRecord {

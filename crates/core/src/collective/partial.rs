@@ -32,7 +32,7 @@ impl<'c> AdapCC<'c> {
         ready: &BTreeMap<Rank, SimTime>,
         inputs: Option<&BTreeMap<Rank, Vec<f32>>>,
     ) -> Result<ExecOutcome, AdapCCError> {
-        let workers = self.workers.clone();
+        let workers = self.scope_workers();
         let strategy = planned.strategies[0][0].clone();
         let tensor = planned.tensor;
         let (start, active) = (partial.start, partial.active);
@@ -94,7 +94,7 @@ impl<'c> AdapCC<'c> {
                         primitive: adapcc_synth::primitive::Primitive::Broadcast,
                         tensor: tensor.as_u64(),
                         root: Some(*r),
-                        scope: None,
+                        scope: self.active_scope.clone(),
                     };
                     (
                         self.strategy_for_key(&key).clone(),
@@ -165,7 +165,7 @@ impl<'c> AdapCC<'c> {
         eff: &BTreeMap<Rank, SimTime>,
         inputs: Option<&BTreeMap<Rank, Vec<f32>>>,
     ) -> Result<ExecOutcome, AdapCCError> {
-        let workers = self.workers.clone();
+        let workers = self.scope_workers();
         let stage = &planned.stages[0];
         let strategies = &planned.strategies[0];
         let owner_of = |i: usize| stage.subs[i].owner.expect("fanned subs have owners");

@@ -93,17 +93,26 @@ impl<'c> AdapCC<'c> {
         }
         self.iteration += 1;
         self.maybe_reprofile();
+        // The workers this collective spans: the active process group's
+        // members (intersected with the live worker set), or the whole
+        // job when unscoped.
+        let scope_workers = self.scope_workers();
+        if scope_workers.is_empty() {
+            return Err(AdapCCError::InvalidRequest(
+                "the collective's process group has no surviving members".to_string(),
+            ));
+        }
         // A worker admitted between the caller building its input map
         // and this attempt (elastic rejoin runs ahead of the recovery
         // loop) contributes a zero tensor until the trainer reshards —
         // indexing a missing rank deep in the executor would panic.
         let filled: Option<BTreeMap<Rank, Vec<f32>>> = inputs.and_then(|m| {
-            if self.workers.iter().all(|r| m.contains_key(r)) {
+            if scope_workers.iter().all(|r| m.contains_key(r)) {
                 return None;
             }
             let elems = (tensor.as_u64() / 4) as usize;
             let mut m2 = m.clone();
-            for r in &self.workers {
+            for r in &scope_workers {
                 m2.entry(*r).or_insert_with(|| vec![0.0; elems]);
             }
             Some(m2)
@@ -116,7 +125,7 @@ impl<'c> AdapCC<'c> {
 
         // Plan: lower the spec, synthesize every stage strategy.
         let planned = self.plan_collective(spec, root, tensor, &tel)?;
-        let workers = self.workers.clone();
+        let workers = scope_workers;
 
         // Relay: consult (or bypass) the ski-rental coordinator.
         let (decision, first, eff) = self.decide_relay(&planned, ready, &workers);
@@ -167,6 +176,20 @@ impl<'c> AdapCC<'c> {
             start.min(outcome.finish).as_secs(),
             outcome.finish.as_secs(),
         );
+        // Group-scoped attempts additionally land on a per-group lane
+        // (and counter stream) so concurrent groups stay tellable apart
+        // on the stitched timeline. World-scoped runs emit nothing here,
+        // keeping historical traces byte-identical.
+        if let Some(g) = &self.active_scope {
+            let label = g.label();
+            tel.group_span(
+                &label,
+                "collective.execute",
+                start.min(outcome.finish).as_secs(),
+                outcome.finish.as_secs(),
+            );
+            tel.add_group_counter(&label, "executions", 1.0);
+        }
 
         // Assemble: per-slot outputs → the collective's result buffers.
         let outputs = match outcome.outputs {
@@ -216,7 +239,12 @@ impl<'c> AdapCC<'c> {
     /// Lowers the spec and synthesizes every stage strategy through
     /// the session memo / plan cache. Stage `k > 0` single-fanout
     /// sub-plans with no explicit root inherit the previous stage's
-    /// strategy root (Reduce → reverse Broadcast chaining).
+    /// strategy root (Reduce → reverse Broadcast chaining). Under an
+    /// active process group, whole-scope sub-plans adopt the group as
+    /// their scope — so their strategy keys, fingerprints and synthesis
+    /// participants are all group-local — while pairwise sub-plans keep
+    /// their two-member pair scopes (a pair's strategy depends only on
+    /// the pair, so it is legitimately shared across enclosing groups).
     fn plan_collective<'s>(
         &mut self,
         spec: &'s CollectiveSpec,
@@ -224,7 +252,17 @@ impl<'c> AdapCC<'c> {
         tensor: ByteSize,
         tel: &adapcc_telemetry::Telemetry,
     ) -> Result<Planned<'s>, AdapCCError> {
-        let mut stages = expand(spec, root, tensor, &self.workers.clone())?;
+        let workers = self.scope_workers();
+        let mut stages = expand(spec, root, tensor, &workers)?;
+        if let Some(g) = self.active_scope.clone() {
+            for stage in &mut stages {
+                for sub in &mut stage.subs {
+                    if sub.scope.is_none() {
+                        sub.scope = Some(g.clone());
+                    }
+                }
+            }
+        }
         let mut strategies: Vec<Vec<Strategy>> = Vec::with_capacity(stages.len());
         let mut memo_miss = false;
         for i in 0..stages.len() {
@@ -245,7 +283,7 @@ impl<'c> AdapCC<'c> {
         // not the content-addressed plan cache, decides the width, so
         // same-seed runs stay byte-identical regardless of cache tier.
         let solve = if memo_miss {
-            crate::reconstruct::modeled_solve_cost(self.workers.len()).as_secs()
+            crate::reconstruct::modeled_solve_cost(workers.len()).as_secs()
         } else {
             0.0
         };
@@ -342,6 +380,7 @@ impl<'c> AdapCC<'c> {
         inputs: Option<&BTreeMap<Rank, Vec<f32>>>,
     ) -> Result<ExecOutcome, AdapCCError> {
         let primitive = planned.stages[0].primitive;
+        let scope_workers = self.scope_workers();
         let tensor = planned.tensor;
         let work_id = self.communicator.submit(crate::communicator::WorkItem {
             id: 0,
@@ -355,7 +394,7 @@ impl<'c> AdapCC<'c> {
             .take_work()
             .expect("the request just submitted");
         debug_assert_eq!(item.id, work_id);
-        let workers = self.workers.clone();
+        let workers = scope_workers;
         let strategy = planned.strategies[0][0].clone();
         let (_, last) = ready_span(ready, &workers);
         // Timing-only wait-all runs reuse the cached zero-skew
@@ -411,7 +450,7 @@ impl<'c> AdapCC<'c> {
         if inputs.is_none() && self.fault_schedule.is_none() {
             let key = planned.stages[0].subs[0].key(planned.stages[0].primitive);
             let t_exec = self.cached_exec_secs(&key, &strategy);
-            let (_, last) = ready_span(ready, &self.workers.clone());
+            let (_, last) = ready_span(ready, &self.scope_workers());
             let finish = last.max(start) + SimDuration::from_secs(t_exec);
             return Ok(ExecOutcome::done(finish, BTreeMap::new()));
         }
@@ -435,7 +474,7 @@ impl<'c> AdapCC<'c> {
         ready: &BTreeMap<Rank, SimTime>,
         inputs: Option<&BTreeMap<Rank, Vec<f32>>>,
     ) -> Result<ExecOutcome, AdapCCError> {
-        let workers = self.workers.clone();
+        let workers = self.scope_workers();
         let (_, last) = ready_span(ready, &workers);
         let mut stage_ready: BTreeMap<Rank, SimTime> = ready.clone();
         let mut stage_inputs: Option<BTreeMap<Rank, Vec<f32>>> = inputs.cloned();

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 
 use adapcc_simnet::cluster::Rank;
 use adapcc_simnet::units::ByteSize;
+use adapcc_synth::group::ProcessGroup;
 use adapcc_synth::primitive::Primitive;
 
 use crate::collective::spec::{CollectiveSpec, Fanout, ShardRule, StageSpec};
@@ -27,8 +28,9 @@ pub struct StrategyKey {
     pub tensor: u64,
     /// Root rank for rooted primitives.
     pub root: Option<Rank>,
-    /// Participant subset, sorted; `None` spans the whole job.
-    pub scope: Option<Vec<Rank>>,
+    /// Participant process group (canonical: sorted, deduplicated,
+    /// non-empty); `None` spans the whole job.
+    pub scope: Option<ProcessGroup>,
 }
 
 /// One sub-collective of one stage: what to synthesize and which slot
@@ -38,8 +40,8 @@ pub struct SubPlan {
     /// Root of the synthesized strategy (`None` lets the synthesizer
     /// choose; resolved during planning for stages that chain).
     pub root: Option<Rank>,
-    /// Participant subset (`None` = all workers).
-    pub scope: Option<Vec<Rank>>,
+    /// Participant process group (`None` = all workers).
+    pub scope: Option<ProcessGroup>,
     /// Tensor this sub-collective moves.
     pub tensor: ByteSize,
     /// The worker whose data (or result slot) this sub carries, for
@@ -170,8 +172,8 @@ fn expand_stage(
                 .enumerate()
                 .filter(|(_, w)| **w != call_root)
                 .map(|(j, w)| {
-                    let mut scope = vec![*w, call_root];
-                    scope.sort_unstable();
+                    let scope = ProcessGroup::canonical(&[*w, call_root])
+                        .expect("a pair scope is never empty");
                     SubPlan {
                         root: Some(if worker_is_root { *w } else { call_root }),
                         scope: Some(scope),
@@ -269,7 +271,10 @@ mod tests {
         let subs = &plan[0].subs;
         assert_eq!(subs.len(), 2, "the root has no pairwise sub");
         assert_eq!(subs[0].root, Some(Rank(0)));
-        assert_eq!(subs[0].scope, Some(vec![Rank(0), Rank(1)]));
+        assert_eq!(
+            subs[0].scope,
+            Some(ProcessGroup::canonical(&[Rank(0), Rank(1)]).unwrap())
+        );
         assert_eq!(subs[0].slot, 0);
         assert_eq!(subs[1].root, Some(Rank(2)));
         assert_eq!(subs[1].slot, 2, "slots index the full worker list");

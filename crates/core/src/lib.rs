@@ -66,6 +66,7 @@ pub mod reconstruct;
 pub mod relay;
 pub mod session;
 
+pub use adapcc_synth::group::{GroupAxis, GroupError, ProcessGroup};
 pub use behavior::{derive_behaviors, BehaviorTuple};
 pub use collective::CollectiveSpec;
 pub use communicator::{Communicator, SetupReport};
@@ -75,6 +76,6 @@ pub use executor::{BatchReport, ExecutionRequest, Executor, RequestReport};
 pub use reconstruct::{modeled_solve_cost, nccl_restart_cost, ReconstructReport, RestartCost};
 pub use relay::{BuyEstimate, Coordinator, Decision, RelayConfig, RelayStats};
 pub use session::{
-    AdapCC, HealthMonitor, HealthPolicy, InitOptions, InitReport, IterationReport, RankHealth,
-    RecoveryEvent, RecoveryPolicy, ScaleReport, QUARANTINE_FACTOR,
+    AdapCC, GroupHandle, HealthMonitor, HealthPolicy, InitOptions, InitReport, IterationReport,
+    RankHealth, RecoveryEvent, RecoveryPolicy, ScaleReport, QUARANTINE_FACTOR,
 };

@@ -1,0 +1,310 @@
+//! First-class process-group scopes over the session.
+//!
+//! [`AdapCC::group`] canonicalizes a member set into a
+//! [`ProcessGroup`] and returns a [`GroupHandle`] whose collective
+//! methods lower through the *same* CollectiveSpec pipeline as the
+//! world-scoped entry points — the handle pins the session's active
+//! scope around the call, so planning keys every stage strategy by the
+//! group, synthesis solves over the group's members, and execution
+//! runs on the shared fabric. A group spanning the full worker set
+//! normalizes to the unscoped path, bit-identical to calling the
+//! session directly.
+//!
+//! [`AdapCC::declare_concurrent`] registers which groups run their
+//! collectives at the same time; the concurrency set is folded into
+//! plan fingerprints (see `planning.rs`) so a strategy solved for one
+//! co-scheduling regime never serves another.
+
+use std::collections::BTreeMap;
+
+use adapcc_simnet::cluster::Rank;
+use adapcc_simnet::time::SimTime;
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::group::{GroupAxis, ProcessGroup};
+
+use crate::collective::report::IterationReport;
+use crate::error::AdapCCError;
+use crate::session::AdapCC;
+
+impl<'c> AdapCC<'c> {
+    /// A collective scope over `members` (axis
+    /// [`GroupAxis::World`]). Members are canonicalized — sorted,
+    /// deduplicated — and must all be part of the job. A group covering
+    /// the full worker set normalizes to the unscoped path: its
+    /// collectives are bit-identical to calling the session directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError::InvalidRequest`] when `members` is empty
+    /// or contains a rank outside the current worker set.
+    pub fn group<'h>(&'h mut self, members: &[Rank]) -> Result<GroupHandle<'h, 'c>, AdapCCError> {
+        self.group_on(GroupAxis::World, members)
+    }
+
+    /// [`group`](Self::group) with an explicit parallelism-axis tag
+    /// (DP/TP/PP/EP). The axis participates in the group id, so the
+    /// same member set on two axes is two distinct groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdapCCError::InvalidRequest`] when `members` is empty
+    /// or contains a rank outside the current worker set.
+    pub fn group_on<'h>(
+        &'h mut self,
+        axis: GroupAxis,
+        members: &[Rank],
+    ) -> Result<GroupHandle<'h, 'c>, AdapCCError> {
+        let group = ProcessGroup::canonical_with_axis(axis, members)
+            .map_err(|e| AdapCCError::InvalidRequest(e.to_string()))?;
+        if let Some(outside) = group.members().iter().find(|r| !self.workers.contains(r)) {
+            return Err(AdapCCError::InvalidRequest(format!(
+                "{outside} is not part of the job (excluded or never admitted)"
+            )));
+        }
+        // The full worker set IS the world: collapse to the unscoped
+        // path so full-set groups stay bit-identical to direct calls.
+        let scope = if group.members() == self.workers.as_slice() {
+            None
+        } else {
+            self.groups.insert(group.id(), group.clone());
+            Some(group)
+        };
+        Ok(GroupHandle { cc: self, scope })
+    }
+
+    /// Declares that these groups run their collectives concurrently.
+    /// Each group is registered, and the set's ids are folded into the
+    /// plan fingerprint of every group-scoped solve that belongs to it
+    /// (see `planning.rs`), so plans solved under one co-scheduling
+    /// regime never serve another. Replaces any previous declaration;
+    /// an empty slice clears it.
+    pub fn declare_concurrent(&mut self, groups: &[ProcessGroup]) {
+        let mut ids: Vec<u64> = groups.iter().map(ProcessGroup::id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for g in groups {
+            self.groups.insert(g.id(), g.clone());
+        }
+        self.concurrent = ids;
+    }
+
+    /// The registered process groups, keyed by stable group id.
+    pub fn registered_groups(&self) -> &BTreeMap<u64, ProcessGroup> {
+        &self.groups
+    }
+
+    /// The declared concurrency set (sorted, deduplicated group ids);
+    /// empty when no concurrency has been declared.
+    pub fn concurrent_ids(&self) -> &[u64] {
+        &self.concurrent
+    }
+
+    /// The workers the in-flight collective spans: the active group's
+    /// members intersected with the live worker set, or every worker
+    /// when unscoped. Intersecting (rather than trusting the group
+    /// verbatim) keeps a mid-recovery retry from planning over a rank
+    /// that was just excluded.
+    pub(crate) fn scope_workers(&self) -> Vec<Rank> {
+        match &self.active_scope {
+            Some(g) => self
+                .workers
+                .iter()
+                .copied()
+                .filter(|r| g.contains(*r))
+                .collect(),
+            None => self.workers.clone(),
+        }
+    }
+
+    /// Runs `f` with the session's active scope pinned to `scope`,
+    /// restoring the previous scope afterwards (also on error).
+    pub(crate) fn with_scope<T>(
+        &mut self,
+        scope: Option<ProcessGroup>,
+        f: impl FnOnce(&mut Self) -> T,
+    ) -> T {
+        let prev = std::mem::replace(&mut self.active_scope, scope);
+        let out = f(self);
+        self.active_scope = prev;
+        out
+    }
+}
+
+/// A borrowed collective scope: every method mirrors the session entry
+/// point of the same name, restricted to the group's members. Created
+/// by [`AdapCC::group`] / [`AdapCC::group_on`].
+#[derive(Debug)]
+pub struct GroupHandle<'h, 'c> {
+    cc: &'h mut AdapCC<'c>,
+    /// `None` when the group spans the full worker set (world path).
+    scope: Option<ProcessGroup>,
+}
+
+impl<'h, 'c> GroupHandle<'h, 'c> {
+    /// The canonical group this handle scopes to, or `None` when it
+    /// normalized to the full worker set.
+    pub fn process_group(&self) -> Option<&ProcessGroup> {
+        self.scope.as_ref()
+    }
+
+    fn scoped(
+        &mut self,
+        f: impl FnOnce(&mut AdapCC<'c>) -> Result<IterationReport, AdapCCError>,
+    ) -> Result<IterationReport, AdapCCError> {
+        if let Some(g) = &self.scope {
+            self.cc
+                .options
+                .telemetry
+                .add_group_counter(&g.label(), "collectives", 1.0);
+        }
+        let scope = self.scope.clone();
+        self.cc.with_scope(scope, f)
+    }
+
+    /// Group-scoped [`AdapCC::allreduce`].
+    ///
+    /// # Errors
+    ///
+    /// As the session entry point.
+    pub fn allreduce(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        self.scoped(|cc| cc.allreduce(tensor, ready, inputs))
+    }
+
+    /// Group-scoped [`AdapCC::allreduce_adaptive`].
+    ///
+    /// # Errors
+    ///
+    /// As the session entry point.
+    pub fn allreduce_adaptive(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        self.scoped(|cc| cc.allreduce_adaptive(tensor, ready, inputs))
+    }
+
+    /// Group-scoped [`AdapCC::reduce`].
+    ///
+    /// # Errors
+    ///
+    /// As the session entry point.
+    pub fn reduce(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        self.scoped(|cc| cc.reduce(tensor, ready, inputs))
+    }
+
+    /// Group-scoped [`AdapCC::broadcast`].
+    ///
+    /// # Errors
+    ///
+    /// As the session entry point; additionally rejects a `root`
+    /// outside the group.
+    pub fn broadcast(
+        &mut self,
+        root: Rank,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        self.check_root(root)?;
+        self.scoped(|cc| cc.broadcast(root, tensor, ready, inputs))
+    }
+
+    /// Group-scoped [`AdapCC::alltoall`].
+    ///
+    /// # Errors
+    ///
+    /// As the session entry point.
+    pub fn alltoall(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        self.scoped(|cc| cc.alltoall(tensor, ready, inputs))
+    }
+
+    /// Group-scoped [`AdapCC::allgather`].
+    ///
+    /// # Errors
+    ///
+    /// As the session entry point.
+    pub fn allgather(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        self.scoped(|cc| cc.allgather(tensor, ready, inputs))
+    }
+
+    /// Group-scoped [`AdapCC::reduce_scatter`].
+    ///
+    /// # Errors
+    ///
+    /// As the session entry point (the tensor must shard over the
+    /// *group's* size, not the job's).
+    pub fn reduce_scatter(
+        &mut self,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        self.scoped(|cc| cc.reduce_scatter(tensor, ready, inputs))
+    }
+
+    /// Group-scoped [`AdapCC::gather`].
+    ///
+    /// # Errors
+    ///
+    /// As the session entry point; additionally rejects a `root`
+    /// outside the group.
+    pub fn gather(
+        &mut self,
+        root: Rank,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        self.check_root(root)?;
+        self.scoped(|cc| cc.gather(root, tensor, ready, inputs))
+    }
+
+    /// Group-scoped [`AdapCC::scatter`].
+    ///
+    /// # Errors
+    ///
+    /// As the session entry point; additionally rejects a `root`
+    /// outside the group.
+    pub fn scatter(
+        &mut self,
+        root: Rank,
+        tensor: ByteSize,
+        ready: &BTreeMap<Rank, SimTime>,
+        inputs: Option<BTreeMap<Rank, Vec<f32>>>,
+    ) -> Result<IterationReport, AdapCCError> {
+        self.check_root(root)?;
+        self.scoped(|cc| cc.scatter(root, tensor, ready, inputs))
+    }
+
+    fn check_root(&self, root: Rank) -> Result<(), AdapCCError> {
+        if let Some(g) = &self.scope {
+            if !g.contains(root) {
+                return Err(AdapCCError::InvalidRequest(format!(
+                    "root {root} is not a member of group {g}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}

@@ -27,6 +27,7 @@
 //! - `collectives` — the public entry points (one spec each)
 
 mod collectives;
+mod groups;
 mod health;
 mod lifecycle;
 mod planning;
@@ -35,7 +36,7 @@ mod scaling;
 #[cfg(test)]
 mod tests;
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use adapcc_plancache::{PlanCache, PlanCacheConfig};
 use adapcc_profile::profiler::{LinkProfile, Profiler};
@@ -48,9 +49,12 @@ use adapcc_topo::detect::{DetectionReport, Detector};
 use adapcc_topo::logical::LogicalTopology;
 
 pub use crate::collective::report::IterationReport;
+pub use groups::GroupHandle;
 pub use health::{HealthMonitor, HealthPolicy, RankHealth, QUARANTINE_FACTOR};
 pub use recovery::{RecoveryEvent, RecoveryPolicy};
 pub use scaling::ScaleReport;
+
+use adapcc_synth::group::ProcessGroup;
 
 use crate::collective::plan::StrategyKey;
 use crate::communicator::Communicator;
@@ -183,12 +187,28 @@ pub struct AdapCC<'c> {
     /// warm starts, exact hits); reconstruction paths diff it around
     /// their re-synthesis loops to charge the matching modeled cost.
     pub(crate) synth_tally: SynthTally,
-    pub(crate) estimates: HashMap<(adapcc_synth::primitive::Primitive, u64), BuyEstimate>,
+    /// Ski-rental buy estimates keyed by (primitive, tensor bytes,
+    /// scope group id — `0` for the world scope).
+    pub(crate) estimates: HashMap<(adapcc_synth::primitive::Primitive, u64, u64), BuyEstimate>,
     /// Zero-skew execution time per cached strategy: timing-only
     /// wait-all collectives reuse it instead of re-simulating (the
     /// collective itself is deterministic; only readiness varies).
     pub(crate) exec_cache: HashMap<StrategyKey, f64>,
     pub(crate) workers: Vec<Rank>,
+    /// The process group the in-flight collective is scoped to
+    /// (`None` = the whole job). Set by [`GroupHandle`] entry points
+    /// around the pipeline and restored on exit, so the plan/relay/
+    /// execute path reads one consistent scope per attempt.
+    pub(crate) active_scope: Option<ProcessGroup>,
+    /// Registry of every process group the session has planned for,
+    /// keyed by stable group id. Exclusion consults it to invalidate
+    /// exactly the groups containing a dead rank.
+    pub(crate) groups: BTreeMap<u64, ProcessGroup>,
+    /// Declared concurrency set: ids of groups expected to run their
+    /// collectives at the same time. Folded into plan fingerprints so
+    /// a strategy solved for one concurrency regime never serves
+    /// another.
+    pub(crate) concurrent: Vec<u64>,
     pub(crate) iteration: u64,
     pub(crate) fabric_factors: Vec<(LinkId, f64)>,
     pub(crate) profile_period: Option<u64>,
@@ -237,6 +257,9 @@ impl<'c> AdapCC<'c> {
             estimates: HashMap::new(),
             exec_cache: HashMap::new(),
             workers,
+            active_scope: None,
+            groups: BTreeMap::new(),
+            concurrent: Vec::new(),
             iteration: 0,
             fabric_factors: Vec::new(),
             profile_period: None,

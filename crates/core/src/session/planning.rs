@@ -50,8 +50,15 @@ impl<'c> AdapCC<'c> {
     }
 
     /// The synthesized strategy behind one canonical key (memoized per
-    /// worker set; misses go through the plan cache).
+    /// worker set; misses go through the plan cache). Scoped keys
+    /// register their group in the session registry, so exclusion can
+    /// invalidate exactly the groups containing a dead rank — even for
+    /// scopes built ad hoc (pairwise stages) rather than via
+    /// [`AdapCC::group`].
     pub(crate) fn strategy_for_key(&mut self, key: &StrategyKey) -> &Strategy {
+        if let Some(g) = &key.scope {
+            self.groups.insert(g.id(), g.clone());
+        }
         if !self.strategies.contains_key(key) {
             let strategy = self.synthesize_through_cache(key);
             self.strategies.insert(key.clone(), strategy);
@@ -65,7 +72,11 @@ impl<'c> AdapCC<'c> {
     /// misses (or seeds the solver rejects) solve cold and populate the
     /// cache.
     fn synthesize_through_cache(&mut self, key: &StrategyKey) -> Strategy {
-        let participants = key.scope.clone().unwrap_or_else(|| self.workers.clone());
+        let participants = key
+            .scope
+            .as_ref()
+            .map(|g| g.members().to_vec())
+            .unwrap_or_else(|| self.workers.clone());
         let mut req = SynthRequest::new(
             key.primitive,
             ByteSize::from_bytes(key.tensor),
@@ -74,7 +85,7 @@ impl<'c> AdapCC<'c> {
         );
         req.root = key.root;
         req.seed = self.options.seed;
-        let fp = self.plan_fingerprint(&req);
+        let fp = self.plan_fingerprint(&req, self.concurrency_component(key.scope.as_ref()));
         if let Some(service) = self.options.plan_service.clone() {
             return self.synthesize_through_service(&service, &req, fp);
         }
@@ -205,8 +216,12 @@ impl<'c> AdapCC<'c> {
     /// tier decision (would this request synthesize hierarchically?),
     /// so flipping `SynthConfig::hierarchical` — or crossing the auto
     /// threshold as workers join — never serves a plan solved under the
-    /// other regime.
-    fn plan_fingerprint(&self, req: &SynthRequest) -> Fingerprint {
+    /// other regime. `concurrency` is the group-scope concurrency-set
+    /// component (`0` = solo): a strategy solved against one set of
+    /// co-scheduled peers never serves a different regime, and a TP
+    /// slice's plan can never serve a DP ring because the scoped
+    /// participant sets already differ.
+    fn plan_fingerprint(&self, req: &SynthRequest, concurrency: u64) -> Fingerprint {
         let instances =
             adapcc_synth::solver::group_by_instance(&self.topo, &req.participants).len();
         fingerprint(&FingerprintInputs {
@@ -224,7 +239,22 @@ impl<'c> AdapCC<'c> {
                 .synth
                 .hierarchical
                 .enabled_for(req.participants.len(), instances),
+            concurrency,
         })
+    }
+
+    /// The concurrency-set fingerprint component for a scope: the hash
+    /// of all declared-concurrent group ids when `scope` belongs to a
+    /// declared set of two or more groups, `0` (solo) otherwise —
+    /// world-scoped and undeclared solves keep their historical
+    /// fingerprints byte-identical.
+    fn concurrency_component(&self, scope: Option<&adapcc_synth::group::ProcessGroup>) -> u64 {
+        match scope {
+            Some(g) if self.concurrent.len() > 1 && self.concurrent.contains(&g.id()) => {
+                adapcc_synth::group::concurrency_hash(&self.concurrent)
+            }
+            _ => 0,
+        }
     }
 
     /// Plan-cache effectiveness counters (hits, misses, warm starts,
@@ -286,17 +316,18 @@ impl<'c> AdapCC<'c> {
     /// current fabric and its wall time cached (estimation by
     /// measurement, like everything else in AdapCC).
     pub(crate) fn buy_estimate(&mut self, strategy: &Strategy, tensor: ByteSize) -> BuyEstimate {
-        let key = (strategy.primitive, tensor.as_u64());
+        let key = (strategy.primitive, tensor.as_u64(), self.scope_id());
         if let Some(est) = self.estimates.get(&key) {
             return est.clone();
         }
-        let probe_root = self.workers[self.workers.len() / 2];
+        let scope_workers = self.scope_workers();
+        let probe_root = scope_workers[scope_workers.len() / 2];
         let bstrat = self
             .strategy_for_key(&StrategyKey {
                 primitive: Primitive::Broadcast,
                 tensor: tensor.as_u64(),
                 root: Some(probe_root),
-                scope: None,
+                scope: self.active_scope.clone(),
             })
             .clone();
         let unit = Executor::new(self.cluster, &self.topo)
@@ -320,7 +351,7 @@ impl<'c> AdapCC<'c> {
         strategy: &Strategy,
         tensor: ByteSize,
     ) -> BuyEstimate {
-        let key = (kind, tensor.as_u64());
+        let key = (kind, tensor.as_u64(), self.scope_id());
         if let Some(est) = self.estimates.get(&key) {
             return est.clone();
         }
@@ -328,6 +359,12 @@ impl<'c> AdapCC<'c> {
             BuyEstimate::new(&self.topo, &self.profile, strategy, tensor).with_primitive(kind);
         self.estimates.insert(key, est.clone());
         est
+    }
+
+    /// The active scope's stable group id (`0` = world), used to keep
+    /// per-group buy estimates from colliding across groups.
+    pub(crate) fn scope_id(&self) -> u64 {
+        self.active_scope.as_ref().map(|g| g.id()).unwrap_or(0)
     }
 
     /// Modeled solver latency for the re-synthesis work done since

@@ -89,13 +89,18 @@ impl<'c> AdapCC<'c> {
         let report = profiler.run();
         self.profile = report.links;
         let before = self.synth_tally;
+        // Registry-driven group invalidation: collect the ids of every
+        // registered group containing a dead rank (and drop those
+        // groups), then skip dead-scoped keys by an O(1) id check
+        // instead of re-walking each key's member list per dead worker.
+        let dead_groups = self.invalidate_groups_for(dead);
         let mut resynthesized = false;
         for key in keys {
             if key.root.is_some_and(|r| dead.contains(&r))
                 || key
                     .scope
                     .as_ref()
-                    .is_some_and(|s| s.iter().any(|r| dead.contains(r)))
+                    .is_some_and(|g| dead_groups.contains(&g.id()))
             {
                 continue;
             }
@@ -186,6 +191,26 @@ impl<'c> AdapCC<'c> {
             detection,
             reconstruction,
         })
+    }
+
+    /// Drops every registered process group containing a dead rank
+    /// from the registry and returns their ids — the set of scopes
+    /// whose cached strategies exclusion must invalidate. Groups with
+    /// only survivors stay registered (their strategies re-synthesize
+    /// over the same members).
+    pub(crate) fn invalidate_groups_for(
+        &mut self,
+        dead: &[Rank],
+    ) -> std::collections::BTreeSet<u64> {
+        let dead_ids: std::collections::BTreeSet<u64> = self
+            .groups
+            .values()
+            .filter(|g| g.intersects(dead))
+            .map(|g| g.id())
+            .collect();
+        self.groups.retain(|id, _| !dead_ids.contains(id));
+        self.concurrent.retain(|id| !dead_ids.contains(id));
+        dead_ids
     }
 
     /// Removes faulty workers from the job and re-synthesizes over the

@@ -707,3 +707,74 @@ fn broadcast_from_excluded_root_is_invalid() {
         .expect_err("dead root cannot broadcast");
     assert!(matches!(err, AdapCCError::InvalidRequest(_)), "{err}");
 }
+
+#[test]
+fn group_collectives_match_world_semantics_on_the_group() {
+    let c = Cluster::homogeneous_a100(2);
+    let mut cc = AdapCC::init(&c, quick_options());
+    cc.setup();
+    let members = [Rank(0), Rank(2), Rank(5)];
+    let elems = 16 * 1024 / 4;
+    let inputs = inputs_for(&members, elems);
+    let mut g = cc.group(&members).expect("valid members");
+    let report = g
+        .allreduce(
+            ByteSize::from_kib(16),
+            &BTreeMap::new(),
+            Some(inputs.clone()),
+        )
+        .expect("healthy fabric");
+    // The reduction runs over exactly the group's members.
+    let expected: Vec<f32> = (0..elems)
+        .map(|i| members.iter().map(|r| inputs[r][i]).sum())
+        .collect();
+    let outputs = report.outputs;
+    assert_eq!(outputs.len(), members.len());
+    for r in &members {
+        assert_eq!(outputs[r], expected, "rank {r} sees the group sum");
+    }
+    // Roots outside the group are rejected up front.
+    let err = g
+        .broadcast(Rank(1), ByteSize::from_kib(16), &BTreeMap::new(), None)
+        .expect_err("root outside the group");
+    assert!(matches!(err, AdapCCError::InvalidRequest(_)), "{err}");
+}
+
+#[test]
+fn exclusion_invalidates_exactly_the_groups_containing_the_dead_rank() {
+    use adapcc_synth::group::GroupAxis;
+    let c = Cluster::homogeneous_a100(2);
+    let mut cc = AdapCC::init(&c, quick_options());
+    cc.setup();
+    // Rank 3 sits in three overlapping groups; a fourth is disjoint.
+    let overlapping = [
+        vec![Rank(0), Rank(3)],
+        vec![Rank(1), Rank(3), Rank(5)],
+        vec![Rank(3), Rank(6), Rank(7)],
+    ];
+    let disjoint = vec![Rank(0), Rank(1), Rank(2)];
+    let mut ids = Vec::new();
+    for members in overlapping.iter().chain(std::iter::once(&disjoint)) {
+        let g = cc
+            .group_on(GroupAxis::Data, members)
+            .expect("valid members");
+        ids.push(g.process_group().expect("proper subgroup").id());
+    }
+    let survivor_id = *ids.last().unwrap();
+    cc.declare_concurrent(
+        &ids.iter()
+            .map(|id| cc.registered_groups()[id].clone())
+            .collect::<Vec<_>>(),
+    );
+    assert_eq!(cc.registered_groups().len(), 4);
+    let dead = cc.invalidate_groups_for(&[Rank(3)]);
+    // Exactly the three groups containing rank 3 are invalidated...
+    assert_eq!(dead.len(), 3);
+    assert!(ids[..3].iter().all(|id| dead.contains(id)));
+    // ...and the disjoint group survives in both registry and the
+    // declared concurrency set.
+    assert!(!dead.contains(&survivor_id));
+    assert_eq!(cc.registered_groups().len(), 1);
+    assert!(cc.registered_groups().contains_key(&survivor_id));
+    assert_eq!(cc.concurrent_ids(), &[survivor_id]);
+}

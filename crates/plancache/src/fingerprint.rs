@@ -75,6 +75,15 @@ pub struct FingerprintInputs<'a> {
     /// the shape half only when set, keeping every flat fingerprint
     /// byte-stable across cache versions.
     pub hierarchical: bool,
+    /// Group-scope concurrency-set component: a stable hash of the ids
+    /// of the process groups declared to run concurrently with this
+    /// solve, or `0` for a solo (unscoped or undeclared) solve.
+    /// Strategies co-scheduled against different peer sets are
+    /// different answers to different problems, so they must not share
+    /// a cache entry; hashed into the shape half only when nonzero,
+    /// keeping every solo fingerprint byte-stable across cache
+    /// versions.
+    pub concurrency: u64,
 }
 
 /// Computes the canonical fingerprint of a synthesis problem.
@@ -117,6 +126,10 @@ fn shape_hash(inp: &FingerprintInputs<'_>) -> u64 {
     h.u64(size_class(inp.tensor) as u64);
     if inp.hierarchical {
         h.str("hierarchical");
+    }
+    if inp.concurrency != 0 {
+        h.str("concurrency");
+        h.u64(inp.concurrency);
     }
     match inp.root {
         Some(r) => {
@@ -263,6 +276,7 @@ mod tests {
             root: None,
             quantization: 0.15,
             hierarchical: false,
+            concurrency: 0,
         }
     }
 
@@ -352,6 +366,28 @@ mod tests {
             "tiered and flat solves must not share a cache entry"
         );
         assert_eq!(flat.profile, tiered.profile, "measurements unchanged");
+    }
+
+    #[test]
+    fn concurrency_set_flips_only_the_shape_half() {
+        let c = Cluster::homogeneous_a100(2);
+        let (topo, profile) = setup(&c);
+        let ranks: Vec<Rank> = (0..8).map(Rank).collect();
+        let mut i = inputs(&topo, &profile, &ranks);
+        let solo = fingerprint(&i);
+        i.concurrency = 0xDEAD_BEEF;
+        let coscheduled = fingerprint(&i);
+        assert_ne!(
+            solo.shape, coscheduled.shape,
+            "co-scheduled and solo solves must not share a cache entry"
+        );
+        assert_eq!(solo.profile, coscheduled.profile, "measurements unchanged");
+        i.concurrency = 0xF00D;
+        assert_ne!(
+            fingerprint(&i).shape,
+            coscheduled.shape,
+            "different concurrency sets are different problems"
+        );
     }
 
     #[test]

@@ -980,6 +980,59 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_group_flows_share_one_timeline() {
+        // Two process groups (one cross-server ring per local GPU
+        // slot on a fat tree) run their transfers in the SAME engine
+        // timeline: their flows meet on the shared server uplinks and
+        // split them by eq. 3 equal share, exactly as two solo runs
+        // at half bandwidth — no cross-group event loss or reordering.
+        let c = Cluster::fat_tree(2, 2);
+        let mut sim = NetSim::new(&c);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let size = ByteSize::from_mib(100);
+        // Group A = slot-0 ranks, group B = slot-1 ranks; both cross
+        // the same NIC pair in the same direction at t=0.
+        sim.submit_transfer(&path, size, 0xA);
+        sim.submit_transfer(&path, size, 0xB);
+        let together = sim.drain();
+        assert_eq!(together.len(), 2, "both groups' transfers complete");
+        let tokens: Vec<Token> = together.iter().map(|e| e.token()).collect();
+        assert_eq!(tokens, vec![0xA, 0xB]);
+        // Solo timeline for one group on the same fabric.
+        let mut solo = NetSim::new(&c);
+        solo.submit_transfer(&path, size, 0xA);
+        let alone = solo.drain()[0].at().as_secs();
+        let alpha = c.path_alpha(&path).as_secs();
+        let shared = together.last().unwrap().at().as_secs();
+        // Contended serial time = alpha + 2x the solo drain time.
+        let expect = alpha + 2.0 * (alone - alpha);
+        assert!(
+            (shared - expect).abs() / expect < 0.01,
+            "shared={shared} expect={expect}"
+        );
+        // Flow conservation: staggering group B by a timer tick still
+        // delivers every byte of both groups, in submission order per
+        // group, on one monotone clock.
+        let mut stag = NetSim::new(&c);
+        stag.submit_transfer(&path, size, 0xA);
+        stag.schedule_timer(SimDuration::from_millis(1.0), 0xF1);
+        let mut events = Vec::new();
+        while let Some(ev) = stag.step() {
+            if matches!(ev, SimEvent::Timer { token: 0xF1, .. }) {
+                stag.submit_transfer(&path, size, 0xB);
+            }
+            events.push(ev);
+        }
+        let done: Vec<Token> = events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::TransferDone { .. }))
+            .map(|e| e.token())
+            .collect();
+        assert_eq!(done, vec![0xA, 0xB]);
+        assert!(events.windows(2).all(|w| w[0].at() <= w[1].at()));
+    }
+
+    #[test]
     fn parallel_tcp_streams_aggregate_past_the_cap() {
         let mut b = ClusterBuilder::new();
         b.add_instances(InstanceSpec::a100_server().with_tcp(), 2);

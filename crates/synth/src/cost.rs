@@ -66,17 +66,123 @@ impl CostEstimate {
     }
 }
 
+/// Pinned stream loads contributed by *co-scheduled* collectives: the
+/// eq. 3 equal-share bandwidth model lifted across process groups.
+///
+/// A solve for one group normally scores against an empty fabric; when
+/// several groups (DP rings, TP slices, MoE all-to-alls) run
+/// concurrently they share links and NIC ports, and a strategy that
+/// looks optimal alone can melt under its peers' traffic. A
+/// `BackgroundLoad` accumulates the per-edge and per-port stream counts
+/// of the peer strategies ([`add_strategy`](Self::add_strategy), using
+/// the exact same stream-counting rules as the foreground evaluation,
+/// reverse-broadcast AllReduce twins included) and is pinned under a
+/// [`CostModel`] via [`CostModel::with_background`]: every foreground
+/// score then adds these counts to the eq. 3 denominators.
+///
+/// Loads are stream *counts* (small integers in `f64`), so seeding them
+/// before the foreground accumulation keeps the delta path bit-exact —
+/// deltas add and remove only foreground streams, and the debug
+/// [`CostState`] oracle rebuilds with the same background.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackgroundLoad {
+    /// Streams per edge (indexed by `EdgeId`).
+    shared: Vec<f64>,
+    /// Streams leaving each node over network edges (node index order
+    /// of `topo.nodes()`).
+    egress: Vec<f64>,
+    /// Streams entering each node over network edges.
+    ingress: Vec<f64>,
+    /// Total streams accumulated (0 ⇒ empty fabric).
+    streams: f64,
+}
+
+impl BackgroundLoad {
+    /// An empty background sized for `topo` (an empty fabric).
+    pub fn new(topo: &LogicalTopology) -> Self {
+        BackgroundLoad {
+            shared: vec![0.0; topo.edges().len()],
+            egress: vec![0.0; topo.nodes().len()],
+            ingress: vec![0.0; topo.nodes().len()],
+            streams: 0.0,
+        }
+    }
+
+    /// Accumulates the stream loads of one co-scheduled strategy, by
+    /// the same counting rules the foreground evaluation uses
+    /// (AllReduce adds its reverse-broadcast twins).
+    pub fn add_strategy(&mut self, topo: &LogicalTopology, profile: &LinkProfile, s: &Strategy) {
+        let dense = DenseTopo::new(topo, profile);
+        let mut pairs = Vec::new();
+        let mut add_sub = |sub: &SubCollective, prim: Primitive, pairs: &mut Vec<(EdgeId, f64)>| {
+            compute_streams(topo, sub, prim, pairs);
+            for &(e, n) in pairs.iter() {
+                self.shared[e.0] += n;
+                self.streams += n;
+                let ec = &dense.edges[e.0];
+                if ec.network {
+                    self.egress[ec.from as usize] += n;
+                    self.ingress[ec.to as usize] += n;
+                }
+            }
+        };
+        for sub in &s.subs {
+            add_sub(sub, s.primitive, &mut pairs);
+            if s.primitive == Primitive::AllReduce {
+                add_sub(&reversed_sub(sub, topo), Primitive::Broadcast, &mut pairs);
+            }
+        }
+    }
+
+    /// Whether any stream has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.streams == 0.0
+    }
+
+    /// Total accumulated stream count across all edges.
+    pub fn total_streams(&self) -> f64 {
+        self.streams
+    }
+}
+
 /// The evaluator.
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel<'a> {
     topo: &'a LogicalTopology,
     profile: &'a LinkProfile,
+    background: Option<&'a BackgroundLoad>,
 }
 
 impl<'a> CostModel<'a> {
-    /// A model over a profiled topology.
+    /// A model over a profiled topology (empty fabric: no co-scheduled
+    /// background traffic).
     pub fn new(topo: &'a LogicalTopology, profile: &'a LinkProfile) -> Self {
-        CostModel { topo, profile }
+        CostModel {
+            topo,
+            profile,
+            background: None,
+        }
+    }
+
+    /// Pins the stream loads of co-scheduled peer groups under every
+    /// evaluation of this model (see [`BackgroundLoad`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `background` was sized for a different topology.
+    pub fn with_background(mut self, background: &'a BackgroundLoad) -> Self {
+        assert_eq!(
+            background.shared.len(),
+            self.topo.edges().len(),
+            "background sized for a different topology"
+        );
+        self.background = Some(background);
+        self
+    }
+
+    /// The optionally pinned background, for callers re-scoping models.
+    pub fn background(&self) -> Option<&'a BackgroundLoad> {
+        self.background
     }
 
     /// Predicts the completion time of `strategy` moving a tensor of
@@ -477,9 +583,22 @@ impl<'a> CostState<'a> {
     fn rebuild(&mut self, strategy: &Strategy) {
         self.full_evals += 1;
         self.groups.clear();
-        self.shared_load.fill(0.0);
-        self.egress_load.fill(0.0);
-        self.ingress_load.fill(0.0);
+        // Co-scheduled peers' streams seed the eq. 3 denominators; the
+        // foreground strategy's own streams accumulate on top, and all
+        // deltas only ever add/remove foreground streams, so the
+        // background survives every mutation bit-exactly.
+        match self.model.background {
+            Some(bg) => {
+                self.shared_load.copy_from_slice(&bg.shared);
+                self.egress_load.copy_from_slice(&bg.egress);
+                self.ingress_load.copy_from_slice(&bg.ingress);
+            }
+            None => {
+                self.shared_load.fill(0.0);
+                self.egress_load.fill(0.0);
+                self.ingress_load.fill(0.0);
+            }
+        }
         // AllReduce executes the reduce graph and its reverse broadcast
         // *chunk-pipelined in parallel*: an interior node's NIC carries
         // both directions at once, so both stages must be priced under

@@ -1,0 +1,264 @@
+//! First-class process groups — the scope a collective runs over.
+//!
+//! Real training traffic is many overlapping process groups (DP × TP ×
+//! PP plus MoE all-to-all), not one world-sized collective. A
+//! [`ProcessGroup`] is the canonical representation of one such scope:
+//! a sorted, deduplicated, non-empty member set tagged with the
+//! parallelism axis it implements and a stable content-derived id.
+//! Every layer keys on it — session strategy memos, plan-cache
+//! fingerprints, co-scheduled synthesis, telemetry labels — so a TP
+//! slice's plan can never serve a DP ring.
+//!
+//! Canonicalization lives here, once ([`ProcessGroup::canonical`]),
+//! instead of ad-hoc sort-and-hope at every scope construction site.
+
+use serde::{Deserialize, Serialize};
+
+use adapcc_simnet::cluster::Rank;
+
+/// The parallelism axis a group implements. Purely a label — two
+/// groups with identical members but different axes are *different*
+/// groups (their strategies may be co-scheduled against different
+/// peers), which is why the axis participates in the id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GroupAxis {
+    /// The default world/unlabelled axis.
+    World,
+    /// Data parallelism (gradient allreduce).
+    Data,
+    /// Tensor parallelism (activation allreduce).
+    Tensor,
+    /// Pipeline parallelism (stage-to-stage transfer).
+    Pipeline,
+    /// Expert parallelism (MoE all-to-all).
+    Expert,
+}
+
+impl GroupAxis {
+    /// Short lowercase tag used in ids and telemetry labels.
+    pub fn tag(self) -> &'static str {
+        match self {
+            GroupAxis::World => "world",
+            GroupAxis::Data => "dp",
+            GroupAxis::Tensor => "tp",
+            GroupAxis::Pipeline => "pp",
+            GroupAxis::Expert => "ep",
+        }
+    }
+}
+
+/// A group construction error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupError {
+    /// A process group must have at least one member.
+    Empty,
+}
+
+impl std::fmt::Display for GroupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupError::Empty => write!(f, "process group has no members"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+/// A canonical process group: sorted deduplicated members, an axis tag,
+/// and a stable FNV-1a id derived from both.
+///
+/// Construction goes through [`canonical`](Self::canonical) (or
+/// [`canonical_with_axis`](Self::canonical_with_axis)) so every scope
+/// in the system shares one normalization: members sorted ascending,
+/// duplicates removed, emptiness rejected. Equality, hashing and
+/// ordering are derived over the canonical fields, so the same member
+/// set on the same axis is the same group wherever it was built.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProcessGroup {
+    members: Vec<Rank>,
+    axis: GroupAxis,
+    id: u64,
+}
+
+impl ProcessGroup {
+    /// Canonicalizes `members` into a [`GroupAxis::World`] group:
+    /// sorts, deduplicates, and validates non-emptiness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError::Empty`] for an empty member set.
+    pub fn canonical(members: &[Rank]) -> Result<Self, GroupError> {
+        Self::canonical_with_axis(GroupAxis::World, members)
+    }
+
+    /// [`canonical`](Self::canonical) with an explicit axis tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError::Empty`] for an empty member set.
+    pub fn canonical_with_axis(axis: GroupAxis, members: &[Rank]) -> Result<Self, GroupError> {
+        if members.is_empty() {
+            return Err(GroupError::Empty);
+        }
+        let mut members = members.to_vec();
+        members.sort_unstable();
+        members.dedup();
+        let id = group_id(axis, &members);
+        Ok(ProcessGroup { members, axis, id })
+    }
+
+    /// The members, sorted ascending, no duplicates.
+    pub fn members(&self) -> &[Rank] {
+        &self.members
+    }
+
+    /// The parallelism axis tag.
+    pub fn axis(&self) -> GroupAxis {
+        self.axis
+    }
+
+    /// The stable content-derived id (FNV-1a over axis tag + members).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of members (always ≥ 1).
+    #[allow(clippy::len_without_is_empty)] // canonical groups are never empty
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether `rank` is a member (binary search — members are sorted).
+    pub fn contains(&self, rank: Rank) -> bool {
+        self.members.binary_search(&rank).is_ok()
+    }
+
+    /// Whether any member is in `ranks`.
+    pub fn intersects(&self, ranks: &[Rank]) -> bool {
+        ranks.iter().any(|r| self.contains(*r))
+    }
+
+    /// Short deterministic label for telemetry
+    /// (`<axis>.<id as 8 hex digits>`, e.g. `dp.3fa90b12`).
+    pub fn label(&self) -> String {
+        format!("{}.{:08x}", self.axis.tag(), self.id as u32)
+    }
+}
+
+impl std::fmt::Display for ProcessGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[", self.axis.tag())?;
+        for (i, r) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", r.0)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// FNV-1a over the axis tag and the canonical member list — the same
+/// dependency-free stable hash the plan cache uses, so ids never vary
+/// across runs, platforms, or std hasher versions.
+fn group_id(axis: GroupAxis, members: &[Rank]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    let mut push = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    push(b"adapcc-group-v1/");
+    push(axis.tag().as_bytes());
+    push(&[0xff]);
+    push(&(members.len() as u64).to_le_bytes());
+    for r in members {
+        push(&(r.0 as u64).to_le_bytes());
+    }
+    h
+}
+
+/// FNV-1a over a sorted set of group ids — the *concurrency set*
+/// component of plan fingerprints: which groups run at the same time as
+/// the one being solved. `0` is reserved for "solo" (no co-scheduled
+/// peers), so callers can hash it conditionally and keep historical
+/// fingerprints byte-stable.
+pub fn concurrency_hash(ids: &[u64]) -> u64 {
+    let mut ids = ids.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    let mut push = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    push(b"adapcc-concurrency-v1/");
+    push(&(ids.len() as u64).to_le_bytes());
+    for id in &ids {
+        push(&id.to_le_bytes());
+    }
+    h.max(1) // never collide with the reserved solo marker
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_sorts_and_dedups() {
+        let g = ProcessGroup::canonical(&[Rank(3), Rank(1), Rank(3), Rank(0)]).unwrap();
+        assert_eq!(g.members(), &[Rank(0), Rank(1), Rank(3)]);
+        assert_eq!(g.len(), 3);
+        assert!(g.contains(Rank(1)));
+        assert!(!g.contains(Rank(2)));
+        assert_eq!(g.axis(), GroupAxis::World);
+    }
+
+    #[test]
+    fn empty_groups_are_rejected() {
+        assert_eq!(ProcessGroup::canonical(&[]), Err(GroupError::Empty));
+    }
+
+    #[test]
+    fn id_is_order_insensitive_and_stable() {
+        let a = ProcessGroup::canonical(&[Rank(5), Rank(2)]).unwrap();
+        let b = ProcessGroup::canonical(&[Rank(2), Rank(5), Rank(2)]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        // Different member sets and different axes get different ids.
+        let c = ProcessGroup::canonical(&[Rank(2), Rank(6)]).unwrap();
+        assert_ne!(a.id(), c.id());
+        let d = ProcessGroup::canonical_with_axis(GroupAxis::Data, &[Rank(2), Rank(5)]).unwrap();
+        assert_ne!(a.id(), d.id());
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn labels_and_display_are_deterministic() {
+        let g = ProcessGroup::canonical_with_axis(GroupAxis::Tensor, &[Rank(0), Rank(1)]).unwrap();
+        assert!(g.label().starts_with("tp."));
+        assert_eq!(g.label(), g.clone().label());
+        assert_eq!(g.to_string(), "tp[0,1]");
+    }
+
+    #[test]
+    fn intersects_checks_membership() {
+        let g = ProcessGroup::canonical(&[Rank(1), Rank(4)]).unwrap();
+        assert!(g.intersects(&[Rank(0), Rank(4)]));
+        assert!(!g.intersects(&[Rank(2), Rank(3)]));
+        assert!(!g.intersects(&[]));
+    }
+
+    #[test]
+    fn concurrency_hash_is_set_semantics() {
+        let a = concurrency_hash(&[7, 3, 3, 9]);
+        let b = concurrency_hash(&[9, 7, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, 0, "0 is reserved for the solo case");
+        assert_ne!(concurrency_hash(&[3, 9]), a);
+        assert_ne!(concurrency_hash(&[]), 0);
+    }
+}

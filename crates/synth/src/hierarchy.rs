@@ -39,7 +39,6 @@ use adapcc_simnet::cluster::{InstanceId, Rank};
 use adapcc_simnet::units::ByteSize;
 use adapcc_topo::logical::LogicalNode;
 
-use crate::cost::CostModel;
 use crate::primitive::Primitive;
 use crate::solver::{group_by_instance, instance_of, Plan, SynthRequest, Synthesizer, TreeSpec};
 use crate::strategy::Strategy;
@@ -130,9 +129,13 @@ pub(crate) fn synthesize_hierarchical(
         if cfg.chunk_grid.is_empty() {
             cfg.chunk_grid.push(floor);
         }
-        scoped = Synthesizer::new(synth.topo(), synth.profile())
+        let mut rescoped = Synthesizer::new(synth.topo(), synth.profile())
             .with_config(cfg)
             .with_telemetry(synth.telemetry().clone());
+        if let Some(bg) = synth.background() {
+            rescoped = rescoped.with_background(bg);
+        }
+        scoped = rescoped;
         &scoped
     } else {
         synth
@@ -196,7 +199,7 @@ pub(crate) fn synthesize_hierarchical(
     // ---- Validate through the same machinery as flat strategies,
     // then polish with a short anneal (hubs and leader swaps are live
     // mutations there, so relays stay reachable in hierarchical mode).
-    let model = CostModel::new(synth.topo(), synth.profile());
+    let model = synth.cost_model();
     let hubs = group_by_instance(synth.topo(), &req.relays);
     let (cost, strategy) = synth.eval_plan(&plan, req, by_inst, &hubs, &model)?;
     synth.telemetry().add_counter("synth.hierarchical", 1.0);

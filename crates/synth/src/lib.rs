@@ -37,8 +37,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod coschedule;
 pub mod cost;
 pub mod exhaustive;
+pub mod group;
 pub mod hierarchy;
 pub mod primitive;
 pub mod solver;
@@ -46,8 +48,10 @@ pub mod strategy;
 pub mod summary;
 pub mod xml;
 
-pub use cost::{CostEstimate, CostModel};
+pub use coschedule::{co_schedule, contended_costs, CoScheduleOptions, CoScheduled};
+pub use cost::{BackgroundLoad, CostEstimate, CostModel};
 pub use exhaustive::exhaustive_optimum;
+pub use group::{concurrency_hash, GroupAxis, GroupError, ProcessGroup};
 pub use hierarchy::Hierarchical;
 pub use primitive::Primitive;
 pub use solver::{instance_of, PlanSeed, SubSeed, SynthConfig, SynthRequest, Synthesizer};

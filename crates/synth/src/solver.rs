@@ -31,7 +31,7 @@ use adapcc_simnet::rng::seeded_rng;
 use adapcc_simnet::units::ByteSize;
 use adapcc_topo::logical::{EdgeKind, LogicalNode, LogicalTopology};
 
-use crate::cost::{CostModel, CostState};
+use crate::cost::{BackgroundLoad, CostModel, CostState};
 use crate::hierarchy::Hierarchical;
 use crate::primitive::Primitive;
 use crate::strategy::{validate_sub, Flow, Strategy, SubCollective};
@@ -156,6 +156,7 @@ pub struct Synthesizer<'a> {
     profile: &'a LinkProfile,
     config: SynthConfig,
     telemetry: adapcc_telemetry::Telemetry,
+    background: Option<&'a BackgroundLoad>,
 }
 
 /// Instance of a rank, derived from the logical topology's host links
@@ -306,6 +307,7 @@ impl<'a> Synthesizer<'a> {
             profile,
             config: SynthConfig::default(),
             telemetry: adapcc_telemetry::Telemetry::disabled(),
+            background: None,
         }
     }
 
@@ -322,6 +324,17 @@ impl<'a> Synthesizer<'a> {
     /// simulated fabric.
     pub fn with_telemetry(mut self, telemetry: adapcc_telemetry::Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Pins a background load: every cost evaluation during synthesis
+    /// scores the candidate against these already-scheduled streams in
+    /// addition to its own, lifting the eq. 3 equal-share bandwidth
+    /// model across co-scheduled process groups. The solve stays fully
+    /// deterministic — the background is a fixed snapshot, not live
+    /// state.
+    pub fn with_background(mut self, background: &'a BackgroundLoad) -> Self {
+        self.background = Some(background);
         self
     }
 
@@ -343,6 +356,21 @@ impl<'a> Synthesizer<'a> {
     /// The telemetry sink.
     pub(crate) fn telemetry(&self) -> &adapcc_telemetry::Telemetry {
         &self.telemetry
+    }
+
+    /// The pinned background load, if co-scheduled.
+    pub(crate) fn background(&self) -> Option<&'a BackgroundLoad> {
+        self.background
+    }
+
+    /// The cost model every solve scores against, with the pinned
+    /// background (if any) applied.
+    pub(crate) fn cost_model(&self) -> CostModel<'a> {
+        let model = CostModel::new(self.topo, self.profile);
+        match self.background {
+            Some(bg) => model.with_background(bg),
+            None => model,
+        }
     }
 
     /// Produces a validated strategy for the request.
@@ -461,7 +489,7 @@ impl<'a> Synthesizer<'a> {
             // Composition failed realization or validation: fall back
             // to the flat whole-fleet search.
         }
-        let model = CostModel::new(self.topo, self.profile);
+        let model = self.cost_model();
         let hubs = group_by_instance(self.topo, &req.relays);
         let insts: Vec<InstanceId> = by_inst.keys().copied().collect();
 
@@ -534,7 +562,7 @@ impl<'a> Synthesizer<'a> {
         if seed.subs.len() != req.parallelism {
             return None;
         }
-        let model = CostModel::new(self.topo, self.profile);
+        let model = self.cost_model();
         let by_inst = group_by_instance(self.topo, &req.participants);
         let hubs = group_by_instance(self.topo, &req.relays);
         for sub in &seed.subs {
@@ -1208,7 +1236,7 @@ impl<'a> Synthesizer<'a> {
     // ---- AlltoAll ----
 
     fn synthesize_alltoall(&self, req: &SynthRequest) -> Strategy {
-        let model = CostModel::new(self.topo, self.profile);
+        let model = self.cost_model();
         let g = LogicalNode::Gpu;
         let nic = LogicalNode::Nic;
         let mut flows = Vec::new();

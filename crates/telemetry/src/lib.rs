@@ -166,6 +166,28 @@ impl Telemetry {
             .or_insert(0.0) += delta;
     }
 
+    /// Adds `delta` to a per-process-group counter
+    /// (`group.<label>.<metric>`). Group labels come from
+    /// `ProcessGroup::label()` — short, deterministic, axis-tagged — so
+    /// concurrent groups get distinct, stable counter streams. A no-op
+    /// when disabled, and the format allocation is skipped entirely.
+    pub fn add_group_counter(&self, label: &str, metric: &str, delta: f64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.add_counter(&format!("group.{label}.{metric}"), delta);
+    }
+
+    /// Records a span on a per-process-group track (`group.<label>`),
+    /// so each group's plan/execute phases render as their own lane on
+    /// the stitched timeline. A no-op when disabled.
+    pub fn group_span(&self, label: &str, name: &str, start_secs: f64, end_secs: f64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.span(name, &format!("group.{label}"), start_secs, end_secs);
+    }
+
     /// Sets a named counter to an absolute value.
     pub fn set_counter(&self, name: &str, value: f64) {
         let Some(inner) = &self.inner else { return };

@@ -24,11 +24,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod accuracy;
+pub mod parallel;
 pub mod straggler;
 pub mod trainer;
 pub mod workload;
 
 pub use accuracy::{run_accuracy_experiment, AccuracyCurve, AggregationMode};
+pub use parallel::{ParallelLayout, StepPhase};
 pub use straggler::{wait_time_ratio, StragglerModel};
 pub use trainer::{train, Backend, TrainConfig, TrainReport};
 pub use workload::DnnModel;

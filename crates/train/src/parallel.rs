@@ -1,0 +1,302 @@
+//! 3D-parallel (DP × TP × PP) and MoE expert-parallel workloads.
+//!
+//! Real large-model training runs several parallelism axes at once:
+//! tensor parallelism inside a layer, pipeline parallelism across
+//! layer groups, data parallelism across replicas, and — for
+//! mixture-of-experts models — expert parallelism's all-to-all token
+//! dispatch. Each axis communicates over its own process groups, and
+//! on a fat-tree fabric those groups *share NICs*: every concurrent
+//! collective contends for the same server uplinks.
+//!
+//! [`ParallelLayout`] maps the classic `(data, pipe, tensor)`
+//! coordinate grid onto ranks (`rank = (d·pp + p)·tp + t`, data
+//! outermost / tensor innermost, the Megatron-LM convention that keeps
+//! TP groups on neighbouring ranks and hence inside one server) and
+//! builds the per-axis [`ProcessGroup`]s. [`ParallelLayout::three_d_step`]
+//! composes them into the communication phases of one training step;
+//! the bench crate lowers each phase's groups into concurrent
+//! synthesis requests and compares group-oblivious against
+//! contention-aware co-scheduling.
+
+use adapcc_simnet::cluster::Rank;
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::group::{GroupAxis, ProcessGroup};
+use adapcc_synth::primitive::Primitive;
+use adapcc_synth::solver::SynthRequest;
+
+/// A `(dp, tp, pp)` parallelism grid over `dp·tp·pp` ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelLayout {
+    /// Data-parallel replicas (outermost axis).
+    pub dp: usize,
+    /// Tensor-parallel degree (innermost axis: TP groups are
+    /// contiguous ranks, so they stay within one server when `tp`
+    /// divides the per-server GPU count).
+    pub tp: usize,
+    /// Pipeline stages.
+    pub pp: usize,
+}
+
+impl ParallelLayout {
+    /// A layout with the given degrees; every axis must be ≥ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any degree is zero.
+    pub fn new(dp: usize, tp: usize, pp: usize) -> Self {
+        assert!(dp >= 1 && tp >= 1 && pp >= 1, "degenerate layout");
+        ParallelLayout { dp, tp, pp }
+    }
+
+    /// Total ranks the layout spans.
+    pub fn world_size(&self) -> usize {
+        self.dp * self.tp * self.pp
+    }
+
+    /// The rank at grid coordinate `(d, p, t)`.
+    pub fn rank(&self, d: usize, p: usize, t: usize) -> Rank {
+        debug_assert!(d < self.dp && p < self.pp && t < self.tp);
+        Rank((d * self.pp + p) * self.tp + t)
+    }
+
+    /// Tensor-parallel groups (axis [`GroupAxis::Tensor`]): one per
+    /// `(d, p)` coordinate, spanning the `tp` contiguous ranks of a
+    /// layer shard.
+    pub fn tp_groups(&self) -> Vec<ProcessGroup> {
+        let mut out = Vec::with_capacity(self.dp * self.pp);
+        for d in 0..self.dp {
+            for p in 0..self.pp {
+                let members: Vec<Rank> = (0..self.tp).map(|t| self.rank(d, p, t)).collect();
+                out.push(group(GroupAxis::Tensor, &members));
+            }
+        }
+        out
+    }
+
+    /// Data-parallel groups (axis [`GroupAxis::Data`]): one per
+    /// `(p, t)` coordinate, striding across replicas — on a fat tree
+    /// these always cross servers and share every NIC with each other.
+    pub fn dp_groups(&self) -> Vec<ProcessGroup> {
+        let mut out = Vec::with_capacity(self.pp * self.tp);
+        for p in 0..self.pp {
+            for t in 0..self.tp {
+                let members: Vec<Rank> = (0..self.dp).map(|d| self.rank(d, p, t)).collect();
+                out.push(group(GroupAxis::Data, &members));
+            }
+        }
+        out
+    }
+
+    /// Pipeline boundary pairs (axis [`GroupAxis::Pipeline`]): one
+    /// two-rank group per `(d, t, p→p+1)` stage boundary, carrying the
+    /// activation / gradient hand-off. Empty when `pp == 1`.
+    pub fn pp_pairs(&self) -> Vec<ProcessGroup> {
+        let mut out = Vec::new();
+        for d in 0..self.dp {
+            for t in 0..self.tp {
+                for p in 0..self.pp.saturating_sub(1) {
+                    let members = [self.rank(d, p, t), self.rank(d, p + 1, t)];
+                    out.push(group(GroupAxis::Pipeline, &members));
+                }
+            }
+        }
+        out
+    }
+
+    /// Expert-parallel groups (axis [`GroupAxis::Expert`]): one per
+    /// pipeline stage, spanning every rank of that stage (`dp·tp`
+    /// ranks) — the MoE token all-to-all exchanges across replicas
+    /// *and* tensor shards of the stage that hosts the experts.
+    pub fn ep_groups(&self) -> Vec<ProcessGroup> {
+        let mut out = Vec::with_capacity(self.pp);
+        for p in 0..self.pp {
+            let mut members = Vec::with_capacity(self.dp * self.tp);
+            for d in 0..self.dp {
+                for t in 0..self.tp {
+                    members.push(self.rank(d, p, t));
+                }
+            }
+            out.push(group(GroupAxis::Expert, &members));
+        }
+        out
+    }
+
+    /// The communication phases of one 3D-parallel + MoE training
+    /// step over a model of `model` parameter bytes, in execution
+    /// order: TP activation all-reduces, MoE token all-to-alls,
+    /// pipeline boundary hand-offs, DP gradient all-reduces. Phases
+    /// whose axis is degenerate (`tp == 1`, `pp == 1`) are omitted.
+    pub fn three_d_step(&self, model: ByteSize) -> Vec<StepPhase> {
+        // Per-rank tensor sizes: parameters shard over tp·pp, so the
+        // DP gradient exchange moves model/(tp·pp) per rank; the TP
+        // activation all-reduce and the PP boundary hand-off move
+        // activation-sized tensors (a fixed fraction of the shard);
+        // the MoE dispatch moves a microbatch of routed tokens.
+        let shard = ByteSize::from_bytes((model.as_u64() / (self.tp * self.pp) as u64).max(1));
+        let activation = ByteSize::from_bytes((shard.as_u64() / 4).max(1));
+        let dispatch = ByteSize::from_bytes((shard.as_u64() / 8).max(1));
+        let mut phases = Vec::new();
+        if self.tp > 1 {
+            phases.push(StepPhase {
+                name: "tp.allreduce",
+                primitive: Primitive::AllReduce,
+                tensor: activation,
+                groups: self.tp_groups(),
+            });
+        }
+        phases.push(StepPhase {
+            name: "moe.alltoall",
+            primitive: Primitive::AllToAll,
+            tensor: dispatch,
+            groups: self.ep_groups(),
+        });
+        if self.pp > 1 {
+            phases.push(StepPhase {
+                name: "pp.boundary",
+                primitive: Primitive::Broadcast,
+                tensor: activation,
+                groups: self.pp_pairs(),
+            });
+        }
+        phases.push(StepPhase {
+            name: "dp.allreduce",
+            primitive: Primitive::AllReduce,
+            tensor: shard,
+            groups: self.dp_groups(),
+        });
+        phases
+    }
+}
+
+fn group(axis: GroupAxis, members: &[Rank]) -> ProcessGroup {
+    ProcessGroup::canonical_with_axis(axis, members).expect("layout groups are never empty")
+}
+
+/// One communication phase of a 3D-parallel step: every group in the
+/// phase runs `primitive` at the same time, contending for shared
+/// links.
+#[derive(Debug, Clone)]
+pub struct StepPhase {
+    /// Phase label (`tp.allreduce`, `moe.alltoall`, `pp.boundary`,
+    /// `dp.allreduce`).
+    pub name: &'static str,
+    /// The collective every group of the phase runs.
+    pub primitive: Primitive,
+    /// Per-rank tensor size.
+    pub tensor: ByteSize,
+    /// The concurrent process groups.
+    pub groups: Vec<ProcessGroup>,
+}
+
+impl StepPhase {
+    /// Lowers the phase into one [`SynthRequest`] per group, suitable
+    /// for [`adapcc_synth::coschedule::co_schedule`]. Rooted
+    /// primitives root at the group's first member (for a pipeline
+    /// boundary that is the sending stage); seeds are the group index
+    /// so concurrent solves explore independently yet deterministically.
+    pub fn synth_requests(&self, parallelism: usize) -> Vec<SynthRequest> {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let mut req = SynthRequest::new(
+                    self.primitive,
+                    self.tensor,
+                    parallelism,
+                    g.members().to_vec(),
+                );
+                if matches!(self.primitive, Primitive::Broadcast | Primitive::Reduce) {
+                    req.root = Some(g.members()[0]);
+                }
+                req.seed = i as u64;
+                req
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn axes_partition_the_world() {
+        let l = ParallelLayout::new(2, 2, 2);
+        assert_eq!(l.world_size(), 8);
+        for groups in [l.tp_groups(), l.dp_groups(), l.ep_groups()] {
+            let mut seen = BTreeSet::new();
+            for g in &groups {
+                for r in g.members() {
+                    assert!(seen.insert(*r), "{r} in two groups of one axis");
+                }
+            }
+            assert_eq!(seen.len(), 8, "axis covers the world exactly once");
+        }
+    }
+
+    #[test]
+    fn tp_groups_are_contiguous_and_dp_groups_stride() {
+        let l = ParallelLayout::new(2, 2, 2);
+        let tp = l.tp_groups();
+        assert_eq!(tp[0].members(), &[Rank(0), Rank(1)]);
+        assert_eq!(tp[1].members(), &[Rank(2), Rank(3)]);
+        let dp = l.dp_groups();
+        // Replica stride is tp·pp = 4.
+        assert_eq!(dp[0].members(), &[Rank(0), Rank(4)]);
+    }
+
+    #[test]
+    fn pp_pairs_link_adjacent_stages() {
+        let l = ParallelLayout::new(1, 2, 3);
+        let pairs = l.pp_pairs();
+        assert_eq!(pairs.len(), 2 * 2, "tp lanes × boundaries");
+        // Lane t=0: stage 0 rank 0 → stage 1 rank 2 → stage 2 rank 4.
+        assert_eq!(pairs[0].members(), &[Rank(0), Rank(2)]);
+        assert_eq!(pairs[1].members(), &[Rank(2), Rank(4)]);
+        assert!(ParallelLayout::new(2, 2, 1).pp_pairs().is_empty());
+    }
+
+    #[test]
+    fn ep_groups_span_each_stage() {
+        let l = ParallelLayout::new(2, 2, 2);
+        let ep = l.ep_groups();
+        assert_eq!(ep.len(), 2);
+        assert_eq!(ep[0].members(), &[Rank(0), Rank(1), Rank(4), Rank(5)]);
+        assert_eq!(ep[1].members(), &[Rank(2), Rank(3), Rank(6), Rank(7)]);
+    }
+
+    #[test]
+    fn step_phases_compose_and_lower_to_requests() {
+        let l = ParallelLayout::new(2, 2, 2);
+        let phases = l.three_d_step(ByteSize::from_mib(512));
+        let names: Vec<&str> = phases.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            [
+                "tp.allreduce",
+                "moe.alltoall",
+                "pp.boundary",
+                "dp.allreduce"
+            ]
+        );
+        for phase in &phases {
+            let reqs = phase.synth_requests(2);
+            assert_eq!(reqs.len(), phase.groups.len());
+            for (req, g) in reqs.iter().zip(&phase.groups) {
+                assert_eq!(req.participants, g.members());
+                assert_eq!(req.primitive, phase.primitive);
+            }
+        }
+        // Rooted hand-offs root at the sending (earlier) stage.
+        let pp = &phases[2];
+        assert!(pp
+            .synth_requests(2)
+            .iter()
+            .all(|r| r.root == Some(r.participants[0])));
+        // Degenerate axes drop their phases.
+        let flat = ParallelLayout::new(4, 1, 1).three_d_step(ByteSize::from_mib(64));
+        let flat_names: Vec<&str> = flat.iter().map(|p| p.name).collect();
+        assert_eq!(flat_names, ["moe.alltoall", "dp.allreduce"]);
+    }
+}

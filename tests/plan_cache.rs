@@ -52,6 +52,7 @@ fn fp_for(env: &Env, req: &SynthRequest, participants: &[Rank]) -> Fingerprint {
         root: req.root,
         quantization: 0.15,
         hierarchical: false, // 8-GPU fixtures stay below the auto tier
+        concurrency: 0,
     })
 }
 

@@ -74,6 +74,7 @@ fn workloads(env: &Env) -> Vec<(Fingerprint, SynthRequest)> {
                 root: req.root,
                 quantization: 0.15,
                 hierarchical: false,
+                concurrency: 0,
             });
             (fp, req)
         })

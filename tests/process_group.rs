@@ -1,0 +1,121 @@
+//! Process-group scope properties (PR 9): a group spanning the full
+//! worker set is bit-identical to the unscoped path, and concurrent
+//! per-group strategies conserve bytes on the shared fabric no matter
+//! how execution interleaves them.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use adapcc::session::{AdapCC, InitOptions};
+use adapcc::{ExecutionRequest, Executor};
+use adapcc_profile::profiler::Profiler;
+use adapcc_simnet::cluster::{Cluster, Rank};
+use adapcc_simnet::units::ByteSize;
+use adapcc_synth::solver::{SynthConfig, SynthRequest, Synthesizer};
+use adapcc_synth::strategy::Strategy;
+use adapcc_synth::Primitive;
+use adapcc_topo::detect::Detector;
+
+fn quick_options() -> InitOptions {
+    InitOptions {
+        synth: SynthConfig {
+            anneal_iters: 24,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A group over the full worker set normalizes to the unscoped
+    /// path: same strategy, bit-identical finish time, for any tensor.
+    #[test]
+    fn full_worker_set_group_is_bit_identical_to_unscoped(size_kib in 16u64..512) {
+        let cluster = Cluster::homogeneous_a100(2);
+        let tensor = ByteSize::from_kib(size_kib);
+
+        let mut plain = AdapCC::init(&cluster, quick_options());
+        plain.setup();
+        let direct = plain
+            .allreduce(tensor, &BTreeMap::new(), None)
+            .expect("healthy fabric");
+        let direct_strategy = plain.strategy_for(Primitive::AllReduce, tensor).clone();
+
+        let mut scoped = AdapCC::init(&cluster, quick_options());
+        scoped.setup();
+        let all = scoped.workers().to_vec();
+        let via_group = scoped
+            .group(&all)
+            .expect("full set is valid")
+            .allreduce(tensor, &BTreeMap::new(), None)
+            .expect("healthy fabric");
+        let group_strategy = scoped.strategy_for(Primitive::AllReduce, tensor).clone();
+
+        prop_assert_eq!(group_strategy, direct_strategy);
+        prop_assert_eq!(
+            via_group.finish.as_secs().to_bits(),
+            direct.finish.as_secs().to_bits()
+        );
+    }
+}
+
+/// Concurrent per-group strategies on shared links conserve flow:
+/// executing every group in one batch puts exactly the same bytes on
+/// the wire as executing the groups one at a time, and contention can
+/// only delay the batch past the slowest solo run, never reorder or
+/// drop traffic.
+#[test]
+fn concurrent_groups_conserve_bytes_on_shared_links() {
+    let cluster = Cluster::fat_tree(2, 4);
+    let topo = Detector::new(&cluster, 7).run().logical_topology(&cluster);
+    let profile = Profiler::new(&cluster, &topo, 7).run().links;
+    // One cross-server ring per local GPU slot: four groups sharing
+    // both server NICs.
+    let synth = Synthesizer::new(&topo, &profile).with_config(SynthConfig {
+        anneal_iters: 32,
+        ..Default::default()
+    });
+    let tensor = ByteSize::from_mib(16);
+    let strategies: Vec<Strategy> = (0..4)
+        .map(|slot| {
+            let members = vec![Rank(slot), Rank(slot + 4)];
+            let mut req = SynthRequest::new(Primitive::AllReduce, tensor, 2, members);
+            req.seed = slot as u64;
+            synth.synthesize(&req)
+        })
+        .collect();
+    let executor = Executor::new(&cluster, &topo);
+    let solo: Vec<_> = strategies
+        .iter()
+        .map(|s| {
+            executor
+                .try_execute(&[ExecutionRequest::timing(s, tensor)])
+                .expect("solo run is valid")
+        })
+        .collect();
+    let batch: Vec<ExecutionRequest<'_>> = strategies
+        .iter()
+        .map(|s| ExecutionRequest::timing(s, tensor))
+        .collect();
+    let together = executor.try_execute(&batch).expect("batch is valid");
+    let solo_bytes: u64 = solo.iter().map(|r| r.bytes_on_wire).sum();
+    assert_eq!(
+        together.bytes_on_wire, solo_bytes,
+        "contention shifts time, never bytes"
+    );
+    let slowest_solo = solo
+        .iter()
+        .map(|r| r.finish.as_secs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        together.finish.as_secs() >= slowest_solo,
+        "sharing links cannot beat running alone"
+    );
+    assert_eq!(together.requests.len(), 4);
+    for (r, s) in together.requests.iter().zip(&solo) {
+        assert!(r.finish >= s.finish, "each group only slows under load");
+    }
+}
