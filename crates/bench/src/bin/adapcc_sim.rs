@@ -160,7 +160,13 @@ fn main() {
         // Engine throughput on the same cluster: a short storm so
         // BENCH rows carry events/sec alongside the solver numbers.
         let engine_events_per_sec = if cluster.instance_count() >= 2 {
-            engine_storm(&cluster, 4).events_per_sec()
+            engine_storm(
+                &cluster,
+                4,
+                adapcc_bench::engine_bench::StormMode::Wave,
+                adapcc_bench::engine_bench::AllocMode::Auto,
+            )
+            .events_per_sec()
         } else {
             0.0
         };
@@ -222,10 +228,18 @@ fn run_engine(argv: Vec<String>) {
         }
     };
     let cluster = adapcc_simnet::cluster::Cluster::homogeneous_a100(args.servers);
-    let report = engine_storm(&cluster, args.waves);
+    let report = engine_storm(&cluster, args.waves, args.storm, args.alloc);
+    let alloc_name = if report.incremental {
+        "incremental"
+    } else {
+        "exact"
+    };
     println!(
-        "engine storm: {} servers / {} GPUs, {} waves, {} transfers -> {} events \
-         in {:.1} ms wall ({:.0} events/sec, {:.3} ms simulated)",
+        "engine storm ({} / {} alloc): {} servers / {} GPUs, {} waves, {} transfers \
+         -> {} events in {:.1} ms wall ({:.0} events/sec, {:.3} ms simulated, \
+         {} fillings touching {} flows)",
+        args.storm.as_str(),
+        alloc_name,
         cluster.instance_count(),
         cluster.gpu_count(),
         args.waves,
@@ -233,18 +247,24 @@ fn run_engine(argv: Vec<String>) {
         report.events,
         report.wall_ms,
         report.events_per_sec(),
-        report.sim_ms
+        report.sim_ms,
+        report.fillings,
+        report.frontier_flows
     );
     if let Some(path) = &args.bench_append {
         let rec = adapcc_bench::record::EngineBenchRecord {
             servers: format!("a100:{}", args.servers),
             gpus: cluster.gpu_count(),
             waves: args.waves,
+            storm: args.storm.as_str().into(),
+            alloc: alloc_name.into(),
             transfers: report.transfers,
             events: report.events,
             sim_ms: report.sim_ms,
             wall_ms: report.wall_ms,
             events_per_sec: report.events_per_sec(),
+            fillings: report.fillings,
+            frontier_flows: report.frontier_flows,
             // The storm never synthesizes; the zero cache columns keep
             // engine rows schema-uniform with every other record.
             plan_cache_hits: 0,

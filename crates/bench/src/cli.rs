@@ -221,6 +221,11 @@ pub struct EngineArgs {
     /// Storm waves (each wave is one transfer per server, fully
     /// drained before the next).
     pub waves: usize,
+    /// Workload shape: synchronized waves or staggered churn.
+    pub storm: crate::engine_bench::StormMode,
+    /// Allocator selection: exact, incremental, or the executor's
+    /// automatic scale gate.
+    pub alloc: crate::engine_bench::AllocMode,
     /// Append an `EngineBenchRecord` line here.
     pub bench_append: Option<String>,
 }
@@ -230,6 +235,8 @@ impl Default for EngineArgs {
         EngineArgs {
             servers: 32,
             waves: 4,
+            storm: crate::engine_bench::StormMode::Wave,
+            alloc: crate::engine_bench::AllocMode::Auto,
             bench_append: None,
         }
     }
@@ -243,6 +250,10 @@ pub fn engine_usage() -> &'static str {
      options:\n\
        --servers N          homogeneous A100 servers (default 32)\n\
        --waves N            storm waves, each fully drained (default 4)\n\
+       --storm MODE         wave (synchronized rounds, default) or churn\n\
+                            (staggered arrivals interleaved with completions)\n\
+       --alloc MODE         exact | incremental | auto (default auto:\n\
+                            incremental at 64+ servers, like the executor)\n\
        --bench-append FILE  append a one-line machine-readable record\n\
        --help               this message"
 }
@@ -280,6 +291,25 @@ pub fn parse_engine_args<I: IntoIterator<Item = String>>(args: I) -> Result<Engi
                 }
             }
             "--waves" => out.waves = positive("--waves", value("--waves")?)?,
+            "--storm" => {
+                out.storm = match value("--storm")?.as_str() {
+                    "wave" => crate::engine_bench::StormMode::Wave,
+                    "churn" => crate::engine_bench::StormMode::Churn,
+                    other => return Err(format!("--storm expects wave or churn, got {other}")),
+                }
+            }
+            "--alloc" => {
+                out.alloc = match value("--alloc")?.as_str() {
+                    "exact" => crate::engine_bench::AllocMode::Exact,
+                    "incremental" => crate::engine_bench::AllocMode::Incremental,
+                    "auto" => crate::engine_bench::AllocMode::Auto,
+                    other => {
+                        return Err(format!(
+                            "--alloc expects exact, incremental or auto, got {other}"
+                        ))
+                    }
+                }
+            }
             "--bench-append" => out.bench_append = Some(value("--bench-append")?),
             other => return Err(format!("unknown flag {other}\n\n{}", engine_usage())),
         }
@@ -1038,27 +1068,42 @@ mod tests {
 
     #[test]
     fn engine_defaults_and_full_invocation() {
-        assert_eq!(parse_engine(&[]).unwrap(), EngineArgs::default());
+        let d = parse_engine(&[]).unwrap();
+        assert_eq!(d, EngineArgs::default());
+        assert_eq!(d.storm, crate::engine_bench::StormMode::Wave);
+        assert_eq!(d.alloc, crate::engine_bench::AllocMode::Auto);
         let a = parse_engine(&[
             "--servers",
             "128",
             "--waves",
             "8",
+            "--storm",
+            "churn",
+            "--alloc",
+            "incremental",
             "--bench-append",
             "BENCH_engine.json",
         ])
         .unwrap();
         assert_eq!(a.servers, 128);
         assert_eq!(a.waves, 8);
+        assert_eq!(a.storm, crate::engine_bench::StormMode::Churn);
+        assert_eq!(a.alloc, crate::engine_bench::AllocMode::Incremental);
         assert_eq!(a.bench_append.as_deref(), Some("BENCH_engine.json"));
+        let e = parse_engine(&["--storm", "wave", "--alloc", "exact"]).unwrap();
+        assert_eq!(e.storm, crate::engine_bench::StormMode::Wave);
+        assert_eq!(e.alloc, crate::engine_bench::AllocMode::Exact);
     }
 
     #[test]
     fn engine_rejects_malformed_input() {
         assert!(parse_engine(&["--servers", "1"]).is_err(), "cross-server");
         assert!(parse_engine(&["--waves", "0"]).is_err());
+        assert!(parse_engine(&["--storm", "tsunami"]).is_err());
+        assert!(parse_engine(&["--alloc", "magic"]).is_err());
         assert!(parse_engine(&["--banana"]).is_err());
         assert!(parse_engine(&["--help"]).unwrap_err().contains("--waves"));
+        assert!(parse_engine(&["--help"]).unwrap_err().contains("--storm"));
         let usage = parse(&["--help"]).unwrap_err();
         assert!(usage.contains("engine"), "main usage advertises engine");
     }

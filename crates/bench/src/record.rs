@@ -115,6 +115,10 @@ pub struct EngineBenchRecord {
     pub gpus: usize,
     /// Storm waves run.
     pub waves: usize,
+    /// Workload shape: `wave` or `churn`.
+    pub storm: String,
+    /// Allocator that ran: `exact` or `incremental`.
+    pub alloc: String,
     /// Transfers submitted.
     pub transfers: u64,
     /// Internal engine events processed.
@@ -125,6 +129,12 @@ pub struct EngineBenchRecord {
     pub wall_ms: f64,
     /// Events per wall-clock second — the headline metric.
     pub events_per_sec: f64,
+    /// Filling passes the allocator ran.
+    pub fillings: u64,
+    /// Total flows those fillings touched (the allocator's real work:
+    /// `O(frontier)` under the incremental allocator, `O(live)` per
+    /// event under the exact one).
+    pub frontier_flows: u64,
     /// Plan-cache exact hits. The storm runs no synthesis, so this is
     /// always zero; the field exists so every `BENCH_*.json` row
     /// carries the same cache columns.
@@ -145,19 +155,25 @@ impl EngineBenchRecord {
         let mut s = String::new();
         let _ = write!(
             s,
-            "{{\"servers\":\"{}\",\"gpus\":{},\"waves\":{},\"transfers\":{},\
+            "{{\"servers\":\"{}\",\"gpus\":{},\"waves\":{},\"storm\":\"{}\",\
+             \"alloc\":\"{}\",\"transfers\":{},\
              \"events\":{},\"sim_ms\":{:.6},\"wall_ms\":{:.3},\
-             \"events_per_sec\":{:.1},\"plan_cache_hits\":{},\
+             \"events_per_sec\":{:.1},\"fillings\":{},\"frontier_flows\":{},\
+             \"plan_cache_hits\":{},\
              \"plan_cache_misses\":{},\"plan_cache_warm_starts\":{},\
              \"hierarchical\":{}}}",
             escape(&self.servers),
             self.gpus,
             self.waves,
+            escape(&self.storm),
+            escape(&self.alloc),
             self.transfers,
             self.events,
             self.sim_ms,
             self.wall_ms,
             self.events_per_sec,
+            self.fillings,
+            self.frontier_flows,
             self.plan_cache_hits,
             self.plan_cache_misses,
             self.plan_cache_warm_starts,
@@ -586,11 +602,15 @@ mod tests {
             servers: "a100:128".into(),
             gpus: 512,
             waves: 4,
+            storm: "churn".into(),
+            alloc: "incremental".into(),
             transfers: 512,
             events: 4096,
             sim_ms: 1.25,
             wall_ms: 97.5,
             events_per_sec: 42010.3,
+            fillings: 900,
+            frontier_flows: 3100,
             plan_cache_hits: 0,
             plan_cache_misses: 0,
             plan_cache_warm_starts: 0,
@@ -600,8 +620,12 @@ mod tests {
         assert!(!j.contains('\n'));
         assert!(j.starts_with("{\"servers\":\"a100:128\""));
         assert!(j.contains("\"gpus\":512"));
+        assert!(j.contains("\"storm\":\"churn\""));
+        assert!(j.contains("\"alloc\":\"incremental\""));
         assert!(j.contains("\"events\":4096"));
         assert!(j.contains("\"events_per_sec\":42010.3"));
+        assert!(j.contains("\"fillings\":900"));
+        assert!(j.contains("\"frontier_flows\":3100"));
         assert!(j.ends_with('}'));
     }
 
@@ -614,11 +638,15 @@ mod tests {
             servers: "a100:4".into(),
             gpus: 16,
             waves: 2,
+            storm: "wave".into(),
+            alloc: "exact".into(),
             transfers: 8,
             events: 64,
             sim_ms: 0.5,
             wall_ms: 3.0,
             events_per_sec: 21333.3,
+            fillings: 10,
+            frontier_flows: 40,
             plan_cache_hits: 0,
             plan_cache_misses: 0,
             plan_cache_warm_starts: 0,

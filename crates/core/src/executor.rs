@@ -45,6 +45,17 @@ pub const DEFAULT_DEADLINE_MULTIPLIER: f64 = 16.0;
 /// `NetSim::with_completion_coalescing`).
 pub const COALESCE_INSTANCE_THRESHOLD: usize = 64;
 
+/// Fleet size (in instances) at which the executor switches the
+/// engine to the incremental (dirty-frontier) allocator. Below it the
+/// exact fleet-wide filling is kept — its event stream is pinned
+/// bit-for-bit by golden traces; at or above it per-event work scales
+/// with the touched flow component instead of every live flow, which
+/// is what keeps events/sec flat at cluster scale (see
+/// `NetSim::with_incremental_allocator`). Deliberately the same knee
+/// as coalescing: both are scale-gated engine modes with
+/// f64-rounding-scale timing deltas and full determinism.
+pub const INCREMENTAL_INSTANCE_THRESHOLD: usize = 64;
+
 /// Floor on any hop deadline, so microsecond-scale chunks do not trip
 /// their deadline on transient queueing.
 fn deadline_floor() -> SimDuration {
@@ -749,7 +760,15 @@ impl<'a> Executor<'a> {
         // one filling). Small fleets stay in exact mode, whose event
         // stream is pinned bit-for-bit by golden traces.
         let coalesce = self.cluster.instance_count() >= COALESCE_INSTANCE_THRESHOLD;
-        let mut sim = NetSim::new(self.cluster).with_completion_coalescing(coalesce);
+        // At the same knee, flip to the incremental allocator: chunk
+        // waves then pay one frontier refill per touched component
+        // rather than a fleet-wide filling per event (coalescing
+        // becomes moot — incremental completions are per-flow events
+        // with no harvest cascade).
+        let incremental = self.cluster.instance_count() >= INCREMENTAL_INSTANCE_THRESHOLD;
+        let mut sim = NetSim::new(self.cluster)
+            .with_incremental_allocator(incremental)
+            .with_completion_coalescing(coalesce && !incremental);
         for (l, f) in &self.factors {
             sim.set_capacity_factor(*l, *f);
         }

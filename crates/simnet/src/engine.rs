@@ -32,6 +32,21 @@
 //!   the allocator scratch (active/hot/residual/frozen sets) is reused
 //!   across `reallocate` calls with generation stamps instead of
 //!   per-call allocation, so steady-state stepping allocates nothing.
+//! * **Incremental filling** — with
+//!   [`with_incremental_allocator`](NetSim::with_incremental_allocator)
+//!   the engine stops re-filling the whole fleet on every event.
+//!   Links touched by an event join a *dirty frontier*; the refill
+//!   walks only the connected components (flows sharing a link,
+//!   transitively) reachable from that frontier and recomputes their
+//!   rates with the same progressive-filling arithmetic, leaving every
+//!   other component's rates — and therefore its scheduled completion
+//!   times — bitwise untouched. Flow progress integrates lazily (each
+//!   flow carries the instant its residual was last synced), live-set
+//!   membership is an intrusive list with O(1) unlink, and per-link
+//!   occupancy indices make fault targeting O(flows-on-link). A
+//!   synchronized wave of N arrivals pays one frontier refill instead
+//!   of N fleet refills. Debug builds cross-check every incremental
+//!   refill against a from-scratch filling of all live flows.
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -127,7 +142,11 @@ enum Internal {
     /// A flow clone's α latency elapsed: it joins the fluid phase.
     LatencyDone(usize),
     /// Re-examine flows for completion; stale if version mismatch.
+    /// Exact (non-incremental) mode only.
     Completion(u64),
+    /// Incremental mode: a specific flow's scheduled drain instant.
+    /// Stale if the flow's fill generation moved past the stamp.
+    FlowDone(usize, u64),
     /// User timer.
     Timer(Token),
     /// A draining flow clone was aborted by a permanent link failure.
@@ -163,7 +182,26 @@ struct Flow {
     active_clones: u32,
     /// Caller tokens already surfaced as events.
     emitted: u32,
+    /// Intrusive live-list neighbours (`NONE` when absent); activation
+    /// order is preserved, unlink is O(1).
+    live_prev: u32,
+    live_next: u32,
+    /// Occurrences of transiently-down links on this flow's path
+    /// (stall bookkeeping; >0 means the flow is stalled at rate zero).
+    down_links: u32,
+    /// Present in the per-link occupancy index.
+    indexed: bool,
+    /// Incremental mode: generation stamp of the flow's scheduled
+    /// `FlowDone` event; events carrying an older stamp are stale.
+    fill_gen: u64,
+    /// Incremental mode: the instant `remaining` was last integrated
+    /// to (rates are piecewise-constant between refills, so progress
+    /// is `rate * (now - synced_at)` exactly).
+    synced_at: SimTime,
 }
+
+/// Sentinel for absent intrusive-list neighbours.
+const NONE: u32 = u32::MAX;
 
 impl Flow {
     fn weight(&self) -> u32 {
@@ -235,11 +273,49 @@ pub struct NetSim<'c> {
     flows: Vec<Flow>,
     /// Shared arena backing every flow's link list.
     flow_links: Vec<LinkId>,
-    /// Indices of flows currently in the fluid phase — kept
-    /// incrementally so per-event work scales with *live* flows, not
-    /// with every flow ever submitted.
-    live: Vec<usize>,
+    /// Head/tail of the intrusive live list (flows in the fluid
+    /// phase), threaded through `Flow::live_prev`/`live_next` in
+    /// activation order; membership changes are O(1).
+    live_head: u32,
+    live_tail: u32,
+    live_len: usize,
     links: Vec<LinkState>,
+    /// Per-link occupancy index: `(flow, slot)` for every flow whose
+    /// path crosses the link, from submission until done/aborted.
+    /// `slot` names the occurrence inside the flow's link slice so
+    /// swap-removal can fix back-pointers in O(1).
+    link_flows: Vec<Vec<(u32, u32)>>,
+    /// Arena parallel to `flow_links`: the position of that occupancy
+    /// entry inside its link's `link_flows` vector.
+    slot_pos: Vec<u32>,
+    /// Counter-backed `draining_flows()` (clones of draining flows).
+    draining_clones: usize,
+    /// Counter-backed `stalled_flows()` (clones of draining flows
+    /// crossing at least one down link).
+    stalled_clones: usize,
+    /// Frontier-based refills instead of fleet-wide fillings.
+    incremental: bool,
+    /// Test hook: every refill treats all live flows as dirty, so the
+    /// event stream doubles as a from-scratch filling reference.
+    paranoid: bool,
+    /// Inside the debug cross-check: suppress counters and turn rate
+    /// divergence into a panic.
+    checking: bool,
+    /// Number of filling passes executed (one per dirty component in
+    /// incremental mode, one per `reallocate` in exact mode).
+    fillings: u64,
+    /// Total flows touched by filling passes (the frontier size).
+    frontier_flows: u64,
+    /// Links dirtied since the last refill, deduplicated by epoch.
+    dirty_links: Vec<usize>,
+    dirty_stamp: Vec<u64>,
+    dirty_epoch: u64,
+    /// BFS visit stamps for component discovery.
+    visit_link_stamp: Vec<u64>,
+    visit_flow_stamp: Vec<u64>,
+    comp_links: Vec<usize>,
+    comp_flows: Vec<usize>,
+    scratch_old_rates: Vec<f64>,
     completion_version: u64,
     last_advance: SimTime,
     last_submit: Option<LastSubmit>,
@@ -278,7 +354,26 @@ impl<'c> NetSim<'c> {
             free_pids: Vec::new(),
             flows: Vec::new(),
             flow_links: Vec::new(),
-            live: Vec::new(),
+            live_head: NONE,
+            live_tail: NONE,
+            live_len: 0,
+            link_flows: vec![Vec::new(); cluster.links().len()],
+            slot_pos: Vec::new(),
+            draining_clones: 0,
+            stalled_clones: 0,
+            incremental: false,
+            paranoid: false,
+            checking: false,
+            fillings: 0,
+            frontier_flows: 0,
+            dirty_links: Vec::new(),
+            dirty_stamp: vec![0; cluster.links().len()],
+            dirty_epoch: 1,
+            visit_link_stamp: vec![0; cluster.links().len()],
+            visit_flow_stamp: Vec::new(),
+            comp_links: Vec::new(),
+            comp_flows: Vec::new(),
+            scratch_old_rates: Vec::new(),
             links: vec![
                 LinkState {
                     factor: 1.0,
@@ -333,6 +428,65 @@ impl<'c> NetSim<'c> {
         self
     }
 
+    /// Enables (or disables) the incremental, locality-aware allocator.
+    ///
+    /// Instead of re-running the fleet-wide progressive filling on
+    /// every arrival/completion/fault, the engine accumulates the
+    /// links touched by each event into a *dirty frontier* and refills
+    /// only the connected flow components reachable from it — the same
+    /// filling arithmetic, scoped to the flows whose share can
+    /// actually change. Per-event cost becomes proportional to the
+    /// touched component, so disjoint traffic (the common cluster
+    /// pattern) completes in O(1) per event instead of O(live).
+    ///
+    /// Completion *times* for a given scenario are deterministic but
+    /// not bit-identical to the exact engine: the exact mode couples
+    /// disjoint components through a global filling-delta sequence and
+    /// integrates progress eagerly at every event, while incremental
+    /// mode fills per component and integrates lazily. Differences are
+    /// f64-rounding-scale. Golden-traced small fleets therefore keep
+    /// the exact engine; the executor switches incremental on at
+    /// cluster scale. Completion coalescing is irrelevant (and
+    /// ignored) in this mode — completions are per-flow events with
+    /// no harvest cascade to collapse.
+    ///
+    /// Must be selected before the first submission.
+    pub fn with_incremental_allocator(mut self, on: bool) -> Self {
+        assert!(
+            self.flows.is_empty(),
+            "allocator mode must be chosen before the first submission"
+        );
+        self.incremental = on;
+        self
+    }
+
+    /// Test/verification hook: every incremental refill marks *all*
+    /// live flows dirty, degenerating to a from-scratch per-component
+    /// filling after every event. A correct frontier produces a
+    /// bit-identical event stream with this on or off — that is the
+    /// incremental allocator's exactness contract (see the proptests).
+    pub fn with_paranoid_refill(mut self, on: bool) -> Self {
+        self.paranoid = on;
+        self
+    }
+
+    /// Whether the incremental allocator is active.
+    pub fn incremental_allocator(&self) -> bool {
+        self.incremental
+    }
+
+    /// Filling passes executed so far (per dirty component in
+    /// incremental mode, per `reallocate` in exact mode).
+    pub fn fillings(&self) -> u64 {
+        self.fillings
+    }
+
+    /// Total flows touched by filling passes so far — the work metric
+    /// the incremental allocator minimizes.
+    pub fn frontier_flows(&self) -> u64 {
+        self.frontier_flows
+    }
+
     /// The cluster this simulator runs over.
     pub fn cluster(&self) -> &'c Cluster {
         self.cluster
@@ -347,6 +501,19 @@ impl<'c> NetSim<'c> {
     /// numerator for `events/sec` benchmarks.
     pub fn events_processed(&self) -> u64 {
         self.events
+    }
+
+    /// Saturation threshold for a link's residual during progressive
+    /// filling: relative to the link's effective capacity, because the
+    /// floating-point dust `residual -= delta * n` leaves behind on a
+    /// saturated link scales with that capacity. An absolute epsilon
+    /// (the old `1e-6` B/s) sits *inside* the dust band of a 100 GB/s
+    /// fabric link, where a mathematically-saturated link could read
+    /// as open and starve the freeze step. The `1e-6` floor keeps
+    /// zero-capacity (failed/zero-factor) links saturated.
+    fn sat_eps(&self, li: usize) -> f64 {
+        let cap = self.cluster.links()[li].capacity.as_bytes_per_sec() * self.links[li].factor;
+        (cap * 1e-9).max(1e-6)
     }
 
     /// The links a flow occupies, out of the shared arena.
@@ -410,6 +577,7 @@ impl<'c> NetSim<'c> {
             .fold(f64::INFINITY, f64::min);
         let links_start = self.flow_links.len() as u32;
         self.flow_links.extend_from_slice(&path.links);
+        self.slot_pos.resize(self.flow_links.len(), 0);
         self.flows.push(Flow {
             token,
             extra: Vec::new(),
@@ -423,8 +591,20 @@ impl<'c> NetSim<'c> {
             aborted: dead,
             active_clones: 0,
             emitted: 0,
+            live_prev: NONE,
+            live_next: NONE,
+            down_links: 0,
+            indexed: false,
+            fill_gen: 0,
+            synced_at: self.now,
         });
         let id = self.flows.len() - 1;
+        // Dead-at-birth flows (submitted over a failed link) never
+        // contend for bandwidth and are never fault victims — exactly
+        // the set the occupancy index must cover.
+        if !dead {
+            self.index_flow(id);
+        }
         self.push(self.now + alpha, Internal::LatencyDone(id));
         self.last_submit = Some(LastSubmit {
             flow: id,
@@ -432,6 +612,21 @@ impl<'c> NetSim<'c> {
             at: self.now,
             alpha,
         });
+    }
+
+    /// Submits a wave of transfers at the current instant.
+    ///
+    /// Equivalent to calling [`submit_transfer`](Self::submit_transfer)
+    /// for each element; spelled out because same-instant submissions
+    /// are the engine's batch path — their activations land
+    /// back-to-back on the queue, the per-activation filling is
+    /// deferred to the last one, and the whole wave pays a single
+    /// filling (one frontier refill in incremental mode) instead of
+    /// one per transfer.
+    pub fn submit_wave(&mut self, wave: &[(Path, ByteSize, Token)]) {
+        for (path, size, token) in wave {
+            self.submit_transfer(path, *size, *token);
+        }
     }
 
     /// Schedules a timer firing `after` from now with `token`.
@@ -449,9 +644,15 @@ impl<'c> NetSim<'c> {
             factor.is_finite() && factor > 0.0,
             "capacity factor must be positive: {factor}"
         );
-        self.advance_flows();
-        self.links[link.0].factor = factor;
-        self.reallocate();
+        if self.incremental {
+            self.links[link.0].factor = factor;
+            self.mark_link_dirty(link.0);
+            self.refill();
+        } else {
+            self.advance_flows();
+            self.links[link.0].factor = factor;
+            self.reallocate();
+        }
     }
 
     /// Current capacity factor of a link.
@@ -469,9 +670,17 @@ impl<'c> NetSim<'c> {
         if st.failed || st.up == up {
             return;
         }
-        self.advance_flows();
-        self.links[link.0].up = up;
-        self.reallocate();
+        if self.incremental {
+            self.links[link.0].up = up;
+            self.note_link_transition(link.0, up);
+            self.mark_link_dirty(link.0);
+            self.refill();
+        } else {
+            self.advance_flows();
+            self.links[link.0].up = up;
+            self.note_link_transition(link.0, up);
+            self.reallocate();
+        }
     }
 
     /// Permanently fails a link: every unfinished flow crossing it is
@@ -482,19 +691,33 @@ impl<'c> NetSim<'c> {
         if self.links[link.0].failed {
             return;
         }
-        self.advance_flows();
+        if !self.incremental {
+            self.advance_flows();
+        }
+        let was_up = self.links[link.0].up;
         self.links[link.0].failed = true;
         self.links[link.0].up = false;
-        let victims: Vec<usize> = (0..self.flows.len())
-            .filter(|&i| {
-                let f = &self.flows[i];
-                !f.done && !f.aborted && self.links_of(i).contains(&link)
-            })
+        if was_up {
+            self.note_link_transition(link.0, false);
+        }
+        // Victims come straight off the per-link occupancy index
+        // (every not-done, not-aborted flow crossing the link);
+        // ascending flow id matches the old full-scan order exactly.
+        let mut victims: Vec<usize> = self.link_flows[link.0]
+            .iter()
+            .map(|&(f, _)| f as usize)
             .collect();
+        victims.sort_unstable();
+        victims.dedup();
         for id in victims {
             self.abort_flow(id);
         }
-        self.reallocate();
+        if self.incremental {
+            self.mark_link_dirty(link.0);
+            self.refill();
+        } else {
+            self.reallocate();
+        }
     }
 
     /// Repairs a permanently failed link: the failure flag clears and
@@ -505,10 +728,19 @@ impl<'c> NetSim<'c> {
         if !self.links[link.0].failed {
             return;
         }
-        self.advance_flows();
-        self.links[link.0].failed = false;
-        self.links[link.0].up = true;
-        self.reallocate();
+        if self.incremental {
+            self.links[link.0].failed = false;
+            self.links[link.0].up = true;
+            self.note_link_transition(link.0, true);
+            self.mark_link_dirty(link.0);
+            self.refill();
+        } else {
+            self.advance_flows();
+            self.links[link.0].failed = false;
+            self.links[link.0].up = true;
+            self.note_link_transition(link.0, true);
+            self.reallocate();
+        }
     }
 
     /// True if the link is currently up (neither down nor failed).
@@ -545,9 +777,17 @@ impl<'c> NetSim<'c> {
         if f.draining {
             f.draining = false;
             f.done = true;
+            f.fill_gen += 1;
             let clones = f.active_clones;
             f.active_clones = 0;
-            self.live.retain(|&x| x != id);
+            self.draining_clones -= clones as usize;
+            if self.flows[id].down_links > 0 {
+                self.stalled_clones -= clones as usize;
+            }
+            self.live_unlink(id);
+            if self.incremental {
+                self.mark_flow_links_dirty(id);
+            }
             // One abort event per merged clone, in submission order —
             // exactly what separate flows would have produced.
             for _ in 0..clones {
@@ -556,28 +796,19 @@ impl<'c> NetSim<'c> {
         }
         // A latency-phase flow keeps its pending LatencyDone event(s),
         // which convert into the abort(s) when they fire.
+        self.unindex_flow(id);
     }
 
     /// Number of flows currently in the fluid phase (draining), with
-    /// merged flows counting once per clone.
+    /// merged flows counting once per clone. Counter-backed: O(1).
     pub fn draining_flows(&self) -> usize {
-        self.flows
-            .iter()
-            .filter(|f| f.draining && !f.done)
-            .map(|f| f.active_clones as usize)
-            .sum()
+        self.draining_clones
     }
 
     /// Number of draining flows currently stalled behind a down link,
-    /// with merged flows counting once per clone.
+    /// with merged flows counting once per clone. Counter-backed: O(1).
     pub fn stalled_flows(&self) -> usize {
-        (0..self.flows.len())
-            .filter(|&i| {
-                let f = &self.flows[i];
-                f.draining && !f.done && self.links_of(i).iter().any(|l| !self.links[l.0].up)
-            })
-            .map(|i| self.flows[i].active_clones as usize)
-            .sum()
+        self.stalled_clones
     }
 
     /// Advances the simulation to the next user-visible event and
@@ -597,36 +828,118 @@ impl<'c> NetSim<'c> {
                     return Some(SimEvent::Timer { token, at: t });
                 }
                 Internal::LatencyDone(id) => {
-                    self.advance_flows();
+                    if !self.incremental {
+                        self.advance_flows();
+                    }
                     let flow = &mut self.flows[id];
                     if flow.aborted {
                         let token = flow.take_token();
+                        if self.flows[id].done {
+                            self.unindex_flow(id);
+                        }
                         return Some(SimEvent::TransferAborted { token, at: t });
                     }
                     if flow.remaining <= EPS_BYTES {
                         // Zero-byte transfer: completes right after latency.
                         let token = flow.take_token();
+                        if self.flows[id].done {
+                            self.unindex_flow(id);
+                        }
                         return Some(SimEvent::TransferDone { token, at: t });
                     }
                     flow.draining = true;
                     flow.active_clones += 1;
-                    if flow.active_clones == 1 {
-                        self.live.push(id);
+                    self.draining_clones += 1;
+                    if self.flows[id].active_clones == 1 {
+                        // First clone: the flow joins the live list and
+                        // learns how many of its links are down.
+                        let down = self
+                            .links_of(id)
+                            .iter()
+                            .filter(|l| !self.links[l.0].up)
+                            .count() as u32;
+                        let f = &mut self.flows[id];
+                        f.down_links = down;
+                        f.rate = 0.0;
+                        f.synced_at = t;
+                        f.fill_gen += 1;
+                        self.live_push_back(id);
+                    }
+                    if self.flows[id].down_links > 0 {
+                        self.stalled_clones += 1;
+                    } else if self.incremental {
+                        self.mark_flow_links_dirty(id);
                     }
                     if self.next_is_same_instant_activation() {
                         // A same-instant activation follows immediately
                         // and nothing reads rates before it recomputes
                         // them, so this filling would be thrown away.
-                        // Mimic its bookkeeping — the stale-marking
-                        // version bump and one sequence step for the
-                        // completion push it replaces — and skip it. A
-                        // synchronized wave of chunk arrivals then pays
-                        // for one filling instead of one per chunk.
-                        self.completion_version += 1;
-                        self.seq += 1;
+                        // Skip it: a synchronized wave of arrivals then
+                        // pays for one filling instead of one per
+                        // transfer (the frontier keeps accumulating in
+                        // incremental mode). The exact engine mimics
+                        // the skipped filling's bookkeeping — the
+                        // stale-marking version bump and one sequence
+                        // step for the completion push it replaces —
+                        // to stay bit-identical with its history.
+                        if !self.incremental {
+                            self.completion_version += 1;
+                            self.seq += 1;
+                        }
+                    } else if self.incremental {
+                        self.refill();
                     } else {
                         self.reallocate();
                     }
+                }
+                Internal::FlowDone(id, gen) => {
+                    // Incremental mode: a per-flow drain instant.
+                    debug_assert!(self.incremental);
+                    {
+                        let f = &self.flows[id];
+                        if !f.draining || f.fill_gen != gen {
+                            continue; // stale (refilled, stalled, aborted)
+                        }
+                    }
+                    self.sync_flow(id);
+                    if self.flows[id].remaining > EPS_BYTES {
+                        // Numerical guard: not actually drained yet —
+                        // integrate and reschedule at the residual.
+                        let f = &mut self.flows[id];
+                        if f.rate > 0.0 {
+                            let dt = SimDuration::from_secs((f.remaining / f.rate).max(0.0));
+                            let gen = f.fill_gen;
+                            self.push(t + dt, Internal::FlowDone(id, gen));
+                        }
+                        continue;
+                    }
+                    let flow = &mut self.flows[id];
+                    let token = flow.take_token();
+                    flow.active_clones -= 1;
+                    self.draining_clones -= 1;
+                    if self.flows[id].down_links > 0 {
+                        // A drained flow completes even while stalled.
+                        self.stalled_clones -= 1;
+                    }
+                    if self.flows[id].active_clones == 0 {
+                        self.flows[id].draining = false;
+                        self.live_unlink(id);
+                        if self.flows[id].done {
+                            self.unindex_flow(id);
+                        }
+                    } else {
+                        // Remaining merged clones finish at this same
+                        // instant. The refill below re-stamps the event
+                        // whenever the per-clone rate moves; this push
+                        // covers the cap-bound case where it does not.
+                        let f = &mut self.flows[id];
+                        f.fill_gen += 1;
+                        let gen = f.fill_gen;
+                        self.push(t, Internal::FlowDone(id, gen));
+                    }
+                    self.mark_flow_links_dirty(id);
+                    self.refill();
+                    return Some(SimEvent::TransferDone { token, at: t });
                 }
                 Internal::Completion(version) => {
                     if version != self.completion_version {
@@ -696,41 +1009,54 @@ impl<'c> NetSim<'c> {
         }
     }
 
-    /// Integrates flow progress from `last_advance` to `now`.
+    /// Integrates flow progress from `last_advance` to `now` (exact
+    /// mode; incremental mode integrates lazily per flow).
     fn advance_flows(&mut self) {
         let dt = self.now.duration_since(self.last_advance).as_secs();
         if dt > 0.0 {
-            for idx in 0..self.live.len() {
-                let i = self.live[idx];
-                let f = &mut self.flows[i];
+            let mut cur = self.live_head;
+            while cur != NONE {
+                let f = &mut self.flows[cur as usize];
+                cur = f.live_next;
                 f.remaining = (f.remaining - f.rate * dt).max(0.0);
             }
         }
         self.last_advance = self.now;
     }
 
+    /// First live flow (in activation order) that has drained.
+    fn first_drained_live(&self) -> Option<usize> {
+        let mut cur = self.live_head;
+        while cur != NONE {
+            let f = &self.flows[cur as usize];
+            if f.remaining <= EPS_BYTES {
+                return Some(cur as usize);
+            }
+            cur = f.live_next;
+        }
+        None
+    }
+
     /// Completes one finished flow clone, if any (one at a time so
     /// every completion surfaces as its own event; a Completion event
     /// is rescheduled at the same instant for simultaneous finishers).
     fn harvest_one(&mut self) -> Option<SimEvent> {
-        let id = self
-            .live
-            .iter()
-            .copied()
-            .find(|&i| self.flows[i].remaining <= EPS_BYTES)?;
+        let id = self.first_drained_live()?;
         let flow = &mut self.flows[id];
         let token = flow.take_token();
         flow.active_clones -= 1;
-        if flow.active_clones == 0 {
-            flow.draining = false;
-            self.live.retain(|&x| x != id);
+        self.draining_clones -= 1;
+        if self.flows[id].down_links > 0 {
+            self.stalled_clones -= 1;
         }
-        if self.coalesce_completions
-            && self
-                .live
-                .iter()
-                .any(|&i| self.flows[i].remaining <= EPS_BYTES)
-        {
+        if self.flows[id].active_clones == 0 {
+            self.flows[id].draining = false;
+            self.live_unlink(id);
+        }
+        if self.flows[id].done {
+            self.unindex_flow(id);
+        }
+        if self.coalesce_completions && self.first_drained_live().is_some() {
             // More drained flows are pending. Exact mode recomputes the
             // filling per harvest: a drained flow still holding a rate
             // completes at `remaining / rate` — a sub-picosecond but
@@ -758,31 +1084,42 @@ impl<'c> NetSim<'c> {
         if self.frozen_stamp.len() < self.flows.len() {
             self.frozen_stamp.resize(self.flows.len(), 0);
         }
-        for idx in 0..self.live.len() {
-            let i = self.live[idx];
-            self.flows[i].rate = 0.0;
+        {
+            let mut cur = self.live_head;
+            while cur != NONE {
+                let f = &mut self.flows[cur as usize];
+                cur = f.live_next;
+                f.rate = 0.0;
+            }
         }
         // Flows crossing a down link stall at rate zero and take no part
         // in the filling; they resume when the link comes back up.
         let mut active = std::mem::take(&mut self.scratch_active);
         active.clear();
-        for idx in 0..self.live.len() {
-            let i = self.live[idx];
-            if self.links_of(i).iter().all(|l| self.links[l.0].up) {
-                active.push(i);
+        {
+            let mut cur = self.live_head;
+            while cur != NONE {
+                let i = cur as usize;
+                let f = &self.flows[i];
+                cur = f.live_next;
+                if f.down_links == 0 {
+                    active.push(i);
+                }
             }
         }
         if active.is_empty() {
             self.scratch_active = active;
             // Only already-drained flows (remaining ~ 0) can still
             // complete; stalled ones wait for a link-up.
-            let drained = self
-                .live
-                .iter()
-                .any(|&i| self.flows[i].remaining <= EPS_BYTES);
+            let drained = self.first_drained_live().is_some();
             self.bump_completion_schedule(drained.then_some(SimDuration::ZERO));
             return;
         }
+        self.fillings += 1;
+        self.frontier_flows += active.len() as u64;
+        self.telemetry.add_counter("engine.fillings", 1.0);
+        self.telemetry
+            .add_counter("engine.frontier_flows", active.len() as f64);
         self.stamp += 1;
         let stamp = self.stamp;
         // Only links carrying active flows matter; everything else has
@@ -844,14 +1181,22 @@ impl<'c> NetSim<'c> {
             for (k, &n) in counts.iter().enumerate() {
                 residual[k] -= delta * n as f64;
             }
-            // Freeze flows on saturated links or at their cap.
+            // Freeze flows on saturated links or at their cap. The
+            // epsilons are relative to the limit they guard: the dust
+            // `residual -= delta * n` leaves on a saturated link scales
+            // with the link's capacity (~1e-5 B/s on a 100 GB/s pod
+            // uplink), so an absolute threshold either misses it —
+            // leaving the iteration with nothing to freeze and the
+            // stall guard below deflating every still-rising flow to
+            // the bottleneck share — or would misfire on slow links.
             let mut froze = 0usize;
             for &f in &unfrozen {
-                let at_cap = self.flows[f].rate >= self.flows[f].cap - 1e-6;
+                let cap = self.flows[f].cap;
+                let at_cap = self.flows[f].rate >= cap - (cap * 1e-9).max(1e-6);
                 let on_sat = self
                     .links_of(f)
                     .iter()
-                    .any(|l| residual[self.link_pos[l.0] as usize] <= 1e-6);
+                    .any(|l| residual[self.link_pos[l.0] as usize] <= self.sat_eps(l.0));
                 if at_cap || on_sat {
                     self.frozen_stamp[f] = stamp;
                     froze += 1;
@@ -869,8 +1214,10 @@ impl<'c> NetSim<'c> {
         // Next completion: earliest remaining/rate among draining flows
         // (stalled flows have rate 0 and only count if already drained).
         let mut next: Option<SimDuration> = None;
-        for &i in &self.live {
-            let f = &self.flows[i];
+        let mut cur = self.live_head;
+        while cur != NONE {
+            let f = &self.flows[cur as usize];
+            cur = f.live_next;
             if f.rate > 0.0 {
                 let dt = SimDuration::from_secs((f.remaining / f.rate).max(0.0));
                 next = Some(match next {
@@ -895,6 +1242,424 @@ impl<'c> NetSim<'c> {
             let v = self.completion_version;
             self.push(self.now + d, Internal::Completion(v));
         }
+    }
+
+    // ---- intrusive live list ----
+
+    fn live_push_back(&mut self, id: usize) {
+        let id32 = id as u32;
+        let prev = self.live_tail;
+        {
+            let f = &mut self.flows[id];
+            f.live_prev = prev;
+            f.live_next = NONE;
+        }
+        if prev == NONE {
+            self.live_head = id32;
+        } else {
+            self.flows[prev as usize].live_next = id32;
+        }
+        self.live_tail = id32;
+        self.live_len += 1;
+    }
+
+    fn live_unlink(&mut self, id: usize) {
+        let (prev, next) = {
+            let f = &self.flows[id];
+            (f.live_prev, f.live_next)
+        };
+        if prev == NONE {
+            self.live_head = next;
+        } else {
+            self.flows[prev as usize].live_next = next;
+        }
+        if next == NONE {
+            self.live_tail = prev;
+        } else {
+            self.flows[next as usize].live_prev = prev;
+        }
+        let f = &mut self.flows[id];
+        f.live_prev = NONE;
+        f.live_next = NONE;
+        self.live_len -= 1;
+    }
+
+    // ---- per-link occupancy index ----
+
+    fn index_flow(&mut self, id: usize) {
+        let (start, len) = {
+            let f = &self.flows[id];
+            (f.links_start as usize, f.links_len as usize)
+        };
+        for k in start..start + len {
+            let li = self.flow_links[k].0;
+            self.slot_pos[k] = self.link_flows[li].len() as u32;
+            self.link_flows[li].push((id as u32, (k - start) as u32));
+        }
+        self.flows[id].indexed = true;
+    }
+
+    fn unindex_flow(&mut self, id: usize) {
+        if !self.flows[id].indexed {
+            return;
+        }
+        self.flows[id].indexed = false;
+        let (start, len) = {
+            let f = &self.flows[id];
+            (f.links_start as usize, f.links_len as usize)
+        };
+        for k in start..start + len {
+            let li = self.flow_links[k].0;
+            let pos = self.slot_pos[k] as usize;
+            let last = self.link_flows[li].pop().expect("occupancy entry present");
+            if pos < self.link_flows[li].len() {
+                // Swap-remove: fix the moved entry's back-pointer.
+                self.link_flows[li][pos] = last;
+                let (mf, ms) = last;
+                let mstart = self.flows[mf as usize].links_start as usize;
+                self.slot_pos[mstart + ms as usize] = pos as u32;
+            }
+        }
+    }
+
+    // ---- stall bookkeeping shared by both modes ----
+
+    /// Updates per-flow down-link counters (and the stalled counter)
+    /// after `link`'s transient availability flipped to `up`. In
+    /// incremental mode this is also where stalling flows give their
+    /// rate back (syncing their residual first) and where unstalling
+    /// flows join the dirty frontier.
+    fn note_link_transition(&mut self, li: usize, up: bool) {
+        let mut ei = 0;
+        while ei < self.link_flows[li].len() {
+            let (fid, _) = self.link_flows[li][ei];
+            ei += 1;
+            let fid = fid as usize;
+            if !self.flows[fid].draining {
+                continue;
+            }
+            if up {
+                self.flows[fid].down_links -= 1;
+                if self.flows[fid].down_links == 0 {
+                    self.stalled_clones -= self.flows[fid].active_clones as usize;
+                    if self.incremental {
+                        // Unstall: the refill assigns a fresh rate and
+                        // schedules the completion.
+                        self.mark_flow_links_dirty(fid);
+                    }
+                }
+            } else {
+                self.flows[fid].down_links += 1;
+                if self.flows[fid].down_links == 1 {
+                    self.stalled_clones += self.flows[fid].active_clones as usize;
+                    if self.incremental {
+                        self.sync_flow(fid);
+                        let f = &mut self.flows[fid];
+                        f.rate = 0.0;
+                        f.fill_gen += 1;
+                        let gen = f.fill_gen;
+                        let drained = f.remaining <= EPS_BYTES;
+                        if drained {
+                            // Already-drained flows complete even while
+                            // stalled (matches the exact engine).
+                            self.push(self.now, Internal::FlowDone(fid, gen));
+                        }
+                        // Its departure frees share for its neighbours.
+                        self.mark_flow_links_dirty(fid);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- incremental allocator ----
+
+    /// Integrates one flow's residual up to `now` at its current rate.
+    fn sync_flow(&mut self, id: usize) {
+        let now = self.now;
+        let f = &mut self.flows[id];
+        let dt = now.duration_since(f.synced_at).as_secs();
+        if dt > 0.0 && f.rate > 0.0 {
+            f.remaining = (f.remaining - f.rate * dt).max(0.0);
+        }
+        f.synced_at = now;
+    }
+
+    fn mark_link_dirty(&mut self, li: usize) {
+        if self.dirty_stamp[li] != self.dirty_epoch {
+            self.dirty_stamp[li] = self.dirty_epoch;
+            self.dirty_links.push(li);
+        }
+    }
+
+    fn mark_flow_links_dirty(&mut self, id: usize) {
+        let (start, len) = {
+            let f = &self.flows[id];
+            (f.links_start as usize, f.links_len as usize)
+        };
+        for k in start..start + len {
+            let li = self.flow_links[k].0;
+            self.mark_link_dirty(li);
+        }
+    }
+
+    fn mark_all_live_dirty(&mut self) {
+        let mut cur = self.live_head;
+        while cur != NONE {
+            let i = cur as usize;
+            cur = self.flows[i].live_next;
+            self.mark_flow_links_dirty(i);
+        }
+    }
+
+    /// Incremental-mode filling entry: refills every connected flow
+    /// component reachable from the accumulated dirty links. In debug
+    /// builds, cross-checks the result against a from-scratch refill
+    /// of every live component (the paranoid reference): any rate-bit
+    /// divergence panics.
+    fn refill(&mut self) {
+        debug_assert!(self.incremental);
+        if self.paranoid {
+            self.mark_all_live_dirty();
+        }
+        self.refill_dirty();
+        #[cfg(debug_assertions)]
+        {
+            if !self.paranoid && !self.checking {
+                self.checking = true;
+                self.mark_all_live_dirty();
+                self.refill_dirty();
+                self.checking = false;
+                debug_assert_eq!(
+                    self.draining_clones,
+                    self.flows
+                        .iter()
+                        .filter(|f| f.draining)
+                        .map(|f| f.active_clones as usize)
+                        .sum::<usize>(),
+                    "draining counter out of sync"
+                );
+                debug_assert_eq!(
+                    self.stalled_clones,
+                    self.flows
+                        .iter()
+                        .filter(|f| f.draining && f.down_links > 0)
+                        .map(|f| f.active_clones as usize)
+                        .sum::<usize>(),
+                    "stalled counter out of sync"
+                );
+            }
+        }
+    }
+
+    /// Walks the dirty frontier: discovers each touched connected
+    /// component over the link<->flow bipartite graph (stalled flows
+    /// excluded — they hold no rate) and refills it.
+    fn refill_dirty(&mut self) {
+        if self.dirty_links.is_empty() {
+            return;
+        }
+        if self.visit_flow_stamp.len() < self.flows.len() {
+            self.visit_flow_stamp.resize(self.flows.len(), 0);
+        }
+        self.stamp += 1;
+        let vstamp = self.stamp;
+        let dirty = std::mem::take(&mut self.dirty_links);
+        for &seed in &dirty {
+            if self.visit_link_stamp[seed] == vstamp {
+                continue; // already swept into an earlier component
+            }
+            self.visit_link_stamp[seed] = vstamp;
+            let mut comp_links = std::mem::take(&mut self.comp_links);
+            let mut comp_flows = std::mem::take(&mut self.comp_flows);
+            comp_links.clear();
+            comp_flows.clear();
+            comp_links.push(seed);
+            let mut qi = 0;
+            while qi < comp_links.len() {
+                let l = comp_links[qi];
+                qi += 1;
+                let mut ei = 0;
+                while ei < self.link_flows[l].len() {
+                    let (fid, _) = self.link_flows[l][ei];
+                    ei += 1;
+                    let fid = fid as usize;
+                    if self.visit_flow_stamp[fid] == vstamp {
+                        continue;
+                    }
+                    let (draining, down, start, len) = {
+                        let f = &self.flows[fid];
+                        (
+                            f.draining,
+                            f.down_links,
+                            f.links_start as usize,
+                            f.links_len as usize,
+                        )
+                    };
+                    if !draining || down > 0 {
+                        continue;
+                    }
+                    self.visit_flow_stamp[fid] = vstamp;
+                    comp_flows.push(fid);
+                    for k in start..start + len {
+                        let li = self.flow_links[k].0;
+                        if self.visit_link_stamp[li] != vstamp {
+                            self.visit_link_stamp[li] = vstamp;
+                            comp_links.push(li);
+                        }
+                    }
+                }
+            }
+            self.comp_links = comp_links;
+            self.comp_flows = comp_flows;
+            if !self.comp_flows.is_empty() {
+                self.fill_component();
+            }
+        }
+        self.dirty_links = dirty;
+        self.dirty_links.clear();
+        self.dirty_epoch += 1;
+    }
+
+    /// Progressive filling over one connected component
+    /// (`self.comp_flows`) — the same arithmetic as `reallocate`'s
+    /// loop, scoped to the component — then (re)schedules completion
+    /// events for every flow whose rate bits moved. Rates of flows
+    /// outside the component are untouched by construction, which is
+    /// what makes the frontier refill bit-identical to a from-scratch
+    /// per-component recompute.
+    fn fill_component(&mut self) {
+        if self.frozen_stamp.len() < self.flows.len() {
+            self.frozen_stamp.resize(self.flows.len(), 0);
+        }
+        let comp = std::mem::take(&mut self.comp_flows);
+        if !self.checking {
+            self.fillings += 1;
+            self.frontier_flows += comp.len() as u64;
+            self.telemetry.add_counter("engine.fillings", 1.0);
+            self.telemetry
+                .add_counter("engine.frontier_flows", comp.len() as f64);
+        }
+        let mut old_rates = std::mem::take(&mut self.scratch_old_rates);
+        old_rates.clear();
+        for &f in &comp {
+            old_rates.push(self.flows[f].rate);
+            self.flows[f].rate = 0.0;
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut hot = std::mem::take(&mut self.scratch_hot);
+        hot.clear();
+        for &f in &comp {
+            let (start, len) = {
+                let fl = &self.flows[f];
+                (fl.links_start as usize, fl.links_len as usize)
+            };
+            for i in start..start + len {
+                let li = self.flow_links[i].0;
+                if self.hot_stamp[li] != stamp {
+                    self.hot_stamp[li] = stamp;
+                    self.link_pos[li] = hot.len() as u32;
+                    hot.push(li);
+                }
+            }
+        }
+        let mut residual = std::mem::take(&mut self.scratch_residual);
+        residual.clear();
+        for &li in &hot {
+            residual
+                .push(self.cluster.links()[li].capacity.as_bytes_per_sec() * self.links[li].factor);
+        }
+        let mut unfrozen = std::mem::take(&mut self.scratch_unfrozen);
+        unfrozen.clear();
+        unfrozen.extend_from_slice(&comp);
+        let mut counts = std::mem::take(&mut self.scratch_counts);
+        while !unfrozen.is_empty() {
+            counts.clear();
+            counts.resize(hot.len(), 0);
+            for &f in &unfrozen {
+                let w = self.flows[f].active_clones as usize;
+                for l in self.links_of(f) {
+                    counts[self.link_pos[l.0] as usize] += w;
+                }
+            }
+            let mut delta = f64::INFINITY;
+            for (k, &n) in counts.iter().enumerate() {
+                if n > 0 {
+                    delta = delta.min(residual[k] / n as f64);
+                }
+            }
+            for &f in &unfrozen {
+                delta = delta.min(self.flows[f].cap - self.flows[f].rate);
+            }
+            if !delta.is_finite() || delta < 0.0 {
+                break;
+            }
+            for &f in &unfrozen {
+                self.flows[f].rate += delta;
+            }
+            for (k, &n) in counts.iter().enumerate() {
+                residual[k] -= delta * n as f64;
+            }
+            // Same capacity-relative freeze epsilons as `reallocate` —
+            // the two fillings must agree bit for bit.
+            let mut froze = 0usize;
+            for &f in &unfrozen {
+                let cap = self.flows[f].cap;
+                let at_cap = self.flows[f].rate >= cap - (cap * 1e-9).max(1e-6);
+                let on_sat = self
+                    .links_of(f)
+                    .iter()
+                    .any(|l| residual[self.link_pos[l.0] as usize] <= self.sat_eps(l.0));
+                if at_cap || on_sat {
+                    self.frozen_stamp[f] = stamp;
+                    froze += 1;
+                }
+            }
+            if froze == 0 {
+                for &f in &unfrozen {
+                    self.frozen_stamp[f] = stamp;
+                }
+            }
+            let fs = &self.frozen_stamp;
+            unfrozen.retain(|&f| fs[f] != stamp);
+        }
+        // Completion events: only flows whose rate bits moved need a
+        // resync and a fresh FlowDone — everything else keeps its
+        // already-scheduled instant, bit for bit.
+        let now = self.now;
+        for (k, &f) in comp.iter().enumerate() {
+            let old = old_rates[k];
+            let new = self.flows[f].rate;
+            if new.to_bits() == old.to_bits() {
+                continue;
+            }
+            assert!(
+                !self.checking,
+                "incremental filling diverged from full recompute: \
+                 flow {f} rate {new:e} (expected {old:e})"
+            );
+            let fl = &mut self.flows[f];
+            let dt = now.duration_since(fl.synced_at).as_secs();
+            if dt > 0.0 && old > 0.0 {
+                fl.remaining = (fl.remaining - old * dt).max(0.0);
+            }
+            fl.synced_at = now;
+            fl.fill_gen += 1;
+            let gen = fl.fill_gen;
+            if new > 0.0 {
+                let dt_done = SimDuration::from_secs((fl.remaining / new).max(0.0));
+                self.push(now + dt_done, Internal::FlowDone(f, gen));
+            } else if fl.remaining <= EPS_BYTES {
+                self.push(now, Internal::FlowDone(f, gen));
+            }
+        }
+        self.comp_flows = comp;
+        self.scratch_old_rates = old_rates;
+        self.scratch_hot = hot;
+        self.scratch_residual = residual;
+        self.scratch_unfrozen = unfrozen;
+        self.scratch_counts = counts;
     }
 }
 
@@ -1442,6 +2207,255 @@ mod tests {
         }
         // ...and replays bit-identically.
         assert_eq!(fast, run(true));
+    }
+
+    /// Runs a scenario under both allocators and asserts identical
+    /// token order with completion times within `tol` seconds.
+    fn assert_modes_agree(c: &Cluster, tol: f64, scenario: impl Fn(&mut NetSim)) {
+        let run = |incremental: bool| {
+            let mut sim = NetSim::new(c).with_incremental_allocator(incremental);
+            scenario(&mut sim);
+            sim.drain()
+                .into_iter()
+                .map(|e| (e.token(), e.at().as_secs()))
+                .collect::<Vec<_>>()
+        };
+        let exact = run(false);
+        let inc = run(true);
+        assert_eq!(exact.len(), inc.len(), "event counts differ");
+        for ((te, ae), (ti, ai)) in exact.iter().zip(&inc) {
+            assert_eq!(te, ti, "token order differs: exact {exact:?} inc {inc:?}");
+            assert!(
+                (ae - ai).abs() < tol,
+                "token {te}: exact {ae} vs incremental {ai}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_exact_on_contended_links() {
+        let c = Cluster::homogeneous_a100(3);
+        assert_modes_agree(&c, 1e-9, |sim| {
+            let p01 = sim.cluster().net_path(InstanceId(0), InstanceId(1));
+            let p21 = sim.cluster().net_path(InstanceId(2), InstanceId(1));
+            sim.submit_transfer(&p01, ByteSize::from_mib(50), 1);
+            sim.submit_transfer(&p01, ByteSize::from_mib(150), 2);
+            sim.submit_transfer(&p21, ByteSize::from_mib(75), 3);
+        });
+    }
+
+    /// Regression: progressive filling must freeze *only* the flows on
+    /// a saturated constraint, even when `residual -= delta * n` leaves
+    /// capacity-scaled floating-point dust behind. 11 flows sharing a
+    /// 12.5 GB/s pod uplink produce a residual of ~1.9e-6 B/s at
+    /// saturation — above the old absolute 1e-6 epsilon, so no flow
+    /// froze and the stall guard froze the whole fleet mid-rise,
+    /// deflating an unrelated NIC-bound flow to the bottleneck share
+    /// (an 11x slowdown). The capacity-relative epsilon freezes the
+    /// pod flows and lets the victim keep rising to its NIC rate.
+    #[test]
+    fn dusty_saturation_freezes_only_the_bottlenecked_flows() {
+        let mut b = ClusterBuilder::new();
+        b.add_instances(InstanceSpec::dgx_a100(), 4);
+        // Pods of 2 at oversubscription 2: pod uplink = 2 NICs / 2 =
+        // one NIC's 12.5 GB/s, shared by all cross-pod flows.
+        b.with_pod_size(2).with_oversubscription(2.0);
+        let c = b.build();
+        let run = |incremental: bool| {
+            let mut sim = NetSim::new(&c).with_incremental_allocator(incremental);
+            let cross = c.net_path(InstanceId(0), InstanceId(2));
+            // Distinct sizes prevent same-instant clone merging: 11
+            // separate flows contend on pod0's uplink.
+            for i in 0..11u64 {
+                sim.submit_transfer(&cross, ByteSize::from_kib(512 + i), i);
+            }
+            // The victim shares no link with the cross-pod flows (its
+            // own egress NIC and ingress NIC) and must drain at the
+            // full 12.5 GB/s NIC rate, not the 1.14 GB/s pod share.
+            let victim = c.net_path(InstanceId(1), InstanceId(0));
+            sim.submit_transfer(&victim, ByteSize::from_mib(1), 99);
+            sim.drain()
+                .into_iter()
+                .find(|e| e.token() == 99)
+                .expect("victim completes")
+                .at()
+                .as_secs()
+        };
+        let nic_rate = 12.5e9;
+        let solo = ByteSize::from_mib(1).as_f64() / nic_rate;
+        for incremental in [false, true] {
+            let t = run(incremental);
+            assert!(
+                t < 3.0 * solo,
+                "incremental={incremental}: victim took {t}s vs ~{solo}s solo \
+                 — deflated by the fleet-wide stall guard"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_exact_under_faults() {
+        let c = two_a100();
+        let eg = c.nic_egress_link(InstanceId(0));
+        assert_modes_agree(&c, 1e-9, |sim| {
+            let path = sim.cluster().net_path(InstanceId(0), InstanceId(1));
+            sim.submit_transfer(&path, ByteSize::from_mib(100), 1);
+            sim.submit_transfer(&path, ByteSize::from_mib(40), 2);
+            sim.schedule_fault(SimDuration::from_millis(1.0), FaultAction::LinkDown(eg));
+            sim.schedule_fault(SimDuration::from_millis(9.0), FaultAction::LinkUp(eg));
+            sim.schedule_fault(
+                SimDuration::from_millis(12.0),
+                FaultAction::SetCapacityFactor(eg, 0.5),
+            );
+        });
+    }
+
+    #[test]
+    fn incremental_matches_exact_on_merged_weights() {
+        let c = two_a100();
+        assert_modes_agree(&c, 1e-9, |sim| {
+            let path = sim.cluster().net_path(InstanceId(0), InstanceId(1));
+            let size = ByteSize::from_mib(40);
+            for t in 0..3 {
+                sim.submit_transfer(&path, size, t);
+            }
+            sim.submit_transfer(&path, ByteSize::from_mib(10), 9);
+        });
+    }
+
+    #[test]
+    fn incremental_link_down_stalls_then_resumes() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c).with_incremental_allocator(true);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        let eg = c.nic_egress_link(InstanceId(0));
+        sim.submit_transfer(&path, ByteSize::from_mib(100), 1);
+        sim.schedule_fault(SimDuration::from_millis(1.0), FaultAction::LinkDown(eg));
+        // The flow stalls forever: the sim quiesces with the flow live.
+        assert!(sim.step().is_none());
+        assert_eq!(sim.stalled_flows(), 1);
+        assert_eq!(sim.draining_flows(), 1);
+        // Bringing the link back finishes the transfer.
+        sim.set_link_up(eg, true);
+        let ev = sim.step().unwrap();
+        assert!(matches!(ev, SimEvent::TransferDone { token: 1, .. }));
+        assert_eq!(sim.stalled_flows(), 0);
+        assert_eq!(sim.draining_flows(), 0);
+    }
+
+    #[test]
+    fn incremental_fail_link_aborts_and_spares() {
+        let c = Cluster::homogeneous_a100(3);
+        let mut sim = NetSim::new(&c).with_incremental_allocator(true);
+        let doomed = c.net_path(InstanceId(0), InstanceId(1));
+        let spared = c.net_path(InstanceId(2), InstanceId(1));
+        sim.submit_transfer(&doomed, ByteSize::from_mib(50), 1);
+        sim.submit_transfer(&spared, ByteSize::from_mib(50), 2);
+        sim.schedule_fault(
+            SimDuration::from_millis(1.0),
+            FaultAction::LinkFail(c.nic_egress_link(InstanceId(0))),
+        );
+        let evs = sim.drain();
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(evs[0], SimEvent::TransferAborted { token: 1, .. }));
+        assert!(matches!(evs[1], SimEvent::TransferDone { token: 2, .. }));
+        assert_eq!(sim.draining_flows(), 0);
+    }
+
+    #[test]
+    fn synchronized_wave_pays_one_filling() {
+        let c = two_a100();
+        let mut sim = NetSim::new(&c).with_incremental_allocator(true);
+        let path = c.net_path(InstanceId(0), InstanceId(1));
+        // Distinct sizes defeat aggregation: four real flows, one port.
+        let wave: Vec<(Path, ByteSize, Token)> = (0..4u64)
+            .map(|t| (path.clone(), ByteSize::from_mib(10 * (t + 1)), t))
+            .collect();
+        sim.submit_wave(&wave);
+        // Observe right after the activation burst, before completions.
+        sim.schedule_timer(SimDuration::from_millis(1.0), 99);
+        let ev = sim.step().unwrap();
+        assert!(matches!(ev, SimEvent::Timer { token: 99, .. }));
+        assert_eq!(sim.fillings(), 1, "one filling for the whole wave");
+        assert_eq!(sim.frontier_flows(), 4);
+        assert_eq!(sim.draining_flows(), 4);
+        assert_eq!(sim.drain().len(), 4);
+    }
+
+    #[test]
+    fn disjoint_components_refill_independently() {
+        // Two flows on disjoint ports: each completion's frontier must
+        // touch only its own component, so total frontier work stays
+        // O(1) per event instead of O(live).
+        let c = Cluster::fat_tree(4, 1);
+        let mut sim = NetSim::new(&c).with_incremental_allocator(true);
+        sim.submit_transfer(
+            &c.net_path(InstanceId(0), InstanceId(2)),
+            ByteSize::from_mib(64),
+            1,
+        );
+        sim.submit_transfer(
+            &c.net_path(InstanceId(3), InstanceId(1)),
+            ByteSize::from_mib(32),
+            2,
+        );
+        let evs = sim.drain();
+        assert_eq!(evs.len(), 2);
+        // Activation wave: one fill per (single-flow) component; each
+        // completion then refills nothing (component empties).
+        assert!(
+            sim.frontier_flows() <= 4,
+            "frontier did not stay local: {}",
+            sim.frontier_flows()
+        );
+    }
+
+    #[test]
+    fn incremental_deterministic_replay() {
+        let run = || {
+            let c = two_a100();
+            let mut sim = NetSim::new(&c).with_incremental_allocator(true);
+            let path = c.net_path(InstanceId(0), InstanceId(1));
+            for t in 0..8 {
+                sim.submit_transfer(&path, ByteSize::from_mib(10 + t), t);
+            }
+            sim.drain()
+                .into_iter()
+                .map(|e| (e.token(), e.at().as_secs().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn paranoid_refill_matches_frontier_refill() {
+        // The exactness contract: treating every live flow as dirty on
+        // every event (a from-scratch filling) must reproduce the
+        // frontier refill's event stream bit for bit.
+        let c = Cluster::fat_tree(6, 1);
+        let eg = c.nic_egress_link(InstanceId(0));
+        let run = |paranoid: bool| {
+            let mut sim = NetSim::new(&c)
+                .with_incremental_allocator(true)
+                .with_paranoid_refill(paranoid);
+            for (i, t) in [(0usize, 1usize), (2, 3), (4, 5), (1, 2)]
+                .iter()
+                .enumerate()
+            {
+                sim.submit_transfer(
+                    &c.net_path(InstanceId(t.0), InstanceId(t.1)),
+                    ByteSize::from_mib(16 + 8 * i as u64),
+                    i as Token,
+                );
+            }
+            sim.schedule_fault(SimDuration::from_millis(1.0), FaultAction::LinkDown(eg));
+            sim.schedule_fault(SimDuration::from_millis(3.0), FaultAction::LinkUp(eg));
+            sim.drain()
+                .into_iter()
+                .map(|e| (e.token(), e.at().as_secs().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -134,11 +134,12 @@ fn reduce_flows_conserve_bytes_through_every_nic() {
 #[test]
 fn hierarchical_64_gpu_trace_is_deterministic() {
     // 64 GPUs on 16 servers: the Auto threshold engages the two-tier
-    // synthesis, and the fleet sits below the executor's completion-
-    // coalescing threshold, so this pins the exact engine's event
-    // ordering at the largest scale that still runs it. Two identical
-    // runs must export byte-identical telemetry — every flow record,
-    // span and counter in the same order at the same instants.
+    // synthesis, and the fleet sits below both the executor's
+    // completion-coalescing and incremental-allocator thresholds, so
+    // this pins the exact engine's event ordering at the largest scale
+    // that still runs it. Two identical runs must export
+    // byte-identical telemetry — every flow record, span and counter
+    // in the same order at the same instants.
     let run = || {
         let cluster = Cluster::homogeneous_a100(16);
         let telemetry = Telemetry::enabled();
@@ -172,6 +173,91 @@ fn hierarchical_64_gpu_trace_is_deterministic() {
         b.metrics_summary(),
         "64-GPU metrics must be golden"
     );
+}
+
+#[test]
+fn engine_storm_at_256_servers_is_deterministic_and_mode_consistent() {
+    // The determinism cases above top out at 64 GPUs, below the
+    // executor's incremental-allocator gate — so they never run the
+    // dirty-frontier path. This pins the incremental engine at a scale
+    // where it actually engages: 256 servers of staggered, contending
+    // cross-server transfers. Two incremental runs must produce
+    // bit-identical event streams, and the stream must agree with the
+    // exact (fleet-wide filling) engine event-for-event, with
+    // completion instants within f64-rounding distance (the two modes
+    // fold link shares in different orders by design, see DESIGN.md
+    // §15).
+    use adapcc_simnet::cluster::InstanceId;
+    use adapcc_simnet::engine::{NetSim, SimEvent};
+
+    let cluster = Cluster::homogeneous_a100(256);
+    let n = cluster.instance_count();
+    const TIMER_BASE: u64 = 1 << 32;
+    let run = |incremental: bool| -> Vec<(u64, u64)> {
+        let mut sim = NetSim::new(&cluster).with_incremental_allocator(incremental);
+        for i in 0..n {
+            // Staggered arrivals so completions interleave with later
+            // submissions instead of forming one synchronized wave.
+            sim.schedule_timer(
+                SimDuration::from_micros(1.0 + i as f64 * 0.7),
+                TIMER_BASE + i as u64,
+            );
+        }
+        let mut out = Vec::new();
+        while let Some(ev) = sim.step() {
+            if let SimEvent::Timer { token, .. } = ev {
+                let i = (token - TIMER_BASE) as usize;
+                let stride = 1 + i % (n - 1);
+                let path = cluster.net_path(InstanceId(i), InstanceId((i + stride) % n));
+                sim.submit_transfer(
+                    &path,
+                    ByteSize::from_kib(64 + (i as u64 * 37) % 192),
+                    i as u64,
+                );
+            } else {
+                out.push((ev.token(), ev.at().as_secs().to_bits()));
+            }
+        }
+        out
+    };
+
+    let a = run(true);
+    let b = run(true);
+    assert_eq!(a.len(), n, "every transfer completes");
+    assert_eq!(a, b, "256-server incremental stream must be golden");
+
+    let exact = run(false);
+    assert_eq!(exact.len(), n);
+    // Per-transfer completion instants agree within rounding; the
+    // global order may swap near-ties whose times differ only in ulps,
+    // but each stream must be monotone in time.
+    let times = |evs: &[(u64, u64)]| {
+        evs.iter()
+            .map(|&(t, bits)| (t, f64::from_bits(bits)))
+            .collect::<BTreeMap<_, _>>()
+    };
+    let (ta, te) = (times(&a), times(&exact));
+    assert_eq!(
+        ta.keys().collect::<Vec<_>>(),
+        te.keys().collect::<Vec<_>>(),
+        "both modes must complete the same transfers"
+    );
+    for (token, e) in &te {
+        let i = ta[token];
+        let tol = 1e-9_f64.max(e.abs() * 1e-9);
+        assert!(
+            (i - e).abs() <= tol,
+            "transfer {token}: incremental t={i} exact t={e}"
+        );
+    }
+    for stream in [&a, &exact] {
+        assert!(
+            stream
+                .windows(2)
+                .all(|w| f64::from_bits(w[0].1) <= f64::from_bits(w[1].1)),
+            "event stream must be monotone in time"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
